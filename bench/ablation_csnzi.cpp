@@ -1,0 +1,106 @@
+// Ablation benches for the C-SNZI design choices the paper discusses:
+//
+//  1. Arrival policy (§2.2 / §5.1): adaptive vs always-root vs always-tree.
+//     "Arriving and departing at the leaves is expensive [without
+//     contention] ... so we arrive and depart directly at the root."
+//  2. Root-CAS failure threshold for the adaptive switch.
+//  3. Leaf locality (leaf_shift): private leaves vs SMT-sibling groups.
+//
+// Each variant runs the Figure 5(a) read-only workload on a GOLL lock over
+// the simulated T5440 and prints one series row.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "harness/cli.hpp"
+#include "harness/driver.hpp"
+#include "harness/workload.hpp"
+#include "locks/goll_lock.hpp"
+#include "sim/memory.hpp"
+
+namespace ob = oll::bench;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  oll::CSnziOptions csnzi;
+};
+
+oll::CSnziOptions sim_base() {
+  oll::CSnziOptions o;
+  o.leaf_shift = 3;
+  o.leaves = 64;
+  o.root_cas_fail_threshold = 1;
+  return o;
+}
+
+double run_variant(const Variant& v, std::uint32_t threads,
+                   std::uint64_t acquires) {
+  oll::sim::Machine machine(oll::sim::t5440_topology(),
+                            oll::sim::t5440_costs(),
+                            std::max<std::uint32_t>(threads, 512));
+  oll::GollOptions g;
+  g.max_threads = threads + 1;
+  g.csnzi = v.csnzi;
+  oll::RwLockAdapter<oll::GollLock<oll::sim::SimMemory>> lock(v.name, g);
+  ob::WorkloadConfig w;
+  w.threads = threads;
+  w.read_pct = 100;
+  w.acquires_per_thread = acquires;
+  return ob::run_sim_workload_on(lock, w, machine).throughput();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ob::Flags flags(argc, argv);
+  const std::uint64_t acquires = flags.get_u64("acquires", 500);
+  const std::vector<std::uint32_t> thread_counts = {1, 8, 64, 256};
+
+  std::vector<Variant> variants;
+  variants.push_back({"adaptive (paper)", sim_base()});
+  {
+    Variant v{"always-root (central counter)", sim_base()};
+    v.csnzi.policy = oll::ArrivalPolicy::kAlwaysRoot;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"always-tree (no root fast path)", sim_base()};
+    v.csnzi.policy = oll::ArrivalPolicy::kAlwaysTree;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"adaptive, switch threshold 4", sim_base()};
+    v.csnzi.root_cas_fail_threshold = 4;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"private leaves (leaf_shift=0)", sim_base()};
+    v.csnzi.leaf_shift = 0;
+    v.csnzi.leaves = 256;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"two-level tree (fanout 8)", sim_base()};
+    v.csnzi.levels = 2;
+    v.csnzi.fanout = 8;
+    variants.push_back(v);
+  }
+
+  std::cout << "# C-SNZI ablation: GOLL lock, 100% reads, simulated T5440\n"
+            << "# (paper §2.2 arrival policy / §5.1 tuning discussion)\n"
+            << "variant";
+  for (auto t : thread_counts) std::cout << ",t" << t;
+  std::cout << "\n";
+
+  for (const Variant& v : variants) {
+    std::cout << "\"" << v.name << "\"";
+    for (auto t : thread_counts) {
+      std::cout << "," << std::scientific << run_variant(v, t, acquires);
+    }
+    std::cout << "\n" << std::flush;
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation for the GOLL/Solaris queue policy (§5.1 footnote 1): readers
+// coalescing into one group across queued writers (the Solaris policy the
+// paper evaluates) vs strict FIFO groups.  Run at 99% reads where the wait
+// queue actually forms.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "harness/cli.hpp"
+#include "harness/driver.hpp"
+#include "harness/workload.hpp"
+#include "locks/goll_lock.hpp"
+#include "locks/solaris_rwlock.hpp"
+#include "sim/memory.hpp"
+
+namespace ob = oll::bench;
+
+namespace {
+
+template <typename LockT, typename OptsT>
+double run_one(const char* name, const OptsT& opts, std::uint32_t threads,
+               std::uint64_t acquires, std::uint32_t read_pct) {
+  oll::sim::Machine machine(oll::sim::t5440_topology(),
+                            oll::sim::t5440_costs(),
+                            std::max<std::uint32_t>(threads, 512));
+  oll::RwLockAdapter<LockT> lock(name, opts);
+  ob::WorkloadConfig w;
+  w.threads = threads;
+  w.read_pct = read_pct;
+  w.acquires_per_thread = acquires;
+  return ob::run_sim_workload_on(lock, w, machine).throughput();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ob::Flags flags(argc, argv);
+  const std::uint64_t acquires = flags.get_u64("acquires", 500);
+  const auto read_pct =
+      static_cast<std::uint32_t>(flags.get_u64("read_pct", 99));
+  const std::vector<std::uint32_t> thread_counts = {8, 64, 256};
+
+  std::cout << "# Queue-policy ablation at " << read_pct
+            << "% reads, simulated T5440\n"
+            << "# (paper §5.1 footnote 1: readers coalesce over writers)\n"
+            << "variant";
+  for (auto t : thread_counts) std::cout << ",t" << t;
+  std::cout << "\n";
+
+  using Sim = oll::sim::SimMemory;
+  for (bool coalesce : {true, false}) {
+    {
+      oll::GollOptions g;
+      g.readers_coalesce_over_writers = coalesce;
+      g.csnzi.leaf_shift = 3;
+      g.csnzi.root_cas_fail_threshold = 1;
+      std::cout << "\"GOLL " << (coalesce ? "coalesce" : "fifo") << "\"";
+      for (auto t : thread_counts) {
+        oll::GollOptions gt = g;
+        gt.max_threads = t + 1;
+        std::cout << "," << std::scientific
+                  << run_one<oll::GollLock<Sim>>("GOLL", gt, t, acquires,
+                                                 read_pct);
+      }
+      std::cout << "\n" << std::flush;
+    }
+    {
+      oll::SolarisOptions s;
+      s.readers_coalesce_over_writers = coalesce;
+      std::cout << "\"Solaris " << (coalesce ? "coalesce" : "fifo") << "\"";
+      for (auto t : thread_counts) {
+        std::cout << "," << std::scientific
+                  << run_one<oll::SolarisRwLock<Sim>>("Solaris", s, t,
+                                                      acquires, read_pct);
+      }
+      std::cout << "\n" << std::flush;
+    }
+  }
+  return 0;
+}

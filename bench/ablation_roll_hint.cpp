@@ -1,0 +1,76 @@
+// Ablation for the ROLL lock's §4.3 optimization: "we also maintain in the
+// lock object a pointer to the last known reader node with threads still
+// busy-waiting ... The optimization reduces the number of searches."
+//
+// Variants: hint + traversal (full ROLL), hint only, traversal only,
+// neither (degenerates to FOLL-like behavior for mid-queue readers).
+// Workload: 95% reads — enough writers that reader nodes queue mid-list.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "harness/cli.hpp"
+#include "harness/driver.hpp"
+#include "harness/workload.hpp"
+#include "locks/roll_lock.hpp"
+#include "sim/memory.hpp"
+
+namespace ob = oll::bench;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool use_hint;
+  std::uint32_t max_scan_hops;
+};
+
+double run_variant(const Variant& v, std::uint32_t threads,
+                   std::uint64_t acquires) {
+  oll::sim::Machine machine(oll::sim::t5440_topology(),
+                            oll::sim::t5440_costs(),
+                            std::max<std::uint32_t>(threads, 512));
+  oll::RollOptions r;
+  r.max_threads = threads + 1;
+  r.use_hint = v.use_hint;
+  r.max_scan_hops = v.max_scan_hops;
+  r.csnzi.leaf_shift = 3;
+  r.csnzi.leaves = 64;
+  r.csnzi.root_cas_fail_threshold = 1;
+  oll::RwLockAdapter<oll::RollLock<oll::sim::SimMemory>> lock(v.name, r);
+  ob::WorkloadConfig w;
+  w.threads = threads;
+  w.read_pct = 95;
+  w.acquires_per_thread = acquires;
+  return ob::run_sim_workload_on(lock, w, machine).throughput();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ob::Flags flags(argc, argv);
+  const std::uint64_t acquires = flags.get_u64("acquires", 500);
+  const std::vector<std::uint32_t> thread_counts = {8, 64, 256};
+
+  const std::vector<Variant> variants = {
+      {"hint + traversal (ROLL)", true, 8},
+      {"hint only", true, 0},
+      {"traversal only", false, 8},
+      {"neither (FOLL-like joining)", false, 0},
+  };
+
+  std::cout << "# ROLL hint/traversal ablation: 95% reads, simulated T5440\n"
+            << "# (paper §4.3 last-reader-node pointer optimization)\n"
+            << "variant";
+  for (auto t : thread_counts) std::cout << ",t" << t;
+  std::cout << "\n";
+  for (const Variant& v : variants) {
+    std::cout << "\"" << v.name << "\"";
+    for (auto t : thread_counts) {
+      std::cout << "," << std::scientific << run_variant(v, t, acquires);
+    }
+    std::cout << "\n" << std::flush;
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Regenerates all six subfigures of the paper's Figure 5 in one run.
+// Flags as in fig5_common.hpp; additionally --out=<dir> writes one CSV per
+// subfigure (fig5a.csv .. fig5f.csv) next to printing to stdout.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/cli.hpp"
+#include "harness/sweep.hpp"
+
+namespace ob = oll::bench;
+
+int main(int argc, char** argv) {
+  ob::Flags flags(argc, argv);
+  struct Sub {
+    const char* id;
+    const char* name;
+    std::uint32_t read_pct;
+  };
+  const std::vector<Sub> subs = {
+      {"fig5a", "Figure 5(a): 100% reads", 100},
+      {"fig5b", "Figure 5(b): 99% reads", 99},
+      {"fig5c", "Figure 5(c): 95% reads", 95},
+      {"fig5d", "Figure 5(d): 80% reads", 80},
+      {"fig5e", "Figure 5(e): 50% reads", 50},
+      {"fig5f", "Figure 5(f): 0% reads", 0},
+  };
+
+  for (const Sub& sub : subs) {
+    ob::SweepConfig cfg;
+    cfg.read_pct = sub.read_pct;
+    cfg.mode =
+        flags.get("mode", "sim") == "real" ? ob::Mode::kReal : ob::Mode::kSim;
+    const std::uint32_t default_max = cfg.mode == ob::Mode::kSim ? 256 : 16;
+    cfg.thread_counts = ob::default_thread_counts(
+        static_cast<std::uint32_t>(flags.get_u64("threads", default_max)));
+    cfg.acquires_per_thread = flags.get_u64("acquires", 0);
+    cfg.repetitions = static_cast<std::uint32_t>(flags.get_u64("reps", 1));
+    cfg.locks = oll::figure5_lock_kinds();
+
+    ob::print_header(std::cout, sub.name, cfg);
+    ob::SweepResult result = ob::run_sweep(cfg, /*verbose=*/false);
+    ob::print_series(std::cout, result);
+    std::cout << "\n";
+
+    if (flags.has("out")) {
+      std::ofstream csv(flags.get("out", ".") + "/" + sub.id + ".csv");
+      ob::print_header(csv, sub.name, cfg);
+      ob::print_series(csv, result);
+    }
+  }
+  return 0;
+}

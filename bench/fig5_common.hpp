@@ -1,0 +1,51 @@
+// Shared main() body for the Figure 5 bench binaries: one binary per
+// subfigure, each parameterized only by the read percentage.
+//
+// Flags (all optional):
+//   --mode=sim|real     default sim (virtual-time T5440 model; DESIGN.md §3)
+//   --threads=N         cap the thread sweep (default: 256 sim / 16 real)
+//   --acquires=N        acquisitions per thread (default: paper-scaled)
+//   --reps=N            repetitions to average (default 1; paper uses 3)
+//   --locks=a,b,c       subset of goll,foll,roll,ksuh,solaris,...
+//   --cs_work=N         work units inside the critical section (default 0)
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "harness/cli.hpp"
+#include "harness/sweep.hpp"
+
+namespace oll::bench {
+
+inline int run_fig5(const std::string& figure_name, std::uint32_t read_pct,
+                    int argc, char** argv) {
+  Flags flags(argc, argv);
+  SweepConfig cfg;
+  cfg.read_pct = read_pct;
+  cfg.mode = flags.get("mode", "sim") == "real" ? Mode::kReal : Mode::kSim;
+  const std::uint32_t default_max = cfg.mode == Mode::kSim ? 256 : 16;
+  const auto max_threads = static_cast<std::uint32_t>(
+      flags.get_u64("threads", default_max));
+  cfg.thread_counts = default_thread_counts(max_threads);
+  cfg.acquires_per_thread = flags.get_u64("acquires", 0);
+  cfg.repetitions = static_cast<std::uint32_t>(flags.get_u64("reps", 1));
+  cfg.cs_work = flags.get_u64("cs_work", 0);
+
+  if (flags.has("locks")) {
+    std::stringstream ss(flags.get("locks", ""));
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (auto kind = parse_lock_kind(item)) cfg.locks.push_back(*kind);
+    }
+  }
+  if (cfg.locks.empty()) cfg.locks = figure5_lock_kinds();
+
+  print_header(std::cout, figure_name, cfg);
+  SweepResult result = run_sweep(cfg, /*verbose=*/true);
+  print_series(std::cout, result);
+  return 0;
+}
+
+}  // namespace oll::bench

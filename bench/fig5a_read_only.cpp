@@ -1,0 +1,8 @@
+// Figure 5(a): throughput under a 100%-read workload, threads 1..256.
+// Paper result: all three OLL locks scale linearly to 256 threads; the KSUH
+// lock collapses ~10x past 64 threads; the Solaris-like lock decays steadily.
+#include "fig5_common.hpp"
+
+int main(int argc, char** argv) {
+  return oll::bench::run_fig5("Figure 5(a): 100% reads", 100, argc, argv);
+}

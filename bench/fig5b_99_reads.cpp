@@ -1,0 +1,11 @@
+// Figure 5(b): throughput at 99% reads / 1% writes.
+// Paper result: FOLL and ROLL scale while on-chip and beat KSUH everywhere;
+// FOLL drops ~10x past 64 threads (FIFO handoffs pay off-chip latency) while
+// ROLL keeps most of its 64-thread performance; GOLL scales slowly to ~48
+// threads, then queue-mutex contention drops it; Solaris-like decays from 2
+// threads on.
+#include "fig5_common.hpp"
+
+int main(int argc, char** argv) {
+  return oll::bench::run_fig5("Figure 5(b): 99% reads", 99, argc, argv);
+}

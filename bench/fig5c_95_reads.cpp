@@ -1,0 +1,9 @@
+// Figure 5(c): throughput at 95% reads / 5% writes.
+// Paper result: ROLL and FOLL keep scaling on-chip and are >2x KSUH at 64
+// threads and >5x at 256; GOLL now behaves like the Solaris-like lock
+// (queue-mutex cost dominates); all queue locks drop once off-chip.
+#include "fig5_common.hpp"
+
+int main(int argc, char** argv) {
+  return oll::bench::run_fig5("Figure 5(c): 95% reads", 95, argc, argv);
+}

@@ -1,0 +1,8 @@
+// Figure 5(d): throughput at 80% reads / 20% writes.
+// Paper result: ROLL continues to scale on-chip; FOLL levels off at ~32
+// threads; off-chip, both converge toward the remaining locks.
+#include "fig5_common.hpp"
+
+int main(int argc, char** argv) {
+  return oll::bench::run_fig5("Figure 5(d): 80% reads", 80, argc, argv);
+}

@@ -1,0 +1,9 @@
+// Figure 5(e): throughput at 50% reads / 50% writes.
+// Paper result: the distributed queue locks (FOLL/ROLL/KSUH) behave alike —
+// near-constant on-chip and off-chip throughput with a drop at 64 threads;
+// GOLL and Solaris-like hold constant but lower throughput on-chip.
+#include "fig5_common.hpp"
+
+int main(int argc, char** argv) {
+  return oll::bench::run_fig5("Figure 5(e): 50% reads", 50, argc, argv);
+}

@@ -1,0 +1,8 @@
+// Figure 5(f): throughput at 0% reads (pure mutual exclusion).
+// Paper result: same regime as 50% reads — queue locks near-constant with a
+// 64-thread drop, GOLL and Solaris-like constant but lower.
+#include "fig5_common.hpp"
+
+int main(int argc, char** argv) {
+  return oll::bench::run_fig5("Figure 5(f): 0% reads", 0, argc, argv);
+}

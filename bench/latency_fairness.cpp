@@ -1,0 +1,126 @@
+// Acquisition-latency percentiles in virtual time: the fairness story behind
+// the Figure 5 throughput numbers.
+//
+// Throughput hides tails: ROLL buys its off-chip throughput by letting
+// readers overtake waiting writers (§4.3), which should show up as LOW
+// reader latency tails and HIGHER writer tails than FOLL's strict FIFO.
+// This bench measures per-acquisition latency as the delta of the acquiring
+// thread's virtual clock across lock_shared()/lock(), on the simulated
+// T5440, and prints p50/p95/p99/max per lock and operation class.
+//
+// Flags: --threads=N (64) --read_pct=P (95) --acquires=N (500)
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "harness/cli.hpp"
+#include "platform/rng.hpp"
+#include "platform/spin.hpp"
+#include "platform/stats.hpp"
+#include "platform/thread_id.hpp"
+#include "sim/context.hpp"
+#include "sim/machine.hpp"
+#include "sim/memory.hpp"
+
+namespace {
+
+struct Samples {
+  std::vector<double> read_latency;
+  std::vector<double> write_latency;
+};
+
+Samples run_lock(oll::LockKind kind, std::uint32_t threads,
+                 std::uint32_t read_pct, std::uint64_t acquires) {
+  oll::sim::Machine machine(oll::sim::t5440_topology(),
+                            oll::sim::t5440_costs(),
+                            std::max<std::uint32_t>(threads, 512));
+  oll::LockFactoryOptions opts;
+  opts.max_threads = threads + 1;
+  opts.csnzi.leaf_shift = 3;
+  opts.csnzi.root_cas_fail_threshold = 1;
+  auto lock = oll::make_rwlock<oll::sim::SimMemory>(kind, opts);
+
+  std::vector<Samples> per_thread(threads);
+  std::atomic<std::uint32_t> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  for (std::uint32_t w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      oll::ScopedThreadIndex index(w);
+      oll::sim::ThreadGuard guard(machine, w);
+      oll::sim::ThreadContext& ctx = guard.context();
+      oll::Xoshiro256ss rng(w + 1);
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      oll::spin_until([&] { return go.load(std::memory_order_acquire); });
+      if (w % 2 == 1) std::this_thread::yield();  // phase stagger
+      for (std::uint64_t i = 0; i < acquires; ++i) {
+        const bool read = rng.bernoulli(read_pct, 100);
+        const std::uint64_t before = ctx.clock();
+        if (read) {
+          lock->lock_shared();
+          per_thread[w].read_latency.push_back(
+              static_cast<double>(ctx.clock() - before));
+          std::this_thread::yield();
+          if (rng.bernoulli(1, 2)) std::this_thread::yield();
+          lock->unlock_shared();
+        } else {
+          lock->lock();
+          per_thread[w].write_latency.push_back(
+              static_cast<double>(ctx.clock() - before));
+          lock->unlock();
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+  oll::spin_until([&] {
+    return ready.load(std::memory_order_acquire) == threads;
+  });
+  go.store(true, std::memory_order_release);
+  for (auto& t : workers) t.join();
+
+  Samples all;
+  for (auto& s : per_thread) {
+    all.read_latency.insert(all.read_latency.end(), s.read_latency.begin(),
+                            s.read_latency.end());
+    all.write_latency.insert(all.write_latency.end(),
+                             s.write_latency.begin(), s.write_latency.end());
+  }
+  return all;
+}
+
+void print_row(const char* lock, const char* op, std::vector<double>& xs) {
+  if (xs.empty()) return;
+  std::printf("%-14s %-6s %8zu %10.0f %10.0f %10.0f %12.0f\n", lock, op,
+              xs.size(), oll::percentile(xs, 50), oll::percentile(xs, 95),
+              oll::percentile(xs, 99), oll::percentile(xs, 100));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  oll::bench::Flags flags(argc, argv);
+  const auto threads =
+      static_cast<std::uint32_t>(flags.get_u64("threads", 64));
+  const auto read_pct =
+      static_cast<std::uint32_t>(flags.get_u64("read_pct", 95));
+  const std::uint64_t acquires = flags.get_u64("acquires", 500);
+
+  std::printf("# Acquisition latency (virtual cycles) on the simulated "
+              "T5440: %u threads, %u%% reads\n",
+              threads, read_pct);
+  std::printf("%-14s %-6s %8s %10s %10s %10s %12s\n", "lock", "op", "n",
+              "p50", "p95", "p99", "max");
+  for (oll::LockKind kind : oll::figure5_lock_kinds()) {
+    Samples s = run_lock(kind, threads, read_pct, acquires);
+    print_row(oll::lock_kind_name(kind), "read", s.read_latency);
+    print_row(oll::lock_kind_name(kind), "write", s.write_latency);
+  }
+  std::printf("\n# Expectation (§4.3): ROLL read tails beat FOLL's; ROLL "
+              "write tails exceed FOLL's (reader preference).\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// google-benchmark multithreaded microbenchmarks: acquire/release throughput
+// under real host contention for every lock, at read-only and mixed ratios.
+// (On a small host this measures algorithmic path lengths under
+// oversubscription, not parallel scalability — the Figure 5 binaries with
+// the simulated topology cover that.)
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/factory.hpp"
+#include "platform/rng.hpp"
+
+namespace {
+
+using oll::AnyRwLock;
+using oll::LockKind;
+
+// One shared lock per benchmark; thread 0 owns setup/teardown.
+template <LockKind K, unsigned ReadPct>
+void BM_Contended(benchmark::State& state) {
+  static std::unique_ptr<AnyRwLock> lock;
+  if (state.thread_index() == 0) lock = oll::make_rwlock(K);
+  oll::Xoshiro256ss rng(state.thread_index() + 1);
+  for (auto _ : state) {
+    if (rng.bernoulli(ReadPct, 100)) {
+      lock->lock_shared();
+      lock->unlock_shared();
+    } else {
+      lock->lock();
+      lock->unlock();
+    }
+  }
+  if (state.thread_index() == 0) lock.reset();
+}
+
+}  // namespace
+
+#define OLL_CONTENDED(name, kind)                                       \
+  BENCHMARK(BM_Contended<LockKind::kind, 100>)                          \
+      ->Name("BM_" #name "_reads100")                                   \
+      ->Threads(1)                                                      \
+      ->Threads(4);                                                     \
+  BENCHMARK(BM_Contended<LockKind::kind, 90>)                           \
+      ->Name("BM_" #name "_reads90")                                    \
+      ->Threads(4);
+
+OLL_CONTENDED(GOLL, kGoll)
+OLL_CONTENDED(FOLL, kFoll)
+OLL_CONTENDED(ROLL, kRoll)
+OLL_CONTENDED(KSUH, kKsuh)
+OLL_CONTENDED(Solaris, kSolarisLike)
+OLL_CONTENDED(McsRw, kMcsRw)
+OLL_CONTENDED(Central, kCentral)
+OLL_CONTENDED(StdShared, kStdShared)
+
+BENCHMARK_MAIN();

@@ -1,0 +1,145 @@
+// google-benchmark microbenchmarks for the C-SNZI object itself: the cost of
+// each operation at the root and through the tree, single-threaded and with
+// thread contention — the "time overhead ... in the absence of contention"
+// claim of §6 and the substrate costs behind every lock number.
+#include <benchmark/benchmark.h>
+
+#include "platform/memory.hpp"
+#include "snzi/csnzi.hpp"
+#include "snzi/orig_snzi.hpp"
+
+namespace {
+
+using oll::ArrivalPolicy;
+using oll::CSnzi;
+using oll::CSnziOptions;
+
+CSnziOptions policy_opts(ArrivalPolicy p) {
+  CSnziOptions o;
+  o.policy = p;
+  return o;
+}
+
+void BM_ArriveDepart_Root(benchmark::State& state) {
+  CSnzi<> c(policy_opts(ArrivalPolicy::kAlwaysRoot));
+  for (auto _ : state) {
+    auto t = c.arrive();
+    benchmark::DoNotOptimize(t);
+    c.depart(t);
+  }
+}
+BENCHMARK(BM_ArriveDepart_Root);
+
+void BM_ArriveDepart_Tree(benchmark::State& state) {
+  CSnzi<> c(policy_opts(ArrivalPolicy::kAlwaysTree));
+  for (auto _ : state) {
+    auto t = c.arrive();
+    benchmark::DoNotOptimize(t);
+    c.depart(t);
+  }
+}
+BENCHMARK(BM_ArriveDepart_Tree);
+
+void BM_ArriveDepart_TreeDeep(benchmark::State& state) {
+  CSnziOptions o = policy_opts(ArrivalPolicy::kAlwaysTree);
+  o.leaves = 64;
+  o.levels = static_cast<std::uint32_t>(state.range(0));
+  o.fanout = 4;
+  CSnzi<> c(o);
+  for (auto _ : state) {
+    auto t = c.arrive();
+    benchmark::DoNotOptimize(t);
+    c.depart(t);
+  }
+}
+BENCHMARK(BM_ArriveDepart_TreeDeep)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_ArriveDepart_Adaptive(benchmark::State& state) {
+  CSnzi<> c;
+  for (auto _ : state) {
+    auto t = c.arrive();
+    benchmark::DoNotOptimize(t);
+    c.depart(t);
+  }
+}
+BENCHMARK(BM_ArriveDepart_Adaptive);
+
+void BM_Query(benchmark::State& state) {
+  CSnzi<> c;
+  auto t = c.arrive();
+  for (auto _ : state) {
+    auto q = c.query();
+    benchmark::DoNotOptimize(q);
+  }
+  c.depart(t);
+}
+BENCHMARK(BM_Query);
+
+void BM_CloseOpen(benchmark::State& state) {
+  CSnzi<> c;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.close());
+    c.open();
+  }
+}
+BENCHMARK(BM_CloseOpen);
+
+void BM_CloseIfEmptyOpen(benchmark::State& state) {
+  CSnzi<> c;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.close_if_empty());
+    c.open();
+  }
+}
+BENCHMARK(BM_CloseIfEmptyOpen);
+
+// Original PODC'07 SNZI (half-increment protocol) vs the simplified Lev et
+// al. algorithm the paper uses — the §2.2 engine choice, measured.
+void BM_OrigSnzi_ArriveDepart(benchmark::State& state) {
+  oll::CSnziOptions o;
+  o.leaves = 64;
+  oll::OrigSnzi<> s(o);
+  for (auto _ : state) {
+    auto t = s.arrive();
+    benchmark::DoNotOptimize(t);
+    s.depart(t);
+  }
+}
+BENCHMARK(BM_OrigSnzi_ArriveDepart);
+
+void BM_OrigSnzi_Contended(benchmark::State& state) {
+  static oll::OrigSnzi<>* s = nullptr;
+  if (state.thread_index() == 0) s = new oll::OrigSnzi<>();
+  for (auto _ : state) {
+    auto t = s->arrive();
+    benchmark::DoNotOptimize(t);
+    s->depart(t);
+  }
+  if (state.thread_index() == 0) {
+    delete s;
+    s = nullptr;
+  }
+}
+BENCHMARK(BM_OrigSnzi_Contended)->Threads(2)->Threads(4)->Threads(8);
+
+// Multithreaded arrive/depart: contention on the adaptive policy (threads
+// share the host's cores; on this reproduction host this measures the
+// algorithmic path, not true parallel scalability — see DESIGN.md §3).
+void BM_ArriveDepart_Contended(benchmark::State& state) {
+  static CSnzi<>* c = nullptr;
+  if (state.thread_index() == 0) c = new CSnzi<>();
+  for (auto _ : state) {
+    auto t = c->arrive();
+    benchmark::DoNotOptimize(t);
+    c->depart(t);
+  }
+  if (state.thread_index() == 0) {
+    delete c;
+    c = nullptr;
+  }
+}
+BENCHMARK(BM_ArriveDepart_Contended)->Threads(2)->Threads(4)->Threads(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

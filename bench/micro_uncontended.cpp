@@ -1,0 +1,54 @@
+// Single-thread acquire/release latency for every lock in the library —
+// the "keeps the acquisition overhead small in the absence of read
+// contention" claim (abstract, §2): the OLL fast paths must stay comparable
+// to the central-lockword locks when only one thread runs.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/factory.hpp"
+
+namespace {
+
+using oll::AnyRwLock;
+using oll::LockKind;
+
+void read_acquire_release(benchmark::State& state, LockKind kind) {
+  auto lock = oll::make_rwlock(kind);
+  for (auto _ : state) {
+    lock->lock_shared();
+    lock->unlock_shared();
+  }
+}
+
+void write_acquire_release(benchmark::State& state, LockKind kind) {
+  auto lock = oll::make_rwlock(kind);
+  for (auto _ : state) {
+    lock->lock();
+    lock->unlock();
+  }
+}
+
+}  // namespace
+
+#define OLL_BENCH_LOCK(name, kind)                                      \
+  void BM_Read_##name(benchmark::State& s) {                            \
+    read_acquire_release(s, LockKind::kind);                            \
+  }                                                                     \
+  BENCHMARK(BM_Read_##name);                                            \
+  void BM_Write_##name(benchmark::State& s) {                           \
+    write_acquire_release(s, LockKind::kind);                           \
+  }                                                                     \
+  BENCHMARK(BM_Write_##name);
+
+OLL_BENCH_LOCK(GOLL, kGoll)
+OLL_BENCH_LOCK(FOLL, kFoll)
+OLL_BENCH_LOCK(ROLL, kRoll)
+OLL_BENCH_LOCK(KSUH, kKsuh)
+OLL_BENCH_LOCK(Solaris, kSolarisLike)
+OLL_BENCH_LOCK(McsRw, kMcsRw)
+OLL_BENCH_LOCK(BigReader, kBigReader)
+OLL_BENCH_LOCK(Central, kCentral)
+OLL_BENCH_LOCK(StdShared, kStdShared)
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Example: measuring your own workload against every lock in the library.
+//
+// Uses the benchmark harness as a library: picks the right reader-writer
+// lock for a given read ratio empirically rather than by folklore.  Run:
+//
+//   ./build/examples/lock_comparison            # real mode, this machine
+//   ./build/examples/lock_comparison --mode=sim # simulated T5440 topology
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "harness/cli.hpp"
+#include "harness/driver.hpp"
+
+int main(int argc, char** argv) {
+  oll::bench::Flags flags(argc, argv);
+  const bool sim = flags.get("mode", "real") == "sim";
+  const auto threads =
+      static_cast<std::uint32_t>(flags.get_u64("threads", sim ? 64 : 4));
+  const auto acquires = flags.get_u64("acquires", sim ? 500 : 20000);
+
+  std::printf("workload: %u threads, %llu acquires each, mode=%s\n\n",
+              threads, static_cast<unsigned long long>(acquires),
+              sim ? "simulated T5440" : "real");
+  std::printf("%-20s %14s %14s %14s\n", "lock", "reads 100%", "reads 95%",
+              "reads 50%");
+
+  for (oll::LockKind kind : oll::all_lock_kinds()) {
+    if (sim && kind == oll::LockKind::kStdShared) continue;
+    std::printf("%-20s", oll::lock_kind_name(kind));
+    for (std::uint32_t read_pct : {100u, 95u, 50u}) {
+      oll::bench::WorkloadConfig cfg;
+      cfg.threads = threads;
+      cfg.read_pct = read_pct;
+      cfg.acquires_per_thread = acquires;
+      const auto result = oll::bench::run_workload(
+          kind, cfg, sim ? oll::bench::Mode::kSim : oll::bench::Mode::kReal);
+      std::printf(" %11.3e/s", result.throughput());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(acquires/s; higher is better)\n");
+  return 0;
+}

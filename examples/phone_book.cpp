@@ -1,0 +1,93 @@
+// Example: a concurrent phone book built on RwProtected<T> — the CP.50
+// "define a mutex together with the data it guards" pattern, with the lock
+// implementation chosen by workload.
+//
+// Lookups dominate (reads); inserts and deletions are rare (writes).  The
+// FOLL lock gives FIFO fairness so a burst of lookups cannot starve an
+// insert indefinitely.
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/oll.hpp"
+#include "platform/rng.hpp"
+
+namespace {
+
+class PhoneBook {
+ public:
+  void insert(const std::string& name, const std::string& number) {
+    entries_.write([&](auto& m) { m[name] = number; });
+  }
+
+  bool erase(const std::string& name) {
+    return entries_.write([&](auto& m) { return m.erase(name) > 0; });
+  }
+
+  std::optional<std::string> lookup(const std::string& name) const {
+    return entries_.read([&](const auto& m) -> std::optional<std::string> {
+      auto it = m.find(name);
+      if (it == m.end()) return std::nullopt;
+      return it->second;
+    });
+  }
+
+  std::size_t size() const {
+    return entries_.read([](const auto& m) { return m.size(); });
+  }
+
+ private:
+  oll::RwProtected<std::map<std::string, std::string>, oll::FollLock<>>
+      entries_;
+};
+
+std::string name_for(std::uint64_t i) {
+  return "person-" + std::to_string(i % 500);
+}
+
+}  // namespace
+
+int main() {
+  PhoneBook book;
+  for (int i = 0; i < 500; ++i) {
+    book.insert(name_for(i), "555-" + std::to_string(1000 + i));
+  }
+
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> mutations{0};
+
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      oll::Xoshiro256ss rng(t + 1);
+      for (int i = 0; i < 20000; ++i) {
+        const auto key = name_for(rng.next_below(600));  // some misses
+        if (rng.bernoulli(98, 100)) {
+          if (book.lookup(key)) {
+            hits.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            misses.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else if (rng.bernoulli(1, 2)) {
+          book.insert(key, "555-0000");
+          mutations.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          book.erase(key);
+          mutations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::printf("lookups: %llu hits, %llu misses; %llu mutations; %zu entries\n",
+              static_cast<unsigned long long>(hits.load()),
+              static_cast<unsigned long long>(misses.load()),
+              static_cast<unsigned long long>(mutations.load()),
+              book.size());
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Example: the C-SNZI as a standalone primitive — a shutdown gate.
+//
+// A server tracks in-flight requests.  Workers "arrive" when they start a
+// request and "depart" when done; shutdown "closes" the gate so no new
+// request can start, then waits for the surplus to drain.  This is exactly
+// the reader/writer protocol of the paper's locks (§2: readers use
+// Arrive/Depart, writers use Close/Open) without any lock around it — and
+// because it is a SNZI, a thousand workers checking in and out do not
+// serialize on a single counter.
+#include <atomic>
+#include <cstdio>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "platform/spin.hpp"
+#include "snzi/csnzi.hpp"
+
+namespace {
+
+class ShutdownGate {
+ public:
+  // Try to register one unit of in-flight work; fails iff shutting down.
+  std::optional<oll::CSnzi<>::Ticket> enter() {
+    auto ticket = gate_.arrive();
+    if (!ticket.arrived()) return std::nullopt;
+    return ticket;
+  }
+
+  void leave(const oll::CSnzi<>::Ticket& ticket) {
+    if (!gate_.depart(ticket)) {
+      // Last departure after close: wake the shutdown waiter.
+      drained_.store(true, std::memory_order_release);
+    }
+  }
+
+  // Forbid new entries, then wait until all in-flight work has left.
+  void shutdown() {
+    if (gate_.close()) {
+      // Closed with zero surplus: nothing in flight.
+      return;
+    }
+    oll::spin_until(
+        [&] { return drained_.load(std::memory_order_acquire); });
+  }
+
+ private:
+  oll::CSnzi<> gate_;
+  std::atomic<bool> drained_{false};
+};
+
+}  // namespace
+
+int main() {
+  ShutdownGate gate;
+  std::atomic<std::uint64_t> served{0};
+  std::atomic<std::uint64_t> rejected{0};
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 8; ++w) {
+    workers.emplace_back([&] {
+      while (true) {
+        auto ticket = gate.enter();
+        if (!ticket) {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+          return;  // shutting down
+        }
+        served.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::yield();  // "handle the request"
+        gate.leave(*ticket);
+      }
+    });
+  }
+
+  // Let traffic flow, then shut down.
+  while (served.load(std::memory_order_relaxed) < 50000) {
+    std::this_thread::yield();
+  }
+  gate.shutdown();
+  // After shutdown() returns, no request is in flight and none can start.
+  for (auto& t : workers) t.join();
+
+  std::printf("served %llu requests, %llu arrivals refused at shutdown\n",
+              static_cast<unsigned long long>(served.load()),
+              static_cast<unsigned long long>(rejected.load()));
+  return 0;
+}

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""ASCII plots for the Figure 5 CSVs produced by ./build/bench/fig5_all.
+
+Pure stdlib (no matplotlib dependency): renders each series as a log-scale
+scatter so curve shapes — who scales, who collapses, where the 64-thread
+cliff falls — are visible in a terminal or a markdown code block.
+
+Usage:
+    python3 scripts/plot_fig5.py results/fig5a.csv [more.csv ...]
+"""
+import math
+import sys
+
+
+def load(path):
+    header = []
+    rows = []
+    title = path
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if "Figure" in line:
+                    title = line.lstrip("# ")
+                continue
+            parts = line.split(",")
+            if parts[0] == "threads":
+                header = parts[1:]
+            else:
+                rows.append((int(parts[0]), [float(x) for x in parts[1:]]))
+    return title, header, rows
+
+
+MARKS = "GFRKS*+x"  # GOLL FOLL ROLL KSUH Solaris-like, then generic
+
+
+def plot(title, header, rows, width=72, height=20):
+    values = [v for _, vs in rows for v in vs if v > 0]
+    if not values:
+        print(f"{title}: no data")
+        return
+    lo, hi = math.log10(min(values)), math.log10(max(values))
+    if hi - lo < 1e-9:
+        hi = lo + 1
+    grid = [[" "] * width for _ in range(height)]
+    xs = [t for t, _ in rows]
+    xlo, xhi = math.log10(xs[0]), math.log10(xs[-1])
+    if xhi - xlo < 1e-9:
+        xhi = xlo + 1
+
+    def xcol(t):
+        return round((math.log10(t) - xlo) / (xhi - xlo) * (width - 1))
+
+    def yrow(v):
+        frac = (math.log10(v) - lo) / (hi - lo)
+        return (height - 1) - round(frac * (height - 1))
+
+    for si in range(len(header)):
+        mark = MARKS[si % len(MARKS)]
+        for t, vs in rows:
+            v = vs[si]
+            if v <= 0:
+                continue
+            grid[yrow(v)][xcol(t)] = mark
+
+    print(f"\n== {title} ==")
+    legend = "  ".join(f"{MARKS[i % len(MARKS)]}={name}"
+                       for i, name in enumerate(header))
+    print(f"   [{legend}]   y: acquires/s (log)   x: threads (log)")
+    top, bottom = 10 ** hi, 10 ** lo
+    for r, line in enumerate(grid):
+        label = ""
+        if r == 0:
+            label = f"{top:8.1e}"
+        elif r == height - 1:
+            label = f"{bottom:8.1e}"
+        print(f"{label:>9s} |{''.join(line)}")
+    axis = [" "] * width
+    for t in xs:
+        c = xcol(t)
+        s = str(t)
+        for i, ch in enumerate(s):
+            if c + i < width:
+                axis[c + i] = ch
+    print(" " * 10 + "+" + "-" * width)
+    print(" " * 11 + "".join(axis))
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 1
+    for path in argv[1:]:
+        title, header, rows = load(path)
+        plot(title, header, rows)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerate the recorded verification artifacts:
+#   test_output.txt   — full ctest run
+#   bench_output.txt  — every bench binary with default arguments
+# Usage: scripts/run_all.sh [build-dir]   (default: build)
+set -u
+BUILD="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+cd "$ROOT"
+ctest --test-dir "$BUILD" 2>&1 | tee "$ROOT/test_output.txt" | tail -4
+
+{
+  for b in "$BUILD"/bench/*; do
+    if [ -f "$b" ] && [ -x "$b" ]; then
+      echo "===== $b"
+      timeout 1200 "$b" || echo "[exit $? from $b]"
+    fi
+  done
+} 2>&1 | tee "$ROOT/bench_output.txt" | tail -3
+
+touch "$ROOT/.run_all_done"

@@ -1,0 +1,182 @@
+// Runtime-polymorphic lock handles and a factory keyed by lock kind/name.
+//
+// The benchmark harness and the conformance tests sweep over every lock in
+// the library at runtime; AnyRwLock type-erases the SharedLockable interface
+// (one virtual call per operation — fine for tests and for the harness,
+// which reports both virtual and direct-template numbers; the Figure 5
+// benches use the direct templates).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/rwlock_concepts.hpp"
+#include "locks/big_reader_rwlock.hpp"
+#include "locks/central_rwlock.hpp"
+#include "locks/foll_lock.hpp"
+#include "locks/goll_lock.hpp"
+#include "locks/ksuh_rwlock.hpp"
+#include "locks/mcs_rwlock.hpp"
+#include "locks/roll_lock.hpp"
+#include "locks/solaris_rwlock.hpp"
+#include "platform/memory.hpp"
+
+namespace oll {
+
+enum class LockKind {
+  kGoll,
+  kFoll,
+  kRoll,
+  kKsuh,
+  kSolarisLike,
+  kMcsRw,
+  kBigReader,
+  kCentral,
+  kStdShared,  // std::shared_mutex; RealMemory builds only
+};
+
+inline const char* lock_kind_name(LockKind k) {
+  switch (k) {
+    case LockKind::kGoll: return "GOLL";
+    case LockKind::kFoll: return "FOLL";
+    case LockKind::kRoll: return "ROLL";
+    case LockKind::kKsuh: return "KSUH";
+    case LockKind::kSolarisLike: return "Solaris-like";
+    case LockKind::kMcsRw: return "MCS-RW";
+    case LockKind::kBigReader: return "BigReader";
+    case LockKind::kCentral: return "Central";
+    case LockKind::kStdShared: return "std::shared_mutex";
+  }
+  return "?";
+}
+
+inline std::optional<LockKind> parse_lock_kind(std::string_view s) {
+  if (s == "goll" || s == "GOLL") return LockKind::kGoll;
+  if (s == "foll" || s == "FOLL") return LockKind::kFoll;
+  if (s == "roll" || s == "ROLL") return LockKind::kRoll;
+  if (s == "ksuh" || s == "KSUH") return LockKind::kKsuh;
+  if (s == "solaris" || s == "solaris-like") return LockKind::kSolarisLike;
+  if (s == "mcs-rw" || s == "mcsrw") return LockKind::kMcsRw;
+  if (s == "bigreader" || s == "big-reader") return LockKind::kBigReader;
+  if (s == "central") return LockKind::kCentral;
+  if (s == "std" || s == "shared_mutex") return LockKind::kStdShared;
+  return std::nullopt;
+}
+
+// The five locks the paper's Figure 5 plots, in its legend order.
+inline std::vector<LockKind> figure5_lock_kinds() {
+  return {LockKind::kGoll, LockKind::kFoll, LockKind::kRoll, LockKind::kKsuh,
+          LockKind::kSolarisLike};
+}
+
+inline std::vector<LockKind> all_lock_kinds() {
+  return {LockKind::kGoll,      LockKind::kFoll,    LockKind::kRoll,
+          LockKind::kKsuh,      LockKind::kSolarisLike,
+          LockKind::kMcsRw,     LockKind::kBigReader,
+          LockKind::kCentral,   LockKind::kStdShared};
+}
+
+class AnyRwLock {
+ public:
+  virtual ~AnyRwLock() = default;
+  virtual void lock() = 0;
+  virtual void unlock() = 0;
+  virtual void lock_shared() = 0;
+  virtual void unlock_shared() = 0;
+  virtual const char* name() const = 0;
+};
+
+template <SharedLockable L>
+class RwLockAdapter final : public AnyRwLock {
+ public:
+  template <typename... Args>
+  explicit RwLockAdapter(const char* name, Args&&... args)
+      : name_(name), impl_(std::forward<Args>(args)...) {}
+
+  void lock() override { impl_.lock(); }
+  void unlock() override { impl_.unlock(); }
+  void lock_shared() override { impl_.lock_shared(); }
+  void unlock_shared() override { impl_.unlock_shared(); }
+  const char* name() const override { return name_; }
+
+  L& underlying() { return impl_; }
+
+ private:
+  const char* name_;
+  L impl_;
+};
+
+struct LockFactoryOptions {
+  std::uint32_t max_threads = 512;
+  CSnziOptions csnzi{};
+  bool readers_coalesce_over_writers = true;
+};
+
+// Construct a lock of the given kind over memory model M.  Returns nullptr
+// only for kStdShared under a simulated memory model (std::shared_mutex
+// cannot be instrumented).
+template <typename M = RealMemory>
+std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
+                                       const LockFactoryOptions& o = {}) {
+  switch (kind) {
+    case LockKind::kGoll: {
+      GollOptions g;
+      g.max_threads = o.max_threads;
+      g.csnzi = o.csnzi;
+      g.readers_coalesce_over_writers = o.readers_coalesce_over_writers;
+      return std::make_unique<RwLockAdapter<GollLock<M>>>("GOLL", g);
+    }
+    case LockKind::kFoll: {
+      FollOptions f;
+      f.max_threads = o.max_threads;
+      f.csnzi = o.csnzi;
+      return std::make_unique<RwLockAdapter<FollLock<M>>>("FOLL", f);
+    }
+    case LockKind::kRoll: {
+      RollOptions r;
+      r.max_threads = o.max_threads;
+      r.csnzi = o.csnzi;
+      return std::make_unique<RwLockAdapter<RollLock<M>>>("ROLL", r);
+    }
+    case LockKind::kKsuh: {
+      KsuhOptions k;
+      k.max_threads = o.max_threads;
+      return std::make_unique<RwLockAdapter<KsuhRwLock<M>>>("KSUH", k);
+    }
+    case LockKind::kSolarisLike: {
+      SolarisOptions s;
+      s.readers_coalesce_over_writers = o.readers_coalesce_over_writers;
+      return std::make_unique<RwLockAdapter<SolarisRwLock<M>>>("Solaris-like",
+                                                               s);
+    }
+    case LockKind::kMcsRw: {
+      McsRwOptions m;
+      m.max_threads = o.max_threads;
+      return std::make_unique<RwLockAdapter<McsRwLock<M>>>("MCS-RW", m);
+    }
+    case LockKind::kBigReader: {
+      BigReaderOptions b;
+      b.max_threads = o.max_threads;
+      return std::make_unique<RwLockAdapter<BigReaderRwLock<M>>>("BigReader",
+                                                                 b);
+    }
+    case LockKind::kCentral: {
+      return std::make_unique<RwLockAdapter<CentralRwLock<M>>>("Central");
+    }
+    case LockKind::kStdShared: {
+      if constexpr (std::is_same_v<M, RealMemory>) {
+        return std::make_unique<RwLockAdapter<std::shared_mutex>>(
+            "std::shared_mutex");
+      } else {
+        return nullptr;
+      }
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace oll

@@ -1,0 +1,73 @@
+// RAII guards for reader-writer locks (C++ Core Guidelines CP.20: use RAII,
+// never plain lock()/unlock()).
+//
+// ReadGuard / WriteGuard work with any lock satisfying SharedLockable —
+// including std::shared_mutex — and our locks also satisfy the standard
+// SharedMutex named requirements, so std::shared_lock / std::unique_lock /
+// std::scoped_lock work on them directly.  These guards exist for the
+// common case without the adoption/deferral machinery.
+#pragma once
+
+#include <utility>
+
+#include "core/rwlock_concepts.hpp"
+#include "platform/assert.hpp"
+
+namespace oll {
+
+template <SharedLockable L>
+class ReadGuard {
+ public:
+  explicit ReadGuard(L& lock) : lock_(&lock) { lock_->lock_shared(); }
+
+  ~ReadGuard() {
+    if (lock_ != nullptr) lock_->unlock_shared();
+  }
+
+  ReadGuard(const ReadGuard&) = delete;
+  ReadGuard& operator=(const ReadGuard&) = delete;
+
+  ReadGuard(ReadGuard&& other) noexcept
+      : lock_(std::exchange(other.lock_, nullptr)) {}
+
+  // Release early; the destructor then does nothing.
+  void unlock() {
+    OLL_DCHECK(lock_ != nullptr);
+    lock_->unlock_shared();
+    lock_ = nullptr;
+  }
+
+  bool owns_lock() const noexcept { return lock_ != nullptr; }
+
+ private:
+  L* lock_;
+};
+
+template <BasicLockable L>
+class WriteGuard {
+ public:
+  explicit WriteGuard(L& lock) : lock_(&lock) { lock_->lock(); }
+
+  ~WriteGuard() {
+    if (lock_ != nullptr) lock_->unlock();
+  }
+
+  WriteGuard(const WriteGuard&) = delete;
+  WriteGuard& operator=(const WriteGuard&) = delete;
+
+  WriteGuard(WriteGuard&& other) noexcept
+      : lock_(std::exchange(other.lock_, nullptr)) {}
+
+  void unlock() {
+    OLL_DCHECK(lock_ != nullptr);
+    lock_->unlock();
+    lock_ = nullptr;
+  }
+
+  bool owns_lock() const noexcept { return lock_ != nullptr; }
+
+ private:
+  L* lock_;
+};
+
+}  // namespace oll

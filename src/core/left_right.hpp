@@ -1,0 +1,96 @@
+// Left-Right (Ramalhete & Correia) built on SNZI read indicators.
+//
+// The SNZI paper (and §1/§2 of this paper) frame SNZI as a general "are any
+// readers present?" indicator, not just a lock ingredient.  Left-Right is
+// the canonical non-lock consumer: two instances of the data; readers are
+// WAIT-FREE (arrive at an indicator, read the active instance, depart);
+// a writer updates the inactive instance, switches readers over, waits for
+// the old indicator to drain, and then replays its update on the other
+// instance.  Using a SNZI as the indicator keeps the reader side scalable
+// exactly as it does for the OLL locks: concurrent readers touch (mostly)
+// distinct tree nodes instead of one counter.
+//
+//   oll::LeftRight<std::map<K, V>> lr;
+//   auto v = lr.read([&](const auto& m) { return m.at(k); });   // wait-free
+//   lr.write([&](auto& m) { m[k] = v; });                       // serialized
+//
+// Guarantees: readers never block (and never see a torn instance — they
+// always read an instance no writer is mutating); writers are mutually
+// exclusive and wait for readers of the instance they are about to mutate.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <utility>
+
+#include "locks/tatas_lock.hpp"
+#include "platform/cache_line.hpp"
+#include "platform/memory.hpp"
+#include "platform/spin.hpp"
+#include "snzi/snzi.hpp"
+
+namespace oll {
+
+template <typename T, typename M = RealMemory>
+class LeftRight {
+ public:
+  LeftRight() = default;
+
+  template <typename... Args>
+  explicit LeftRight(const Args&... args)
+      : instances_{T(args...), T(args...)} {}
+
+  LeftRight(const LeftRight&) = delete;
+  LeftRight& operator=(const LeftRight&) = delete;
+
+  // Wait-free shared access to a consistent instance.
+  template <typename F>
+  decltype(auto) read(F&& f) const {
+    const std::uint32_t vi = version_index_.load(std::memory_order_acquire);
+    auto ticket = indicators_[vi].value.arrive();
+    struct Depart {
+      const Snzi<M>& s;
+      decltype(ticket)& t;
+      ~Depart() { const_cast<Snzi<M>&>(s).depart(t); }
+    } depart{indicators_[vi].value, ticket};
+    const std::uint32_t lr = leftright_.load(std::memory_order_acquire);
+    return std::forward<F>(f)(
+        const_cast<const T&>(instances_[lr]));
+  }
+
+  // Exclusive update; `f` is applied to BOTH instances (in sequence), so it
+  // must be deterministic with respect to the instance state.
+  template <typename F>
+  void write(F&& f) {
+    std::lock_guard<TatasLock<M>> guard(writers_mutex_);
+    const std::uint32_t lr = leftright_.load(std::memory_order_relaxed);
+    // 1. Update the instance readers are NOT looking at.
+    f(instances_[1 - lr]);
+    // 2. Switch new readers over to it.
+    leftright_.store(1 - lr, std::memory_order_release);
+    // 3. Drain readers off the old instance: toggle the version index and
+    //    wait out both indicator generations (classic Left-Right protocol).
+    const std::uint32_t vi = version_index_.load(std::memory_order_relaxed);
+    spin_until([&] { return !indicators_[1 - vi].value.query(); });
+    version_index_.store(1 - vi, std::memory_order_release);
+    spin_until([&] { return !indicators_[vi].value.query(); });
+    // 4. Replay on the old instance so both copies converge.
+    f(instances_[lr]);
+  }
+
+  // Copy out under a read.
+  T snapshot() const {
+    return read([](const T& v) { return v; });
+  }
+
+ private:
+  T instances_[2]{};
+  typename M::template Atomic<std::uint32_t> leftright_{0};
+  char pad0_[kFalseSharingRange - sizeof(std::uint32_t)];
+  typename M::template Atomic<std::uint32_t> version_index_{0};
+  char pad1_[kFalseSharingRange - sizeof(std::uint32_t)];
+  mutable CacheAligned<Snzi<M>> indicators_[2];
+  TatasLock<M> writers_mutex_;
+};
+
+}  // namespace oll

@@ -1,0 +1,39 @@
+// Umbrella header: the public API of the OLL reader-writer lock library.
+//
+// Quickstart:
+//
+//   #include "core/oll.hpp"
+//
+//   oll::FollLock<> lock;                 // paper's FOLL lock (§4.2)
+//   {
+//     oll::ReadGuard g(lock);             // shared critical section
+//   }
+//   {
+//     oll::WriteGuard g(lock);            // exclusive critical section
+//   }
+//
+// Locks: GollLock, FollLock, RollLock (the paper's contributions) and the
+// baselines SolarisRwLock, KsuhRwLock, McsRwLock, BigReaderRwLock,
+// CentralRwLock.  All satisfy the standard SharedMutex requirements where
+// noted and the SharedLockable concept, all are templated on a memory-model
+// policy (RealMemory by default; sim::SimMemory for the virtual-topology
+// benchmarks).
+#pragma once
+
+#include "core/factory.hpp"
+#include "core/guards.hpp"
+#include "core/rw_protected.hpp"
+#include "core/rwlock_concepts.hpp"
+#include "locks/big_reader_rwlock.hpp"
+#include "locks/central_rwlock.hpp"
+#include "locks/foll_lock.hpp"
+#include "locks/goll_lock.hpp"
+#include "locks/ksuh_rwlock.hpp"
+#include "locks/mcs_lock.hpp"
+#include "locks/mcs_rwlock.hpp"
+#include "locks/roll_lock.hpp"
+#include "locks/solaris_rwlock.hpp"
+#include "locks/tatas_lock.hpp"
+#include "locks/ticket_lock.hpp"
+#include "snzi/csnzi.hpp"
+#include "snzi/snzi.hpp"

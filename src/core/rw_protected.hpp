@@ -1,0 +1,61 @@
+// RwProtected<T, Lock>: data and the lock that guards it, defined together
+// (C++ Core Guidelines CP.50), with access only through read()/write()
+// closures so the locking discipline cannot be forgotten or inverted.
+//
+//   oll::RwProtected<Config, oll::FollLock<>> config;
+//   auto timeout = config.read([](const Config& c) { return c.timeout; });
+//   config.write([&](Config& c) { c.timeout = 30; });
+#pragma once
+
+#include <utility>
+
+#include "core/rwlock_concepts.hpp"
+
+namespace oll {
+
+template <typename T, SharedLockable Lock>
+class RwProtected {
+ public:
+  RwProtected() = default;
+
+  template <typename... Args>
+  explicit RwProtected(Args&&... args) : value_(std::forward<Args>(args)...) {}
+
+  RwProtected(const RwProtected&) = delete;
+  RwProtected& operator=(const RwProtected&) = delete;
+
+  // Shared access: many read() closures may run concurrently.
+  template <typename F>
+  decltype(auto) read(F&& f) const {
+    lock_.lock_shared();
+    struct Release {
+      Lock& l;
+      ~Release() { l.unlock_shared(); }
+    } release{lock_};
+    return std::forward<F>(f)(value_);
+  }
+
+  // Exclusive access.
+  template <typename F>
+  decltype(auto) write(F&& f) {
+    lock_.lock();
+    struct Release {
+      Lock& l;
+      ~Release() { l.unlock(); }
+    } release{lock_};
+    return std::forward<F>(f)(value_);
+  }
+
+  // Copy the value out under a read lock.
+  T snapshot() const {
+    return read([](const T& v) { return v; });
+  }
+
+  Lock& mutex() const { return lock_; }
+
+ private:
+  T value_{};
+  mutable Lock lock_{};
+};
+
+}  // namespace oll

@@ -1,0 +1,45 @@
+// Concepts describing the duck-typed lock interfaces every lock in this
+// library implements, so guards / wrappers / test suites / the benchmark
+// harness can be written once against the concept.
+#pragma once
+
+#include <chrono>
+#include <concepts>
+
+namespace oll {
+
+template <typename L>
+concept BasicLockable = requires(L& l) {
+  l.lock();
+  l.unlock();
+};
+
+template <typename L>
+concept SharedLockable = BasicLockable<L> && requires(L& l) {
+  l.lock_shared();
+  l.unlock_shared();
+};
+
+template <typename L>
+concept TrySharedLockable = SharedLockable<L> && requires(L& l) {
+  { l.try_lock() } -> std::convertible_to<bool>;
+  { l.try_lock_shared() } -> std::convertible_to<bool>;
+};
+
+template <typename L>
+concept UpgradableLockable = SharedLockable<L> && requires(L& l) {
+  { l.try_upgrade() } -> std::convertible_to<bool>;
+  l.downgrade();
+};
+
+template <typename L>
+concept TimedSharedLockable = TrySharedLockable<L> && requires(L& l) {
+  {
+    l.try_lock_for(std::chrono::milliseconds(1))
+  } -> std::convertible_to<bool>;
+  {
+    l.try_lock_shared_for(std::chrono::milliseconds(1))
+  } -> std::convertible_to<bool>;
+};
+
+}  // namespace oll

@@ -1,0 +1,46 @@
+// Minimal flag parsing for the bench binaries: --key=value pairs only.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace oll::bench {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg(argv[i]);
+      if (arg.rfind("--", 0) != 0) continue;
+      arg.remove_prefix(2);
+      const auto eq = arg.find('=');
+      // insert_or_assign (rather than operator[]= of a const char*) also
+      // sidesteps a GCC 12 -Wrestrict false positive (PR105329).
+      if (eq == std::string_view::npos) {
+        values_.insert_or_assign(std::string(arg), std::string("1"));
+      } else {
+        values_.insert_or_assign(std::string(arg.substr(0, eq)),
+                                 std::string(arg.substr(eq + 1)));
+      }
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+
+  std::uint64_t get_u64(const std::string& key, std::uint64_t def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : std::stoull(it->second);
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace oll::bench

@@ -1,0 +1,211 @@
+#include "harness/driver.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "platform/assert.hpp"
+#include "platform/rng.hpp"
+#include "platform/spin.hpp"
+#include "platform/thread_id.hpp"
+#include "platform/time.hpp"
+#include "sim/context.hpp"
+#include "sim/memory.hpp"
+
+namespace oll::bench {
+namespace {
+
+constexpr double kSimHz = 1.4e9;  // UltraSPARC T2+ clock (§5.1)
+
+// Dependent busy work the optimizer cannot elide.
+inline std::uint64_t spin_work(std::uint64_t iters, std::uint64_t x) {
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    x = x * 0x9e3779b97f4a7c15ULL + 1;
+  }
+  return x;
+}
+
+struct WorkerTotals {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+};
+
+// The §5.1 loop body, shared by both modes.
+//
+// In simulated mode the worker yields inside a read critical section and at
+// the end of every iteration: on the real 256-hardware-thread machine the
+// read sections of concurrently-running threads overlap in time, which is
+// what keeps SNZI leaf counts nonzero (and thus the root untouched).  On a
+// small host the OS timeslice would otherwise serialize whole
+// acquire/release pairs and hide that overlap entirely.
+void acquire_release_loop(AnyRwLock& lock, const WorkloadConfig& cfg,
+                          std::uint32_t worker, bool simulated,
+                          WorkerTotals& totals) {
+  Xoshiro256ss rng(cfg.seed * 0x9e3779b97f4a7c15ULL + worker + 1);
+  std::uint64_t sink = worker;
+  // Desynchronize worker phases: under the round-robin interleaving every
+  // worker would otherwise hit the same point of the loop in lockstep —
+  // all readers releasing simultaneously each round, which zeroes SNZI
+  // counts at a rate no real machine exhibits.  Offsetting odd workers by
+  // half an iteration keeps roughly half of each core's siblings inside
+  // their read section at any instant.
+  if (simulated && worker % 2 == 1) std::this_thread::yield();
+  for (std::uint64_t i = 0; i < cfg.acquires_per_thread; ++i) {
+    const bool read = rng.bernoulli(cfg.read_pct, 100);
+    if (read) {
+      lock.lock_shared();
+      if (cfg.cs_work != 0) {
+        if (simulated) {
+          sim::SimMemory::charge(cfg.cs_work);
+        } else {
+          sink = spin_work(cfg.cs_work, sink);
+        }
+      }
+      if (simulated) {
+        std::this_thread::yield();  // overlap read sections
+        // Random jitter, spent while holding: decorrelates the round-robin
+        // rotation (otherwise consecutive writers of any central lockword
+        // would always be ring neighbors, i.e. SMT siblings) while keeping
+        // the in-section fraction high enough that SNZI leaf counts almost
+        // never drain to zero — matching the overlap statistics of 256
+        // genuinely concurrent readers.
+        if (rng.bernoulli(1, 2)) std::this_thread::yield();
+      }
+      lock.unlock_shared();
+      ++totals.reads;
+    } else {
+      lock.lock();
+      if (cfg.cs_work != 0) {
+        if (simulated) {
+          sim::SimMemory::charge(cfg.cs_work);
+        } else {
+          sink = spin_work(cfg.cs_work, sink);
+        }
+      }
+      lock.unlock();
+      ++totals.writes;
+    }
+    if (cfg.outside_work != 0) {
+      if (simulated) {
+        sim::SimMemory::charge(cfg.outside_work);
+      } else {
+        sink = spin_work(cfg.outside_work, sink);
+      }
+    }
+    if (simulated) {
+      std::this_thread::yield();  // fine-grain interleaving
+      // Writers jitter outside the critical section (an empty write section
+      // should not hold everyone else across extra scheduling rounds).
+      if (!read && rng.bernoulli(1, 2)) std::this_thread::yield();
+    }
+  }
+  // Publish the sink so the busy work is observable.
+  static std::atomic<std::uint64_t> g_sink{0};
+  g_sink.fetch_add(sink, std::memory_order_relaxed);
+}
+
+RunResult run_threads(AnyRwLock& lock, const WorkloadConfig& cfg,
+                      sim::Machine* machine) {
+  const bool simulated = machine != nullptr;
+  std::vector<WorkerTotals> totals(cfg.threads);
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.threads);
+  // Simple sense barrier: workers check in, then wait for the green flag so
+  // the timed region starts with everyone ready.
+  std::atomic<std::uint32_t> ready{0};
+  std::atomic<bool> go{false};
+
+  for (std::uint32_t w = 0; w < cfg.threads; ++w) {
+    threads.emplace_back([&, w] {
+      // Pin worker w to dense thread index w so lock-internal thread
+      // mappings line up with the simulated placement (chip w/64, core w/8).
+      ScopedThreadIndex index(w);
+      std::unique_ptr<sim::ThreadGuard> guard;
+      if (simulated) {
+        guard = std::make_unique<sim::ThreadGuard>(*machine, w);
+        // Virtual time only advances meaningfully if the workers genuinely
+        // interleave.  Under the default CFS policy sched_yield() is nearly
+        // a no-op, so one worker can run its whole loop alone, which hides
+        // all concurrency from the model.  SCHED_RR's yield semantics are a
+        // true round-robin rotation; fall back silently if not permitted.
+        sched_param prio{};
+        prio.sched_priority = 1;
+        (void)pthread_setschedparam(pthread_self(), SCHED_RR, &prio);
+      }
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      spin_until([&] { return go.load(std::memory_order_acquire); });
+      acquire_release_loop(lock, cfg, w, simulated, totals[w]);
+    });
+  }
+  spin_until([&] {
+    return ready.load(std::memory_order_acquire) == cfg.threads;
+  });
+  Stopwatch wall;
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  const double wall_s = wall.elapsed_s();
+
+  RunResult r;
+  for (const auto& t : totals) {
+    r.read_acquires += t.reads;
+    r.write_acquires += t.writes;
+  }
+  r.total_acquires = r.read_acquires + r.write_acquires;
+  if (simulated) {
+    r.seconds = static_cast<double>(machine->max_clock()) / kSimHz;
+    r.counters = machine->counters();
+  } else {
+    r.seconds = wall_s;
+  }
+  return r;
+}
+
+}  // namespace
+
+RunResult run_workload(LockKind kind, const WorkloadConfig& config, Mode mode,
+                       sim::Machine* machine) {
+  LockFactoryOptions opts;
+  opts.max_threads = std::max<std::uint32_t>(config.threads + 1, 64);
+  if (mode == Mode::kSim) {
+    // Simulated-topology tuning (DESIGN.md §3): group the 8 SMT siblings of
+    // a core onto one C-SNZI leaf (they share an L1, so leaf sharing is
+    // nearly free), and treat a single emulated CAS failure as the
+    // contention signal — on this model one deterministic failure stands in
+    // for the burst of failures real concurrency produces.
+    opts.csnzi.leaf_shift = 3;
+    opts.csnzi.leaves = 64;
+    opts.csnzi.root_cas_fail_threshold = 1;
+  }
+  if (mode == Mode::kReal) {
+    auto lock = make_rwlock<RealMemory>(kind, opts);
+    OLL_CHECK(lock != nullptr);
+    return run_threads(*lock, config, nullptr);
+  }
+  std::unique_ptr<sim::Machine> owned;
+  if (machine == nullptr) {
+    owned = std::make_unique<sim::Machine>(
+        sim::t5440_topology(), sim::t5440_costs(),
+        std::max<std::uint32_t>(config.threads, 512));
+    machine = owned.get();
+  }
+  machine->reset();
+  auto lock = make_rwlock<sim::SimMemory>(kind, opts);
+  OLL_CHECK(lock != nullptr);
+  return run_threads(*lock, config, machine);
+}
+
+RunResult run_workload_on(AnyRwLock& lock, const WorkloadConfig& config) {
+  return run_threads(lock, config, nullptr);
+}
+
+RunResult run_sim_workload_on(AnyRwLock& lock, const WorkloadConfig& config,
+                              sim::Machine& machine) {
+  machine.reset();
+  return run_threads(lock, config, &machine);
+}
+
+}  // namespace oll::bench

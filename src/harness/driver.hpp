@@ -1,0 +1,34 @@
+// Throughput driver: runs the paper's acquire/release loop over any lock,
+// in real time or in simulated-topology virtual time (DESIGN.md §3).
+#pragma once
+
+#include <memory>
+
+#include "core/factory.hpp"
+#include "harness/workload.hpp"
+#include "sim/machine.hpp"
+
+namespace oll::bench {
+
+// Run `config` against a freshly-constructed lock of kind `kind`.
+//
+//  * Mode::kReal — the lock runs on std::atomic; `seconds` is wall time
+//    from the start barrier to the last thread's completion.
+//  * Mode::kSim  — the lock runs on sim::Atomic over `machine` (a default
+//    T5440 is used if null); `seconds` is the maximum per-thread virtual
+//    clock, scaled by the 1.4 GHz clock the paper's machine runs at.
+//    Simulated thread i sits on chip i/64, mirroring the paper's binding.
+RunResult run_workload(LockKind kind, const WorkloadConfig& config, Mode mode,
+                       sim::Machine* machine = nullptr);
+
+// Same, against a caller-supplied type-erased lock (real mode only: the
+// lock must already be built on the matching memory model).
+RunResult run_workload_on(AnyRwLock& lock, const WorkloadConfig& config);
+
+// Simulated run against a caller-supplied lock (which must be built on
+// sim::SimMemory) and machine; used by the ablation benches to test variant
+// lock configurations the factory does not expose.
+RunResult run_sim_workload_on(AnyRwLock& lock, const WorkloadConfig& config,
+                              sim::Machine& machine);
+
+}  // namespace oll::bench

@@ -1,0 +1,104 @@
+#include "harness/sweep.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <ostream>
+
+#include "platform/stats.hpp"
+#include "harness/driver.hpp"
+
+namespace oll::bench {
+
+double SweepResult::at(std::uint32_t threads, LockKind k) const {
+  for (const auto& c : cells) {
+    if (c.threads == threads && c.lock == k) return c.mean_throughput;
+  }
+  return 0.0;
+}
+
+std::vector<std::uint32_t> default_thread_counts(std::uint32_t max_threads) {
+  const std::uint32_t candidates[] = {1,  2,  4,  8,   16,  32, 48,
+                                      64, 96, 128, 192, 256};
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t c : candidates) {
+    if (c <= max_threads) out.push_back(c);
+  }
+  if (out.empty() || out.back() != max_threads) out.push_back(max_threads);
+  return out;
+}
+
+SweepResult run_sweep(const SweepConfig& config, bool verbose) {
+  SweepResult result;
+  result.config = config;
+  for (std::uint32_t threads : config.thread_counts) {
+    for (LockKind kind : config.locks) {
+      RunningStats stats;
+      sim::OpCounters last_counters{};
+      std::uint64_t last_total = 1;
+      for (std::uint32_t rep = 0; rep < config.repetitions; ++rep) {
+        WorkloadConfig w;
+        w.threads = threads;
+        w.read_pct = config.read_pct;
+        w.acquires_per_thread = config.effective_acquires();
+        w.cs_work = config.cs_work;
+        w.seed = config.seed + rep;
+        RunResult r = run_workload(kind, w, config.mode);
+        stats.add(r.throughput());
+        last_counters = r.counters;
+        last_total = std::max<std::uint64_t>(r.total_acquires, 1);
+      }
+      result.cells.push_back(SweepCell{threads, kind, stats.mean(),
+                                       stats.stddev()});
+      if (verbose) {
+        std::cerr << "  [" << lock_kind_name(kind) << " @" << threads
+                  << " threads] " << std::scientific << std::setprecision(3)
+                  << stats.mean() << " acquires/s";
+        if (config.mode == Mode::kSim) {
+          const double n = static_cast<double>(last_total);
+          std::cerr << std::fixed << std::setprecision(2) << "  per-acq:"
+                    << " rmw=" << static_cast<double>(last_counters.rmws) / n
+                    << " core="
+                    << static_cast<double>(last_counters.samecore_transfers) / n
+                    << " chip="
+                    << static_cast<double>(last_counters.onchip_transfers) / n
+                    << " xchip="
+                    << static_cast<double>(last_counters.offchip_transfers) / n
+                    << " casfail="
+                    << static_cast<double>(
+                           last_counters.emulated_cas_failures) / n;
+        }
+        std::cerr << "\n";
+      }
+    }
+  }
+  return result;
+}
+
+void print_series(std::ostream& os, const SweepResult& result) {
+  os << "threads";
+  for (LockKind k : result.config.locks) os << "," << lock_kind_name(k);
+  os << "\n";
+  for (std::uint32_t threads : result.config.thread_counts) {
+    os << threads;
+    for (LockKind k : result.config.locks) {
+      os << "," << std::scientific << std::setprecision(6)
+         << result.at(threads, k);
+    }
+    os << "\n";
+  }
+}
+
+void print_header(std::ostream& os, const std::string& figure_name,
+                  const SweepConfig& config) {
+  os << "# " << figure_name << "\n"
+     << "# read_pct=" << config.read_pct
+     << " acquires/thread=" << config.effective_acquires()
+     << " reps=" << config.repetitions << " mode=" << mode_name(config.mode);
+  if (config.mode == Mode::kSim) {
+    os << " machine=T5440(4 chips x 64 hw-threads, shared-L2 on chip)";
+  }
+  os << "\n";
+}
+
+}  // namespace oll::bench

@@ -1,0 +1,51 @@
+// Workload description and result types for the paper's benchmark (§5.1).
+//
+// "We evaluated the performance of each lock by making threads repeatedly
+//  acquire and release the lock in a tight loop without performing any work
+//  within the critical section.  Threads decide whether to acquire the lock
+//  for reading or writing using a per-thread private random number generator
+//  and a target read percentage. [...] We ran each experiment three times
+//  and present the average of the results."
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/machine.hpp"
+
+namespace oll::bench {
+
+enum class Mode {
+  kReal,  // wall-clock time on the host's std::atomic
+  kSim,   // virtual time on the simulated T5440 coherence model
+};
+
+struct WorkloadConfig {
+  std::uint32_t threads = 4;
+  std::uint32_t read_pct = 100;  // 0..100
+  std::uint64_t acquires_per_thread = 10000;
+  // Busy work inside / outside the critical section, in abstract units
+  // (iterations of a dependent computation in real mode; virtual cycles in
+  // sim mode).  The paper uses 0 inside ("without performing any work").
+  std::uint64_t cs_work = 0;
+  std::uint64_t outside_work = 0;
+  std::uint64_t seed = 42;
+};
+
+struct RunResult {
+  double seconds = 0.0;  // wall time (real) or virtual time (sim)
+  std::uint64_t total_acquires = 0;
+  std::uint64_t read_acquires = 0;
+  std::uint64_t write_acquires = 0;
+  sim::OpCounters counters{};  // sim mode only
+
+  double throughput() const {
+    return seconds > 0 ? static_cast<double>(total_acquires) / seconds : 0.0;
+  }
+};
+
+inline const char* mode_name(Mode m) {
+  return m == Mode::kReal ? "real" : "sim";
+}
+
+}  // namespace oll::bench

@@ -1,0 +1,64 @@
+// "Big-reader" lock (Hsieh & Weihl, IPPS'92) — trade writer throughput for
+// reader throughput (paper §1): every thread owns a private mutex; a reader
+// locks only its own, a writer locks all of them.
+//
+// Scales perfectly for read-only workloads (each reader touches only its own
+// cache line) but the writer cost is Θ(max_threads), which is exactly the
+// limitation the paper cites: "feasible only for low numbers of threads as
+// the burden placed on writers becomes excessive".  Included as the
+// related-work endpoint of the design space the OLL locks dominate.
+//
+// Constraint inherited from the design: unlock_shared() must run on the
+// same thread as the matching lock_shared().
+#pragma once
+
+#include <cstdint>
+
+#include "platform/memory.hpp"
+#include "locks/per_thread.hpp"
+#include "locks/tatas_lock.hpp"
+
+namespace oll {
+
+struct BigReaderOptions {
+  std::uint32_t max_threads = 512;
+};
+
+template <typename M = RealMemory>
+class BigReaderRwLock {
+ public:
+  explicit BigReaderRwLock(const BigReaderOptions& opts = {})
+      : slots_(opts.max_threads) {}
+
+  BigReaderRwLock(const BigReaderRwLock&) = delete;
+  BigReaderRwLock& operator=(const BigReaderRwLock&) = delete;
+
+  void lock_shared() { slots_.local().lock(); }
+  bool try_lock_shared() { return slots_.local().try_lock(); }
+  void unlock_shared() { slots_.local().unlock(); }
+
+  void lock() {
+    for (std::uint32_t i = 0; i < slots_.size(); ++i) slots_.slot(i).lock();
+  }
+
+  bool try_lock() {
+    for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+      if (!slots_.slot(i).try_lock()) {
+        while (i > 0) slots_.slot(--i).unlock();
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void unlock() {
+    for (std::uint32_t i = slots_.size(); i > 0; --i) {
+      slots_.slot(i - 1).unlock();
+    }
+  }
+
+ private:
+  PerThreadSlots<TatasLock<M>> slots_;
+};
+
+}  // namespace oll

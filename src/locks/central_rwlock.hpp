@@ -1,0 +1,180 @@
+// Central-counter reader-writer lock: the naive single-lockword design
+// (reader count + writer bit, CAS for everything, no queue).
+//
+// This is the degenerate baseline every lock in the paper is measured
+// against implicitly — the pure "serializing updates to central data
+// structures" pathology of §1, without even the Solaris lock's handoff
+// discipline.  Writer-preference is optional (a wantWriter bit gates new
+// readers so writers are not starved under read-heavy load).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "platform/assert.hpp"
+#include "platform/backoff.hpp"
+#include "platform/memory.hpp"
+#include "platform/spin.hpp"
+
+namespace oll {
+
+struct CentralRwOptions {
+  bool writer_preference = true;
+  BackoffParams backoff{};
+};
+
+template <typename M = RealMemory>
+class CentralRwLock {
+ public:
+  static constexpr std::uint64_t kReaderOne = 1ULL;
+  static constexpr std::uint64_t kCountMask = 0xffffffffULL;
+  static constexpr std::uint64_t kWriter = 1ULL << 32;
+  static constexpr std::uint64_t kWriterWanted = 1ULL << 33;
+
+  explicit CentralRwLock(const CentralRwOptions& opts = {}) : opts_(opts) {}
+
+  CentralRwLock(const CentralRwLock&) = delete;
+  CentralRwLock& operator=(const CentralRwLock&) = delete;
+
+  void lock_shared() {
+    ExponentialBackoff backoff(opts_.backoff);
+    while (true) {
+      std::uint64_t w = word_.load(std::memory_order_acquire);
+      if ((w & (kWriter | kWriterWanted)) == 0) {
+        if (word_.compare_exchange_weak(w, w + kReaderOne,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+          return;
+        }
+        continue;
+      }
+      backoff.backoff();
+    }
+  }
+
+  bool try_lock_shared() {
+    std::uint64_t w = word_.load(std::memory_order_acquire);
+    while ((w & (kWriter | kWriterWanted)) == 0) {
+      if (word_.compare_exchange_strong(w, w + kReaderOne,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void unlock_shared() {
+    word_.fetch_sub(kReaderOne, std::memory_order_acq_rel);
+  }
+
+  void lock() {
+    ExponentialBackoff backoff(opts_.backoff);
+    bool wanted_set = false;
+    while (true) {
+      std::uint64_t w = word_.load(std::memory_order_acquire);
+      const std::uint64_t self_bits = wanted_set ? kWriterWanted : 0;
+      if ((w & ~self_bits) == 0) {
+        // Free (modulo our own wanted bit): claim it, clearing the bit.
+        if (word_.compare_exchange_weak(w, kWriter,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+          return;
+        }
+        continue;
+      }
+      if (opts_.writer_preference && !wanted_set &&
+          (w & kWriterWanted) == 0) {
+        // Gate out new readers while we wait.  Only one writer can own the
+        // wanted bit at a time; others just spin for the lock to free up.
+        if (word_.compare_exchange_strong(w, w | kWriterWanted,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+          wanted_set = true;
+        }
+        continue;
+      }
+      backoff.backoff();
+    }
+  }
+
+  bool try_lock() {
+    std::uint64_t w = 0;
+    return word_.compare_exchange_strong(w, kWriter,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed);
+  }
+
+  // fetch_and rather than a plain store: a waiting writer's wanted bit must
+  // survive our release.
+  void unlock() { word_.fetch_and(~kWriter, std::memory_order_acq_rel); }
+
+  // Read -> write iff sole reader with no writer waiting (§3.2.1's "trivial
+  // when using a counter" case).
+  bool try_upgrade() {
+    std::uint64_t expected = kReaderOne;
+    return word_.compare_exchange_strong(expected, kWriter,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed);
+  }
+
+  // Write -> read; preserves a waiting writer's wanted bit.
+  void downgrade() {
+    std::uint64_t w = word_.load(std::memory_order_acquire);
+    while (true) {
+      OLL_DCHECK((w & kWriter) != 0);
+      const std::uint64_t desired = (w & ~kWriter) + kReaderOne;
+      if (word_.compare_exchange_weak(w, desired, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        return;
+      }
+    }
+  }
+
+  // --- timed acquisition (SharedTimedMutex requirements) -------------------
+  // Deadline-bounded retry over the try paths; this lock has no queue, so a
+  // timed-out attempt leaves no state to undo.
+
+  template <typename Rep, typename Period>
+  bool try_lock_for(const std::chrono::duration<Rep, Period>& d) {
+    return try_until(std::chrono::steady_clock::now() + d,
+                     [&] { return try_lock(); });
+  }
+
+  template <typename Clock, typename Duration>
+  bool try_lock_until(const std::chrono::time_point<Clock, Duration>& tp) {
+    return try_until(tp, [&] { return try_lock(); });
+  }
+
+  template <typename Rep, typename Period>
+  bool try_lock_shared_for(const std::chrono::duration<Rep, Period>& d) {
+    return try_until(std::chrono::steady_clock::now() + d,
+                     [&] { return try_lock_shared(); });
+  }
+
+  template <typename Clock, typename Duration>
+  bool try_lock_shared_until(
+      const std::chrono::time_point<Clock, Duration>& tp) {
+    return try_until(tp, [&] { return try_lock_shared(); });
+  }
+
+  std::uint64_t lockword() const {
+    return word_.load(std::memory_order_acquire);
+  }
+
+ private:
+  template <typename TimePoint, typename Try>
+  bool try_until(const TimePoint& deadline, Try&& attempt) {
+    ExponentialBackoff backoff(opts_.backoff);
+    while (true) {
+      if (attempt()) return true;
+      if (TimePoint::clock::now() >= deadline) return false;
+      backoff.backoff();
+    }
+  }
+
+  CentralRwOptions opts_;
+  typename M::template Atomic<std::uint64_t> word_{0};
+};
+
+}  // namespace oll

@@ -1,0 +1,342 @@
+// FOLL — FIFO OLL reader-writer lock (paper §4.2, Figure 4).
+//
+// An MCS-style queue lock in which *successive readers share a single queue
+// node*: the first reader enqueues a reader node, and readers arriving while
+// it is at the tail simply Arrive at that node's C-SNZI instead of touching
+// the tail pointer.  A read-only workload therefore writes no central data
+// at all after the first acquisition.  Writers enqueue their own node MCS
+// style; a writer behind a reader node Closes that node's C-SNZI to cut off
+// further readers, and is signalled by the last reader to Depart.
+//
+// Reader-node recycling (§4.2.1): reader nodes outlive the thread that
+// enqueued them (the last reader to depart may be someone else entirely), so
+// they come from a per-lock pool — a ring of max_threads nodes, each thread
+// starting its search at a distinct default node.  A node's C-SNZI is open
+// ONLY while the node is in the queue: it is opened immediately after a
+// successful tail CAS and the node is freed only once it is closed with no
+// surplus.  This is what makes a delayed Arrive at a recycled node safe: the
+// arrival simply fails.
+//
+// Deviations from Figure 4 (see DESIGN.md §4): we add the missing
+// Open(rNode->csnzi) in the tail-is-writer branch, and we clear a node's
+// stale qNext when it is re-allocated (the figure leaves a dangling qNext
+// from the node's previous queue life, which would instantly satisfy the
+// successor-writer's "wait for qNext" spin with a garbage pointer).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "platform/assert.hpp"
+#include "platform/cache_line.hpp"
+#include "platform/memory.hpp"
+#include "platform/spin.hpp"
+#include "locks/lock_stats.hpp"
+#include "locks/per_thread.hpp"
+#include "snzi/csnzi.hpp"
+
+namespace oll {
+
+struct FollOptions {
+  std::uint32_t max_threads = 512;
+  CSnziOptions csnzi{};
+};
+
+template <typename M = RealMemory>
+class FollLock {
+ public:
+  explicit FollLock(const FollOptions& opts = {})
+      : locals_(opts.max_threads),
+        pool_size_(opts.max_threads),
+        stats_(opts.max_threads) {
+    pool_ = std::make_unique<Node[]>(pool_size_);
+    for (std::uint32_t i = 0; i < pool_size_; ++i) {
+      pool_[i].init_reader(opts.csnzi);
+      pool_[i].ring_next = &pool_[(i + 1) % pool_size_];
+    }
+  }
+
+  FollLock(const FollLock&) = delete;
+  FollLock& operator=(const FollLock&) = delete;
+
+  // --- writer side (Figure 4: WriterLock / WriterUnlock) -----------------
+
+  void lock() {
+    Node* w = &locals_.local().wnode;
+    w->qnext.store(nullptr, std::memory_order_relaxed);
+    Node* old_tail = tail_.exchange(w, std::memory_order_acq_rel);
+    if (old_tail == nullptr) {
+      stats_.count_write_fast();
+      return;
+    }
+    stats_.count_write_queued();
+    w->spin.store(1, std::memory_order_relaxed);
+    old_tail->qnext.store(w, std::memory_order_release);
+    if (old_tail->kind == kWriterNode) {
+      spin_until(
+          [&] { return w->spin.load(std::memory_order_acquire) == 0; });
+      return;
+    }
+    // Reader predecessor.  Its enqueuer opens the C-SNZI right after the
+    // tail CAS; wait out that window (and any not-yet-recycled state).
+    spin_until([&] { return old_tail->csnzi->query().open; });
+    // Cut off further readers.  Close() == true means no readers were (or
+    // ever will be) using the node, so nobody would signal us: inherit the
+    // node's queue position by spinning on ITS spin flag, then recycle it.
+    if (old_tail->csnzi->close()) {
+      spin_until([&] {
+        return old_tail->spin.load(std::memory_order_acquire) == 0;
+      });
+      old_tail->qnext.store(nullptr, std::memory_order_relaxed);
+      free_reader_node(old_tail);
+    } else {
+      spin_until(
+          [&] { return w->spin.load(std::memory_order_acquire) == 0; });
+    }
+  }
+
+  void unlock() {
+    Node* w = &locals_.local().wnode;
+    Node* succ = w->qnext.load(std::memory_order_acquire);
+    if (succ == nullptr) {
+      Node* expected = w;
+      if (tail_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        return;
+      }
+      spin_until([&] {
+        succ = w->qnext.load(std::memory_order_acquire);
+        return succ != nullptr;
+      });
+    }
+    succ->spin.store(0, std::memory_order_release);
+    w->qnext.store(nullptr, std::memory_order_relaxed);  // clean up
+  }
+
+  // --- reader side (Figure 4: ReaderLock / ReaderUnlock) -----------------
+
+  void lock_shared() {
+    Local& local = locals_.local();
+    Node* rnode = nullptr;
+    while (true) {
+      Node* tail = tail_.load(std::memory_order_acquire);
+      if (tail == nullptr) {
+        // Empty queue: enqueue a fresh reader node that starts unlocked.
+        if (rnode == nullptr) rnode = alloc_reader_node();
+        rnode->spin.store(0, std::memory_order_relaxed);
+        Node* expected = nullptr;
+        if (tail_.compare_exchange_strong(expected, rnode,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+          rnode->csnzi->open();
+          local.ticket = rnode->csnzi->arrive();
+          if (local.ticket.arrived()) {
+            local.depart_from = rnode;
+            stats_.count_read_fast();  // empty queue: no waiting
+            return;
+          }
+          rnode = nullptr;  // inserted: a writer beat our arrival; retry
+        }
+      } else if (tail->kind == kWriterNode) {
+        // Enqueue a reader node that must wait for the writer.
+        if (rnode == nullptr) rnode = alloc_reader_node();
+        rnode->spin.store(1, std::memory_order_relaxed);
+        Node* expected = tail;
+        if (tail_.compare_exchange_strong(expected, rnode,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+          tail->qnext.store(rnode, std::memory_order_release);
+          rnode->csnzi->open();  // Fig. 4 omission fixed; see header comment
+          local.ticket = rnode->csnzi->arrive();
+          if (local.ticket.arrived()) {
+            local.depart_from = rnode;
+            stats_.count_read_queued();  // waiting behind a writer
+            spin_until([&] {
+              return rnode->spin.load(std::memory_order_acquire) == 0;
+            });
+            return;
+          }
+          rnode = nullptr;  // inserted; do not reuse
+        }
+      } else {
+        // Reader node at the tail: share it.
+        local.ticket = tail->csnzi->arrive();
+        if (local.ticket.arrived()) {
+          if (rnode != nullptr) free_reader_node(rnode);
+          local.depart_from = tail;
+          if (tail->spin.load(std::memory_order_acquire) == 0) {
+            stats_.count_read_fast();  // joined an already-granted group
+          } else {
+            stats_.count_read_queued();
+            spin_until([&] {
+              return tail->spin.load(std::memory_order_acquire) == 0;
+            });
+          }
+          return;
+        }
+        // Arrival failed: a writer closed this node's C-SNZI, so the tail
+        // has necessarily changed; retry.
+      }
+    }
+  }
+
+  void unlock_shared() {
+    Local& local = locals_.local();
+    Node* node = local.depart_from;
+    OLL_DCHECK(node != nullptr);
+    local.depart_from = nullptr;
+    depart_and_handoff(node, local.ticket);
+  }
+
+  // --- non-blocking acquisition ------------------------------------------
+
+  // Succeeds only when the queue is empty (an MCS-style lock cannot back
+  // out once its FAS lands, so try_lock is a CAS on an empty tail).  This
+  // is conservative: it can fail while no thread holds the lock — e.g. a
+  // drained-but-not-yet-recycled reader node still sits at the tail —
+  // which the SharedMutex contract permits (try_lock may fail spuriously).
+  bool try_lock() {
+    Node* w = &locals_.local().wnode;
+    w->qnext.store(nullptr, std::memory_order_relaxed);
+    Node* expected = nullptr;
+    return tail_.compare_exchange_strong(expected, w,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+  }
+
+  // Succeeds when the lock is free or the tail is an *active* reader group
+  // (joining a waiting group would require blocking behind a writer).
+  bool try_lock_shared() {
+    Local& local = locals_.local();
+    Node* tail = tail_.load(std::memory_order_acquire);
+    if (tail == nullptr) {
+      Node* rnode = alloc_reader_node();
+      rnode->spin.store(0, std::memory_order_relaxed);
+      Node* expected = nullptr;
+      if (!tail_.compare_exchange_strong(expected, rnode,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+        free_reader_node(rnode);
+        return false;
+      }
+      rnode->csnzi->open();
+      local.ticket = rnode->csnzi->arrive();
+      if (local.ticket.arrived()) {
+        local.depart_from = rnode;
+        return true;
+      }
+      return false;  // a writer raced in and closed; it recycles the node
+    }
+    if (tail->kind != kReaderNode ||
+        tail->spin.load(std::memory_order_acquire) != 0) {
+      return false;
+    }
+    typename CSnzi<M>::Ticket t = tail->csnzi->arrive();
+    if (!t.arrived()) return false;
+    if (tail->spin.load(std::memory_order_acquire) != 0) {
+      // The node was recycled and re-enqueued as a *waiting* group between
+      // our spin check and the arrival (spin never goes 0 -> 1 within one
+      // queue life); undo the arrival without blocking.
+      depart_and_handoff(tail, t);
+      return false;
+    }
+    local.ticket = t;
+    local.depart_from = tail;
+    return true;
+  }
+
+  // --- introspection -------------------------------------------------------
+  // Fast-path vs queued acquisition counts (see lock_stats.hpp); exact at
+  // quiescence.  read_fast counts acquisitions that never waited on a spin
+  // flag (empty-queue insert or joining an already-granted reader node).
+  LockStatsSnapshot stats() const { return stats_.snapshot(); }
+
+  std::uint32_t pool_nodes_in_use() const {
+    std::uint32_t n = 0;
+    for (std::uint32_t i = 0; i < pool_size_; ++i) {
+      if (pool_[i].alloc_state.load(std::memory_order_acquire) == kInUse) ++n;
+    }
+    return n;
+  }
+
+ protected:
+  enum NodeKind : std::uint8_t { kReaderNode, kWriterNode };
+  enum AllocState : std::uint32_t { kFree = 0, kInUse = 1 };
+
+  struct alignas(kFalseSharingRange) Node {
+    NodeKind kind = kWriterNode;
+    typename M::template Atomic<Node*> qnext{nullptr};
+    typename M::template Atomic<std::uint32_t> spin{0};
+    typename M::template Atomic<std::uint32_t> alloc_state{kFree};
+    std::unique_ptr<CSnzi<M>> csnzi;  // reader nodes only
+    Node* ring_next = nullptr;
+
+    void init_reader(const CSnziOptions& opts) {
+      kind = kReaderNode;
+      csnzi = std::make_unique<CSnzi<M>>(opts);
+      // Pool invariant: a free node's C-SNZI is closed with no surplus.
+      bool was_open_empty = csnzi->close();
+      OLL_CHECK(was_open_empty);
+    }
+  };
+
+  struct Local {
+    Node wnode;  // this thread's writer node for this lock (immutable role)
+    Node* depart_from = nullptr;
+    typename CSnzi<M>::Ticket ticket{};
+  };
+
+  // Depart from `node`; if ours was the last departure from a closed
+  // C-SNZI, signal the closing writer and recycle the node (the tail half
+  // of Figure 4's ReaderUnlock).
+  void depart_and_handoff(Node* node, const typename CSnzi<M>::Ticket& t) {
+    if (node->csnzi->depart(t)) return;
+    // The writer that closed the C-SNZI linked its node into qnext BEFORE
+    // closing, so the successor must exist.
+    Node* succ = node->qnext.load(std::memory_order_acquire);
+    OLL_CHECK(succ != nullptr);
+    succ->spin.store(0, std::memory_order_release);
+    node->qnext.store(nullptr, std::memory_order_relaxed);  // clean up
+    free_reader_node(node);
+  }
+
+  Node* alloc_reader_node() {
+    Node* start = &pool_[this_thread_index() % pool_size_];
+    Node* n = start;
+    SpinWait lap_wait;
+    while (true) {
+      if (n->alloc_state.load(std::memory_order_relaxed) == kFree) {
+        std::uint32_t expected = kFree;
+        if (n->alloc_state.compare_exchange_strong(
+                expected, kInUse, std::memory_order_acq_rel,
+                std::memory_order_relaxed)) {
+          // Scrub state left over from the node's previous queue life.
+          n->qnext.store(nullptr, std::memory_order_relaxed);
+          return n;
+        }
+      }
+      n = n->ring_next;
+      // A free node always exists when threads <= pool size (§4.2.1's
+      // counting argument), but the scan is not atomic; breathe per lap.
+      if (n == start) lap_wait.pause();
+    }
+  }
+
+  void free_reader_node(Node* n) {
+    OLL_DCHECK(n->kind == kReaderNode);
+    OLL_DCHECK(n->alloc_state.load(std::memory_order_relaxed) == kInUse);
+    // Single-releaser invariant (§4.2.1): no CAS needed.
+    n->alloc_state.store(kFree, std::memory_order_release);
+  }
+
+  typename M::template Atomic<Node*> tail_{nullptr};
+  char pad_[kFalseSharingRange - sizeof(void*)];
+  PerThreadSlots<Local> locals_;
+  std::unique_ptr<Node[]> pool_;
+  std::uint32_t pool_size_;
+  LockStats stats_;
+};
+
+}  // namespace oll

@@ -1,0 +1,262 @@
+// GOLL — the General OLL reader-writer lock (paper §3.2, Figure 3).
+//
+// Shape of the Solaris kernel lock with the central lockword replaced by a
+// C-SNZI:
+//
+//   lock free           <=> C-SNZI open,   surplus == 0
+//   write-acquired      <=> C-SNZI closed, surplus == 0
+//   read-acquired       <=> surplus != 0   (closed additionally means a
+//                                           writer is waiting)
+//
+// Readers acquire with a single C-SNZI Arrive — under read-only workloads
+// the metalock and wait queue are never touched, which is the entire point.
+// Writers try CloseIfEmpty as their fast path; on conflict, threads enqueue
+// under the metalock and the releasing thread *hands over* ownership before
+// waking them (no acquire-after-wake window), exactly as in Solaris.
+//
+// Fairness policy is the one the paper evaluates (§5.1): readers hand the
+// lock to writers, writers hand it to groups of readers, and waiting readers
+// coalesce into one group even across queued writers.
+//
+// Extensions implemented per §3.2.1: try_upgrade() (read -> write when sole
+// holder, using the dual root counter trade) and downgrade() (write -> read).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "platform/assert.hpp"
+#include "platform/memory.hpp"
+#include "locks/lock_stats.hpp"
+#include "locks/per_thread.hpp"
+#include "locks/tatas_lock.hpp"
+#include "locks/wait_queue.hpp"
+#include "snzi/csnzi.hpp"
+
+namespace oll {
+
+struct GollOptions {
+  std::uint32_t max_threads = 512;
+  CSnziOptions csnzi{};
+  // §5.1 footnote-1 policy knob: readers join the waiting reader group even
+  // if writers queued after it (Solaris-style).  false => strict FIFO groups.
+  bool readers_coalesce_over_writers = true;
+  // kSpin matches the paper's evaluation; kBlocking parks waiters on a
+  // condition variable like the production Solaris lock (see wait_queue.hpp).
+  WaitStrategy wait_strategy = WaitStrategy::kSpin;
+};
+
+template <typename M = RealMemory>
+class GollLock {
+ public:
+  using Ticket = typename CSnzi<M>::Ticket;
+
+  explicit GollLock(const GollOptions& opts = {})
+      : opts_(opts),
+        csnzi_(opts.csnzi),
+        queue_(opts.readers_coalesce_over_writers),
+        locals_(opts.max_threads),
+        stats_(opts.max_threads) {}
+
+  GollLock(const GollLock&) = delete;
+  GollLock& operator=(const GollLock&) = delete;
+
+  // --- writer side (Figure 3: WriterLock / WriterUnlock) -----------------
+
+  void lock() {
+    if (csnzi_.close_if_empty()) {
+      stats_.count_write_fast();  // uncontended fast path
+      return;
+    }
+    stats_.count_write_queued();
+    typename WaitQueue<M>::WaitNode waiter;
+    waiter.strategy = opts_.wait_strategy;
+    {
+      std::lock_guard<TatasLock<M>> meta(metalock_);
+      if (csnzi_.close()) return;  // lock became free; Close acquired it
+      queue_.enqueue(&waiter, ReqKind::kWriter);
+    }
+    waiter.wait();  // ownership handed over before the flag is set
+  }
+
+  bool try_lock() { return csnzi_.close_if_empty(); }
+
+  void unlock() {
+    typename WaitQueue<M>::GroupRef group;
+    {
+      std::lock_guard<TatasLock<M>> meta(metalock_);
+      group = queue_.dequeue();
+      if (group.empty()) {
+        csnzi_.open();
+        return;
+      }
+      if (group.kind() == ReqKind::kReader) {
+        // Hand over to the reader group: surplus = group size, and stay
+        // closed iff more writers wait behind them.
+        csnzi_.open_with_arrivals(group.count(), queue_.num_writers() != 0);
+      }
+      // Writer next in line: C-SNZI is already closed with zero surplus,
+      // which *is* the write-acquired state; nothing to change.
+    }
+    group.signal_all();
+  }
+
+  // --- reader side (Figure 3: ReaderLock / ReaderUnlock) -----------------
+
+  void lock_shared() {
+    Local& local = locals_.local();
+    OLL_DCHECK(!local.ticket.arrived());  // non-recursive
+    while (true) {
+      local.ticket = csnzi_.arrive();
+      if (local.ticket.arrived()) {
+        stats_.count_read_fast();  // no queueing: one C-SNZI arrival
+        return;
+      }
+      typename WaitQueue<M>::WaitNode waiter;
+      waiter.strategy = opts_.wait_strategy;
+      {
+        std::lock_guard<TatasLock<M>> meta(metalock_);
+        if (csnzi_.query().open) continue;  // reopened meanwhile; retry
+        queue_.enqueue(&waiter, ReqKind::kReader);
+      }
+      // The releasing thread pre-arrives at the root on our behalf
+      // (OpenWithArrivals), so we will depart with a direct ticket.
+      local.ticket = csnzi_.direct_ticket();
+      stats_.count_read_queued();
+      waiter.wait();
+      return;
+    }
+  }
+
+  bool try_lock_shared() {
+    Local& local = locals_.local();
+    OLL_DCHECK(!local.ticket.arrived());
+    Ticket t = csnzi_.arrive();
+    if (!t.arrived()) return false;
+    local.ticket = t;
+    return true;
+  }
+
+  void unlock_shared() {
+    Local& local = locals_.local();
+    OLL_DCHECK(local.ticket.arrived());
+    Ticket t = local.ticket;
+    local.ticket = Ticket{};
+    if (csnzi_.depart(t)) return;  // not last, or no writer waiting
+    // Last departure from a closed C-SNZI: the lock is now in the
+    // write-acquired state and some writer is (or is about to be) queued —
+    // writers Close only while holding the metalock, so once we have the
+    // metalock the queue cannot be empty.
+    typename WaitQueue<M>::GroupRef group;
+    {
+      std::lock_guard<TatasLock<M>> meta(metalock_);
+      group = queue_.dequeue();
+      OLL_CHECK(!group.empty());
+      if (group.kind() == ReqKind::kReader) {
+        // Queue policy let readers overtake the writer that closed the
+        // C-SNZI; re-open directly into the read-acquired state, keeping it
+        // closed because that writer still waits (§3.2, Fig. 3 comment).
+        OLL_DCHECK(queue_.num_writers() != 0);
+        csnzi_.open_with_arrivals(group.count(), queue_.num_writers() != 0);
+      }
+    }
+    group.signal_all();
+  }
+
+  // --- timed acquisition (SharedTimedMutex requirements) ------------------
+  // Deadline-bounded retries over the try fast paths.  These never enqueue,
+  // so a timeout leaves no queue state behind — at the cost of not getting
+  // the queue's fairness while waiting (acceptable for timed waits).
+
+  template <typename Rep, typename Period>
+  bool try_lock_for(const std::chrono::duration<Rep, Period>& d) {
+    return try_until(std::chrono::steady_clock::now() + d,
+                     [&] { return try_lock(); });
+  }
+
+  template <typename Clock, typename Duration>
+  bool try_lock_until(const std::chrono::time_point<Clock, Duration>& tp) {
+    return try_until(tp, [&] { return try_lock(); });
+  }
+
+  template <typename Rep, typename Period>
+  bool try_lock_shared_for(const std::chrono::duration<Rep, Period>& d) {
+    return try_until(std::chrono::steady_clock::now() + d,
+                     [&] { return try_lock_shared(); });
+  }
+
+  template <typename Clock, typename Duration>
+  bool try_lock_shared_until(
+      const std::chrono::time_point<Clock, Duration>& tp) {
+    return try_until(tp, [&] { return try_lock_shared(); });
+  }
+
+  // --- write upgrade / downgrade (§3.2.1) --------------------------------
+
+  // Caller holds the lock for reading.  Atomically upgrade to writing iff
+  // the caller is the sole lock holder and no writer is waiting; on failure
+  // the caller still holds the read lock.
+  bool try_upgrade() {
+    Local& local = locals_.local();
+    OLL_DCHECK(local.ticket.arrived());
+    if (!csnzi_.try_upgrade_exclusive(local.ticket)) return false;
+    local.ticket = Ticket{};
+    return true;
+  }
+
+  // Caller holds the lock for writing; convert to reading.  Waiting readers
+  // are granted alongside the caller so they are not stranded behind an
+  // open C-SNZI they already queued against.
+  void downgrade() {
+    Local& local = locals_.local();
+    OLL_DCHECK(!local.ticket.arrived());
+    typename WaitQueue<M>::GroupRef group;
+    {
+      std::lock_guard<TatasLock<M>> meta(metalock_);
+      if (!queue_.empty() && queue_.head_kind() == ReqKind::kReader) {
+        group = queue_.dequeue();
+        csnzi_.open_with_arrivals(1 + group.count(),
+                                  queue_.num_writers() != 0);
+      } else {
+        // Either no waiters, or a writer is next: stay closed in the latter
+        // case so the writer's turn comes when we depart.
+        csnzi_.open_with_arrivals(1, !queue_.empty());
+      }
+      local.ticket = csnzi_.direct_ticket();
+    }
+    group.signal_all();
+  }
+
+  // --- introspection ------------------------------------------------------
+  SnziQuery state() const { return csnzi_.query(); }
+
+  // Fast-path vs queued acquisition counts (see lock_stats.hpp); exact at
+  // quiescence.  At 100% reads, read_queued and write_* must be zero — the
+  // §3.2 claim that read-only workloads never touch the metalock.
+  LockStatsSnapshot stats() const { return stats_.snapshot(); }
+
+ private:
+  template <typename TimePoint, typename Try>
+  bool try_until(const TimePoint& deadline, Try&& attempt) {
+    ExponentialBackoff backoff;
+    while (true) {
+      if (attempt()) return true;
+      if (TimePoint::clock::now() >= deadline) return false;
+      backoff.backoff();
+    }
+  }
+
+  struct Local {
+    Ticket ticket{};
+  };
+
+  GollOptions opts_;
+  CSnzi<M> csnzi_;
+  TatasLock<M> metalock_;
+  WaitQueue<M> queue_;
+  PerThreadSlots<Local> locals_;
+  LockStats stats_;
+};
+
+}  // namespace oll

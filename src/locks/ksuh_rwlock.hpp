@@ -1,0 +1,235 @@
+// KSUH reader-writer lock (Krieger, Stumm, Unrau & Hanna, ICPP'93) — the
+// "fair fast scalable reader-writer lock" the paper uses as its strongest
+// baseline (§5.1: "the fastest MCS-style reader-writer lock we found").
+//
+// Structure: an MCS-style queue that is DOUBLY linked so that a reader
+// releasing the lock can splice itself out of the middle of the queue even
+// while its neighbors are still active readers.  There is no central reader
+// count and no next-writer field; all of that information is implicit in
+// the list.  The tail pointer, however, is still FASed by every acquiring
+// thread — the central contention point the paper's Figure 5 exposes.
+//
+// Protocol summary (per-node fields: prev, next, state WAITING/ACTIVE, and a
+// tiny link-lock `el`):
+//
+//   acquire:  FAS the tail.  With no predecessor, become ACTIVE.  Otherwise
+//             publish the link (I->prev = pred; pred->next = I) and then:
+//             a reader whose predecessor is an ACTIVE reader becomes ACTIVE
+//             itself; everyone else spins on their own state.  A reader that
+//             becomes ACTIVE "cascades": it activates a WAITING reader
+//             successor (under its link-lock), which then cascades in turn.
+//   release:  splice self out of the doubly-linked list.  Mid-queue splices
+//             lock (pred->el, self->el) in queue order and re-validate
+//             I->prev under the lock; head splices lock only self->el.  A
+//             node that becomes the new head is activated if WAITING.
+//
+// Why the linking needs no lock: the FAS gives each node a unique successor,
+// and a releasing node whose tail-CAS fails must wait for `next` to be set,
+// so a predecessor can neither leave the queue nor see a second linker while
+// the link is in flight.  Activation is a Dekker race (linker publishes
+// `next` then reads pred's state; an activating pred sets its state then
+// reads `next` under its link-lock): at least one side always observes the
+// other, and both observing is an idempotent store.
+//
+// Why the tail retreat CASes pred->next: after CAS(tail, I, pred) a new
+// thread may FAS the tail and write pred->next; clearing pred->next with a
+// plain store could erase that link, so we CAS it from I to null and let a
+// racing linker win.
+//
+// ABA note on validation: `I->prev` can only be rewritten by the splice of
+// the current predecessor (holding its own link-lock); a node that releases
+// and re-enqueues always re-enters at the tail, *behind* us, so it can never
+// become our predecessor again while we are queued — re-checking
+// `I->prev == pred` after locking pred->el is therefore sufficient.
+#pragma once
+
+#include <cstdint>
+
+#include "platform/assert.hpp"
+#include "platform/cache_line.hpp"
+#include "platform/memory.hpp"
+#include "platform/spin.hpp"
+#include "locks/per_thread.hpp"
+
+namespace oll {
+
+struct KsuhOptions {
+  std::uint32_t max_threads = 512;
+};
+
+template <typename M = RealMemory>
+class KsuhRwLock {
+ public:
+  explicit KsuhRwLock(const KsuhOptions& opts = {}) : locals_(opts.max_threads) {}
+
+  KsuhRwLock(const KsuhRwLock&) = delete;
+  KsuhRwLock& operator=(const KsuhRwLock&) = delete;
+
+  void lock_shared() { acquire(locals_.local().node, kReader); }
+  void unlock_shared() { release(locals_.local().node); }
+  void lock() { acquire(locals_.local().node, kWriter); }
+  void unlock() { release(locals_.local().node); }
+
+ private:
+  enum Class : std::uint32_t { kReader = 0, kWriter = 1 };
+  enum State : std::uint32_t { kWaiting = 0, kActive = 1 };
+
+  struct alignas(kFalseSharingRange) Node {
+    typename M::template Atomic<Node*> next{nullptr};
+    typename M::template Atomic<Node*> prev{nullptr};
+    typename M::template Atomic<std::uint32_t> state{kWaiting};
+    typename M::template Atomic<std::uint32_t> el{0};  // link-lock
+    // Atomic although protocol decisions tolerate staleness: a thread
+    // holding a stale neighbor pointer may read cls while the node's owner
+    // re-initializes it for its next acquisition (TSan-verified).
+    typename M::template Atomic<std::uint32_t> cls{kReader};
+  };
+
+  struct Local {
+    Node node;
+  };
+
+  static void lock_el(Node& n) {
+    SpinWait w;
+    while (n.el.exchange(1, std::memory_order_acquire) != 0) {
+      while (n.el.load(std::memory_order_relaxed) != 0) w.pause();
+    }
+  }
+
+  static void unlock_el(Node& n) { n.el.store(0, std::memory_order_release); }
+
+  void acquire(Node& I, Class cls) {
+    I.cls.store(cls, std::memory_order_relaxed);  // published by the FAS
+    I.next.store(nullptr, std::memory_order_relaxed);
+    I.prev.store(nullptr, std::memory_order_relaxed);
+    I.state.store(kWaiting, std::memory_order_relaxed);
+    Node* pred = tail_.exchange(&I, std::memory_order_seq_cst);
+    if (pred == nullptr) {
+      I.state.store(kActive, std::memory_order_seq_cst);
+      cascade(I);
+      return;
+    }
+    // Publish the link; pred cannot leave the queue before seeing it.
+    I.prev.store(pred, std::memory_order_seq_cst);
+    pred->next.store(&I, std::memory_order_seq_cst);
+    if (cls == kReader &&
+        pred->cls.load(std::memory_order_acquire) == kReader &&
+        pred->state.load(std::memory_order_seq_cst) == kActive) {
+      I.state.store(kActive, std::memory_order_seq_cst);
+    } else {
+      spin_until([&] {
+        return I.state.load(std::memory_order_acquire) == kActive;
+      });
+    }
+    if (cls == kReader) cascade(I);
+  }
+
+  // Activate a WAITING reader queued directly behind the (reader) node I,
+  // which has just become ACTIVE.  Holding I.el serializes this against a
+  // concurrent splice rewriting I.next, so we can never activate a node
+  // that has already left (and possibly re-entered) the queue.
+  void cascade(Node& I) {
+    lock_el(I);
+    Node* succ = I.next.load(std::memory_order_seq_cst);
+    if (succ != nullptr &&
+        succ->cls.load(std::memory_order_acquire) == kReader &&
+        succ->state.load(std::memory_order_seq_cst) == kWaiting) {
+      succ->state.store(kActive, std::memory_order_seq_cst);
+    }
+    unlock_el(I);
+  }
+
+  void release(Node& I) {
+    while (true) {
+      Node* pred = I.prev.load(std::memory_order_seq_cst);
+      if (pred == nullptr) {
+        if (release_as_head(I)) return;
+      } else {
+        int r = release_mid_queue(I, pred);
+        if (r > 0) return;
+        if (r == 0) continue;  // validation failed: prev changed, reload
+        // r < 0: the tail CAS failed, so someone FASed the tail after us.
+        // Usually that linker's pointer appears in I.next — but the
+        // successor may also link, run, SPLICE ITSELF OUT and retreat the
+        // tail back to us (tail ABA unique to this self-splicing lock), in
+        // which case no link is coming and the retried CAS will succeed.
+        // Waiting on I.next alone would spin forever (schedule-fuzzer
+        // finding); also exit when the tail points back at us.
+        spin_until([&] {
+          return I.next.load(std::memory_order_acquire) != nullptr ||
+                 tail_.load(std::memory_order_acquire) == &I;
+        });
+      }
+    }
+  }
+
+  // Returns true when done; false when a linker is in flight (caller waits
+  // for I.next and retries).
+  bool release_as_head(Node& I) {
+    lock_el(I);
+    Node* succ = I.next.load(std::memory_order_seq_cst);
+    if (succ == nullptr) {
+      Node* expected = &I;
+      if (tail_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_seq_cst)) {
+        unlock_el(I);
+        return true;
+      }
+      unlock_el(I);
+      // Same tail-ABA caveat as in release(): the successor that made our
+      // tail CAS fail may splice out and retreat the tail back to us.
+      spin_until([&] {
+        return I.next.load(std::memory_order_acquire) != nullptr ||
+               tail_.load(std::memory_order_acquire) == &I;
+      });
+      return false;  // retry: successor visible, or the tail is ours again
+    }
+    // Hand the head position to succ; a WAITING new head always runs
+    // (writer: all readers ahead have spliced out; reader: it will cascade).
+    succ->prev.store(nullptr, std::memory_order_seq_cst);
+    if (succ->state.load(std::memory_order_seq_cst) == kWaiting) {
+      succ->state.store(kActive, std::memory_order_seq_cst);
+    }
+    unlock_el(I);
+    return true;
+  }
+
+  // Returns 1 = done, 0 = validation failed (reload prev), -1 = tail CAS
+  // lost to an in-flight linker (wait for next, then retry).
+  int release_mid_queue(Node& I, Node* pred) {
+    lock_el(*pred);
+    if (I.prev.load(std::memory_order_seq_cst) != pred) {
+      unlock_el(*pred);  // pred spliced out first; our prev was rewritten
+      return 0;
+    }
+    lock_el(I);
+    Node* succ = I.next.load(std::memory_order_seq_cst);
+    if (succ == nullptr) {
+      Node* expected = &I;
+      if (tail_.compare_exchange_strong(expected, pred,
+                                        std::memory_order_seq_cst)) {
+        // Retreat pred->next from I to null; a racing new linker wins.
+        Node* expect_me = &I;
+        pred->next.compare_exchange_strong(expect_me, nullptr,
+                                           std::memory_order_seq_cst);
+        unlock_el(I);
+        unlock_el(*pred);
+        return 1;
+      }
+      unlock_el(I);
+      unlock_el(*pred);
+      return -1;
+    }
+    pred->next.store(succ, std::memory_order_seq_cst);
+    succ->prev.store(pred, std::memory_order_seq_cst);
+    unlock_el(I);
+    unlock_el(*pred);
+    return 1;
+  }
+
+  typename M::template Atomic<Node*> tail_{nullptr};
+  char pad_[kFalseSharingRange - sizeof(void*)];
+  PerThreadSlots<Local> locals_;
+};
+
+}  // namespace oll

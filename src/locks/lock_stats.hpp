@@ -1,0 +1,57 @@
+// Optional per-lock operation statistics.
+//
+// Counters are kept in per-thread cache-aligned slots (no shared-line
+// traffic on the hot path — a stats counter that serialized readers would
+// defeat the very property being measured) and aggregated on demand.  GOLL,
+// FOLL and ROLL update them so tests and users can verify the paper's
+// mechanisms directly: e.g. at 100% reads GOLL must report zero queued
+// acquisitions — readers never touch the metalock (§3.2) — and FOLL must
+// report that almost all readers shared an existing node (§4.2).
+#pragma once
+
+#include <cstdint>
+
+#include "locks/per_thread.hpp"
+
+namespace oll {
+
+struct LockStatsSnapshot {
+  std::uint64_t read_fast = 0;    // reader acquired without queueing
+  std::uint64_t read_queued = 0;  // reader slept in the queue / enqueued node
+  std::uint64_t write_fast = 0;   // writer acquired on the fast path
+  std::uint64_t write_queued = 0; // writer queued / waited for readers
+
+  std::uint64_t reads() const { return read_fast + read_queued; }
+  std::uint64_t writes() const { return write_fast + write_queued; }
+};
+
+class LockStats {
+ public:
+  explicit LockStats(std::uint32_t max_threads) : slots_(max_threads) {}
+
+  void count_read_fast() { ++slots_.local().read_fast; }
+  void count_read_queued() { ++slots_.local().read_queued; }
+  void count_write_fast() { ++slots_.local().write_fast; }
+  void count_write_queued() { ++slots_.local().write_queued; }
+
+  // Aggregate across threads.  Not linearizable with respect to concurrent
+  // updates (per-thread counters are plain fields); call at quiescence for
+  // exact numbers.
+  LockStatsSnapshot snapshot() const {
+    LockStatsSnapshot total;
+    for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+      const LockStatsSnapshot& s =
+          const_cast<PerThreadSlots<LockStatsSnapshot>&>(slots_).slot(i);
+      total.read_fast += s.read_fast;
+      total.read_queued += s.read_queued;
+      total.write_fast += s.write_fast;
+      total.write_queued += s.write_queued;
+    }
+    return total;
+  }
+
+ private:
+  PerThreadSlots<LockStatsSnapshot> slots_;
+};
+
+}  // namespace oll

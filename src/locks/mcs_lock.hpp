@@ -1,0 +1,86 @@
+// MCS queue mutex (Mellor-Crummey & Scott, 1991) — §4.1 of the paper.
+//
+// Each waiter spins on a flag in its own queue node; the releaser writes its
+// successor's flag.  Only the tail pointer is central.  FOLL and ROLL extend
+// this structure; this standalone mutex exists both as a substrate baseline
+// and as an alternative metalock.
+//
+// The queue node may live on the caller's stack (its lifetime must span
+// lock()..unlock()); Guard packages that pattern.
+#pragma once
+
+#include <cstdint>
+
+#include "platform/cache_line.hpp"
+#include "platform/memory.hpp"
+#include "platform/spin.hpp"
+
+namespace oll {
+
+template <typename M = RealMemory>
+class McsLock {
+ public:
+  struct alignas(kFalseSharingRange) QNode {
+    typename M::template Atomic<QNode*> next{nullptr};
+    typename M::template Atomic<std::uint32_t> locked{0};
+  };
+
+  McsLock() = default;
+  McsLock(const McsLock&) = delete;
+  McsLock& operator=(const McsLock&) = delete;
+
+  void lock(QNode& node) noexcept {
+    node.next.store(nullptr, std::memory_order_relaxed);
+    node.locked.store(1, std::memory_order_relaxed);
+    QNode* pred = tail_.exchange(&node, std::memory_order_acq_rel);
+    if (pred == nullptr) return;  // lock was free
+    pred->next.store(&node, std::memory_order_release);
+    spin_until(
+        [&] { return node.locked.load(std::memory_order_acquire) == 0; });
+  }
+
+  bool try_lock(QNode& node) noexcept {
+    node.next.store(nullptr, std::memory_order_relaxed);
+    QNode* expected = nullptr;
+    return tail_.compare_exchange_strong(expected, &node,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed);
+  }
+
+  void unlock(QNode& node) noexcept {
+    QNode* succ = node.next.load(std::memory_order_acquire);
+    if (succ == nullptr) {
+      QNode* expected = &node;
+      if (tail_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        return;  // no successor
+      }
+      // A successor FASed the tail but has not linked yet; wait for it.
+      spin_until([&] {
+        succ = node.next.load(std::memory_order_acquire);
+        return succ != nullptr;
+      });
+    }
+    succ->locked.store(0, std::memory_order_release);
+  }
+
+  // RAII with a stack node — satisfies the common case without per-thread
+  // node bookkeeping.
+  class Guard {
+   public:
+    explicit Guard(McsLock& l) : lock_(l) { lock_.lock(node_); }
+    ~Guard() { lock_.unlock(node_); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    McsLock& lock_;
+    QNode node_;
+  };
+
+ private:
+  typename M::template Atomic<QNode*> tail_{nullptr};
+};
+
+}  // namespace oll

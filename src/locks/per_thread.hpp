@@ -1,0 +1,46 @@
+// Per-lock, per-thread local state.
+//
+// GOLL/FOLL/ROLL keep a small Local record per thread per lock (the paper's
+// `Local` in Figures 3 and 4: the C-SNZI ticket, the node departed from, the
+// thread's writer node).  We index a cache-aligned array by the dense thread
+// id from platform/thread_id.hpp; a lock is constructed for a maximum thread
+// count and checks it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "platform/assert.hpp"
+#include "platform/cache_line.hpp"
+#include "platform/thread_id.hpp"
+
+namespace oll {
+
+template <typename T>
+class PerThreadSlots {
+ public:
+  explicit PerThreadSlots(std::uint32_t max_threads)
+      : slots_(std::make_unique<CacheAligned<T>[]>(max_threads)),
+        max_threads_(max_threads) {
+    OLL_CHECK(max_threads > 0);
+  }
+
+  T& local() {
+    const std::uint32_t idx = this_thread_index();
+    OLL_CHECK(idx < max_threads_);
+    return slots_[idx].value;
+  }
+
+  T& slot(std::uint32_t idx) {
+    OLL_CHECK(idx < max_threads_);
+    return slots_[idx].value;
+  }
+
+  std::uint32_t size() const noexcept { return max_threads_; }
+
+ private:
+  std::unique_ptr<CacheAligned<T>[]> slots_;
+  std::uint32_t max_threads_;
+};
+
+}  // namespace oll

@@ -1,0 +1,396 @@
+// ROLL — reader-preference OLL reader-writer lock (paper §4.3).
+//
+// FOLL with the FIFO guarantee relaxed: a reader may overtake waiting
+// writers to join a reader node whose readers are still *waiting* for the
+// lock (spin flag still set).  The paper sketches the construction in one
+// paragraph: make the queue doubly linked so readers can search backwards
+// from the tail for such a node, and cache a pointer to the last known
+// waiting reader node in the lock ("the optimization reduces the number of
+// searches"); a thread that fails to join clears the pointer.
+//
+// Design decisions the sketch leaves open (documented per DESIGN.md §4):
+//
+//  * DEFERRED CLOSE.  In FOLL a writer closes its reader-node predecessor's
+//    C-SNZI the moment it enqueues, which would make mid-queue joining
+//    impossible.  In ROLL the writer waits until the node's group has been
+//    granted the lock (spin == 0, after which searching readers no longer
+//    join it) and only then closes.  Readers that raced past the spin check
+//    just before the flip and arrived before the Close simply hold the lock
+//    as extra group members; the writer's Close returns false and it waits
+//    for the last departure as usual.  If the group drains before the Close
+//    (surplus zero, still open), Close returns true and the writer inherits
+//    the node's queue position exactly as in FOLL.
+//
+//  * BOUNDED TRAVERSAL.  prev pointers of recycled nodes are stale, so the
+//    backwards search is a bounded heuristic (kMaxScanHops).  A stale hop
+//    can only reach (a) a node outside every queue — its C-SNZI is closed,
+//    so the join's Arrive fails — or (b) a node legitimately queued in this
+//    lock (nodes are per-lock pooled), which is a correct if unfair join
+//    target.  Exclusion is never at risk; we fall back to tail-enqueue.
+//
+//  * HINT MAINTENANCE.  The hint is set by the enqueuer of a waiting reader
+//    node and by any thread that joins one; it is cleared (CAS, so a newer
+//    hint survives) by threads that find it unusable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "platform/assert.hpp"
+#include "platform/cache_line.hpp"
+#include "platform/memory.hpp"
+#include "platform/spin.hpp"
+#include "locks/lock_stats.hpp"
+#include "locks/per_thread.hpp"
+#include "snzi/csnzi.hpp"
+
+namespace oll {
+
+struct RollOptions {
+  std::uint32_t max_threads = 512;
+  CSnziOptions csnzi{};
+  // Max backwards hops when searching for a waiting reader node; 0 disables
+  // traversal so only the hint is used (ablation knob).
+  std::uint32_t max_scan_hops = 8;
+  // Disable the last-reader-node hint entirely (ablation knob, §4.3).
+  bool use_hint = true;
+};
+
+template <typename M = RealMemory>
+class RollLock {
+ public:
+  explicit RollLock(const RollOptions& opts = {})
+      : opts_(opts),
+        locals_(opts.max_threads),
+        pool_size_(opts.max_threads),
+        stats_(opts.max_threads) {
+    pool_ = std::make_unique<Node[]>(pool_size_);
+    for (std::uint32_t i = 0; i < pool_size_; ++i) {
+      pool_[i].init_reader(opts.csnzi);
+      pool_[i].ring_next = &pool_[(i + 1) % pool_size_];
+    }
+  }
+
+  RollLock(const RollLock&) = delete;
+  RollLock& operator=(const RollLock&) = delete;
+
+  // --- writer side ---------------------------------------------------------
+
+  void lock() {
+    Node* w = &locals_.local().wnode;
+    w->qnext.store(nullptr, std::memory_order_relaxed);
+    w->prev.store(nullptr, std::memory_order_relaxed);
+    Node* old_tail = tail_.exchange(w, std::memory_order_acq_rel);
+    if (old_tail == nullptr) {
+      stats_.count_write_fast();
+      return;
+    }
+    stats_.count_write_queued();
+    w->spin.store(1, std::memory_order_relaxed);
+    w->prev.store(old_tail, std::memory_order_release);
+    old_tail->qnext.store(w, std::memory_order_release);
+    if (old_tail->kind == kWriterNode) {
+      spin_until(
+          [&] { return w->spin.load(std::memory_order_acquire) == 0; });
+      return;
+    }
+    // Reader predecessor: wait for it to be opened by its enqueuer, then —
+    // unlike FOLL — wait for its group to be GRANTED the lock before
+    // closing, so overtaking readers can keep joining it while it waits.
+    spin_until([&] { return old_tail->csnzi->query().open; });
+    spin_until([&] {
+      return old_tail->spin.load(std::memory_order_acquire) == 0;
+    });
+    if (old_tail->csnzi->close()) {
+      // Group fully drained before the close: inherit its queue position.
+      old_tail->qnext.store(nullptr, std::memory_order_relaxed);
+      free_reader_node(old_tail);
+    } else {
+      spin_until(
+          [&] { return w->spin.load(std::memory_order_acquire) == 0; });
+    }
+  }
+
+  void unlock() {
+    Node* w = &locals_.local().wnode;
+    Node* succ = w->qnext.load(std::memory_order_acquire);
+    if (succ == nullptr) {
+      Node* expected = w;
+      if (tail_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        return;
+      }
+      spin_until([&] {
+        succ = w->qnext.load(std::memory_order_acquire);
+        return succ != nullptr;
+      });
+    }
+    succ->spin.store(0, std::memory_order_release);
+    w->qnext.store(nullptr, std::memory_order_relaxed);
+  }
+
+  // --- reader side -----------------------------------------------------------
+
+  void lock_shared() {
+    Local& local = locals_.local();
+    Node* rnode = nullptr;
+    while (true) {
+      // 1. Try the last-known waiting reader node (§4.3 optimization).
+      if (opts_.use_hint) {
+        Node* h = hint_.load(std::memory_order_acquire);
+        if (h != nullptr) {
+          if (try_join_waiting(h, local)) {
+            if (rnode != nullptr) free_reader_node(rnode);
+            stats_.count_read_queued();  // joined a *waiting* group
+            wait_granted(h);
+            return;
+          }
+          hint_.compare_exchange_strong(h, nullptr,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed);
+        }
+      }
+      Node* tail = tail_.load(std::memory_order_acquire);
+      if (tail == nullptr) {
+        // Empty queue: enqueue a fresh, immediately-granted reader node.
+        if (rnode == nullptr) rnode = alloc_reader_node();
+        rnode->spin.store(0, std::memory_order_relaxed);
+        rnode->prev.store(nullptr, std::memory_order_relaxed);
+        Node* expected = nullptr;
+        if (tail_.compare_exchange_strong(expected, rnode,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+          rnode->csnzi->open();
+          local.ticket = rnode->csnzi->arrive();
+          if (local.ticket.arrived()) {
+            local.depart_from = rnode;
+            stats_.count_read_fast();  // empty queue: no waiting
+            return;
+          }
+          rnode = nullptr;
+        }
+      } else if (tail->kind == kReaderNode) {
+        // Reader node at the tail: share it whether waiting or active.
+        local.ticket = tail->csnzi->arrive();
+        if (local.ticket.arrived()) {
+          if (rnode != nullptr) free_reader_node(rnode);
+          local.depart_from = tail;
+          if (tail->spin.load(std::memory_order_acquire) != 0) {
+            if (opts_.use_hint) hint_.store(tail, std::memory_order_release);
+            stats_.count_read_queued();
+          } else {
+            stats_.count_read_fast();  // joined an already-granted group
+          }
+          wait_granted(tail);
+          return;
+        }
+      } else {
+        // Writer at the tail.  Reader preference: search backwards for a
+        // still-waiting reader node to join before queuing a new one.
+        if (Node* found = scan_for_waiting_reader(tail, local)) {
+          if (rnode != nullptr) free_reader_node(rnode);
+          if (opts_.use_hint) hint_.store(found, std::memory_order_release);
+          stats_.count_read_queued();
+          wait_granted(found);
+          return;
+        }
+        if (rnode == nullptr) rnode = alloc_reader_node();
+        rnode->spin.store(1, std::memory_order_relaxed);
+        Node* expected = tail;
+        if (tail_.compare_exchange_strong(expected, rnode,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+          rnode->prev.store(tail, std::memory_order_release);
+          tail->qnext.store(rnode, std::memory_order_release);
+          rnode->csnzi->open();
+          local.ticket = rnode->csnzi->arrive();
+          if (local.ticket.arrived()) {
+            local.depart_from = rnode;
+            if (opts_.use_hint) hint_.store(rnode, std::memory_order_release);
+            stats_.count_read_queued();  // waiting behind a writer
+            wait_granted(rnode);
+            return;
+          }
+          rnode = nullptr;
+        }
+      }
+    }
+  }
+
+  void unlock_shared() {
+    Local& local = locals_.local();
+    Node* node = local.depart_from;
+    OLL_DCHECK(node != nullptr);
+    local.depart_from = nullptr;
+    depart_and_handoff(node, local.ticket);
+  }
+
+  // --- non-blocking acquisition ------------------------------------------
+
+  // Conservative (see FollLock::try_lock): may fail while a drained reader
+  // node still occupies the tail, which the SharedMutex contract permits.
+  bool try_lock() {
+    Node* w = &locals_.local().wnode;
+    w->qnext.store(nullptr, std::memory_order_relaxed);
+    w->prev.store(nullptr, std::memory_order_relaxed);
+    Node* expected = nullptr;
+    return tail_.compare_exchange_strong(expected, w,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+  }
+
+  bool try_lock_shared() {
+    Local& local = locals_.local();
+    Node* tail = tail_.load(std::memory_order_acquire);
+    if (tail == nullptr) {
+      Node* rnode = alloc_reader_node();
+      rnode->spin.store(0, std::memory_order_relaxed);
+      Node* expected = nullptr;
+      if (!tail_.compare_exchange_strong(expected, rnode,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+        free_reader_node(rnode);
+        return false;
+      }
+      rnode->csnzi->open();
+      local.ticket = rnode->csnzi->arrive();
+      if (local.ticket.arrived()) {
+        local.depart_from = rnode;
+        return true;
+      }
+      return false;
+    }
+    if (tail->kind != kReaderNode ||
+        tail->spin.load(std::memory_order_acquire) != 0) {
+      return false;
+    }
+    typename CSnzi<M>::Ticket t = tail->csnzi->arrive();
+    if (!t.arrived()) return false;
+    if (tail->spin.load(std::memory_order_acquire) != 0) {
+      depart_and_handoff(tail, t);  // joined a recycled waiting group
+      return false;
+    }
+    local.ticket = t;
+    local.depart_from = tail;
+    return true;
+  }
+
+  // --- introspection -----------------------------------------------------
+  // Fast-path vs queued acquisition counts (see lock_stats.hpp); exact at
+  // quiescence.  read_fast counts acquisitions that never waited on a spin
+  // flag (empty-queue insert or joining an already-granted reader node).
+  LockStatsSnapshot stats() const { return stats_.snapshot(); }
+
+  std::uint32_t pool_nodes_in_use() const {
+    std::uint32_t n = 0;
+    for (std::uint32_t i = 0; i < pool_size_; ++i) {
+      if (pool_[i].alloc_state.load(std::memory_order_acquire) == kInUse) ++n;
+    }
+    return n;
+  }
+
+ private:
+  enum NodeKind : std::uint8_t { kReaderNode, kWriterNode };
+  enum AllocState : std::uint32_t { kFree = 0, kInUse = 1 };
+
+  struct alignas(kFalseSharingRange) Node {
+    NodeKind kind = kWriterNode;
+    typename M::template Atomic<Node*> qnext{nullptr};
+    typename M::template Atomic<Node*> prev{nullptr};
+    typename M::template Atomic<std::uint32_t> spin{0};
+    typename M::template Atomic<std::uint32_t> alloc_state{kFree};
+    std::unique_ptr<CSnzi<M>> csnzi;
+    Node* ring_next = nullptr;
+
+    void init_reader(const CSnziOptions& opts) {
+      kind = kReaderNode;
+      csnzi = std::make_unique<CSnzi<M>>(opts);
+      bool was_open_empty = csnzi->close();
+      OLL_CHECK(was_open_empty);
+    }
+  };
+
+  struct Local {
+    Node wnode;
+    Node* depart_from = nullptr;
+    typename CSnzi<M>::Ticket ticket{};
+  };
+
+  // Join `n` iff its readers are still waiting (spin set).  The spin check
+  // is a heuristic gate (it bounds unfairness to *waiting* groups); the
+  // Arrive is the correctness gate — it succeeds only while the node's
+  // C-SNZI is open, i.e. only while the node is in this lock's queue.
+  bool try_join_waiting(Node* n, Local& local) {
+    if (n->kind != kReaderNode ||
+        n->spin.load(std::memory_order_acquire) == 0) {
+      return false;
+    }
+    typename CSnzi<M>::Ticket t = n->csnzi->arrive();
+    if (!t.arrived()) return false;
+    local.ticket = t;
+    local.depart_from = n;
+    return true;
+  }
+
+  Node* scan_for_waiting_reader(Node* tail, Local& local) {
+    Node* n = tail->prev.load(std::memory_order_acquire);
+    for (std::uint32_t hops = 0; n != nullptr && hops < opts_.max_scan_hops;
+         ++hops) {
+      if (try_join_waiting(n, local)) return n;
+      n = n->prev.load(std::memory_order_acquire);
+    }
+    return nullptr;
+  }
+
+  void wait_granted(Node* n) {
+    spin_until(
+        [&] { return n->spin.load(std::memory_order_acquire) == 0; });
+  }
+
+  void depart_and_handoff(Node* node, const typename CSnzi<M>::Ticket& t) {
+    if (node->csnzi->depart(t)) return;
+    Node* succ = node->qnext.load(std::memory_order_acquire);
+    OLL_CHECK(succ != nullptr);  // the closer linked qnext before closing
+    succ->spin.store(0, std::memory_order_release);
+    node->qnext.store(nullptr, std::memory_order_relaxed);
+    free_reader_node(node);
+  }
+
+  Node* alloc_reader_node() {
+    Node* start = &pool_[this_thread_index() % pool_size_];
+    Node* n = start;
+    SpinWait lap_wait;
+    while (true) {
+      if (n->alloc_state.load(std::memory_order_relaxed) == kFree) {
+        std::uint32_t expected = kFree;
+        if (n->alloc_state.compare_exchange_strong(
+                expected, kInUse, std::memory_order_acq_rel,
+                std::memory_order_relaxed)) {
+          n->qnext.store(nullptr, std::memory_order_relaxed);
+          n->prev.store(nullptr, std::memory_order_relaxed);
+          return n;
+        }
+      }
+      n = n->ring_next;
+      if (n == start) lap_wait.pause();
+    }
+  }
+
+  void free_reader_node(Node* n) {
+    OLL_DCHECK(n->kind == kReaderNode);
+    n->alloc_state.store(kFree, std::memory_order_release);
+  }
+
+  RollOptions opts_;
+  typename M::template Atomic<Node*> tail_{nullptr};
+  char pad0_[kFalseSharingRange - sizeof(void*)];
+  typename M::template Atomic<Node*> hint_{nullptr};
+  char pad1_[kFalseSharingRange - sizeof(void*)];
+  PerThreadSlots<Local> locals_;
+  std::unique_ptr<Node[]> pool_;
+  std::uint32_t pool_size_;
+  LockStats stats_;
+};
+
+}  // namespace oll

@@ -1,0 +1,272 @@
+// Solaris-like reader-writer lock (paper §3.1) — the production baseline the
+// GOLL lock improves on.
+//
+// A single central lockword packs: the active-reader count, a writeLocked
+// bit, a writeWanted bit, and a hasWaiters bit.  Uncontended acquisitions
+// CAS the lockword directly; contended threads take the turnstile mutex,
+// CAS the waiter bits in, enqueue, and sleep.  A releasing thread that sees
+// hasWaiters does NOT free the lock: it hands ownership to the next group in
+// line before waking it, so "threads always own the lock upon awakening".
+//
+// The kernel turnstile (priority-queueing, priority inheritance) is replaced
+// by the user-space WaitQueue with spin-based condition variables — the same
+// substitution the paper's own user-space evaluation makes (§5.1).
+//
+// This lock is the paper's exhibit for the central-lockword pathology: every
+// acquire AND release of every thread CASes the same word, so ownership of
+// that cache line migrates on essentially every operation.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "platform/assert.hpp"
+#include "platform/memory.hpp"
+#include "locks/tatas_lock.hpp"
+#include "locks/wait_queue.hpp"
+
+namespace oll {
+
+struct SolarisOptions {
+  bool readers_coalesce_over_writers = true;
+  // kSpin matches the paper's evaluation; kBlocking parks waiters like the
+  // real kernel turnstile (see wait_queue.hpp).
+  WaitStrategy wait_strategy = WaitStrategy::kSpin;
+};
+
+template <typename M = RealMemory>
+class SolarisRwLock {
+ public:
+  // Lockword layout: [count:32][writeLocked:1][writeWanted:1][hasWaiters:1]
+  static constexpr std::uint64_t kReaderOne = 1ULL;
+  static constexpr std::uint64_t kCountMask = 0xffffffffULL;
+  static constexpr std::uint64_t kWriteLocked = 1ULL << 32;
+  static constexpr std::uint64_t kWriteWanted = 1ULL << 33;
+  static constexpr std::uint64_t kHasWaiters = 1ULL << 34;
+
+  static constexpr std::uint64_t readers(std::uint64_t w) noexcept {
+    return w & kCountMask;
+  }
+
+  explicit SolarisRwLock(const SolarisOptions& opts = {})
+      : wait_strategy_(opts.wait_strategy),
+        queue_(opts.readers_coalesce_over_writers) {}
+
+  SolarisRwLock(const SolarisRwLock&) = delete;
+  SolarisRwLock& operator=(const SolarisRwLock&) = delete;
+
+  // --- readers -------------------------------------------------------------
+
+  void lock_shared() {
+    while (true) {
+      std::uint64_t w = word_.load(std::memory_order_acquire);
+      // Readers may fast-path only when no writer holds or wants the lock
+      // (writeWanted gives writers their Solaris priority over new readers).
+      if ((w & (kWriteLocked | kWriteWanted)) == 0) {
+        if (word_.compare_exchange_weak(w, w + kReaderOne,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+          return;
+        }
+        continue;
+      }
+      // Conflict path: set hasWaiters atomically w.r.t. the queue (§3.1:
+      // take the turnstile mutex, CAS the bits, restart if the CAS fails).
+      typename WaitQueue<M>::WaitNode waiter;
+      waiter.strategy = wait_strategy_;
+      {
+        std::lock_guard<TatasLock<M>> meta(metalock_);
+        w = word_.load(std::memory_order_acquire);
+        if ((w & (kWriteLocked | kWriteWanted)) == 0) continue;
+        if (!word_.compare_exchange_strong(w, w | kHasWaiters,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+          continue;
+        }
+        queue_.enqueue(&waiter, ReqKind::kReader);
+      }
+      waiter.wait();  // we own a reader slot on wakeup (handoff)
+      return;
+    }
+  }
+
+  bool try_lock_shared() {
+    std::uint64_t w = word_.load(std::memory_order_acquire);
+    while ((w & (kWriteLocked | kWriteWanted)) == 0) {
+      if (word_.compare_exchange_strong(w, w + kReaderOne,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void unlock_shared() {
+    while (true) {
+      std::uint64_t w = word_.load(std::memory_order_acquire);
+      OLL_DCHECK(readers(w) > 0);
+      if ((w & kHasWaiters) != 0 && readers(w) == 1) {
+        handoff_as_last_reader();
+        return;
+      }
+      if (word_.compare_exchange_weak(w, w - kReaderOne,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        return;
+      }
+    }
+  }
+
+  // --- writers ---------------------------------------------------------------
+
+  void lock() {
+    while (true) {
+      std::uint64_t w = word_.load(std::memory_order_acquire);
+      if (w == 0) {
+        if (word_.compare_exchange_weak(w, kWriteLocked,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+          return;
+        }
+        continue;
+      }
+      typename WaitQueue<M>::WaitNode waiter;
+      waiter.strategy = wait_strategy_;
+      {
+        std::lock_guard<TatasLock<M>> meta(metalock_);
+        w = word_.load(std::memory_order_acquire);
+        if (w == 0) continue;
+        if (!word_.compare_exchange_strong(w, w | kHasWaiters | kWriteWanted,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+          continue;
+        }
+        queue_.enqueue(&waiter, ReqKind::kWriter);
+      }
+      waiter.wait();
+      return;
+    }
+  }
+
+  bool try_lock() {
+    std::uint64_t w = 0;
+    return word_.compare_exchange_strong(w, kWriteLocked,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed);
+  }
+
+  void unlock() {
+    std::uint64_t w = word_.load(std::memory_order_acquire);
+    OLL_DCHECK((w & kWriteLocked) != 0);
+    if ((w & kHasWaiters) == 0) {
+      if (word_.compare_exchange_strong(w, 0, std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        return;
+      }
+      // Someone set hasWaiters (under the metalock) between our load and
+      // CAS; fall through to the handoff path.
+    }
+    handoff_as_writer();
+  }
+
+  // --- upgrade / downgrade (Solaris rw_tryupgrade / rw_downgrade) ----------
+
+  // Caller holds the lock for reading.  Succeeds iff it is the sole reader
+  // and nobody is waiting — the lockword makes this a single CAS, which is
+  // exactly the "trivial when using a counter" observation of §3.2.1.
+  bool try_upgrade() {
+    std::uint64_t expected = kReaderOne;  // count 1, no flag bits
+    return word_.compare_exchange_strong(expected, kWriteLocked,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed);
+  }
+
+  // Caller holds the lock for writing; convert to reading, granting any
+  // waiting reader group alongside so it is not stranded.
+  void downgrade() {
+    std::uint64_t w = word_.load(std::memory_order_acquire);
+    OLL_DCHECK((w & kWriteLocked) != 0);
+    if ((w & kHasWaiters) == 0) {
+      if (word_.compare_exchange_strong(w, kReaderOne,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        return;
+      }
+    }
+    typename WaitQueue<M>::GroupRef group;
+    {
+      std::lock_guard<TatasLock<M>> meta(metalock_);
+      if (!queue_.empty() && queue_.head_kind() == ReqKind::kReader) {
+        group = queue_.dequeue();
+      }
+      std::uint64_t count = kReaderOne + group.count();
+      std::uint64_t bits = 0;
+      if (!queue_.empty()) bits |= kHasWaiters;
+      if (queue_.num_writers() != 0) bits |= kWriteWanted;
+      word_.store(count | bits, std::memory_order_release);
+    }
+    group.signal_all();
+  }
+
+  // --- introspection ----------------------------------------------------------
+  std::uint64_t lockword() const {
+    return word_.load(std::memory_order_acquire);
+  }
+
+ private:
+  // Compute the lockword that transfers ownership to `group`, given the
+  // queue state after the dequeue.  Called with the metalock held.
+  std::uint64_t handoff_word(const typename WaitQueue<M>::GroupRef& group) {
+    std::uint64_t w = (group.kind() == ReqKind::kWriter)
+                          ? kWriteLocked
+                          : static_cast<std::uint64_t>(group.count());
+    if (!queue_.empty()) w |= kHasWaiters;
+    if (queue_.num_writers() != 0) w |= kWriteWanted;
+    return w;
+  }
+
+  void handoff_as_last_reader() {
+    typename WaitQueue<M>::GroupRef group;
+    {
+      std::lock_guard<TatasLock<M>> meta(metalock_);
+      std::uint64_t w = word_.load(std::memory_order_acquire);
+      // (hasWaiters && readers == 1) is stable once observed by the last
+      // reader: hasWaiters only clears at handoff (which requires this
+      // thread to release first); the first queued waiter behind active
+      // readers is necessarily a writer, so writeWanted gates any new
+      // fast-path reader and the count cannot grow; and no other thread can
+      // be "the last reader".  Check rather than silently mishandle.
+      OLL_CHECK((w & kHasWaiters) != 0 && readers(w) == 1);
+      group = queue_.dequeue();
+      OLL_CHECK(!group.empty());
+      // Only this thread can mutate the word now: fast-path readers are
+      // gated by writeWanted (a waiting writer) or see count>0 with
+      // hasWaiters only via the metalock; the single CAS cannot race.
+      word_.store(handoff_word(group), std::memory_order_release);
+    }
+    group.signal_all();
+  }
+
+  void handoff_as_writer() {
+    typename WaitQueue<M>::GroupRef group;
+    {
+      std::lock_guard<TatasLock<M>> meta(metalock_);
+      OLL_DCHECK((word_.load(std::memory_order_acquire) & kWriteLocked) != 0);
+      group = queue_.dequeue();
+      if (group.empty()) {
+        word_.store(0, std::memory_order_release);
+        return;
+      }
+      word_.store(handoff_word(group), std::memory_order_release);
+    }
+    group.signal_all();
+  }
+
+  typename M::template Atomic<std::uint64_t> word_{0};
+  WaitStrategy wait_strategy_;
+  TatasLock<M> metalock_;
+  WaitQueue<M> queue_;
+};
+
+}  // namespace oll

@@ -1,0 +1,49 @@
+// Test-and-test-and-set spinlock with randomized exponential backoff.
+//
+// Used as the "metalock" protecting the GOLL and Solaris-like wait queues
+// (the paper's Solaris turnstile mutex) and as a baseline mutex in its own
+// right.  BasicLockable, so std::lock_guard / std::scoped_lock apply.
+#pragma once
+
+#include <cstdint>
+
+#include "platform/backoff.hpp"
+#include "platform/cache_line.hpp"
+#include "platform/memory.hpp"
+
+namespace oll {
+
+template <typename M = RealMemory>
+class TatasLock {
+ public:
+  TatasLock() = default;
+  explicit TatasLock(const BackoffParams& p) : backoff_params_(p) {}
+
+  TatasLock(const TatasLock&) = delete;
+  TatasLock& operator=(const TatasLock&) = delete;
+
+  void lock() noexcept {
+    // Fast path: uncontended exchange.
+    if (locked_.exchange(1, std::memory_order_acquire) == 0) return;
+    ExponentialBackoff backoff(backoff_params_);
+    while (true) {
+      // Spin on the read (cheap while the line stays shared) …
+      while (locked_.load(std::memory_order_relaxed) != 0) backoff.backoff();
+      // … and only then retry the write.
+      if (locked_.exchange(1, std::memory_order_acquire) == 0) return;
+    }
+  }
+
+  bool try_lock() noexcept {
+    return locked_.load(std::memory_order_relaxed) == 0 &&
+           locked_.exchange(1, std::memory_order_acquire) == 0;
+  }
+
+  void unlock() noexcept { locked_.store(0, std::memory_order_release); }
+
+ private:
+  typename M::template Atomic<std::uint32_t> locked_{0};
+  BackoffParams backoff_params_{};
+};
+
+}  // namespace oll

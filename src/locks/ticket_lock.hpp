@@ -1,0 +1,45 @@
+// Ticket lock: FIFO-fair spin mutex.  Baseline substrate; also documents the
+// "every thread updates central state" pathology the paper's locks avoid.
+#pragma once
+
+#include <cstdint>
+
+#include "platform/memory.hpp"
+#include "platform/spin.hpp"
+
+namespace oll {
+
+template <typename M = RealMemory>
+class TicketLock {
+ public:
+  TicketLock() = default;
+  TicketLock(const TicketLock&) = delete;
+  TicketLock& operator=(const TicketLock&) = delete;
+
+  void lock() noexcept {
+    const std::uint32_t my = next_.fetch_add(1, std::memory_order_relaxed);
+    spin_until([&] {
+      return serving_.load(std::memory_order_acquire) == my;
+    });
+  }
+
+  bool try_lock() noexcept {
+    std::uint32_t serving = serving_.load(std::memory_order_acquire);
+    std::uint32_t expected = serving;
+    // Only claimable when no one is queued (next == serving).
+    return next_.compare_exchange_strong(expected, serving + 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  void unlock() noexcept {
+    serving_.store(serving_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+  }
+
+ private:
+  typename M::template Atomic<std::uint32_t> next_{0};
+  typename M::template Atomic<std::uint32_t> serving_{0};
+};
+
+}  // namespace oll

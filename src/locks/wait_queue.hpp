@@ -1,0 +1,204 @@
+// Wait queue with reader-group coalescing — the user-space stand-in for the
+// Solaris turnstile (§3.1), shared by the GOLL and Solaris-like locks.
+//
+// Threads that must sleep enqueue a WaitNode (stack-allocated) and spin on
+// its `granted` flag through a spin-based "condition variable", exactly as
+// the paper's own evaluation does ("we used our own spin-based condition
+// variables to eliminate the cost of context switching", §5.1).  Consecutive
+// readers — and, under the default Solaris-style policy, readers arriving
+// while writers already wait — coalesce into a single *group* so a releasing
+// thread can hand the lock to the whole group at once (the Solaris lock
+// "sets the reader counter to the number of readers in that group and wakes
+// them up").
+//
+// Concurrency contract:
+//   * enqueue/dequeue/num_writers/empty are called ONLY while holding the
+//     lock's metalock.
+//   * GroupRef::signal_all is called after releasing the metalock; it reads
+//     each node's intrusive `next_in_group` pointer BEFORE setting that
+//     node's granted flag, because the owning thread may destroy its stack
+//     node the instant the flag is set.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "platform/assert.hpp"
+#include "platform/cache_line.hpp"
+#include "platform/memory.hpp"
+#include "platform/spin.hpp"
+
+namespace oll {
+
+enum class ReqKind : std::uint8_t { kReader, kWriter };
+
+// How queued threads block (paper §1/§5.1): production locks deschedule
+// waiting threads (Solaris turnstiles put them to sleep); the paper's own
+// user-space evaluation substitutes spin-based condition variables "to
+// eliminate the cost of context switching".  Both are available here:
+//   kSpin      — busy-wait with progressive yield (the evaluation setup).
+//   kBlocking  — spin briefly, then sleep on a real condition variable
+//                (the production setup; a waiter costs no CPU while parked).
+enum class WaitStrategy : std::uint8_t { kSpin, kBlocking };
+
+template <typename M = RealMemory>
+class WaitQueue {
+ public:
+  struct alignas(kFalseSharingRange) WaitNode {
+    typename M::template Atomic<std::uint32_t> granted{0};
+    // Links below are metalock-protected plain fields.
+    WaitNode* next_in_group = nullptr;
+    WaitNode* next_group = nullptr;  // valid on group leaders only
+    std::uint32_t group_count = 0;   // valid on group leaders only
+    ReqKind kind = ReqKind::kReader;
+    WaitStrategy strategy = WaitStrategy::kSpin;
+
+    // Block until a releasing thread hands us the lock.  Ownership is
+    // transferred *before* the flag is set, so the thread owns the lock on
+    // wakeup (no re-check loop), mirroring the Solaris handoff discipline.
+    void wait() {
+      if (strategy == WaitStrategy::kSpin) {
+        spin_until(
+            [&] { return granted.load(std::memory_order_acquire) != 0; });
+        return;
+      }
+      // Blocking: a short optimistic spin, then park.  `granted` is set
+      // under `m` by grant() so the sleep/wake handshake cannot be lost.
+      SpinWait w;
+      for (unsigned i = 0; i < 2 * SpinWait::kDefaultSpinLimit; ++i) {
+        if (granted.load(std::memory_order_acquire) != 0) return;
+        w.pause();
+      }
+      std::unique_lock<std::mutex> g(m);
+      cv.wait(g, [&] {
+        return granted.load(std::memory_order_acquire) != 0;
+      });
+    }
+
+    // Called by GroupRef::signal_all.  For blocking waiters the flag store
+    // happens under the node mutex: the waiter either sees it before
+    // sleeping or is woken by notify.  The waiter may destroy the node the
+    // moment it observes granted != 0, so (as with the spin path) nothing
+    // may touch the node after this returns — cv.notify_one is called
+    // under the mutex for exactly that reason (the waiter cannot finish
+    // cv.wait until we release `m` inside this function).
+    void grant() {
+      if (strategy == WaitStrategy::kSpin) {
+        granted.store(1, std::memory_order_release);
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> g(m);
+        granted.store(1, std::memory_order_release);
+        cv.notify_one();
+      }
+    }
+
+    // Blocking-strategy parking state (unused under kSpin).
+    std::mutex m;
+    std::condition_variable cv;
+  };
+
+  // Value-type snapshot of a dequeued group, safe to use after the metalock
+  // is released (the queue no longer references these nodes).
+  class GroupRef {
+   public:
+    GroupRef() = default;
+    GroupRef(WaitNode* leader, ReqKind kind, std::uint32_t count)
+        : leader_(leader), kind_(kind), count_(count) {}
+
+    bool empty() const noexcept { return leader_ == nullptr; }
+    ReqKind kind() const noexcept { return kind_; }
+    std::uint32_t count() const noexcept { return count_; }
+
+    // Wake every thread in the group.  See the concurrency contract above.
+    void signal_all() const {
+      WaitNode* n = leader_;
+      while (n != nullptr) {
+        WaitNode* next = n->next_in_group;  // read before granting!
+        n->grant();
+        n = next;
+      }
+    }
+
+   private:
+    WaitNode* leader_ = nullptr;
+    ReqKind kind_ = ReqKind::kReader;
+    std::uint32_t count_ = 0;
+  };
+
+  // If true (the paper's evaluation policy, §5.1 footnote 1), a new reader
+  // joins the most recent waiting reader group even when writers queued
+  // after that group — readers overtake waiting writers to form one group.
+  // If false, strict FIFO groups: a reader after a writer starts a new group.
+  explicit WaitQueue(bool readers_coalesce_over_writers = true)
+      : coalesce_(readers_coalesce_over_writers) {}
+
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+
+  // Metalock held.  `node` is the caller's (typically stack) wait node.
+  void enqueue(WaitNode* node, ReqKind kind) {
+    node->granted.store(0, std::memory_order_relaxed);
+    node->next_in_group = nullptr;
+    node->next_group = nullptr;
+    node->kind = kind;
+    node->group_count = 1;
+    if (kind == ReqKind::kReader) {
+      WaitNode* target = coalesce_ ? last_reader_group_
+                                   : (tail_ && tail_->kind == ReqKind::kReader
+                                          ? tail_
+                                          : nullptr);
+      if (target != nullptr) {
+        // Push onto the existing group's member list (leader stays leader).
+        node->next_in_group = target->next_in_group;
+        target->next_in_group = node;
+        ++target->group_count;
+        return;
+      }
+      last_reader_group_ = node;
+    } else {
+      ++num_writers_;
+    }
+    // New group at the tail.
+    if (tail_ == nullptr) {
+      head_ = tail_ = node;
+    } else {
+      tail_->next_group = node;
+      tail_ = node;
+    }
+  }
+
+  // Metalock held.  Pops the head group; empty GroupRef if queue is empty.
+  GroupRef dequeue() {
+    WaitNode* leader = head_;
+    if (leader == nullptr) return GroupRef{};
+    head_ = leader->next_group;
+    if (head_ == nullptr) tail_ = nullptr;
+    if (leader->kind == ReqKind::kWriter) {
+      OLL_DCHECK(num_writers_ > 0);
+      --num_writers_;
+    } else if (leader == last_reader_group_) {
+      last_reader_group_ = nullptr;
+    }
+    return GroupRef{leader, leader->kind, leader->group_count};
+  }
+
+  // Metalock held.
+  bool empty() const noexcept { return head_ == nullptr; }
+  std::uint32_t num_writers() const noexcept { return num_writers_; }
+  ReqKind head_kind() const noexcept {
+    OLL_DCHECK(head_ != nullptr);
+    return head_->kind;
+  }
+
+ private:
+  WaitNode* head_ = nullptr;
+  WaitNode* tail_ = nullptr;
+  WaitNode* last_reader_group_ = nullptr;
+  std::uint32_t num_writers_ = 0;
+  bool coalesce_;
+};
+
+}  // namespace oll

@@ -1,0 +1,27 @@
+// Lightweight always-on invariant checks for lock internals.
+//
+// Lock algorithms have invariants whose violation means silent data
+// corruption (e.g. a reader node freed twice).  These checks are cheap
+// (predictable branches on thread-local data) and stay on in release builds;
+// OLL_DCHECK additionally compiles away under NDEBUG for hot-path checks.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define OLL_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (__builtin_expect(!(cond), 0)) {                                     \
+      std::fprintf(stderr, "OLL_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define OLL_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define OLL_DCHECK(cond) OLL_CHECK(cond)
+#endif

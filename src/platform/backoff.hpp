@@ -1,0 +1,52 @@
+// Randomized exponential backoff.
+//
+// §5.1: "we tuned the exponential back-offs for each lock independently."
+// Every lock in src/locks takes a BackoffParams in its options struct so
+// the tuning knob the authors describe exists in this implementation too.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#include "platform/cpu.hpp"
+#include "platform/rng.hpp"
+
+namespace oll {
+
+struct BackoffParams {
+  std::uint32_t min_spins = 4;     // first window
+  std::uint32_t max_spins = 1024;  // window cap
+  // After this many consecutive backoffs, start yielding to the OS so the
+  // algorithms stay live under oversubscription.
+  std::uint32_t yield_after = 16;
+};
+
+class ExponentialBackoff {
+ public:
+  explicit ExponentialBackoff(const BackoffParams& p = {},
+                              std::uint64_t seed = 0x2545F4914F6CDD1DULL) noexcept
+      : params_(p), window_(p.min_spins), rng_(seed) {}
+
+  // Wait for a random duration within the current window, then double it.
+  void backoff() noexcept {
+    const std::uint64_t spins = rng_.next_below(window_) + 1;
+    for (std::uint64_t i = 0; i < spins; ++i) cpu_relax();
+    if (window_ < params_.max_spins) window_ *= 2;
+    if (++rounds_ >= params_.yield_after) std::this_thread::yield();
+  }
+
+  void reset() noexcept {
+    window_ = params_.min_spins;
+    rounds_ = 0;
+  }
+
+  std::uint32_t window() const noexcept { return window_; }
+
+ private:
+  BackoffParams params_;
+  std::uint32_t window_;
+  std::uint32_t rounds_ = 0;
+  Xoshiro256ss rng_;
+};
+
+}  // namespace oll

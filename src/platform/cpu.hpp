@@ -1,0 +1,22 @@
+// CPU-level spin hints.
+#pragma once
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace oll {
+
+// Polite busy-wait hint: tells the pipeline (and an SMT sibling) that we are
+// spinning.  Never yields to the OS; see SpinWait for that.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+}  // namespace oll

@@ -1,0 +1,30 @@
+// Memory-model policy: the lock templates are parameterized on a policy that
+// supplies the atomic type they run on.
+//
+//   * RealMemory  — plain std::atomic; the locks run natively.
+//   * sim::SimMemory (src/sim/memory.hpp) — instrumented atomics that charge
+//     virtual cycles against a simulated multi-chip cache-coherence model,
+//     used to reproduce the paper's 256-hardware-thread results on a small
+//     host (see DESIGN.md §3).
+//
+// A policy provides:
+//   template <class T> using Atomic = ...;   // std::atomic-compatible
+//   static void charge(uint64_t cycles);     // account virtual work (no-op
+//                                            // for RealMemory)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace oll {
+
+struct RealMemory {
+  template <typename T>
+  using Atomic = std::atomic<T>;
+
+  static constexpr bool kSimulated = false;
+
+  static void charge(std::uint64_t /*cycles*/) noexcept {}
+};
+
+}  // namespace oll

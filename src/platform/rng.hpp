@@ -1,0 +1,93 @@
+// Small, fast, per-thread pseudo-random number generators.
+//
+// The paper's workload driver decides read vs. write acquisition "using a
+// per-thread private random number generator" (§5.1).  std::mt19937 is both
+// large and slow enough to perturb a lock microbenchmark, so we use
+// SplitMix64 for seeding and xoshiro256** for the stream, the standard
+// choice for simulation workloads.
+#pragma once
+
+#include <cstdint>
+
+namespace oll {
+
+// SplitMix64: used to expand a single seed into xoshiro state; also a fine
+// standalone generator for non-critical uses.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256**: 256-bit state, jumpable, passes BigCrush.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256ss(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Unbiased uniform integer in [0, bound) via Lemire's multiply-shift.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    std::uint64_t x = next();
+    unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+      std::uint64_t t = (0 - bound) % bound;
+      while (l < t) {
+        x = next();
+        m = static_cast<unsigned __int128>(x) * bound;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Bernoulli trial with probability numer/denom (e.g. 99/100 for 99% reads).
+  bool bernoulli(std::uint64_t numer, std::uint64_t denom) noexcept {
+    return next_below(denom) < numer;
+  }
+
+  double next_double() noexcept {
+    // 53 random mantissa bits in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace oll

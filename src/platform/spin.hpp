@@ -1,0 +1,55 @@
+// Progressive spin-wait.
+//
+// All busy-wait loops in this repository must make progress even when the
+// machine is heavily oversubscribed (the evaluation host may have a single
+// hardware thread, while the paper's workloads run hundreds of software
+// threads).  SpinWait spins politely for a short burst and then starts
+// yielding to the OS scheduler, so a thread spinning on a flag can never
+// starve the thread that is about to set it.
+#pragma once
+
+#include <thread>
+
+#include "platform/cpu.hpp"
+
+namespace oll {
+
+class SpinWait {
+ public:
+  // `spin_limit` polite pause iterations before the first yield.
+  explicit SpinWait(unsigned spin_limit = kDefaultSpinLimit) noexcept
+      : spin_limit_(spin_limit) {}
+
+  // One wait step.  Cheap pause while under the limit, sched yield after.
+  void pause() noexcept {
+    if (count_ < spin_limit_) {
+      ++count_;
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { count_ = 0; }
+
+  unsigned spins() const noexcept { return count_; }
+
+  static constexpr unsigned kDefaultSpinLimit = 64;
+
+ private:
+  unsigned spin_limit_;
+  unsigned count_ = 0;
+};
+
+// Spin until `pred()` returns true.  `pred` must be a cheap, side-effect-free
+// check of an atomic (acquire semantics belong inside the predicate).
+template <typename Pred>
+inline void spin_until(Pred&& pred,
+                       unsigned spin_limit = SpinWait::kDefaultSpinLimit) {
+  SpinWait w(spin_limit);
+  while (!pred()) {
+    w.pause();
+  }
+}
+
+}  // namespace oll

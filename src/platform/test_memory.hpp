@@ -1,0 +1,154 @@
+// TestMemory: a memory-model policy that perturbs thread interleavings.
+//
+// On a small host the OS scheduler produces very coarse interleavings (a
+// thread runs thousands of lock operations per timeslice), so many races
+// simply never fire.  TestMemory wraps std::atomic and, before every
+// atomic operation, yields to the scheduler with a per-thread pseudo-random
+// probability.  Running a scenario a few thousand times under different
+// seeds explores a far richer set of interleavings — a lightweight,
+// portable cousin of a systematic concurrency tester.
+//
+// Usage (see tests/race_fuzz_test.cpp):
+//   FuzzYield::set_seed(round_seed);   // per thread, before the scenario
+//   FollLock<TestMemory> lock;         // locks run on perturbed atomics
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "platform/rng.hpp"
+
+namespace oll {
+
+// Per-thread yield controller for TestMemory.  Yield probability is
+// 1/kYieldDenominator per atomic access; 0 seed disables perturbation.
+class FuzzYield {
+ public:
+  static constexpr std::uint64_t kYieldDenominator = 4;
+
+  static void set_seed(std::uint64_t seed) {
+    tls_enabled() = seed != 0;
+    tls_rng() = Xoshiro256ss(seed);
+  }
+
+  static void maybe_yield() {
+    if (!tls_enabled()) return;
+    if (tls_rng().next_below(kYieldDenominator) == 0) {
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  static bool& tls_enabled() {
+    thread_local bool enabled = false;
+    return enabled;
+  }
+  static Xoshiro256ss& tls_rng() {
+    thread_local Xoshiro256ss rng(1);
+    return rng;
+  }
+};
+
+namespace detail {
+
+template <typename T>
+class FuzzAtomic {
+ public:
+  FuzzAtomic() noexcept : value_{} {}
+  /* implicit */ FuzzAtomic(T v) noexcept : value_(v) {}
+
+  FuzzAtomic(const FuzzAtomic&) = delete;
+  FuzzAtomic& operator=(const FuzzAtomic&) = delete;
+
+  T load(std::memory_order mo = std::memory_order_seq_cst) const noexcept {
+    FuzzYield::maybe_yield();
+    return value_.load(mo);
+  }
+
+  void store(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept {
+    FuzzYield::maybe_yield();
+    value_.store(v, mo);
+  }
+
+  T exchange(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept {
+    FuzzYield::maybe_yield();
+    return value_.exchange(v, mo);
+  }
+
+  bool compare_exchange_strong(
+      T& expected, T desired,
+      std::memory_order mo = std::memory_order_seq_cst) noexcept {
+    FuzzYield::maybe_yield();
+    return value_.compare_exchange_strong(expected, desired, mo);
+  }
+
+  bool compare_exchange_strong(T& expected, T desired, std::memory_order succ,
+                               std::memory_order fail) noexcept {
+    FuzzYield::maybe_yield();
+    return value_.compare_exchange_strong(expected, desired, succ, fail);
+  }
+
+  bool compare_exchange_weak(
+      T& expected, T desired,
+      std::memory_order mo = std::memory_order_seq_cst) noexcept {
+    FuzzYield::maybe_yield();
+    return value_.compare_exchange_weak(expected, desired, mo);
+  }
+
+  bool compare_exchange_weak(T& expected, T desired, std::memory_order succ,
+                             std::memory_order fail) noexcept {
+    FuzzYield::maybe_yield();
+    return value_.compare_exchange_weak(expected, desired, succ, fail);
+  }
+
+  T fetch_add(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept
+    requires std::is_integral_v<T>
+  {
+    FuzzYield::maybe_yield();
+    return value_.fetch_add(v, mo);
+  }
+
+  T fetch_sub(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept
+    requires std::is_integral_v<T>
+  {
+    FuzzYield::maybe_yield();
+    return value_.fetch_sub(v, mo);
+  }
+
+  T fetch_or(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept
+    requires std::is_integral_v<T>
+  {
+    FuzzYield::maybe_yield();
+    return value_.fetch_or(v, mo);
+  }
+
+  T fetch_and(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept
+    requires std::is_integral_v<T>
+  {
+    FuzzYield::maybe_yield();
+    return value_.fetch_and(v, mo);
+  }
+
+  operator T() const noexcept { return load(); }
+  T operator=(T v) noexcept {
+    store(v);
+    return v;
+  }
+
+ private:
+  std::atomic<T> value_;
+};
+
+}  // namespace detail
+
+struct TestMemory {
+  template <typename T>
+  using Atomic = detail::FuzzAtomic<T>;
+
+  static constexpr bool kSimulated = false;
+
+  static void charge(std::uint64_t /*cycles*/) noexcept {}
+};
+
+}  // namespace oll

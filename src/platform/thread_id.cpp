@@ -1,0 +1,76 @@
+#include "platform/thread_id.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace oll {
+namespace {
+
+std::atomic<bool> g_slots[kMaxThreads];
+std::atomic<std::uint32_t> g_high_water{0};
+
+std::uint32_t claim_slot() {
+  for (std::uint32_t i = 0; i < kMaxThreads; ++i) {
+    bool expected = false;
+    if (!g_slots[i].load(std::memory_order_relaxed) &&
+        g_slots[i].compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+      std::uint32_t hw = g_high_water.load(std::memory_order_relaxed);
+      while (hw < i + 1 && !g_high_water.compare_exchange_weak(
+                               hw, i + 1, std::memory_order_relaxed)) {
+      }
+      return i;
+    }
+  }
+  std::fprintf(stderr,
+               "oll::ThreadRegistry: more than %u live threads; aborting\n",
+               kMaxThreads);
+  std::abort();
+}
+
+// RAII slot holder: claims lazily, releases at thread exit.
+struct SlotHolder {
+  std::uint32_t slot = claim_slot();
+  ~SlotHolder() { g_slots[slot].store(false, std::memory_order_release); }
+};
+
+}  // namespace
+
+std::uint32_t ThreadRegistry::current_id() {
+  thread_local SlotHolder holder;
+  return holder.slot;
+}
+
+namespace {
+thread_local bool g_has_override = false;
+thread_local std::uint32_t g_override = 0;
+}  // namespace
+
+ScopedThreadIndex::ScopedThreadIndex(std::uint32_t index)
+    : saved_(g_override), had_override_(g_has_override) {
+  g_has_override = true;
+  g_override = index;
+}
+
+ScopedThreadIndex::~ScopedThreadIndex() {
+  g_has_override = had_override_;
+  g_override = saved_;
+}
+
+namespace detail {
+std::uint32_t thread_index_impl() {
+  if (g_has_override) return g_override;
+  return ThreadRegistry::current_id();
+}
+}  // namespace detail
+
+std::uint32_t ThreadRegistry::high_water_mark() {
+  return g_high_water.load(std::memory_order_relaxed);
+}
+
+bool ThreadRegistry::slot_in_use(std::uint32_t slot) {
+  return slot < kMaxThreads && g_slots[slot].load(std::memory_order_relaxed);
+}
+
+}  // namespace oll

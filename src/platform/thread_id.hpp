@@ -1,0 +1,58 @@
+// Compact per-process thread identifiers.
+//
+// The FOLL/ROLL node pool, the big-reader lock, and the C-SNZI leaf mapping
+// all need a dense thread index in [0, max_threads).  std::thread::id is
+// opaque, so we maintain a registry of reusable slots: a thread claims the
+// lowest free slot on first use and releases it when it exits, so long-lived
+// programs that churn threads do not exhaust the space.
+#pragma once
+
+#include <cstdint>
+
+namespace oll {
+
+// Hard upper bound on concurrently-live registered threads.  The paper's
+// largest configuration is 256; we leave generous headroom.
+inline constexpr std::uint32_t kMaxThreads = 1024;
+
+class ThreadRegistry {
+ public:
+  // Dense id of the calling thread, assigned on first call, stable until the
+  // thread exits.  Aborts if more than kMaxThreads threads are live at once.
+  static std::uint32_t current_id();
+
+  // Number of slots ever observed in use (high-water mark); for sizing
+  // diagnostics only.
+  static std::uint32_t high_water_mark();
+
+  // Test hook: true if `slot` is currently claimed.
+  static bool slot_in_use(std::uint32_t slot);
+};
+
+// Scoped override of the calling thread's dense index.  The benchmark
+// harness pins worker w to index w so that lock-internal thread mappings
+// (C-SNZI leaf choice, FOLL/ROLL default pool nodes) line up with the
+// simulated hardware placement (worker w = simulated hardware thread w).
+class ScopedThreadIndex {
+ public:
+  explicit ScopedThreadIndex(std::uint32_t index);
+  ~ScopedThreadIndex();
+  ScopedThreadIndex(const ScopedThreadIndex&) = delete;
+  ScopedThreadIndex& operator=(const ScopedThreadIndex&) = delete;
+
+ private:
+  std::uint32_t saved_;
+  bool had_override_;
+};
+
+namespace detail {
+std::uint32_t thread_index_impl();
+}  // namespace detail
+
+// Dense index of the calling thread: the active ScopedThreadIndex override
+// if one is installed, otherwise the registry slot.
+inline std::uint32_t this_thread_index() {
+  return detail::thread_index_impl();
+}
+
+}  // namespace oll

@@ -1,0 +1,236 @@
+// Instrumented atomic<T>: std::atomic semantics plus virtual-cycle charging
+// against the owning thread's simulation context.
+//
+// Each Atomic models one cache line with a tiny directory entry:
+//   owner    — simulated thread that last gained exclusive ownership (+1; 0
+//              means untouched),
+//   version  — bumped on every exclusive acquisition (store/RMW, including
+//              failed CAS, which still invalidates other copies),
+//   ts       — the owner's virtual clock at that point.
+//
+// Charging rules (see DESIGN.md §3):
+//   load, cached version current      → l1_hit
+//   load, stale                       → transfer cost by owner distance, and
+//                                       the reader's clock is advanced past
+//                                       the writer's timestamp (causality)
+//   store/RMW, we already own it      → l1_hit
+//   store/RMW, owned elsewhere        → transfer cost + migration penalty
+//
+// The directory fields are plain relaxed atomics: benign races merely
+// perturb the cost estimate by one transfer, never correctness — the value
+// itself always lives in a real std::atomic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "sim/context.hpp"
+#include "sim/machine.hpp"
+
+namespace oll::sim {
+
+namespace detail {
+
+struct LineDirectory {
+  std::atomic<std::uint32_t> owner{0};  // tid + 1; 0 = none
+  std::atomic<std::uint32_t> streak{0};  // consecutive distinct-owner writes
+  std::atomic<std::uint64_t> version{0};
+  std::atomic<std::uint64_t> ts{0};
+};
+
+}  // namespace detail
+
+template <typename T>
+class Atomic {
+ public:
+  Atomic() noexcept : value_{} {}
+  /* implicit */ Atomic(T v) noexcept : value_(v) {}
+
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  T load(std::memory_order mo = std::memory_order_seq_cst) const noexcept {
+    charge_read();
+    return value_.load(mo);
+  }
+
+  void store(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept {
+    charge_write();
+    value_.store(v, mo);
+  }
+
+  T exchange(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept {
+    charge_write();
+    return value_.exchange(v, mo);
+  }
+
+  // Strong CAS: never fails spuriously — lock algorithms legitimately infer
+  // "someone else acted" from a strong-CAS failure (e.g. MCS's "a successor
+  // is linking"), so the model must not inject failures here.
+  bool compare_exchange_strong(
+      T& expected, T desired,
+      std::memory_order mo = std::memory_order_seq_cst) noexcept {
+    charge_write();  // even a failed CAS takes the line exclusive
+    return value_.compare_exchange_strong(expected, desired, mo);
+  }
+
+  bool compare_exchange_strong(T& expected, T desired, std::memory_order succ,
+                               std::memory_order fail) noexcept {
+    charge_write();
+    return value_.compare_exchange_strong(expected, desired, succ, fail);
+  }
+
+  // Weak CAS: the C++ contract allows spurious failure, and retry loops are
+  // required to tolerate it.  We exploit that to emulate contention on a
+  // single-core host: a weak CAS that migrates a HOT line (recent writers
+  // all distinct) is failed once — the caller's CAS loop then observes
+  // exactly what a real interleaved competitor would have caused, which is
+  // what drives the paper's adaptive arrive-at-root-until-contention policy
+  // (§5.1) on this model.  `expected` is left untouched, as the value did
+  // not change.
+  bool compare_exchange_weak(
+      T& expected, T desired,
+      std::memory_order mo = std::memory_order_seq_cst) noexcept {
+    if (charge_write(/*may_fail=*/true)) return false;
+    return value_.compare_exchange_weak(expected, desired, mo);
+  }
+
+  bool compare_exchange_weak(T& expected, T desired, std::memory_order succ,
+                             std::memory_order fail) noexcept {
+    if (charge_write(/*may_fail=*/true)) return false;
+    return value_.compare_exchange_weak(expected, desired, succ, fail);
+  }
+
+  T fetch_add(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept
+    requires std::is_integral_v<T>
+  {
+    charge_write();
+    return value_.fetch_add(v, mo);
+  }
+
+  T fetch_sub(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept
+    requires std::is_integral_v<T>
+  {
+    charge_write();
+    return value_.fetch_sub(v, mo);
+  }
+
+  T fetch_or(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept
+    requires std::is_integral_v<T>
+  {
+    charge_write();
+    return value_.fetch_or(v, mo);
+  }
+
+  T fetch_and(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept
+    requires std::is_integral_v<T>
+  {
+    charge_write();
+    return value_.fetch_and(v, mo);
+  }
+
+  operator T() const noexcept { return load(); }
+  T operator=(T v) noexcept {
+    store(v);
+    return v;
+  }
+
+ private:
+  void charge_read() const noexcept {
+    ThreadContext* ctx = ThreadContext::current();
+    if (!ctx) return;
+    ctx->flush_if_stale();
+    OpCounters& c = ctx->counters();
+    ++c.loads;
+    const std::uint64_t ver = dir_.version.load(std::memory_order_relaxed);
+    if (ctx->cache_hit(&dir_, ver)) {
+      ++c.l1_hits;
+      ctx->advance(ctx->machine().costs().load_hit);
+      return;
+    }
+    const std::uint32_t owner = dir_.owner.load(std::memory_order_relaxed);
+    const std::uint64_t ts = dir_.ts.load(std::memory_order_relaxed);
+    ctx->sync_and_advance(ts, transfer_cost(*ctx, owner, /*exclusive=*/false));
+    ctx->cache_store(&dir_, ver);
+  }
+
+  // Account an exclusive (store/RMW) access.  With `may_fail` (weak CAS
+  // only), returns true to direct an emulated failure: the access is charged
+  // but ownership is NOT taken (the imagined real competitor kept the line),
+  // and a per-thread pass is recorded so the caller's immediate retry on the
+  // unchanged line goes through — CAS loops stay terminating.
+  bool charge_write(bool may_fail = false) const noexcept {
+    ThreadContext* ctx = ThreadContext::current();
+    if (!ctx) return false;
+    ctx->flush_if_stale();
+    const CostModel& costs = ctx->machine().costs();
+    OpCounters& c = ctx->counters();
+    ++c.rmws;
+    const std::uint32_t me = ctx->tid() + 1;
+    const std::uint32_t owner = dir_.owner.load(std::memory_order_relaxed);
+    if (owner == me) {
+      ++c.l1_hits;
+      ctx->advance(costs.local_rmw);
+      dir_.streak.store(0, std::memory_order_relaxed);
+    } else {
+      const std::uint64_t ts = dir_.ts.load(std::memory_order_relaxed);
+      const std::uint64_t ver = dir_.version.load(std::memory_order_relaxed);
+      ctx->sync_and_advance(ts,
+                            transfer_cost(*ctx, owner, /*exclusive=*/true));
+      if (may_fail && owner != 0 && costs.emulate_cas_failure &&
+          dir_.streak.load(std::memory_order_relaxed) + 1 >=
+              costs.hot_line_streak &&
+          !ctx->consume_cas_failure_pass(&dir_, ver)) {
+        ctx->note_cas_failure(&dir_, ver);
+        ++c.emulated_cas_failures;
+        return true;
+      }
+      dir_.streak.fetch_add(1, std::memory_order_relaxed);
+    }
+    const std::uint64_t ver =
+        dir_.version.fetch_add(1, std::memory_order_relaxed) + 1;
+    dir_.owner.store(me, std::memory_order_relaxed);
+    dir_.ts.store(ctx->clock(), std::memory_order_relaxed);
+    ctx->cache_store(&dir_, ver);
+    return false;
+  }
+
+  std::uint64_t transfer_cost(ThreadContext& ctx, std::uint32_t owner,
+                              bool exclusive) const noexcept {
+    const CostModel& costs = ctx.machine().costs();
+    OpCounters& c = ctx.counters();
+    std::uint64_t cost;
+    if (owner == 0) {
+      ++c.local_misses;
+      cost = costs.local_clean;
+    } else if (owner == ctx.tid() + 1) {
+      // We wrote it but our read cache was evicted: still local.
+      ++c.l1_hits;
+      cost = exclusive ? costs.local_rmw : costs.load_hit;
+    } else if (ctx.machine().topology().core_of(owner - 1) ==
+               ctx.machine().topology().core_of(ctx.tid())) {
+      ++c.samecore_transfers;
+      cost = costs.samecore_transfer;
+    } else if (ctx.machine().topology().chip_of(owner - 1) == ctx.chip()) {
+      ++c.onchip_transfers;
+      cost = costs.onchip_transfer;
+    } else {
+      ++c.offchip_transfers;
+      cost = costs.offchip_transfer;
+    }
+    // Serialization penalty applies only when ownership leaves the core:
+    // SMT siblings share an L1, so their line ping-pong has no coherence
+    // queuing to speak of.
+    if (exclusive && owner != 0 && owner != ctx.tid() + 1 &&
+        ctx.machine().topology().core_of(owner - 1) !=
+            ctx.machine().topology().core_of(ctx.tid())) {
+      cost += costs.migration_penalty;
+    }
+    return cost;
+  }
+
+  std::atomic<T> value_;
+  mutable detail::LineDirectory dir_;
+};
+
+}  // namespace oll::sim

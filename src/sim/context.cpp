@@ -1,0 +1,7 @@
+#include "sim/context.hpp"
+
+namespace oll::sim {
+
+thread_local ThreadContext* ThreadContext::tls_current_ = nullptr;
+
+}  // namespace oll::sim

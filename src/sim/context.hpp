@@ -1,0 +1,145 @@
+// Per-thread simulation context: virtual clock, simulated placement, and a
+// small cache of line versions this thread has already observed.
+//
+// A real OS thread attaches to a Machine as simulated hardware thread `tid`
+// for the duration of a ThreadGuard.  Every sim::Atomic operation it then
+// performs consults the line's directory entry, charges virtual cycles to
+// the thread's clock, and advances the clock past the writer's timestamp
+// (Lamport-style), so virtual time is causally consistent even though the
+// host may run the threads one at a time.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "platform/assert.hpp"
+#include "sim/machine.hpp"
+
+namespace oll::sim {
+
+class ThreadContext {
+ public:
+  // Open-addressed line-version cache.  Power-of-two size; entries are
+  // (line address, version, machine epoch).  It is a cache: on probe-limit
+  // overflow we simply overwrite, which can only make the model charge an
+  // extra miss.
+  static constexpr std::uint32_t kCacheSlots = 4096;
+  static constexpr std::uint32_t kProbeLimit = 8;
+
+  ThreadContext(Machine& m, std::uint32_t tid)
+      : machine_(&m),
+        tid_(tid),
+        chip_(m.topology().chip_of(tid)),
+        epoch_(m.epoch()) {
+    OLL_CHECK(tid < m.max_threads());
+    std::memset(keys_, 0, sizeof(keys_));
+  }
+
+  Machine& machine() noexcept { return *machine_; }
+  std::uint32_t tid() const noexcept { return tid_; }
+  std::uint32_t chip() const noexcept { return chip_; }
+  std::uint64_t clock() const noexcept { return clock_; }
+  OpCounters& counters() noexcept { return counters_; }
+
+  void advance(std::uint64_t cycles) noexcept { clock_ += cycles; }
+
+  // Causal sync against a writer timestamp, then pay `cycles`.
+  void sync_and_advance(std::uint64_t writer_ts, std::uint64_t cycles) noexcept {
+    if (writer_ts > clock_) clock_ = writer_ts;
+    clock_ += cycles;
+  }
+
+  // Returns true iff this thread's cached view of `line` is `version`.
+  bool cache_hit(const void* line, std::uint64_t version) noexcept {
+    const std::uint32_t slot = find_slot(line);
+    return keys_[slot] == line && versions_[slot] == version &&
+           epochs_[slot] == epoch_;
+  }
+
+  void cache_store(const void* line, std::uint64_t version) noexcept {
+    const std::uint32_t slot = find_slot(line);
+    keys_[slot] = line;
+    versions_[slot] = version;
+    epochs_[slot] = epoch_;
+  }
+
+  void flush_if_stale() noexcept {
+    const std::uint64_t e = machine_->epoch();
+    if (e != epoch_) epoch_ = e;  // entries with old epoch become misses
+  }
+
+  // Emulated-CAS-failure bookkeeping (see sim/atomic.hpp): after failing a
+  // weak CAS on (line, version) once, the immediate retry must be allowed
+  // through so CAS loops terminate deterministically.
+  void note_cas_failure(const void* line, std::uint64_t version) noexcept {
+    last_fail_line_ = line;
+    last_fail_version_ = version;
+  }
+
+  bool consume_cas_failure_pass(const void* line,
+                                std::uint64_t version) noexcept {
+    if (last_fail_line_ == line && last_fail_version_ == version) {
+      last_fail_line_ = nullptr;
+      return true;
+    }
+    return false;
+  }
+
+  // -- thread_local current-context plumbing ---------------------------
+  static ThreadContext* current() noexcept { return tls_current_; }
+
+ private:
+  friend class ThreadGuard;
+
+  std::uint32_t find_slot(const void* line) noexcept {
+    auto h = reinterpret_cast<std::uintptr_t>(line);
+    h ^= h >> 17;
+    h *= 0x9e3779b97f4a7c15ULL;
+    std::uint32_t slot = static_cast<std::uint32_t>(h >> 32) & (kCacheSlots - 1);
+    for (std::uint32_t probe = 0; probe < kProbeLimit; ++probe) {
+      const std::uint32_t s = (slot + probe) & (kCacheSlots - 1);
+      if (keys_[s] == line || keys_[s] == nullptr) return s;
+    }
+    return slot;  // evict
+  }
+
+  static thread_local ThreadContext* tls_current_;
+
+  Machine* machine_;
+  std::uint32_t tid_;
+  std::uint32_t chip_;
+  std::uint64_t epoch_;
+  std::uint64_t clock_ = 0;
+  OpCounters counters_{};
+  const void* last_fail_line_ = nullptr;
+  std::uint64_t last_fail_version_ = 0;
+
+  const void* keys_[kCacheSlots];
+  std::uint64_t versions_[kCacheSlots];
+  std::uint64_t epochs_[kCacheSlots];
+};
+
+// RAII attachment of the calling OS thread to a simulated hardware thread.
+// On destruction the final clock and counters are deposited in the Machine.
+class ThreadGuard {
+ public:
+  ThreadGuard(Machine& m, std::uint32_t tid) : ctx_(m, tid) {
+    OLL_CHECK(ThreadContext::tls_current_ == nullptr);
+    ThreadContext::tls_current_ = &ctx_;
+  }
+
+  ~ThreadGuard() {
+    ctx_.machine().deposit(ctx_.tid(), ctx_.clock(), ctx_.counters());
+    ThreadContext::tls_current_ = nullptr;
+  }
+
+  ThreadGuard(const ThreadGuard&) = delete;
+  ThreadGuard& operator=(const ThreadGuard&) = delete;
+
+  ThreadContext& context() noexcept { return ctx_; }
+
+ private:
+  ThreadContext ctx_;
+};
+
+}  // namespace oll::sim

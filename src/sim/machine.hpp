@@ -1,0 +1,168 @@
+// Simulated machine: topology + cache-coherence cost model.
+//
+// The paper's results were produced on a Sun SPARC Enterprise T5440: four
+// UltraSPARC T2+ chips, 64 hardware threads per chip sharing a 4 MB L2, with
+// four XBR coherency hubs between chips.  "Inter-thread communication
+// overhead increases significantly when running more than 64 threads, at
+// which point not all threads can communicate via a shared L2 cache" (§5.1).
+//
+// We model exactly the aspect that drives every curve in Figure 5: the cost
+// of migrating ownership of a contended cache line between hardware threads,
+// which depends on whether the current owner sits on the same chip (shared
+// L2) or a different chip (through a coherency hub).  The model is a
+// directory of last-writer per line plus Lamport-style virtual clocks per
+// thread; see src/sim/atomic.hpp for the charging rules.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "platform/assert.hpp"
+#include "platform/cache_line.hpp"
+
+namespace oll::sim {
+
+struct Topology {
+  // UltraSPARC T2+: 8 hardware threads (SMT) per core share an L1; 8 cores
+  // per chip share a 4 MB L2; 4 chips connected by coherency hubs.
+  std::uint32_t threads_per_core = 8;
+  std::uint32_t threads_per_chip = 64;
+  std::uint32_t chips = 4;
+
+  std::uint32_t total_threads() const noexcept {
+    return threads_per_chip * chips;
+  }
+
+  // Simulated threads are laid out the way the paper binds them: fill one
+  // core, then the next core on the chip, then spill to the next chip —
+  // so ≤64 threads stay on-chip.
+  std::uint32_t chip_of(std::uint32_t tid) const noexcept {
+    return (tid / threads_per_chip) % chips;
+  }
+
+  std::uint32_t core_of(std::uint32_t tid) const noexcept {
+    return tid / threads_per_core;  // globally unique core id
+  }
+};
+
+// Virtual-cycle costs.  These are order-of-magnitude latencies for a 1.4 GHz
+// part (≈0.7 ns/cycle), not calibrated SPARC measurements; the reproduction
+// targets curve shape, not absolute acquires/s (DESIGN.md §3).
+//
+// Loads that hit the thread's cached copy cost 0: a spinning thread's
+// virtual clock must not advance with its (host-scheduling-dependent) probe
+// count — it resumes at the releasing writer's timestamp plus a transfer,
+// which is exactly the handoff latency.
+struct CostModel {
+  std::uint64_t load_hit = 0;            // re-read of an unchanged line
+  std::uint64_t local_rmw = 30;          // atomic RMW on a line we own
+  std::uint64_t local_clean = 30;        // first touch, no other owner
+  std::uint64_t samecore_transfer = 12;  // owner is an SMT sibling (same L1)
+  std::uint64_t onchip_transfer = 80;    // owner on same chip (shared L2)
+  std::uint64_t offchip_transfer = 750;  // owner on another chip (via hub)
+  // Extra serialization charge per ownership migration of a line that a
+  // different thread wrote: queuing at the coherence point.  This is what
+  // makes "every thread CASes the tail pointer" collapse.
+  std::uint64_t migration_penalty = 50;
+  // A CAS that must migrate a line whose recent writers were all different
+  // threads ("hot" line) is failed once before succeeding, emulating the
+  // interleaving a real concurrent competitor would cause.  Only
+  // compare_exchange_weak is ever failed this way (the C++ contract already
+  // permits weak CAS to fail spuriously); see sim/atomic.hpp.
+  std::uint32_t hot_line_streak = 2;
+  bool emulate_cas_failure = true;
+};
+
+inline Topology t5440_topology() { return Topology{}; }
+inline CostModel t5440_costs() { return CostModel{}; }
+
+// Per-thread event counters, aggregated by Machine::counters().
+struct OpCounters {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t rmws = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t local_misses = 0;
+  std::uint64_t samecore_transfers = 0;
+  std::uint64_t onchip_transfers = 0;
+  std::uint64_t offchip_transfers = 0;
+  std::uint64_t emulated_cas_failures = 0;
+
+  OpCounters& operator+=(const OpCounters& o) noexcept {
+    loads += o.loads;
+    stores += o.stores;
+    rmws += o.rmws;
+    l1_hits += o.l1_hits;
+    local_misses += o.local_misses;
+    samecore_transfers += o.samecore_transfers;
+    onchip_transfers += o.onchip_transfers;
+    offchip_transfers += o.offchip_transfers;
+    emulated_cas_failures += o.emulated_cas_failures;
+    return *this;
+  }
+};
+
+// One simulated machine run.  Threads attach via sim::ThreadGuard
+// (src/sim/context.hpp), execute lock code on sim::Atomic variables, and on
+// detach deposit their final virtual clock here.  Throughput for a run is
+// total operations / max_clock(), mirroring how the paper divides total
+// acquisitions by wall time.
+class Machine {
+ public:
+  explicit Machine(Topology topo = t5440_topology(),
+                   CostModel costs = t5440_costs(),
+                   std::uint32_t max_threads = 512)
+      : topo_(topo), costs_(costs), clocks_(max_threads), counters_(max_threads) {
+    reset();
+  }
+
+  const Topology& topology() const noexcept { return topo_; }
+  const CostModel& costs() const noexcept { return costs_; }
+
+  std::uint32_t max_threads() const noexcept {
+    return static_cast<std::uint32_t>(clocks_.size());
+  }
+
+  void deposit(std::uint32_t tid, std::uint64_t clock, const OpCounters& c) {
+    OLL_CHECK(tid < clocks_.size());
+    clocks_[tid].value.store(clock, std::memory_order_relaxed);
+    counters_[tid].value = c;
+  }
+
+  std::uint64_t max_clock() const {
+    std::uint64_t m = 0;
+    for (const auto& c : clocks_) {
+      const std::uint64_t v = c.value.load(std::memory_order_relaxed);
+      if (v > m) m = v;
+    }
+    return m;
+  }
+
+  OpCounters counters() const {
+    OpCounters total;
+    for (const auto& c : counters_) total += c.value;
+    return total;
+  }
+
+  void reset() {
+    for (auto& c : clocks_) c.value.store(0, std::memory_order_relaxed);
+    for (auto& c : counters_) c.value = OpCounters{};
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  // Epoch counter lets per-thread line caches detect stale entries across
+  // Machine::reset() without a global flush.
+  std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+ private:
+  Topology topo_;
+  CostModel costs_;
+  std::vector<CacheAligned<std::atomic<std::uint64_t>>> clocks_;
+  std::vector<CacheAligned<OpCounters>> counters_;
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+}  // namespace oll::sim

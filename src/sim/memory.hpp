@@ -1,0 +1,24 @@
+// SimMemory: the memory-model policy that routes lock code onto the
+// instrumented atomics.  See platform/memory.hpp for the policy contract.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/atomic.hpp"
+#include "sim/context.hpp"
+
+namespace oll::sim {
+
+struct SimMemory {
+  template <typename T>
+  using Atomic = sim::Atomic<T>;
+
+  static constexpr bool kSimulated = true;
+
+  // Account virtual compute work (e.g. a simulated critical section body).
+  static void charge(std::uint64_t cycles) noexcept {
+    if (ThreadContext* ctx = ThreadContext::current()) ctx->advance(cycles);
+  }
+};
+
+}  // namespace oll::sim

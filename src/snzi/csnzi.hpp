@@ -1,0 +1,472 @@
+// C-SNZI: closable scalable nonzero indicator (paper §2, Figure 2).
+//
+// A SNZI object lets threads Arrive and Depart and answers only "is there a
+// surplus of arrivals?".  The closable variant adds Open/Close so a writer
+// can atomically forbid further arrivals — the key to the OLL reader-writer
+// locks: readers Arrive/Depart, writers Close/Open.
+//
+// Implementation follows the simplified Lev et al. algorithm reproduced in
+// Figure 2 of the paper:
+//
+//   * The root is a single CAS-able 64-bit word holding the surplus and the
+//     OPEN/CLOSED bit.  Per the tuning note in §5.1, the root keeps TWO
+//     counters: one for arrivals made directly at the root and one for
+//     arrivals propagated up from the tree.  This both implements the
+//     root-contention optimization the authors used and provides exactly the
+//     information needed for write-upgrade (§3.2.1).
+//   * Below the root sits an optional tree of counter nodes.  An Arrive at a
+//     node only touches its parent when the node's count might change from
+//     zero ("first arrival"), and symmetrically for Depart ("last
+//     departure"), so under heavy read contention most arrivals stay on a
+//     leaf the arriving thread effectively owns.
+//   * A thread Arrives at the root unless it keeps losing the root CAS or
+//     sees that other threads are already using the tree
+//     (ShouldArriveAtTree, §5.1); the tree is allocated lazily on first use
+//     so uncontended C-SNZIs pay no space (§2.2).
+//
+// Linearization subtlety faithfully preserved (§2.2): an arrival through the
+// tree may increment a leaf whose count is nonzero without touching the
+// root, even if a Close has happened in between; such an Arrive linearizes
+// at the earlier point where the thread saw the C-SNZI open.  Consequently a
+// tree arrival propagating to the root only fails when the root is CLOSED
+// with zero total surplus.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <new>
+
+#include "platform/assert.hpp"
+#include "platform/cache_line.hpp"
+#include "platform/memory.hpp"
+#include "platform/thread_id.hpp"
+
+namespace oll {
+
+// Where Arrive should try first; kAdaptive is the paper's policy, the other
+// two exist for the ablation benchmarks.
+enum class ArrivalPolicy : std::uint8_t {
+  kAdaptive,    // root until contention is observed (§5.1)
+  kAlwaysRoot,  // degenerate: central counter
+  kAlwaysTree,  // always pay the tree path
+};
+
+struct CSnziOptions {
+  // Number of leaf counter nodes (rounded up to a power of two).  64 leaves
+  // comfortably spread 256 threads, matching the evaluation machine.
+  std::uint32_t leaves = 64;
+  // Levels of counter nodes below the root.  1 reproduces Figure 2's
+  // root+leaves shape; deeper trees trade latency for less root traffic.
+  std::uint32_t levels = 1;
+  // Fan-in of internal levels when levels > 1.
+  std::uint32_t fanout = 8;
+  // Consecutive root-CAS failures before switching to the tree.
+  std::uint32_t root_cas_fail_threshold = 2;
+  // Allocate the tree on first tree arrival instead of up front (§2.2).
+  bool lazy_tree = true;
+  ArrivalPolicy policy = ArrivalPolicy::kAdaptive;
+  // GetLeafForThread locality: leaf index = (thread_index >> leaf_shift)
+  // mod leaves.  0 gives each thread its own leaf (best when threads have
+  // private caches); 3 groups 8 SMT siblings that share an L1 onto one leaf
+  // (the right mapping for the paper's UltraSPARC T2+ and for the simulated
+  // topology, where same-core transfers are nearly free).
+  std::uint32_t leaf_shift = 0;
+};
+
+// Result of Query: (surplus != 0, state == OPEN).
+struct SnziQuery {
+  bool nonzero;
+  bool open;
+};
+
+template <typename M = RealMemory>
+class CSnzi {
+ public:
+  // --- root word layout -------------------------------------------------
+  // bits [0, 28)   direct-arrival surplus
+  // bits [28, 56)  tree-propagated surplus
+  // bit  56        OPEN flag
+  static constexpr std::uint64_t kDirectShift = 0;
+  static constexpr std::uint64_t kTreeShift = 28;
+  static constexpr std::uint64_t kCountMask = (1ULL << 28) - 1;
+  static constexpr std::uint64_t kOpenBit = 1ULL << 56;
+  static constexpr std::uint64_t kDirectOne = 1ULL << kDirectShift;
+  static constexpr std::uint64_t kTreeOne = 1ULL << kTreeShift;
+
+  static constexpr std::uint64_t direct_count(std::uint64_t w) noexcept {
+    return (w >> kDirectShift) & kCountMask;
+  }
+  static constexpr std::uint64_t tree_count(std::uint64_t w) noexcept {
+    return (w >> kTreeShift) & kCountMask;
+  }
+  static constexpr std::uint64_t total_count(std::uint64_t w) noexcept {
+    return direct_count(w) + tree_count(w);
+  }
+  static constexpr bool is_open(std::uint64_t w) noexcept {
+    return (w & kOpenBit) != 0;
+  }
+  static constexpr std::uint64_t make_root(std::uint64_t direct,
+                                           std::uint64_t tree,
+                                           bool open) noexcept {
+    return (direct << kDirectShift) | (tree << kTreeShift) |
+           (open ? kOpenBit : 0);
+  }
+
+  // --- tree node ---------------------------------------------------------
+  struct alignas(kFalseSharingRange) Node {
+    typename M::template Atomic<std::uint64_t> cnt{0};
+    Node* parent = nullptr;  // nullptr => parent is the root word
+  };
+
+  // Opaque handle naming the node an Arrive landed on; must be passed back
+  // to Depart.  A default-constructed / failed ticket answers false to
+  // arrived().
+  class Ticket {
+   public:
+    Ticket() = default;
+
+    bool arrived() const noexcept { return kind_ != Kind::kNone; }
+    bool is_direct() const noexcept { return kind_ == Kind::kRoot; }
+
+   private:
+    friend class CSnzi;
+    enum class Kind : std::uint8_t { kNone, kRoot, kNode };
+    explicit Ticket(Kind k, Node* n = nullptr) : kind_(k), node_(n) {}
+
+    Kind kind_ = Kind::kNone;
+    Node* node_ = nullptr;
+  };
+
+  explicit CSnzi(const CSnziOptions& opts = {}) : opts_(normalize(opts)) {
+    root_.store(make_root(0, 0, true), std::memory_order_relaxed);
+    if (!opts_.lazy_tree) ensure_tree();
+  }
+
+  ~CSnzi() { delete[] tree_storage_.load(std::memory_order_acquire); }
+
+  CSnzi(const CSnzi&) = delete;
+  CSnzi& operator=(const CSnzi&) = delete;
+
+  // --- C-SNZI operations (Figure 1 specification) ------------------------
+
+  // Arrive: increments the surplus iff the C-SNZI is open (with the tree
+  // linearization subtlety described above).  Returns a ticket; a failed
+  // arrival (closed C-SNZI) returns a ticket with arrived() == false.
+  Ticket arrive() {
+    std::uint32_t root_failures = 0;
+    while (true) {
+      std::uint64_t old = root_.load(std::memory_order_acquire);
+      if (!is_open(old)) return Ticket{};
+      if (!should_arrive_at_tree(old, root_failures)) {
+        const std::uint64_t desired = old + kDirectOne;
+        if (root_.compare_exchange_weak(old, desired,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+          return Ticket{Ticket::Kind::kRoot};
+        }
+        ++root_failures;
+      } else {
+        Node* leaf = leaf_for_thread();
+        if (tree_arrive(leaf)) return Ticket{Ticket::Kind::kNode, leaf};
+        return Ticket{};
+      }
+    }
+  }
+
+  // Depart: decrements the surplus.  Returns false iff the resulting state
+  // is CLOSED with zero surplus (the "last departure" a lock uses to detect
+  // that it must hand over to a waiting writer).  Requires a ticket from a
+  // successful arrival (or direct_ticket() backed by open_with_arrivals).
+  bool depart(const Ticket& t) {
+    OLL_DCHECK(t.arrived());
+    if (t.kind_ == Ticket::Kind::kRoot) return root_depart_direct();
+    return tree_depart(t.node_);
+  }
+
+  // Query: (surplus > 0, open).  A single root read — the whole point of
+  // SNZI is that this is accurate without touching the tree.
+  SnziQuery query() const {
+    const std::uint64_t w = root_.load(std::memory_order_acquire);
+    return SnziQuery{total_count(w) > 0, is_open(w)};
+  }
+
+  // Close: transitions OPEN -> CLOSED regardless of surplus.  Returns true
+  // iff the C-SNZI was open with zero surplus (i.e. the caller atomically
+  // "acquired" the empty indicator).
+  bool close() {
+    std::uint64_t old = root_.load(std::memory_order_acquire);
+    while (true) {
+      if (!is_open(old)) return false;
+      const std::uint64_t desired = old & ~kOpenBit;
+      if (root_.compare_exchange_weak(old, desired,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        return total_count(desired) == 0;
+      }
+    }
+  }
+
+  // CloseIfEmpty (§2.1): close only when open with zero surplus.  Returns
+  // true iff the state changed OPEN->CLOSED (writers use this as their
+  // uncontended fast path).
+  bool close_if_empty() {
+    std::uint64_t old = make_root(0, 0, true);
+    return root_.compare_exchange_strong(old, make_root(0, 0, false),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+  }
+
+  // Open: requires CLOSED with zero surplus (lock is write-held by caller).
+  void open() {
+    OLL_DCHECK(!is_open(root_.load(std::memory_order_relaxed)));
+    OLL_DCHECK(total_count(root_.load(std::memory_order_relaxed)) == 0);
+    root_.store(make_root(0, 0, true), std::memory_order_release);
+  }
+
+  // OpenWithArrivals (§2.1): atomically open, perform `count` arrivals
+  // (credited to the direct counter — the waiting readers were handed
+  // direct tickets), and optionally close again (writers still queued).
+  // Requires CLOSED with zero surplus.
+  void open_with_arrivals(std::uint64_t count, bool then_close) {
+    OLL_DCHECK(!is_open(root_.load(std::memory_order_relaxed)));
+    OLL_DCHECK(total_count(root_.load(std::memory_order_relaxed)) == 0);
+    OLL_DCHECK(count <= kCountMask);
+    root_.store(make_root(count, 0, !then_close), std::memory_order_release);
+  }
+
+  // A ticket departing directly from the root; used by lock code when a
+  // releasing writer pre-arrives on behalf of sleeping readers
+  // (OpenWithArrivals), who then each depart with a direct ticket.
+  Ticket direct_ticket() const { return Ticket{Ticket::Kind::kRoot}; }
+
+  // --- write-upgrade support (§3.2.1) ------------------------------------
+  //
+  // try_upgrade_exclusive: the caller holds one arrival (ticket t).  If it
+  // is the *sole* surplus and the C-SNZI is open, atomically close with zero
+  // surplus (the caller now "owns" the closed indicator — write-acquired in
+  // lock terms) and return true.  Otherwise return false; on return the
+  // caller still holds exactly one arrival, though t may have been traded
+  // for a direct-root ticket (the paper's counter trade).
+  bool try_upgrade_exclusive(Ticket& t) {
+    OLL_DCHECK(t.arrived());
+    if (t.kind_ == Ticket::Kind::kNode) {
+      // Trade the tree arrival for a direct arrival at the root, then test.
+      if (!root_arrive_direct()) return false;  // closed: writer waiting
+      tree_depart(t.node_);  // cannot be last: our direct arrival counts
+      t = Ticket{Ticket::Kind::kRoot};
+    }
+    // Sole holder iff direct == 1 and tree == 0.
+    std::uint64_t expected = make_root(1, 0, true);
+    return root_.compare_exchange_strong(expected, make_root(0, 0, false),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+  }
+
+  // Inverse of the above for lock downgrade: caller owns the closed, empty
+  // indicator and converts it to a single direct arrival.
+  Ticket downgrade_shared() {
+    open_with_arrivals(1, /*then_close=*/false);
+    return Ticket{Ticket::Kind::kRoot};
+  }
+
+  // --- introspection (tests / diagnostics) -------------------------------
+  std::uint64_t root_word() const {
+    return root_.load(std::memory_order_acquire);
+  }
+  bool tree_allocated() const {
+    return tree_storage_.load(std::memory_order_acquire) != nullptr;
+  }
+  std::uint32_t leaf_count() const { return opts_.leaves; }
+  const CSnziOptions& options() const { return opts_; }
+
+ private:
+  static CSnziOptions normalize(CSnziOptions o) {
+    if (o.leaves == 0) o.leaves = 1;
+    // Round leaves up to a power of two for cheap masking.
+    std::uint32_t p = 1;
+    while (p < o.leaves) p <<= 1;
+    o.leaves = p;
+    if (o.levels == 0) o.levels = 1;
+    if (o.fanout < 2) o.fanout = 2;
+    return o;
+  }
+
+  bool should_arrive_at_tree(std::uint64_t root_word,
+                             std::uint32_t failures) const {
+    switch (opts_.policy) {
+      case ArrivalPolicy::kAlwaysRoot:
+        return false;
+      case ArrivalPolicy::kAlwaysTree:
+        return true;
+      case ArrivalPolicy::kAdaptive:
+        // §5.1: favor direct arrivals until we lose the root CAS repeatedly
+        // or see that other threads have already moved to the tree.
+        return failures >= opts_.root_cas_fail_threshold ||
+               tree_count(root_word) > 0;
+    }
+    return false;
+  }
+
+  // --- direct root arrival/departure -------------------------------------
+  bool root_arrive_direct() {
+    std::uint64_t old = root_.load(std::memory_order_acquire);
+    while (true) {
+      if (!is_open(old)) return false;
+      if (root_.compare_exchange_weak(old, old + kDirectOne,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        return true;
+      }
+    }
+  }
+
+  bool root_depart_direct() {
+    std::uint64_t old = root_.load(std::memory_order_acquire);
+    while (true) {
+      OLL_DCHECK(direct_count(old) > 0);
+      const std::uint64_t desired = old - kDirectOne;
+      if (root_.compare_exchange_weak(old, desired,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        return !(total_count(desired) == 0 && !is_open(desired));
+      }
+    }
+  }
+
+  // --- tree arrival/departure: root base cases (Figure 2) ----------------
+  // Fails only when CLOSED with zero total surplus; see file comment.
+  bool root_arrive_tree() {
+    std::uint64_t old = root_.load(std::memory_order_acquire);
+    while (true) {
+      if (!is_open(old) && total_count(old) == 0) return false;
+      if (root_.compare_exchange_weak(old, old + kTreeOne,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        return true;
+      }
+    }
+  }
+
+  bool root_depart_tree() {
+    std::uint64_t old = root_.load(std::memory_order_acquire);
+    while (true) {
+      OLL_DCHECK(tree_count(old) > 0);
+      const std::uint64_t desired = old - kTreeOne;
+      if (root_.compare_exchange_weak(old, desired,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        return !(total_count(desired) == 0 && !is_open(desired));
+      }
+    }
+  }
+
+  // --- tree arrival/departure: counter nodes (Figure 2) ------------------
+  bool tree_arrive(Node* node) {
+    bool arrived_at_parent = false;
+    std::uint64_t x;
+    while (true) {
+      x = node->cnt.load(std::memory_order_acquire);
+      if (x == 0 && !arrived_at_parent) {
+        const bool ok = node->parent ? tree_arrive(node->parent)
+                                     : root_arrive_tree();
+        if (!ok) return false;
+        arrived_at_parent = true;
+        continue;  // re-read x before the CAS
+      }
+      if (node->cnt.compare_exchange_weak(x, x + 1,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+        break;
+      }
+    }
+    if (arrived_at_parent && x != 0) {
+      // Someone else created the surplus between our check and our CAS; undo
+      // the redundant parent arrival.
+      if (node->parent) {
+        tree_depart(node->parent);
+      } else {
+        root_depart_tree();
+      }
+    }
+    return true;
+  }
+
+  bool tree_depart(Node* node) {
+    std::uint64_t x;
+    while (true) {
+      x = node->cnt.load(std::memory_order_acquire);
+      OLL_DCHECK(x > 0);
+      if (node->cnt.compare_exchange_weak(x, x - 1,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+        break;
+      }
+    }
+    if (x == 1) {
+      return node->parent ? tree_depart(node->parent) : root_depart_tree();
+    }
+    return true;
+  }
+
+  // --- tree construction --------------------------------------------------
+  // Layout in one array: [leaves][level above leaves]...[level below root].
+  // total nodes = leaves + leaves/fanout + ... for levels-1 internal tiers.
+  std::uint32_t total_nodes() const {
+    std::uint32_t total = opts_.leaves;
+    std::uint32_t width = opts_.leaves;
+    for (std::uint32_t l = 1; l < opts_.levels; ++l) {
+      width = (width + opts_.fanout - 1) / opts_.fanout;
+      total += width;
+    }
+    return total;
+  }
+
+  Node* ensure_tree() {
+    Node* existing = tree_storage_.load(std::memory_order_acquire);
+    if (existing) return existing;
+    const std::uint32_t n = total_nodes();
+    Node* fresh = new Node[n];
+    // Wire parents: leaves occupy [0, leaves); each subsequent tier follows.
+    std::uint32_t tier_base = 0;
+    std::uint32_t tier_width = opts_.leaves;
+    for (std::uint32_t l = 1; l < opts_.levels; ++l) {
+      const std::uint32_t next_width =
+          (tier_width + opts_.fanout - 1) / opts_.fanout;
+      const std::uint32_t next_base = tier_base + tier_width;
+      for (std::uint32_t i = 0; i < tier_width; ++i) {
+        fresh[tier_base + i].parent = &fresh[next_base + i / opts_.fanout];
+      }
+      tier_base = next_base;
+      tier_width = next_width;
+    }
+    // Topmost tier's parent is the root word (nullptr sentinel).
+    for (std::uint32_t i = 0; i < tier_width; ++i) {
+      fresh[tier_base + i].parent = nullptr;
+    }
+    Node* expected = nullptr;
+    if (tree_storage_.compare_exchange_strong(expected, fresh,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+      return fresh;
+    }
+    delete[] fresh;  // another thread won the publication race
+    return expected;
+  }
+
+  Node* leaf_for_thread() {
+    Node* tree = ensure_tree();
+    return &tree[(this_thread_index() >> opts_.leaf_shift) &
+                 (opts_.leaves - 1)];
+  }
+
+  CSnziOptions opts_;
+  typename M::template Atomic<std::uint64_t> root_;
+  char pad_[kFalseSharingRange - sizeof(typename M::template Atomic<std::uint64_t>) %
+                kFalseSharingRange];
+  // Owned tree storage; published lock-free, freed in the destructor.  This
+  // is a std::atomic even in simulated builds: tree publication is a
+  // once-per-lock event, not a contended hot path we want to model.
+  std::atomic<Node*> tree_storage_{nullptr};
+};
+
+}  // namespace oll

@@ -1,0 +1,248 @@
+// The ORIGINAL SNZI algorithm (Ellen, Lev, Luchangco & Moir, PODC'07),
+// reconstructed: hierarchical nodes whose counters take the intermediate
+// value 1/2 during a first arrival.
+//
+// Why this exists in a C-SNZI repository: the paper (§2.2) deliberately does
+// NOT use this algorithm — it uses the simplified Lev et al. variant
+// because "an Arrive operation that invokes Arrive on the parent does not
+// modify the child node before doing so", which is the property that makes
+// the closable extension trivial (no cleanup when the parent arrival fails
+// on a closed root).  The original algorithm *does* publish the half state
+// at the child before arriving at the parent, so closing it would need undo
+// machinery.  Implementing both lets the test suite and the microbenchmarks
+// substantiate that design choice instead of taking it on faith.
+//
+// Protocol at a non-root node (counter c ∈ {0, 1/2, 1, 3/2(never), 2, ...},
+// stored in half units, paired with a version number bumped on 0 -> 1/2):
+//
+//   Arrive(X):
+//     loop:
+//       (c, v) = X
+//       if c >= 1   and CAS(X, (c,v), (c+1,v)):    done, no parent visit
+//       if c == 0   and CAS(X, (0,v), (1/2,v+1)):  we own the half-arrival
+//       if c == 1/2:                               (ours or someone else's)
+//         Arrive(parent)
+//         if CAS(X, (1/2,v), (1,v)): done          our parent visit "lands"
+//         else: remember one surplus parent arrival to undo
+//     undo the accumulated extra parent arrivals with Depart(parent)
+//
+//   Depart(X):
+//     loop:
+//       (c, v) = X                                  // c >= 1 guaranteed
+//       if CAS(X, (c,v), (c-1,v)):
+//         if c == 1: Depart(parent)
+//         return
+//
+// The root here is a plain counter (arrivals/departures at the top level).
+// The PODC'07 paper additionally splits the root's query answer into an
+// out-of-band indicator bit written under a version check, so that Query is
+// one boolean read; our Query is one 64-bit root read, which serves the
+// same purpose, so that machinery is intentionally omitted (documented
+// deviation).  This object supports Arrive/Depart/Query only — no Close;
+// see the file comment for why closing this algorithm is not practical.
+#pragma once
+
+#include <cstdint>
+
+#include "platform/assert.hpp"
+#include "platform/cache_line.hpp"
+#include "platform/memory.hpp"
+#include "platform/thread_id.hpp"
+#include "snzi/csnzi.hpp"  // reuses CSnziOptions for shape configuration
+
+namespace oll {
+
+template <typename M = RealMemory>
+class OrigSnzi {
+ public:
+  // Node word layout: [0,32) counter in HALF units; [32,64) version.
+  static constexpr std::uint64_t kHalf = 1;               // c == 1/2
+  static constexpr std::uint64_t kOne = 2;                // c == 1
+  static constexpr std::uint64_t kCounterMask = 0xffffffffULL;
+  static constexpr std::uint64_t kVersionOne = 1ULL << 32;
+
+  static constexpr std::uint64_t counter_halves(std::uint64_t w) noexcept {
+    return w & kCounterMask;
+  }
+  static constexpr std::uint64_t version(std::uint64_t w) noexcept {
+    return w >> 32;
+  }
+  static constexpr std::uint64_t make_word(std::uint64_t halves,
+                                           std::uint64_t ver) noexcept {
+    return (ver << 32) | halves;
+  }
+
+  struct alignas(kFalseSharingRange) Node {
+    typename M::template Atomic<std::uint64_t> word{0};
+    Node* parent = nullptr;  // nullptr => the root counter
+  };
+
+  class Ticket {
+   public:
+    Ticket() = default;
+    bool arrived() const noexcept { return valid_; }
+
+   private:
+    friend class OrigSnzi;
+    explicit Ticket(Node* n) : node_(n), valid_(true) {}
+    Node* node_ = nullptr;  // nullptr with valid_: direct root arrival
+    bool valid_ = false;
+  };
+
+  explicit OrigSnzi(const CSnziOptions& opts = {}) : opts_(normalize(opts)) {
+    const std::uint32_t n = total_nodes();
+    nodes_ = std::make_unique<Node[]>(n);
+    wire_parents();
+  }
+
+  OrigSnzi(const OrigSnzi&) = delete;
+  OrigSnzi& operator=(const OrigSnzi&) = delete;
+
+  // Arrive at this thread's leaf (always succeeds; plain SNZI is unclosable).
+  Ticket arrive() {
+    Node* leaf = leaf_for_thread();
+    node_arrive(leaf);
+    return Ticket(leaf);
+  }
+
+  void depart(const Ticket& t) {
+    OLL_DCHECK(t.arrived());
+    if (t.node_ != nullptr) {
+      node_depart(t.node_);
+    } else {
+      root_depart();
+    }
+  }
+
+  bool query() const {
+    return root_.load(std::memory_order_acquire) > 0;
+  }
+
+  // --- introspection ------------------------------------------------------
+  std::uint64_t root_count() const {
+    return root_.load(std::memory_order_acquire);
+  }
+  std::uint32_t leaf_count() const { return opts_.leaves; }
+
+ private:
+  static CSnziOptions normalize(CSnziOptions o) {
+    if (o.leaves == 0) o.leaves = 1;
+    std::uint32_t p = 1;
+    while (p < o.leaves) p <<= 1;
+    o.leaves = p;
+    if (o.levels == 0) o.levels = 1;
+    if (o.fanout < 2) o.fanout = 2;
+    return o;
+  }
+
+  void node_arrive(Node* node) {
+    if (node == nullptr) {
+      root_arrive();
+      return;
+    }
+    std::uint32_t undo_arrivals = 0;
+    bool succeeded = false;
+    while (!succeeded) {
+      std::uint64_t w = node->word.load(std::memory_order_acquire);
+      const std::uint64_t c = counter_halves(w);
+      if (c >= kOne) {
+        if (node->word.compare_exchange_weak(
+                w, make_word(c + kOne, version(w)),
+                std::memory_order_acq_rel, std::memory_order_acquire)) {
+          succeeded = true;
+        }
+      } else if (c == 0) {
+        // Claim the half state, bumping the version so that stale 1/2
+        // observations from previous zero-crossings cannot be completed.
+        if (node->word.compare_exchange_weak(
+                w, make_word(kHalf, version(w) + 1),
+                std::memory_order_acq_rel, std::memory_order_acquire)) {
+          // fall through: next iteration sees our own 1/2
+        }
+      } else {  // c == 1/2: someone (maybe us) must push the parent arrival
+        const std::uint64_t v = version(w);
+        node_arrive(node->parent);
+        if (node->word.compare_exchange_strong(
+                w, make_word(kOne, v), std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
+          succeeded = true;
+        } else {
+          // Another helper's parent arrival landed first (or the state
+          // moved on); ours is surplus and must be undone afterwards.
+          ++undo_arrivals;
+        }
+      }
+    }
+    while (undo_arrivals > 0) {
+      node_depart(node->parent);
+      --undo_arrivals;
+    }
+  }
+
+  void node_depart(Node* node) {
+    if (node == nullptr) {
+      root_depart();
+      return;
+    }
+    while (true) {
+      std::uint64_t w = node->word.load(std::memory_order_acquire);
+      const std::uint64_t c = counter_halves(w);
+      OLL_DCHECK(c >= kOne);
+      if (node->word.compare_exchange_weak(
+              w, make_word(c - kOne, version(w)),
+              std::memory_order_acq_rel, std::memory_order_acquire)) {
+        if (c == kOne) node_depart(node->parent);
+        return;
+      }
+    }
+  }
+
+  void root_arrive() { root_.fetch_add(1, std::memory_order_acq_rel); }
+
+  void root_depart() {
+    const std::uint64_t before =
+        root_.fetch_sub(1, std::memory_order_acq_rel);
+    OLL_DCHECK(before > 0);
+    (void)before;
+  }
+
+  std::uint32_t total_nodes() const {
+    std::uint32_t total = opts_.leaves;
+    std::uint32_t width = opts_.leaves;
+    for (std::uint32_t l = 1; l < opts_.levels; ++l) {
+      width = (width + opts_.fanout - 1) / opts_.fanout;
+      total += width;
+    }
+    return total;
+  }
+
+  void wire_parents() {
+    std::uint32_t tier_base = 0;
+    std::uint32_t tier_width = opts_.leaves;
+    for (std::uint32_t l = 1; l < opts_.levels; ++l) {
+      const std::uint32_t next_width =
+          (tier_width + opts_.fanout - 1) / opts_.fanout;
+      const std::uint32_t next_base = tier_base + tier_width;
+      for (std::uint32_t i = 0; i < tier_width; ++i) {
+        nodes_[tier_base + i].parent = &nodes_[next_base + i / opts_.fanout];
+      }
+      tier_base = next_base;
+      tier_width = next_width;
+    }
+    for (std::uint32_t i = 0; i < tier_width; ++i) {
+      nodes_[tier_base + i].parent = nullptr;
+    }
+  }
+
+  Node* leaf_for_thread() {
+    return &nodes_[(this_thread_index() >> opts_.leaf_shift) &
+                   (opts_.leaves - 1)];
+  }
+
+  CSnziOptions opts_;
+  typename M::template Atomic<std::uint64_t> root_{0};
+  char pad_[kFalseSharingRange - sizeof(std::uint64_t)];
+  std::unique_ptr<Node[]> nodes_;
+};
+
+}  // namespace oll

@@ -1,0 +1,41 @@
+// Plain SNZI (Ellen–Lev–Luchangco–Moir, PODC'07) as used by the paper's
+// §2.2 discussion: Arrive / Depart / Query with no Close.
+//
+// Implemented as a C-SNZI that is never closed — the closable algorithm in
+// csnzi.hpp degenerates to exactly the simplified Lev et al. SNZI when the
+// OPEN bit never changes, so there is one tree algorithm to test and tune.
+#pragma once
+
+#include "platform/memory.hpp"
+#include "snzi/csnzi.hpp"
+
+namespace oll {
+
+template <typename M = RealMemory>
+class Snzi {
+ public:
+  using Ticket = typename CSnzi<M>::Ticket;
+
+  explicit Snzi(const CSnziOptions& opts = {}) : impl_(opts) {}
+
+  // Arrive always succeeds on a plain SNZI.
+  Ticket arrive() {
+    Ticket t = impl_.arrive();
+    OLL_DCHECK(t.arrived());
+    return t;
+  }
+
+  // Requires a surplus (ticket from a prior arrive).
+  void depart(const Ticket& t) { impl_.depart(t); }
+
+  // True iff there have been more arrivals than departures.
+  bool query() const { return impl_.query().nonzero; }
+
+  std::uint64_t root_word() const { return impl_.root_word(); }
+  bool tree_allocated() const { return impl_.tree_allocated(); }
+
+ private:
+  CSnzi<M> impl_;
+};
+
+}  // namespace oll

@@ -1,0 +1,186 @@
+// Model-based checking of C-SNZI against the paper's Figure 1 reference
+// specification: a trivially-correct sequential model (integer surplus +
+// OPEN/CLOSED flag) is driven with the same random operation sequence as
+// the real implementation, and every return value and query must agree.
+//
+// This pins the implementation to the SPECIFICATION (Figure 1), while
+// csnzi_test.cpp pins it to hand-picked cases and snzi_stress_test.cpp to
+// concurrent invariants.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "platform/memory.hpp"
+#include "platform/rng.hpp"
+#include "snzi/csnzi.hpp"
+
+namespace oll {
+namespace {
+
+// Figure 1, verbatim.
+class ReferenceCSnzi {
+ public:
+  bool arrive() {  // returns arrived?
+    if (!open_) return false;
+    ++surplus_;
+    return true;
+  }
+
+  bool depart() {  // requires surplus > 0
+    --surplus_;
+    return !(surplus_ == 0 && !open_);
+  }
+
+  // (nonzero, open)
+  std::pair<bool, bool> query() const { return {surplus_ > 0, open_}; }
+
+  bool close() {
+    if (open_) {
+      open_ = false;
+      return surplus_ == 0;
+    }
+    return false;
+  }
+
+  void open() {
+    ASSERT_OK();
+    open_ = true;
+  }
+
+  bool close_if_empty() {
+    if (open_ && surplus_ == 0) {
+      open_ = false;
+      return true;
+    }
+    return false;
+  }
+
+  void open_with_arrivals(std::uint64_t n, bool then_close) {
+    ASSERT_OK();
+    surplus_ = static_cast<std::int64_t>(n);
+    open_ = !then_close;
+  }
+
+  std::int64_t surplus() const { return surplus_; }
+  bool is_open() const { return open_; }
+
+ private:
+  void ASSERT_OK() const {
+    // Open/OpenWithArrivals preconditions (Figure 1).
+    ASSERT_FALSE(open_);
+    ASSERT_EQ(surplus_, 0);
+  }
+
+  std::int64_t surplus_ = 0;
+  bool open_ = true;
+};
+
+struct Hold {
+  CSnzi<RealMemory>::Ticket ticket;
+};
+
+class CSnziModelCheck : public ::testing::TestWithParam<ArrivalPolicy> {};
+
+TEST_P(CSnziModelCheck, RandomSequencesAgreeWithFigure1) {
+  CSnziOptions opts;
+  opts.policy = GetParam();
+  opts.leaves = 8;
+  opts.levels = 2;
+  opts.fanout = 4;
+
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    CSnzi<RealMemory> impl(opts);
+    ReferenceCSnzi model;
+    Xoshiro256ss rng(seed);
+    std::vector<Hold> holds;        // arrivals not yet departed
+    std::uint64_t pre_arrivals = 0; // direct tickets from open_with_arrivals
+
+    for (int step = 0; step < 4000; ++step) {
+      // Queries must agree at every step.
+      const auto q = impl.query();
+      const auto [m_nonzero, m_open] = model.query();
+      ASSERT_EQ(q.nonzero, m_nonzero) << "seed " << seed << " step " << step;
+      ASSERT_EQ(q.open, m_open) << "seed " << seed << " step " << step;
+
+      switch (rng.next_below(6)) {
+        case 0:    // arrive
+        case 1: {  // (weighted)
+          auto t = impl.arrive();
+          const bool m = model.arrive();
+          ASSERT_EQ(t.arrived(), m) << "seed " << seed << " step " << step;
+          if (t.arrived()) holds.push_back(Hold{t});
+          break;
+        }
+        case 2: {  // depart (tree/root ticket first, then pre-arrivals)
+          if (!holds.empty()) {
+            const std::size_t i = rng.next_below(holds.size());
+            const bool r = impl.depart(holds[i].ticket);
+            holds.erase(holds.begin() + static_cast<std::ptrdiff_t>(i));
+            ASSERT_EQ(r, model.depart()) << "seed " << seed << " step "
+                                         << step;
+          } else if (pre_arrivals > 0) {
+            --pre_arrivals;
+            const bool r = impl.depart(impl.direct_ticket());
+            ASSERT_EQ(r, model.depart()) << "seed " << seed << " step "
+                                         << step;
+          }
+          break;
+        }
+        case 3: {  // close
+          ASSERT_EQ(impl.close(), model.close())
+              << "seed " << seed << " step " << step;
+          break;
+        }
+        case 4: {  // close_if_empty
+          ASSERT_EQ(impl.close_if_empty(), model.close_if_empty())
+              << "seed " << seed << " step " << step;
+          break;
+        }
+        case 5: {  // open / open_with_arrivals (only when precondition holds)
+          if (!model.is_open() && model.surplus() == 0) {
+            if (rng.bernoulli(1, 2)) {
+              impl.open();
+              model.open();
+            } else {
+              const std::uint64_t n = rng.next_below(5);
+              const bool then_close = rng.bernoulli(1, 3);
+              impl.open_with_arrivals(n, then_close);
+              model.open_with_arrivals(n, then_close);
+              pre_arrivals += n;
+            }
+          }
+          break;
+        }
+      }
+    }
+    // Drain and verify the final state agrees.
+    while (!holds.empty()) {
+      ASSERT_EQ(impl.depart(holds.back().ticket), model.depart());
+      holds.pop_back();
+    }
+    while (pre_arrivals > 0) {
+      ASSERT_EQ(impl.depart(impl.direct_ticket()), model.depart());
+      --pre_arrivals;
+    }
+    ASSERT_EQ(impl.query().nonzero, model.query().first);
+    ASSERT_EQ(impl.query().open, model.query().second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, CSnziModelCheck,
+                         ::testing::Values(ArrivalPolicy::kAdaptive,
+                                           ArrivalPolicy::kAlwaysRoot,
+                                           ArrivalPolicy::kAlwaysTree),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ArrivalPolicy::kAdaptive: return "adaptive";
+                             case ArrivalPolicy::kAlwaysRoot: return "root";
+                             case ArrivalPolicy::kAlwaysTree: return "tree";
+                           }
+                           return "?";
+                         });
+
+}  // namespace
+}  // namespace oll

@@ -1,0 +1,200 @@
+// Property-style sweeps for C-SNZI internals: the packed dual-counter root
+// word, options normalization, tree geometry, and OpenWithArrivals /
+// DirectTicket accounting across parameter ranges (TEST_P).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "platform/memory.hpp"
+#include "snzi/csnzi.hpp"
+
+namespace oll {
+namespace {
+
+using C = CSnzi<RealMemory>;
+
+// --- root word packing (pure functions, swept over value ranges) -----------
+
+class RootWordPacking
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t,
+                                                 bool>> {};
+
+TEST_P(RootWordPacking, RoundTrips) {
+  const auto [direct, tree, open] = GetParam();
+  const std::uint64_t w = C::make_root(direct, tree, open);
+  EXPECT_EQ(C::direct_count(w), direct);
+  EXPECT_EQ(C::tree_count(w), tree);
+  EXPECT_EQ(C::is_open(w), open);
+  EXPECT_EQ(C::total_count(w), direct + tree);
+}
+
+TEST_P(RootWordPacking, IncrementsAreIndependent) {
+  const auto [direct, tree, open] = GetParam();
+  const std::uint64_t w = C::make_root(direct, tree, open);
+  EXPECT_EQ(C::direct_count(w + C::kDirectOne), direct + 1);
+  EXPECT_EQ(C::tree_count(w + C::kDirectOne), tree);
+  EXPECT_EQ(C::tree_count(w + C::kTreeOne), tree + 1);
+  EXPECT_EQ(C::direct_count(w + C::kTreeOne), direct);
+  EXPECT_EQ(C::is_open(w + C::kDirectOne), open);
+  EXPECT_EQ(C::is_open(w + C::kTreeOne), open);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, RootWordPacking,
+    ::testing::Combine(
+        ::testing::Values(0ULL, 1ULL, 2ULL, 255ULL, 100000ULL,
+                          C::kCountMask - 1),
+        ::testing::Values(0ULL, 1ULL, 7ULL, 65535ULL, C::kCountMask - 1),
+        ::testing::Bool()));
+
+// --- options normalization ---------------------------------------------------
+
+TEST(CSnziOptionsNorm, LeavesRoundUpToPowerOfTwo) {
+  for (auto [in, want] : std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {0, 1}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {63, 64}, {64, 64},
+           {65, 128}, {1000, 1024}}) {
+    CSnziOptions o;
+    o.leaves = in;
+    C c(o);
+    EXPECT_EQ(c.leaf_count(), want) << "leaves=" << in;
+  }
+}
+
+TEST(CSnziOptionsNorm, DegenerateLevelsAndFanout) {
+  CSnziOptions o;
+  o.levels = 0;   // normalized to 1
+  o.fanout = 0;   // normalized to 2
+  o.leaves = 8;
+  o.policy = ArrivalPolicy::kAlwaysTree;
+  C c(o);
+  auto t = c.arrive();
+  ASSERT_TRUE(t.arrived());
+  EXPECT_TRUE(c.query().nonzero);
+  EXPECT_TRUE(c.depart(t));
+}
+
+// --- tree geometry sweep ------------------------------------------------------
+
+class TreeGeometry
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t,
+                                                 std::uint32_t>> {};
+
+TEST_P(TreeGeometry, ArriveDepartBalancesAtEveryShape) {
+  const auto [leaves, levels, fanout] = GetParam();
+  CSnziOptions o;
+  o.leaves = leaves;
+  o.levels = levels;
+  o.fanout = fanout;
+  o.policy = ArrivalPolicy::kAlwaysTree;
+  C c(o);
+  std::vector<C::Ticket> tickets;
+  for (int i = 0; i < 20; ++i) {
+    auto t = c.arrive();
+    ASSERT_TRUE(t.arrived());
+    tickets.push_back(t);
+    EXPECT_TRUE(c.query().nonzero);
+  }
+  for (auto& t : tickets) c.depart(t);
+  EXPECT_FALSE(c.query().nonzero);
+  EXPECT_EQ(C::total_count(c.root_word()), 0u);
+}
+
+TEST_P(TreeGeometry, CloseDrainsToWriteState) {
+  const auto [leaves, levels, fanout] = GetParam();
+  CSnziOptions o;
+  o.leaves = leaves;
+  o.levels = levels;
+  o.fanout = fanout;
+  o.policy = ArrivalPolicy::kAlwaysTree;
+  C c(o);
+  auto t1 = c.arrive();
+  auto t2 = c.arrive();
+  EXPECT_FALSE(c.close());
+  EXPECT_TRUE(c.depart(t1));
+  EXPECT_FALSE(c.depart(t2));  // last departure from closed
+  c.open();
+  EXPECT_TRUE(c.arrive().arrived());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TreeGeometry,
+    ::testing::Combine(::testing::Values(1u, 2u, 8u, 64u),
+                       ::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(2u, 4u, 8u)),
+    [](const auto& info) {
+      return "l" + std::to_string(std::get<0>(info.param)) + "_d" +
+             std::to_string(std::get<1>(info.param)) + "_f" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// --- OpenWithArrivals sweep -----------------------------------------------------
+
+class OpenWithArrivals
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, bool>> {};
+
+TEST_P(OpenWithArrivals, PreArrivedReadersAllDepart) {
+  const auto [count, then_close] = GetParam();
+  C c;
+  ASSERT_TRUE(c.close());
+  c.open_with_arrivals(count, then_close);
+  EXPECT_EQ(c.query().open, !then_close);
+  EXPECT_EQ(c.query().nonzero, count > 0);
+  for (std::uint32_t i = 0; i + 1 < count; ++i) {
+    EXPECT_TRUE(c.depart(c.direct_ticket())) << "departure " << i;
+  }
+  if (count > 0) {
+    // Final departure: false iff the C-SNZI was left closed.
+    EXPECT_EQ(c.depart(c.direct_ticket()), !then_close);
+  }
+  EXPECT_FALSE(c.query().nonzero);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, OpenWithArrivals,
+                         ::testing::Combine(::testing::Values(1u, 2u, 3u, 17u,
+                                                              256u),
+                                            ::testing::Bool()));
+
+// --- lazy tree ------------------------------------------------------------------
+
+TEST(CSnziLazy, TreeNotAllocatedUntilNeeded) {
+  CSnziOptions o;
+  o.policy = ArrivalPolicy::kAdaptive;
+  C c(o);
+  for (int i = 0; i < 100; ++i) {
+    auto t = c.arrive();  // uncontended: direct at root
+    c.depart(t);
+  }
+  EXPECT_FALSE(c.tree_allocated());
+}
+
+TEST(CSnziLazy, EagerAllocationKnob) {
+  CSnziOptions o;
+  o.lazy_tree = false;
+  C c(o);
+  EXPECT_TRUE(c.tree_allocated());
+}
+
+TEST(CSnziLazy, LeafShiftGroupsNeighbors) {
+  // With leaf_shift = 3, thread indices 0..7 map to one leaf: a second
+  // arrival from the same group must not touch the root (count stays).
+  CSnziOptions o;
+  o.policy = ArrivalPolicy::kAlwaysTree;
+  o.leaf_shift = 3;
+  C c(o);
+  ScopedThreadIndex idx0(0);
+  auto t1 = c.arrive();
+  const auto root_after = c.root_word();
+  {
+    ScopedThreadIndex idx7(7);  // same group of eight
+    auto t2 = c.arrive();
+    EXPECT_EQ(c.root_word(), root_after);
+    EXPECT_TRUE(c.depart(t2));
+  }
+  EXPECT_TRUE(c.depart(t1));
+  EXPECT_FALSE(c.query().nonzero);
+}
+
+}  // namespace
+}  // namespace oll

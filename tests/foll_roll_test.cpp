@@ -1,0 +1,293 @@
+// FOLL- and ROLL-specific behavior: reader-node sharing, the node pool and
+// its recycling invariants (§4.2.1), writer inheritance of an emptied reader
+// node, and ROLL's reader-preference joining and hint (§4.3).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "locks/foll_lock.hpp"
+#include "locks/roll_lock.hpp"
+#include "platform/spin.hpp"
+#include "platform/thread_id.hpp"
+
+namespace oll {
+namespace {
+
+// --- node pool invariants ---------------------------------------------------
+
+TEST(FollPool, QuiescentLockUsesNoNodes) {
+  FollLock<> lock;
+  EXPECT_EQ(lock.pool_nodes_in_use(), 0u);
+  lock.lock_shared();
+  EXPECT_EQ(lock.pool_nodes_in_use(), 1u);  // the shared reader node
+  lock.unlock_shared();
+  // A node stays allocated while in the queue; it is recycled when a writer
+  // closes it or the last reader departs *and* hands off.  After a write
+  // acquisition flushes the queue, everything must be free again.
+  lock.lock();
+  lock.unlock();
+  EXPECT_EQ(lock.pool_nodes_in_use(), 0u);
+}
+
+TEST(FollPool, ConcurrentReadersShareOneNode) {
+  FollLock<> lock;
+  constexpr int kReaders = 6;
+  std::atomic<int> in{0};
+  std::atomic<std::uint32_t> peak_nodes{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      lock.lock_shared();
+      in.fetch_add(1);
+      spin_until([&] { return in.load() == kReaders; });
+      std::uint32_t nodes = lock.pool_nodes_in_use();
+      std::uint32_t p = peak_nodes.load();
+      while (nodes > p && !peak_nodes.compare_exchange_weak(p, nodes)) {
+      }
+      lock.unlock_shared();
+    });
+  }
+  for (auto& th : threads) th.join();
+  // All six readers shared the single queue node (the defining property of
+  // FOLL: successive readers do not enqueue separate nodes).
+  EXPECT_EQ(peak_nodes.load(), 1u);
+  lock.lock();
+  lock.unlock();
+  EXPECT_EQ(lock.pool_nodes_in_use(), 0u);
+}
+
+TEST(FollPool, PoolDrainsAfterHeavyChurn) {
+  FollLock<> lock;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 600; ++i) {
+        if ((i + t) % 5 == 0) {
+          lock.lock();
+          lock.unlock();
+        } else {
+          lock.lock_shared();
+          lock.unlock_shared();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Quiesce: a final write acquisition recycles any node left at the head.
+  lock.lock();
+  lock.unlock();
+  EXPECT_EQ(lock.pool_nodes_in_use(), 0u);
+}
+
+TEST(RollPool, PoolDrainsAfterHeavyChurn) {
+  RollLock<> lock;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 600; ++i) {
+        if ((i + t) % 5 == 0) {
+          lock.lock();
+          lock.unlock();
+        } else {
+          lock.lock_shared();
+          lock.unlock_shared();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  lock.lock();
+  lock.unlock();
+  EXPECT_EQ(lock.pool_nodes_in_use(), 0u);
+}
+
+// --- FOLL queue-discipline scenarios -----------------------------------------
+
+TEST(Foll, WriterInheritsEmptiedReaderNode) {
+  // A reader node whose readers all departed before the writer's Close must
+  // be recycled by the writer (the Close-returns-true path of Fig. 4).
+  FollLock<> lock;
+  for (int i = 0; i < 200; ++i) {
+    lock.lock_shared();
+    lock.unlock_shared();
+    lock.lock();  // tail is the (possibly drained) reader node
+    lock.unlock();
+  }
+  EXPECT_EQ(lock.pool_nodes_in_use(), 0u);
+}
+
+TEST(Foll, ReadersBehindWriterFormOneGroup) {
+  FollLock<> lock;
+  lock.lock();  // writer holds
+  constexpr int kReaders = 4;
+  std::atomic<int> in{0};
+  std::atomic<int> peak{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      lock.lock_shared();
+      int now = in.fetch_add(1) + 1;
+      int p = peak.load();
+      while (now > p && !peak.compare_exchange_weak(p, now)) {
+      }
+      std::this_thread::yield();
+      in.fetch_sub(1);
+      lock.unlock_shared();
+    });
+  }
+  for (int i = 0; i < 3000; ++i) std::this_thread::yield();
+  lock.unlock();
+  for (auto& th : readers) th.join();
+  // They shared one node behind the writer, so they ran concurrently.
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(Foll, WriterAfterWriterAfterReaders) {
+  FollLock<> lock;
+  std::atomic<std::uint64_t> cs{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        lock.lock();
+        cs.fetch_add(1, std::memory_order_relaxed);
+        lock.unlock();
+      }
+    });
+  }
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        lock.lock_shared();
+        lock.unlock_shared();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(cs.load(), 3u * 500u);
+}
+
+// --- ROLL-specific ------------------------------------------------------------
+
+TEST(Roll, ReaderOvertakesWaitingWriterToJoinWaitingGroup) {
+  // Build the queue shape [active writer][reader node (waiting)][writer];
+  // a late reader must join the waiting reader group even though a writer
+  // is queued behind it — that is ROLL's reader preference.
+  RollLock<> lock;
+  lock.lock();  // W0 active
+
+  std::atomic<bool> r1_done{false};
+  std::thread r1([&] {
+    lock.lock_shared();  // enqueues the reader node, waits
+    r1_done.store(true);
+    spin_until([&] { return r1_done.load(); });  // trivially true
+    lock.unlock_shared();
+  });
+  for (int i = 0; i < 3000; ++i) std::this_thread::yield();
+
+  std::atomic<bool> w1_done{false};
+  std::thread w1([&] {
+    lock.lock();  // queues behind the reader node
+    w1_done.store(true);
+    lock.unlock();
+  });
+  for (int i = 0; i < 3000; ++i) std::this_thread::yield();
+
+  // Late reader: under FIFO it would queue behind w1; under ROLL it joins
+  // r1's waiting node and completes as soon as W0 releases.
+  std::atomic<bool> r2_done{false};
+  std::thread r2([&] {
+    lock.lock_shared();
+    r2_done.store(true);
+    lock.unlock_shared();
+  });
+  for (int i = 0; i < 3000; ++i) std::this_thread::yield();
+
+  EXPECT_FALSE(r1_done.load());
+  EXPECT_FALSE(r2_done.load());
+  lock.unlock();  // W0 releases: the reader group (r1+r2) runs, then w1
+  r1.join();
+  r2.join();
+  w1.join();
+  EXPECT_TRUE(r1_done.load());
+  EXPECT_TRUE(r2_done.load());
+  EXPECT_TRUE(w1_done.load());
+  lock.lock();
+  lock.unlock();
+  EXPECT_EQ(lock.pool_nodes_in_use(), 0u);
+}
+
+TEST(Roll, WorksWithHintDisabled) {
+  RollOptions o;
+  o.use_hint = false;
+  RollLock<> lock(o);
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> cs{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 400; ++i) {
+        if ((i + t) % 4 == 0) {
+          lock.lock();
+          cs.fetch_add(1, std::memory_order_relaxed);
+          lock.unlock();
+        } else {
+          lock.lock_shared();
+          lock.unlock_shared();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(cs.load(), 4u * 100u);
+}
+
+TEST(Roll, WorksWithTraversalDisabled) {
+  RollOptions o;
+  o.max_scan_hops = 0;
+  RollLock<> lock(o);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 400; ++i) {
+        if ((i + t) % 4 == 0) {
+          lock.lock();
+          lock.unlock();
+        } else {
+          lock.lock_shared();
+          lock.unlock_shared();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  lock.lock();
+  lock.unlock();
+  EXPECT_EQ(lock.pool_nodes_in_use(), 0u);
+}
+
+TEST(Roll, ReadersShareTailNode) {
+  RollLock<> lock;
+  constexpr int kReaders = 5;
+  std::atomic<int> in{0};
+  std::atomic<std::uint32_t> peak_nodes{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      lock.lock_shared();
+      in.fetch_add(1);
+      spin_until([&] { return in.load() == kReaders; });
+      std::uint32_t nodes = lock.pool_nodes_in_use();
+      std::uint32_t p = peak_nodes.load();
+      while (nodes > p && !peak_nodes.compare_exchange_weak(p, nodes)) {
+      }
+      lock.unlock_shared();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(peak_nodes.load(), 1u);
+}
+
+}  // namespace
+}  // namespace oll

@@ -1,0 +1,229 @@
+// Conformance suite run against EVERY reader-writer lock in the library
+// (parameterized over LockKind): the behavioral contract shared by all nine
+// implementations — exclusion, reader sharing, handoff liveness, try-lock
+// semantics — independent of each lock's internal structure.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "platform/spin.hpp"
+#include "lock_test_utils.hpp"
+
+namespace oll {
+namespace {
+
+using test::ExclusionChecker;
+using test::run_mixed_workload;
+
+class LockConformance : public ::testing::TestWithParam<LockKind> {
+ protected:
+  std::unique_ptr<AnyRwLock> make() {
+    LockFactoryOptions o;
+    o.max_threads = 64;
+    return make_rwlock(GetParam(), o);
+  }
+};
+
+TEST_P(LockConformance, SingleThreadWriteAcquireRelease) {
+  auto lock = make();
+  for (int i = 0; i < 1000; ++i) {
+    lock->lock();
+    lock->unlock();
+  }
+}
+
+TEST_P(LockConformance, SingleThreadReadAcquireRelease) {
+  auto lock = make();
+  for (int i = 0; i < 1000; ++i) {
+    lock->lock_shared();
+    lock->unlock_shared();
+  }
+}
+
+TEST_P(LockConformance, AlternatingReadWriteSingleThread) {
+  auto lock = make();
+  for (int i = 0; i < 500; ++i) {
+    lock->lock_shared();
+    lock->unlock_shared();
+    lock->lock();
+    lock->unlock();
+  }
+}
+
+TEST_P(LockConformance, TwoReadersHoldConcurrently) {
+  auto lock = make();
+  std::atomic<int> inside{0};
+  std::atomic<bool> both_seen{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      lock->lock_shared();
+      inside.fetch_add(1);
+      // Wait (bounded) for the other reader to also get in; read sharing
+      // means this must succeed while we hold the lock.
+      for (int spins = 0; spins < 100000; ++spins) {
+        if (inside.load() == 2) {
+          both_seen.store(true);
+          break;
+        }
+        std::this_thread::yield();
+      }
+      lock->unlock_shared();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(both_seen.load()) << "readers did not share the lock";
+}
+
+TEST_P(LockConformance, WriterExcludesReader) {
+  auto lock = make();
+  std::atomic<bool> writer_in{false};
+  std::atomic<bool> reader_done{false};
+  std::atomic<bool> violation{false};
+
+  lock->lock();
+  writer_in.store(true);
+  std::thread reader([&] {
+    lock->lock_shared();
+    if (writer_in.load()) violation.store(true);
+    lock->unlock_shared();
+    reader_done.store(true);
+  });
+  // Give the reader a chance to (incorrectly) get in.
+  for (int i = 0; i < 1000; ++i) std::this_thread::yield();
+  EXPECT_FALSE(reader_done.load()) << "reader entered while writer held";
+  writer_in.store(false);
+  lock->unlock();
+  reader.join();
+  EXPECT_FALSE(violation.load());
+}
+
+TEST_P(LockConformance, ReaderExcludesWriter) {
+  auto lock = make();
+  std::atomic<bool> reader_in{false};
+  std::atomic<bool> writer_done{false};
+  std::atomic<bool> violation{false};
+
+  lock->lock_shared();
+  reader_in.store(true);
+  std::thread writer([&] {
+    lock->lock();
+    if (reader_in.load()) violation.store(true);
+    lock->unlock();
+    writer_done.store(true);
+  });
+  for (int i = 0; i < 1000; ++i) std::this_thread::yield();
+  EXPECT_FALSE(writer_done.load()) << "writer entered while reader held";
+  reader_in.store(false);
+  lock->unlock_shared();
+  writer.join();
+  EXPECT_FALSE(violation.load());
+}
+
+TEST_P(LockConformance, WriterWriterExclusion) {
+  auto lock = make();
+  ExclusionChecker checker;
+  run_mixed_workload(*lock, checker, 4, 500, /*read_pct=*/0);
+  EXPECT_EQ(checker.violations(), 0u);
+  EXPECT_EQ(checker.unprotected_counter, 4u * 500u);
+}
+
+TEST_P(LockConformance, MixedWorkloadExclusion50) {
+  auto lock = make();
+  ExclusionChecker checker;
+  const std::uint64_t writes =
+      run_mixed_workload(*lock, checker, 4, 800, /*read_pct=*/50);
+  EXPECT_EQ(checker.violations(), 0u);
+  EXPECT_EQ(checker.unprotected_counter, writes);
+}
+
+TEST_P(LockConformance, MixedWorkloadExclusion95) {
+  auto lock = make();
+  ExclusionChecker checker;
+  const std::uint64_t writes =
+      run_mixed_workload(*lock, checker, 8, 500, /*read_pct=*/95);
+  EXPECT_EQ(checker.violations(), 0u);
+  EXPECT_EQ(checker.unprotected_counter, writes);
+}
+
+TEST_P(LockConformance, ReadOnlyWorkload) {
+  auto lock = make();
+  ExclusionChecker checker;
+  run_mixed_workload(*lock, checker, 8, 1000, /*read_pct=*/100);
+  EXPECT_EQ(checker.violations(), 0u);
+}
+
+TEST_P(LockConformance, ManySequentialHandoffs) {
+  // Ping-pong: two writers alternate through the full contended slow path.
+  auto lock = make();
+  std::atomic<std::uint64_t> counter{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        lock->lock();
+        counter.fetch_add(1, std::memory_order_relaxed);
+        lock->unlock();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.load(), 4000u);
+}
+
+TEST_P(LockConformance, ReadersDrainBeforeWriter) {
+  // Start N readers holding the lock, then a writer; the writer must enter
+  // only after every reader released.
+  auto lock = make();
+  constexpr int kReaders = 4;
+  std::atomic<int> readers_in{0};
+  std::atomic<int> readers_out{0};
+  std::atomic<bool> writer_entered{false};
+  std::atomic<bool> ordering_ok{true};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      lock->lock_shared();
+      readers_in.fetch_add(1);
+      // Hold until all readers are in (they must share).
+      spin_until([&] { return readers_in.load() == kReaders; });
+      if (writer_entered.load()) ordering_ok.store(false);
+      readers_out.fetch_add(1);
+      lock->unlock_shared();
+    });
+  }
+  spin_until([&] { return readers_in.load() == kReaders; });
+  std::thread writer([&] {
+    lock->lock();
+    writer_entered.store(true);
+    if (readers_out.load() != kReaders) ordering_ok.store(false);
+    lock->unlock();
+  });
+  for (auto& th : readers) th.join();
+  writer.join();
+  EXPECT_TRUE(writer_entered.load());
+  EXPECT_TRUE(ordering_ok.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLocks, LockConformance,
+    ::testing::Values(LockKind::kGoll, LockKind::kFoll, LockKind::kRoll,
+                      LockKind::kKsuh, LockKind::kSolarisLike,
+                      LockKind::kMcsRw, LockKind::kBigReader,
+                      LockKind::kCentral, LockKind::kStdShared),
+    [](const ::testing::TestParamInfo<LockKind>& info) {
+      std::string n = lock_kind_name(info.param);
+      for (char& c : n) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n;
+    });
+
+}  // namespace
+}  // namespace oll

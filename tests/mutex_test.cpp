@@ -1,0 +1,181 @@
+// Tests for the mutex substrates: TATAS, ticket lock, MCS queue mutex —
+// exclusion, try-lock semantics, FIFO behavior where guaranteed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "locks/mcs_lock.hpp"
+#include "locks/tatas_lock.hpp"
+#include "locks/ticket_lock.hpp"
+#include "platform/spin.hpp"
+
+namespace oll {
+namespace {
+
+template <typename Lock>
+void exclusion_stress(Lock& lock, int threads, int iters) {
+  std::uint64_t unprotected = 0;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < iters; ++i) {
+        std::lock_guard<Lock> g(lock);
+        ++unprotected;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(unprotected, static_cast<std::uint64_t>(threads) * iters);
+}
+
+TEST(Tatas, Exclusion) {
+  TatasLock<> lock;
+  exclusion_stress(lock, 4, 3000);
+}
+
+TEST(Tatas, TryLock) {
+  TatasLock<> lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Tatas, WorksWithScopedLock) {
+  TatasLock<> a, b;
+  std::scoped_lock guard(a, b);
+  EXPECT_FALSE(a.try_lock());
+  EXPECT_FALSE(b.try_lock());
+}
+
+TEST(Ticket, Exclusion) {
+  TicketLock<> lock;
+  exclusion_stress(lock, 4, 3000);
+}
+
+TEST(Ticket, TryLockOnlyWhenFree) {
+  TicketLock<> lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Ticket, AllQueuedThreadsEnterExactlyOnce) {
+  // Queue three threads while holding; `order` is mutated inside the lock,
+  // so with correct exclusion each thread appears exactly once.  (Strict
+  // FIFO order cannot be asserted from outside: the window between a
+  // thread's start signal and its internal ticket grab is unsynchronized.)
+  TicketLock<> lock;
+  lock.lock();
+  std::vector<int> order;
+  std::atomic<int> started{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      spin_until([&] { return started.load() == t; });
+      started.fetch_add(1);
+      lock.lock();
+      order.push_back(t);
+      lock.unlock();
+    });
+  }
+  spin_until([&] { return started.load() == 3; });
+  for (int i = 0; i < 1000; ++i) std::this_thread::yield();
+  lock.unlock();
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_NE(order[0], order[1]);
+  EXPECT_NE(order[1], order[2]);
+  EXPECT_NE(order[0], order[2]);
+}
+
+TEST(Mcs, ExclusionWithExplicitNodes) {
+  McsLock<> lock;
+  std::uint64_t unprotected = 0;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 3000; ++i) {
+        McsLock<>::QNode node;
+        lock.lock(node);
+        ++unprotected;
+        lock.unlock(node);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(unprotected, 4u * 3000u);
+}
+
+TEST(Mcs, GuardRaii) {
+  McsLock<> lock;
+  std::uint64_t unprotected = 0;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        McsLock<>::Guard g(lock);
+        ++unprotected;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(unprotected, 4u * 2000u);
+}
+
+TEST(Mcs, TryLockOnlyWhenQueueEmpty) {
+  McsLock<> lock;
+  McsLock<>::QNode a, b;
+  EXPECT_TRUE(lock.try_lock(a));
+  EXPECT_FALSE(lock.try_lock(b));
+  lock.unlock(a);
+  EXPECT_TRUE(lock.try_lock(b));
+  lock.unlock(b);
+}
+
+TEST(Mcs, FifoHandoff) {
+  McsLock<> lock;
+  McsLock<>::QNode main_node;
+  lock.lock(main_node);
+  std::vector<int> order;
+  std::atomic<int> queued{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      spin_until([&] { return queued.load() == t; });
+      McsLock<>::QNode node;
+      // The FAS in lock() serializes arrival order == t order, but we must
+      // bump `queued` only after our node is actually in the queue, which
+      // lock() doesn't expose; approximate by bumping first and yielding.
+      queued.fetch_add(1);
+      lock.lock(node);
+      order.push_back(t);
+      lock.unlock(node);
+    });
+  }
+  spin_until([&] { return queued.load() == 3; });
+  for (int i = 0; i < 2000; ++i) std::this_thread::yield();
+  lock.unlock(main_node);
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(order.size(), 3u);
+  // MCS is strictly FIFO in enqueue order; thread t enqueues only after
+  // thread t-1 signalled `queued`, but t-1's FAS may still be in flight, so
+  // we allow any order yet require all three distinct entries.
+  EXPECT_NE(order[0], order[1]);
+  EXPECT_NE(order[1], order[2]);
+  EXPECT_NE(order[0], order[2]);
+}
+
+TEST(Backoff, TatasUnderHeavyContention) {
+  TatasLock<> lock(BackoffParams{8, 256, 4});
+  exclusion_stress(lock, 8, 1000);
+}
+
+}  // namespace
+}  // namespace oll

@@ -1,0 +1,158 @@
+// Tests for the original PODC'07 SNZI reconstruction (half-increment
+// protocol): sequential semantics, the 1/2-state helping/undo races, and
+// equivalence of observable behavior with the simplified Lev et al. SNZI
+// under identical random schedules.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "platform/memory.hpp"
+#include "platform/rng.hpp"
+#include "platform/spin.hpp"
+#include "snzi/orig_snzi.hpp"
+#include "snzi/snzi.hpp"
+
+namespace oll {
+namespace {
+
+using O = OrigSnzi<RealMemory>;
+
+CSnziOptions shape(std::uint32_t leaves, std::uint32_t levels,
+                   std::uint32_t fanout = 4) {
+  CSnziOptions o;
+  o.leaves = leaves;
+  o.levels = levels;
+  o.fanout = fanout;
+  return o;
+}
+
+TEST(OrigSnzi, InitiallyZero) {
+  O s;
+  EXPECT_FALSE(s.query());
+  EXPECT_EQ(s.root_count(), 0u);
+}
+
+TEST(OrigSnzi, ArriveSetsDepartClears) {
+  O s;
+  auto t = s.arrive();
+  ASSERT_TRUE(t.arrived());
+  EXPECT_TRUE(s.query());
+  s.depart(t);
+  EXPECT_FALSE(s.query());
+  EXPECT_EQ(s.root_count(), 0u);
+}
+
+TEST(OrigSnzi, NestedArrivalsShareOneRootIncrement) {
+  O s;
+  auto t1 = s.arrive();
+  EXPECT_EQ(s.root_count(), 1u);
+  // Same thread -> same leaf: further arrivals must not touch the root.
+  auto t2 = s.arrive();
+  auto t3 = s.arrive();
+  EXPECT_EQ(s.root_count(), 1u);
+  s.depart(t3);
+  s.depart(t2);
+  EXPECT_EQ(s.root_count(), 1u);
+  s.depart(t1);
+  EXPECT_EQ(s.root_count(), 0u);
+}
+
+TEST(OrigSnzi, ManySequentialCycles) {
+  O s(shape(8, 2));
+  for (int round = 0; round < 500; ++round) {
+    auto t = s.arrive();
+    EXPECT_TRUE(s.query());
+    s.depart(t);
+    EXPECT_FALSE(s.query());
+  }
+}
+
+class OrigSnziShapes
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(OrigSnziShapes, ConcurrentChurnKeepsQueryTruthful) {
+  const auto [leaves, levels] = GetParam();
+  O s(shape(leaves, levels));
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        auto ticket = s.arrive();
+        // We hold an arrival: the indicator must read nonzero.
+        if (!s.query()) failed.store(true);
+        s.depart(ticket);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_FALSE(s.query());
+  EXPECT_EQ(s.root_count(), 0u);
+}
+
+TEST_P(OrigSnziShapes, RandomHoldDepthsBalance) {
+  const auto [leaves, levels] = GetParam();
+  O s(shape(leaves, levels));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256ss rng(t + 99);
+      std::vector<O::Ticket> held;
+      for (int i = 0; i < 1500; ++i) {
+        if (held.size() < 6 && rng.bernoulli(1, 2)) {
+          held.push_back(s.arrive());
+        } else if (!held.empty()) {
+          s.depart(held.back());
+          held.pop_back();
+        }
+      }
+      for (auto& ticket : held) s.depart(ticket);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(s.query());
+  EXPECT_EQ(s.root_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, OrigSnziShapes,
+                         ::testing::Combine(::testing::Values(1u, 4u, 64u),
+                                            ::testing::Values(1u, 2u, 3u)),
+                         [](const auto& info) {
+                           return "l" + std::to_string(std::get<0>(info.param)) +
+                                  "_d" + std::to_string(std::get<1>(info.param));
+                         });
+
+// Differential test: original and simplified SNZI must agree on the
+// indicator at every quiescent point of an identical operation sequence.
+TEST(OrigSnzi, AgreesWithSimplifiedSnziOnRandomSequences) {
+  O orig(shape(4, 2));
+  CSnziOptions simple_opts = shape(4, 2);
+  simple_opts.policy = ArrivalPolicy::kAlwaysTree;
+  Snzi<RealMemory> simple(simple_opts);
+
+  Xoshiro256ss rng(2024);
+  std::vector<O::Ticket> orig_held;
+  std::vector<Snzi<RealMemory>::Ticket> simple_held;
+  for (int i = 0; i < 20000; ++i) {
+    if (orig_held.size() < 10 && rng.bernoulli(1, 2)) {
+      orig_held.push_back(orig.arrive());
+      simple_held.push_back(simple.arrive());
+    } else if (!orig_held.empty()) {
+      orig.depart(orig_held.back());
+      orig_held.pop_back();
+      simple.depart(simple_held.back());
+      simple_held.pop_back();
+    }
+    ASSERT_EQ(orig.query(), simple.query()) << "step " << i;
+    ASSERT_EQ(orig.query(), !orig_held.empty()) << "step " << i;
+  }
+}
+
+}  // namespace
+}  // namespace oll

@@ -1,0 +1,234 @@
+// Platform substrate tests: RNG quality/determinism, backoff behavior,
+// spin-wait, thread-id registry and overrides, statistics, alignment.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "platform/backoff.hpp"
+#include "platform/cache_line.hpp"
+#include "platform/rng.hpp"
+#include "platform/spin.hpp"
+#include "platform/stats.hpp"
+#include "platform/thread_id.hpp"
+#include "platform/time.hpp"
+
+namespace oll {
+namespace {
+
+// --- RNG ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256ss a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256ss a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, NextBelowIsInRange) {
+  Xoshiro256ss rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 100ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Xoshiro256ss rng(99);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.next_below(kBuckets)];
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kSamples / kBuckets, kSamples / kBuckets * 0.1)
+        << "bucket " << b;
+  }
+}
+
+TEST(Rng, BernoulliMatchesTargetRate) {
+  // The §5.1 read/write chooser must actually produce the target ratio.
+  for (unsigned pct : {0u, 1u, 5u, 50u, 95u, 99u, 100u}) {
+    Xoshiro256ss rng(pct + 1);
+    constexpr int kTrials = 200000;
+    int hits = 0;
+    for (int i = 0; i < kTrials; ++i) {
+      if (rng.bernoulli(pct, 100)) ++hits;
+    }
+    const double rate = 100.0 * hits / kTrials;
+    EXPECT_NEAR(rate, pct, 0.5) << "pct=" << pct;
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256ss rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, SplitMixExpandsSeeds) {
+  SplitMix64 sm(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(sm.next());
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+// --- backoff / spin ------------------------------------------------------------
+
+TEST(Backoff, WindowDoublesUpToCap) {
+  BackoffParams p;
+  p.min_spins = 4;
+  p.max_spins = 64;
+  ExponentialBackoff b(p);
+  EXPECT_EQ(b.window(), 4u);
+  b.backoff();
+  EXPECT_EQ(b.window(), 8u);
+  b.backoff();
+  b.backoff();
+  b.backoff();
+  EXPECT_EQ(b.window(), 64u);
+  b.backoff();
+  EXPECT_EQ(b.window(), 64u);  // capped
+  b.reset();
+  EXPECT_EQ(b.window(), 4u);
+}
+
+TEST(Spin, SpinUntilSeesFlagFromOtherThread) {
+  std::atomic<bool> flag{false};
+  std::thread setter([&] {
+    for (int i = 0; i < 100; ++i) std::this_thread::yield();
+    flag.store(true, std::memory_order_release);
+  });
+  spin_until([&] { return flag.load(std::memory_order_acquire); });
+  setter.join();
+  EXPECT_TRUE(flag.load());
+}
+
+TEST(Spin, SpinWaitCountsPauses) {
+  SpinWait w(4);
+  for (int i = 0; i < 10; ++i) w.pause();
+  EXPECT_EQ(w.spins(), 4u);  // stops counting once it switches to yields
+  w.reset();
+  EXPECT_EQ(w.spins(), 0u);
+}
+
+// --- thread ids -----------------------------------------------------------------
+
+TEST(ThreadId, StableWithinThread) {
+  const auto a = this_thread_index();
+  const auto b = this_thread_index();
+  EXPECT_EQ(a, b);
+}
+
+TEST(ThreadId, DistinctAcrossLiveThreads) {
+  constexpr int kThreads = 8;
+  std::vector<std::uint32_t> ids(kThreads);
+  std::atomic<int> arrived{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ids[t] = this_thread_index();
+      arrived.fetch_add(1);
+      spin_until([&] { return go.load(); });  // keep slots claimed
+    });
+  }
+  spin_until([&] { return arrived.load() == kThreads; });
+  go.store(true);
+  for (auto& th : threads) th.join();
+  std::set<std::uint32_t> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(ThreadId, SlotsRecycleAfterThreadExit) {
+  std::uint32_t first = 0;
+  std::thread t1([&] { first = this_thread_index(); });
+  t1.join();
+  std::uint32_t second = 0;
+  std::thread t2([&] { second = this_thread_index(); });
+  t2.join();
+  EXPECT_EQ(first, second);  // the slot was released and re-claimed
+}
+
+TEST(ThreadId, ScopedOverride) {
+  const auto real = this_thread_index();
+  {
+    ScopedThreadIndex o(777);
+    EXPECT_EQ(this_thread_index(), 777u);
+    {
+      ScopedThreadIndex inner(3);
+      EXPECT_EQ(this_thread_index(), 3u);
+    }
+    EXPECT_EQ(this_thread_index(), 777u);
+  }
+  EXPECT_EQ(this_thread_index(), real);
+}
+
+// --- stats ------------------------------------------------------------------------
+
+TEST(Stats, MeanAndStddev) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(Stats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  EXPECT_NEAR(percentile(xs, 50), 50.5, 0.01);
+  EXPECT_NEAR(percentile(xs, 0), 1.0, 0.01);
+  EXPECT_NEAR(percentile(xs, 100), 100.0, 0.01);
+  EXPECT_NEAR(percentile(xs, 99), 99.01, 0.01);
+}
+
+// --- alignment ---------------------------------------------------------------------
+
+TEST(CacheLine, AlignedWrapperSeparatesNeighbors) {
+  CacheAligned<int> a[2];
+  const auto delta = reinterpret_cast<char*>(&a[1]) -
+                     reinterpret_cast<char*>(&a[0]);
+  EXPECT_GE(static_cast<std::size_t>(delta), kFalseSharingRange);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(&a[0]) % kFalseSharingRange, 0u);
+}
+
+TEST(CacheLine, AccessorsWork) {
+  CacheAligned<int> v(42);
+  EXPECT_EQ(*v, 42);
+  *v = 7;
+  EXPECT_EQ(v.value, 7);
+}
+
+TEST(Time, StopwatchMonotone) {
+  Stopwatch sw;
+  const auto a = sw.elapsed_ns();
+  for (int i = 0; i < 1000; ++i) cpu_relax();
+  const auto b = sw.elapsed_ns();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace oll

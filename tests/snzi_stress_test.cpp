@@ -1,0 +1,175 @@
+// Concurrent stress and property tests for SNZI / C-SNZI: the query
+// invariant against a ground-truth counter, close/open semantics under
+// concurrency, and the exactly-one-loser property locks depend on (exactly
+// one thread observes the surplus reach zero on a closed C-SNZI).
+// Parameterized across arrival policies and tree shapes (TEST_P sweeps).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "platform/memory.hpp"
+#include "platform/rng.hpp"
+#include "platform/spin.hpp"
+#include "snzi/csnzi.hpp"
+
+namespace oll {
+namespace {
+
+using Param = std::tuple<ArrivalPolicy, std::uint32_t /*leaves*/,
+                         std::uint32_t /*levels*/>;
+
+CSnziOptions make_opts(const Param& p) {
+  CSnziOptions o;
+  o.policy = std::get<0>(p);
+  o.leaves = std::get<1>(p);
+  o.levels = std::get<2>(p);
+  o.fanout = 4;
+  o.root_cas_fail_threshold = 1;
+  return o;
+}
+
+class CSnziStress : public ::testing::TestWithParam<Param> {};
+
+// Ground truth: track the true surplus with an atomic counter updated
+// around every arrive/depart; whenever the true surplus is provably nonzero
+// (our own arrival is outstanding) query() must say nonzero.
+TEST_P(CSnziStress, QueryNonzeroWhileHoldingArrival) {
+  CSnzi<> c(make_opts(GetParam()));
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        auto ticket = c.arrive();
+        if (!ticket.arrived()) {
+          failed.store(true);
+          return;
+        }
+        if (!c.query().nonzero) failed.store(true);
+        c.depart(ticket);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_FALSE(c.query().nonzero);
+  EXPECT_TRUE(c.query().open);
+}
+
+// Surplus accounting: N threads each perform k arrive+depart pairs; the
+// final surplus is zero and never goes negative (OLL_DCHECKs inside would
+// abort on underflow in debug builds; here we verify the end state).
+TEST_P(CSnziStress, BalancedArrivalsEndAtZero) {
+  CSnzi<> c(make_opts(GetParam()));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      Xoshiro256ss rng(t + 1);
+      std::vector<CSnzi<>::Ticket> held;
+      for (int i = 0; i < 1500; ++i) {
+        if (held.size() < 5 && rng.bernoulli(1, 2)) {
+          auto ticket = c.arrive();
+          ASSERT_TRUE(ticket.arrived());
+          held.push_back(ticket);
+        } else if (!held.empty()) {
+          c.depart(held.back());
+          held.pop_back();
+        }
+      }
+      for (auto& ticket : held) c.depart(ticket);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(c.query().nonzero);
+  EXPECT_EQ(CSnzi<>::total_count(c.root_word()), 0u);
+}
+
+// The lock-critical property: when a C-SNZI is closed while readers hold
+// arrivals, EXACTLY ONE thread gets `false` from its depart (the "last
+// departure"), no matter how departures interleave.
+TEST_P(CSnziStress, ExactlyOneLastDeparture) {
+  for (int round = 0; round < 50; ++round) {
+    CSnzi<> c(make_opts(GetParam()));
+    constexpr int kHolders = 6;
+    std::vector<CSnzi<>::Ticket> tickets(kHolders);
+    std::vector<std::thread> threads;
+    std::atomic<int> arrived{0};
+    std::atomic<int> last_departures{0};
+    std::atomic<bool> go{false};
+    for (int t = 0; t < kHolders; ++t) {
+      threads.emplace_back([&, t] {
+        tickets[t] = c.arrive();
+        ASSERT_TRUE(tickets[t].arrived());
+        arrived.fetch_add(1);
+        spin_until([&] { return go.load(); });
+        if (!c.depart(tickets[t])) last_departures.fetch_add(1);
+      });
+    }
+    spin_until([&] { return arrived.load() == kHolders; });
+    EXPECT_FALSE(c.close());  // surplus nonzero
+    go.store(true);
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(last_departures.load(), 1)
+        << "round " << round << ": closed C-SNZI must yield exactly one "
+        << "false-returning departure";
+    EXPECT_FALSE(c.query().nonzero);
+    EXPECT_FALSE(c.query().open);
+  }
+}
+
+// Close racing concurrent arrive/depart churn: afterwards, no arrival may
+// succeed, and once drained the surplus stays zero.
+TEST_P(CSnziStress, CloseCutsOffArrivals) {
+  CSnzi<> c(make_opts(GetParam()));
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> failed_arrivals{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto ticket = c.arrive();
+        if (ticket.arrived()) {
+          c.depart(ticket);
+        } else {
+          failed_arrivals.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 2000; ++i) cpu_relax();
+  c.close();
+  // After close, eventually every arrival fails.
+  for (int i = 0; i < 2000; ++i) std::this_thread::yield();
+  EXPECT_FALSE(c.arrive().arrived());
+  stop.store(true);
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(c.query().open);
+  // Drained: closed with zero surplus stays zero (Figure 1 requirement).
+  spin_until([&] { return !c.query().nonzero; });
+  EXPECT_FALSE(c.arrive().arrived());
+  EXPECT_FALSE(c.query().nonzero);
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  const auto [policy, leaves, levels] = info.param;
+  std::string p = policy == ArrivalPolicy::kAdaptive     ? "adaptive"
+                  : policy == ArrivalPolicy::kAlwaysRoot ? "root"
+                                                         : "tree";
+  return p + "_l" + std::to_string(leaves) + "_d" + std::to_string(levels);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CSnziStress,
+    ::testing::Combine(::testing::Values(ArrivalPolicy::kAdaptive,
+                                         ArrivalPolicy::kAlwaysRoot,
+                                         ArrivalPolicy::kAlwaysTree),
+                       ::testing::Values(4u, 64u),
+                       ::testing::Values(1u, 2u)),
+    param_name);
+
+}  // namespace
+}  // namespace oll

@@ -1,0 +1,114 @@
+// Tests for the TestMemory fuzzing policy and the PerThreadSlots container.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "locks/per_thread.hpp"
+#include "platform/test_memory.hpp"
+#include "platform/thread_id.hpp"
+
+namespace oll {
+namespace {
+
+TEST(TestMemoryPolicy, AtomicSemanticsPreserved) {
+  TestMemory::Atomic<int> x{5};
+  FuzzYield::set_seed(12345);  // perturbation on
+  EXPECT_EQ(x.load(), 5);
+  x.store(7);
+  EXPECT_EQ(x.exchange(9), 7);
+  int expected = 9;
+  EXPECT_TRUE(x.compare_exchange_strong(expected, 11));
+  expected = 999;
+  EXPECT_FALSE(x.compare_exchange_strong(expected, 0));
+  EXPECT_EQ(expected, 11);
+  TestMemory::Atomic<std::uint64_t> y{10};
+  EXPECT_EQ(y.fetch_add(5), 10u);
+  EXPECT_EQ(y.fetch_sub(3), 15u);
+  EXPECT_EQ(y.fetch_or(0xF0), 12u);
+  EXPECT_EQ(y.fetch_and(0x0F), 0xFCu);
+  FuzzYield::set_seed(0);  // off again
+}
+
+TEST(TestMemoryPolicy, DisabledByDefault) {
+  // With seed 0 (the default), maybe_yield must be a no-op — this test just
+  // exercises the path; behavior is "no crash, no hang".
+  TestMemory::Atomic<int> x{0};
+  for (int i = 0; i < 1000; ++i) {
+    x.fetch_add(1);
+  }
+  EXPECT_EQ(x.load(), 1000);
+}
+
+TEST(TestMemoryPolicy, SeedIsPerThread) {
+  // Enabling fuzzing on one thread must not affect another.
+  std::atomic<bool> done{false};
+  std::thread fuzzed([&] {
+    FuzzYield::set_seed(42);
+    TestMemory::Atomic<int> x{0};
+    for (int i = 0; i < 100; ++i) x.fetch_add(1);
+    EXPECT_EQ(x.load(), 100);
+    FuzzYield::set_seed(0);
+    done.store(true);
+  });
+  fuzzed.join();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(PerThreadSlots, LocalIsStablePerThread) {
+  PerThreadSlots<int> slots(64);
+  int& a = slots.local();
+  a = 17;
+  EXPECT_EQ(slots.local(), 17);
+  EXPECT_EQ(&slots.local(), &a);
+}
+
+TEST(PerThreadSlots, DistinctThreadsDistinctSlots) {
+  PerThreadSlots<std::uint32_t> slots(64);
+  std::vector<std::uint32_t*> addrs(6);
+  std::atomic<int> arrived{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      addrs[t] = &slots.local();
+      arrived.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+    });
+  }
+  while (arrived.load() != 6) std::this_thread::yield();
+  go.store(true);
+  for (auto& th : threads) th.join();
+  std::set<std::uint32_t*> unique(addrs.begin(), addrs.end());
+  EXPECT_EQ(unique.size(), 6u);
+}
+
+TEST(PerThreadSlots, SlotAccessByIndex) {
+  PerThreadSlots<int> slots(8);
+  for (std::uint32_t i = 0; i < 8; ++i) slots.slot(i) = static_cast<int>(i);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(slots.slot(i), static_cast<int>(i));
+  }
+  EXPECT_EQ(slots.size(), 8u);
+}
+
+TEST(PerThreadSlots, RespectsIndexOverride) {
+  PerThreadSlots<int> slots(16);
+  {
+    ScopedThreadIndex idx(3);
+    slots.local() = 99;
+  }
+  EXPECT_EQ(slots.slot(3), 99);
+}
+
+TEST(PerThreadSlots, SlotsAreCacheLineSeparated) {
+  PerThreadSlots<char> slots(4);
+  const auto delta = reinterpret_cast<std::uintptr_t>(&slots.slot(1)) -
+                     reinterpret_cast<std::uintptr_t>(&slots.slot(0));
+  EXPECT_GE(delta, kFalseSharingRange);
+}
+
+}  // namespace
+}  // namespace oll

@@ -1,0 +1,122 @@
+// Timed acquisition (SharedTimedMutex requirements) on the locks that
+// support it: success when free, bounded failure when held, and
+// std::shared_lock / std::unique_lock timed-adapter interop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+
+#include "core/rwlock_concepts.hpp"
+#include "locks/central_rwlock.hpp"
+#include "locks/goll_lock.hpp"
+#include "platform/spin.hpp"
+
+namespace oll {
+namespace {
+
+using namespace std::chrono_literals;
+
+static_assert(TimedSharedLockable<GollLock<>>);
+static_assert(TimedSharedLockable<CentralRwLock<>>);
+
+template <typename Lock>
+void timed_success_when_free() {
+  Lock lock;
+  EXPECT_TRUE(lock.try_lock_for(10ms));
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock_shared_for(10ms));
+  lock.unlock_shared();
+  EXPECT_TRUE(
+      lock.try_lock_until(std::chrono::steady_clock::now() + 10ms));
+  lock.unlock();
+  EXPECT_TRUE(
+      lock.try_lock_shared_until(std::chrono::steady_clock::now() + 10ms));
+  lock.unlock_shared();
+}
+
+TEST(TimedGoll, SucceedsWhenFree) { timed_success_when_free<GollLock<>>(); }
+TEST(TimedCentral, SucceedsWhenFree) {
+  timed_success_when_free<CentralRwLock<>>();
+}
+
+template <typename Lock>
+void timed_write_times_out_under_writer() {
+  Lock lock;
+  lock.lock();
+  std::thread t([&] {
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_FALSE(lock.try_lock_for(30ms));
+    EXPECT_FALSE(lock.try_lock_shared_for(30ms));
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_GE(elapsed, 55ms);   // both waits ran their deadlines out
+    EXPECT_LT(elapsed, 5000ms); // ... and actually returned
+  });
+  t.join();
+  lock.unlock();
+}
+
+TEST(TimedGoll, TimesOutUnderWriter) {
+  timed_write_times_out_under_writer<GollLock<>>();
+}
+TEST(TimedCentral, TimesOutUnderWriter) {
+  timed_write_times_out_under_writer<CentralRwLock<>>();
+}
+
+template <typename Lock>
+void timed_succeeds_when_released_mid_wait() {
+  Lock lock;
+  lock.lock();
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    acquired.store(lock.try_lock_for(2000ms));
+    if (acquired.load()) lock.unlock();
+  });
+  std::this_thread::yield();
+  lock.unlock();  // release well before the deadline
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(TimedGoll, SucceedsWhenReleasedMidWait) {
+  timed_succeeds_when_released_mid_wait<GollLock<>>();
+}
+TEST(TimedCentral, SucceedsWhenReleasedMidWait) {
+  timed_succeeds_when_released_mid_wait<CentralRwLock<>>();
+}
+
+TEST(TimedGoll, ReadersDoNotBlockTimedReaders) {
+  GollLock<> lock;
+  lock.lock_shared();
+  std::thread t([&] {
+    EXPECT_TRUE(lock.try_lock_shared_for(50ms));  // read sharing
+    lock.unlock_shared();
+    EXPECT_FALSE(lock.try_lock_for(20ms));  // but writing times out
+  });
+  t.join();
+  lock.unlock_shared();
+}
+
+TEST(TimedGoll, StdTimedAdaptersWork) {
+  GollLock<> lock;
+  {
+    std::shared_lock<GollLock<>> g(lock, 20ms);
+    EXPECT_TRUE(g.owns_lock());
+  }
+  {
+    std::unique_lock<GollLock<>> g(lock, 20ms);
+    EXPECT_TRUE(g.owns_lock());
+  }
+  lock.lock();
+  std::thread t([&] {
+    std::unique_lock<GollLock<>> g(lock, 20ms);
+    EXPECT_FALSE(g.owns_lock());
+  });
+  t.join();
+  lock.unlock();
+}
+
+}  // namespace
+}  // namespace oll

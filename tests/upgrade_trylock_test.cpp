@@ -1,0 +1,266 @@
+// Tests for the extended acquisition modes: non-blocking try_lock /
+// try_lock_shared on the queue locks, and write-upgrade / downgrade on every
+// lock that supports them (GOLL per §3.2.1; Solaris-like and Central per
+// their production counterparts).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "locks/central_rwlock.hpp"
+#include "locks/foll_lock.hpp"
+#include "locks/goll_lock.hpp"
+#include "locks/roll_lock.hpp"
+#include "locks/solaris_rwlock.hpp"
+#include "platform/spin.hpp"
+#include "core/rwlock_concepts.hpp"
+
+namespace oll {
+namespace {
+
+static_assert(TrySharedLockable<FollLock<>>);
+static_assert(TrySharedLockable<RollLock<>>);
+static_assert(UpgradableLockable<SolarisRwLock<>>);
+static_assert(UpgradableLockable<CentralRwLock<>>);
+
+// --- FOLL/ROLL try_lock -------------------------------------------------------
+
+template <typename Lock>
+void try_lock_free_lock() {
+  Lock lock;
+  EXPECT_TRUE(lock.try_lock());
+  // Held for writing: both try paths must fail.
+  std::thread t([&] {
+    EXPECT_FALSE(lock.try_lock());
+    EXPECT_FALSE(lock.try_lock_shared());
+  });
+  t.join();
+  lock.unlock();
+}
+
+TEST(FollTry, WriterTryLock) { try_lock_free_lock<FollLock<>>(); }
+TEST(RollTry, WriterTryLock) { try_lock_free_lock<RollLock<>>(); }
+
+template <typename Lock>
+void try_shared_basics() {
+  Lock lock;
+  // Free lock: a reader gets in without blocking.
+  ASSERT_TRUE(lock.try_lock_shared());
+  // A second reader joins the active group.
+  std::thread t([&] {
+    ASSERT_TRUE(lock.try_lock_shared());
+    lock.unlock_shared();
+  });
+  t.join();
+  // A writer cannot try-acquire while read-held.
+  std::thread w([&] { EXPECT_FALSE(lock.try_lock()); });
+  w.join();
+  lock.unlock_shared();
+  // try_lock is conservative (it may fail while the drained reader node
+  // still sits at the queue tail); flush with a blocking write acquisition.
+  lock.lock();
+  lock.unlock();
+  // Now truly empty: writer try succeeds, then readers are refused.
+  EXPECT_TRUE(lock.try_lock());
+  std::thread r([&] { EXPECT_FALSE(lock.try_lock_shared()); });
+  r.join();
+  lock.unlock();
+}
+
+TEST(FollTry, SharedBasics) { try_shared_basics<FollLock<>>(); }
+TEST(RollTry, SharedBasics) { try_shared_basics<RollLock<>>(); }
+
+template <typename Lock>
+void try_mixed_stress() {
+  Lock lock;
+  std::atomic<std::uint64_t> protected_ops{0};
+  std::uint64_t unprotected = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 2000; ++i) {
+        if ((i + t) % 3 == 0) {
+          if (lock.try_lock()) {
+            ++unprotected;
+            protected_ops.fetch_add(1, std::memory_order_relaxed);
+            lock.unlock();
+          }
+        } else {
+          if (lock.try_lock_shared()) {
+            lock.unlock_shared();
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(unprotected, protected_ops.load());
+  // Queue must be fully drained: blocking acquisition still works.
+  lock.lock();
+  lock.unlock();
+}
+
+TEST(FollTry, MixedStressLeavesLockUsable) { try_mixed_stress<FollLock<>>(); }
+TEST(RollTry, MixedStressLeavesLockUsable) { try_mixed_stress<RollLock<>>(); }
+
+TEST(FollTry, PoolDrainsAfterTryTraffic) {
+  FollLock<> lock;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1500; ++i) {
+        if (lock.try_lock_shared()) lock.unlock_shared();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  lock.lock();
+  lock.unlock();
+  EXPECT_EQ(lock.pool_nodes_in_use(), 0u);
+}
+
+// --- Solaris upgrade/downgrade --------------------------------------------------
+
+TEST(SolarisUpgrade, SoleReaderUpgrades) {
+  SolarisRwLock<> lock;
+  lock.lock_shared();
+  ASSERT_TRUE(lock.try_upgrade());
+  EXPECT_NE(lock.lockword() & SolarisRwLock<>::kWriteLocked, 0u);
+  EXPECT_FALSE(lock.try_lock_shared());
+  lock.unlock();
+  EXPECT_EQ(lock.lockword(), 0u);
+}
+
+TEST(SolarisUpgrade, FailsWithSecondReader) {
+  SolarisRwLock<> lock;
+  lock.lock_shared();
+  std::thread other([&] {
+    lock.lock_shared();
+    lock.unlock_shared();
+  });
+  other.join();
+  // Back to one reader: upgrade works again.
+  EXPECT_TRUE(lock.try_upgrade());
+  lock.unlock();
+
+  lock.lock_shared();
+  std::atomic<bool> in{false};
+  std::atomic<bool> release{false};
+  std::thread holder([&] {
+    lock.lock_shared();
+    in.store(true);
+    spin_until([&] { return release.load(); });
+    lock.unlock_shared();
+  });
+  spin_until([&] { return in.load(); });
+  EXPECT_FALSE(lock.try_upgrade());  // two readers
+  release.store(true);
+  holder.join();
+  lock.unlock_shared();
+}
+
+TEST(SolarisUpgrade, DowngradeAdmitsReaders) {
+  SolarisRwLock<> lock;
+  lock.lock();
+  lock.downgrade();
+  EXPECT_EQ(SolarisRwLock<>::readers(lock.lockword()), 1u);
+  std::thread r([&] {
+    EXPECT_TRUE(lock.try_lock_shared());
+    lock.unlock_shared();
+  });
+  r.join();
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock_shared();
+  EXPECT_EQ(lock.lockword(), 0u);
+}
+
+TEST(SolarisUpgrade, DowngradeWakesQueuedReaders) {
+  SolarisRwLock<> lock;
+  lock.lock();
+  std::atomic<int> through{0};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 3; ++i) {
+    readers.emplace_back([&] {
+      lock.lock_shared();
+      through.fetch_add(1);
+      lock.unlock_shared();
+    });
+  }
+  for (int i = 0; i < 2000; ++i) std::this_thread::yield();
+  lock.downgrade();
+  spin_until([&] { return through.load() == 3; });
+  for (auto& th : readers) th.join();
+  lock.unlock_shared();
+  EXPECT_EQ(lock.lockword(), 0u);
+}
+
+// --- Central upgrade/downgrade ----------------------------------------------------
+
+TEST(CentralUpgrade, RoundTrip) {
+  CentralRwLock<> lock;
+  lock.lock_shared();
+  ASSERT_TRUE(lock.try_upgrade());
+  EXPECT_FALSE(lock.try_lock_shared());
+  lock.downgrade();
+  std::thread r([&] {
+    EXPECT_TRUE(lock.try_lock_shared());
+    lock.unlock_shared();
+  });
+  r.join();
+  lock.unlock_shared();
+  EXPECT_EQ(lock.lockword(), 0u);
+}
+
+TEST(CentralUpgrade, FailsWithTwoReaders) {
+  CentralRwLock<> lock;
+  lock.lock_shared();
+  std::atomic<bool> in{false};
+  std::atomic<bool> release{false};
+  std::thread holder([&] {
+    lock.lock_shared();
+    in.store(true);
+    spin_until([&] { return release.load(); });
+    lock.unlock_shared();
+  });
+  spin_until([&] { return in.load(); });
+  EXPECT_FALSE(lock.try_upgrade());
+  release.store(true);
+  holder.join();
+  lock.unlock_shared();
+}
+
+TEST(UpgradeStress, ConcurrentUpgradersNeverBothSucceed) {
+  // At most one of two concurrent sole-reader upgraders can win; the loser
+  // must still hold its read lock.  Run on all three upgradable locks.
+  auto run = [](auto& lock) {
+    std::atomic<std::uint64_t> exclusive{0};
+    std::atomic<std::uint64_t> violations{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 800; ++i) {
+          lock.lock_shared();
+          if (lock.try_upgrade()) {
+            if (exclusive.fetch_add(1) != 0) violations.fetch_add(1);
+            exclusive.fetch_sub(1);
+            lock.unlock();
+          } else {
+            lock.unlock_shared();
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(violations.load(), 0u);
+  };
+  GollLock<> goll;
+  run(goll);
+  SolarisRwLock<> solaris;
+  run(solaris);
+  CentralRwLock<> central;
+  run(central);
+}
+
+}  // namespace
+}  // namespace oll

@@ -1,0 +1,181 @@
+// WaitQueue (the turnstile substitute) unit tests: group coalescing rules
+// under both policies, dequeue order, writer counting, and the signal
+// handshake with real waiting threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "locks/tatas_lock.hpp"
+#include "locks/wait_queue.hpp"
+#include "platform/memory.hpp"
+#include "platform/spin.hpp"
+
+namespace oll {
+namespace {
+
+using WQ = WaitQueue<RealMemory>;
+
+TEST(WaitQueue, StartsEmpty) {
+  WQ q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.num_writers(), 0u);
+  EXPECT_TRUE(q.dequeue().empty());
+}
+
+TEST(WaitQueue, SingleWriterRoundTrip) {
+  WQ q;
+  WQ::WaitNode w;
+  q.enqueue(&w, ReqKind::kWriter);
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.num_writers(), 1u);
+  auto g = q.dequeue();
+  ASSERT_FALSE(g.empty());
+  EXPECT_EQ(g.kind(), ReqKind::kWriter);
+  EXPECT_EQ(g.count(), 1u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.num_writers(), 0u);
+}
+
+TEST(WaitQueue, ConsecutiveReadersCoalesce) {
+  WQ q;
+  WQ::WaitNode r1, r2, r3;
+  q.enqueue(&r1, ReqKind::kReader);
+  q.enqueue(&r2, ReqKind::kReader);
+  q.enqueue(&r3, ReqKind::kReader);
+  auto g = q.dequeue();
+  ASSERT_FALSE(g.empty());
+  EXPECT_EQ(g.kind(), ReqKind::kReader);
+  EXPECT_EQ(g.count(), 3u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(WaitQueue, ReadersCoalesceOverWritersByDefault) {
+  // Solaris-style policy (§5.1 footnote 1): R W R -> [R,R group] then [W].
+  WQ q(/*readers_coalesce_over_writers=*/true);
+  WQ::WaitNode r1, w1, r2;
+  q.enqueue(&r1, ReqKind::kReader);
+  q.enqueue(&w1, ReqKind::kWriter);
+  q.enqueue(&r2, ReqKind::kReader);  // joins r1's group past the writer
+  auto g1 = q.dequeue();
+  EXPECT_EQ(g1.kind(), ReqKind::kReader);
+  EXPECT_EQ(g1.count(), 2u);
+  auto g2 = q.dequeue();
+  EXPECT_EQ(g2.kind(), ReqKind::kWriter);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(WaitQueue, FifoPolicyKeepsReaderGroupsSeparate) {
+  WQ q(/*readers_coalesce_over_writers=*/false);
+  WQ::WaitNode r1, w1, r2, r3;
+  q.enqueue(&r1, ReqKind::kReader);
+  q.enqueue(&w1, ReqKind::kWriter);
+  q.enqueue(&r2, ReqKind::kReader);
+  q.enqueue(&r3, ReqKind::kReader);  // coalesces with r2 (consecutive)
+  auto g1 = q.dequeue();
+  EXPECT_EQ(g1.kind(), ReqKind::kReader);
+  EXPECT_EQ(g1.count(), 1u);
+  auto g2 = q.dequeue();
+  EXPECT_EQ(g2.kind(), ReqKind::kWriter);
+  auto g3 = q.dequeue();
+  EXPECT_EQ(g3.kind(), ReqKind::kReader);
+  EXPECT_EQ(g3.count(), 2u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(WaitQueue, WriterCountTracksQueuedWriters) {
+  WQ q;
+  WQ::WaitNode w1, w2, r1;
+  q.enqueue(&w1, ReqKind::kWriter);
+  q.enqueue(&w2, ReqKind::kWriter);
+  q.enqueue(&r1, ReqKind::kReader);
+  EXPECT_EQ(q.num_writers(), 2u);
+  (void)q.dequeue();  // w1
+  EXPECT_EQ(q.num_writers(), 1u);
+  (void)q.dequeue();  // w2
+  EXPECT_EQ(q.num_writers(), 0u);
+  auto g = q.dequeue();
+  EXPECT_EQ(g.kind(), ReqKind::kReader);
+}
+
+TEST(WaitQueue, HeadKindReportsFront) {
+  WQ q;
+  WQ::WaitNode w1, r1;
+  q.enqueue(&w1, ReqKind::kWriter);
+  q.enqueue(&r1, ReqKind::kReader);
+  EXPECT_EQ(q.head_kind(), ReqKind::kWriter);
+  (void)q.dequeue();
+  EXPECT_EQ(q.head_kind(), ReqKind::kReader);
+}
+
+TEST(WaitQueue, NewReaderGroupAfterDequeue) {
+  // Once a reader group is dequeued, later readers must form a NEW group
+  // (the old leader's nodes may be gone).
+  WQ q;
+  WQ::WaitNode r1, r2;
+  q.enqueue(&r1, ReqKind::kReader);
+  (void)q.dequeue();
+  q.enqueue(&r2, ReqKind::kReader);
+  auto g = q.dequeue();
+  EXPECT_EQ(g.count(), 1u);
+}
+
+TEST(WaitQueue, SignalAllWakesEveryGroupMember) {
+  WQ q;
+  constexpr int kReaders = 5;
+  std::atomic<int> queued{0};
+  std::atomic<int> woken{0};
+  std::vector<std::thread> threads;
+  std::vector<WQ::WaitNode> nodes(kReaders);
+  TatasLock<> meta;
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      meta.lock();
+      q.enqueue(&nodes[t], ReqKind::kReader);
+      meta.unlock();
+      queued.fetch_add(1);
+      nodes[t].wait();
+      woken.fetch_add(1);
+    });
+  }
+  spin_until([&] { return queued.load() == kReaders; });
+  meta.lock();
+  auto g = q.dequeue();
+  meta.unlock();
+  EXPECT_EQ(g.count(), static_cast<std::uint32_t>(kReaders));
+  g.signal_all();
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(woken.load(), kReaders);
+}
+
+TEST(WaitQueue, SignalSafeWithStackNodes) {
+  // The waiter may destroy its node the instant granted flips; signal_all
+  // must read next_in_group first.  Stress the race with short-lived stack
+  // nodes.
+  WQ q;
+  TatasLock<> meta;
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> queued{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 3; ++t) {
+      threads.emplace_back([&] {
+        WQ::WaitNode node;  // stack lifetime ends right after wait()
+        meta.lock();
+        q.enqueue(&node, ReqKind::kReader);
+        meta.unlock();
+        queued.fetch_add(1);
+        node.wait();
+      });
+    }
+    spin_until([&] { return queued.load() == 3; });
+    meta.lock();
+    auto g = q.dequeue();
+    meta.unlock();
+    g.signal_all();
+    for (auto& th : threads) th.join();
+  }
+}
+
+}  // namespace
+}  // namespace oll
