@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_csnzi.dir/ablation_csnzi.cpp.o"
+  "CMakeFiles/ablation_csnzi.dir/ablation_csnzi.cpp.o.d"
+  "ablation_csnzi"
+  "ablation_csnzi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_csnzi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

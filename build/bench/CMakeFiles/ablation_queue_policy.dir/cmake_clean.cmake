@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_queue_policy.dir/ablation_queue_policy.cpp.o"
+  "CMakeFiles/ablation_queue_policy.dir/ablation_queue_policy.cpp.o.d"
+  "ablation_queue_policy"
+  "ablation_queue_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_queue_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_roll_hint.dir/ablation_roll_hint.cpp.o"
+  "CMakeFiles/ablation_roll_hint.dir/ablation_roll_hint.cpp.o.d"
+  "ablation_roll_hint"
+  "ablation_roll_hint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_roll_hint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

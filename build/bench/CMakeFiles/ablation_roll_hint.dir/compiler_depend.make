@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_roll_hint.
+# This may be replaced when dependencies are built.

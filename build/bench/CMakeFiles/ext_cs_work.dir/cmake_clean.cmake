@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cs_work.dir/ext_cs_work.cpp.o"
+  "CMakeFiles/ext_cs_work.dir/ext_cs_work.cpp.o.d"
+  "ext_cs_work"
+  "ext_cs_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cs_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

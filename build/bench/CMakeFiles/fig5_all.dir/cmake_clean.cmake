@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_all.dir/fig5_all.cpp.o"
+  "CMakeFiles/fig5_all.dir/fig5_all.cpp.o.d"
+  "fig5_all"
+  "fig5_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_99_reads.dir/fig5b_99_reads.cpp.o"
+  "CMakeFiles/fig5b_99_reads.dir/fig5b_99_reads.cpp.o.d"
+  "fig5b_99_reads"
+  "fig5b_99_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_99_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_95_reads.dir/fig5c_95_reads.cpp.o"
+  "CMakeFiles/fig5c_95_reads.dir/fig5c_95_reads.cpp.o.d"
+  "fig5c_95_reads"
+  "fig5c_95_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_95_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

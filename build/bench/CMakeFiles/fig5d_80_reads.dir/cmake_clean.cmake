@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5d_80_reads.dir/fig5d_80_reads.cpp.o"
+  "CMakeFiles/fig5d_80_reads.dir/fig5d_80_reads.cpp.o.d"
+  "fig5d_80_reads"
+  "fig5d_80_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5d_80_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

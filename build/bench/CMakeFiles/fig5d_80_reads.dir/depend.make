@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5d_80_reads.
+# This may be replaced when dependencies are built.

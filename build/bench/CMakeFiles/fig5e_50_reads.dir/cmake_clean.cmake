@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5e_50_reads.dir/fig5e_50_reads.cpp.o"
+  "CMakeFiles/fig5e_50_reads.dir/fig5e_50_reads.cpp.o.d"
+  "fig5e_50_reads"
+  "fig5e_50_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5e_50_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

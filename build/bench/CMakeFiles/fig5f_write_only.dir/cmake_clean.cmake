@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5f_write_only.dir/fig5f_write_only.cpp.o"
+  "CMakeFiles/fig5f_write_only.dir/fig5f_write_only.cpp.o.d"
+  "fig5f_write_only"
+  "fig5f_write_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5f_write_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_fairness.dir/latency_fairness.cpp.o"
+  "CMakeFiles/latency_fairness.dir/latency_fairness.cpp.o.d"
+  "latency_fairness"
+  "latency_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_contended.dir/micro_contended.cpp.o"
+  "CMakeFiles/micro_contended.dir/micro_contended.cpp.o.d"
+  "micro_contended"
+  "micro_contended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_contended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

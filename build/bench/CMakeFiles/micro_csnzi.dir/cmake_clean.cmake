@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_csnzi.dir/micro_csnzi.cpp.o"
+  "CMakeFiles/micro_csnzi.dir/micro_csnzi.cpp.o.d"
+  "micro_csnzi"
+  "micro_csnzi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_csnzi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_uncontended.dir/micro_uncontended.cpp.o"
+  "CMakeFiles/micro_uncontended.dir/micro_uncontended.cpp.o.d"
+  "micro_uncontended"
+  "micro_uncontended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_uncontended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

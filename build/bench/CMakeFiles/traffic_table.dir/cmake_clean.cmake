@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_table.dir/traffic_table.cpp.o"
+  "CMakeFiles/traffic_table.dir/traffic_table.cpp.o.d"
+  "traffic_table"
+  "traffic_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

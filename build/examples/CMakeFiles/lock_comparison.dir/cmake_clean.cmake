@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_comparison.dir/lock_comparison.cpp.o"
+  "CMakeFiles/lock_comparison.dir/lock_comparison.cpp.o.d"
+  "lock_comparison"
+  "lock_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phone_book.dir/phone_book.cpp.o"
+  "CMakeFiles/phone_book.dir/phone_book.cpp.o.d"
+  "phone_book"
+  "phone_book.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phone_book.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shutdown_gate.dir/shutdown_gate.cpp.o"
+  "CMakeFiles/shutdown_gate.dir/shutdown_gate.cpp.o.d"
+  "shutdown_gate"
+  "shutdown_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shutdown_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

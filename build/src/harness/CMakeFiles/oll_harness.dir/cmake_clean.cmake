@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oll_harness.dir/driver.cpp.o"
+  "CMakeFiles/oll_harness.dir/driver.cpp.o.d"
+  "CMakeFiles/oll_harness.dir/sweep.cpp.o"
+  "CMakeFiles/oll_harness.dir/sweep.cpp.o.d"
+  "liboll_harness.a"
+  "liboll_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oll_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for oll_harness.
+# This may be replaced when dependencies are built.

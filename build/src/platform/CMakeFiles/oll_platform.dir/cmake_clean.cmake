@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oll_platform.dir/thread_id.cpp.o"
+  "CMakeFiles/oll_platform.dir/thread_id.cpp.o.d"
+  "liboll_platform.a"
+  "liboll_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oll_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

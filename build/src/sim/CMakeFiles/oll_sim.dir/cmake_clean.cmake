@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oll_sim.dir/context.cpp.o"
+  "CMakeFiles/oll_sim.dir/context.cpp.o.d"
+  "liboll_sim.a"
+  "liboll_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oll_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboll_sim.a"
+)

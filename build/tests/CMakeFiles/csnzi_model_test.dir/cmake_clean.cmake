@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csnzi_model_test.dir/csnzi_model_test.cpp.o"
+  "CMakeFiles/csnzi_model_test.dir/csnzi_model_test.cpp.o.d"
+  "csnzi_model_test"
+  "csnzi_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csnzi_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csnzi_property_test.dir/csnzi_property_test.cpp.o"
+  "CMakeFiles/csnzi_property_test.dir/csnzi_property_test.cpp.o.d"
+  "csnzi_property_test"
+  "csnzi_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csnzi_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

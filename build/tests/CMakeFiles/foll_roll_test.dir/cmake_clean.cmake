@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foll_roll_test.dir/foll_roll_test.cpp.o"
+  "CMakeFiles/foll_roll_test.dir/foll_roll_test.cpp.o.d"
+  "foll_roll_test"
+  "foll_roll_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foll_roll_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

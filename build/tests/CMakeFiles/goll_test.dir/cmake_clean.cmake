@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goll_test.dir/goll_test.cpp.o"
+  "CMakeFiles/goll_test.dir/goll_test.cpp.o.d"
+  "goll_test"
+  "goll_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goll_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

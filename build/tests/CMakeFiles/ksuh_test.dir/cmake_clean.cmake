@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksuh_test.dir/ksuh_test.cpp.o"
+  "CMakeFiles/ksuh_test.dir/ksuh_test.cpp.o.d"
+  "ksuh_test"
+  "ksuh_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksuh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/left_right_test.dir/left_right_test.cpp.o"
+  "CMakeFiles/left_right_test.dir/left_right_test.cpp.o.d"
+  "left_right_test"
+  "left_right_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/left_right_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_conformance_test.dir/lock_conformance_test.cpp.o"
+  "CMakeFiles/lock_conformance_test.dir/lock_conformance_test.cpp.o.d"
+  "lock_conformance_test"
+  "lock_conformance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mechanism_test.dir/mechanism_test.cpp.o"
+  "CMakeFiles/mechanism_test.dir/mechanism_test.cpp.o.d"
+  "mechanism_test"
+  "mechanism_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mechanism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orig_snzi_test.dir/orig_snzi_test.cpp.o"
+  "CMakeFiles/orig_snzi_test.dir/orig_snzi_test.cpp.o.d"
+  "orig_snzi_test"
+  "orig_snzi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orig_snzi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_fuzz_test.dir/race_fuzz_test.cpp.o"
+  "CMakeFiles/race_fuzz_test.dir/race_fuzz_test.cpp.o.d"
+  "race_fuzz_test"
+  "race_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

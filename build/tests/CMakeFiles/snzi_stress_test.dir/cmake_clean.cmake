@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snzi_stress_test.dir/snzi_stress_test.cpp.o"
+  "CMakeFiles/snzi_stress_test.dir/snzi_stress_test.cpp.o.d"
+  "snzi_stress_test"
+  "snzi_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snzi_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_test.dir/test_memory_test.cpp.o"
+  "CMakeFiles/test_memory_test.dir/test_memory_test.cpp.o.d"
+  "test_memory_test"
+  "test_memory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

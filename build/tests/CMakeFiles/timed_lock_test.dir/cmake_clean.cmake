@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timed_lock_test.dir/timed_lock_test.cpp.o"
+  "CMakeFiles/timed_lock_test.dir/timed_lock_test.cpp.o.d"
+  "timed_lock_test"
+  "timed_lock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timed_lock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upgrade_trylock_test.dir/upgrade_trylock_test.cpp.o"
+  "CMakeFiles/upgrade_trylock_test.dir/upgrade_trylock_test.cpp.o.d"
+  "upgrade_trylock_test"
+  "upgrade_trylock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upgrade_trylock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wait_queue_test.dir/wait_queue_test.cpp.o"
+  "CMakeFiles/wait_queue_test.dir/wait_queue_test.cpp.o.d"
+  "wait_queue_test"
+  "wait_queue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wait_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
