@@ -6,7 +6,9 @@
 //   --threads=N         cap the thread sweep (default: 256 sim / 16 real)
 //   --acquires=N        acquisitions per thread (default: paper-scaled)
 //   --reps=N            repetitions to average (default 1; paper uses 3)
-//   --locks=a,b,c       subset of goll,foll,roll,ksuh,solaris,...
+//   --locks=a,b,c       subset of goll,foll,roll,ksuh,solaris,...; the
+//                       BRAVO reader-bias wrappers sweep as bravo-goll,
+//                       bravo-foll, bravo-roll, bravo-central
 //   --cs_work=N         work units inside the critical section (default 0)
 #pragma once
 

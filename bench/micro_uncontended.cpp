@@ -50,5 +50,10 @@ OLL_BENCH_LOCK(McsRw, kMcsRw)
 OLL_BENCH_LOCK(BigReader, kBigReader)
 OLL_BENCH_LOCK(Central, kCentral)
 OLL_BENCH_LOCK(StdShared, kStdShared)
+// BRAVO wrappers: the read numbers here are the bias fast path (one CAS +
+// one store on a private table slot, zero shared-state RMWs).
+OLL_BENCH_LOCK(BravoGoll, kBravoGoll)
+OLL_BENCH_LOCK(BravoRoll, kBravoRoll)
+OLL_BENCH_LOCK(BravoCentral, kBravoCentral)
 
 BENCHMARK_MAIN();

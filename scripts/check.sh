@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Repo verification gate: the tier-1 build + test pass (ROADMAP.md), then a
+# ThreadSanitizer build running the concurrency suites (a lock library must
+# be TSan-clean).  CI runs exactly this script; run it locally before
+# pushing (or with --tier1-only for a quick pass).
+#
+# Usage: scripts/check.sh [--tier1-only]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "==> tier-1: configure + build"
+cmake -B build -S .
+cmake --build build -j "${JOBS}"
+
+echo "==> tier-1: ctest"
+(cd build && ctest --output-on-failure -j "${JOBS}")
+
+if [[ "${1:-}" == "--tier1-only" ]]; then
+  echo "==> OK (tier-1 only)"
+  exit 0
+fi
+
+TSAN_SUITES=(
+  lock_stress_test race_fuzz_test snzi_stress_test bravo_test
+  csnzi_test lock_conformance_test foll_roll_test goll_test ksuh_test
+  wait_queue_test mutex_test orig_snzi_test
+)
+
+echo "==> tsan: configure + build (tests only)"
+cmake -B build-tsan -S . -DOLL_SANITIZE=thread \
+  -DOLL_ENABLE_BENCH=OFF -DOLL_ENABLE_EXAMPLES=OFF
+cmake --build build-tsan -j "${JOBS}" --target "${TSAN_SUITES[@]}"
+
+echo "==> tsan: concurrency suites"
+# halt_on_error so the first race fails the run instead of scrolling past.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+for t in "${TSAN_SUITES[@]}"; do
+  echo "==> tsan: ${t}"
+  "./build-tsan/tests/${t}"
+done
+
+echo "==> OK"

@@ -16,6 +16,7 @@
 
 #include "core/rwlock_concepts.hpp"
 #include "locks/big_reader_rwlock.hpp"
+#include "locks/bravo.hpp"
 #include "locks/central_rwlock.hpp"
 #include "locks/foll_lock.hpp"
 #include "locks/goll_lock.hpp"
@@ -37,6 +38,11 @@ enum class LockKind {
   kBigReader,
   kCentral,
   kStdShared,  // std::shared_mutex; RealMemory builds only
+  // BRAVO reader-bias wrapper (locks/bravo.hpp) over selected backends.
+  kBravoGoll,
+  kBravoFoll,
+  kBravoRoll,
+  kBravoCentral,
 };
 
 inline const char* lock_kind_name(LockKind k) {
@@ -50,6 +56,10 @@ inline const char* lock_kind_name(LockKind k) {
     case LockKind::kBigReader: return "BigReader";
     case LockKind::kCentral: return "Central";
     case LockKind::kStdShared: return "std::shared_mutex";
+    case LockKind::kBravoGoll: return "BRAVO-GOLL";
+    case LockKind::kBravoFoll: return "BRAVO-FOLL";
+    case LockKind::kBravoRoll: return "BRAVO-ROLL";
+    case LockKind::kBravoCentral: return "BRAVO-Central";
   }
   return "?";
 }
@@ -64,6 +74,12 @@ inline std::optional<LockKind> parse_lock_kind(std::string_view s) {
   if (s == "bigreader" || s == "big-reader") return LockKind::kBigReader;
   if (s == "central") return LockKind::kCentral;
   if (s == "std" || s == "shared_mutex") return LockKind::kStdShared;
+  if (s == "bravo-goll" || s == "BRAVO-GOLL") return LockKind::kBravoGoll;
+  if (s == "bravo-foll" || s == "BRAVO-FOLL") return LockKind::kBravoFoll;
+  if (s == "bravo-roll" || s == "BRAVO-ROLL") return LockKind::kBravoRoll;
+  if (s == "bravo-central" || s == "BRAVO-Central") {
+    return LockKind::kBravoCentral;
+  }
   return std::nullopt;
 }
 
@@ -77,7 +93,15 @@ inline std::vector<LockKind> all_lock_kinds() {
   return {LockKind::kGoll,      LockKind::kFoll,    LockKind::kRoll,
           LockKind::kKsuh,      LockKind::kSolarisLike,
           LockKind::kMcsRw,     LockKind::kBigReader,
-          LockKind::kCentral,   LockKind::kStdShared};
+          LockKind::kCentral,   LockKind::kStdShared,
+          LockKind::kBravoGoll, LockKind::kBravoFoll,
+          LockKind::kBravoRoll, LockKind::kBravoCentral};
+}
+
+// The BRAVO-wrapped variants, for sweeps comparing bias on/off.
+inline std::vector<LockKind> bravo_lock_kinds() {
+  return {LockKind::kBravoGoll, LockKind::kBravoFoll, LockKind::kBravoRoll,
+          LockKind::kBravoCentral};
 }
 
 class AnyRwLock {
@@ -174,6 +198,40 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
       } else {
         return nullptr;
       }
+    }
+    case LockKind::kBravoGoll: {
+      GollOptions g;
+      g.max_threads = o.max_threads;
+      g.csnzi = o.csnzi;
+      g.readers_coalesce_over_writers = o.readers_coalesce_over_writers;
+      BravoOptions b;
+      b.max_threads = o.max_threads;
+      return std::make_unique<RwLockAdapter<Bravo<GollLock<M>, M>>>(
+          "BRAVO-GOLL", b, g);
+    }
+    case LockKind::kBravoFoll: {
+      FollOptions f;
+      f.max_threads = o.max_threads;
+      f.csnzi = o.csnzi;
+      BravoOptions b;
+      b.max_threads = o.max_threads;
+      return std::make_unique<RwLockAdapter<Bravo<FollLock<M>, M>>>(
+          "BRAVO-FOLL", b, f);
+    }
+    case LockKind::kBravoRoll: {
+      RollOptions r;
+      r.max_threads = o.max_threads;
+      r.csnzi = o.csnzi;
+      BravoOptions b;
+      b.max_threads = o.max_threads;
+      return std::make_unique<RwLockAdapter<Bravo<RollLock<M>, M>>>(
+          "BRAVO-ROLL", b, r);
+    }
+    case LockKind::kBravoCentral: {
+      BravoOptions b;
+      b.max_threads = o.max_threads;
+      return std::make_unique<RwLockAdapter<Bravo<CentralRwLock<M>, M>>>(
+          "BRAVO-Central", b);
     }
   }
   return nullptr;

@@ -1,0 +1,273 @@
+// Bravo<Lock> — BRAVO-style reader bias as a composable lock transformer
+// (Dice & Kogan, "BRAVO — Biased Locking for Reader-Writer Locks"; see
+// PAPERS.md and DESIGN.md §7).
+//
+// The paper's OLL locks scale readers through C-SNZI trees, but every read
+// acquisition still performs at least one RMW on a shared tree node.  BRAVO
+// removes even that: while a lock is in reader-bias mode, a reader makes
+// itself visible by publishing the lock's address in a private slot of the
+// global visible-readers table (platform/visible_readers.hpp) — one CAS on
+// a cache line nobody else is actively writing — and never touches the
+// underlying lock at all.  A writer first acquires the underlying lock
+// (excluding slow-path readers and other writers), then *revokes* the bias:
+// it clears the bias flag and scans the table, waiting for every slot that
+// holds this lock to drain.  Because revocation costs an O(table) scan, the
+// bias is re-enabled only after a timed inhibit window proportional to the
+// measured scan cost, so write-heavy phases settle into plain underlying
+// behavior and pay the scan at most ~1/(multiplier+1) of the time.
+//
+// The layer composes with ANY SharedLockable lock: Bravo<GollLock<>>,
+// Bravo<CentralRwLock<>>, Bravo<std::shared_mutex>, ...  Correctness
+// argument for the publish/revoke race (the only subtle part): the reader
+// publishes its slot and THEN re-checks the bias flag; the writer clears
+// the flag and THEN scans.  All four accesses are seq_cst, so in the total
+// order either the reader's re-check precedes the writer's clear — then the
+// reader's earlier publication precedes the writer's scan load of that
+// slot, and the writer waits for it — or the re-check follows the clear,
+// the reader observes bias off, reverts its slot and takes the slow path.
+// Either way no reader is invisible to the writer.
+//
+// Non-recursive (like every lock here): a thread must not read-acquire the
+// same Bravo lock twice.  try_upgrade()/downgrade() are deliberately not
+// forwarded — a bias-path reader holds no underlying lock to upgrade.
+#pragma once
+
+#include <chrono>
+#include <concepts>
+#include <cstdint>
+#include <utility>
+
+#include "locks/lock_stats.hpp"
+#include "locks/per_thread.hpp"
+#include "platform/assert.hpp"
+#include "platform/backoff.hpp"
+#include "platform/memory.hpp"
+#include "platform/thread_id.hpp"
+#include "platform/time.hpp"
+#include "platform/visible_readers.hpp"
+
+namespace oll {
+
+struct BravoOptions {
+  std::uint32_t max_threads = 512;
+  // Bias re-enable policy: after a revocation that took S ns of table
+  // scanning, keep the bias off until now + multiplier * S (BRAVO's N,
+  // default 9 as in the paper) — reads must be able to amortize the next
+  // writer's scan before the lock re-biases.
+  std::uint32_t inhibit_multiplier = 9;
+  bool start_biased = true;
+};
+
+template <typename LockT, typename M = RealMemory>
+class Bravo {
+ public:
+  using Underlying = LockT;
+
+  template <typename... Args>
+  explicit Bravo(const BravoOptions& opts, Args&&... args)
+      : opts_(opts),
+        lock_(std::forward<Args>(args)...),
+        locals_(opts.max_threads),
+        stats_(opts.max_threads),
+        rbias_(opts.start_biased ? 1u : 0u) {}
+
+  Bravo() : Bravo(BravoOptions{}) {}
+
+  Bravo(const Bravo&) = delete;
+  Bravo& operator=(const Bravo&) = delete;
+
+  // --- reader side --------------------------------------------------------
+
+  void lock_shared() {
+    if (bias_fast_path()) return;
+    lock_.lock_shared();
+    stats_.count_read_fast();
+    maybe_rearm_bias();
+  }
+
+  void unlock_shared() {
+    Local& local = locals_.local();
+    if (local.slot != nullptr) {
+      // Bias path: un-publish.  Release order pairs with the revoking
+      // writer's scan load, making the critical section visible to it.
+      local.slot->store(nullptr, std::memory_order_release);
+      local.slot = nullptr;
+      return;
+    }
+    lock_.unlock_shared();
+  }
+
+  bool try_lock_shared()
+    requires requires(LockT& l) {
+      { l.try_lock_shared() } -> std::convertible_to<bool>;
+    }
+  {
+    if (bias_fast_path()) return true;
+    if (!lock_.try_lock_shared()) return false;
+    stats_.count_read_fast();
+    maybe_rearm_bias();
+    return true;
+  }
+
+  // --- writer side --------------------------------------------------------
+
+  void lock() {
+    lock_.lock();
+    stats_.count_write_fast();
+    if (rbias_.load(std::memory_order_seq_cst) != 0) revoke_bias();
+  }
+
+  void unlock() { lock_.unlock(); }
+
+  bool try_lock()
+    requires requires(LockT& l) {
+      { l.try_lock() } -> std::convertible_to<bool>;
+    }
+  {
+    if (!lock_.try_lock()) return false;
+    stats_.count_write_fast();
+    // Revocation after a successful try is not optional and terminates:
+    // once the flag is cleared no new bias readers can pass the re-check.
+    if (rbias_.load(std::memory_order_seq_cst) != 0) revoke_bias();
+    return true;
+  }
+
+  // --- timed acquisition (deadline-bounded retry over the try paths) ------
+
+  template <typename Rep, typename Period>
+  bool try_lock_for(const std::chrono::duration<Rep, Period>& d)
+    requires requires(Bravo& b) { b.try_lock(); }
+  {
+    return try_until(std::chrono::steady_clock::now() + d,
+                     [&] { return try_lock(); });
+  }
+
+  template <typename Clock, typename Duration>
+  bool try_lock_until(const std::chrono::time_point<Clock, Duration>& tp)
+    requires requires(Bravo& b) { b.try_lock(); }
+  {
+    return try_until(tp, [&] { return try_lock(); });
+  }
+
+  template <typename Rep, typename Period>
+  bool try_lock_shared_for(const std::chrono::duration<Rep, Period>& d)
+    requires requires(Bravo& b) { b.try_lock_shared(); }
+  {
+    return try_until(std::chrono::steady_clock::now() + d,
+                     [&] { return try_lock_shared(); });
+  }
+
+  template <typename Clock, typename Duration>
+  bool try_lock_shared_until(
+      const std::chrono::time_point<Clock, Duration>& tp)
+    requires requires(Bravo& b) { b.try_lock_shared(); }
+  {
+    return try_until(tp, [&] { return try_lock_shared(); });
+  }
+
+  // --- introspection ------------------------------------------------------
+
+  // read_bias counts bias-path reads (no underlying-lock RMW at all);
+  // read_fast counts reads that fell through to the underlying lock;
+  // bias_revoke counts writer-side revocation scans.  write_fast counts all
+  // writer acquisitions (the wrapper cannot see whether the underlying lock
+  // queued).  Exact at quiescence.
+  LockStatsSnapshot stats() const { return stats_.snapshot(); }
+
+  bool read_biased() const {
+    return rbias_.load(std::memory_order_acquire) != 0;
+  }
+
+  Underlying& underlying() { return lock_; }
+  const Underlying& underlying() const { return lock_; }
+
+ private:
+  using Table = VisibleReadersTable<M>;
+
+  // Publish-then-recheck bias fast path shared by lock_shared and
+  // try_lock_shared.  On success the thread's Local remembers the slot so
+  // unlock_shared knows no underlying lock is held.
+  bool bias_fast_path() {
+    Local& local = locals_.local();
+    OLL_DCHECK(local.slot == nullptr);  // non-recursive
+    if (rbias_.load(std::memory_order_seq_cst) == 0) return false;
+    typename Table::Slot& slot =
+        global_visible_readers<M>().slot_for(this_thread_index(), this);
+    const void* expected = nullptr;
+    // A failed CAS means a hash collision (another thread/lock owns the
+    // slot): fall back to the underlying lock rather than wait.
+    if (!slot.compare_exchange_strong(expected, this,
+                                      std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst)) {
+      return false;
+    }
+    if (rbias_.load(std::memory_order_seq_cst) != 0) {
+      local.slot = &slot;
+      stats_.count_read_bias();
+      return true;
+    }
+    // A writer revoked between our publish and re-check: revert and let the
+    // underlying lock arbitrate.
+    slot.store(nullptr, std::memory_order_release);
+    return false;
+  }
+
+  // Slow-path readers re-arm the bias once the inhibit window has passed.
+  // Called while holding the underlying read lock, so no writer holds the
+  // lock; the underlying release/acquire ordering guarantees the next
+  // writer observes the flag and revokes.
+  void maybe_rearm_bias() {
+    if (rbias_.load(std::memory_order_relaxed) == 0 &&
+        now_ns() >= inhibit_until_.load(std::memory_order_relaxed)) {
+      rbias_.store(1, std::memory_order_seq_cst);
+    }
+  }
+
+  // Called with the underlying write lock held.  Clears the flag, then
+  // waits for every published bias reader of THIS lock to drain.  New
+  // readers cannot re-publish (flag is down, and re-arming requires holding
+  // the underlying read lock, which we exclude), so the scan terminates.
+  void revoke_bias() {
+    stats_.count_bias_revoke();
+    rbias_.store(0, std::memory_order_seq_cst);
+    Table& table = global_visible_readers<M>();
+    const std::uint64_t scan_start = now_ns();
+    for (std::uint32_t i = 0; i < Table::size(); ++i) {
+      typename Table::Slot& slot = table.slot(i);
+      if (slot.load(std::memory_order_seq_cst) != this) continue;
+      ExponentialBackoff backoff;
+      while (slot.load(std::memory_order_seq_cst) == this) {
+        backoff.backoff();
+      }
+    }
+    const std::uint64_t scan_ns = now_ns() - scan_start;
+    inhibit_until_.store(
+        now_ns() + scan_ns * opts_.inhibit_multiplier,
+        std::memory_order_relaxed);
+  }
+
+  template <typename TimePoint, typename Try>
+  bool try_until(const TimePoint& deadline, Try&& attempt) {
+    ExponentialBackoff backoff;
+    while (true) {
+      if (attempt()) return true;
+      if (TimePoint::clock::now() >= deadline) return false;
+      backoff.backoff();
+    }
+  }
+
+  struct Local {
+    typename Table::Slot* slot = nullptr;  // non-null iff bias path held
+  };
+
+  BravoOptions opts_;
+  LockT lock_;
+  PerThreadSlots<Local> locals_;
+  LockStats stats_;
+  // rbias_ and inhibit_until_ are wrapper-level state and deliberately kept
+  // on M's atomics so fuzz/sim builds perturb and charge them too.
+  typename M::template Atomic<std::uint32_t> rbias_;
+  typename M::template Atomic<std::uint64_t> inhibit_until_{0};
+};
+
+}  // namespace oll

@@ -6,9 +6,19 @@
 // FOLL and ROLL update them so tests and users can verify the paper's
 // mechanisms directly: e.g. at 100% reads GOLL must report zero queued
 // acquisitions — readers never touch the metalock (§3.2) — and FOLL must
-// report that almost all readers shared an existing node (§4.2).
+// report that almost all readers shared an existing node (§4.2).  The BRAVO
+// layer (locks/bravo.hpp) additionally counts bias-path reads and
+// revocations, which is how tests verify that biased readers really skip
+// the underlying lock's shared RMWs.
+//
+// Each slot has exactly one writer (its thread), but snapshot() may run
+// concurrently with increments, so the fields are atomics accessed with
+// relaxed ordering: single-writer means load+store increments are not lost,
+// and relaxed cross-thread reads make the aggregate approximate but
+// race-free (exact at quiescence).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "locks/per_thread.hpp"
@@ -20,8 +30,10 @@ struct LockStatsSnapshot {
   std::uint64_t read_queued = 0;  // reader slept in the queue / enqueued node
   std::uint64_t write_fast = 0;   // writer acquired on the fast path
   std::uint64_t write_queued = 0; // writer queued / waited for readers
+  std::uint64_t read_bias = 0;    // reader took the BRAVO bias fast path
+  std::uint64_t bias_revoke = 0;  // writer revoked reader bias
 
-  std::uint64_t reads() const { return read_fast + read_queued; }
+  std::uint64_t reads() const { return read_fast + read_queued + read_bias; }
   std::uint64_t writes() const { return write_fast + write_queued; }
 };
 
@@ -29,29 +41,47 @@ class LockStats {
  public:
   explicit LockStats(std::uint32_t max_threads) : slots_(max_threads) {}
 
-  void count_read_fast() { ++slots_.local().read_fast; }
-  void count_read_queued() { ++slots_.local().read_queued; }
-  void count_write_fast() { ++slots_.local().write_fast; }
-  void count_write_queued() { ++slots_.local().write_queued; }
+  void count_read_fast() { bump(slots_.local().read_fast); }
+  void count_read_queued() { bump(slots_.local().read_queued); }
+  void count_write_fast() { bump(slots_.local().write_fast); }
+  void count_write_queued() { bump(slots_.local().write_queued); }
+  void count_read_bias() { bump(slots_.local().read_bias); }
+  void count_bias_revoke() { bump(slots_.local().bias_revoke); }
 
   // Aggregate across threads.  Not linearizable with respect to concurrent
-  // updates (per-thread counters are plain fields); call at quiescence for
-  // exact numbers.
+  // updates (relaxed loads of live counters); call at quiescence for exact
+  // numbers.
   LockStatsSnapshot snapshot() const {
     LockStatsSnapshot total;
     for (std::uint32_t i = 0; i < slots_.size(); ++i) {
-      const LockStatsSnapshot& s =
-          const_cast<PerThreadSlots<LockStatsSnapshot>&>(slots_).slot(i);
-      total.read_fast += s.read_fast;
-      total.read_queued += s.read_queued;
-      total.write_fast += s.write_fast;
-      total.write_queued += s.write_queued;
+      const Slot& s = slots_.slot(i);
+      total.read_fast += s.read_fast.load(std::memory_order_relaxed);
+      total.read_queued += s.read_queued.load(std::memory_order_relaxed);
+      total.write_fast += s.write_fast.load(std::memory_order_relaxed);
+      total.write_queued += s.write_queued.load(std::memory_order_relaxed);
+      total.read_bias += s.read_bias.load(std::memory_order_relaxed);
+      total.bias_revoke += s.bias_revoke.load(std::memory_order_relaxed);
     }
     return total;
   }
 
  private:
-  PerThreadSlots<LockStatsSnapshot> slots_;
+  struct Slot {
+    std::atomic<std::uint64_t> read_fast{0};
+    std::atomic<std::uint64_t> read_queued{0};
+    std::atomic<std::uint64_t> write_fast{0};
+    std::atomic<std::uint64_t> write_queued{0};
+    std::atomic<std::uint64_t> read_bias{0};
+    std::atomic<std::uint64_t> bias_revoke{0};
+  };
+
+  // Single-writer slot: a relaxed load+store increment cannot be lost and
+  // avoids a lock-prefixed RMW on the acquisition hot path.
+  static void bump(std::atomic<std::uint64_t>& c) {
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+
+  PerThreadSlots<Slot> slots_;
 };
 
 }  // namespace oll

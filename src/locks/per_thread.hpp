@@ -36,6 +36,11 @@ class PerThreadSlots {
     return slots_[idx].value;
   }
 
+  const T& slot(std::uint32_t idx) const {
+    OLL_CHECK(idx < max_threads_);
+    return slots_[idx].value;
+  }
+
   std::uint32_t size() const noexcept { return max_threads_; }
 
  private:

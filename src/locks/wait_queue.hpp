@@ -157,7 +157,15 @@ class WaitQueue {
         ++target->group_count;
         return;
       }
-      last_reader_group_ = node;
+      // Track the coalescing target only under the policy that reads it.
+      // Strict FIFO can hold several reader groups at once; recording each
+      // new leader here used to leave the field pointing at whichever group
+      // was created last — a stale pointer to a popped (stack-allocated,
+      // destroyed) node the moment any dequeue path other than a head pop
+      // exists.  Under coalescing there is at most one queued reader group
+      // (readers always join it), so the field is exactly "the queued reader
+      // group, if any" and dequeue() can clear it locally.
+      if (coalesce_) last_reader_group_ = node;
     } else {
       ++num_writers_;
     }
@@ -180,6 +188,8 @@ class WaitQueue {
       OLL_DCHECK(num_writers_ > 0);
       --num_writers_;
     } else if (leader == last_reader_group_) {
+      // Popping the (unique) coalescing target: clear it so later readers
+      // start a fresh group instead of chaining onto freed stack nodes.
       last_reader_group_ = nullptr;
     }
     return GroupRef{leader, leader->kind, leader->group_count};
@@ -196,6 +206,8 @@ class WaitQueue {
  private:
   WaitNode* head_ = nullptr;
   WaitNode* tail_ = nullptr;
+  // Coalescing policy only: leader of the single queued reader group, or
+  // null.  Strict FIFO leaves it null (enqueue joins via tail_ instead).
   WaitNode* last_reader_group_ = nullptr;
   std::uint32_t num_writers_ = 0;
   bool coalesce_;

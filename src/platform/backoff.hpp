@@ -10,6 +10,7 @@
 
 #include "platform/cpu.hpp"
 #include "platform/rng.hpp"
+#include "platform/thread_id.hpp"
 
 namespace oll {
 
@@ -23,16 +24,26 @@ struct BackoffParams {
 
 class ExponentialBackoff {
  public:
-  explicit ExponentialBackoff(const BackoffParams& p = {},
-                              std::uint64_t seed = 0x2545F4914F6CDD1DULL) noexcept
+  // Default-constructed instances draw their RNG seed from a per-thread
+  // stream keyed by the compact thread id: contending threads (and repeated
+  // constructions on one thread) must NOT share a seed, or they back off in
+  // lock-step, re-collide every window, and defeat the randomization §5.1
+  // tunes for.
+  explicit ExponentialBackoff(const BackoffParams& p = {}) noexcept
+      : ExponentialBackoff(p, next_default_seed()) {}
+
+  // Explicit seed, for deterministic tests.
+  ExponentialBackoff(const BackoffParams& p, std::uint64_t seed) noexcept
       : params_(p), window_(p.min_spins), rng_(seed) {}
 
   // Wait for a random duration within the current window, then double it.
-  void backoff() noexcept {
+  // Returns the number of spins performed so tests can observe the sequence.
+  std::uint64_t backoff() noexcept {
     const std::uint64_t spins = rng_.next_below(window_) + 1;
     for (std::uint64_t i = 0; i < spins; ++i) cpu_relax();
     if (window_ < params_.max_spins) window_ *= 2;
     if (++rounds_ >= params_.yield_after) std::this_thread::yield();
+    return spins;
   }
 
   void reset() noexcept {
@@ -43,6 +54,13 @@ class ExponentialBackoff {
   std::uint32_t window() const noexcept { return window_; }
 
  private:
+  static std::uint64_t next_default_seed() noexcept {
+    thread_local SplitMix64 seeder(
+        0x2545F4914F6CDD1DULL ^
+        (static_cast<std::uint64_t>(this_thread_index() + 1) << 32));
+    return seeder.next();
+  }
+
   BackoffParams params_;
   std::uint32_t window_;
   std::uint32_t rounds_ = 0;

@@ -1,0 +1,83 @@
+// Global visible-readers table for BRAVO-style reader bias (Dice & Kogan,
+// "BRAVO — Biased Locking for Reader-Writer Locks"; see PAPERS.md).
+//
+// A biased reader makes itself visible to writers by publishing the lock's
+// address in one slot of this table instead of performing an RMW on the
+// lock's own shared state; a revoking writer scans the whole table and
+// waits for every slot holding its lock to drain.  One process-global table
+// is shared by every Bravo<> instance (per memory model): the table is the
+// "reader indicator" whose cost is O(1) publication for readers and
+// O(table) scan for revoking writers — exactly the asymmetry reader bias
+// trades on.
+//
+// Each slot sits alone on its own false-sharing range: the whole point of
+// the bias fast path is that a reader touches a line no other active thread
+// is writing, so two threads' slots must never share one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "platform/cache_line.hpp"
+#include "platform/memory.hpp"
+
+namespace oll {
+
+// Power of two.  BRAVO's reference implementation uses 4096 entries; 1024
+// padded slots (128 KiB) is plenty for this library's ≤1024 registered
+// threads — collisions only cost the colliding reader its fast path.
+inline constexpr std::uint32_t kVisibleReaderSlots = 1024;
+
+template <typename M = RealMemory>
+class VisibleReadersTable {
+ public:
+  // A slot holds the address of the Bravo lock whose reader published in
+  // it, or null.  const void* rather than a typed pointer: the table is
+  // shared by Bravo instantiations over different underlying locks.
+  using Slot = typename M::template Atomic<const void*>;
+
+  VisibleReadersTable()
+      : slots_(std::make_unique<CacheAligned<Slot>[]>(kVisibleReaderSlots)) {}
+
+  VisibleReadersTable(const VisibleReadersTable&) = delete;
+  VisibleReadersTable& operator=(const VisibleReadersTable&) = delete;
+
+  static constexpr std::uint32_t size() noexcept {
+    return kVisibleReaderSlots;
+  }
+
+  // Slot assignment mixes the dense thread id with the lock address
+  // (splitmix-style finalizer) so a thread reading several Bravo locks
+  // publishes in distinct slots and threads on one lock spread across the
+  // table.  Deterministic per (thread, lock): the reader recomputes it at
+  // unlock.
+  static std::uint32_t index_of(std::uint32_t thread_index,
+                                const void* lock) noexcept {
+    std::uint64_t z = (static_cast<std::uint64_t>(thread_index) << 32) ^
+                      static_cast<std::uint64_t>(
+                          reinterpret_cast<std::uintptr_t>(lock));
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::uint32_t>((z ^ (z >> 31)) &
+                                      (kVisibleReaderSlots - 1));
+  }
+
+  Slot& slot_for(std::uint32_t thread_index, const void* lock) noexcept {
+    return slots_[index_of(thread_index, lock)].value;
+  }
+
+  Slot& slot(std::uint32_t i) noexcept { return slots_[i].value; }
+
+ private:
+  std::unique_ptr<CacheAligned<Slot>[]> slots_;
+};
+
+// The process-global table for memory model M (one per model: sim and fuzz
+// builds must not share slots with real-memory locks).
+template <typename M = RealMemory>
+inline VisibleReadersTable<M>& global_visible_readers() {
+  static VisibleReadersTable<M> table;
+  return table;
+}
+
+}  // namespace oll

@@ -216,7 +216,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(LockKind::kGoll, LockKind::kFoll, LockKind::kRoll,
                       LockKind::kKsuh, LockKind::kSolarisLike,
                       LockKind::kMcsRw, LockKind::kBigReader,
-                      LockKind::kCentral, LockKind::kStdShared),
+                      LockKind::kCentral, LockKind::kStdShared,
+                      LockKind::kBravoGoll, LockKind::kBravoFoll,
+                      LockKind::kBravoRoll, LockKind::kBravoCentral),
     [](const ::testing::TestParamInfo<LockKind>& info) {
       std::string n = lock_kind_name(info.param);
       for (char& c : n) {

@@ -57,7 +57,9 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(LockKind::kGoll, LockKind::kFoll, LockKind::kRoll,
                           LockKind::kKsuh, LockKind::kSolarisLike,
                           LockKind::kMcsRw, LockKind::kBigReader,
-                          LockKind::kCentral),
+                          LockKind::kCentral, LockKind::kBravoGoll,
+                          LockKind::kBravoFoll, LockKind::kBravoRoll,
+                          LockKind::kBravoCentral),
         ::testing::Values(2u, 4u, 8u),
         ::testing::Values(0u, 50u, 90u, 100u)),
     stress_name);
@@ -140,7 +142,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(
         ::testing::Values(LockKind::kGoll, LockKind::kFoll, LockKind::kRoll,
                           LockKind::kKsuh, LockKind::kSolarisLike,
-                          LockKind::kMcsRw, LockKind::kCentral),
+                          LockKind::kMcsRw, LockKind::kCentral,
+                          LockKind::kBravoGoll, LockKind::kBravoCentral),
         ::testing::Values(0u, 80u, 100u)),
     sim_name);
 

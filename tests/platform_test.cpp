@@ -106,6 +106,36 @@ TEST(Backoff, WindowDoublesUpToCap) {
   EXPECT_EQ(b.window(), 4u);
 }
 
+TEST(Backoff, DefaultInstancesDoNotBackOffInLockStep) {
+  // Regression: every default-constructed backoff used to share one fixed
+  // RNG seed, so contending threads spun identical sequences and re-collided
+  // at the end of every window.  Two default instances must draw different
+  // spin sequences.
+  BackoffParams p;
+  p.min_spins = 64;
+  p.max_spins = 1 << 20;
+  p.yield_after = 1000;  // keep the test from yielding
+  ExponentialBackoff a(p);
+  ExponentialBackoff b(p);
+  bool differ = false;
+  for (int i = 0; i < 12; ++i) {
+    if (a.backoff() != b.backoff()) differ = true;
+  }
+  EXPECT_TRUE(differ) << "default-constructed backoffs share a spin sequence";
+}
+
+TEST(Backoff, ExplicitSeedIsDeterministic) {
+  BackoffParams p;
+  p.min_spins = 64;
+  p.max_spins = 1 << 20;
+  p.yield_after = 1000;
+  ExponentialBackoff a(p, 0x1234);
+  ExponentialBackoff b(p, 0x1234);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(a.backoff(), b.backoff()) << "call " << i;
+  }
+}
+
 TEST(Spin, SpinUntilSeesFlagFromOtherThread) {
   std::atomic<bool> flag{false};
   std::thread setter([&] {

@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "locks/bravo.hpp"
+#include "locks/central_rwlock.hpp"
 #include "locks/foll_lock.hpp"
 #include "locks/goll_lock.hpp"
 #include "locks/ksuh_rwlock.hpp"
@@ -75,6 +77,19 @@ TEST(RaceFuzz, Solaris) {
   fuzz_rounds<SolarisRwLock<TestMemory>>(400, 4, 40, 70);
 }
 TEST(RaceFuzz, McsRw) { fuzz_rounds<McsRwLock<TestMemory>>(400, 4, 40, 70); }
+
+// BRAVO wrapper under fuzzed interleavings: the publish/re-check vs.
+// clear/scan handshake is the narrow window here, so writers (30%) force
+// frequent revocations while readers race the bias fast path.
+TEST(RaceFuzz, BravoGoll) {
+  fuzz_rounds<Bravo<GollLock<TestMemory>, TestMemory>>(150, 4, 40, 70);
+}
+TEST(RaceFuzz, BravoCentral) {
+  fuzz_rounds<Bravo<CentralRwLock<TestMemory>, TestMemory>>(150, 4, 40, 70);
+}
+TEST(RaceFuzz, BravoCentralReadHeavy) {
+  fuzz_rounds<Bravo<CentralRwLock<TestMemory>, TestMemory>>(150, 5, 60, 95);
+}
 
 TEST(RaceFuzz, FollReadHeavy) {
   fuzz_rounds<FollLock<TestMemory>>(250, 5, 60, 95);

@@ -84,6 +84,52 @@ TEST(WaitQueue, FifoPolicyKeepsReaderGroupsSeparate) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(WaitQueue, FifoMultiGroupPopDoesNotStrandLaterReaders) {
+  // Regression: strict FIFO used to record every new reader-group leader in
+  // the coalescing-target field without a matching clear for non-head
+  // groups, so with several reader groups in flight the field could go
+  // stale at a popped (destroyed, stack-allocated) node.  Exercise multiple
+  // reader groups with interleaved pops and verify late arrivals always
+  // land in a live group.
+  WQ q(/*readers_coalesce_over_writers=*/false);
+  WQ::WaitNode r1, w1, r2, r3, r4, w2, r5;
+  q.enqueue(&r1, ReqKind::kReader);  // group A
+  q.enqueue(&w1, ReqKind::kWriter);
+  q.enqueue(&r2, ReqKind::kReader);  // group B (second group in flight)
+  auto ga = q.dequeue();             // pop A while B is still queued
+  EXPECT_EQ(ga.kind(), ReqKind::kReader);
+  EXPECT_EQ(ga.count(), 1u);
+  // r1 is conceptually destroyed now; a new reader must NOT chain onto it.
+  q.enqueue(&r3, ReqKind::kReader);  // joins B via the tail
+  (void)q.dequeue();                 // pop w1
+  auto gb = q.dequeue();
+  EXPECT_EQ(gb.kind(), ReqKind::kReader);
+  EXPECT_EQ(gb.count(), 2u);  // r2 + r3, nothing lost to the popped group
+  EXPECT_TRUE(q.empty());
+  // After full drain, new reader groups keep working across a writer.
+  q.enqueue(&r4, ReqKind::kReader);
+  q.enqueue(&w2, ReqKind::kWriter);
+  q.enqueue(&r5, ReqKind::kReader);
+  EXPECT_EQ(q.dequeue().count(), 1u);  // r4
+  EXPECT_EQ(q.dequeue().kind(), ReqKind::kWriter);
+  EXPECT_EQ(q.dequeue().count(), 1u);  // r5, a fresh group
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(WaitQueue, FifoReaderAfterPoppedGroupStartsFreshGroup) {
+  // Strict FIFO, single group: pop it, then a new reader must start a new
+  // group rather than touch the popped leader.
+  WQ q(/*readers_coalesce_over_writers=*/false);
+  WQ::WaitNode r1, r2, r3;
+  q.enqueue(&r1, ReqKind::kReader);
+  q.enqueue(&r2, ReqKind::kReader);  // coalesces with r1 (consecutive)
+  EXPECT_EQ(q.dequeue().count(), 2u);
+  q.enqueue(&r3, ReqKind::kReader);
+  auto g = q.dequeue();
+  EXPECT_EQ(g.count(), 1u);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(WaitQueue, WriterCountTracksQueuedWriters) {
   WQ q;
   WQ::WaitNode w1, w2, r1;
