@@ -4,7 +4,10 @@
 //     "Arriving and departing at the leaves is expensive [without
 //     contention] ... so we arrive and depart directly at the root."
 //  2. Root-CAS failure threshold for the adaptive switch.
-//  3. Leaf locality (leaf_shift): private leaves vs SMT-sibling groups.
+//  3. Leaf locality: the topology-derived mappings (per-thread vs
+//     SMT-cluster vs LLC-cluster) against the seed's static leaf_shift.
+//  4. Sticky arrivals: the root-read-free tree fast path vs re-reading the
+//     root on every arrival.
 //
 // Each variant runs the Figure 5(a) read-only workload on a GOLL lock over
 // the simulated T5440 and prints one series row.
@@ -30,7 +33,10 @@ struct Variant {
 
 oll::CSnziOptions sim_base() {
   oll::CSnziOptions o;
-  o.leaf_shift = 3;
+  // Mirror the harness driver's sim-mode tuning: leaf placement derived
+  // from the simulated machine's topology (SMT siblings share a leaf).
+  o.topology = &oll::sim::t5440_cpu_topology();
+  o.topology_mapping = oll::LeafMapping::kSmtCluster;
   o.leaves = 64;
   o.root_cas_fail_threshold = 1;
   return o;
@@ -60,7 +66,7 @@ int main(int argc, char** argv) {
   const std::vector<std::uint32_t> thread_counts = {1, 8, 64, 256};
 
   std::vector<Variant> variants;
-  variants.push_back({"adaptive (paper)", sim_base()});
+  variants.push_back({"adaptive (paper, smt-cluster leaves)", sim_base()});
   {
     Variant v{"always-root (central counter)", sim_base()};
     v.csnzi.policy = oll::ArrivalPolicy::kAlwaysRoot;
@@ -76,10 +82,28 @@ int main(int argc, char** argv) {
     v.csnzi.root_cas_fail_threshold = 4;
     variants.push_back(v);
   }
+  // Leaf-mapping ablation: how threads cluster onto leaves.
   {
-    Variant v{"private leaves (leaf_shift=0)", sim_base()};
-    v.csnzi.leaf_shift = 0;
+    Variant v{"per-thread leaves (256, no sharing)", sim_base()};
+    v.csnzi.topology_mapping = oll::LeafMapping::kPerThread;
     v.csnzi.leaves = 256;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"llc-cluster leaves (64 threads/leaf)", sim_base()};
+    v.csnzi.topology_mapping = oll::LeafMapping::kLlcCluster;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"static leaf_shift=3 (seed heuristic)", sim_base()};
+    v.csnzi.topology_mapping = oll::LeafMapping::kStaticShift;
+    v.csnzi.leaf_shift = 3;
+    variants.push_back(v);
+  }
+  // Sticky fast path: re-read the root on every arrival instead.
+  {
+    Variant v{"sticky off (root read per arrival)", sim_base()};
+    v.csnzi.sticky_arrivals = 0;
     variants.push_back(v);
   }
   {

@@ -10,6 +10,9 @@
 //                       BRAVO reader-bias wrappers sweep as bravo-goll,
 //                       bravo-foll, bravo-roll, bravo-central
 //   --cs_work=N         work units inside the critical section (default 0)
+//   --leaf_map=K        C-SNZI leaf mapping: auto|static|thread|smt|llc|numa
+//                       (default: mode default — smt on the sim topology)
+//   --sticky=N          C-SNZI sticky arrival window (0 disables; default 64)
 #pragma once
 
 #include <iostream>
@@ -34,6 +37,18 @@ inline int run_fig5(const std::string& figure_name, std::uint32_t read_pct,
   cfg.acquires_per_thread = flags.get_u64("acquires", 0);
   cfg.repetitions = static_cast<std::uint32_t>(flags.get_u64("reps", 1));
   cfg.cs_work = flags.get_u64("cs_work", 0);
+  if (flags.has("leaf_map")) {
+    LeafMapping m;
+    if (parse_leaf_mapping(flags.get("leaf_map", ""), m)) {
+      cfg.leaf_mapping = m;
+    } else {
+      std::cerr << "unknown --leaf_map (want auto|static|thread|smt|llc|numa)\n";
+      return 2;
+    }
+  }
+  if (flags.has("sticky")) {
+    cfg.sticky_arrivals = static_cast<std::uint32_t>(flags.get_u64("sticky", 64));
+  }
 
   if (flags.has("locks")) {
     std::stringstream ss(flags.get("locks", ""));

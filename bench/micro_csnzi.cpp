@@ -20,6 +20,24 @@ CSnziOptions policy_opts(ArrivalPolicy p) {
   return o;
 }
 
+// Attach the arrival-path mix to the benchmark output (per-op, summed over
+// threads; ops approximated as iterations x threads, exact at 1 thread).
+void report_arrival_mix(benchmark::State& state, const oll::CSnziStatsSnapshot& s) {
+  const double ops = static_cast<double>(state.iterations()) *
+                     static_cast<double>(state.threads());
+  if (ops == 0) return;
+  state.counters["direct/op"] =
+      benchmark::Counter(static_cast<double>(s.direct_arrivals) / ops);
+  state.counters["tree/op"] =
+      benchmark::Counter(static_cast<double>(s.tree_arrivals) / ops);
+  state.counters["sticky/op"] =
+      benchmark::Counter(static_cast<double>(s.sticky_arrivals) / ops);
+  state.counters["rootread/op"] =
+      benchmark::Counter(static_cast<double>(s.root_reads) / ops);
+  state.counters["casfail/op"] =
+      benchmark::Counter(static_cast<double>(s.root_cas_failures) / ops);
+}
+
 void BM_ArriveDepart_Root(benchmark::State& state) {
   CSnzi<> c(policy_opts(ArrivalPolicy::kAlwaysRoot));
   for (auto _ : state) {
@@ -61,6 +79,7 @@ void BM_ArriveDepart_Adaptive(benchmark::State& state) {
     benchmark::DoNotOptimize(t);
     c.depart(t);
   }
+  report_arrival_mix(state, c.stats());
 }
 BENCHMARK(BM_ArriveDepart_Adaptive);
 
@@ -134,11 +153,73 @@ void BM_ArriveDepart_Contended(benchmark::State& state) {
     c->depart(t);
   }
   if (state.thread_index() == 0) {
+    report_arrival_mix(state, c->stats());
     delete c;
     c = nullptr;
   }
 }
 BENCHMARK(BM_ArriveDepart_Contended)->Threads(2)->Threads(4)->Threads(8);
+
+// The same contended loop with the sticky window disabled: every tree
+// arrival re-reads the root word first (the seed behaviour).  The delta
+// against BM_ArriveDepart_Contended is the sticky fast path's win.
+void BM_ArriveDepart_Contended_StickyOff(benchmark::State& state) {
+  static CSnzi<>* c = nullptr;
+  if (state.thread_index() == 0) {
+    CSnziOptions o;
+    o.sticky_arrivals = 0;
+    c = new CSnzi<>(o);
+  }
+  for (auto _ : state) {
+    auto t = c->arrive();
+    benchmark::DoNotOptimize(t);
+    c->depart(t);
+  }
+  if (state.thread_index() == 0) {
+    report_arrival_mix(state, c->stats());
+    delete c;
+    c = nullptr;
+  }
+}
+BENCHMARK(BM_ArriveDepart_Contended_StickyOff)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8);
+
+// Saturated-leaf tree arrivals (adaptive, threshold 0, one shared leaf kept
+// hot by a standing arrival): with the sticky window armed the steady state
+// performs zero root-word accesses per op; with sticky=0 every arrival still
+// loads the root first.  The delta is the per-op root access — a remote-LLC
+// read on real multi-chip hardware, and the §2.2 fast path this PR adds.
+void BM_TreeArrive_SaturatedLeaf(benchmark::State& state) {
+  static CSnzi<>* c = nullptr;
+  static CSnzi<>::Ticket standing;
+  if (state.thread_index() == 0) {
+    CSnziOptions o;
+    o.leaves = 1;  // every thread shares the one leaf
+    o.root_cas_fail_threshold = 0;  // adaptive: tree from the first arrival
+    o.sticky_arrivals = static_cast<std::uint32_t>(state.range(0));
+    c = new CSnzi<>(o);
+    standing = c->arrive();  // leaf never drains during the loop
+  }
+  for (auto _ : state) {
+    auto t = c->arrive();
+    benchmark::DoNotOptimize(t);
+    c->depart(t);
+  }
+  if (state.thread_index() == 0) {
+    report_arrival_mix(state, c->stats());
+    c->depart(standing);
+    delete c;
+    c = nullptr;
+  }
+}
+BENCHMARK(BM_TreeArrive_SaturatedLeaf)
+    ->ArgName("sticky")
+    ->Arg(0)
+    ->Arg(64)
+    ->Threads(1)
+    ->Threads(8);
 
 }  // namespace
 

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Bench-trajectory smoke gate.
+
+Runs a small, fast benchmark set — the virtual-time sim fig5a sweep plus the
+micro_csnzi / micro_uncontended google-benchmark binaries — and records the
+results as BENCH_<n>.json at the repo root, where <n> continues the sequence
+of git-tracked BENCH_*.json files.  The sim-mode fig5a numbers are
+deterministic (virtual time, fixed seeds), so they are *gated*: a drop of
+more than --threshold (default 20%) versus the previous committed snapshot
+fails the run.  Real-time micro numbers vary with the host and are recorded
+as informational only.
+
+Usage: scripts/bench_smoke.py [--build-dir build] [--threshold 0.20]
+                              [--skip-micro]
+Exit status: 0 on pass, 1 on regression, 2 on setup error.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Gated sim sweep: deterministic in virtual time.  Kept small so the gate
+# adds ~10s to check.sh.
+FIG5A_ARGS = ["--mode=sim", "--threads=64", "--acquires=4000",
+              "--locks=goll,foll,roll"]
+# Informational micro benches (real time; host-dependent).
+MICRO_FILTERS = {
+    "micro_csnzi": ("BM_ArriveDepart_Root|BM_ArriveDepart_Adaptive$|"
+                    "BM_ArriveDepart_Contended/threads:8$|"
+                    "BM_ArriveDepart_Contended_StickyOff/threads:8$|"
+                    "BM_TreeArrive_SaturatedLeaf"),
+    "micro_uncontended": "BM_Read_(GOLL|FOLL|ROLL)|BM_Write_(GOLL|FOLL|ROLL)",
+}
+
+
+def run(cmd):
+    try:
+        return subprocess.run(cmd, capture_output=True, text=True, check=True,
+                              cwd=REPO_ROOT).stdout
+    except FileNotFoundError:
+        print(f"bench_smoke: missing binary: {cmd[0]}", file=sys.stderr)
+        sys.exit(2)
+    except subprocess.CalledProcessError as e:
+        print(f"bench_smoke: {' '.join(cmd)} failed:\n{e.stderr}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def parse_fig5_csv(text):
+    """threads,LOCKA,LOCKB\\n1,2.3e7,... -> {"GOLL.t64": 1.5e8, ...}"""
+    metrics = {}
+    header = None
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        cells = line.split(",")
+        if cells[0] == "threads":
+            header = cells[1:]
+            continue
+        if header is None:
+            continue
+        threads = cells[0]
+        for name, value in zip(header, cells[1:]):
+            metrics[f"{name}.t{threads}"] = float(value)
+    return metrics
+
+
+def collect_fig5a(build_dir):
+    binary = os.path.join(build_dir, "bench", "fig5a_read_only")
+    return parse_fig5_csv(run([binary] + FIG5A_ARGS))
+
+
+def collect_micro(build_dir, name, bench_filter):
+    binary = os.path.join(build_dir, "bench", name)
+    out = run([binary, f"--benchmark_filter={bench_filter}",
+               "--benchmark_format=json", "--benchmark_min_time=0.05"])
+    data = json.loads(out)
+    metrics = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        metrics[f"{name}.{b['name']}"] = b["real_time"]  # ns/op
+    return metrics
+
+
+def tracked_snapshots():
+    out = subprocess.run(["git", "ls-files", "BENCH_*.json"],
+                         capture_output=True, text=True, cwd=REPO_ROOT).stdout
+    snaps = {}
+    for f in out.split():
+        m = re.fullmatch(r"BENCH_(\d+)\.json", f)
+        if m:
+            snaps[int(m.group(1))] = os.path.join(REPO_ROOT, f)
+    return snaps
+
+
+def compare(prev_gated, cur_gated, threshold):
+    """Gated metrics are throughputs: higher is better.  Returns regressions."""
+    regressions = []
+    for key, old in prev_gated.items():
+        new = cur_gated.get(key)
+        if new is None or old <= 0:
+            continue
+        drop = (old - new) / old
+        if drop > threshold:
+            regressions.append((key, old, new, drop))
+    return regressions
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="max allowed fractional drop in gated metrics")
+    ap.add_argument("--skip-micro", action="store_true",
+                    help="record only the gated sim metrics")
+    args = ap.parse_args()
+
+    build_dir = os.path.join(REPO_ROOT, args.build_dir)
+    print("bench_smoke: running sim fig5a sweep (gated)")
+    gated = collect_fig5a(build_dir)
+    informational = {}
+    if not args.skip_micro:
+        for name, flt in MICRO_FILTERS.items():
+            print(f"bench_smoke: running {name} (informational)")
+            informational.update(collect_micro(build_dir, name, flt))
+
+    snaps = tracked_snapshots()
+    prev_index = max(snaps) if snaps else None
+    index = (prev_index + 1) if prev_index is not None else 2
+
+    status = 0
+    if prev_index is not None:
+        with open(snaps[prev_index]) as f:
+            prev = json.load(f)
+        regressions = compare(prev.get("gated", {}), gated, args.threshold)
+        if regressions:
+            status = 1
+            print(f"bench_smoke: FAIL — regression vs BENCH_{prev_index}.json "
+                  f"(threshold {args.threshold:.0%}):", file=sys.stderr)
+            for key, old, new, drop in regressions:
+                print(f"  {key}: {old:.3e} -> {new:.3e}  ({drop:.1%} drop)",
+                      file=sys.stderr)
+        else:
+            print(f"bench_smoke: gated metrics within {args.threshold:.0%} "
+                  f"of BENCH_{prev_index}.json")
+    else:
+        print("bench_smoke: no previous snapshot; recording baseline")
+
+    snapshot = {
+        "index": index,
+        "gate": {"threshold": args.threshold,
+                 "baseline": f"BENCH_{prev_index}.json" if prev_index else None,
+                 "passed": status == 0},
+        "config": {"fig5a": FIG5A_ARGS,
+                   "units": {"gated": "acquires/sec (sim virtual time)",
+                             "informational": "ns/op (real time)"}},
+        "gated": gated,
+        "informational": informational,
+    }
+    out_path = os.path.join(REPO_ROOT, f"BENCH_{index}.json")
+    with open(out_path, "w") as f:
+        json.dump(snapshot, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"bench_smoke: wrote {os.path.relpath(out_path, REPO_ROOT)}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,9 @@ cmake --build build -j "${JOBS}"
 echo "==> tier-1: ctest"
 (cd build && ctest --output-on-failure -j "${JOBS}")
 
+echo "==> bench smoke: trajectory gate (scripts/bench_smoke.py)"
+python3 scripts/bench_smoke.py
+
 if [[ "${1:-}" == "--tier1-only" ]]; then
   echo "==> OK (tier-1 only)"
   exit 0

@@ -7,6 +7,7 @@
 // benches use the direct templates).
 #pragma once
 
+#include <concepts>
 #include <memory>
 #include <optional>
 #include <shared_mutex>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "core/rwlock_concepts.hpp"
+#include "locks/lock_stats.hpp"
 #include "locks/big_reader_rwlock.hpp"
 #include "locks/bravo.hpp"
 #include "locks/central_rwlock.hpp"
@@ -112,6 +114,9 @@ class AnyRwLock {
   virtual void lock_shared() = 0;
   virtual void unlock_shared() = 0;
   virtual const char* name() const = 0;
+  // Operation counters for locks that keep them (others report zeros);
+  // exact at quiescence.
+  virtual LockStatsSnapshot stats() const { return {}; }
 };
 
 template <SharedLockable L>
@@ -126,6 +131,15 @@ class RwLockAdapter final : public AnyRwLock {
   void lock_shared() override { impl_.lock_shared(); }
   void unlock_shared() override { impl_.unlock_shared(); }
   const char* name() const override { return name_; }
+  LockStatsSnapshot stats() const override {
+    if constexpr (requires(const L& l) {
+                    { l.stats() } -> std::convertible_to<LockStatsSnapshot>;
+                  }) {
+      return impl_.stats();
+    } else {
+      return {};
+    }
+  }
 
   L& underlying() { return impl_; }
 

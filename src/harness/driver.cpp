@@ -155,6 +155,7 @@ RunResult run_threads(AnyRwLock& lock, const WorkloadConfig& cfg,
     r.write_acquires += t.writes;
   }
   r.total_acquires = r.read_acquires + r.write_acquires;
+  r.lock_stats = lock.stats();  // quiescent: workers joined
   if (simulated) {
     r.seconds = static_cast<double>(machine->max_clock()) / kSimHz;
     r.counters = machine->counters();
@@ -175,10 +176,18 @@ RunResult run_workload(LockKind kind, const WorkloadConfig& config, Mode mode,
     // a core onto one C-SNZI leaf (they share an L1, so leaf sharing is
     // nearly free), and treat a single emulated CAS failure as the
     // contention signal — on this model one deterministic failure stands in
-    // for the burst of failures real concurrency produces.
-    opts.csnzi.leaf_shift = 3;
+    // for the burst of failures real concurrency produces.  The SMT
+    // grouping comes from the simulated machine's topology; it reproduces
+    // the seed's leaf_shift = 3 mapping exactly (worker w is pinned to
+    // simulated cpu w, and cpu w's SMT group is w / 8).
+    opts.csnzi.topology = &sim::t5440_cpu_topology();
+    opts.csnzi.topology_mapping = LeafMapping::kSmtCluster;
     opts.csnzi.leaves = 64;
     opts.csnzi.root_cas_fail_threshold = 1;
+  }
+  if (config.leaf_mapping) opts.csnzi.topology_mapping = *config.leaf_mapping;
+  if (config.sticky_arrivals) {
+    opts.csnzi.sticky_arrivals = *config.sticky_arrivals;
   }
   if (mode == Mode::kReal) {
     auto lock = make_rwlock<RealMemory>(kind, opts);

@@ -35,6 +35,7 @@ SweepResult run_sweep(const SweepConfig& config, bool verbose) {
     for (LockKind kind : config.locks) {
       RunningStats stats;
       sim::OpCounters last_counters{};
+      LockStatsSnapshot last_stats{};
       std::uint64_t last_total = 1;
       for (std::uint32_t rep = 0; rep < config.repetitions; ++rep) {
         WorkloadConfig w;
@@ -43,9 +44,12 @@ SweepResult run_sweep(const SweepConfig& config, bool verbose) {
         w.acquires_per_thread = config.effective_acquires();
         w.cs_work = config.cs_work;
         w.seed = config.seed + rep;
+        w.leaf_mapping = config.leaf_mapping;
+        w.sticky_arrivals = config.sticky_arrivals;
         RunResult r = run_workload(kind, w, config.mode);
         stats.add(r.throughput());
         last_counters = r.counters;
+        last_stats = r.lock_stats;
         last_total = std::max<std::uint64_t>(r.total_acquires, 1);
       }
       result.cells.push_back(SweepCell{threads, kind, stats.mean(),
@@ -67,6 +71,19 @@ SweepResult run_sweep(const SweepConfig& config, bool verbose) {
                     << " casfail="
                     << static_cast<double>(
                            last_counters.emulated_cas_failures) / n;
+        }
+        const CSnziStatsSnapshot& cz = last_stats.csnzi;
+        if (cz.arrivals() != 0) {
+          // Arrival-path mix (last rep): how much root traffic readers paid.
+          const double a = static_cast<double>(cz.arrivals());
+          std::cerr << std::fixed << std::setprecision(2) << "  snzi:"
+                    << " direct=" << static_cast<double>(cz.direct_arrivals) / a
+                    << " tree=" << static_cast<double>(cz.tree_arrivals) / a
+                    << " sticky=" << static_cast<double>(cz.sticky_arrivals) / a
+                    << " rootread="
+                    << static_cast<double>(cz.root_reads) / a
+                    << " rootprop="
+                    << static_cast<double>(cz.root_propagations) / a;
         }
         std::cerr << "\n";
       }

@@ -21,6 +21,9 @@ struct SweepConfig {
   std::uint64_t cs_work = 0;
   Mode mode = Mode::kSim;
   std::uint64_t seed = 42;
+  // C-SNZI tuning overrides (see workload.hpp); unset keeps mode defaults.
+  std::optional<LeafMapping> leaf_mapping;
+  std::optional<std::uint32_t> sticky_arrivals;
 
   // The paper runs 100k acquisitions per thread, reduced to 10k at <=50%
   // reads.  Virtual time is near-deterministic, so we default much lower to

@@ -9,8 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
+#include "locks/lock_stats.hpp"
+#include "platform/topology.hpp"
 #include "sim/machine.hpp"
 
 namespace oll::bench {
@@ -30,6 +33,10 @@ struct WorkloadConfig {
   std::uint64_t cs_work = 0;
   std::uint64_t outside_work = 0;
   std::uint64_t seed = 42;
+  // C-SNZI tuning overrides (ablations / bench flags).  Unset means the
+  // driver's per-mode defaults apply.
+  std::optional<LeafMapping> leaf_mapping;
+  std::optional<std::uint32_t> sticky_arrivals;
 };
 
 struct RunResult {
@@ -38,6 +45,7 @@ struct RunResult {
   std::uint64_t read_acquires = 0;
   std::uint64_t write_acquires = 0;
   sim::OpCounters counters{};  // sim mode only
+  LockStatsSnapshot lock_stats{};  // collected at quiescence after the run
 
   double throughput() const {
     return seconds > 0 ? static_cast<double>(total_acquires) / seconds : 0.0;

@@ -50,9 +50,12 @@ class FollLock {
       : locals_(opts.max_threads),
         pool_size_(opts.max_threads),
         stats_(opts.max_threads) {
+    CSnziOptions copts = opts.csnzi;
+    // Size per-thread C-SNZI state to the lock's thread bound by default.
+    if (copts.max_threads == 0) copts.max_threads = opts.max_threads;
     pool_ = std::make_unique<Node[]>(pool_size_);
     for (std::uint32_t i = 0; i < pool_size_; ++i) {
-      pool_[i].init_reader(opts.csnzi);
+      pool_[i].init_reader(copts);
       pool_[i].ring_next = &pool_[(i + 1) % pool_size_];
     }
   }
@@ -251,7 +254,13 @@ class FollLock {
   // Fast-path vs queued acquisition counts (see lock_stats.hpp); exact at
   // quiescence.  read_fast counts acquisitions that never waited on a spin
   // flag (empty-queue insert or joining an already-granted reader node).
-  LockStatsSnapshot stats() const { return stats_.snapshot(); }
+  LockStatsSnapshot stats() const {
+    LockStatsSnapshot s = stats_.snapshot();
+    for (std::uint32_t i = 0; i < pool_size_; ++i) {
+      s.csnzi += pool_[i].csnzi->stats();
+    }
+    return s;
+  }
 
   std::uint32_t pool_nodes_in_use() const {
     std::uint32_t n = 0;

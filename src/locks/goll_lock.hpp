@@ -54,7 +54,7 @@ class GollLock {
 
   explicit GollLock(const GollOptions& opts = {})
       : opts_(opts),
-        csnzi_(opts.csnzi),
+        csnzi_(csnzi_options(opts)),
         queue_(opts.readers_coalesce_over_writers),
         locals_(opts.max_threads),
         stats_(opts.max_threads) {}
@@ -234,9 +234,21 @@ class GollLock {
   // Fast-path vs queued acquisition counts (see lock_stats.hpp); exact at
   // quiescence.  At 100% reads, read_queued and write_* must be zero — the
   // §3.2 claim that read-only workloads never touch the metalock.
-  LockStatsSnapshot stats() const { return stats_.snapshot(); }
+  LockStatsSnapshot stats() const {
+    LockStatsSnapshot s = stats_.snapshot();
+    s.csnzi = csnzi_.stats();
+    return s;
+  }
 
  private:
+  // The C-SNZI sizes its per-thread state to the lock's thread bound unless
+  // the caller asked for a different bound explicitly.
+  static CSnziOptions csnzi_options(const GollOptions& opts) {
+    CSnziOptions o = opts.csnzi;
+    if (o.max_threads == 0) o.max_threads = opts.max_threads;
+    return o;
+  }
+
   template <typename TimePoint, typename Try>
   bool try_until(const TimePoint& deadline, Try&& attempt) {
     ExponentialBackoff backoff;

@@ -22,6 +22,7 @@
 #include <cstdint>
 
 #include "locks/per_thread.hpp"
+#include "snzi/csnzi_stats.hpp"
 
 namespace oll {
 
@@ -32,6 +33,10 @@ struct LockStatsSnapshot {
   std::uint64_t write_queued = 0; // writer queued / waited for readers
   std::uint64_t read_bias = 0;    // reader took the BRAVO bias fast path
   std::uint64_t bias_revoke = 0;  // writer revoked reader bias
+
+  // Arrival-path counters summed over the lock's C-SNZI instances (GOLL has
+  // one; FOLL/ROLL sum their reader-node pool).  See snzi/csnzi_stats.hpp.
+  CSnziStatsSnapshot csnzi{};
 
   std::uint64_t reads() const { return read_fast + read_queued + read_bias; }
   std::uint64_t writes() const { return write_fast + write_queued; }

@@ -20,6 +20,7 @@
 
 #include "platform/assert.hpp"
 #include "platform/cache_line.hpp"
+#include "platform/topology.hpp"
 
 namespace oll::sim {
 
@@ -76,6 +77,17 @@ struct CostModel {
 
 inline Topology t5440_topology() { return Topology{}; }
 inline CostModel t5440_costs() { return CostModel{}; }
+
+// The simulated machine's shape expressed as a platform topology, for the
+// C-SNZI LeafMap: 8 SMT threads share a core/L1, 64 threads share a chip's
+// L2, and each chip is one memory node.  Static so options may keep a
+// pointer to it for the lifetime of the process.
+inline const oll::Topology& t5440_cpu_topology() {
+  static const oll::Topology topo = oll::Topology::synthetic(
+      Topology{}.total_threads(), Topology{}.threads_per_core,
+      Topology{}.threads_per_chip, Topology{}.threads_per_chip);
+  return topo;
+}
 
 // Per-thread event counters, aggregated by Machine::counters().
 struct OpCounters {

@@ -23,15 +23,34 @@
 //     sees that other threads are already using the tree
 //     (ShouldArriveAtTree, §5.1); the tree is allocated lazily on first use
 //     so uncontended C-SNZIs pay no space (§2.2).
+//   * Threads are mapped onto leaves by a topology-derived LeafMap
+//     (platform/topology.hpp): SMT siblings sharing an L1 share a leaf by
+//     default, so the leaf line ping-pongs only between nearly-free
+//     neighbours.  The seed's static `leaf_shift` survives as an override.
+//   * Sticky arrivals: once an adaptive thread has switched to the tree it
+//     goes straight to its cached leaf for the next `sticky_arrivals`
+//     arrivals without loading the root word at all.  This is legal by the
+//     §2.2 linearization rule — a tree arrival fails only at a CLOSED root
+//     with zero surplus, a condition tree_arrive() itself detects when the
+//     leaf's first arrival propagates — so the root check was always
+//     advisory on this path.  Hysteresis: a sticky window that propagated
+//     to the root more than `sticky_decay_propagations` times means the
+//     leaf keeps draining (reader traffic is low), so the thread decays
+//     back to direct root arrivals and the uncontended 1-CAS fast path is
+//     restored.  At read saturation the leaf never drains, the window
+//     re-arms for free, and steady-state arrivals touch zero shared words
+//     beyond the leaf.
 //
 // Linearization subtlety faithfully preserved (§2.2): an arrival through the
 // tree may increment a leaf whose count is nonzero without touching the
 // root, even if a Close has happened in between; such an Arrive linearizes
 // at the earlier point where the thread saw the C-SNZI open.  Consequently a
 // tree arrival propagating to the root only fails when the root is CLOSED
-// with zero total surplus.
+// with zero total surplus.  Sticky arrivals lean on exactly this rule: the
+// "saw the C-SNZI open" point is the root access that armed the window.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <new>
@@ -40,6 +59,8 @@
 #include "platform/cache_line.hpp"
 #include "platform/memory.hpp"
 #include "platform/thread_id.hpp"
+#include "platform/topology.hpp"
+#include "snzi/csnzi_stats.hpp"
 
 namespace oll {
 
@@ -65,12 +86,32 @@ struct CSnziOptions {
   // Allocate the tree on first tree arrival instead of up front (§2.2).
   bool lazy_tree = true;
   ArrivalPolicy policy = ArrivalPolicy::kAdaptive;
-  // GetLeafForThread locality: leaf index = (thread_index >> leaf_shift)
-  // mod leaves.  0 gives each thread its own leaf (best when threads have
-  // private caches); 3 groups 8 SMT siblings that share an L1 onto one leaf
-  // (the right mapping for the paper's UltraSPARC T2+ and for the simulated
-  // topology, where same-core transfers are nearly free).
+  // Static fallback locality: leaf index = (thread_index >> leaf_shift)
+  // mod leaves.  Only used when topology_mapping resolves to kStaticShift;
+  // setting it nonzero under kAuto selects kStaticShift for backward
+  // compatibility.  normalize() clamps it so the shift cannot collapse
+  // every registerable thread onto leaf 0 (unless leaves == 1, which is an
+  // explicit request for a single leaf).
   std::uint32_t leaf_shift = 0;
+  // How thread indices map onto leaves.  kAuto resolves to kSmtCluster on
+  // the topology below (or kStaticShift when leaf_shift was set).
+  LeafMapping topology_mapping = LeafMapping::kAuto;
+  // Topology the mapping is derived from; nullptr means Topology::system().
+  // The simulator passes its synthetic T5440 shape instead.  Must outlive
+  // the C-SNZI.
+  const Topology* topology = nullptr;
+  // Sticky window length: tree arrivals made without a root read after an
+  // adaptive switch to the tree.  0 disables the sticky fast path (every
+  // arrival re-reads the root, the seed behaviour).
+  std::uint32_t sticky_arrivals = 64;
+  // Hysteresis: decay back to direct root arrivals when a sticky window
+  // propagated to the root more than this many times (the leaf kept
+  // draining, so tree arrivals are paying root traffic anyway).
+  std::uint32_t sticky_decay_propagations = 8;
+  // Upper bound on dense thread indices that will use this instance; sizes
+  // the per-thread state array.  0 means kMaxThreads; locks plumb their own
+  // max_threads through.
+  std::uint32_t max_threads = 0;
 };
 
 // Result of Query: (surplus != 0, state == OPEN).
@@ -137,12 +178,18 @@ class CSnzi {
     Node* node_ = nullptr;
   };
 
-  explicit CSnzi(const CSnziOptions& opts = {}) : opts_(normalize(opts)) {
+  explicit CSnzi(const CSnziOptions& opts = {})
+      : opts_(normalize(opts)),
+        leaf_map_(opts_.topology, opts_.topology_mapping, opts_.leaves,
+                  opts_.leaf_shift) {
     root_.store(make_root(0, 0, true), std::memory_order_relaxed);
     if (!opts_.lazy_tree) ensure_tree();
   }
 
-  ~CSnzi() { delete[] tree_storage_.load(std::memory_order_acquire); }
+  ~CSnzi() {
+    delete[] tree_storage_.load(std::memory_order_acquire);
+    delete[] thread_state_.load(std::memory_order_acquire);
+  }
 
   CSnzi(const CSnzi&) = delete;
   CSnzi& operator=(const CSnzi&) = delete;
@@ -153,21 +200,47 @@ class CSnzi {
   // linearization subtlety described above).  Returns a ticket; a failed
   // arrival (closed C-SNZI) returns a ticket with arrived() == false.
   Ticket arrive() {
+    ThreadState& ts = thread_state();
+    if (ts.sticky > 0) {
+      // Sticky fast path: recently switched to the tree; go straight to the
+      // cached leaf.  No root access of any kind happens here unless the
+      // leaf's count is zero (first arrival propagates; see file comment).
+      --ts.sticky;
+      Node* leaf = ts.leaf;
+      if (tree_arrive(leaf, &ts)) {
+        bump(ts.tree_arrivals);
+        bump(ts.sticky_arrivals);
+        if (ts.sticky == 0) rearm_or_decay(ts);
+        return Ticket{Ticket::Kind::kNode, leaf};
+      }
+      // Closed with zero surplus: the window is over either way.
+      ts.sticky = 0;
+      ts.window_propagations = 0;
+      return Ticket{};
+    }
     std::uint32_t root_failures = 0;
+    std::uint64_t old = root_.load(std::memory_order_acquire);
+    bump(ts.root_reads);
     while (true) {
-      std::uint64_t old = root_.load(std::memory_order_acquire);
       if (!is_open(old)) return Ticket{};
       if (!should_arrive_at_tree(old, root_failures)) {
-        const std::uint64_t desired = old + kDirectOne;
-        if (root_.compare_exchange_weak(old, desired,
+        if (root_.compare_exchange_weak(old, old + kDirectOne,
                                           std::memory_order_acq_rel,
                                           std::memory_order_acquire)) {
+          bump(ts.direct_arrivals);
           return Ticket{Ticket::Kind::kRoot};
         }
-        ++root_failures;
+        ++root_failures;  // the failed CAS reloaded `old` for us
+        bump(ts.root_cas_failures);
       } else {
-        Node* leaf = leaf_for_thread();
-        if (tree_arrive(leaf)) return Ticket{Ticket::Kind::kNode, leaf};
+        Node* leaf = leaf_for_thread(ts);
+        arm_sticky(ts, leaf);
+        if (tree_arrive(leaf, &ts)) {
+          bump(ts.tree_arrivals);
+          return Ticket{Ticket::Kind::kNode, leaf};
+        }
+        ts.sticky = 0;
+        ts.window_propagations = 0;
         return Ticket{};
       }
     }
@@ -279,7 +352,58 @@ class CSnzi {
   std::uint32_t leaf_count() const { return opts_.leaves; }
   const CSnziOptions& options() const { return opts_; }
 
+  // Which leaf index the mapping assigns to a dense thread index.
+  std::uint32_t leaf_index_of(std::uint32_t thread_index) const {
+    return leaf_map_.leaf_of(thread_index);
+  }
+
+  // Arrival-path counters summed over threads; approximate while arrivals
+  // are in flight, exact at quiescence (see csnzi_stats.hpp).
+  CSnziStatsSnapshot stats() const {
+    CSnziStatsSnapshot total;
+    const ThreadState* arr = thread_state_.load(std::memory_order_acquire);
+    if (arr == nullptr) return total;
+    for (std::uint32_t i = 0; i < opts_.max_threads; ++i) {
+      const ThreadState& ts = arr[i];
+      total.root_reads += ts.root_reads.load(std::memory_order_relaxed);
+      total.direct_arrivals +=
+          ts.direct_arrivals.load(std::memory_order_relaxed);
+      total.tree_arrivals += ts.tree_arrivals.load(std::memory_order_relaxed);
+      total.sticky_arrivals +=
+          ts.sticky_arrivals.load(std::memory_order_relaxed);
+      total.root_cas_failures +=
+          ts.root_cas_failures.load(std::memory_order_relaxed);
+      total.root_propagations +=
+          ts.root_propagations.load(std::memory_order_relaxed);
+      total.redundant_undos +=
+          ts.redundant_undos.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
  private:
+  // Per-(thread, instance) state: the cached leaf and sticky window (owner
+  // thread only — plain fields) plus the arrival counters (single-writer
+  // relaxed atomics so stats() may read them concurrently, same scheme as
+  // locks/lock_stats.hpp).  These are plain std::atomic even in simulated
+  // builds: observability must not distort the virtual-time cost model.
+  struct alignas(kFalseSharingRange) ThreadState {
+    Node* leaf = nullptr;
+    std::uint32_t sticky = 0;
+    std::uint32_t window_propagations = 0;
+    std::atomic<std::uint64_t> root_reads{0};
+    std::atomic<std::uint64_t> direct_arrivals{0};
+    std::atomic<std::uint64_t> tree_arrivals{0};
+    std::atomic<std::uint64_t> sticky_arrivals{0};
+    std::atomic<std::uint64_t> root_cas_failures{0};
+    std::atomic<std::uint64_t> root_propagations{0};
+    std::atomic<std::uint64_t> redundant_undos{0};
+  };
+
+  static void bump(std::atomic<std::uint64_t>& c) {
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+
   static CSnziOptions normalize(CSnziOptions o) {
     if (o.leaves == 0) o.leaves = 1;
     // Round leaves up to a power of two for cheap masking.
@@ -288,6 +412,23 @@ class CSnzi {
     o.leaves = p;
     if (o.levels == 0) o.levels = 1;
     if (o.fanout < 2) o.fanout = 2;
+    if (o.max_threads == 0 || o.max_threads > kMaxThreads) {
+      o.max_threads = kMaxThreads;
+    }
+    // Clamp leaf_shift: a shift that sends every registerable thread index
+    // to leaf 0 is always a misconfiguration when more than one leaf was
+    // requested (leaves == 1 is the explicit way to ask for one leaf).
+    if (o.leaves > 1) {
+      std::uint32_t max_shift = 0;
+      while (((kMaxThreads - 1) >> (max_shift + 1)) != 0) ++max_shift;
+      if (o.leaf_shift > max_shift) o.leaf_shift = max_shift;
+    }
+    if (o.topology_mapping == LeafMapping::kAuto) {
+      // A caller who set leaf_shift asked for the seed's static scheme.
+      o.topology_mapping = o.leaf_shift != 0 ? LeafMapping::kStaticShift
+                                             : LeafMapping::kSmtCluster;
+    }
+    if (o.topology == nullptr) o.topology = &Topology::system();
     return o;
   }
 
@@ -307,6 +448,28 @@ class CSnzi {
     return false;
   }
 
+  // --- sticky window management ------------------------------------------
+  void arm_sticky(ThreadState& ts, Node* leaf) {
+    if (opts_.sticky_arrivals == 0 ||
+        opts_.policy != ArrivalPolicy::kAdaptive) {
+      return;
+    }
+    ts.leaf = leaf;
+    ts.sticky = opts_.sticky_arrivals;
+    ts.window_propagations = 0;
+  }
+
+  void rearm_or_decay(ThreadState& ts) {
+    // A quiet window (few propagations) means the leaf stayed hot: stay in
+    // the tree without re-reading the root.  A noisy window means the leaf
+    // kept draining, so tree arrivals were paying root traffic anyway —
+    // decay to the direct path (ts.sticky stays 0).
+    if (ts.window_propagations <= opts_.sticky_decay_propagations) {
+      ts.sticky = opts_.sticky_arrivals;
+    }
+    ts.window_propagations = 0;
+  }
+
   // --- direct root arrival/departure -------------------------------------
   bool root_arrive_direct() {
     std::uint64_t old = root_.load(std::memory_order_acquire);
@@ -317,6 +480,7 @@ class CSnzi {
                                         std::memory_order_acquire)) {
         return true;
       }
+      // The failed CAS stored the current word into `old`; loop on it.
     }
   }
 
@@ -335,7 +499,11 @@ class CSnzi {
 
   // --- tree arrival/departure: root base cases (Figure 2) ----------------
   // Fails only when CLOSED with zero total surplus; see file comment.
-  bool root_arrive_tree() {
+  bool root_arrive_tree(ThreadState* ts) {
+    if (ts != nullptr) {
+      ++ts->window_propagations;
+      bump(ts->root_propagations);
+    }
     std::uint64_t old = root_.load(std::memory_order_acquire);
     while (true) {
       if (!is_open(old) && total_count(old) == 0) return false;
@@ -344,6 +512,7 @@ class CSnzi {
                                         std::memory_order_acquire)) {
         return true;
       }
+      if (ts != nullptr) bump(ts->root_cas_failures);
     }
   }
 
@@ -361,27 +530,29 @@ class CSnzi {
   }
 
   // --- tree arrival/departure: counter nodes (Figure 2) ------------------
-  bool tree_arrive(Node* node) {
+  bool tree_arrive(Node* node, ThreadState* ts) {
     bool arrived_at_parent = false;
-    std::uint64_t x;
+    std::uint64_t x = node->cnt.load(std::memory_order_acquire);
     while (true) {
-      x = node->cnt.load(std::memory_order_acquire);
       if (x == 0 && !arrived_at_parent) {
-        const bool ok = node->parent ? tree_arrive(node->parent)
-                                     : root_arrive_tree();
+        const bool ok = node->parent ? tree_arrive(node->parent, ts)
+                                     : root_arrive_tree(ts);
         if (!ok) return false;
         arrived_at_parent = true;
-        continue;  // re-read x before the CAS
+        x = node->cnt.load(std::memory_order_acquire);  // re-read before CAS
+        continue;
       }
       if (node->cnt.compare_exchange_weak(x, x + 1,
                                             std::memory_order_acq_rel,
                                             std::memory_order_acquire)) {
         break;
       }
+      // The failed CAS stored the current count into `x`; loop on it.
     }
     if (arrived_at_parent && x != 0) {
       // Someone else created the surplus between our check and our CAS; undo
       // the redundant parent arrival.
+      if (ts != nullptr) bump(ts->redundant_undos);
       if (node->parent) {
         tree_depart(node->parent);
       } else {
@@ -392,9 +563,8 @@ class CSnzi {
   }
 
   bool tree_depart(Node* node) {
-    std::uint64_t x;
+    std::uint64_t x = node->cnt.load(std::memory_order_acquire);
     while (true) {
-      x = node->cnt.load(std::memory_order_acquire);
       OLL_DCHECK(x > 0);
       if (node->cnt.compare_exchange_weak(x, x - 1,
                                             std::memory_order_acq_rel,
@@ -453,13 +623,36 @@ class CSnzi {
     return expected;
   }
 
-  Node* leaf_for_thread() {
-    Node* tree = ensure_tree();
-    return &tree[(this_thread_index() >> opts_.leaf_shift) &
-                 (opts_.leaves - 1)];
+  ThreadState& thread_state() {
+    ThreadState* arr = thread_state_.load(std::memory_order_acquire);
+    if (arr == nullptr) arr = ensure_thread_state();
+    const std::uint32_t idx = this_thread_index();
+    OLL_CHECK(idx < opts_.max_threads);
+    return arr[idx];
+  }
+
+  ThreadState* ensure_thread_state() {
+    ThreadState* fresh = new ThreadState[opts_.max_threads];
+    ThreadState* expected = nullptr;
+    if (thread_state_.compare_exchange_strong(expected, fresh,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+      return fresh;
+    }
+    delete[] fresh;  // another thread won the publication race
+    return expected;
+  }
+
+  Node* leaf_for_thread(ThreadState& ts) {
+    if (ts.leaf == nullptr) {
+      Node* tree = ensure_tree();
+      ts.leaf = &tree[leaf_map_.leaf_of(this_thread_index())];
+    }
+    return ts.leaf;
   }
 
   CSnziOptions opts_;
+  LeafMap leaf_map_;
   typename M::template Atomic<std::uint64_t> root_;
   char pad_[kFalseSharingRange - sizeof(typename M::template Atomic<std::uint64_t>) %
                 kFalseSharingRange];
@@ -467,6 +660,8 @@ class CSnzi {
   // is a std::atomic even in simulated builds: tree publication is a
   // once-per-lock event, not a contended hot path we want to model.
   std::atomic<Node*> tree_storage_{nullptr};
+  // Lazily-allocated per-thread state array (same publication scheme).
+  std::atomic<ThreadState*> thread_state_{nullptr};
 };
 
 }  // namespace oll

@@ -1,0 +1,38 @@
+// Arrival-path counters for one C-SNZI (or the sum over a lock's C-SNZIs).
+//
+// These make the §5.1 adaptivity and the sticky fast path measurable
+// instead of asserted: at read saturation `root_reads` must stop growing
+// (steady-state arrivals never touch the root word), while an uncontended
+// lock must show pure `direct_arrivals` with zero tree traffic.  Counters
+// are collected from per-thread single-writer relaxed slots, so a snapshot
+// taken during a run is approximate; at quiescence it is exact.
+#pragma once
+
+#include <cstdint>
+
+namespace oll {
+
+struct CSnziStatsSnapshot {
+  std::uint64_t root_reads = 0;        // root-word loads on the arrive path
+  std::uint64_t direct_arrivals = 0;   // arrivals CASed into the root word
+  std::uint64_t tree_arrivals = 0;     // arrivals landing on a tree leaf
+  std::uint64_t sticky_arrivals = 0;   // tree arrivals that skipped the root read
+  std::uint64_t root_cas_failures = 0; // failed root CASes (direct + propagate)
+  std::uint64_t root_propagations = 0; // first-arrivals propagated to the root
+  std::uint64_t redundant_undos = 0;   // parent arrivals undone (Figure 2 race)
+
+  std::uint64_t arrivals() const { return direct_arrivals + tree_arrivals; }
+
+  CSnziStatsSnapshot& operator+=(const CSnziStatsSnapshot& o) {
+    root_reads += o.root_reads;
+    direct_arrivals += o.direct_arrivals;
+    tree_arrivals += o.tree_arrivals;
+    sticky_arrivals += o.sticky_arrivals;
+    root_cas_failures += o.root_cas_failures;
+    root_propagations += o.root_propagations;
+    redundant_undos += o.redundant_undos;
+    return *this;
+  }
+};
+
+}  // namespace oll

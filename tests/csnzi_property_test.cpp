@@ -176,6 +176,88 @@ TEST(CSnziLazy, EagerAllocationKnob) {
   EXPECT_TRUE(c.tree_allocated());
 }
 
+// --- sticky arrivals x deep trees sweep --------------------------------------
+
+// levels x sticky-window sweep: the sticky fast path must preserve the
+// arrive/depart balance and the Close drain on every tree shape, including
+// multi-level trees where a leaf's first arrival propagates through
+// internal counters before reaching the root.
+class StickyDeepTree
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, std::uint32_t>> {
+ protected:
+  CSnziOptions opts() const {
+    const auto [levels, sticky] = GetParam();
+    CSnziOptions o;
+    o.leaves = 16;
+    o.levels = levels;
+    o.fanout = 4;
+    o.root_cas_fail_threshold = 0;  // adaptive switches to the tree at once
+    o.sticky_arrivals = sticky;
+    o.sticky_decay_propagations = 1;
+    o.topology_mapping = LeafMapping::kPerThread;  // deterministic leaves
+    return o;
+  }
+};
+
+TEST_P(StickyDeepTree, BalancesAtEveryShape) {
+  C c(opts());
+  ScopedThreadIndex idx0(0);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<C::Ticket> tickets;
+    for (int i = 0; i < 12; ++i) {
+      auto t = c.arrive();
+      ASSERT_TRUE(t.arrived());
+      tickets.push_back(t);
+    }
+    {
+      ScopedThreadIndex idx5(5);  // a second leaf joins the surplus
+      auto t = c.arrive();
+      ASSERT_TRUE(t.arrived());
+      tickets.push_back(t);
+    }
+    for (auto& t : tickets) EXPECT_TRUE(c.depart(t));
+    EXPECT_FALSE(c.query().nonzero);
+    EXPECT_EQ(C::total_count(c.root_word()), 0u);
+  }
+}
+
+TEST_P(StickyDeepTree, CloseDrainsToWriteState) {
+  const auto [levels, sticky] = GetParam();
+  (void)levels;
+  C c(opts());
+  ScopedThreadIndex idx0(0);
+  auto t1 = c.arrive();
+  auto t2 = c.arrive();
+  ASSERT_TRUE(t1.arrived());
+  ASSERT_TRUE(t2.arrived());
+  EXPECT_FALSE(c.close());
+  auto t3 = c.arrive();
+  if (sticky != 0) {
+    // Sticky arrival at a nonzero leaf joins the surplus post-Close (§2.2).
+    ASSERT_TRUE(t3.arrived());
+    EXPECT_TRUE(c.depart(t3));
+  } else {
+    EXPECT_FALSE(t3.arrived());
+  }
+  EXPECT_TRUE(c.depart(t1));
+  EXPECT_FALSE(c.depart(t2));  // last departure from closed
+  // Drained and closed: no arrival path (sticky included) may succeed.
+  EXPECT_FALSE(c.arrive().arrived());
+  EXPECT_EQ(C::total_count(c.root_word()), 0u);
+  c.open();
+  EXPECT_TRUE(c.arrive().arrived());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StickyDeepTree,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(0u, 2u, 16u)),
+    [](const auto& info) {
+      return "d" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
 TEST(CSnziLazy, LeafShiftGroupsNeighbors) {
   // With leaf_shift = 3, thread indices 0..7 map to one leaf: a second
   // arrival from the same group must not touch the root (count stays).

@@ -328,6 +328,163 @@ TEST(CSnziConcurrent, ManyThreadsArriveDepart) {
   EXPECT_TRUE(c.query().open);
 }
 
+// --- sticky arrivals / topology mapping / arrival counters -------------------
+
+// Deterministic tree usage under kAdaptive: a zero CAS-failure threshold
+// makes should_arrive_at_tree true on the first attempt, and (unlike
+// kAlwaysTree) keeps the sticky fast path eligible.
+CSnziOptions sticky_tree(std::uint32_t window, std::uint32_t decay) {
+  CSnziOptions o;
+  o.root_cas_fail_threshold = 0;
+  o.sticky_arrivals = window;
+  o.sticky_decay_propagations = decay;
+  return o;
+}
+
+TEST(CSnziSticky, SkipsRootWhileLeafHot) {
+  C c(sticky_tree(8, 8));
+  auto hold = c.arrive();  // switches to the tree and arms the window
+  ASSERT_TRUE(hold.arrived());
+  ASSERT_FALSE(hold.is_direct());
+  const std::uint64_t root = c.root_word();
+  for (int i = 0; i < 6; ++i) {
+    auto t = c.arrive();  // leaf count never drops to 0: pure leaf traffic
+    ASSERT_TRUE(t.arrived());
+    EXPECT_TRUE(c.depart(t));
+  }
+  EXPECT_EQ(c.root_word(), root);
+  const CSnziStatsSnapshot s = c.stats();
+  EXPECT_EQ(s.root_reads, 1u);  // only the arming arrival read the root
+  EXPECT_EQ(s.sticky_arrivals, 6u);
+  EXPECT_EQ(s.tree_arrivals, 7u);
+  EXPECT_EQ(s.direct_arrivals, 0u);
+  EXPECT_TRUE(c.depart(hold));
+}
+
+TEST(CSnziSticky, WindowRearmsWithoutRootReadWhileLeafHot) {
+  C c(sticky_tree(2, 8));
+  auto hold = c.arrive();
+  ASSERT_TRUE(hold.arrived());
+  // 10 arrivals exhaust the 2-wide window five times; a hot leaf (zero
+  // propagations) re-arms every time with no root access.
+  for (int i = 0; i < 10; ++i) {
+    auto t = c.arrive();
+    ASSERT_TRUE(t.arrived());
+    EXPECT_TRUE(c.depart(t));
+  }
+  const CSnziStatsSnapshot s = c.stats();
+  EXPECT_EQ(s.root_reads, 1u);
+  EXPECT_EQ(s.sticky_arrivals, 10u);
+  EXPECT_TRUE(c.depart(hold));
+}
+
+TEST(CSnziSticky, DecaysWhenLeafKeepsDraining) {
+  // Solo arrive/depart pairs drain the leaf every time, so every sticky
+  // arrival propagates to the root; with zero tolerated propagations each
+  // window decays and the next arrival re-reads the root.  Cycle: one
+  // root-read arrival + two sticky arrivals.
+  C c(sticky_tree(2, 0));
+  for (int i = 0; i < 9; ++i) {
+    auto t = c.arrive();
+    ASSERT_TRUE(t.arrived());
+    EXPECT_TRUE(c.depart(t));
+  }
+  const CSnziStatsSnapshot s = c.stats();
+  EXPECT_EQ(s.tree_arrivals, 9u);
+  EXPECT_EQ(s.sticky_arrivals, 6u);
+  EXPECT_EQ(s.root_reads, 3u);  // arrivals 1, 4 and 7
+  EXPECT_GE(s.root_propagations, 9u);
+}
+
+TEST(CSnziSticky, ArrivalSucceedsAfterCloseWhileLeafNonzero) {
+  // The §2.2 linearization rule, now reachable from arrive(): a sticky
+  // arrival at a nonzero leaf never consults the root and therefore
+  // succeeds even after a Close — it linearizes at the root access that
+  // armed its window, when the C-SNZI was still open.
+  C c(sticky_tree(8, 8));
+  auto t1 = c.arrive();
+  ASSERT_TRUE(t1.arrived());
+  EXPECT_FALSE(c.close());  // surplus present
+  auto t2 = c.arrive();
+  ASSERT_TRUE(t2.arrived());  // leaf nonzero: joined the surplus
+  EXPECT_TRUE(c.depart(t2));   // not last
+  EXPECT_FALSE(c.depart(t1));  // last departure from a closed C-SNZI
+  // Leaf drained: the next sticky arrival propagates, finds CLOSED with
+  // zero surplus, and fails; the window resets.
+  EXPECT_FALSE(c.arrive().arrived());
+  EXPECT_FALSE(c.query().nonzero);
+  EXPECT_FALSE(c.query().open);
+}
+
+TEST(CSnziSticky, DisabledWindowRereadsRootEveryArrival) {
+  CSnziOptions o = sticky_tree(0, 0);  // sticky off
+  C c(o);
+  auto hold = c.arrive();
+  ASSERT_TRUE(hold.arrived());
+  for (int i = 0; i < 5; ++i) {
+    auto t = c.arrive();
+    ASSERT_TRUE(t.arrived());
+    EXPECT_TRUE(c.depart(t));
+  }
+  const CSnziStatsSnapshot s = c.stats();
+  EXPECT_EQ(s.root_reads, 6u);  // every arrival paid the root load
+  EXPECT_EQ(s.sticky_arrivals, 0u);
+  EXPECT_TRUE(c.depart(hold));
+}
+
+TEST(CSnziStats, CountsDirectArrivals) {
+  C c(root_only());
+  auto t = c.arrive();
+  EXPECT_TRUE(c.depart(t));
+  const CSnziStatsSnapshot s = c.stats();
+  EXPECT_EQ(s.direct_arrivals, 1u);
+  EXPECT_EQ(s.tree_arrivals, 0u);
+  EXPECT_EQ(s.root_reads, 1u);
+  EXPECT_EQ(s.arrivals(), 1u);
+}
+
+TEST(CSnziStats, CountsTreePropagations) {
+  C c(tree_only());
+  auto t = c.arrive();
+  EXPECT_TRUE(c.depart(t));
+  const CSnziStatsSnapshot s = c.stats();
+  EXPECT_EQ(s.tree_arrivals, 1u);
+  EXPECT_EQ(s.root_propagations, 1u);  // first leaf arrival reached the root
+  EXPECT_EQ(s.direct_arrivals, 0u);
+}
+
+// --- CSnziOptions::normalize regression: leaf_shift clamp --------------------
+
+TEST(CSnziOptionsNorm, LeafShiftClampedSoThreadsSpread) {
+  CSnziOptions o;
+  o.leaf_shift = 31;  // would send every thread index to leaf 0
+  o.leaves = 64;
+  C c(o);
+  EXPECT_EQ(c.options().topology_mapping, LeafMapping::kStaticShift);
+  EXPECT_EQ(c.options().leaf_shift, 9u);  // (kMaxThreads-1) >> 9 != 0
+  EXPECT_NE(c.leaf_index_of(0), c.leaf_index_of(kMaxThreads - 1));
+}
+
+TEST(CSnziOptionsNorm, SingleLeafKeepsExplicitShift) {
+  CSnziOptions o;
+  o.leaf_shift = 31;
+  o.leaves = 1;  // explicitly requested collapse: no clamp
+  C c(o);
+  EXPECT_EQ(c.options().leaf_shift, 31u);
+  EXPECT_EQ(c.leaf_index_of(kMaxThreads - 1), 0u);
+}
+
+TEST(CSnziOptionsNorm, AutoMappingResolution) {
+  C plain;  // leaf_shift unset: auto resolves to the SMT clustering
+  EXPECT_EQ(plain.options().topology_mapping, LeafMapping::kSmtCluster);
+  ASSERT_NE(plain.options().topology, nullptr);
+
+  CSnziOptions o;
+  o.leaf_shift = 3;  // seed-style explicit shift keeps the static scheme
+  C shifted(o);
+  EXPECT_EQ(shifted.options().topology_mapping, LeafMapping::kStaticShift);
+}
+
 // --- plain SNZI wrapper -------------------------------------------------------
 
 TEST(Snzi, BasicArriveDepartQuery) {

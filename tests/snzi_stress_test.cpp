@@ -154,6 +154,54 @@ TEST_P(CSnziStress, CloseCutsOffArrivals) {
   EXPECT_FALSE(c.query().nonzero);
 }
 
+// Close racing the sticky fast path: adaptive with threshold 0 drives every
+// worker through the tree (arming the sticky window) on shared leaves, so
+// post-Close sticky arrivals race the drain.  Whatever the interleaving, no
+// surplus may be stranded in a leaf, and a nonempty Close must yield exactly
+// one false-returning departure.
+TEST(CSnziStickyStress, CloseNeverStrandsStickySurplus) {
+  for (int round = 0; round < 20; ++round) {
+    CSnziOptions o;
+    o.policy = ArrivalPolicy::kAdaptive;
+    o.root_cas_fail_threshold = 0;  // tree + sticky from the first arrival
+    o.leaves = 2;                   // workers share leaves
+    o.topology_mapping = LeafMapping::kPerThread;
+    o.sticky_arrivals = 4;
+    o.sticky_decay_propagations = 1;
+    CSnzi<> c(o);
+    std::atomic<bool> stop{false};
+    std::atomic<int> last_departures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        ScopedThreadIndex idx(static_cast<std::uint32_t>(t));
+        Xoshiro256ss rng(static_cast<std::uint64_t>(round) * 31 + t + 1);
+        std::vector<CSnzi<>::Ticket> held;
+        while (!stop.load(std::memory_order_acquire) || !held.empty()) {
+          if (!stop.load(std::memory_order_acquire) && held.size() < 4 &&
+              rng.bernoulli(1, 2)) {
+            auto ticket = c.arrive();
+            if (ticket.arrived()) held.push_back(ticket);
+          } else if (!held.empty()) {
+            if (!c.depart(held.back())) last_departures.fetch_add(1);
+            held.pop_back();
+          }
+        }
+      });
+    }
+    for (int i = 0; i < 500; ++i) cpu_relax();
+    const bool was_empty = c.close();
+    stop.store(true, std::memory_order_release);
+    for (auto& th : threads) th.join();
+    EXPECT_FALSE(c.query().open);
+    EXPECT_FALSE(c.query().nonzero) << "round " << round;
+    EXPECT_EQ(CSnzi<>::total_count(c.root_word()), 0u) << "round " << round;
+    EXPECT_EQ(last_departures.load(), was_empty ? 0 : 1)
+        << "round " << round << ": a closed C-SNZI must yield exactly one "
+        << "false-returning departure iff it was closed nonempty";
+  }
+}
+
 std::string param_name(const ::testing::TestParamInfo<Param>& info) {
   const auto [policy, leaves, levels] = info.param;
   std::string p = policy == ArrivalPolicy::kAdaptive     ? "adaptive"

@@ -1,0 +1,228 @@
+// Tests for the sysfs topology parser and the C-SNZI LeafMap
+// (platform/topology.hpp): fake-sysfs fixture directories covering SMT
+// on/off, multi-socket shapes and hotplugged-cpu gaps, plus the
+// placement-to-leaf policies.
+#include "platform/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace oll {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FakeSysfs {
+ public:
+  FakeSysfs() {
+    root_ = fs::path(testing::TempDir()) /
+            ("fake_sysfs_" +
+             std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  ~FakeSysfs() { fs::remove_all(root_); }
+
+  std::string path() const { return root_.string(); }
+
+  void write(const std::string& rel, const std::string& content) {
+    const fs::path p = root_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream(p) << content;
+  }
+
+  void mkdir(const std::string& rel) { fs::create_directories(root_ / rel); }
+
+  // One cpu with SMT siblings, an L1 data cache shared by the siblings and
+  // an L3 shared by `llc`, plus a node<N> directory.
+  void add_cpu(std::uint32_t n, const std::string& smt_siblings,
+               const std::string& llc, std::uint32_t node) {
+    const std::string cpu = "cpu" + std::to_string(n) + "/";
+    write(cpu + "topology/thread_siblings_list", smt_siblings + "\n");
+    write(cpu + "cache/index0/level", "1\n");
+    write(cpu + "cache/index0/type", "Data\n");
+    write(cpu + "cache/index0/shared_cpu_list", smt_siblings + "\n");
+    write(cpu + "cache/index1/level", "1\n");
+    write(cpu + "cache/index1/type", "Instruction\n");
+    write(cpu + "cache/index1/shared_cpu_list", smt_siblings + "\n");
+    write(cpu + "cache/index2/level", "3\n");
+    write(cpu + "cache/index2/type", "Unified\n");
+    write(cpu + "cache/index2/shared_cpu_list", llc + "\n");
+    mkdir(cpu + "node" + std::to_string(node));
+  }
+
+ private:
+  fs::path root_;
+};
+
+TEST(ParseCpuList, Shapes) {
+  EXPECT_TRUE(parse_cpu_list("").empty());
+  EXPECT_EQ(parse_cpu_list("0"), (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(parse_cpu_list("0-3"), (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  EXPECT_EQ(parse_cpu_list("0-1,4-5,7\n"),
+            (std::vector<std::uint32_t>{0, 1, 4, 5, 7}));
+  EXPECT_EQ(parse_cpu_list(" 2 , 9 "), (std::vector<std::uint32_t>{2, 9}));
+  // Malformed trailing range is skipped, not fatal.
+  EXPECT_EQ(parse_cpu_list("1,3-"), (std::vector<std::uint32_t>{1}));
+}
+
+TEST(TopologySysfs, SmtPairsSingleSocket) {
+  FakeSysfs sysfs;
+  // x86-style pairing: hyperthread siblings are (0,2) and (1,3).
+  sysfs.add_cpu(0, "0,2", "0-3", 0);
+  sysfs.add_cpu(1, "1,3", "0-3", 0);
+  sysfs.add_cpu(2, "0,2", "0-3", 0);
+  sysfs.add_cpu(3, "1,3", "0-3", 0);
+
+  const Topology t = Topology::from_sysfs(sysfs.path());
+  ASSERT_EQ(t.cpu_count(), 4u);
+  EXPECT_EQ(t.smt_groups(), 2u);
+  EXPECT_EQ(t.llc_domains(), 1u);
+  EXPECT_EQ(t.numa_nodes(), 1u);
+  EXPECT_EQ(t.placement(0).smt_group, t.placement(2).smt_group);
+  EXPECT_EQ(t.placement(1).smt_group, t.placement(3).smt_group);
+  EXPECT_NE(t.placement(0).smt_group, t.placement(1).smt_group);
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(t.placement(c).llc_domain, 0u);
+    EXPECT_EQ(t.placement(c).numa_node, 0u);
+  }
+}
+
+TEST(TopologySysfs, SmtOffTwoSockets) {
+  FakeSysfs sysfs;
+  sysfs.add_cpu(0, "0", "0-1", 0);
+  sysfs.add_cpu(1, "1", "0-1", 0);
+  sysfs.add_cpu(2, "2", "2-3", 1);
+  sysfs.add_cpu(3, "3", "2-3", 1);
+
+  const Topology t = Topology::from_sysfs(sysfs.path());
+  ASSERT_EQ(t.cpu_count(), 4u);
+  EXPECT_EQ(t.smt_groups(), 4u);  // SMT off: each cpu is its own core
+  EXPECT_EQ(t.llc_domains(), 2u);
+  EXPECT_EQ(t.numa_nodes(), 2u);
+  EXPECT_EQ(t.placement(0).llc_domain, t.placement(1).llc_domain);
+  EXPECT_EQ(t.placement(2).llc_domain, t.placement(3).llc_domain);
+  EXPECT_NE(t.placement(0).llc_domain, t.placement(2).llc_domain);
+  EXPECT_EQ(t.placement(0).numa_node, 0u);
+  EXPECT_EQ(t.placement(3).numa_node, 1u);
+}
+
+TEST(TopologySysfs, HotplugGapsKeepDenseIds) {
+  FakeSysfs sysfs;
+  // cpu2 is offline/absent; sibling lists name only present cpus.
+  sysfs.add_cpu(0, "0,1", "0-1,3", 0);
+  sysfs.add_cpu(1, "0,1", "0-1,3", 0);
+  sysfs.add_cpu(3, "3", "0-1,3", 0);
+
+  const Topology t = Topology::from_sysfs(sysfs.path());
+  ASSERT_EQ(t.cpu_count(), 3u);
+  EXPECT_EQ(t.cpu_numbers(), (std::vector<std::uint32_t>{0, 1, 3}));
+  EXPECT_EQ(t.smt_groups(), 2u);
+  // Dense placement ids despite the numbering gap.
+  EXPECT_LT(t.placement(2).smt_group, t.smt_groups());
+  EXPECT_EQ(t.llc_domains(), 1u);
+}
+
+TEST(TopologySysfs, MissingCacheFallsBackToPackage) {
+  FakeSysfs sysfs;
+  // No cache/ directories; package siblings stand in for the LLC.
+  sysfs.write("cpu0/topology/thread_siblings_list", "0\n");
+  sysfs.write("cpu0/topology/core_siblings_list", "0-1\n");
+  sysfs.write("cpu1/topology/thread_siblings_list", "1\n");
+  sysfs.write("cpu1/topology/core_siblings_list", "0-1\n");
+
+  const Topology t = Topology::from_sysfs(sysfs.path());
+  ASSERT_EQ(t.cpu_count(), 2u);
+  EXPECT_EQ(t.llc_domains(), 1u);
+  EXPECT_EQ(t.placement(0).llc_domain, t.placement(1).llc_domain);
+  // No node<N> entries either: NUMA degrades to the LLC domain.
+  EXPECT_EQ(t.numa_nodes(), 1u);
+}
+
+TEST(TopologySysfs, BareCpuDirsDegradeToPrivateCores) {
+  FakeSysfs sysfs;
+  sysfs.mkdir("cpu0");
+  sysfs.mkdir("cpu1");
+  // Non-cpu entries must not be parsed as cpus.
+  sysfs.mkdir("cpufreq");
+  sysfs.write("online", "0-1\n");
+
+  const Topology t = Topology::from_sysfs(sysfs.path());
+  ASSERT_EQ(t.cpu_count(), 2u);
+  EXPECT_EQ(t.smt_groups(), 2u);
+  EXPECT_EQ(t.llc_domains(), 2u);
+}
+
+TEST(TopologySysfs, MissingRootYieldsEmpty) {
+  const Topology t = Topology::from_sysfs("/nonexistent/sysfs/cpu");
+  EXPECT_EQ(t.cpu_count(), 0u);
+}
+
+TEST(TopologySynthetic, Shape) {
+  const Topology t = Topology::synthetic(256, 8, 64, 64);
+  ASSERT_EQ(t.cpu_count(), 256u);
+  EXPECT_EQ(t.smt_groups(), 32u);
+  EXPECT_EQ(t.llc_domains(), 4u);
+  EXPECT_EQ(t.numa_nodes(), 4u);
+  EXPECT_EQ(t.placement(0).smt_group, t.placement(7).smt_group);
+  EXPECT_NE(t.placement(7).smt_group, t.placement(8).smt_group);
+  EXPECT_EQ(t.placement(63).llc_domain, 0u);
+  EXPECT_EQ(t.placement(64).llc_domain, 1u);
+}
+
+TEST(TopologySystem, IsUsable) {
+  const Topology& t = Topology::system();
+  ASSERT_GE(t.cpu_count(), 1u);
+  for (std::uint32_t c = 0; c < t.cpu_count(); ++c) {
+    EXPECT_LT(t.placement(c).smt_group, t.smt_groups());
+    EXPECT_LT(t.placement(c).llc_domain, t.llc_domains());
+    EXPECT_LT(t.placement(c).numa_node, t.numa_nodes());
+  }
+}
+
+TEST(LeafMapTest, Policies) {
+  const Topology t = Topology::synthetic(16, 4, 8, 16);
+  const LeafMap smt(&t, LeafMapping::kSmtCluster, 8, 0);
+  EXPECT_EQ(smt.leaf_of(0), smt.leaf_of(3));
+  EXPECT_NE(smt.leaf_of(3), smt.leaf_of(4));
+
+  const LeafMap llc(&t, LeafMapping::kLlcCluster, 8, 0);
+  EXPECT_EQ(llc.leaf_of(0), llc.leaf_of(7));
+  EXPECT_NE(llc.leaf_of(7), llc.leaf_of(8));
+
+  const LeafMap per_thread(&t, LeafMapping::kPerThread, 16, 0);
+  EXPECT_NE(per_thread.leaf_of(0), per_thread.leaf_of(1));
+
+  const LeafMap shifted(&t, LeafMapping::kStaticShift, 8, 2);
+  EXPECT_EQ(shifted.leaf_of(0), shifted.leaf_of(3));
+  EXPECT_NE(shifted.leaf_of(3), shifted.leaf_of(4));
+
+  // Thread indices beyond the cpu count wrap (mod cpus).
+  EXPECT_EQ(smt.leaf_of(16), smt.leaf_of(0));
+}
+
+TEST(LeafMapTest, PlacementPolicyWithoutTopologyDegrades) {
+  const LeafMap m(nullptr, LeafMapping::kSmtCluster, 8, 0);
+  EXPECT_EQ(m.mapping(), LeafMapping::kPerThread);
+  EXPECT_EQ(m.leaf_of(9), 1u);  // 9 & 7
+}
+
+TEST(LeafMappingNames, RoundTrip) {
+  for (LeafMapping m :
+       {LeafMapping::kAuto, LeafMapping::kStaticShift, LeafMapping::kPerThread,
+        LeafMapping::kSmtCluster, LeafMapping::kLlcCluster,
+        LeafMapping::kNumaCluster}) {
+    LeafMapping parsed;
+    ASSERT_TRUE(parse_leaf_mapping(leaf_mapping_name(m), parsed));
+    EXPECT_EQ(parsed, m);
+  }
+  LeafMapping unused;
+  EXPECT_FALSE(parse_leaf_mapping("bogus", unused));
+}
+
+}  // namespace
+}  // namespace oll
