@@ -9,6 +9,8 @@ namespace {
 
 std::atomic<bool> g_slots[kMaxThreads];
 std::atomic<std::uint32_t> g_high_water{0};
+// Per-index registration epoch; see ThreadRegistry::index_epoch().
+std::atomic<std::uint32_t> g_epochs[kMaxThreads];
 
 std::uint32_t claim_slot() {
   for (std::uint32_t i = 0; i < kMaxThreads; ++i) {
@@ -16,6 +18,7 @@ std::uint32_t claim_slot() {
     if (!g_slots[i].load(std::memory_order_relaxed) &&
         g_slots[i].compare_exchange_strong(expected, true,
                                            std::memory_order_acq_rel)) {
+      g_epochs[i].fetch_add(1, std::memory_order_relaxed);
       std::uint32_t hw = g_high_water.load(std::memory_order_relaxed);
       while (hw < i + 1 && !g_high_water.compare_exchange_weak(
                                hw, i + 1, std::memory_order_relaxed)) {
@@ -51,6 +54,12 @@ ScopedThreadIndex::ScopedThreadIndex(std::uint32_t index)
     : saved_(g_override), had_override_(g_has_override) {
   g_has_override = true;
   g_override = index;
+  // A pinned index changes owner: advance its epoch so index-keyed caches
+  // (C-SNZI sticky state) do not leak across harness workers that reuse
+  // the same dense index in successive runs.
+  if (index < kMaxThreads) {
+    g_epochs[index].fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 ScopedThreadIndex::~ScopedThreadIndex() {
@@ -71,6 +80,11 @@ std::uint32_t ThreadRegistry::high_water_mark() {
 
 bool ThreadRegistry::slot_in_use(std::uint32_t slot) {
   return slot < kMaxThreads && g_slots[slot].load(std::memory_order_relaxed);
+}
+
+std::uint32_t ThreadRegistry::index_epoch(std::uint32_t index) {
+  if (index >= kMaxThreads) return 0;
+  return g_epochs[index].load(std::memory_order_relaxed);
 }
 
 }  // namespace oll

@@ -27,6 +27,13 @@ class ThreadRegistry {
 
   // Test hook: true if `slot` is currently claimed.
   static bool slot_in_use(std::uint32_t slot);
+
+  // Registration epoch of a dense index: bumped every time the index gains
+  // a new owner — a fresh thread claiming the registry slot, or a
+  // ScopedThreadIndex pinning a thread onto it.  Consumers that key
+  // per-thread caches by dense index (the C-SNZI sticky state) compare
+  // epochs to detect recycling and drop state armed by a dead predecessor.
+  static std::uint32_t index_epoch(std::uint32_t index);
 };
 
 // Scoped override of the calling thread's dense index.  The benchmark

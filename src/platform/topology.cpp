@@ -158,7 +158,6 @@ Topology Topology::from_sysfs(const std::string& cpu_root) {
   if (cpus.empty()) return t;
 
   Densifier smt, llc, numa;
-  std::uint32_t numa_fallbacks = 0;
   for (const std::uint32_t cpu : cpus) {
     const fs::path cpu_dir = root / ("cpu" + std::to_string(cpu));
     CpuPlacement p;
@@ -184,13 +183,15 @@ Topology Topology::from_sysfs(const std::string& cpu_root) {
     if (llc_k == kNoValue) llc_k = smt_k;
     p.llc_domain = llc.id_of(llc_k);
 
-    const std::uint32_t numa_k = numa_key(cpu_dir);
+    std::uint32_t numa_k = numa_key(cpu_dir);
     if (numa_k == kNoValue) {
-      p.numa_node = p.llc_domain;  // resolved after the loop via max
-      ++numa_fallbacks;
-    } else {
-      p.numa_node = numa.id_of(numa_k);
+      // No node<M> entry: approximate the node by the LLC sibling set, but
+      // resolve it through the same numa Densifier under a key space
+      // disjoint from real node numbers (which are small) so a fallback id
+      // can never alias a real node's dense id on mixed systems.
+      numa_k = kNoValue - 1 - llc_k;
     }
+    p.numa_node = numa.id_of(numa_k);
 
     t.placements_.push_back(p);
     t.cpu_numbers_.push_back(cpu);
@@ -198,14 +199,6 @@ Topology Topology::from_sysfs(const std::string& cpu_root) {
   t.smt_groups_ = smt.count();
   t.llc_domains_ = llc.count();
   t.numa_nodes_ = numa.count();
-  if (numa_fallbacks > 0) {
-    // CPUs without node info borrowed their LLC id; count nodes accordingly.
-    std::uint32_t max_node = 0;
-    for (const CpuPlacement& p : t.placements_) {
-      max_node = std::max(max_node, p.numa_node);
-    }
-    t.numa_nodes_ = max_node + 1;
-  }
   return t;
 }
 

@@ -46,7 +46,9 @@ class Topology {
   // point it at fixture directories).  Missing files degrade gracefully:
   // a CPU with no siblings info becomes its own SMT group, a CPU with no
   // cache info falls back to its core_siblings (package) and then to
-  // itself, and a CPU with no node<M> entry inherits its LLC domain.
+  // itself, and a CPU with no node<M> entry treats its LLC sibling set as
+  // its node (under ids that never alias real node<M> ids, so mixed
+  // systems keep distinct nodes distinct).
   static Topology from_sysfs(const std::string& cpu_root);
 
   // Deterministic synthetic shape: `cpus` hardware threads where

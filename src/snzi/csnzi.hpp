@@ -37,9 +37,16 @@
 //     to the root more than `sticky_decay_propagations` times means the
 //     leaf keeps draining (reader traffic is low), so the thread decays
 //     back to direct root arrivals and the uncontended 1-CAS fast path is
-//     restored.  At read saturation the leaf never drains, the window
-//     re-arms for free, and steady-state arrivals touch zero shared words
-//     beyond the leaf.
+//     restored.  At read saturation the leaf never drains and the window
+//     re-arms for free, but only `sticky_rearm_windows` times in a row:
+//     the next re-arm re-reads the root and refuses to re-arm if the
+//     C-SNZI has been closed.  Without that bound, sticky readers sharing
+//     a hot leaf could keep arriving forever after Close — each success
+//     keeps the leaf nonzero for the next — and a writer waiting for the
+//     surplus to drain would starve.  The periodic read (one load per
+//     `sticky_rearm_windows * sticky_arrivals` arrivals, of a line that
+//     stays in shared state) caps a closing writer's wait at one window
+//     burst per reader while keeping steady-state root traffic ~zero.
 //
 // Linearization subtlety faithfully preserved (§2.2): an arrival through the
 // tree may increment a leaf whose count is nonzero without touching the
@@ -108,6 +115,11 @@ struct CSnziOptions {
   // propagated to the root more than this many times (the leaf kept
   // draining, so tree arrivals are paying root traffic anyway).
   std::uint32_t sticky_decay_propagations = 8;
+  // Consecutive root-free window re-arms allowed before a re-arm must
+  // re-read the root word and drop the window if the C-SNZI was closed.
+  // Bounds how long sticky readers on a shared hot leaf can keep a closing
+  // writer waiting (see file comment); 0 checks the root on every re-arm.
+  std::uint32_t sticky_rearm_windows = 4;
   // Upper bound on dense thread indices that will use this instance; sizes
   // the per-thread state array.  0 means kMaxThreads; locks plumb their own
   // max_threads through.
@@ -391,6 +403,14 @@ class CSnzi {
     Node* leaf = nullptr;
     std::uint32_t sticky = 0;
     std::uint32_t window_propagations = 0;
+    std::uint32_t root_free_rearms = 0;
+    // Registration epoch of the dense thread index this slot was last used
+    // under (platform/thread_id.hpp).  Dense indices are recycled when a
+    // thread exits (or when the harness re-pins a new worker via
+    // ScopedThreadIndex); a successor must not inherit its predecessor's
+    // armed window or cached leaf, so thread_state() resets the slot on an
+    // epoch mismatch.  The cumulative stats counters survive recycling.
+    std::uint32_t epoch = 0;
     std::atomic<std::uint64_t> root_reads{0};
     std::atomic<std::uint64_t> direct_arrivals{0};
     std::atomic<std::uint64_t> tree_arrivals{0};
@@ -415,12 +435,13 @@ class CSnzi {
     if (o.max_threads == 0 || o.max_threads > kMaxThreads) {
       o.max_threads = kMaxThreads;
     }
-    // Clamp leaf_shift: a shift that sends every registerable thread index
-    // to leaf 0 is always a misconfiguration when more than one leaf was
-    // requested (leaves == 1 is the explicit way to ask for one leaf).
-    if (o.leaves > 1) {
+    // Clamp leaf_shift: a shift that sends every thread index this instance
+    // can see (bounded by the just-defaulted max_threads) to leaf 0 is
+    // always a misconfiguration when more than one leaf was requested
+    // (leaves == 1 is the explicit way to ask for one leaf).
+    if (o.leaves > 1 && o.max_threads > 1) {
       std::uint32_t max_shift = 0;
-      while (((kMaxThreads - 1) >> (max_shift + 1)) != 0) ++max_shift;
+      while (((o.max_threads - 1) >> (max_shift + 1)) != 0) ++max_shift;
       if (o.leaf_shift > max_shift) o.leaf_shift = max_shift;
     }
     if (o.topology_mapping == LeafMapping::kAuto) {
@@ -457,17 +478,33 @@ class CSnzi {
     ts.leaf = leaf;
     ts.sticky = opts_.sticky_arrivals;
     ts.window_propagations = 0;
+    ts.root_free_rearms = 0;
   }
 
   void rearm_or_decay(ThreadState& ts) {
-    // A quiet window (few propagations) means the leaf stayed hot: stay in
-    // the tree without re-reading the root.  A noisy window means the leaf
-    // kept draining, so tree arrivals were paying root traffic anyway —
-    // decay to the direct path (ts.sticky stays 0).
-    if (ts.window_propagations <= opts_.sticky_decay_propagations) {
-      ts.sticky = opts_.sticky_arrivals;
+    // A noisy window means the leaf kept draining, so tree arrivals were
+    // paying root traffic anyway — decay to the direct path (ts.sticky
+    // stays 0).
+    if (ts.window_propagations > opts_.sticky_decay_propagations) {
+      ts.window_propagations = 0;
+      ts.root_free_rearms = 0;
+      return;
     }
     ts.window_propagations = 0;
+    // A quiet window means the leaf stayed hot: stay in the tree.  Re-arm
+    // without touching the root at most sticky_rearm_windows times in a
+    // row; then re-read the root so a Close demotes this thread to the
+    // root-reading path instead of letting it feed the leaf forever (the
+    // writer-starvation bound described in the file comment).
+    if (ts.root_free_rearms < opts_.sticky_rearm_windows) {
+      ++ts.root_free_rearms;
+      ts.sticky = opts_.sticky_arrivals;
+      return;
+    }
+    ts.root_free_rearms = 0;
+    const std::uint64_t w = root_.load(std::memory_order_acquire);
+    bump(ts.root_reads);
+    if (is_open(w)) ts.sticky = opts_.sticky_arrivals;
   }
 
   // --- direct root arrival/departure -------------------------------------
@@ -628,7 +665,18 @@ class CSnzi {
     if (arr == nullptr) arr = ensure_thread_state();
     const std::uint32_t idx = this_thread_index();
     OLL_CHECK(idx < opts_.max_threads);
-    return arr[idx];
+    ThreadState& ts = arr[idx];
+    // Dense indices are recycled; drop sticky state armed by a previous
+    // thread that held this index (see the ThreadState comment).
+    const std::uint32_t epoch = ThreadRegistry::index_epoch(idx);
+    if (ts.epoch != epoch) {
+      ts.epoch = epoch;
+      ts.leaf = nullptr;
+      ts.sticky = 0;
+      ts.window_propagations = 0;
+      ts.root_free_rearms = 0;
+    }
+    return ts;
   }
 
   ThreadState* ensure_thread_state() {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "platform/memory.hpp"
+#include "platform/thread_id.hpp"
 #include "snzi/csnzi.hpp"
 #include "snzi/snzi.hpp"
 
@@ -362,7 +363,9 @@ TEST(CSnziSticky, SkipsRootWhileLeafHot) {
 }
 
 TEST(CSnziSticky, WindowRearmsWithoutRootReadWhileLeafHot) {
-  C c(sticky_tree(2, 8));
+  CSnziOptions o = sticky_tree(2, 8);
+  o.sticky_rearm_windows = 8;  // all five re-arms below fit the budget
+  C c(o);
   auto hold = c.arrive();
   ASSERT_TRUE(hold.arrived());
   // 10 arrivals exhaust the 2-wide window five times; a hot leaf (zero
@@ -376,6 +379,73 @@ TEST(CSnziSticky, WindowRearmsWithoutRootReadWhileLeafHot) {
   EXPECT_EQ(s.root_reads, 1u);
   EXPECT_EQ(s.sticky_arrivals, 10u);
   EXPECT_TRUE(c.depart(hold));
+}
+
+TEST(CSnziSticky, RearmPeriodicallyRereadsRoot) {
+  // Root-free re-arms are budgeted: after sticky_rearm_windows of them the
+  // next window boundary pays one root read (and, below, is what lets a
+  // closing writer cut sticky readers off).
+  CSnziOptions o = sticky_tree(2, 8);
+  o.sticky_rearm_windows = 1;
+  C c(o);
+  auto hold = c.arrive();
+  ASSERT_TRUE(hold.arrived());
+  // 10 arrivals = 5 window boundaries; boundaries alternate root-free and
+  // root-checking, so boundaries 2 and 4 read the (still open) root.
+  for (int i = 0; i < 10; ++i) {
+    auto t = c.arrive();
+    ASSERT_TRUE(t.arrived());
+    EXPECT_TRUE(c.depart(t));
+  }
+  const CSnziStatsSnapshot s = c.stats();
+  EXPECT_EQ(s.root_reads, 3u);  // the arming arrival + two re-arm checks
+  EXPECT_EQ(s.sticky_arrivals, 10u);  // every arrival still skipped the root
+  EXPECT_TRUE(c.depart(hold));
+}
+
+TEST(CSnziSticky, CloseDemotesStickyReaderWithinRearmBudget) {
+  // Writer-starvation regression: a sticky reader whose leaf never drains
+  // (the `hold` ticket keeps it hot) must stop arriving successfully within
+  // (sticky_rearm_windows + 1) windows of a Close — the budgeted root
+  // re-read sees CLOSED and refuses to re-arm.
+  CSnziOptions o = sticky_tree(2, 8);
+  o.sticky_rearm_windows = 1;
+  C c(o);
+  auto hold = c.arrive();  // arms the window, leaf stays nonzero throughout
+  ASSERT_TRUE(hold.arrived());
+  EXPECT_FALSE(c.close());  // surplus present: writer now waits for drain
+  // Window boundary 1 re-arms root-free, boundary 2 reads CLOSED and stops:
+  // exactly 4 more sticky arrivals succeed, then every arrival fails.
+  for (int i = 0; i < 4; ++i) {
+    auto t = c.arrive();
+    ASSERT_TRUE(t.arrived()) << "arrival " << i;
+    EXPECT_TRUE(c.depart(t));
+  }
+  EXPECT_FALSE(c.arrive().arrived());
+  EXPECT_FALSE(c.arrive().arrived());  // demotion is permanent while closed
+  EXPECT_FALSE(c.depart(hold));  // last departure: the writer may proceed
+  EXPECT_FALSE(c.query().nonzero);
+}
+
+TEST(CSnziSticky, RecycledThreadIndexDropsInheritedWindow) {
+  // Dense thread indices are recycled (thread_id.hpp); a successor pinned
+  // to the same index must not inherit the predecessor's armed window or
+  // cached leaf — its first arrival re-reads the root.
+  C c(sticky_tree(8, 8));
+  {
+    ScopedThreadIndex idx(5);
+    auto t = c.arrive();  // arms an 8-wide window for index 5
+    ASSERT_TRUE(t.arrived());
+    EXPECT_TRUE(c.depart(t));
+  }
+  const std::uint64_t reads_before = c.stats().root_reads;
+  {
+    ScopedThreadIndex idx(5);  // a new thread claims the recycled index
+    auto t = c.arrive();
+    ASSERT_TRUE(t.arrived());
+    EXPECT_TRUE(c.depart(t));
+  }
+  EXPECT_EQ(c.stats().root_reads, reads_before + 1);
 }
 
 TEST(CSnziSticky, DecaysWhenLeafKeepsDraining) {
@@ -463,6 +533,19 @@ TEST(CSnziOptionsNorm, LeafShiftClampedSoThreadsSpread) {
   EXPECT_EQ(c.options().topology_mapping, LeafMapping::kStaticShift);
   EXPECT_EQ(c.options().leaf_shift, 9u);  // (kMaxThreads-1) >> 9 != 0
   EXPECT_NE(c.leaf_index_of(0), c.leaf_index_of(kMaxThreads - 1));
+}
+
+TEST(CSnziOptionsNorm, LeafShiftClampDerivedFromMaxThreads) {
+  // The clamp must use the instance's own thread bound, not kMaxThreads: a
+  // lock sized for 64 threads with leaf_shift = 8 would still collapse all
+  // of its live indices onto leaf 0.
+  CSnziOptions o;
+  o.max_threads = 64;
+  o.leaf_shift = 8;
+  o.leaves = 64;
+  C c(o);
+  EXPECT_EQ(c.options().leaf_shift, 5u);  // (64-1) >> 5 != 0, >> 6 == 0
+  EXPECT_NE(c.leaf_index_of(0), c.leaf_index_of(63));
 }
 
 TEST(CSnziOptionsNorm, SingleLeafKeepsExplicitShift) {

@@ -207,6 +207,32 @@ TEST(ThreadId, ScopedOverride) {
   EXPECT_EQ(this_thread_index(), real);
 }
 
+TEST(ThreadId, IndexEpochAdvancesOnRecycleAndPin) {
+  // A recycled registry slot gets a new epoch: consumers keying caches by
+  // dense index use this to detect that a dead thread's state is stale.
+  std::uint32_t slot = 0, first_epoch = 0, second_epoch = 0;
+  std::thread t1([&] {
+    slot = this_thread_index();
+    first_epoch = ThreadRegistry::index_epoch(slot);
+  });
+  t1.join();
+  std::thread t2([&] {
+    EXPECT_EQ(this_thread_index(), slot);
+    second_epoch = ThreadRegistry::index_epoch(slot);
+  });
+  t2.join();
+  EXPECT_GT(second_epoch, first_epoch);
+
+  // Pinning an index via ScopedThreadIndex also claims ownership.
+  const std::uint32_t before = ThreadRegistry::index_epoch(42);
+  {
+    ScopedThreadIndex pin(42);
+    EXPECT_EQ(ThreadRegistry::index_epoch(42), before + 1);
+  }
+  // Out-of-range indices answer a stable epoch instead of faulting.
+  EXPECT_EQ(ThreadRegistry::index_epoch(kMaxThreads), 0u);
+}
+
 // --- stats ------------------------------------------------------------------------
 
 TEST(Stats, MeanAndStddev) {

@@ -202,6 +202,60 @@ TEST(CSnziStickyStress, CloseNeverStrandsStickySurplus) {
   }
 }
 
+// Writer starvation under sustained sticky traffic: unlike the test above,
+// workers NEVER stop arriving after Close — each keeps an arrival in flight
+// so shared leaves stay hot, the scenario where unbounded root-free re-arms
+// would let sticky readers feed the leaf forever.  The re-arm budget
+// (sticky_rearm_windows) must demote every reader, so the surplus drains
+// while arrivals continue at full tilt.
+TEST(CSnziStickyStress, CloseDrainsUnderSustainedStickyArrivals) {
+  for (int round = 0; round < 10; ++round) {
+    CSnziOptions o;
+    o.policy = ArrivalPolicy::kAdaptive;
+    o.root_cas_fail_threshold = 0;  // tree + sticky from the first arrival
+    o.leaves = 2;                   // workers share leaves
+    o.topology_mapping = LeafMapping::kPerThread;
+    o.sticky_arrivals = 4;
+    o.sticky_decay_propagations = 4;  // hot shared leaves: windows stay quiet
+    o.sticky_rearm_windows = 2;
+    CSnzi<> c(o);
+    std::atomic<bool> stop{false};
+    std::atomic<int> last_departures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        ScopedThreadIndex idx(static_cast<std::uint32_t>(t));
+        while (!stop.load(std::memory_order_acquire)) {
+          auto first = c.arrive();
+          if (!first.arrived()) continue;  // closed and drained for us
+          // Overlap a second arrival so our leaf never drops to zero.
+          auto second = c.arrive();
+          if (!c.depart(first)) last_departures.fetch_add(1);
+          if (second.arrived() && !c.depart(second)) {
+            last_departures.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (int i = 0; i < 500; ++i) cpu_relax();
+    const bool was_empty = c.close();
+    // The drain must complete even though every worker keeps arriving; a
+    // regression to unbounded root-free re-arms hangs right here.
+    spin_until([&] { return !c.query().nonzero; });
+    stop.store(true, std::memory_order_release);
+    for (auto& th : threads) th.join();
+    // Main may share a dense index with a finished worker, so only probe
+    // arrive() after the join.
+    EXPECT_FALSE(c.arrive().arrived());
+    EXPECT_FALSE(c.query().open);
+    EXPECT_FALSE(c.query().nonzero) << "round " << round;
+    EXPECT_EQ(CSnzi<>::total_count(c.root_word()), 0u) << "round " << round;
+    EXPECT_EQ(last_departures.load(), was_empty ? 0 : 1)
+        << "round " << round << ": a closed C-SNZI must yield exactly one "
+        << "false-returning departure iff it was closed nonempty";
+  }
+}
+
 std::string param_name(const ::testing::TestParamInfo<Param>& info) {
   const auto [policy, leaves, levels] = info.param;
   std::string p = policy == ArrivalPolicy::kAdaptive     ? "adaptive"

@@ -143,6 +143,34 @@ TEST(TopologySysfs, MissingCacheFallsBackToPackage) {
   EXPECT_EQ(t.numa_nodes(), 1u);
 }
 
+TEST(TopologySysfs, NumaFallbackNeverAliasesRealNodes) {
+  FakeSysfs sysfs;
+  // cpu0/cpu1 report real nodes 0 and 1; cpu2 shares their LLC but has no
+  // node<M> entry.  Its fallback id must not collide with either real
+  // node's dense id (the old LLC-borrowing scheme would have merged cpu2
+  // into node 0: all three share LLC domain 0).
+  sysfs.add_cpu(0, "0", "0-2", 0);
+  sysfs.add_cpu(1, "1", "0-2", 1);
+  const std::string cpu2 = "cpu2/";
+  sysfs.write(cpu2 + "topology/thread_siblings_list", "2\n");
+  sysfs.write(cpu2 + "cache/index0/level", "1\n");
+  sysfs.write(cpu2 + "cache/index0/type", "Data\n");
+  sysfs.write(cpu2 + "cache/index0/shared_cpu_list", "2\n");
+  sysfs.write(cpu2 + "cache/index2/level", "3\n");
+  sysfs.write(cpu2 + "cache/index2/type", "Unified\n");
+  sysfs.write(cpu2 + "cache/index2/shared_cpu_list", "0-2\n");
+
+  const Topology t = Topology::from_sysfs(sysfs.path());
+  ASSERT_EQ(t.cpu_count(), 3u);
+  EXPECT_EQ(t.llc_domains(), 1u);
+  EXPECT_EQ(t.numa_nodes(), 3u);  // node0, node1, and cpu2's fallback node
+  EXPECT_NE(t.placement(2).numa_node, t.placement(0).numa_node);
+  EXPECT_NE(t.placement(2).numa_node, t.placement(1).numa_node);
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    EXPECT_LT(t.placement(c).numa_node, t.numa_nodes());  // ids stay dense
+  }
+}
+
 TEST(TopologySysfs, BareCpuDirsDegradeToPrivateCores) {
   FakeSysfs sysfs;
   sysfs.mkdir("cpu0");
