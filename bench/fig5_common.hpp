@@ -13,6 +13,18 @@
 //   --leaf_map=K        C-SNZI leaf mapping: auto|static|thread|smt|llc|numa
 //                       (default: mode default — smt on the sim topology)
 //   --sticky=N          C-SNZI sticky arrival window (0 disables; default 64)
+//   --warmup=N          per-thread warmup acquisitions before each measured
+//                       run (stats rebased at the phase boundary)
+//
+// Observability (DESIGN.md §9).  Any of the following adds a separate pass
+// AFTER the throughput sweep, run with latency timing (and, for --trace,
+// event tracing) enabled — the sweep itself always runs with every hook
+// disabled:
+//   --hist              print per-lock p50/p99 acquire-latency table
+//   --stats_json=FILE   write per-lock counters + latency percentiles (JSON)
+//   --trace=FILE        write lock-event trace (Chrome/Perfetto JSON)
+//   --obs_threads=N     thread count for the pass (default: max swept count)
+//   --trace_ring=N      per-thread ring capacity in records (default 8192)
 #pragma once
 
 #include <iostream>
@@ -37,6 +49,7 @@ inline int run_fig5(const std::string& figure_name, std::uint32_t read_pct,
   cfg.acquires_per_thread = flags.get_u64("acquires", 0);
   cfg.repetitions = static_cast<std::uint32_t>(flags.get_u64("reps", 1));
   cfg.cs_work = flags.get_u64("cs_work", 0);
+  cfg.warmup_acquires = flags.get_u64("warmup", 0);
   if (flags.has("leaf_map")) {
     LeafMapping m;
     if (parse_leaf_mapping(flags.get("leaf_map", ""), m)) {
@@ -62,6 +75,21 @@ inline int run_fig5(const std::string& figure_name, std::uint32_t read_pct,
   print_header(std::cout, figure_name, cfg);
   SweepResult result = run_sweep(cfg, /*verbose=*/true);
   print_series(std::cout, result);
+
+  if (flags.has("hist") || flags.has("stats_json") || flags.has("trace")) {
+    ObservabilityConfig obs;
+    obs.sweep = cfg;
+    obs.threads =
+        static_cast<std::uint32_t>(flags.get_u64("obs_threads", 0));
+    obs.stats_json_path = flags.get("stats_json", "");
+    obs.trace_path = flags.get("trace", "");
+    obs.ring_capacity =
+        static_cast<std::uint32_t>(flags.get_u64("trace_ring", 1u << 13));
+    if (!run_observability_pass(std::cout, obs)) {
+      std::cerr << "observability export failed\n";
+      return 1;
+    }
+  }
   return 0;
 }
 

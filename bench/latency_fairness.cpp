@@ -9,19 +9,30 @@
 // T5440, and prints p50/p95/p99/max per lock and operation class.
 //
 // Flags: --threads=N (64) --read_pct=P (95) --acquires=N (500)
+//   --hist             also print the locks' internal latency histograms
+//                      (lock_stats.hpp) next to the externally-sampled rows
+//   --stats_json=FILE  write internal counters + percentiles as JSON
+//   --trace=FILE       write a lock-event trace (Chrome/Perfetto JSON)
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/factory.hpp"
 #include "harness/cli.hpp"
+#include "harness/sweep.hpp"
+#include "harness/trace_export.hpp"
 #include "platform/rng.hpp"
 #include "platform/spin.hpp"
 #include "platform/stats.hpp"
 #include "platform/thread_id.hpp"
+#include "platform/time.hpp"
+#include "platform/trace.hpp"
 #include "sim/context.hpp"
 #include "sim/machine.hpp"
 #include "sim/memory.hpp"
@@ -31,6 +42,7 @@ namespace {
 struct Samples {
   std::vector<double> read_latency;
   std::vector<double> write_latency;
+  oll::LockStatsSnapshot stats;  // the lock's own counters/histograms
 };
 
 Samples run_lock(oll::LockKind kind, std::uint32_t threads,
@@ -90,14 +102,34 @@ Samples run_lock(oll::LockKind kind, std::uint32_t threads,
     all.write_latency.insert(all.write_latency.end(),
                              s.write_latency.begin(), s.write_latency.end());
   }
+  all.stats = lock->stats();  // quiescent: workers joined
   return all;
 }
 
-void print_row(const char* lock, const char* op, std::vector<double>& xs) {
+// Sort-once percentile extraction (platform/stats.hpp Percentiles); the old
+// free-function form re-sorted the sample vector for every percentile.
+void print_row(const char* lock, const char* op, std::vector<double> xs) {
   if (xs.empty()) return;
+  const oll::Percentiles p(std::move(xs));
   std::printf("%-14s %-6s %8zu %10.0f %10.0f %10.0f %12.0f\n", lock, op,
-              xs.size(), oll::percentile(xs, 50), oll::percentile(xs, 95),
-              oll::percentile(xs, 99), oll::percentile(xs, 100));
+              p.count(), p.at(50), p.at(95), p.at(99), p.at(100));
+}
+
+// Same table shape, fed from the lock's internal log2 histogram.
+void print_hist_row(const char* lock, const char* op,
+                    const oll::HistogramSnapshot& h) {
+  if (h.empty()) return;
+  std::printf("%-14s %-6s %8llu %10.0f %10.0f %10.0f %12llu\n", lock, op,
+              static_cast<unsigned long long>(h.count), h.percentile(50),
+              h.percentile(95), h.percentile(99),
+              static_cast<unsigned long long>(h.max));
+}
+
+// Timestamp source for the locks' internal timers: this worker's virtual
+// clock (same base as the externally-sampled columns).
+std::uint64_t sim_trace_clock() {
+  const oll::sim::ThreadContext* ctx = oll::sim::ThreadContext::current();
+  return ctx != nullptr ? ctx->clock() : oll::now_ns();
 }
 
 }  // namespace
@@ -109,18 +141,80 @@ int main(int argc, char** argv) {
   const auto read_pct =
       static_cast<std::uint32_t>(flags.get_u64("read_pct", 95));
   const std::uint64_t acquires = flags.get_u64("acquires", 500);
+  const bool hist = flags.has("hist");
+  const std::string stats_json = flags.get("stats_json", "");
+  const std::string trace_path = flags.get("trace", "");
+
+  // The internal observability layer shares the virtual time base with the
+  // externally-sampled columns.
+  if (hist || !stats_json.empty() || !trace_path.empty()) {
+    oll::trace_set_clock(&sim_trace_clock);
+    oll::latency_timing_enable();
+  }
+  if (!trace_path.empty()) oll::trace_enable();
 
   std::printf("# Acquisition latency (virtual cycles) on the simulated "
               "T5440: %u threads, %u%% reads\n",
               threads, read_pct);
   std::printf("%-14s %-6s %8s %10s %10s %10s %12s\n", "lock", "op", "n",
               "p50", "p95", "p99", "max");
+  struct Row {
+    oll::LockKind kind;
+    Samples samples;
+  };
+  std::vector<Row> rows;
+  std::vector<oll::bench::TraceRun> trace_runs;
   for (oll::LockKind kind : oll::figure5_lock_kinds()) {
     Samples s = run_lock(kind, threads, read_pct, acquires);
     print_row(oll::lock_kind_name(kind), "read", s.read_latency);
     print_row(oll::lock_kind_name(kind), "write", s.write_latency);
+    if (hist) {
+      print_hist_row(oll::lock_kind_name(kind), "read*",
+                     s.stats.read_acquire);
+      print_hist_row(oll::lock_kind_name(kind), "write*",
+                     s.stats.write_acquire);
+    }
+    if (!trace_path.empty()) {
+      oll::bench::TraceRun run;
+      run.name = std::string(oll::lock_kind_name(kind)) + " t=" +
+                 std::to_string(threads) + " r=" + std::to_string(read_pct);
+      run.dump = oll::trace_drain();
+      run.ts_scale = 1e-3 / 1.4;  // virtual cycles @1.4GHz -> microseconds
+      trace_runs.push_back(std::move(run));
+    }
+    rows.push_back({kind, std::move(s)});
+  }
+  if (hist) {
+    std::printf("# read*/write* rows: the locks' internal log2-histogram "
+                "view of the same acquisitions\n");
   }
   std::printf("\n# Expectation (§4.3): ROLL read tails beat FOLL's; ROLL "
               "write tails exceed FOLL's (reader preference).\n");
+
+  if (!trace_path.empty()) {
+    oll::trace_disable();
+    if (!oll::bench::write_chrome_trace_file(trace_path, trace_runs)) {
+      std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+      return 1;
+    }
+  }
+  if (!stats_json.empty()) {
+    std::ofstream out(stats_json);
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", stats_json.c_str());
+      return 1;
+    }
+    out << "{\"mode\":\"sim\",\"unit\":\"cycles\",\"threads\":" << threads
+        << ",\"read_pct\":" << read_pct
+        << ",\"acquires_per_thread\":" << acquires << ",\"locks\":{";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (i != 0) out << ",";
+      out << "\"" << oll::lock_kind_name(rows[i].kind) << "\":{";
+      oll::bench::write_lock_stats_json(out, rows[i].samples.stats);
+      out << "}";
+    }
+    out << "}}\n";
+  }
+  oll::latency_timing_disable();
   return 0;
 }

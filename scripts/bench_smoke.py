@@ -21,6 +21,7 @@ import os
 import re
 import subprocess
 import sys
+import tempfile
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -28,6 +29,12 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 # adds ~10s to check.sh.
 FIG5A_ARGS = ["--mode=sim", "--threads=64", "--acquires=4000",
               "--locks=goll,foll,roll"]
+# Acquire-latency percentiles (informational): the post-sweep observability
+# pass (DESIGN.md §9) re-runs each lock at the max swept thread count with
+# latency timing enabled, so the gated sweep itself still executes with
+# every hook disabled.
+LATENCY_HISTS = ("read_acquire", "write_acquire", "writer_wait")
+LATENCY_PCTS = ("p50", "p99")
 # Informational micro benches (real time; host-dependent).
 MICRO_FILTERS = {
     "micro_csnzi": ("BM_ArriveDepart_Root|BM_ArriveDepart_Adaptive$|"
@@ -63,6 +70,11 @@ def parse_fig5_csv(text):
         if cells[0] == "threads":
             header = cells[1:]
             continue
+        if not cells[0].isdigit():
+            # A non-numeric first cell after the sweep is another table
+            # (e.g. the observability pass's latency CSV): stop collecting.
+            header = None
+            continue
         if header is None:
             continue
         threads = cells[0]
@@ -71,9 +83,36 @@ def parse_fig5_csv(text):
     return metrics
 
 
+def parse_latency_json(path):
+    """stats_json -> {"latency.GOLL.read_acquire.p50": 207.0, ...}"""
+    with open(path) as f:
+        doc = json.load(f)
+    metrics = {}
+    unit = doc.get("unit", "")
+    for lock, stats in doc.get("locks", {}).items():
+        for hist in LATENCY_HISTS:
+            h = stats.get(hist)
+            if not isinstance(h, dict) or not h.get("count"):
+                continue
+            for pct in LATENCY_PCTS:
+                metrics[f"latency.{lock}.{hist}.{pct}"] = h[pct]
+    if unit:
+        metrics["latency.unit"] = unit
+    return metrics
+
+
 def collect_fig5a(build_dir):
+    """One invocation feeds both series: stdout CSV is the gated sweep
+    (hooks disabled); --stats_json captures the post-sweep observability
+    pass's latency percentiles (informational)."""
     binary = os.path.join(build_dir, "bench", "fig5a_read_only")
-    return parse_fig5_csv(run([binary] + FIG5A_ARGS))
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        stats_path = tmp.name
+    try:
+        out = run([binary] + FIG5A_ARGS + [f"--stats_json={stats_path}"])
+        return parse_fig5_csv(out), parse_latency_json(stats_path)
+    finally:
+        os.unlink(stats_path)
 
 
 def collect_micro(build_dir, name, bench_filter):
@@ -123,9 +162,8 @@ def main():
     args = ap.parse_args()
 
     build_dir = os.path.join(REPO_ROOT, args.build_dir)
-    print("bench_smoke: running sim fig5a sweep (gated)")
-    gated = collect_fig5a(build_dir)
-    informational = {}
+    print("bench_smoke: running sim fig5a sweep (gated) + latency pass")
+    gated, informational = collect_fig5a(build_dir)
     if not args.skip_micro:
         for name, flt in MICRO_FILTERS.items():
             print(f"bench_smoke: running {name} (informational)")
@@ -160,7 +198,8 @@ def main():
                  "passed": status == 0},
         "config": {"fig5a": FIG5A_ARGS,
                    "units": {"gated": "acquires/sec (sim virtual time)",
-                             "informational": "ns/op (real time)"}},
+                             "informational": "ns/op (real time); latency.* "
+                                              "in sim virtual cycles"}},
         "gated": gated,
         "informational": informational,
     }

@@ -26,10 +26,26 @@ if [[ "${1:-}" == "--tier1-only" ]]; then
   exit 0
 fi
 
+echo "==> observability: trace export + validation (DESIGN.md §9)"
+TRACE_TMP="$(mktemp --suffix=.json)"
+trap 'rm -f "${TRACE_TMP}"' EXIT
+./build/bench/fig5a_read_only --mode=sim --threads=16 --acquires=200 \
+  --locks=goll,foll,roll --trace="${TRACE_TMP}" >/dev/null
+python3 scripts/validate_trace.py "${TRACE_TMP}"
+
+echo "==> observability: OLL_TRACE=0 build (hooks compiled out)"
+cmake -B build-notrace -S . -DOLL_TRACE=0 \
+  -DOLL_ENABLE_BENCH=OFF -DOLL_ENABLE_EXAMPLES=OFF
+cmake --build build-notrace -j "${JOBS}" --target lock_conformance_test \
+  histogram_test
+./build-notrace/tests/lock_conformance_test >/dev/null
+./build-notrace/tests/histogram_test >/dev/null
+echo "==> OLL_TRACE=0 build + smoke OK"
+
 TSAN_SUITES=(
   lock_stress_test race_fuzz_test snzi_stress_test bravo_test
   csnzi_test lock_conformance_test foll_roll_test goll_test ksuh_test
-  wait_queue_test mutex_test orig_snzi_test
+  wait_queue_test mutex_test orig_snzi_test trace_test histogram_test
 )
 
 echo "==> tsan: configure + build (tests only)"

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Validate a Chrome-trace/Perfetto JSON file exported by the harness.
+
+Structural checks on the output of oll::bench::write_chrome_trace_file():
+
+  * top level is an object with a "traceEvents" list (and the
+    "displayTimeUnit" hint the exporter always writes);
+  * every event has the keys its phase requires (ph/pid/tid/name, plus ts
+    for slice and instant events) with sane types and non-negative ts;
+  * phases are limited to the exporter's vocabulary (M, B, E, i);
+  * per (pid, tid, name) slice nesting never goes negative — an E without
+    a matching B is an exporter bug (trailing unclosed B events are fine:
+    ring wrap can drop an end record's partner);
+  * unless --allow-empty, at least one slice event is present.
+
+Usage: scripts/validate_trace.py TRACE.json [--allow-empty]
+Exit status: 0 valid, 1 invalid, 2 unreadable.
+"""
+
+import argparse
+import json
+import sys
+
+KNOWN_PHASES = {"M", "B", "E", "i"}
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def validate(doc, allow_empty):
+    if not isinstance(doc, dict):
+        return fail("top level is not a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail('missing or non-list "traceEvents"')
+    if "displayTimeUnit" not in doc:
+        return fail('missing "displayTimeUnit"')
+
+    depth = {}  # (pid, tid, name) -> open B count
+    slices = 0
+    for idx, ev in enumerate(events):
+        where = f"traceEvents[{idx}]"
+        if not isinstance(ev, dict):
+            return fail(f"{where} is not an object")
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            return fail(f"{where}: unknown phase {ph!r}")
+        for key, types in (("pid", (int,)), ("tid", (int,)),
+                           ("name", (str,))):
+            if not isinstance(ev.get(key), types):
+                return fail(f"{where}: missing/mistyped {key!r}")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            return fail(f"{where}: missing/negative ts")
+        if ph in ("B", "E"):
+            slices += 1
+            key = (ev["pid"], ev["tid"], ev["name"])
+            depth[key] = depth.get(key, 0) + (1 if ph == "B" else -1)
+            if depth[key] < 0:
+                return fail(f"{where}: E without matching B for {key}")
+
+    if slices == 0 and not allow_empty:
+        return fail("no slice (B/E) events; pass --allow-empty if intended")
+
+    unclosed = sum(d for d in depth.values() if d > 0)
+    print(f"validate_trace: OK — {len(events)} events, "
+          f"{slices} slice records, {unclosed} unclosed slice(s)")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace")
+    ap.add_argument("--allow-empty", action="store_true",
+                    help="accept traces with no slice events")
+    args = ap.parse_args()
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"validate_trace: cannot read {args.trace}: {e}",
+              file=sys.stderr)
+        return 2
+    return validate(doc, args.allow_empty)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

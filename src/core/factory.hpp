@@ -117,6 +117,10 @@ class AnyRwLock {
   // Operation counters for locks that keep them (others report zeros);
   // exact at quiescence.
   virtual LockStatsSnapshot stats() const { return {}; }
+  // Rebase stats() to zero from here on (baseline subtraction — the lock's
+  // own counters keep running).  The harness calls this between the warmup
+  // and measured phases; like stats(), exact only at quiescence.
+  virtual void reset_stats() {}
 };
 
 template <SharedLockable L>
@@ -132,6 +136,16 @@ class RwLockAdapter final : public AnyRwLock {
   void unlock_shared() override { impl_.unlock_shared(); }
   const char* name() const override { return name_; }
   LockStatsSnapshot stats() const override {
+    LockStatsSnapshot s = raw_stats();
+    s -= baseline_;
+    return s;
+  }
+  void reset_stats() override { baseline_ = raw_stats(); }
+
+  L& underlying() { return impl_; }
+
+ private:
+  LockStatsSnapshot raw_stats() const {
     if constexpr (requires(const L& l) {
                     { l.stats() } -> std::convertible_to<LockStatsSnapshot>;
                   }) {
@@ -141,11 +155,9 @@ class RwLockAdapter final : public AnyRwLock {
     }
   }
 
-  L& underlying() { return impl_; }
-
- private:
   const char* name_;
   L impl_;
+  LockStatsSnapshot baseline_{};
 };
 
 struct LockFactoryOptions {
@@ -203,7 +215,9 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
                                                                  b);
     }
     case LockKind::kCentral: {
-      return std::make_unique<RwLockAdapter<CentralRwLock<M>>>("Central");
+      CentralRwOptions c;
+      c.max_threads = o.max_threads;
+      return std::make_unique<RwLockAdapter<CentralRwLock<M>>>("Central", c);
     }
     case LockKind::kStdShared: {
       if constexpr (std::is_same_v<M, RealMemory>) {
@@ -242,10 +256,12 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
           "BRAVO-ROLL", b, r);
     }
     case LockKind::kBravoCentral: {
+      CentralRwOptions c;
+      c.max_threads = o.max_threads;
       BravoOptions b;
       b.max_threads = o.max_threads;
       return std::make_unique<RwLockAdapter<Bravo<CentralRwLock<M>, M>>>(
-          "BRAVO-Central", b);
+          "BRAVO-Central", b, c);
     }
   }
   return nullptr;

@@ -13,6 +13,7 @@
 #include "platform/spin.hpp"
 #include "platform/thread_id.hpp"
 #include "platform/time.hpp"
+#include "platform/trace.hpp"
 #include "sim/context.hpp"
 #include "sim/memory.hpp"
 
@@ -108,16 +109,33 @@ void acquire_release_loop(AnyRwLock& lock, const WorkloadConfig& cfg,
   g_sink.fetch_add(sink, std::memory_order_relaxed);
 }
 
+// Timestamp source for simulated runs: the calling thread's virtual clock.
+// Harness-side code (drains, exports) runs without a ThreadContext and falls
+// back to real time — such records are out-of-band anyway.
+std::uint64_t sim_trace_clock() {
+  const sim::ThreadContext* ctx = sim::ThreadContext::current();
+  return ctx != nullptr ? ctx->clock() : now_ns();
+}
+
 RunResult run_threads(AnyRwLock& lock, const WorkloadConfig& cfg,
                       sim::Machine* machine) {
   const bool simulated = machine != nullptr;
+  // Traces/histograms must share the time base of the throughput numbers
+  // they explain; install the virtual clock before any worker can emit.
+  // Sticky across runs: with no ThreadContext the fallback is real time.
+  if (simulated) trace_set_clock(&sim_trace_clock);
+  const bool warmup = cfg.warmup_acquires > 0;
   std::vector<WorkerTotals> totals(cfg.threads);
   std::vector<std::thread> threads;
   threads.reserve(cfg.threads);
   // Simple sense barrier: workers check in, then wait for the green flag so
-  // the timed region starts with everyone ready.
+  // the timed region starts with everyone ready.  With a warmup phase there
+  // is a second barrier at the phase boundary, where the main thread rebases
+  // the lock's stats while every worker is quiescent.
   std::atomic<std::uint32_t> ready{0};
   std::atomic<bool> go{false};
+  std::atomic<std::uint32_t> warm_done{0};
+  std::atomic<bool> go_measured{false};
 
   for (std::uint32_t w = 0; w < cfg.threads; ++w) {
     threads.emplace_back([&, w] {
@@ -138,6 +156,16 @@ RunResult run_threads(AnyRwLock& lock, const WorkloadConfig& cfg,
       }
       ready.fetch_add(1, std::memory_order_acq_rel);
       spin_until([&] { return go.load(std::memory_order_acquire); });
+      if (warmup) {
+        WorkloadConfig wcfg = cfg;
+        wcfg.acquires_per_thread = cfg.warmup_acquires;
+        wcfg.seed = cfg.seed ^ 0x7f4a7c15u;  // decorrelate from measured
+        WorkerTotals scratch;
+        acquire_release_loop(lock, wcfg, w, simulated, scratch);
+        warm_done.fetch_add(1, std::memory_order_acq_rel);
+        spin_until(
+            [&] { return go_measured.load(std::memory_order_acquire); });
+      }
       acquire_release_loop(lock, cfg, w, simulated, totals[w]);
     });
   }
@@ -146,6 +174,17 @@ RunResult run_threads(AnyRwLock& lock, const WorkloadConfig& cfg,
   });
   Stopwatch wall;
   go.store(true, std::memory_order_release);
+  if (warmup) {
+    spin_until([&] {
+      return warm_done.load(std::memory_order_acquire) == cfg.threads;
+    });
+    // Every worker is parked on the phase barrier: the lock is quiescent, so
+    // the rebase is exact.  Warmup events stay in the trace rings (the ring
+    // wraps toward the newest records anyway).
+    lock.reset_stats();
+    wall.restart();
+    go_measured.store(true, std::memory_order_release);
+  }
   for (auto& t : threads) t.join();
   const double wall_s = wall.elapsed_s();
 

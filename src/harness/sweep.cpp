@@ -1,12 +1,15 @@
 #include "harness/sweep.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <ostream>
 
 #include "platform/stats.hpp"
+#include "platform/trace.hpp"
 #include "harness/driver.hpp"
+#include "harness/trace_export.hpp"
 
 namespace oll::bench {
 
@@ -36,6 +39,7 @@ SweepResult run_sweep(const SweepConfig& config, bool verbose) {
       RunningStats stats;
       sim::OpCounters last_counters{};
       LockStatsSnapshot last_stats{};
+      LockStatsSnapshot cell_stats{};
       std::uint64_t last_total = 1;
       for (std::uint32_t rep = 0; rep < config.repetitions; ++rep) {
         WorkloadConfig w;
@@ -44,6 +48,7 @@ SweepResult run_sweep(const SweepConfig& config, bool verbose) {
         w.acquires_per_thread = config.effective_acquires();
         w.cs_work = config.cs_work;
         w.seed = config.seed + rep;
+        w.warmup_acquires = config.warmup_acquires;
         w.leaf_mapping = config.leaf_mapping;
         w.sticky_arrivals = config.sticky_arrivals;
         RunResult r = run_workload(kind, w, config.mode);
@@ -51,9 +56,10 @@ SweepResult run_sweep(const SweepConfig& config, bool verbose) {
         last_counters = r.counters;
         last_stats = r.lock_stats;
         last_total = std::max<std::uint64_t>(r.total_acquires, 1);
+        cell_stats += r.lock_stats;
       }
       result.cells.push_back(SweepCell{threads, kind, stats.mean(),
-                                       stats.stddev()});
+                                       stats.stddev(), cell_stats});
       if (verbose) {
         std::cerr << "  [" << lock_kind_name(kind) << " @" << threads
                   << " threads] " << std::scientific << std::setprecision(3)
@@ -116,6 +122,126 @@ void print_header(std::ostream& os, const std::string& figure_name,
     os << " machine=T5440(4 chips x 64 hw-threads, shared-L2 on chip)";
   }
   os << "\n";
+}
+
+namespace {
+constexpr double kSimGhz = 1.4;  // matches the driver's kSimHz
+}  // namespace
+
+void write_histogram_json(std::ostream& out, const HistogramSnapshot& h) {
+  out << "{\"count\":" << h.count << ",\"mean\":" << h.mean()
+      << ",\"p50\":" << h.percentile(50.0)
+      << ",\"p95\":" << h.percentile(95.0)
+      << ",\"p99\":" << h.percentile(99.0) << ",\"max\":" << h.max << "}";
+}
+
+void write_lock_stats_json(std::ostream& out, const LockStatsSnapshot& s) {
+  out << "\"read_fast\":" << s.read_fast
+      << ",\"read_queued\":" << s.read_queued
+      << ",\"write_fast\":" << s.write_fast
+      << ",\"write_queued\":" << s.write_queued
+      << ",\"read_bias\":" << s.read_bias
+      << ",\"bias_revoke\":" << s.bias_revoke << ",\"read_acquire\":";
+  write_histogram_json(out, s.read_acquire);
+  out << ",\"write_acquire\":";
+  write_histogram_json(out, s.write_acquire);
+  out << ",\"writer_wait\":";
+  write_histogram_json(out, s.writer_wait);
+}
+
+bool run_observability_pass(std::ostream& os,
+                            const ObservabilityConfig& cfg) {
+  const SweepConfig& sc = cfg.sweep;
+  std::uint32_t threads = cfg.threads;
+  if (threads == 0) {
+    for (std::uint32_t t : sc.thread_counts) threads = std::max(threads, t);
+    if (threads == 0) threads = 4;
+  }
+  const bool want_trace = !cfg.trace_path.empty();
+  // Latency units: ns in real mode, virtual cycles in sim mode (the sim
+  // trace clock is the per-thread virtual clock).
+  const char* unit = sc.mode == Mode::kSim ? "cycles" : "ns";
+  // Perfetto timestamps are microseconds.
+  const double ts_scale = sc.mode == Mode::kSim ? 1e-3 / kSimGhz : 1e-3;
+
+  latency_timing_enable();
+  if (want_trace) {
+    TraceOptions topts;
+    topts.ring_capacity = cfg.ring_capacity;
+    trace_enable(topts);
+  }
+
+  struct LockRow {
+    LockKind kind;
+    LockStatsSnapshot stats;
+  };
+  std::vector<LockRow> rows;
+  std::vector<TraceRun> trace_runs;
+  for (LockKind kind : sc.locks) {
+    WorkloadConfig w;
+    w.threads = threads;
+    w.read_pct = sc.read_pct;
+    w.acquires_per_thread = sc.effective_acquires();
+    w.cs_work = sc.cs_work;
+    w.seed = sc.seed;
+    w.warmup_acquires = sc.warmup_acquires;
+    w.leaf_mapping = sc.leaf_mapping;
+    w.sticky_arrivals = sc.sticky_arrivals;
+    RunResult r = run_workload(kind, w, sc.mode);
+    rows.push_back({kind, r.lock_stats});
+    if (want_trace) {
+      // Drain per lock run so each gets its own process in the export.
+      TraceRun run;
+      run.name = std::string(lock_kind_name(kind)) + " t=" +
+                 std::to_string(threads) + " r=" +
+                 std::to_string(sc.read_pct);
+      run.dump = trace_drain();
+      run.ts_scale = ts_scale;
+      trace_runs.push_back(std::move(run));
+    }
+  }
+
+  if (want_trace) trace_disable();
+  latency_timing_disable();
+
+  os << "# observability pass: threads=" << threads << " read_pct="
+     << sc.read_pct << " acquires/thread=" << sc.effective_acquires()
+     << " unit=" << unit << "\n"
+     << "lock,read_p50,read_p99,write_p50,write_p99,wrwait_p50,wrwait_p99\n";
+  for (const LockRow& row : rows) {
+    os << lock_kind_name(row.kind) << std::fixed << std::setprecision(0)
+       << "," << row.stats.read_acquire.percentile(50.0)
+       << "," << row.stats.read_acquire.percentile(99.0)
+       << "," << row.stats.write_acquire.percentile(50.0)
+       << "," << row.stats.write_acquire.percentile(99.0)
+       << "," << row.stats.writer_wait.percentile(50.0)
+       << "," << row.stats.writer_wait.percentile(99.0) << "\n";
+  }
+
+  bool ok = true;
+  if (!cfg.stats_json_path.empty()) {
+    std::ofstream out(cfg.stats_json_path);
+    if (!out) {
+      ok = false;
+    } else {
+      out << "{\"mode\":\"" << mode_name(sc.mode) << "\",\"unit\":\"" << unit
+          << "\",\"threads\":" << threads << ",\"read_pct\":" << sc.read_pct
+          << ",\"acquires_per_thread\":" << sc.effective_acquires()
+          << ",\"locks\":{";
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (i != 0) out << ",";
+        out << "\"" << lock_kind_name(rows[i].kind) << "\":{";
+        write_lock_stats_json(out, rows[i].stats);
+        out << "}";
+      }
+      out << "}}\n";
+      ok = out.good();
+    }
+  }
+  if (want_trace && ok) {
+    ok = write_chrome_trace_file(cfg.trace_path, trace_runs);
+  }
+  return ok;
 }
 
 }  // namespace oll::bench

@@ -21,6 +21,10 @@ struct SweepConfig {
   std::uint64_t cs_work = 0;
   Mode mode = Mode::kSim;
   std::uint64_t seed = 42;
+  // Per-thread warmup acquisitions before each measured run (see
+  // workload.hpp: stats are rebased and the real-mode wall clock restarted
+  // at the phase boundary).
+  std::uint64_t warmup_acquires = 0;
   // C-SNZI tuning overrides (see workload.hpp); unset keeps mode defaults.
   std::optional<LeafMapping> leaf_mapping;
   std::optional<std::uint32_t> sticky_arrivals;
@@ -40,6 +44,9 @@ struct SweepCell {
   LockKind lock{};
   double mean_throughput = 0.0;
   double stddev = 0.0;
+  // Operation counters (and, when latency timing was enabled, acquire
+  // latency histograms) summed over the cell's repetitions.
+  LockStatsSnapshot stats{};
 };
 
 struct SweepResult {
@@ -61,5 +68,31 @@ void print_series(std::ostream& os, const SweepResult& result);
 // Human-readable header describing the run (figure id, workload, machine).
 void print_header(std::ostream& os, const std::string& figure_name,
                   const SweepConfig& config);
+
+// --- observability pass (DESIGN.md §9) -----------------------------------
+//
+// A separate, non-gated pass run AFTER a throughput sweep: re-runs each lock
+// once at a single thread count with latency timing (and, when a trace path
+// is given, event tracing) runtime-enabled, then exports the results.  The
+// gated sweep above therefore always executes with every hook disabled.
+
+struct ObservabilityConfig {
+  SweepConfig sweep;            // locks / read_pct / mode / seed / warmup...
+  std::uint32_t threads = 0;    // 0 => max of sweep.thread_counts
+  std::string trace_path;       // non-empty => export Chrome-trace JSON
+  std::string stats_json_path;  // non-empty => export per-lock stats JSON
+  std::uint32_t ring_capacity = 1u << 13;
+};
+
+// Runs the pass, prints a per-lock latency table to `os`, and writes the
+// requested export files.  Returns false if an export file could not be
+// written.
+bool run_observability_pass(std::ostream& os, const ObservabilityConfig& cfg);
+
+// JSON fragments shared by the stats exports (the observability pass and
+// the latency_fairness bench): {"count":..,"mean":..,"p50":..,...} for a
+// histogram, and the full counter + histogram set for a snapshot.
+void write_histogram_json(std::ostream& out, const HistogramSnapshot& h);
+void write_lock_stats_json(std::ostream& out, const LockStatsSnapshot& s);
 
 }  // namespace oll::bench

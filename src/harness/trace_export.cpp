@@ -1,0 +1,138 @@
+#include "harness/trace_export.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <string_view>
+#include <utility>
+
+namespace oll::bench {
+namespace {
+
+// Slice name for the paired begin/end event types; instants keep their own
+// event name.
+const char* slice_name(TraceEventType t) {
+  switch (t) {
+    case TraceEventType::kReadAcquireBegin:
+    case TraceEventType::kReadAcquireEnd:
+      return "read_acquire";
+    case TraceEventType::kWriteAcquireBegin:
+    case TraceEventType::kWriteAcquireEnd:
+      return "write_acquire";
+    case TraceEventType::kQueueEnter:
+    case TraceEventType::kQueueExit:
+      return "queue_wait";
+    default:
+      return trace_event_name(t);
+  }
+}
+
+bool is_begin(TraceEventType t) {
+  return t == TraceEventType::kReadAcquireBegin ||
+         t == TraceEventType::kWriteAcquireBegin ||
+         t == TraceEventType::kQueueEnter;
+}
+
+bool is_end(TraceEventType t) {
+  return t == TraceEventType::kReadAcquireEnd ||
+         t == TraceEventType::kWriteAcquireEnd ||
+         t == TraceEventType::kQueueExit;
+}
+
+void write_escaped(std::ostream& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << ' ';
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostream& out) : out_(out) { out_ << '['; }
+  ~EventWriter() { out_ << ']'; }
+
+  std::ostream& next() {
+    if (!first_) out_ << ",\n";
+    first_ = false;
+    return out_;
+  }
+
+ private:
+  std::ostream& out_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceRun>& runs) {
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":";
+  {
+    EventWriter events(out);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const TraceRun& run = runs[i];
+      const int pid = static_cast<int>(i) + 1;
+      events.next() << "{\"ph\":\"M\",\"pid\":" << pid
+                    << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"";
+      write_escaped(out, run.name);
+      out << "\"}}";
+      if (run.dump.dropped != 0) {
+        // Surface ring overflow in the trace itself so a truncated view is
+        // never mistaken for a complete one.
+        events.next() << "{\"ph\":\"M\",\"pid\":" << pid
+                      << ",\"tid\":0"
+                      << ",\"name\":\"process_labels\",\"args\":{\"labels\":"
+                      << "\"dropped " << run.dump.dropped << " records\"}}";
+      }
+      // A ring that wrapped may retain an End whose Begin was overwritten;
+      // Chrome's B/E pairing is per (pid, tid), so track open-slice depth per
+      // (tid, name) and drop orphaned Ends.  Orphaned Begins at the tail are
+      // fine — viewers render them as unfinished slices.
+      std::map<std::pair<std::uint32_t, const char*>, int> depth;
+      for (const TraceRecord& rec : run.dump.records) {
+        const double ts = static_cast<double>(rec.ts) * run.ts_scale;
+        if (is_begin(rec.type)) {
+          const char* name = slice_name(rec.type);
+          ++depth[{rec.tid, name}];
+          events.next() << "{\"ph\":\"B\",\"pid\":" << pid
+                        << ",\"tid\":" << rec.tid << ",\"ts\":" << ts
+                        << ",\"name\":\"" << name
+                        << "\",\"args\":{\"obj\":\"" << rec.obj << "\"}}";
+        } else if (is_end(rec.type)) {
+          const char* name = slice_name(rec.type);
+          auto it = depth.find({rec.tid, name});
+          if (it == depth.end() || it->second == 0) continue;
+          --it->second;
+          events.next() << "{\"ph\":\"E\",\"pid\":" << pid
+                        << ",\"tid\":" << rec.tid << ",\"ts\":" << ts
+                        << ",\"name\":\"" << name << "\"}";
+        } else {
+          events.next() << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid
+                        << ",\"tid\":" << rec.tid << ",\"ts\":" << ts
+                        << ",\"name\":\"" << trace_event_name(rec.type)
+                        << "\",\"args\":{\"obj\":\"" << rec.obj << "\"}}";
+        }
+      }
+    }
+  }
+  out << "}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path,
+                             const std::vector<TraceRun>& runs) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out, runs);
+  return out.good();
+}
+
+}  // namespace oll::bench

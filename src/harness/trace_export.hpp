@@ -1,0 +1,34 @@
+// Serialize drained trace rings (platform/trace.hpp) to Chrome-trace JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Mapping: each TraceRun becomes one "process" (pid = run index + 1, named
+// by the run label, typically "<lock> t=<threads> r=<read_pct>"); each dense
+// thread index becomes a tid.  Paired begin/end records (read/write acquire,
+// queue wait) become "B"/"E" duration slices; releases, bias revocations and
+// C-SNZI open/close become thread-scoped instants.  Timestamps are scaled
+// from record units to the microseconds the format expects.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "platform/trace.hpp"
+
+namespace oll::bench {
+
+struct TraceRun {
+  std::string name;   // process label, e.g. "GOLL t=64 r=100"
+  TraceDump dump;     // from trace_drain(); records in ascending ts order
+  // Record-timestamp units -> microseconds.  Real-time records are in ns
+  // (1e-3); sim records are virtual cycles (1e-3 / GHz).
+  double ts_scale = 1e-3;
+};
+
+void write_chrome_trace(std::ostream& out, const std::vector<TraceRun>& runs);
+
+// Convenience wrapper; returns false if the file could not be opened.
+bool write_chrome_trace_file(const std::string& path,
+                             const std::vector<TraceRun>& runs);
+
+}  // namespace oll::bench

@@ -33,6 +33,13 @@ struct WorkloadConfig {
   std::uint64_t cs_work = 0;
   std::uint64_t outside_work = 0;
   std::uint64_t seed = 42;
+  // Per-thread warmup acquisitions run before the measured loop.  The
+  // harness rebases the lock's stats (AnyRwLock::reset_stats) and restarts
+  // the wall clock at the phase boundary, so counters, histograms and real
+  // throughput cover only the measured phase.  Caveat: in sim mode the
+  // virtual clock cannot be rewound mid-run, so RunResult::seconds still
+  // spans both phases there.
+  std::uint64_t warmup_acquires = 0;
   // C-SNZI tuning overrides (ablations / bench flags).  Unset means the
   // driver's per-mode defaults apply.
   std::optional<LeafMapping> leaf_mapping;

@@ -44,6 +44,7 @@
 #include "platform/memory.hpp"
 #include "platform/thread_id.hpp"
 #include "platform/time.hpp"
+#include "platform/trace.hpp"
 #include "platform/visible_readers.hpp"
 
 namespace oll {
@@ -78,14 +79,22 @@ class Bravo {
 
   // --- reader side --------------------------------------------------------
 
+  // The wrapper runs its own observability timers (distinct `obj` from the
+  // underlying lock's), so a trace shows both the BRAVO-level acquisition
+  // and — on the slow path — the nested underlying one.
   void lock_shared() {
-    if (bias_fast_path()) return;
-    lock_.lock_shared();
-    stats_.count_read_fast();
-    maybe_rearm_bias();
+    const ObsTimer t = obs_begin(TraceEventType::kReadAcquireBegin, this);
+    if (!bias_fast_path()) {
+      lock_.lock_shared();
+      stats_.count_read_fast();
+      maybe_rearm_bias();
+    }
+    const std::uint64_t d = obs_end(TraceEventType::kReadAcquireEnd, this, t);
+    if (t.armed) stats_.record_read_acquire(d);
   }
 
   void unlock_shared() {
+    trace_event(TraceEventType::kReadRelease, this);
     Local& local = locals_.local();
     if (local.slot != nullptr) {
       // Bias path: un-publish.  Release order pairs with the revoking
@@ -112,12 +121,20 @@ class Bravo {
   // --- writer side --------------------------------------------------------
 
   void lock() {
+    // The acquire interval includes the revocation scan: the writer is not
+    // exclusive against bias-path readers until the scan drains them.
+    const ObsTimer t = obs_begin(TraceEventType::kWriteAcquireBegin, this);
     lock_.lock();
     stats_.count_write_fast();
     if (rbias_.load(std::memory_order_seq_cst) != 0) revoke_bias();
+    const std::uint64_t d = obs_end(TraceEventType::kWriteAcquireEnd, this, t);
+    if (t.armed) stats_.record_write_acquire(d);
   }
 
-  void unlock() { lock_.unlock(); }
+  void unlock() {
+    trace_event(TraceEventType::kWriteRelease, this);
+    lock_.unlock();
+  }
 
   bool try_lock()
     requires requires(LockT& l) {
@@ -229,8 +246,12 @@ class Bravo {
   // the underlying read lock, which we exclude), so the scan terminates.
   void revoke_bias() {
     stats_.count_bias_revoke();
+    trace_event(TraceEventType::kBiasRevoke, this);
     rbias_.store(0, std::memory_order_seq_cst);
     Table& table = global_visible_readers<M>();
+    // For BRAVO the revocation scan is the writer's wait-for-readers-to-
+    // drain interval; record it in the writer_wait histogram.
+    const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
     const std::uint64_t scan_start = now_ns();
     for (std::uint32_t i = 0; i < Table::size(); ++i) {
       typename Table::Slot& slot = table.slot(i);
@@ -240,6 +261,8 @@ class Bravo {
         backoff.backoff();
       }
     }
+    const std::uint64_t qd = obs_end(TraceEventType::kQueueExit, this, qt);
+    if (qt.armed) stats_.record_writer_wait(qd);
     const std::uint64_t scan_ns = now_ns() - scan_start;
     inhibit_until_.store(
         now_ns() + scan_ns * opts_.inhibit_multiplier,

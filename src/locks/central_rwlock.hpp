@@ -15,12 +15,16 @@
 #include "platform/backoff.hpp"
 #include "platform/memory.hpp"
 #include "platform/spin.hpp"
+#include "platform/trace.hpp"
+#include "locks/lock_stats.hpp"
 
 namespace oll {
 
 struct CentralRwOptions {
   bool writer_preference = true;
   BackoffParams backoff{};
+  // Thread bound for the per-thread stats slots (matches the other locks).
+  std::uint32_t max_threads = 512;
 };
 
 template <typename M = RealMemory>
@@ -31,25 +35,17 @@ class CentralRwLock {
   static constexpr std::uint64_t kWriter = 1ULL << 32;
   static constexpr std::uint64_t kWriterWanted = 1ULL << 33;
 
-  explicit CentralRwLock(const CentralRwOptions& opts = {}) : opts_(opts) {}
+  explicit CentralRwLock(const CentralRwOptions& opts = {})
+      : opts_(opts), stats_(opts.max_threads) {}
 
   CentralRwLock(const CentralRwLock&) = delete;
   CentralRwLock& operator=(const CentralRwLock&) = delete;
 
   void lock_shared() {
-    ExponentialBackoff backoff(opts_.backoff);
-    while (true) {
-      std::uint64_t w = word_.load(std::memory_order_acquire);
-      if ((w & (kWriter | kWriterWanted)) == 0) {
-        if (word_.compare_exchange_weak(w, w + kReaderOne,
-                                        std::memory_order_acq_rel,
-                                        std::memory_order_acquire)) {
-          return;
-        }
-        continue;
-      }
-      backoff.backoff();
-    }
+    const ObsTimer t = obs_begin(TraceEventType::kReadAcquireBegin, this);
+    lock_shared_impl();
+    const std::uint64_t d = obs_end(TraceEventType::kReadAcquireEnd, this, t);
+    if (t.armed) stats_.record_read_acquire(d);
   }
 
   bool try_lock_shared() {
@@ -65,37 +61,15 @@ class CentralRwLock {
   }
 
   void unlock_shared() {
+    trace_event(TraceEventType::kReadRelease, this);
     word_.fetch_sub(kReaderOne, std::memory_order_acq_rel);
   }
 
   void lock() {
-    ExponentialBackoff backoff(opts_.backoff);
-    bool wanted_set = false;
-    while (true) {
-      std::uint64_t w = word_.load(std::memory_order_acquire);
-      const std::uint64_t self_bits = wanted_set ? kWriterWanted : 0;
-      if ((w & ~self_bits) == 0) {
-        // Free (modulo our own wanted bit): claim it, clearing the bit.
-        if (word_.compare_exchange_weak(w, kWriter,
-                                        std::memory_order_acq_rel,
-                                        std::memory_order_acquire)) {
-          return;
-        }
-        continue;
-      }
-      if (opts_.writer_preference && !wanted_set &&
-          (w & kWriterWanted) == 0) {
-        // Gate out new readers while we wait.  Only one writer can own the
-        // wanted bit at a time; others just spin for the lock to free up.
-        if (word_.compare_exchange_strong(w, w | kWriterWanted,
-                                          std::memory_order_acq_rel,
-                                          std::memory_order_acquire)) {
-          wanted_set = true;
-        }
-        continue;
-      }
-      backoff.backoff();
-    }
+    const ObsTimer t = obs_begin(TraceEventType::kWriteAcquireBegin, this);
+    lock_impl();
+    const std::uint64_t d = obs_end(TraceEventType::kWriteAcquireEnd, this, t);
+    if (t.armed) stats_.record_write_acquire(d);
   }
 
   bool try_lock() {
@@ -107,7 +81,10 @@ class CentralRwLock {
 
   // fetch_and rather than a plain store: a waiting writer's wanted bit must
   // survive our release.
-  void unlock() { word_.fetch_and(~kWriter, std::memory_order_acq_rel); }
+  void unlock() {
+    trace_event(TraceEventType::kWriteRelease, this);
+    word_.fetch_and(~kWriter, std::memory_order_acq_rel);
+  }
 
   // Read -> write iff sole reader with no writer waiting (§3.2.1's "trivial
   // when using a counter" case).
@@ -162,7 +139,74 @@ class CentralRwLock {
     return word_.load(std::memory_order_acquire);
   }
 
+  // fast = acquired on the first attempt; queued = looped at least once.
+  // This lock has no queue or drain interval, so writer_wait stays empty.
+  // Exact at quiescence.
+  LockStatsSnapshot stats() const { return stats_.snapshot(); }
+
  private:
+  void lock_shared_impl() {
+    ExponentialBackoff backoff(opts_.backoff);
+    bool contended = false;
+    while (true) {
+      std::uint64_t w = word_.load(std::memory_order_acquire);
+      if ((w & (kWriter | kWriterWanted)) == 0) {
+        if (word_.compare_exchange_weak(w, w + kReaderOne,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+          if (contended) {
+            stats_.count_read_queued();
+          } else {
+            stats_.count_read_fast();
+          }
+          return;
+        }
+        contended = true;
+        continue;
+      }
+      contended = true;
+      backoff.backoff();
+    }
+  }
+
+  void lock_impl() {
+    ExponentialBackoff backoff(opts_.backoff);
+    bool wanted_set = false;
+    bool contended = false;
+    while (true) {
+      std::uint64_t w = word_.load(std::memory_order_acquire);
+      const std::uint64_t self_bits = wanted_set ? kWriterWanted : 0;
+      if ((w & ~self_bits) == 0) {
+        // Free (modulo our own wanted bit): claim it, clearing the bit.
+        if (word_.compare_exchange_weak(w, kWriter,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+          if (contended) {
+            stats_.count_write_queued();
+          } else {
+            stats_.count_write_fast();
+          }
+          return;
+        }
+        contended = true;
+        continue;
+      }
+      contended = true;
+      if (opts_.writer_preference && !wanted_set &&
+          (w & kWriterWanted) == 0) {
+        // Gate out new readers while we wait.  Only one writer can own the
+        // wanted bit at a time; others just spin for the lock to free up.
+        if (word_.compare_exchange_strong(w, w | kWriterWanted,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+          wanted_set = true;
+        }
+        continue;
+      }
+      backoff.backoff();
+    }
+  }
+
   template <typename TimePoint, typename Try>
   bool try_until(const TimePoint& deadline, Try&& attempt) {
     ExponentialBackoff backoff(opts_.backoff);
@@ -175,6 +219,7 @@ class CentralRwLock {
 
   CentralRwOptions opts_;
   typename M::template Atomic<std::uint64_t> word_{0};
+  LockStats stats_;
 };
 
 }  // namespace oll

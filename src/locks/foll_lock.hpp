@@ -32,6 +32,7 @@
 #include "platform/cache_line.hpp"
 #include "platform/memory.hpp"
 #include "platform/spin.hpp"
+#include "platform/trace.hpp"
 #include "locks/lock_stats.hpp"
 #include "locks/per_thread.hpp"
 #include "snzi/csnzi.hpp"
@@ -66,40 +67,14 @@ class FollLock {
   // --- writer side (Figure 4: WriterLock / WriterUnlock) -----------------
 
   void lock() {
-    Node* w = &locals_.local().wnode;
-    w->qnext.store(nullptr, std::memory_order_relaxed);
-    Node* old_tail = tail_.exchange(w, std::memory_order_acq_rel);
-    if (old_tail == nullptr) {
-      stats_.count_write_fast();
-      return;
-    }
-    stats_.count_write_queued();
-    w->spin.store(1, std::memory_order_relaxed);
-    old_tail->qnext.store(w, std::memory_order_release);
-    if (old_tail->kind == kWriterNode) {
-      spin_until(
-          [&] { return w->spin.load(std::memory_order_acquire) == 0; });
-      return;
-    }
-    // Reader predecessor.  Its enqueuer opens the C-SNZI right after the
-    // tail CAS; wait out that window (and any not-yet-recycled state).
-    spin_until([&] { return old_tail->csnzi->query().open; });
-    // Cut off further readers.  Close() == true means no readers were (or
-    // ever will be) using the node, so nobody would signal us: inherit the
-    // node's queue position by spinning on ITS spin flag, then recycle it.
-    if (old_tail->csnzi->close()) {
-      spin_until([&] {
-        return old_tail->spin.load(std::memory_order_acquire) == 0;
-      });
-      old_tail->qnext.store(nullptr, std::memory_order_relaxed);
-      free_reader_node(old_tail);
-    } else {
-      spin_until(
-          [&] { return w->spin.load(std::memory_order_acquire) == 0; });
-    }
+    const ObsTimer t = obs_begin(TraceEventType::kWriteAcquireBegin, this);
+    lock_impl();
+    const std::uint64_t d = obs_end(TraceEventType::kWriteAcquireEnd, this, t);
+    if (t.armed) stats_.record_write_acquire(d);
   }
 
   void unlock() {
+    trace_event(TraceEventType::kWriteRelease, this);
     Node* w = &locals_.local().wnode;
     Node* succ = w->qnext.load(std::memory_order_acquire);
     if (succ == nullptr) {
@@ -121,6 +96,63 @@ class FollLock {
   // --- reader side (Figure 4: ReaderLock / ReaderUnlock) -----------------
 
   void lock_shared() {
+    const ObsTimer t = obs_begin(TraceEventType::kReadAcquireBegin, this);
+    lock_shared_impl();
+    const std::uint64_t d = obs_end(TraceEventType::kReadAcquireEnd, this, t);
+    if (t.armed) stats_.record_read_acquire(d);
+  }
+
+ private:
+  // Figure 4's WriterLock body (the public lock() wraps it in the
+  // observability begin/end pair).  The wait on w->spin after a failed
+  // Close is the reader-drain interval the writer-wait histogram measures;
+  // queue waits behind another writer get queue_enter/exit trace events
+  // only.
+  void lock_impl() {
+    Node* w = &locals_.local().wnode;
+    w->qnext.store(nullptr, std::memory_order_relaxed);
+    Node* old_tail = tail_.exchange(w, std::memory_order_acq_rel);
+    if (old_tail == nullptr) {
+      stats_.count_write_fast();
+      return;
+    }
+    stats_.count_write_queued();
+    w->spin.store(1, std::memory_order_relaxed);
+    old_tail->qnext.store(w, std::memory_order_release);
+    if (old_tail->kind == kWriterNode) {
+      const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
+      spin_until(
+          [&] { return w->spin.load(std::memory_order_acquire) == 0; });
+      obs_end(TraceEventType::kQueueExit, this, qt);
+      return;
+    }
+    // Reader predecessor.  Its enqueuer opens the C-SNZI right after the
+    // tail CAS; wait out that window (and any not-yet-recycled state).
+    spin_until([&] { return old_tail->csnzi->query().open; });
+    // Cut off further readers.  Close() == true means no readers were (or
+    // ever will be) using the node, so nobody would signal us: inherit the
+    // node's queue position by spinning on ITS spin flag, then recycle it.
+    if (old_tail->csnzi->close()) {
+      const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
+      spin_until([&] {
+        return old_tail->spin.load(std::memory_order_acquire) == 0;
+      });
+      obs_end(TraceEventType::kQueueExit, this, qt);
+      old_tail->qnext.store(nullptr, std::memory_order_relaxed);
+      free_reader_node(old_tail);
+    } else {
+      // Readers hold the node: this spin IS the drain interval.
+      const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
+      spin_until(
+          [&] { return w->spin.load(std::memory_order_acquire) == 0; });
+      const std::uint64_t qd = obs_end(TraceEventType::kQueueExit, this, qt);
+      if (qt.armed) stats_.record_writer_wait(qd);
+    }
+  }
+
+  // Figure 4's ReaderLock body (see lock_shared for the observability
+  // shell).
+  void lock_shared_impl() {
     Local& local = locals_.local();
     Node* rnode = nullptr;
     while (true) {
@@ -156,9 +188,11 @@ class FollLock {
           if (local.ticket.arrived()) {
             local.depart_from = rnode;
             stats_.count_read_queued();  // waiting behind a writer
+            const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
             spin_until([&] {
               return rnode->spin.load(std::memory_order_acquire) == 0;
             });
+            obs_end(TraceEventType::kQueueExit, this, qt);
             return;
           }
           rnode = nullptr;  // inserted; do not reuse
@@ -173,9 +207,11 @@ class FollLock {
             stats_.count_read_fast();  // joined an already-granted group
           } else {
             stats_.count_read_queued();
+            const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
             spin_until([&] {
               return tail->spin.load(std::memory_order_acquire) == 0;
             });
+            obs_end(TraceEventType::kQueueExit, this, qt);
           }
           return;
         }
@@ -185,7 +221,9 @@ class FollLock {
     }
   }
 
+ public:
   void unlock_shared() {
+    trace_event(TraceEventType::kReadRelease, this);
     Local& local = locals_.local();
     Node* node = local.depart_from;
     OLL_DCHECK(node != nullptr);

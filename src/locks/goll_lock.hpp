@@ -28,6 +28,7 @@
 
 #include "platform/assert.hpp"
 #include "platform/memory.hpp"
+#include "platform/trace.hpp"
 #include "locks/lock_stats.hpp"
 #include "locks/per_thread.hpp"
 #include "locks/tatas_lock.hpp"
@@ -65,24 +66,16 @@ class GollLock {
   // --- writer side (Figure 3: WriterLock / WriterUnlock) -----------------
 
   void lock() {
-    if (csnzi_.close_if_empty()) {
-      stats_.count_write_fast();  // uncontended fast path
-      return;
-    }
-    stats_.count_write_queued();
-    typename WaitQueue<M>::WaitNode waiter;
-    waiter.strategy = opts_.wait_strategy;
-    {
-      std::lock_guard<TatasLock<M>> meta(metalock_);
-      if (csnzi_.close()) return;  // lock became free; Close acquired it
-      queue_.enqueue(&waiter, ReqKind::kWriter);
-    }
-    waiter.wait();  // ownership handed over before the flag is set
+    const ObsTimer t = obs_begin(TraceEventType::kWriteAcquireBegin, this);
+    lock_impl();
+    const std::uint64_t d = obs_end(TraceEventType::kWriteAcquireEnd, this, t);
+    if (t.armed) stats_.record_write_acquire(d);
   }
 
   bool try_lock() { return csnzi_.close_if_empty(); }
 
   void unlock() {
+    trace_event(TraceEventType::kWriteRelease, this);
     typename WaitQueue<M>::GroupRef group;
     {
       std::lock_guard<TatasLock<M>> meta(metalock_);
@@ -105,28 +98,10 @@ class GollLock {
   // --- reader side (Figure 3: ReaderLock / ReaderUnlock) -----------------
 
   void lock_shared() {
-    Local& local = locals_.local();
-    OLL_DCHECK(!local.ticket.arrived());  // non-recursive
-    while (true) {
-      local.ticket = csnzi_.arrive();
-      if (local.ticket.arrived()) {
-        stats_.count_read_fast();  // no queueing: one C-SNZI arrival
-        return;
-      }
-      typename WaitQueue<M>::WaitNode waiter;
-      waiter.strategy = opts_.wait_strategy;
-      {
-        std::lock_guard<TatasLock<M>> meta(metalock_);
-        if (csnzi_.query().open) continue;  // reopened meanwhile; retry
-        queue_.enqueue(&waiter, ReqKind::kReader);
-      }
-      // The releasing thread pre-arrives at the root on our behalf
-      // (OpenWithArrivals), so we will depart with a direct ticket.
-      local.ticket = csnzi_.direct_ticket();
-      stats_.count_read_queued();
-      waiter.wait();
-      return;
-    }
+    const ObsTimer t = obs_begin(TraceEventType::kReadAcquireBegin, this);
+    lock_shared_impl();
+    const std::uint64_t d = obs_end(TraceEventType::kReadAcquireEnd, this, t);
+    if (t.armed) stats_.record_read_acquire(d);
   }
 
   bool try_lock_shared() {
@@ -139,6 +114,7 @@ class GollLock {
   }
 
   void unlock_shared() {
+    trace_event(TraceEventType::kReadRelease, this);
     Local& local = locals_.local();
     OLL_DCHECK(local.ticket.arrived());
     Ticket t = local.ticket;
@@ -241,6 +217,57 @@ class GollLock {
   }
 
  private:
+  // Figure 3's WriterLock body.  The public lock() wraps it in the
+  // observability begin/end pair; the queued wait is bracketed separately so
+  // traces show the waiting interval and the writer-wait histogram measures
+  // it (the bound PR 2's sticky re-arm budget promises).
+  void lock_impl() {
+    if (csnzi_.close_if_empty()) {
+      stats_.count_write_fast();  // uncontended fast path
+      return;
+    }
+    stats_.count_write_queued();
+    typename WaitQueue<M>::WaitNode waiter;
+    waiter.strategy = opts_.wait_strategy;
+    {
+      std::lock_guard<TatasLock<M>> meta(metalock_);
+      if (csnzi_.close()) return;  // lock became free; Close acquired it
+      queue_.enqueue(&waiter, ReqKind::kWriter);
+    }
+    const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
+    waiter.wait();  // ownership handed over before the flag is set
+    const std::uint64_t qd = obs_end(TraceEventType::kQueueExit, this, qt);
+    if (qt.armed) stats_.record_writer_wait(qd);
+  }
+
+  // Figure 3's ReaderLock body (see lock_shared for the observability shell).
+  void lock_shared_impl() {
+    Local& local = locals_.local();
+    OLL_DCHECK(!local.ticket.arrived());  // non-recursive
+    while (true) {
+      local.ticket = csnzi_.arrive();
+      if (local.ticket.arrived()) {
+        stats_.count_read_fast();  // no queueing: one C-SNZI arrival
+        return;
+      }
+      typename WaitQueue<M>::WaitNode waiter;
+      waiter.strategy = opts_.wait_strategy;
+      {
+        std::lock_guard<TatasLock<M>> meta(metalock_);
+        if (csnzi_.query().open) continue;  // reopened meanwhile; retry
+        queue_.enqueue(&waiter, ReqKind::kReader);
+      }
+      // The releasing thread pre-arrives at the root on our behalf
+      // (OpenWithArrivals), so we will depart with a direct ticket.
+      local.ticket = csnzi_.direct_ticket();
+      stats_.count_read_queued();
+      const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
+      waiter.wait();
+      obs_end(TraceEventType::kQueueExit, this, qt);
+      return;
+    }
+  }
+
   // The C-SNZI sizes its per-thread state to the lock's thread bound unless
   // the caller asked for a different bound explicitly.
   static CSnziOptions csnzi_options(const GollOptions& opts) {

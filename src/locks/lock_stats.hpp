@@ -11,6 +11,14 @@
 // revocations, which is how tests verify that biased readers really skip
 // the underlying lock's shared RMWs.
 //
+// Beyond event counts, each slot carries three log2-bucketed latency
+// histograms (platform/histogram.hpp): read-acquire, write-acquire, and
+// writer-wait-while-readers-drain.  The locks feed them only while the
+// observability layer's latency timing is runtime-enabled (platform/
+// trace.hpp), so the default-configuration hot path pays nothing beyond
+// one relaxed flag load per acquisition — and nothing at all when compiled
+// with OLL_TRACE=0.
+//
 // Each slot has exactly one writer (its thread), but snapshot() may run
 // concurrently with increments, so the fields are atomics accessed with
 // relaxed ordering: single-writer means load+store increments are not lost,
@@ -22,6 +30,7 @@
 #include <cstdint>
 
 #include "locks/per_thread.hpp"
+#include "platform/histogram.hpp"
 #include "snzi/csnzi_stats.hpp"
 
 namespace oll {
@@ -38,8 +47,48 @@ struct LockStatsSnapshot {
   // one; FOLL/ROLL sum their reader-node pool).  See snzi/csnzi_stats.hpp.
   CSnziStatsSnapshot csnzi{};
 
+  // Latency distributions in trace-clock units (ns real / cycles sim);
+  // populated only while latency timing is runtime-enabled.  writer_wait
+  // covers the interval a writer spends waiting for the lock after missing
+  // its fast path — for the OLL locks that is dominated by waiting for the
+  // current reader group to drain; for BRAVO it is the revocation scan.
+  HistogramSnapshot read_acquire{};
+  HistogramSnapshot write_acquire{};
+  HistogramSnapshot writer_wait{};
+
   std::uint64_t reads() const { return read_fast + read_queued + read_bias; }
   std::uint64_t writes() const { return write_fast + write_queued; }
+
+  LockStatsSnapshot& operator+=(const LockStatsSnapshot& o) {
+    read_fast += o.read_fast;
+    read_queued += o.read_queued;
+    write_fast += o.write_fast;
+    write_queued += o.write_queued;
+    read_bias += o.read_bias;
+    bias_revoke += o.bias_revoke;
+    csnzi += o.csnzi;
+    read_acquire += o.read_acquire;
+    write_acquire += o.write_acquire;
+    writer_wait += o.writer_wait;
+    return *this;
+  }
+
+  // Baseline subtraction: `*this - o` where o is an earlier snapshot of the
+  // same lock, yielding the delta for the phase in between (warmup vs.
+  // measured).  Histogram maxes remain high-water marks.
+  LockStatsSnapshot& operator-=(const LockStatsSnapshot& o) {
+    read_fast -= o.read_fast;
+    read_queued -= o.read_queued;
+    write_fast -= o.write_fast;
+    write_queued -= o.write_queued;
+    read_bias -= o.read_bias;
+    bias_revoke -= o.bias_revoke;
+    csnzi -= o.csnzi;
+    read_acquire -= o.read_acquire;
+    write_acquire -= o.write_acquire;
+    writer_wait -= o.writer_wait;
+    return *this;
+  }
 };
 
 class LockStats {
@@ -52,6 +101,18 @@ class LockStats {
   void count_write_queued() { bump(slots_.local().write_queued); }
   void count_read_bias() { bump(slots_.local().read_bias); }
   void count_bias_revoke() { bump(slots_.local().bias_revoke); }
+
+  // Histogram feeds; call only when the caller's ObsTimer was armed (the
+  // locks guard on it), so a disabled run never touches these lines.
+  void record_read_acquire(std::uint64_t d) {
+    slots_.local().read_acquire.add(d);
+  }
+  void record_write_acquire(std::uint64_t d) {
+    slots_.local().write_acquire.add(d);
+  }
+  void record_writer_wait(std::uint64_t d) {
+    slots_.local().writer_wait.add(d);
+  }
 
   // Aggregate across threads.  Not linearizable with respect to concurrent
   // updates (relaxed loads of live counters); call at quiescence for exact
@@ -66,8 +127,29 @@ class LockStats {
       total.write_queued += s.write_queued.load(std::memory_order_relaxed);
       total.read_bias += s.read_bias.load(std::memory_order_relaxed);
       total.bias_revoke += s.bias_revoke.load(std::memory_order_relaxed);
+      s.read_acquire.snapshot_into(total.read_acquire);
+      s.write_acquire.snapshot_into(total.write_acquire);
+      s.writer_wait.snapshot_into(total.writer_wait);
     }
     return total;
+  }
+
+  // Zero every slot; quiescent-only (concurrent increments would interleave
+  // with the clearing stores).  The harness prefers baseline subtraction
+  // (factory.hpp reset_stats), which needs no quiescence beyond snapshot's.
+  void reset() {
+    for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+      Slot& s = slots_.slot(i);
+      s.read_fast.store(0, std::memory_order_relaxed);
+      s.read_queued.store(0, std::memory_order_relaxed);
+      s.write_fast.store(0, std::memory_order_relaxed);
+      s.write_queued.store(0, std::memory_order_relaxed);
+      s.read_bias.store(0, std::memory_order_relaxed);
+      s.bias_revoke.store(0, std::memory_order_relaxed);
+      s.read_acquire.reset();
+      s.write_acquire.reset();
+      s.writer_wait.reset();
+    }
   }
 
  private:
@@ -78,6 +160,9 @@ class LockStats {
     std::atomic<std::uint64_t> write_queued{0};
     std::atomic<std::uint64_t> read_bias{0};
     std::atomic<std::uint64_t> bias_revoke{0};
+    AtomicHistogram read_acquire;
+    AtomicHistogram write_acquire;
+    AtomicHistogram writer_wait;
   };
 
   // Single-writer slot: a relaxed load+store increment cannot be lost and

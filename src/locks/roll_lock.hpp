@@ -40,6 +40,7 @@
 #include "platform/cache_line.hpp"
 #include "platform/memory.hpp"
 #include "platform/spin.hpp"
+#include "platform/trace.hpp"
 #include "locks/lock_stats.hpp"
 #include "locks/per_thread.hpp"
 #include "snzi/csnzi.hpp"
@@ -80,41 +81,14 @@ class RollLock {
   // --- writer side ---------------------------------------------------------
 
   void lock() {
-    Node* w = &locals_.local().wnode;
-    w->qnext.store(nullptr, std::memory_order_relaxed);
-    w->prev.store(nullptr, std::memory_order_relaxed);
-    Node* old_tail = tail_.exchange(w, std::memory_order_acq_rel);
-    if (old_tail == nullptr) {
-      stats_.count_write_fast();
-      return;
-    }
-    stats_.count_write_queued();
-    w->spin.store(1, std::memory_order_relaxed);
-    w->prev.store(old_tail, std::memory_order_release);
-    old_tail->qnext.store(w, std::memory_order_release);
-    if (old_tail->kind == kWriterNode) {
-      spin_until(
-          [&] { return w->spin.load(std::memory_order_acquire) == 0; });
-      return;
-    }
-    // Reader predecessor: wait for it to be opened by its enqueuer, then —
-    // unlike FOLL — wait for its group to be GRANTED the lock before
-    // closing, so overtaking readers can keep joining it while it waits.
-    spin_until([&] { return old_tail->csnzi->query().open; });
-    spin_until([&] {
-      return old_tail->spin.load(std::memory_order_acquire) == 0;
-    });
-    if (old_tail->csnzi->close()) {
-      // Group fully drained before the close: inherit its queue position.
-      old_tail->qnext.store(nullptr, std::memory_order_relaxed);
-      free_reader_node(old_tail);
-    } else {
-      spin_until(
-          [&] { return w->spin.load(std::memory_order_acquire) == 0; });
-    }
+    const ObsTimer t = obs_begin(TraceEventType::kWriteAcquireBegin, this);
+    lock_impl();
+    const std::uint64_t d = obs_end(TraceEventType::kWriteAcquireEnd, this, t);
+    if (t.armed) stats_.record_write_acquire(d);
   }
 
   void unlock() {
+    trace_event(TraceEventType::kWriteRelease, this);
     Node* w = &locals_.local().wnode;
     Node* succ = w->qnext.load(std::memory_order_acquire);
     if (succ == nullptr) {
@@ -136,6 +110,65 @@ class RollLock {
   // --- reader side -----------------------------------------------------------
 
   void lock_shared() {
+    const ObsTimer t = obs_begin(TraceEventType::kReadAcquireBegin, this);
+    lock_shared_impl();
+    const std::uint64_t d = obs_end(TraceEventType::kReadAcquireEnd, this, t);
+    if (t.armed) stats_.record_read_acquire(d);
+  }
+
+ private:
+  // §4.3 WriterLock body (the public lock() wraps it in the observability
+  // begin/end pair).  With the deferred close, a writer behind a reader node
+  // first waits for the group to be *granted* (queue wait), then — if its
+  // Close caught live readers — for the group to drain, which is the
+  // interval the writer-wait histogram measures.
+  void lock_impl() {
+    Node* w = &locals_.local().wnode;
+    w->qnext.store(nullptr, std::memory_order_relaxed);
+    w->prev.store(nullptr, std::memory_order_relaxed);
+    Node* old_tail = tail_.exchange(w, std::memory_order_acq_rel);
+    if (old_tail == nullptr) {
+      stats_.count_write_fast();
+      return;
+    }
+    stats_.count_write_queued();
+    w->spin.store(1, std::memory_order_relaxed);
+    w->prev.store(old_tail, std::memory_order_release);
+    old_tail->qnext.store(w, std::memory_order_release);
+    if (old_tail->kind == kWriterNode) {
+      const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
+      spin_until(
+          [&] { return w->spin.load(std::memory_order_acquire) == 0; });
+      obs_end(TraceEventType::kQueueExit, this, qt);
+      return;
+    }
+    // Reader predecessor: wait for it to be opened by its enqueuer, then —
+    // unlike FOLL — wait for its group to be GRANTED the lock before
+    // closing, so overtaking readers can keep joining it while it waits.
+    spin_until([&] { return old_tail->csnzi->query().open; });
+    {
+      const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
+      spin_until([&] {
+        return old_tail->spin.load(std::memory_order_acquire) == 0;
+      });
+      obs_end(TraceEventType::kQueueExit, this, qt);
+    }
+    if (old_tail->csnzi->close()) {
+      // Group fully drained before the close: inherit its queue position.
+      old_tail->qnext.store(nullptr, std::memory_order_relaxed);
+      free_reader_node(old_tail);
+    } else {
+      // Live readers hold the group: this spin IS the drain interval.
+      const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
+      spin_until(
+          [&] { return w->spin.load(std::memory_order_acquire) == 0; });
+      const std::uint64_t qd = obs_end(TraceEventType::kQueueExit, this, qt);
+      if (qt.armed) stats_.record_writer_wait(qd);
+    }
+  }
+
+  // §4.3 ReaderLock body (see lock_shared for the observability shell).
+  void lock_shared_impl() {
     Local& local = locals_.local();
     Node* rnode = nullptr;
     while (true) {
@@ -221,7 +254,9 @@ class RollLock {
     }
   }
 
+ public:
   void unlock_shared() {
+    trace_event(TraceEventType::kReadRelease, this);
     Local& local = locals_.local();
     Node* node = local.depart_from;
     OLL_DCHECK(node != nullptr);
@@ -353,8 +388,11 @@ class RollLock {
   }
 
   void wait_granted(Node* n) {
+    if (n->spin.load(std::memory_order_acquire) == 0) return;
+    const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
     spin_until(
         [&] { return n->spin.load(std::memory_order_acquire) == 0; });
+    obs_end(TraceEventType::kQueueExit, this, qt);
   }
 
   void depart_and_handoff(Node* node, const typename CSnzi<M>::Ticket& t) {

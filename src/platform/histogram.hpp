@@ -1,0 +1,169 @@
+// Log2-bucketed latency histograms for the observability layer.
+//
+// The paper's temporal claims (reader overlap, bounded writer waits, ROLL's
+// writer-tail trade) are distribution properties, not means, so the stats
+// layer records acquisition latencies into fixed-size power-of-two-bucket
+// histograms instead of raw sample vectors: constant memory, constant-time
+// add, mergeable across threads, and percentile extraction that is exact at
+// quiescence up to bucket resolution (a factor of 2).
+//
+// Two types mirror the LockStats split (see locks/lock_stats.hpp):
+//
+//   * HistogramSnapshot — plain counters; the aggregation/reporting type.
+//     Supports += (merge; associative and commutative, tested) and -=
+//     (baseline subtraction for per-phase deltas; `max` stays a high-water
+//     mark since a maximum cannot be un-observed).
+//   * AtomicHistogram   — the per-thread recording slot.  Single writer per
+//     slot; increments are relaxed load+store (no RMW on the hot path) and
+//     concurrent snapshots are race-free but approximate, exact at
+//     quiescence — the same contract as every counter in LockStats.
+//
+// Units are whatever the caller measures in (nanoseconds in real mode,
+// virtual cycles in sim mode); the histogram itself is unit-agnostic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace oll {
+
+// Bucket 0 holds exactly {0}; bucket i >= 1 holds [2^(i-1), 2^i).  48
+// buckets cover up to 2^46 (~20 hours in ns, ~9 hours in 1.4 GHz cycles);
+// anything larger lands in the last bucket.
+inline constexpr std::uint32_t kHistogramBuckets = 48;
+
+// Index of the bucket that holds `v`.
+inline std::uint32_t histogram_bucket_of(std::uint64_t v) noexcept {
+  if (v == 0) return 0;
+  const std::uint32_t log2 =
+      63u - static_cast<std::uint32_t>(__builtin_clzll(v));
+  const std::uint32_t b = log2 + 1;
+  return b < kHistogramBuckets ? b : kHistogramBuckets - 1;
+}
+
+// Inclusive lower edge of bucket `i`.
+inline std::uint64_t histogram_bucket_lo(std::uint32_t i) noexcept {
+  return i == 0 ? 0 : (1ULL << (i - 1));
+}
+
+// Exclusive upper edge of bucket `i` (the final bucket is open-ended; its
+// reported edge is only used as an interpolation bound, clamped to `max`).
+inline std::uint64_t histogram_bucket_hi(std::uint32_t i) noexcept {
+  return i == 0 ? 1 : (1ULL << i);
+}
+
+struct HistogramSnapshot {
+  std::uint64_t buckets[kHistogramBuckets] = {};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  void add(std::uint64_t v) noexcept {
+    ++buckets[histogram_bucket_of(v)];
+    ++count;
+    sum += v;
+    if (v > max) max = v;
+  }
+
+  bool empty() const noexcept { return count == 0; }
+
+  double mean() const noexcept {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+
+  // Percentile via cumulative bucket counts with linear interpolation inside
+  // the bucket, clamped to the observed max.  Same nearest-rank convention
+  // as oll::percentile() (platform/stats.hpp).
+  double percentile(double p) const noexcept {
+    if (count == 0) return 0.0;
+    // p100 is the one percentile the histogram tracks exactly.
+    if (p >= 100.0) return static_cast<double>(max);
+    const double rank =
+        p / 100.0 * static_cast<double>(count - 1);  // 0-based sample rank
+    std::uint64_t seen = 0;
+    for (std::uint32_t i = 0; i < kHistogramBuckets; ++i) {
+      const std::uint64_t n = buckets[i];
+      if (n == 0) continue;
+      if (rank < static_cast<double>(seen + n)) {
+        const double lo = static_cast<double>(histogram_bucket_lo(i));
+        const double hi = static_cast<double>(histogram_bucket_hi(i));
+        const double frac =
+            (rank - static_cast<double>(seen)) / static_cast<double>(n);
+        const double v = lo + (hi - lo) * frac;
+        const double cap = static_cast<double>(max);
+        return v > cap ? cap : v;
+      }
+      seen += n;
+    }
+    return static_cast<double>(max);
+  }
+
+  HistogramSnapshot& operator+=(const HistogramSnapshot& o) noexcept {
+    for (std::uint32_t i = 0; i < kHistogramBuckets; ++i) {
+      buckets[i] += o.buckets[i];
+    }
+    count += o.count;
+    sum += o.sum;
+    if (o.max > max) max = o.max;
+    return *this;
+  }
+
+  // Baseline subtraction (o must be an earlier snapshot of the same
+  // histogram, so every counter is >= o's).  `max` keeps the high-water
+  // mark: a maximum observed before the baseline cannot be subtracted out.
+  HistogramSnapshot& operator-=(const HistogramSnapshot& o) noexcept {
+    for (std::uint32_t i = 0; i < kHistogramBuckets; ++i) {
+      buckets[i] -= o.buckets[i];
+    }
+    count -= o.count;
+    sum -= o.sum;
+    return *this;
+  }
+};
+
+class AtomicHistogram {
+ public:
+  // Single-writer slot: relaxed load+store increments cannot be lost and
+  // avoid lock-prefixed RMWs on the acquisition hot path.
+  void add(std::uint64_t v) noexcept {
+    bump(buckets_[histogram_bucket_of(v)]);
+    bump(count_);
+    sum_.store(sum_.load(std::memory_order_relaxed) + v,
+               std::memory_order_relaxed);
+    if (v > max_.load(std::memory_order_relaxed)) {
+      max_.store(v, std::memory_order_relaxed);
+    }
+  }
+
+  // Accumulate into `out`; approximate under concurrent adds, exact at
+  // quiescence.
+  void snapshot_into(HistogramSnapshot& out) const noexcept {
+    for (std::uint32_t i = 0; i < kHistogramBuckets; ++i) {
+      out.buckets[i] += buckets_[i].load(std::memory_order_relaxed);
+    }
+    out.count += count_.load(std::memory_order_relaxed);
+    out.sum += sum_.load(std::memory_order_relaxed);
+    const std::uint64_t m = max_.load(std::memory_order_relaxed);
+    if (m > out.max) out.max = m;
+  }
+
+  // Call at quiescence only (concurrent adds would interleave with zeroing).
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static void bump(std::atomic<std::uint64_t>& c) noexcept {
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> buckets_[kHistogramBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace oll

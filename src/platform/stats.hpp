@@ -46,15 +46,39 @@ class RunningStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-// Percentile over a copy of the samples (nearest-rank).
+// Sort-once percentile extraction.  Callers that query several percentiles
+// of the same sample set (latency_fairness asks for four per row) construct
+// one Percentiles and call at() repeatedly; the old free function sorted a
+// fresh copy of the vector on every call.
+class Percentiles {
+ public:
+  explicit Percentiles(std::vector<double> samples)
+      : samples_(std::move(samples)) {
+    std::sort(samples_.begin(), samples_.end());
+  }
+
+  bool empty() const noexcept { return samples_.empty(); }
+  std::size_t count() const noexcept { return samples_.size(); }
+
+  // Nearest-rank with linear interpolation between adjacent order
+  // statistics.
+  double at(double p) const {
+    if (samples_.empty()) return 0.0;
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] + (samples_[hi] - samples_[lo]) * frac;
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+// One-shot percentile over a copy of the samples (nearest-rank).  For more
+// than one percentile of the same set, build a Percentiles instead.
 inline double percentile(std::vector<double> samples, double p) {
-  if (samples.empty()) return 0.0;
-  std::sort(samples.begin(), samples.end());
-  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+  return Percentiles(std::move(samples)).at(p);
 }
 
 }  // namespace oll

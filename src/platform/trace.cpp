@@ -1,0 +1,154 @@
+#include "platform/trace.hpp"
+
+#if OLL_TRACE
+
+#include <algorithm>
+#include <memory>
+
+#include "platform/cache_line.hpp"
+#include "platform/thread_id.hpp"
+#include "platform/time.hpp"
+
+namespace oll {
+namespace trace_internal {
+
+std::atomic<std::uint32_t> g_mode{0};
+
+namespace {
+
+std::atomic<TraceClockFn> g_clock{nullptr};
+std::atomic<std::uint32_t> g_ring_capacity{TraceOptions{}.ring_capacity};
+
+// A record slot decomposed into atomics: emit stores the fields relaxed and
+// publishes via the ring head's release store.  A concurrent drain that
+// races a wrap-around overwrite can read a torn record (fields from two
+// different events) but never a data race — the exact-at-quiescence
+// contract.
+struct Slot {
+  std::atomic<std::uint64_t> ts{0};
+  std::atomic<const void*> obj{nullptr};
+  std::atomic<std::uint32_t> type{0};
+};
+
+struct Ring {
+  explicit Ring(std::uint32_t cap)
+      : slots(std::make_unique<Slot[]>(cap)), capacity(cap) {}
+
+  std::unique_ptr<Slot[]> slots;
+  std::uint32_t capacity;
+  // Total records ever appended; slot index is head % capacity.  Monotonic
+  // except for the drain reset.
+  std::atomic<std::uint64_t> head{0};
+};
+
+// One ring pointer per dense thread index, allocated on a thread's first
+// emit (pre-allocating kMaxThreads rings would cost hundreds of MB).  The
+// dense index has a single live owner (platform/thread_id.hpp), so each
+// ring has one writer; index reuse after thread exit splices streams, which
+// the per-record tid makes visible but not separable — acceptable for a
+// diagnostic trace.
+CacheAligned<std::atomic<Ring*>> g_rings[kMaxThreads];
+
+Ring* ring_for(std::uint32_t idx) {
+  std::atomic<Ring*>& cell = *g_rings[idx];
+  Ring* r = cell.load(std::memory_order_acquire);
+  if (r != nullptr) return r;
+  auto fresh =
+      std::make_unique<Ring>(g_ring_capacity.load(std::memory_order_relaxed));
+  Ring* expected = nullptr;
+  if (cell.compare_exchange_strong(expected, fresh.get(),
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+    return fresh.release();
+  }
+  return expected;  // another thread on this index won the install
+}
+
+}  // namespace
+
+std::uint64_t clock_now() {
+  TraceClockFn fn = g_clock.load(std::memory_order_relaxed);
+  return fn != nullptr ? fn() : now_ns();
+}
+
+void emit(TraceEventType type, const void* obj, std::uint64_t ts) {
+  const std::uint32_t idx = this_thread_index();
+  if (idx >= kMaxThreads) return;
+  Ring* r = ring_for(idx);
+  const std::uint64_t h = r->head.load(std::memory_order_relaxed);
+  Slot& s = r->slots[h % r->capacity];
+  s.ts.store(ts, std::memory_order_relaxed);
+  s.obj.store(obj, std::memory_order_relaxed);
+  s.type.store(static_cast<std::uint32_t>(type), std::memory_order_relaxed);
+  r->head.store(h + 1, std::memory_order_release);
+}
+
+}  // namespace trace_internal
+
+void trace_enable(const TraceOptions& opts) {
+  using namespace trace_internal;
+  const std::uint32_t cap = std::max<std::uint32_t>(opts.ring_capacity, 1);
+  // Quiescent-only: rings sized for a previous capacity are replaced so a
+  // re-enable with a different capacity behaves as documented.
+  if (cap != g_ring_capacity.load(std::memory_order_relaxed)) {
+    g_ring_capacity.store(cap, std::memory_order_relaxed);
+    for (auto& cell : g_rings) {
+      Ring* r = cell->exchange(nullptr, std::memory_order_acq_rel);
+      delete r;
+    }
+  }
+  g_mode.fetch_or(kEventsBit, std::memory_order_seq_cst);
+}
+
+void trace_disable() {
+  trace_internal::g_mode.fetch_and(~trace_internal::kEventsBit,
+                                   std::memory_order_seq_cst);
+}
+
+void latency_timing_enable() {
+  trace_internal::g_mode.fetch_or(trace_internal::kTimingBit,
+                                  std::memory_order_seq_cst);
+}
+
+void latency_timing_disable() {
+  trace_internal::g_mode.fetch_and(~trace_internal::kTimingBit,
+                                   std::memory_order_seq_cst);
+}
+
+TraceDump trace_drain() {
+  using namespace trace_internal;
+  TraceDump dump;
+  for (std::uint32_t idx = 0; idx < kMaxThreads; ++idx) {
+    Ring* r = g_rings[idx]->load(std::memory_order_acquire);
+    if (r == nullptr) continue;
+    const std::uint64_t h = r->head.load(std::memory_order_acquire);
+    if (h == 0) continue;
+    const std::uint64_t cap = r->capacity;
+    const std::uint64_t n = h < cap ? h : cap;
+    dump.dropped += h > cap ? h - cap : 0;
+    for (std::uint64_t seq = h - n; seq < h; ++seq) {
+      Slot& s = r->slots[seq % cap];
+      TraceRecord rec;
+      rec.ts = s.ts.load(std::memory_order_relaxed);
+      rec.obj = s.obj.load(std::memory_order_relaxed);
+      rec.tid = idx;
+      rec.type =
+          static_cast<TraceEventType>(s.type.load(std::memory_order_relaxed));
+      dump.records.push_back(rec);
+    }
+    r->head.store(0, std::memory_order_release);
+  }
+  std::stable_sort(dump.records.begin(), dump.records.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.ts < b.ts;
+                   });
+  return dump;
+}
+
+void trace_set_clock(TraceClockFn fn) {
+  trace_internal::g_clock.store(fn, std::memory_order_relaxed);
+}
+
+}  // namespace oll
+
+#endif  // OLL_TRACE

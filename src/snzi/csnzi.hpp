@@ -67,6 +67,7 @@
 #include "platform/memory.hpp"
 #include "platform/thread_id.hpp"
 #include "platform/topology.hpp"
+#include "platform/trace.hpp"
 #include "snzi/csnzi_stats.hpp"
 
 namespace oll {
@@ -286,6 +287,7 @@ class CSnzi {
       if (root_.compare_exchange_weak(old, desired,
                                         std::memory_order_acq_rel,
                                         std::memory_order_acquire)) {
+        trace_event(TraceEventType::kCsnziClose, this);
         return total_count(desired) == 0;
       }
     }
@@ -296,15 +298,20 @@ class CSnzi {
   // uncontended fast path).
   bool close_if_empty() {
     std::uint64_t old = make_root(0, 0, true);
-    return root_.compare_exchange_strong(old, make_root(0, 0, false),
-                                         std::memory_order_acq_rel,
-                                         std::memory_order_acquire);
+    if (root_.compare_exchange_strong(old, make_root(0, 0, false),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+      trace_event(TraceEventType::kCsnziClose, this);
+      return true;
+    }
+    return false;
   }
 
   // Open: requires CLOSED with zero surplus (lock is write-held by caller).
   void open() {
     OLL_DCHECK(!is_open(root_.load(std::memory_order_relaxed)));
     OLL_DCHECK(total_count(root_.load(std::memory_order_relaxed)) == 0);
+    trace_event(TraceEventType::kCsnziOpen, this);
     root_.store(make_root(0, 0, true), std::memory_order_release);
   }
 
@@ -316,6 +323,7 @@ class CSnzi {
     OLL_DCHECK(!is_open(root_.load(std::memory_order_relaxed)));
     OLL_DCHECK(total_count(root_.load(std::memory_order_relaxed)) == 0);
     OLL_DCHECK(count <= kCountMask);
+    if (!then_close) trace_event(TraceEventType::kCsnziOpen, this);
     root_.store(make_root(count, 0, !then_close), std::memory_order_release);
   }
 

@@ -33,6 +33,19 @@ struct CSnziStatsSnapshot {
     redundant_undos += o.redundant_undos;
     return *this;
   }
+
+  // Baseline subtraction for per-phase deltas (o must be an earlier
+  // snapshot of the same counters).
+  CSnziStatsSnapshot& operator-=(const CSnziStatsSnapshot& o) {
+    root_reads -= o.root_reads;
+    direct_arrivals -= o.direct_arrivals;
+    tree_arrivals -= o.tree_arrivals;
+    sticky_arrivals -= o.sticky_arrivals;
+    root_cas_failures -= o.root_cas_failures;
+    root_propagations -= o.root_propagations;
+    redundant_undos -= o.redundant_undos;
+    return *this;
+  }
 };
 
 }  // namespace oll

@@ -1,0 +1,205 @@
+// Log2-bucketed latency histogram tests (platform/histogram.hpp): bucket
+// boundary placement, merge/subtract algebra, percentile behavior at
+// quiescence, and the Percentiles helper in platform/stats.hpp.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "platform/histogram.hpp"
+#include "platform/stats.hpp"
+
+namespace oll {
+namespace {
+
+// --- bucket boundaries -------------------------------------------------------
+
+TEST(HistogramBuckets, ZeroGetsBucketZero) {
+  EXPECT_EQ(histogram_bucket_of(0), 0u);
+}
+
+TEST(HistogramBuckets, PowersOfTwoStartNewBuckets) {
+  // Bucket i (i >= 1) covers [2^(i-1), 2^i).
+  EXPECT_EQ(histogram_bucket_of(1), 1u);
+  EXPECT_EQ(histogram_bucket_of(2), 2u);
+  EXPECT_EQ(histogram_bucket_of(3), 2u);
+  EXPECT_EQ(histogram_bucket_of(4), 3u);
+  EXPECT_EQ(histogram_bucket_of(7), 3u);
+  EXPECT_EQ(histogram_bucket_of(8), 4u);
+  for (std::uint32_t i = 1; i + 1 < kHistogramBuckets; ++i) {
+    const std::uint64_t lo = 1ULL << (i - 1);
+    EXPECT_EQ(histogram_bucket_of(lo), i) << "lo of bucket " << i;
+    EXPECT_EQ(histogram_bucket_of(2 * lo - 1), i) << "hi of bucket " << i;
+  }
+}
+
+TEST(HistogramBuckets, HugeValuesClampToLastBucket) {
+  EXPECT_EQ(histogram_bucket_of(~0ULL), kHistogramBuckets - 1);
+}
+
+TEST(HistogramBuckets, LoHiRoundTrip) {
+  for (std::uint32_t i = 0; i < kHistogramBuckets; ++i) {
+    EXPECT_EQ(histogram_bucket_of(histogram_bucket_lo(i)), i);
+    if (i + 1 < kHistogramBuckets) {
+      // hi is the exclusive edge: the last value in the bucket is hi - 1.
+      EXPECT_EQ(histogram_bucket_of(histogram_bucket_hi(i) - 1), i);
+      EXPECT_EQ(histogram_bucket_of(histogram_bucket_hi(i)), i + 1);
+    }
+  }
+}
+
+// --- snapshot algebra --------------------------------------------------------
+
+HistogramSnapshot make_snapshot(const std::vector<std::uint64_t>& xs) {
+  HistogramSnapshot h;
+  for (std::uint64_t x : xs) h.add(x);
+  return h;
+}
+
+TEST(HistogramSnapshot, CountSumMax) {
+  HistogramSnapshot h = make_snapshot({1, 10, 100, 1000});
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.sum, 1111u);
+  EXPECT_EQ(h.max, 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1111.0 / 4.0);
+}
+
+TEST(HistogramSnapshot, MergeIsAssociativeAndCommutative) {
+  HistogramSnapshot a = make_snapshot({1, 2, 3});
+  HistogramSnapshot b = make_snapshot({100, 200});
+  HistogramSnapshot c = make_snapshot({5000});
+
+  HistogramSnapshot ab_c = a;
+  ab_c += b;
+  ab_c += c;
+  HistogramSnapshot a_bc = b;
+  a_bc += c;
+  a_bc += a;
+
+  EXPECT_EQ(ab_c.count, a_bc.count);
+  EXPECT_EQ(ab_c.sum, a_bc.sum);
+  EXPECT_EQ(ab_c.max, a_bc.max);
+  for (std::uint32_t i = 0; i < kHistogramBuckets; ++i) {
+    EXPECT_EQ(ab_c.buckets[i], a_bc.buckets[i]) << "bucket " << i;
+  }
+}
+
+TEST(HistogramSnapshot, SubtractRemovesBaseline) {
+  HistogramSnapshot warm = make_snapshot({8, 16});
+  HistogramSnapshot total = warm;
+  total.add(1000);
+  total.add(2000);
+  total -= warm;
+  EXPECT_EQ(total.count, 2u);
+  EXPECT_EQ(total.sum, 3000u);
+  // max stays a high-water mark (documented; it cannot be un-observed).
+  EXPECT_EQ(total.max, 2000u);
+  EXPECT_EQ(total.buckets[histogram_bucket_of(8)], 0u);
+}
+
+// --- percentiles -------------------------------------------------------------
+
+TEST(HistogramSnapshot, PercentileEmptyIsZero) {
+  HistogramSnapshot h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(HistogramSnapshot, PercentileSingleValue) {
+  HistogramSnapshot h = make_snapshot({42});
+  // Every percentile of a single sample lies within its bucket, clamped to
+  // the observed max.
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_GE(h.percentile(p), histogram_bucket_lo(histogram_bucket_of(42)));
+    EXPECT_LE(h.percentile(p), 42.0);
+  }
+}
+
+TEST(HistogramSnapshot, PercentilesAreMonotoneAndBoundedByMax) {
+  HistogramSnapshot h;
+  for (std::uint64_t i = 1; i <= 1000; ++i) h.add(i);
+  double prev = 0.0;
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0}) {
+    const double v = h.percentile(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    EXPECT_LE(v, 1000.0) << "p" << p;
+    prev = v;
+  }
+  // With a log2 histogram the p50 of uniform 1..1000 must land in the
+  // [512, 1000] region's bucket neighborhood — loose sanity bound.
+  EXPECT_GE(h.percentile(50), 256.0);
+}
+
+TEST(HistogramSnapshot, P100IsObservedMax) {
+  HistogramSnapshot h = make_snapshot({3, 17, 900});
+  EXPECT_DOUBLE_EQ(h.percentile(100), 900.0);
+}
+
+// --- AtomicHistogram ---------------------------------------------------------
+
+TEST(AtomicHistogram, SnapshotAccumulates) {
+  AtomicHistogram h;
+  h.add(5);
+  h.add(500);
+  HistogramSnapshot s;
+  h.snapshot_into(s);
+  h.snapshot_into(s);  // accumulating into the same target doubles it
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 1010u);
+  EXPECT_EQ(s.max, 500u);
+}
+
+TEST(AtomicHistogram, ResetClears) {
+  AtomicHistogram h;
+  h.add(5);
+  h.reset();
+  HistogramSnapshot s;
+  h.snapshot_into(s);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.max, 0u);
+}
+
+TEST(AtomicHistogram, QuiescentExactUnderSingleWriterPerSlot) {
+  // The LockStats contract: each slot has one writer; a quiescent snapshot
+  // is exact.  Model it with one AtomicHistogram per thread, merged after
+  // joining.
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<AtomicHistogram> hists(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::uint64_t i = 1; i <= kPerThread; ++i) {
+        hists[t].add(i % 1024);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  HistogramSnapshot s;
+  for (auto& h : hists) h.snapshot_into(s);
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  EXPECT_EQ(s.max, 1023u);
+}
+
+// --- Percentiles helper (platform/stats.hpp) --------------------------------
+
+TEST(Percentiles, MatchesLegacyFreeFunction) {
+  std::vector<double> xs = {5, 1, 9, 3, 7, 2, 8, 4, 6, 10};
+  Percentiles p(xs);
+  for (double q : {0.0, 25.0, 50.0, 90.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(p.at(q), percentile(xs, q)) << "p" << q;
+  }
+}
+
+TEST(Percentiles, SortsOnceAndInterpolates) {
+  Percentiles p({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(p.at(0), 10.0);
+  EXPECT_DOUBLE_EQ(p.at(50), 15.0);
+  EXPECT_DOUBLE_EQ(p.at(100), 20.0);
+  EXPECT_EQ(p.count(), 2u);
+  EXPECT_TRUE(Percentiles({}).empty());
+}
+
+}  // namespace
+}  // namespace oll

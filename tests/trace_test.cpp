@@ -1,0 +1,233 @@
+// Event-tracing tests (platform/trace.hpp): runtime gating, ring-buffer
+// overflow accounting, obs_begin/obs_end arming, the pluggable clock, lock
+// hook emission, and a concurrent emit/drain stress for TSan.
+//
+// These tests exercise the OLL_TRACE=1 build; the OLL_TRACE=0 configuration
+// compiles the hooks away entirely and is covered by the scripts/check.sh
+// build matrix, not by runtime assertions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "locks/goll_lock.hpp"
+#include "platform/thread_id.hpp"
+#include "platform/trace.hpp"
+
+namespace oll {
+namespace {
+
+// Deterministic trace clock: strictly increasing, shared by all threads.
+std::atomic<std::uint64_t> g_fake_now{0};
+std::uint64_t fake_clock() {
+  return g_fake_now.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+// Every test runs against process-global trace state; start and finish each
+// one quiescent, disabled, and drained so tests compose in any order.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset_global_state(); }
+  void TearDown() override { reset_global_state(); }
+
+  static void reset_global_state() {
+    trace_disable();
+    latency_timing_disable();
+    trace_set_clock(nullptr);
+    g_fake_now.store(0, std::memory_order_relaxed);
+    (void)trace_drain();
+  }
+};
+
+TEST_F(TraceTest, RuntimeDisabledEmitsNothing) {
+  ASSERT_FALSE(trace_events_enabled());
+  for (int i = 0; i < 100; ++i) {
+    trace_event(TraceEventType::kReadRelease, this);
+  }
+  const TraceDump dump = trace_drain();
+  EXPECT_TRUE(dump.records.empty());
+  EXPECT_EQ(dump.dropped, 0u);
+}
+
+TEST_F(TraceTest, DrainReturnsRecordsInTimestampOrderAndClearsRings) {
+  trace_set_clock(&fake_clock);
+  trace_enable();
+  const int dummy = 0;
+  trace_event(TraceEventType::kReadRelease, &dummy);
+  trace_event(TraceEventType::kWriteRelease, &dummy);
+  trace_event(TraceEventType::kBiasRevoke, nullptr);
+
+  TraceDump dump = trace_drain();
+  ASSERT_EQ(dump.records.size(), 3u);
+  EXPECT_EQ(dump.dropped, 0u);
+  EXPECT_EQ(dump.records[0].type, TraceEventType::kReadRelease);
+  EXPECT_EQ(dump.records[0].obj, &dummy);
+  EXPECT_EQ(dump.records[0].tid, this_thread_index());
+  EXPECT_EQ(dump.records[1].type, TraceEventType::kWriteRelease);
+  EXPECT_EQ(dump.records[2].type, TraceEventType::kBiasRevoke);
+  for (std::size_t i = 1; i < dump.records.size(); ++i) {
+    EXPECT_GE(dump.records[i].ts, dump.records[i - 1].ts);
+  }
+
+  // Drain is destructive: a second drain with no new emits is empty.
+  const TraceDump again = trace_drain();
+  EXPECT_TRUE(again.records.empty());
+  EXPECT_EQ(again.dropped, 0u);
+}
+
+TEST_F(TraceTest, RingOverflowKeepsNewestAndCountsDrops) {
+  constexpr std::uint32_t kCap = 8;
+  constexpr std::uint64_t kEmitted = 100;
+  trace_set_clock(&fake_clock);
+  TraceOptions opts;
+  opts.ring_capacity = kCap;
+  trace_enable(opts);
+  for (std::uint64_t i = 0; i < kEmitted; ++i) {
+    trace_event(TraceEventType::kCsnziClose, this);
+  }
+  const TraceDump dump = trace_drain();
+  ASSERT_EQ(dump.records.size(), kCap);
+  EXPECT_EQ(dump.dropped, kEmitted - kCap);
+  // The fake clock ticks once per emit, so the survivors are exactly the
+  // newest kCap timestamps.
+  for (std::uint32_t i = 0; i < kCap; ++i) {
+    EXPECT_EQ(dump.records[i].ts, kEmitted - kCap + i + 1);
+  }
+}
+
+TEST_F(TraceTest, ObsTimerArmsOnlyWithLatencyTiming) {
+  // Neither bit set: nothing armed, nothing measured.
+  ObsTimer t = obs_begin(TraceEventType::kReadAcquireBegin, this);
+  EXPECT_FALSE(t.armed);
+  EXPECT_EQ(obs_end(TraceEventType::kReadAcquireEnd, this, t), 0u);
+
+  // Timing alone arms the timer without touching the rings.
+  trace_set_clock(&fake_clock);
+  latency_timing_enable();
+  t = obs_begin(TraceEventType::kReadAcquireBegin, this);
+  EXPECT_TRUE(t.armed);
+  const std::uint64_t begin = t.begin;
+  const std::uint64_t d = obs_end(TraceEventType::kReadAcquireEnd, this, t);
+  EXPECT_GE(d, 1u);  // the fake clock ticked between begin and end
+  EXPECT_EQ(d, g_fake_now.load(std::memory_order_relaxed) - begin);
+  EXPECT_TRUE(trace_drain().records.empty());
+
+  // Events alone emit begin/end records but never arm.
+  latency_timing_disable();
+  trace_enable();
+  t = obs_begin(TraceEventType::kWriteAcquireBegin, this);
+  EXPECT_FALSE(t.armed);
+  EXPECT_EQ(obs_end(TraceEventType::kWriteAcquireEnd, this, t), 0u);
+  const TraceDump dump = trace_drain();
+  ASSERT_EQ(dump.records.size(), 2u);
+  EXPECT_EQ(dump.records[0].type, TraceEventType::kWriteAcquireBegin);
+  EXPECT_EQ(dump.records[1].type, TraceEventType::kWriteAcquireEnd);
+}
+
+TEST_F(TraceTest, PluggableClockStampsRecords) {
+  trace_set_clock(&fake_clock);
+  trace_enable();
+  trace_event(TraceEventType::kCsnziOpen, nullptr);
+  TraceDump dump = trace_drain();
+  ASSERT_EQ(dump.records.size(), 1u);
+  EXPECT_EQ(dump.records[0].ts, 1u);
+
+  // nullptr restores the real-time default (monotonic ns, far from 1).
+  trace_set_clock(nullptr);
+  trace_event(TraceEventType::kCsnziOpen, nullptr);
+  dump = trace_drain();
+  ASSERT_EQ(dump.records.size(), 1u);
+  EXPECT_GT(dump.records[0].ts, 1000u);
+}
+
+TEST_F(TraceTest, GollLockEmitsBalancedEventsAndFillsHistograms) {
+  trace_set_clock(&fake_clock);
+  trace_enable();
+  latency_timing_enable();
+
+  GollLock<> lock;
+  constexpr int kIters = 5;
+  for (int i = 0; i < kIters; ++i) {
+    lock.lock_shared();
+    lock.unlock_shared();
+    lock.lock();
+    lock.unlock();
+  }
+
+  trace_disable();
+  latency_timing_disable();
+  const TraceDump dump = trace_drain();
+
+  std::map<TraceEventType, int> counts;
+  for (const TraceRecord& r : dump.records) {
+    if (r.obj == &lock) counts[r.type]++;
+  }
+  EXPECT_EQ(counts[TraceEventType::kReadAcquireBegin], kIters);
+  EXPECT_EQ(counts[TraceEventType::kReadAcquireEnd], kIters);
+  EXPECT_EQ(counts[TraceEventType::kReadRelease], kIters);
+  EXPECT_EQ(counts[TraceEventType::kWriteAcquireBegin], kIters);
+  EXPECT_EQ(counts[TraceEventType::kWriteAcquireEnd], kIters);
+  EXPECT_EQ(counts[TraceEventType::kWriteRelease], kIters);
+  // Uncontended acquisitions never enter a queue.
+  EXPECT_EQ(counts[TraceEventType::kQueueEnter], 0);
+
+  // The same acquisitions fed the latency histograms.
+  const LockStatsSnapshot s = lock.stats();
+  EXPECT_EQ(s.read_acquire.count, static_cast<std::uint64_t>(kIters));
+  EXPECT_EQ(s.write_acquire.count, static_cast<std::uint64_t>(kIters));
+  // Timing now disabled: further acquisitions leave the histograms alone.
+  lock.lock_shared();
+  lock.unlock_shared();
+  EXPECT_EQ(lock.stats().read_acquire.count,
+            static_cast<std::uint64_t>(kIters));
+}
+
+TEST_F(TraceTest, ConcurrentEmitAndDrainIsRaceFree) {
+  // TSan target: emitters hammer their rings (wrapping them many times over)
+  // while the main thread drains concurrently.  A concurrent drain is
+  // documented as approximate — its head reset races in-flight emits, so no
+  // exact tally holds here (the overflow test above checks quiescent
+  // accounting).  The invariant under test is no data race and no crash.
+  constexpr std::uint32_t kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20000;
+  TraceOptions opts;
+  opts.ring_capacity = 64;  // small ring => constant wrap pressure
+  trace_enable(opts);
+
+  std::atomic<bool> go{false};
+  std::atomic<std::uint32_t> done{0};
+  std::vector<std::thread> workers;
+  for (std::uint32_t w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        trace_event(TraceEventType::kReadRelease, &go);
+      }
+      done.fetch_add(1, std::memory_order_acq_rel);
+    });
+  }
+  go.store(true, std::memory_order_release);
+  std::uint64_t collected = 0;
+  std::uint64_t dropped = 0;
+  while (done.load(std::memory_order_acquire) < kThreads) {
+    const TraceDump d = trace_drain();
+    collected += d.records.size();
+    dropped += d.dropped;
+  }
+  for (auto& t : workers) t.join();
+  const TraceDump final_dump = trace_drain();
+  collected += final_dump.records.size();
+  dropped += final_dump.dropped;
+  // Concurrent drains can both miss records (reset racing an emit) and
+  // double-see them (torn overwrite reads), so no arithmetic identity
+  // holds; just check the pipeline moved data.
+  (void)dropped;
+  EXPECT_GT(collected, 0u);
+}
+
+}  // namespace
+}  // namespace oll
