@@ -1,0 +1,103 @@
+// Metalock ablation: the GOLL writer-arbitration path under the three
+// selectable metalocks (locks/cohort_mcs_lock.hpp):
+//
+//   tatas   — the seed's globally-spinning test-and-test-and-set lock
+//   mcs     — local-spin MCS queue (one remote line written per release)
+//   cohort  — two-level cohort MCS + the wait queue's domain-preferring
+//             writer wakes (consecutive holders stay in one LLC domain)
+//
+// Each variant runs the write-heavy Figure 5 workloads the metalock actually
+// gates — fig5f (write-only) and fig5c (95% reads) — on a GOLL lock over the
+// simulated T5440, and prints one series row per (variant, workload).  A
+// cohort-budget sweep at the bottom shows the fairness/locality trade.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "harness/cli.hpp"
+#include "harness/driver.hpp"
+#include "harness/workload.hpp"
+#include "locks/goll_lock.hpp"
+#include "sim/memory.hpp"
+
+namespace ob = oll::bench;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  oll::MetalockKind kind;
+  std::uint32_t cohort_budget;
+};
+
+double run_variant(const Variant& v, std::uint32_t threads,
+                   std::uint32_t read_pct, std::uint64_t acquires) {
+  oll::sim::Machine machine(oll::sim::t5440_topology(),
+                            oll::sim::t5440_costs(),
+                            std::max<std::uint32_t>(threads, 512));
+  oll::GollOptions g;
+  g.max_threads = threads + 1;
+  // Mirror the harness driver's sim-mode tuning (leaf placement and cohort
+  // domains both derive from the simulated machine's topology).
+  g.csnzi.topology = &oll::sim::t5440_cpu_topology();
+  g.csnzi.topology_mapping = oll::LeafMapping::kSmtCluster;
+  g.csnzi.leaves = 64;
+  g.csnzi.root_cas_fail_threshold = 1;
+  g.metalock.kind = v.kind;
+  g.metalock.cohort_budget = v.cohort_budget;
+  g.metalock.topology = &oll::sim::t5440_cpu_topology();
+  oll::RwLockAdapter<oll::GollLock<oll::sim::SimMemory>> lock(v.name, g);
+  ob::WorkloadConfig w;
+  w.threads = threads;
+  w.read_pct = read_pct;
+  w.acquires_per_thread = acquires;
+  return ob::run_sim_workload_on(lock, w, machine).throughput();
+}
+
+void print_table(const char* title, std::uint32_t read_pct,
+                 const std::vector<Variant>& variants,
+                 const std::vector<std::uint32_t>& thread_counts,
+                 std::uint64_t acquires) {
+  std::cout << "# " << title << " (read_pct=" << read_pct << ")\n"
+            << "variant";
+  for (auto t : thread_counts) std::cout << ",t" << t;
+  std::cout << "\n";
+  for (const Variant& v : variants) {
+    std::cout << "\"" << v.name << "\"";
+    for (auto t : thread_counts) {
+      std::cout << "," << std::scientific
+                << run_variant(v, t, read_pct, acquires);
+    }
+    std::cout << "\n" << std::flush;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ob::Flags flags(argc, argv);
+  const std::uint64_t acquires = flags.get_u64("acquires", 300);
+  const std::vector<std::uint32_t> thread_counts = {8, 32, 64};
+
+  const std::vector<Variant> kinds = {
+      {"tatas (seed metalock)", oll::MetalockKind::kTatas, 32},
+      {"mcs (local-spin queue)", oll::MetalockKind::kMcs, 32},
+      {"cohort (budget 32)", oll::MetalockKind::kCohort, 32},
+  };
+
+  std::cout << "# Metalock ablation: GOLL lock, simulated T5440\n"
+            << "# (writer arbitration: TATAS vs MCS vs NUMA cohort handoff)\n";
+  print_table("fig5f write-only", 0, kinds, thread_counts, acquires);
+  print_table("fig5c 95% reads", 95, kinds, thread_counts, acquires);
+
+  const std::vector<Variant> budgets = {
+      {"cohort budget 1 (near-FIFO)", oll::MetalockKind::kCohort, 1},
+      {"cohort budget 8", oll::MetalockKind::kCohort, 8},
+      {"cohort budget 32 (default)", oll::MetalockKind::kCohort, 32},
+      {"cohort budget 128", oll::MetalockKind::kCohort, 128},
+  };
+  print_table("cohort budget sweep, write-only", 0, budgets, thread_counts,
+              acquires);
+  return 0;
+}

@@ -13,6 +13,9 @@
 //   --leaf_map=K        C-SNZI leaf mapping: auto|static|thread|smt|llc|numa
 //                       (default: mode default — smt on the sim topology)
 //   --sticky=N          C-SNZI sticky arrival window (0 disables; default 64)
+//   --metalock=K        writer-arbitration metalock: tatas|mcs|cohort
+//                       (default cohort; see locks/cohort_mcs_lock.hpp)
+//   --cohort_budget=N   max consecutive intra-domain handoffs (default 32)
 //   --warmup=N          per-thread warmup acquisitions before each measured
 //                       run (stats rebased at the phase boundary)
 //
@@ -61,6 +64,18 @@ inline int run_fig5(const std::string& figure_name, std::uint32_t read_pct,
   }
   if (flags.has("sticky")) {
     cfg.sticky_arrivals = static_cast<std::uint32_t>(flags.get_u64("sticky", 64));
+  }
+  if (flags.has("metalock")) {
+    if (auto k = parse_metalock_kind(flags.get("metalock", ""))) {
+      cfg.metalock = *k;
+    } else {
+      std::cerr << "unknown --metalock (want tatas|mcs|cohort)\n";
+      return 2;
+    }
+  }
+  if (flags.has("cohort_budget")) {
+    cfg.cohort_budget =
+        static_cast<std::uint32_t>(flags.get_u64("cohort_budget", 32));
   }
 
   if (flags.has("locks")) {

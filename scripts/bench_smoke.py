@@ -1,14 +1,18 @@
 #!/usr/bin/env python3
 """Bench-trajectory smoke gate.
 
-Runs a small, fast benchmark set — the virtual-time sim fig5a sweep plus the
+Runs a small, fast benchmark set — the virtual-time sim sweeps for fig5a
+(read-only), fig5f (write-only) and fig5c (95% reads), plus the
 micro_csnzi / micro_uncontended google-benchmark binaries — and records the
 results as BENCH_<n>.json at the repo root, where <n> continues the sequence
-of git-tracked BENCH_*.json files.  The sim-mode fig5a numbers are
-deterministic (virtual time, fixed seeds), so they are *gated*: a drop of
-more than --threshold (default 20%) versus the previous committed snapshot
-fails the run.  Real-time micro numbers vary with the host and are recorded
-as informational only.
+of git-tracked BENCH_*.json files.  The sim-mode figure numbers are stable
+in virtual time (run-to-run spread is a few percent from host scheduling),
+so they are *gated*: a drop of more than --threshold (default 20%) versus
+the previous committed snapshot fails the run.  fig5a keys are unprefixed
+("GOLL.t64") for continuity with older snapshots; the write-heavy series
+added with the metalock work use prefixed keys ("fig5f.GOLL.t64").
+Real-time micro numbers vary with the host and are recorded as
+informational only.
 
 Usage: scripts/bench_smoke.py [--build-dir build] [--threshold 0.20]
                               [--skip-micro]
@@ -25,10 +29,23 @@ import tempfile
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
-# Gated sim sweep: deterministic in virtual time.  Kept small so the gate
-# adds ~10s to check.sh.
+# Gated sim sweeps: virtual time, kept small so the gate stays fast.
+# fig5a exercises the reader fast path across the OLL locks; fig5f and
+# fig5c exercise the writer-arbitration path (the metalock) on GOLL, the
+# lock whose writer path the cohort MCS work targets.  The write-heavy
+# sweeps use --reps so the serialized writer chain averages out scheduling
+# noise (observed spread <3% at this config).
 FIG5A_ARGS = ["--mode=sim", "--threads=64", "--acquires=4000",
               "--locks=goll,foll,roll"]
+WRITE_SWEEP_ARGS = ["--mode=sim", "--threads=64", "--acquires=800",
+                    "--reps=2", "--locks=goll"]
+# (binary, args, key prefix) per gated figure.  fig5a stays unprefixed so
+# its keys line up with snapshots that predate the write-heavy series.
+GATED_FIGS = (
+    ("fig5a", "fig5a_read_only", FIG5A_ARGS, ""),
+    ("fig5f", "fig5f_write_only", WRITE_SWEEP_ARGS, "fig5f."),
+    ("fig5c", "fig5c_95_reads", WRITE_SWEEP_ARGS, "fig5c."),
+)
 # Acquire-latency percentiles (informational): the post-sweep observability
 # pass (DESIGN.md §9) re-runs each lock at the max swept thread count with
 # latency timing enabled, so the gated sweep itself still executes with
@@ -58,8 +75,8 @@ def run(cmd):
         sys.exit(2)
 
 
-def parse_fig5_csv(text):
-    """threads,LOCKA,LOCKB\\n1,2.3e7,... -> {"GOLL.t64": 1.5e8, ...}"""
+def parse_fig5_csv(text, prefix=""):
+    """threads,LOCKA,LOCKB\\n1,2.3e7,... -> {"<prefix>GOLL.t64": 1.5e8, ...}"""
     metrics = {}
     header = None
     for line in text.splitlines():
@@ -79,12 +96,16 @@ def parse_fig5_csv(text):
             continue
         threads = cells[0]
         for name, value in zip(header, cells[1:]):
-            metrics[f"{name}.t{threads}"] = float(value)
+            metrics[f"{prefix}{name}.t{threads}"] = float(value)
     return metrics
 
 
-def parse_latency_json(path):
-    """stats_json -> {"latency.GOLL.read_acquire.p50": 207.0, ...}"""
+def parse_latency_json(path, prefix=""):
+    """stats_json -> {"latency.<prefix>GOLL.read_acquire.p50": 207.0, ...}
+
+    Histograms with no samples (e.g. write_acquire on the read-only fig5a
+    run) are skipped, so the write-heavy sweeps are what populate the
+    write_acquire and writer_wait percentile series."""
     with open(path) as f:
         doc = json.load(f)
     metrics = {}
@@ -95,22 +116,23 @@ def parse_latency_json(path):
             if not isinstance(h, dict) or not h.get("count"):
                 continue
             for pct in LATENCY_PCTS:
-                metrics[f"latency.{lock}.{hist}.{pct}"] = h[pct]
+                metrics[f"latency.{prefix}{lock}.{hist}.{pct}"] = h[pct]
     if unit:
         metrics["latency.unit"] = unit
     return metrics
 
 
-def collect_fig5a(build_dir):
+def collect_fig5(build_dir, binary_name, fig_args, prefix):
     """One invocation feeds both series: stdout CSV is the gated sweep
     (hooks disabled); --stats_json captures the post-sweep observability
     pass's latency percentiles (informational)."""
-    binary = os.path.join(build_dir, "bench", "fig5a_read_only")
+    binary = os.path.join(build_dir, "bench", binary_name)
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         stats_path = tmp.name
     try:
-        out = run([binary] + FIG5A_ARGS + [f"--stats_json={stats_path}"])
-        return parse_fig5_csv(out), parse_latency_json(stats_path)
+        out = run([binary] + list(fig_args) + [f"--stats_json={stats_path}"])
+        return parse_fig5_csv(out, prefix), parse_latency_json(stats_path,
+                                                               prefix)
     finally:
         os.unlink(stats_path)
 
@@ -162,8 +184,13 @@ def main():
     args = ap.parse_args()
 
     build_dir = os.path.join(REPO_ROOT, args.build_dir)
-    print("bench_smoke: running sim fig5a sweep (gated) + latency pass")
-    gated, informational = collect_fig5a(build_dir)
+    gated, informational = {}, {}
+    for fig, binary_name, fig_args, prefix in GATED_FIGS:
+        print(f"bench_smoke: running sim {fig} sweep (gated) + latency pass")
+        fig_gated, fig_latency = collect_fig5(build_dir, binary_name,
+                                              fig_args, prefix)
+        gated.update(fig_gated)
+        informational.update(fig_latency)
     if not args.skip_micro:
         for name, flt in MICRO_FILTERS.items():
             print(f"bench_smoke: running {name} (informational)")
@@ -191,15 +218,16 @@ def main():
     else:
         print("bench_smoke: no previous snapshot; recording baseline")
 
+    config = {fig: list(fig_args) for fig, _, fig_args, _ in GATED_FIGS}
+    config["units"] = {"gated": "acquires/sec (sim virtual time)",
+                       "informational": "ns/op (real time); latency.* "
+                                        "in sim virtual cycles"}
     snapshot = {
         "index": index,
         "gate": {"threshold": args.threshold,
                  "baseline": f"BENCH_{prev_index}.json" if prev_index else None,
                  "passed": status == 0},
-        "config": {"fig5a": FIG5A_ARGS,
-                   "units": {"gated": "acquires/sec (sim virtual time)",
-                             "informational": "ns/op (real time); latency.* "
-                                              "in sim virtual cycles"}},
+        "config": config,
         "gated": gated,
         "informational": informational,
     }

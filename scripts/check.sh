@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Repo verification gate: the tier-1 build + test pass (ROADMAP.md), then a
 # ThreadSanitizer build running the concurrency suites (a lock library must
-# be TSan-clean).  CI runs exactly this script; run it locally before
-# pushing (or with --tier1-only for a quick pass).
+# be TSan-clean) and an UndefinedBehaviorSanitizer build running the same
+# suites (the sim cost model and the metalock protocols leans on well-defined
+# atomics and arithmetic).  CI runs exactly this script; run it locally
+# before pushing (or with --tier1-only for a quick pass).
 #
 # Usage: scripts/check.sh [--tier1-only]
 set -euo pipefail
@@ -45,7 +47,8 @@ echo "==> OLL_TRACE=0 build + smoke OK"
 TSAN_SUITES=(
   lock_stress_test race_fuzz_test snzi_stress_test bravo_test
   csnzi_test lock_conformance_test foll_roll_test goll_test ksuh_test
-  wait_queue_test mutex_test orig_snzi_test trace_test histogram_test
+  wait_queue_test mutex_test metalock_test orig_snzi_test trace_test
+  histogram_test
 )
 
 echo "==> tsan: configure + build (tests only)"
@@ -59,6 +62,18 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 for t in "${TSAN_SUITES[@]}"; do
   echo "==> tsan: ${t}"
   "./build-tsan/tests/${t}"
+done
+
+echo "==> ubsan: configure + build (tests only)"
+cmake -B build-ubsan -S . -DOLL_SANITIZE=undefined \
+  -DOLL_ENABLE_BENCH=OFF -DOLL_ENABLE_EXAMPLES=OFF
+cmake --build build-ubsan -j "${JOBS}" --target "${TSAN_SUITES[@]}"
+
+echo "==> ubsan: concurrency suites"
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
+for t in "${TSAN_SUITES[@]}"; do
+  echo "==> ubsan: ${t}"
+  "./build-ubsan/tests/${t}"
 done
 
 echo "==> OK"

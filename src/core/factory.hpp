@@ -164,6 +164,9 @@ struct LockFactoryOptions {
   std::uint32_t max_threads = 512;
   CSnziOptions csnzi{};
   bool readers_coalesce_over_writers = true;
+  // Writer-arbitration metalock for the metalock-based locks (GOLL and its
+  // BRAVO wrap): kind, cohort budget, topology (cohort_mcs_lock.hpp).
+  MetalockOptions metalock{};
 };
 
 // Construct a lock of the given kind over memory model M.  Returns nullptr
@@ -178,18 +181,21 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
       g.max_threads = o.max_threads;
       g.csnzi = o.csnzi;
       g.readers_coalesce_over_writers = o.readers_coalesce_over_writers;
+      g.metalock = o.metalock;
       return std::make_unique<RwLockAdapter<GollLock<M>>>("GOLL", g);
     }
     case LockKind::kFoll: {
       FollOptions f;
       f.max_threads = o.max_threads;
       f.csnzi = o.csnzi;
+      f.topology = o.metalock.topology;
       return std::make_unique<RwLockAdapter<FollLock<M>>>("FOLL", f);
     }
     case LockKind::kRoll: {
       RollOptions r;
       r.max_threads = o.max_threads;
       r.csnzi = o.csnzi;
+      r.topology = o.metalock.topology;
       return std::make_unique<RwLockAdapter<RollLock<M>>>("ROLL", r);
     }
     case LockKind::kKsuh: {
@@ -232,6 +238,7 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
       g.max_threads = o.max_threads;
       g.csnzi = o.csnzi;
       g.readers_coalesce_over_writers = o.readers_coalesce_over_writers;
+      g.metalock = o.metalock;
       BravoOptions b;
       b.max_threads = o.max_threads;
       return std::make_unique<RwLockAdapter<Bravo<GollLock<M>, M>>>(
@@ -241,6 +248,7 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
       FollOptions f;
       f.max_threads = o.max_threads;
       f.csnzi = o.csnzi;
+      f.topology = o.metalock.topology;
       BravoOptions b;
       b.max_threads = o.max_threads;
       return std::make_unique<RwLockAdapter<Bravo<FollLock<M>, M>>>(
@@ -250,6 +258,7 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
       RollOptions r;
       r.max_threads = o.max_threads;
       r.csnzi = o.csnzi;
+      r.topology = o.metalock.topology;
       BravoOptions b;
       b.max_threads = o.max_threads;
       return std::make_unique<RwLockAdapter<Bravo<RollLock<M>, M>>>(

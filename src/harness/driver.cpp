@@ -223,11 +223,17 @@ RunResult run_workload(LockKind kind, const WorkloadConfig& config, Mode mode,
     opts.csnzi.topology_mapping = LeafMapping::kSmtCluster;
     opts.csnzi.leaves = 64;
     opts.csnzi.root_cas_fail_threshold = 1;
+    // Cohort metalock domains come from the same simulated shape (4 chips
+    // of 64 threads => 4 LLC domains); worker w is pinned to simulated
+    // cpu w, so domain_of(w) is w / 64.
+    opts.metalock.topology = &sim::t5440_cpu_topology();
   }
   if (config.leaf_mapping) opts.csnzi.topology_mapping = *config.leaf_mapping;
   if (config.sticky_arrivals) {
     opts.csnzi.sticky_arrivals = *config.sticky_arrivals;
   }
+  if (config.metalock) opts.metalock.kind = *config.metalock;
+  if (config.cohort_budget) opts.metalock.cohort_budget = *config.cohort_budget;
   if (mode == Mode::kReal) {
     auto lock = make_rwlock<RealMemory>(kind, opts);
     OLL_CHECK(lock != nullptr);

@@ -51,6 +51,8 @@ SweepResult run_sweep(const SweepConfig& config, bool verbose) {
         w.warmup_acquires = config.warmup_acquires;
         w.leaf_mapping = config.leaf_mapping;
         w.sticky_arrivals = config.sticky_arrivals;
+        w.metalock = config.metalock;
+        w.cohort_budget = config.cohort_budget;
         RunResult r = run_workload(kind, w, config.mode);
         stats.add(r.throughput());
         last_counters = r.counters;
@@ -141,7 +143,13 @@ void write_lock_stats_json(std::ostream& out, const LockStatsSnapshot& s) {
       << ",\"write_fast\":" << s.write_fast
       << ",\"write_queued\":" << s.write_queued
       << ",\"read_bias\":" << s.read_bias
-      << ",\"bias_revoke\":" << s.bias_revoke << ",\"read_acquire\":";
+      << ",\"bias_revoke\":" << s.bias_revoke
+      << ",\"meta_handoffs\":" << s.meta_handoffs
+      << ",\"meta_cohort_hits\":" << s.meta_cohort_hits
+      << ",\"meta_cross_domain\":" << s.meta_cross_domain
+      << ",\"wake_cohort_hits\":" << s.wake_cohort_hits
+      << ",\"wake_cross_domain\":" << s.wake_cross_domain
+      << ",\"read_acquire\":";
   write_histogram_json(out, s.read_acquire);
   out << ",\"write_acquire\":";
   write_histogram_json(out, s.write_acquire);
@@ -187,6 +195,8 @@ bool run_observability_pass(std::ostream& os,
     w.warmup_acquires = sc.warmup_acquires;
     w.leaf_mapping = sc.leaf_mapping;
     w.sticky_arrivals = sc.sticky_arrivals;
+    w.metalock = sc.metalock;
+    w.cohort_budget = sc.cohort_budget;
     RunResult r = run_workload(kind, w, sc.mode);
     rows.push_back({kind, r.lock_stats});
     if (want_trace) {

@@ -28,6 +28,10 @@ struct SweepConfig {
   // C-SNZI tuning overrides (see workload.hpp); unset keeps mode defaults.
   std::optional<LeafMapping> leaf_mapping;
   std::optional<std::uint32_t> sticky_arrivals;
+  // Writer-arbitration overrides (see workload.hpp); unset keeps the
+  // factory default (cohort metalock).
+  std::optional<MetalockKind> metalock;
+  std::optional<std::uint32_t> cohort_budget;
 
   // The paper runs 100k acquisitions per thread, reduced to 10k at <=50%
   // reads.  Virtual time is near-deterministic, so we default much lower to

@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 
+#include "locks/cohort_mcs_lock.hpp"
 #include "locks/lock_stats.hpp"
 #include "platform/topology.hpp"
 #include "sim/machine.hpp"
@@ -44,6 +45,10 @@ struct WorkloadConfig {
   // driver's per-mode defaults apply.
   std::optional<LeafMapping> leaf_mapping;
   std::optional<std::uint32_t> sticky_arrivals;
+  // Writer-arbitration overrides (metalock ablations).  Unset means the
+  // factory default (cohort metalock with its default budget).
+  std::optional<MetalockKind> metalock;
+  std::optional<std::uint32_t> cohort_budget;
 };
 
 struct RunResult {

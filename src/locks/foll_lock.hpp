@@ -32,6 +32,8 @@
 #include "platform/cache_line.hpp"
 #include "platform/memory.hpp"
 #include "platform/spin.hpp"
+#include "platform/thread_id.hpp"
+#include "platform/topology.hpp"
 #include "platform/trace.hpp"
 #include "locks/lock_stats.hpp"
 #include "locks/per_thread.hpp"
@@ -42,13 +44,24 @@ namespace oll {
 struct FollOptions {
   std::uint32_t max_threads = 512;
   CSnziOptions csnzi{};
+  // LLC-domain source for the NUMA-aware reader-node pool search and the
+  // writer-handoff locality counters; nullptr means csnzi.topology, then
+  // Topology::system().  Must outlive the lock.  FOLL's writer arbitration
+  // is already a local-spin MCS chain (each waiter spins on its own padded
+  // node), so unlike GOLL there is no metalock to replace — topology only
+  // affects where reader nodes are allocated and what the stats report.
+  const Topology* topology = nullptr;
 };
 
 template <typename M = RealMemory>
 class FollLock {
  public:
   explicit FollLock(const FollOptions& opts = {})
-      : locals_(opts.max_threads),
+      : dmap_(opts.topology != nullptr
+                  ? opts.topology
+                  : (opts.csnzi.topology != nullptr ? opts.csnzi.topology
+                                                    : &Topology::system())),
+        locals_(opts.max_threads),
         pool_size_(opts.max_threads),
         stats_(opts.max_threads) {
     CSnziOptions copts = opts.csnzi;
@@ -58,7 +71,11 @@ class FollLock {
     for (std::uint32_t i = 0; i < pool_size_; ++i) {
       pool_[i].init_reader(copts);
       pool_[i].ring_next = &pool_[(i + 1) % pool_size_];
+      // Node i is the default node of thread index i; tag it with that
+      // thread's LLC domain for the domain-first pool search below.
+      pool_[i].domain = dmap_.domain_of(i);
     }
+    link_domain_rings();
   }
 
   FollLock(const FollLock&) = delete;
@@ -89,6 +106,7 @@ class FollLock {
         return succ != nullptr;
       });
     }
+    count_handoff(succ->domain);  // read before granting: succ may recycle
     succ->spin.store(0, std::memory_order_release);
     w->qnext.store(nullptr, std::memory_order_relaxed);  // clean up
   }
@@ -110,6 +128,7 @@ class FollLock {
   // only.
   void lock_impl() {
     Node* w = &locals_.local().wnode;
+    w->domain = my_domain();  // published by the release stores below
     w->qnext.store(nullptr, std::memory_order_relaxed);
     Node* old_tail = tail_.exchange(w, std::memory_order_acq_rel);
     if (old_tail == nullptr) {
@@ -240,6 +259,7 @@ class FollLock {
   // which the SharedMutex contract permits (try_lock may fail spuriously).
   bool try_lock() {
     Node* w = &locals_.local().wnode;
+    w->domain = my_domain();
     w->qnext.store(nullptr, std::memory_order_relaxed);
     Node* expected = nullptr;
     return tail_.compare_exchange_strong(expected, w,
@@ -297,6 +317,8 @@ class FollLock {
     for (std::uint32_t i = 0; i < pool_size_; ++i) {
       s.csnzi += pool_[i].csnzi->stats();
     }
+    s.wake_cohort_hits = wake_cohort_hits_.load(std::memory_order_relaxed);
+    s.wake_cross_domain = wake_cross_domain_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -319,6 +341,14 @@ class FollLock {
     typename M::template Atomic<std::uint32_t> alloc_state{kFree};
     std::unique_ptr<CSnzi<M>> csnzi;  // reader nodes only
     Node* ring_next = nullptr;
+    // Secondary ring over pool nodes whose default-owner threads share this
+    // node's LLC domain (immutable after construction).
+    Node* ring_next_domain = nullptr;
+    // Writer nodes: owner thread's domain, written by the owner before the
+    // enqueue's release stores.  Reader nodes: allocator thread's domain,
+    // written between the alloc CAS and the enqueue.  Read by the granting
+    // thread before it sets `spin` (handoff-locality counters).
+    std::uint32_t domain = 0;
 
     void init_reader(const CSnziOptions& opts) {
       kind = kReaderNode;
@@ -344,31 +374,77 @@ class FollLock {
     // closing, so the successor must exist.
     Node* succ = node->qnext.load(std::memory_order_acquire);
     OLL_CHECK(succ != nullptr);
+    count_handoff(succ->domain);  // read before granting
     succ->spin.store(0, std::memory_order_release);
     node->qnext.store(nullptr, std::memory_order_relaxed);  // clean up
     free_reader_node(node);
   }
 
-  Node* alloc_reader_node() {
-    Node* start = &pool_[this_thread_index() % pool_size_];
-    Node* n = start;
-    SpinWait lap_wait;
-    while (true) {
-      if (n->alloc_state.load(std::memory_order_relaxed) == kFree) {
-        std::uint32_t expected = kFree;
-        if (n->alloc_state.compare_exchange_strong(
-                expected, kInUse, std::memory_order_acq_rel,
-                std::memory_order_relaxed)) {
-          // Scrub state left over from the node's previous queue life.
-          n->qnext.store(nullptr, std::memory_order_relaxed);
-          return n;
+  // Close the per-domain rings: within each LLC domain, nodes link to the
+  // next pool node of the same domain (wrapping).  Single-domain hosts get
+  // a ring identical to ring_next.
+  void link_domain_rings() {
+    for (std::uint32_t i = 0; i < pool_size_; ++i) {
+      Node& n = pool_[i];
+      n.ring_next_domain = &n;  // self-loop fallback (degenerate domains)
+      for (std::uint32_t step = 1; step <= pool_size_; ++step) {
+        Node& cand = pool_[(i + step) % pool_size_];
+        if (cand.domain == n.domain) {
+          n.ring_next_domain = &cand;
+          break;
         }
       }
+    }
+  }
+
+  std::uint32_t my_domain() const {
+    return dmap_.domain_of(this_thread_index());
+  }
+
+  // Handoff-locality accounting: one writer at a time (the lock holder is
+  // the only granting thread), relaxed concurrent readers (stats()).
+  void count_handoff(std::uint32_t succ_domain) {
+    std::atomic<std::uint64_t>& c = succ_domain == my_domain()
+                                        ? wake_cohort_hits_
+                                        : wake_cross_domain_;
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+
+  Node* alloc_reader_node() {
+    Node* start = &pool_[this_thread_index() % pool_size_];
+    // Domain-first pass: one lap over the same-LLC ring, so a reader group's
+    // node — the line every group member Arrives at and the granting writer
+    // touches — tends to live in the enqueuer's own cache domain.
+    Node* n = start;
+    do {
+      if (Node* got = try_claim(n)) return got;
+      n = n->ring_next_domain;
+    } while (n != start);
+    // Fallback: the global ring (a free node always exists when threads <=
+    // pool size — §4.2.1's counting argument — but possibly in another
+    // domain).  The scan is not atomic; breathe per lap.
+    SpinWait lap_wait;
+    while (true) {
+      if (Node* got = try_claim(n)) return got;
       n = n->ring_next;
-      // A free node always exists when threads <= pool size (§4.2.1's
-      // counting argument), but the scan is not atomic; breathe per lap.
       if (n == start) lap_wait.pause();
     }
+  }
+
+  Node* try_claim(Node* n) {
+    if (n->alloc_state.load(std::memory_order_relaxed) != kFree) return nullptr;
+    std::uint32_t expected = kFree;
+    if (!n->alloc_state.compare_exchange_strong(expected, kInUse,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    // Scrub state left over from the node's previous queue life, and tag
+    // the node with the allocator's domain (safe: the node is out of every
+    // queue, so no granting thread can be reading it).
+    n->qnext.store(nullptr, std::memory_order_relaxed);
+    n->domain = my_domain();
+    return n;
   }
 
   void free_reader_node(Node* n) {
@@ -380,10 +456,13 @@ class FollLock {
 
   typename M::template Atomic<Node*> tail_{nullptr};
   char pad_[kFalseSharingRange - sizeof(void*)];
+  DomainMap dmap_;
   PerThreadSlots<Local> locals_;
   std::unique_ptr<Node[]> pool_;
   std::uint32_t pool_size_;
   LockStats stats_;
+  std::atomic<std::uint64_t> wake_cohort_hits_{0};
+  std::atomic<std::uint64_t> wake_cross_domain_{0};
 };
 
 }  // namespace oll

@@ -18,20 +18,37 @@
 // lock to writers, writers hand it to groups of readers, and waiting readers
 // coalesce into one group even across queued writers.
 //
+// Scalable writer path (metalock != tatas; DESIGN.md §10): the Figure 3
+// writer release always takes the metalock just to discover the queue is
+// empty, so even an uncontended write costs two trips through the
+// arbitration lock.  The restructured release elides the metalock when an
+// atomic waiter count reads zero and opens the C-SNZI directly; a waiter
+// enqueueing concurrently could miss that open, so the release re-checks
+// the count after opening while the enqueuer re-checks the C-SNZI after
+// publishing its count — a Dekker pair (seq_cst fences between each side's
+// store and load) guaranteeing at least one of them observes the other and
+// completes the handoff (rescue_missed_open / the enqueue-undo paths).
+// metalock=tatas keeps the seed release protocol bit-for-bit as the
+// ablation baseline.
+//
 // Extensions implemented per §3.2.1: try_upgrade() (read -> write when sole
 // holder, using the dual root counter trade) and downgrade() (write -> read).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
 
 #include "platform/assert.hpp"
 #include "platform/memory.hpp"
+#include "platform/spin.hpp"
+#include "platform/thread_id.hpp"
+#include "platform/topology.hpp"
 #include "platform/trace.hpp"
+#include "locks/cohort_mcs_lock.hpp"
 #include "locks/lock_stats.hpp"
 #include "locks/per_thread.hpp"
-#include "locks/tatas_lock.hpp"
 #include "locks/wait_queue.hpp"
 #include "snzi/csnzi.hpp"
 
@@ -46,6 +63,10 @@ struct GollOptions {
   // kSpin matches the paper's evaluation; kBlocking parks waiters on a
   // condition variable like the production Solaris lock (see wait_queue.hpp).
   WaitStrategy wait_strategy = WaitStrategy::kSpin;
+  // Writer-arbitration metalock: kind (tatas|mcs|cohort), cohort budget and
+  // topology (see cohort_mcs_lock.hpp).  With kCohort the same budget also
+  // enables the wait queue's domain-preferring writer wake policy.
+  MetalockOptions metalock{};
 };
 
 template <typename M = RealMemory>
@@ -56,7 +77,15 @@ class GollLock {
   explicit GollLock(const GollOptions& opts = {})
       : opts_(opts),
         csnzi_(csnzi_options(opts)),
-        queue_(opts.readers_coalesce_over_writers),
+        metalock_(metalock_options(opts)),
+        queue_(opts.readers_coalesce_over_writers,
+               opts.metalock.kind == MetalockKind::kCohort
+                   ? opts.metalock.cohort_budget
+                   : 0,
+               /*tree_wake=*/opts.metalock.kind != MetalockKind::kTatas),
+        fast_release_(opts.metalock.kind != MetalockKind::kTatas),
+        dmap_(opts.metalock.topology != nullptr ? opts.metalock.topology
+                                                : &Topology::system()),
         locals_(opts.max_threads),
         stats_(opts.max_threads) {}
 
@@ -76,10 +105,22 @@ class GollLock {
 
   void unlock() {
     trace_event(TraceEventType::kWriteRelease, this);
+    if (fast_release_ && has_waiters_.load(std::memory_order_relaxed) == 0) {
+      // Metalock-eliding release (see file comment): no waiters, so the
+      // queue needs no update — open the C-SNZI directly.  The fence +
+      // re-check pairs with the enqueuers' publish + re-check.
+      csnzi_.open();
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (has_waiters_.load(std::memory_order_relaxed) != 0) {
+        rescue_missed_open();
+      }
+      return;
+    }
     typename WaitQueue<M>::GroupRef group;
     {
-      std::lock_guard<TatasLock<M>> meta(metalock_);
-      group = queue_.dequeue();
+      std::lock_guard<Metalock<M>> meta(metalock_);
+      group = queue_.dequeue(my_domain());
+      sync_waiter_flag();
       if (group.empty()) {
         csnzi_.open();
         return;
@@ -126,8 +167,9 @@ class GollLock {
     // metalock the queue cannot be empty.
     typename WaitQueue<M>::GroupRef group;
     {
-      std::lock_guard<TatasLock<M>> meta(metalock_);
-      group = queue_.dequeue();
+      std::lock_guard<Metalock<M>> meta(metalock_);
+      group = queue_.dequeue(my_domain());
+      sync_waiter_flag();
       OLL_CHECK(!group.empty());
       if (group.kind() == ReqKind::kReader) {
         // Queue policy let readers overtake the writer that closed the
@@ -189,9 +231,10 @@ class GollLock {
     OLL_DCHECK(!local.ticket.arrived());
     typename WaitQueue<M>::GroupRef group;
     {
-      std::lock_guard<TatasLock<M>> meta(metalock_);
+      std::lock_guard<Metalock<M>> meta(metalock_);
       if (!queue_.empty() && queue_.head_kind() == ReqKind::kReader) {
         group = queue_.dequeue();
+        sync_waiter_flag();
         csnzi_.open_with_arrivals(1 + group.count(),
                                   queue_.num_writers() != 0);
       } else {
@@ -213,6 +256,12 @@ class GollLock {
   LockStatsSnapshot stats() const {
     LockStatsSnapshot s = stats_.snapshot();
     s.csnzi = csnzi_.stats();
+    const MetalockStatsSnapshot m = metalock_.stats();
+    s.meta_handoffs = m.handoffs;
+    s.meta_cohort_hits = m.cohort_hits;
+    s.meta_cross_domain = m.cross_domain;
+    s.wake_cohort_hits = queue_.wake_cohort_hits();
+    s.wake_cross_domain = queue_.wake_cross_domain();
     return s;
   }
 
@@ -228,11 +277,29 @@ class GollLock {
     }
     stats_.count_write_queued();
     typename WaitQueue<M>::WaitNode waiter;
-    waiter.strategy = opts_.wait_strategy;
+    waiter.arm(opts_.wait_strategy, my_domain());
     {
-      std::lock_guard<TatasLock<M>> meta(metalock_);
+      std::lock_guard<Metalock<M>> meta(metalock_);
       if (csnzi_.close()) return;  // lock became free; Close acquired it
+      const bool was_empty = queue_.empty();
       queue_.enqueue(&waiter, ReqKind::kWriter);
+      if (fast_release_ && was_empty) {
+        // Only the empty->nonempty transition can race with the eliding
+        // release — existing waiters are visible to its first flag check.
+        has_waiters_.store(1, std::memory_order_relaxed);
+        // Dekker re-check (see unlock): an eliding release may have opened
+        // the C-SNZI without observing the flag above.
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (csnzi_.query().open && csnzi_.close()) {
+          // The lock went free and the re-close acquired it: dequeue
+          // ourselves and own it.  (A failed re-close means a new holder
+          // closed first or we closed over fresh readers; either way the
+          // next release/last departure sees our node and hands off.)
+          queue_.remove(&waiter);
+          sync_waiter_flag();
+          return;
+        }
+      }
     }
     const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
     waiter.wait();  // ownership handed over before the flag is set
@@ -250,12 +317,28 @@ class GollLock {
         stats_.count_read_fast();  // no queueing: one C-SNZI arrival
         return;
       }
+      if (fast_release_ && wait_for_reopen()) {
+        continue;  // the write epoch ended; retry the arrival fast path
+      }
       typename WaitQueue<M>::WaitNode waiter;
-      waiter.strategy = opts_.wait_strategy;
+      waiter.arm(opts_.wait_strategy, my_domain());
       {
-        std::lock_guard<TatasLock<M>> meta(metalock_);
+        std::lock_guard<Metalock<M>> meta(metalock_);
         if (csnzi_.query().open) continue;  // reopened meanwhile; retry
+        const bool was_empty = queue_.empty();
         queue_.enqueue(&waiter, ReqKind::kReader);
+        if (fast_release_ && was_empty) {
+          has_waiters_.store(1, std::memory_order_relaxed);
+          // Dekker re-check (see unlock): if an eliding release opened the
+          // C-SNZI without seeing the flag, undo the enqueue and retry the
+          // arrival fast path rather than wait for its rescue.
+          std::atomic_thread_fence(std::memory_order_seq_cst);
+          if (csnzi_.query().open) {
+            queue_.remove(&waiter);
+            sync_waiter_flag();
+            continue;
+          }
+        }
       }
       // The releasing thread pre-arrives at the root on our behalf
       // (OpenWithArrivals), so we will depart with a direct ticket.
@@ -268,6 +351,59 @@ class GollLock {
     }
   }
 
+  // Bounded spin on the C-SNZI root waiting for the write epoch to end
+  // (metalock != tatas): a queued reader costs two metalock round trips
+  // plus a wake handoff, so a reader that merely caught a short writer
+  // critical section spins for the reopen instead — off the metalock, off
+  // the wait queue, and invalidation-free (the root line is only re-read
+  // when it actually changes).  While *writers* still wait, the C-SNZI
+  // stays closed, so spinners cannot overtake queued writers; once the
+  // budget expires the caller falls back to the queue, preserving liveness
+  // under writer bursts and the coalescing fairness policy.
+  bool wait_for_reopen() {
+    SpinWait w;
+    for (std::uint32_t i = 0; i < kReopenSpinBudget; ++i) {
+      if (csnzi_.query().open) return true;
+      w.pause();
+    }
+    return false;
+  }
+
+  // Slow half of the eliding release: we opened the C-SNZI believing the
+  // queue empty, then the re-check observed a waiter that may have missed
+  // the open.  Reclaim the lock under the metalock and hand it off; if the
+  // re-close fails, some new holder (a fast-path writer, or readers we just
+  // closed over) took the lock first and its own release path — or the last
+  // reader's departure — performs the handoff instead.
+  void rescue_missed_open() {
+    typename WaitQueue<M>::GroupRef group;
+    {
+      std::lock_guard<Metalock<M>> meta(metalock_);
+      if (queue_.empty()) return;  // the enqueuer rescued itself
+      if (!csnzi_.close()) return;
+      group = queue_.dequeue(my_domain());
+      sync_waiter_flag();
+      OLL_CHECK(!group.empty());
+      if (group.kind() == ReqKind::kReader) {
+        csnzi_.open_with_arrivals(group.count(), queue_.num_writers() != 0);
+      }
+    }
+    group.signal_all();
+  }
+
+  // Re-derive the queue-nonempty flag after a dequeue/remove.  Mutated only
+  // under the metalock; read without it by the eliding unlock().  Written
+  // only on empty<->nonempty transitions so the line stays quiet while
+  // readers pile onto an existing group.  The seq_cst fences at the
+  // read/publish sites order the flag stores against the C-SNZI open/query
+  // ops of the Dekker protocol.
+  void sync_waiter_flag() {
+    if (fast_release_ && queue_.empty() &&
+        has_waiters_.load(std::memory_order_relaxed) != 0) {
+      has_waiters_.store(0, std::memory_order_relaxed);
+    }
+  }
+
   // The C-SNZI sizes its per-thread state to the lock's thread bound unless
   // the caller asked for a different bound explicitly.
   static CSnziOptions csnzi_options(const GollOptions& opts) {
@@ -275,6 +411,16 @@ class GollLock {
     if (o.max_threads == 0) o.max_threads = opts.max_threads;
     return o;
   }
+
+  static MetalockOptions metalock_options(const GollOptions& opts) {
+    MetalockOptions o = opts.metalock;
+    if (o.max_threads == 0) o.max_threads = opts.max_threads;
+    return o;
+  }
+
+  // Releasing/enqueueing thread's LLC domain, for the wait queue's cohort
+  // writer handoff.  One relaxed table lookup; free on single-domain hosts.
+  std::uint32_t my_domain() const { return dmap_.domain_of(this_thread_index()); }
 
   template <typename TimePoint, typename Try>
   bool try_until(const TimePoint& deadline, Try&& attempt) {
@@ -290,10 +436,19 @@ class GollLock {
     Ticket ticket{};
   };
 
+  // Reader spin-for-reopen budget (pause iterations) before queueing.
+  static constexpr std::uint32_t kReopenSpinBudget = 256;
+
   GollOptions opts_;
   CSnzi<M> csnzi_;
-  TatasLock<M> metalock_;
+  Metalock<M> metalock_;
   WaitQueue<M> queue_;
+  // Scalable writer path (metalock != tatas): eliding release + tree wake.
+  // tatas keeps the seed protocol as the ablation baseline.
+  const bool fast_release_;
+  DomainMap dmap_;
+  // Queue-nonempty flag for the eliding release; see sync_waiter_flag().
+  typename M::template Atomic<std::uint32_t> has_waiters_{0};
   PerThreadSlots<Local> locals_;
   LockStats stats_;
 };

@@ -47,6 +47,19 @@ struct LockStatsSnapshot {
   // one; FOLL/ROLL sum their reader-node pool).  See snzi/csnzi_stats.hpp.
   CSnziStatsSnapshot csnzi{};
 
+  // Writer-arbitration handoff counters (locks/cohort_mcs_lock.hpp and the
+  // wait queue's domain-preferring wake policy).  meta_* count metalock
+  // ownership transfers: every direct handoff, the subset that stayed in the
+  // releasing holder's LLC domain, and global-lock passes to another domain.
+  // wake_* count writer *wakes*: grants that stayed in the releaser's domain
+  // vs. grants that crossed domains (FOLL/ROLL report their MCS-chain writer
+  // handoffs under wake_* too — they have no separate metalock).
+  std::uint64_t meta_handoffs = 0;
+  std::uint64_t meta_cohort_hits = 0;
+  std::uint64_t meta_cross_domain = 0;
+  std::uint64_t wake_cohort_hits = 0;
+  std::uint64_t wake_cross_domain = 0;
+
   // Latency distributions in trace-clock units (ns real / cycles sim);
   // populated only while latency timing is runtime-enabled.  writer_wait
   // covers the interval a writer spends waiting for the lock after missing
@@ -67,6 +80,11 @@ struct LockStatsSnapshot {
     read_bias += o.read_bias;
     bias_revoke += o.bias_revoke;
     csnzi += o.csnzi;
+    meta_handoffs += o.meta_handoffs;
+    meta_cohort_hits += o.meta_cohort_hits;
+    meta_cross_domain += o.meta_cross_domain;
+    wake_cohort_hits += o.wake_cohort_hits;
+    wake_cross_domain += o.wake_cross_domain;
     read_acquire += o.read_acquire;
     write_acquire += o.write_acquire;
     writer_wait += o.writer_wait;
@@ -84,6 +102,11 @@ struct LockStatsSnapshot {
     read_bias -= o.read_bias;
     bias_revoke -= o.bias_revoke;
     csnzi -= o.csnzi;
+    meta_handoffs -= o.meta_handoffs;
+    meta_cohort_hits -= o.meta_cohort_hits;
+    meta_cross_domain -= o.meta_cross_domain;
+    wake_cohort_hits -= o.wake_cohort_hits;
+    wake_cross_domain -= o.wake_cross_domain;
     read_acquire -= o.read_acquire;
     write_acquire -= o.write_acquire;
     writer_wait -= o.writer_wait;

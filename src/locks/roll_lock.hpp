@@ -40,6 +40,8 @@
 #include "platform/cache_line.hpp"
 #include "platform/memory.hpp"
 #include "platform/spin.hpp"
+#include "platform/thread_id.hpp"
+#include "platform/topology.hpp"
 #include "platform/trace.hpp"
 #include "locks/lock_stats.hpp"
 #include "locks/per_thread.hpp"
@@ -50,6 +52,10 @@ namespace oll {
 struct RollOptions {
   std::uint32_t max_threads = 512;
   CSnziOptions csnzi{};
+  // LLC-domain source for the NUMA-aware reader-node pool search and the
+  // writer-handoff locality counters (see FollOptions::topology — ROLL's
+  // writer arbitration is likewise already a local-spin MCS chain).
+  const Topology* topology = nullptr;
   // Max backwards hops when searching for a waiting reader node; 0 disables
   // traversal so only the hint is used (ablation knob).
   std::uint32_t max_scan_hops = 8;
@@ -62,6 +68,10 @@ class RollLock {
  public:
   explicit RollLock(const RollOptions& opts = {})
       : opts_(opts),
+        dmap_(opts.topology != nullptr
+                  ? opts.topology
+                  : (opts.csnzi.topology != nullptr ? opts.csnzi.topology
+                                                    : &Topology::system())),
         locals_(opts.max_threads),
         pool_size_(opts.max_threads),
         stats_(opts.max_threads) {
@@ -72,7 +82,9 @@ class RollLock {
     for (std::uint32_t i = 0; i < pool_size_; ++i) {
       pool_[i].init_reader(copts);
       pool_[i].ring_next = &pool_[(i + 1) % pool_size_];
+      pool_[i].domain = dmap_.domain_of(i);
     }
+    link_domain_rings();
   }
 
   RollLock(const RollLock&) = delete;
@@ -103,6 +115,7 @@ class RollLock {
         return succ != nullptr;
       });
     }
+    count_handoff(succ->domain);  // read before granting: succ may recycle
     succ->spin.store(0, std::memory_order_release);
     w->qnext.store(nullptr, std::memory_order_relaxed);
   }
@@ -124,6 +137,7 @@ class RollLock {
   // interval the writer-wait histogram measures.
   void lock_impl() {
     Node* w = &locals_.local().wnode;
+    w->domain = my_domain();  // published by the release stores below
     w->qnext.store(nullptr, std::memory_order_relaxed);
     w->prev.store(nullptr, std::memory_order_relaxed);
     Node* old_tail = tail_.exchange(w, std::memory_order_acq_rel);
@@ -270,6 +284,7 @@ class RollLock {
   // node still occupies the tail, which the SharedMutex contract permits.
   bool try_lock() {
     Node* w = &locals_.local().wnode;
+    w->domain = my_domain();
     w->qnext.store(nullptr, std::memory_order_relaxed);
     w->prev.store(nullptr, std::memory_order_relaxed);
     Node* expected = nullptr;
@@ -323,6 +338,8 @@ class RollLock {
     for (std::uint32_t i = 0; i < pool_size_; ++i) {
       s.csnzi += pool_[i].csnzi->stats();
     }
+    s.wake_cohort_hits = wake_cohort_hits_.load(std::memory_order_relaxed);
+    s.wake_cross_domain = wake_cross_domain_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -346,6 +363,11 @@ class RollLock {
     typename M::template Atomic<std::uint32_t> alloc_state{kFree};
     std::unique_ptr<CSnzi<M>> csnzi;
     Node* ring_next = nullptr;
+    // Secondary ring over same-LLC-domain pool nodes; see foll_lock.hpp.
+    Node* ring_next_domain = nullptr;
+    // Owner/allocator thread's LLC domain; read by the granting thread
+    // before it sets `spin` (handoff-locality counters).
+    std::uint32_t domain = 0;
 
     void init_reader(const CSnziOptions& opts) {
       kind = kReaderNode;
@@ -399,29 +421,68 @@ class RollLock {
     if (node->csnzi->depart(t)) return;
     Node* succ = node->qnext.load(std::memory_order_acquire);
     OLL_CHECK(succ != nullptr);  // the closer linked qnext before closing
+    count_handoff(succ->domain);  // read before granting
     succ->spin.store(0, std::memory_order_release);
     node->qnext.store(nullptr, std::memory_order_relaxed);
     free_reader_node(node);
   }
 
-  Node* alloc_reader_node() {
-    Node* start = &pool_[this_thread_index() % pool_size_];
-    Node* n = start;
-    SpinWait lap_wait;
-    while (true) {
-      if (n->alloc_state.load(std::memory_order_relaxed) == kFree) {
-        std::uint32_t expected = kFree;
-        if (n->alloc_state.compare_exchange_strong(
-                expected, kInUse, std::memory_order_acq_rel,
-                std::memory_order_relaxed)) {
-          n->qnext.store(nullptr, std::memory_order_relaxed);
-          n->prev.store(nullptr, std::memory_order_relaxed);
-          return n;
+  // See foll_lock.hpp: per-domain secondary ring for the domain-first pool
+  // search.
+  void link_domain_rings() {
+    for (std::uint32_t i = 0; i < pool_size_; ++i) {
+      Node& n = pool_[i];
+      n.ring_next_domain = &n;
+      for (std::uint32_t step = 1; step <= pool_size_; ++step) {
+        Node& cand = pool_[(i + step) % pool_size_];
+        if (cand.domain == n.domain) {
+          n.ring_next_domain = &cand;
+          break;
         }
       }
+    }
+  }
+
+  std::uint32_t my_domain() const {
+    return dmap_.domain_of(this_thread_index());
+  }
+
+  void count_handoff(std::uint32_t succ_domain) {
+    std::atomic<std::uint64_t>& c = succ_domain == my_domain()
+                                        ? wake_cohort_hits_
+                                        : wake_cross_domain_;
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+
+  Node* alloc_reader_node() {
+    Node* start = &pool_[this_thread_index() % pool_size_];
+    // Domain-first pass over the same-LLC ring, then the global ring (see
+    // foll_lock.hpp for rationale).
+    Node* n = start;
+    do {
+      if (Node* got = try_claim(n)) return got;
+      n = n->ring_next_domain;
+    } while (n != start);
+    SpinWait lap_wait;
+    while (true) {
+      if (Node* got = try_claim(n)) return got;
       n = n->ring_next;
       if (n == start) lap_wait.pause();
     }
+  }
+
+  Node* try_claim(Node* n) {
+    if (n->alloc_state.load(std::memory_order_relaxed) != kFree) return nullptr;
+    std::uint32_t expected = kFree;
+    if (!n->alloc_state.compare_exchange_strong(expected, kInUse,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    n->qnext.store(nullptr, std::memory_order_relaxed);
+    n->prev.store(nullptr, std::memory_order_relaxed);
+    n->domain = my_domain();
+    return n;
   }
 
   void free_reader_node(Node* n) {
@@ -434,10 +495,13 @@ class RollLock {
   char pad0_[kFalseSharingRange - sizeof(void*)];
   typename M::template Atomic<Node*> hint_{nullptr};
   char pad1_[kFalseSharingRange - sizeof(void*)];
+  DomainMap dmap_;
   PerThreadSlots<Local> locals_;
   std::unique_ptr<Node[]> pool_;
   std::uint32_t pool_size_;
   LockStats stats_;
+  std::atomic<std::uint64_t> wake_cohort_hits_{0};
+  std::atomic<std::uint64_t> wake_cross_domain_{0};
 };
 
 }  // namespace oll

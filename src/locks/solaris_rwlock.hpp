@@ -73,7 +73,7 @@ class SolarisRwLock {
       // Conflict path: set hasWaiters atomically w.r.t. the queue (§3.1:
       // take the turnstile mutex, CAS the bits, restart if the CAS fails).
       typename WaitQueue<M>::WaitNode waiter;
-      waiter.strategy = wait_strategy_;
+      waiter.arm(wait_strategy_);
       {
         std::lock_guard<TatasLock<M>> meta(metalock_);
         w = word_.load(std::memory_order_acquire);
@@ -132,7 +132,7 @@ class SolarisRwLock {
         continue;
       }
       typename WaitQueue<M>::WaitNode waiter;
-      waiter.strategy = wait_strategy_;
+      waiter.arm(wait_strategy_);
       {
         std::lock_guard<TatasLock<M>> meta(metalock_);
         w = word_.load(std::memory_order_acquire);

@@ -11,17 +11,47 @@
 // "sets the reader counter to the number of readers in that group and wakes
 // them up").
 //
+// Under kSpin a WaitNode is nothing but a cache-line-padded local-spin flag
+// plus metalock-protected links; the kBlocking parking state (mutex +
+// condition variable) is allocated on demand by arm(), so the spin
+// configuration the paper evaluates never constructs or carries it.
+//
+// NUMA cohort handoff (cohort_budget > 0): each node records its waiter's
+// LLC domain at arm() time, and a releasing thread may ask dequeue() to
+// prefer a *writer* in its own domain over the FIFO head — restricted to
+// the leading run of consecutive writer groups (a writer never overtakes a
+// reader group, preserving the reader/writer alternation policy), and to at
+// most `cohort_budget` consecutive preferred grants before strict FIFO
+// resumes.  A skipped writer therefore waits at most cohort_budget extra
+// grants: bounded unfairness in exchange for keeping the lock word, queue
+// head and C-SNZI root inside one cache domain (see DESIGN.md §10).
+//
+// Group wakeup (tree_wake): linearly waking a group of N readers puts N
+// remote flag stores on the *granter's* critical path — the last store
+// trails the first by N cache-line transfers.  With tree_wake the granter
+// instead threads the (frozen) member list into an implicit BFS binary tree
+// using plain pointer writes and sets only the leader's flag; each waiter
+// forwards the grant to its two children as it wakes, so the furthest
+// waiter is ceil(log2 N) transfers away and the fan-out runs on the woken
+// threads' own cycles.  The seed's linear wake remains the default (and the
+// metalock=tatas baseline's behavior).
+//
 // Concurrency contract:
-//   * enqueue/dequeue/num_writers/empty are called ONLY while holding the
-//     lock's metalock.
+//   * enqueue/dequeue/remove/num_writers/empty are called ONLY while holding
+//     the lock's metalock.
 //   * GroupRef::signal_all is called after releasing the metalock; it reads
 //     each node's intrusive `next_in_group` pointer BEFORE setting that
 //     node's granted flag, because the owning thread may destroy its stack
-//     node the instant the flag is set.
+//     node the instant the flag is set.  Under tree_wake the child pointers
+//     are written before the leader's flag and published to each waiter by
+//     the release/acquire chain through the flags; a waiter reads only its
+//     OWN child pointers (its node is alive — it is standing in wait()).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 
 #include "platform/assert.hpp"
@@ -50,30 +80,49 @@ class WaitQueue {
     // Links below are metalock-protected plain fields.
     WaitNode* next_in_group = nullptr;
     WaitNode* next_group = nullptr;  // valid on group leaders only
+    WaitNode* prev_group = nullptr;  // valid on group leaders only
+    // Tree-wake children (see GroupRef::signal_all): written by the granting
+    // thread before it sets the subtree root's flag, read by each waiter
+    // only after observing its own flag — the release/acquire chain through
+    // the flags publishes them.
+    WaitNode* child[2] = {nullptr, nullptr};
     std::uint32_t group_count = 0;   // valid on group leaders only
+    std::uint32_t domain = 0;        // waiter's LLC domain (cohort handoff)
     ReqKind kind = ReqKind::kReader;
     WaitStrategy strategy = WaitStrategy::kSpin;
+
+    // kBlocking parking state, absent under kSpin (the paper-evaluation
+    // configuration's node is just the local-spin flag + links).
+    struct Parking {
+      std::mutex m;
+      std::condition_variable cv;
+    };
+    std::unique_ptr<Parking> parking;
+
+    // Configure the node before enqueueing (and before the metalock is
+    // taken — the kBlocking allocation must not happen under a spinlock).
+    void arm(WaitStrategy s, std::uint32_t dom = 0) {
+      strategy = s;
+      domain = dom;
+      if (s == WaitStrategy::kBlocking && parking == nullptr) {
+        parking = std::make_unique<Parking>();
+      }
+    }
 
     // Block until a releasing thread hands us the lock.  Ownership is
     // transferred *before* the flag is set, so the thread owns the lock on
     // wakeup (no re-check loop), mirroring the Solaris handoff discipline.
     void wait() {
-      if (strategy == WaitStrategy::kSpin) {
-        spin_until(
-            [&] { return granted.load(std::memory_order_acquire) != 0; });
-        return;
-      }
-      // Blocking: a short optimistic spin, then park.  `granted` is set
-      // under `m` by grant() so the sleep/wake handshake cannot be lost.
-      SpinWait w;
-      for (unsigned i = 0; i < 2 * SpinWait::kDefaultSpinLimit; ++i) {
-        if (granted.load(std::memory_order_acquire) != 0) return;
-        w.pause();
-      }
-      std::unique_lock<std::mutex> g(m);
-      cv.wait(g, [&] {
-        return granted.load(std::memory_order_acquire) != 0;
-      });
+      wait_granted();
+      // Tree wake: forward the grant to our subtree.  The granting thread
+      // wrote these (plain) pointers before setting the flag we just
+      // observed, so the release/acquire chain publishes them; a linear
+      // wake leaves both null.  Our own node is alive (we are standing in
+      // it); each child is alive because it is still spinning in wait().
+      WaitNode* c0 = child[0];
+      WaitNode* c1 = child[1];
+      if (c0 != nullptr) c0->grant();
+      if (c1 != nullptr) c1->grant();
     }
 
     // Called by GroupRef::signal_all.  For blocking waiters the flag store
@@ -82,22 +131,42 @@ class WaitQueue {
     // moment it observes granted != 0, so (as with the spin path) nothing
     // may touch the node after this returns — cv.notify_one is called
     // under the mutex for exactly that reason (the waiter cannot finish
-    // cv.wait until we release `m` inside this function).
+    // cv.wait until we release the mutex inside this function).
     void grant() {
       if (strategy == WaitStrategy::kSpin) {
         granted.store(1, std::memory_order_release);
         return;
       }
+      OLL_DCHECK(parking != nullptr);
       {
-        std::lock_guard<std::mutex> g(m);
+        std::lock_guard<std::mutex> g(parking->m);
         granted.store(1, std::memory_order_release);
-        cv.notify_one();
+        parking->cv.notify_one();
       }
     }
 
-    // Blocking-strategy parking state (unused under kSpin).
-    std::mutex m;
-    std::condition_variable cv;
+   private:
+    // Block until granted (the strategy-specific half of wait()).
+    void wait_granted() {
+      if (strategy == WaitStrategy::kSpin) {
+        spin_until(
+            [&] { return granted.load(std::memory_order_acquire) != 0; });
+        return;
+      }
+      // Blocking: a short optimistic spin, then park.  `granted` is set
+      // under `parking->m` by grant() so the sleep/wake handshake cannot be
+      // lost.
+      SpinWait w;
+      for (unsigned i = 0; i < 2 * SpinWait::kDefaultSpinLimit; ++i) {
+        if (granted.load(std::memory_order_acquire) != 0) return;
+        w.pause();
+      }
+      OLL_DCHECK(parking != nullptr);
+      std::unique_lock<std::mutex> g(parking->m);
+      parking->cv.wait(g, [&] {
+        return granted.load(std::memory_order_acquire) != 0;
+      });
+    }
   };
 
   // Value-type snapshot of a dequeued group, safe to use after the metalock
@@ -105,44 +174,78 @@ class WaitQueue {
   class GroupRef {
    public:
     GroupRef() = default;
-    GroupRef(WaitNode* leader, ReqKind kind, std::uint32_t count)
-        : leader_(leader), kind_(kind), count_(count) {}
+    GroupRef(WaitNode* leader, ReqKind kind, std::uint32_t count,
+             bool tree_wake = false)
+        : leader_(leader), kind_(kind), count_(count), tree_wake_(tree_wake) {}
 
     bool empty() const noexcept { return leader_ == nullptr; }
     ReqKind kind() const noexcept { return kind_; }
     std::uint32_t count() const noexcept { return count_; }
+    // Leader's LLC domain; meaningful for writer groups (single node).
+    std::uint32_t domain() const noexcept {
+      return leader_ != nullptr ? leader_->domain : 0;
+    }
 
     // Wake every thread in the group.  See the concurrency contract above.
     void signal_all() const {
-      WaitNode* n = leader_;
-      while (n != nullptr) {
-        WaitNode* next = n->next_in_group;  // read before granting!
-        n->grant();
-        n = next;
+      if (!tree_wake_ || count_ <= 1) {
+        WaitNode* n = leader_;
+        while (n != nullptr) {
+          WaitNode* next = n->next_in_group;  // read before granting!
+          n->grant();
+          n = next;
+        }
+        return;
       }
+      // Tree wake: thread the member list into an implicit BFS binary tree
+      // — the parent of member i is member (i-1)/2, reachable by walking
+      // the same list at half speed — then set only the leader's flag.
+      // Every node is still spinning (plain writes are unobserved until the
+      // flag chain publishes them), and wait() fans the grant out.
+      WaitNode* parent = leader_;
+      int slot = 0;
+      for (WaitNode* n = leader_->next_in_group; n != nullptr;
+           n = n->next_in_group) {
+        parent->child[slot] = n;
+        if (++slot == 2) {
+          slot = 0;
+          parent = parent->next_in_group;
+        }
+      }
+      leader_->grant();
     }
 
    private:
     WaitNode* leader_ = nullptr;
     ReqKind kind_ = ReqKind::kReader;
     std::uint32_t count_ = 0;
+    bool tree_wake_ = false;
   };
 
-  // If true (the paper's evaluation policy, §5.1 footnote 1), a new reader
-  // joins the most recent waiting reader group even when writers queued
-  // after that group — readers overtake waiting writers to form one group.
-  // If false, strict FIFO groups: a reader after a writer starts a new group.
-  explicit WaitQueue(bool readers_coalesce_over_writers = true)
-      : coalesce_(readers_coalesce_over_writers) {}
+  // If `readers_coalesce_over_writers` (the paper's evaluation policy, §5.1
+  // footnote 1), a new reader joins the most recent waiting reader group
+  // even when writers queued after that group.  If false, strict FIFO
+  // groups.  `cohort_budget` > 0 enables the domain-preferring writer
+  // dequeue (see file comment); 0 keeps pure FIFO grants.  `tree_wake`
+  // selects the log-depth group wakeup (see file comment).
+  explicit WaitQueue(bool readers_coalesce_over_writers = true,
+                     std::uint32_t cohort_budget = 0, bool tree_wake = false)
+      : coalesce_(readers_coalesce_over_writers),
+        cohort_budget_(cohort_budget),
+        tree_wake_(tree_wake) {}
 
   WaitQueue(const WaitQueue&) = delete;
   WaitQueue& operator=(const WaitQueue&) = delete;
 
-  // Metalock held.  `node` is the caller's (typically stack) wait node.
+  // Metalock held.  `node` is the caller's (typically stack) wait node,
+  // already arm()ed with its strategy and domain.
   void enqueue(WaitNode* node, ReqKind kind) {
     node->granted.store(0, std::memory_order_relaxed);
     node->next_in_group = nullptr;
     node->next_group = nullptr;
+    node->prev_group = nullptr;
+    node->child[0] = nullptr;
+    node->child[1] = nullptr;
     node->kind = kind;
     node->group_count = 1;
     if (kind == ReqKind::kReader) {
@@ -174,26 +277,63 @@ class WaitQueue {
       head_ = tail_ = node;
     } else {
       tail_->next_group = node;
+      node->prev_group = tail_;
       tail_ = node;
     }
   }
 
   // Metalock held.  Pops the head group; empty GroupRef if queue is empty.
   GroupRef dequeue() {
-    WaitNode* leader = head_;
-    if (leader == nullptr) return GroupRef{};
-    head_ = leader->next_group;
-    if (head_ == nullptr) tail_ = nullptr;
-    if (leader->kind == ReqKind::kWriter) {
-      OLL_DCHECK(num_writers_ > 0);
-      --num_writers_;
-    } else if (leader == last_reader_group_) {
-      // Popping the (unique) coalescing target: clear it so later readers
-      // start a fresh group instead of chaining onto freed stack nodes.
-      last_reader_group_ = nullptr;
-    }
-    return GroupRef{leader, leader->kind, leader->group_count};
+    cohort_streak_ = 0;  // a FIFO grant resets the preference budget
+    return pop_group(head_);
   }
+
+  // Metalock held.  Domain-preferring dequeue: when the head is a writer
+  // and a writer in `releaser_domain` exists within the leading run of
+  // consecutive writer groups (bounded scan), grant that one instead —
+  // for at most cohort_budget consecutive preferred grants.  Reader groups
+  // are never skipped and never reordered.  Falls back to plain FIFO when
+  // cohorting is disabled or no candidate qualifies.
+  GroupRef dequeue(std::uint32_t releaser_domain) {
+    if (cohort_budget_ == 0 || head_ == nullptr ||
+        head_->kind != ReqKind::kWriter) {
+      return dequeue();
+    }
+    if (head_->domain == releaser_domain) {
+      // FIFO and intra-domain at once: the best case, free of charge.
+      bump(wake_cohort_hits_);
+      cohort_streak_ = 0;
+      return pop_group(head_);
+    }
+    if (cohort_streak_ >= cohort_budget_) {
+      // Budget exhausted: strict FIFO until the next natural head grant.
+      bump(wake_cross_domain_);
+      return dequeue();
+    }
+    // Scan the leading writer run for a same-domain writer.  Bounded: the
+    // metalock is held, so the walk must stay short.
+    WaitNode* n = head_->next_group;
+    for (std::uint32_t hops = 0;
+         n != nullptr && n->kind == ReqKind::kWriter && hops < kMaxCohortScan;
+         ++hops, n = n->next_group) {
+      if (n->domain == releaser_domain) {
+        ++cohort_streak_;
+        bump(wake_cohort_hits_);
+        return pop_group(n);
+      }
+    }
+    bump(wake_cross_domain_);
+    return dequeue();
+  }
+
+  // Metalock held.  Unlink a just-enqueued group leader again — the
+  // enqueue-undo path of the metalock-eliding release protocol (see
+  // goll_lock.hpp).  `node` must still be a group leader, which is
+  // guaranteed when it was enqueued into an empty queue and the metalock
+  // has been held continuously since (nothing can have joined or popped
+  // it).  No wakeup happens: the caller owns the node and simply reuses
+  // or destroys it.
+  void remove(WaitNode* node) { (void)pop_group(node); }
 
   // Metalock held.
   bool empty() const noexcept { return head_ == nullptr; }
@@ -203,7 +343,52 @@ class WaitQueue {
     return head_->kind;
   }
 
+  // Cohort wake counters: writer grants that stayed in the releaser's
+  // domain vs. grants (or budget fallbacks) that crossed domains.  Single
+  // writer at a time (the metalock holder), relaxed concurrent readers.
+  std::uint64_t wake_cohort_hits() const {
+    return wake_cohort_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t wake_cross_domain() const {
+    return wake_cross_domain_.load(std::memory_order_relaxed);
+  }
+
  private:
+  // Upper bound on the preferred-writer scan; keeps the metalock critical
+  // section O(1) however long the writer run grows.
+  static constexpr std::uint32_t kMaxCohortScan = 8;
+
+  static void bump(std::atomic<std::uint64_t>& c) {
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+
+  // Unlink `leader`'s group from the group list (head, middle or tail) and
+  // return its GroupRef.  Null-safe: returns an empty ref.
+  GroupRef pop_group(WaitNode* leader) {
+    if (leader == nullptr) return GroupRef{};
+    WaitNode* prev = leader->prev_group;
+    WaitNode* next = leader->next_group;
+    if (prev != nullptr) {
+      prev->next_group = next;
+    } else {
+      head_ = next;
+    }
+    if (next != nullptr) {
+      next->prev_group = prev;
+    } else {
+      tail_ = prev;
+    }
+    if (leader->kind == ReqKind::kWriter) {
+      OLL_DCHECK(num_writers_ > 0);
+      --num_writers_;
+    } else if (leader == last_reader_group_) {
+      // Popping the (unique) coalescing target: clear it so later readers
+      // start a fresh group instead of chaining onto freed stack nodes.
+      last_reader_group_ = nullptr;
+    }
+    return GroupRef{leader, leader->kind, leader->group_count, tree_wake_};
+  }
+
   WaitNode* head_ = nullptr;
   WaitNode* tail_ = nullptr;
   // Coalescing policy only: leader of the single queued reader group, or
@@ -211,6 +396,12 @@ class WaitQueue {
   WaitNode* last_reader_group_ = nullptr;
   std::uint32_t num_writers_ = 0;
   bool coalesce_;
+  std::uint32_t cohort_budget_;
+  bool tree_wake_;
+  // Consecutive preferred (non-FIFO) writer grants since the last head pop.
+  std::uint32_t cohort_streak_ = 0;
+  std::atomic<std::uint64_t> wake_cohort_hits_{0};
+  std::atomic<std::uint64_t> wake_cross_domain_{0};
 };
 
 }  // namespace oll

@@ -138,6 +138,37 @@ class LeafMap {
   std::uint32_t cpus_ = 1;
 };
 
+// A resolved thread_index -> LLC-domain function, the writer-side sibling of
+// LeafMap: the cohort metalock (locks/cohort_mcs_lock.hpp) and the wait
+// queue's NUMA-aware writer handoff group threads by last-level cache so
+// consecutive lock holders stay on one socket.  Thread indices map to CPUs
+// by identity mod cpu count, exactly as LeafMap does (the harness pins
+// worker w to index w).  A null/empty topology degrades to a single domain,
+// which turns every cohort policy into plain FIFO behaviour.
+class DomainMap {
+ public:
+  DomainMap() = default;
+  explicit DomainMap(const Topology* topo) {
+    if (topo != nullptr && topo->cpu_count() > 0) {
+      topo_ = topo;
+      cpus_ = topo->cpu_count();
+      domains_ = topo->llc_domains() > 0 ? topo->llc_domains() : 1;
+    }
+  }
+
+  std::uint32_t domains() const { return domains_; }
+
+  std::uint32_t domain_of(std::uint32_t thread_index) const {
+    if (topo_ == nullptr) return 0;
+    return topo_->placement(thread_index % cpus_).llc_domain;
+  }
+
+ private:
+  const Topology* topo_ = nullptr;
+  std::uint32_t cpus_ = 1;
+  std::uint32_t domains_ = 1;
+};
+
 // Parses a sysfs cpulist ("0-3,8,10-11\n") into cpu numbers.  Malformed
 // chunks are skipped rather than fatal — sysfs is advisory input.
 std::vector<std::uint32_t> parse_cpu_list(const std::string& text);

@@ -2,6 +2,6 @@
 
 namespace oll::sim {
 
-thread_local ThreadContext* ThreadContext::tls_current_ = nullptr;
+constinit thread_local ThreadContext* ThreadContext::tls_current_ = nullptr;
 
 }  // namespace oll::sim

@@ -103,7 +103,11 @@ class ThreadContext {
     return slot;  // evict
   }
 
-  static thread_local ThreadContext* tls_current_;
+  // constinit matters beyond style: it lets every TU see there is no dynamic
+  // TLS initializer, so GCC skips the init-wrapper branch whose flags a
+  // GCC 12 -O2 -fsanitize=undefined bug reuses for the store null-check
+  // (making UBSan report "store to null pointer" here on every thread).
+  static constinit thread_local ThreadContext* tls_current_;
 
   Machine* machine_;
   std::uint32_t tid_;

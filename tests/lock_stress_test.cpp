@@ -12,7 +12,9 @@
 
 #include "core/factory.hpp"
 #include "harness/driver.hpp"
+#include "locks/goll_lock.hpp"
 #include "platform/thread_id.hpp"
+#include "platform/topology.hpp"
 #include "sim/context.hpp"
 #include "sim/machine.hpp"
 #include "sim/memory.hpp"
@@ -63,6 +65,80 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(2u, 4u, 8u),
         ::testing::Values(0u, 50u, 90u, 100u)),
     stress_name);
+
+// --- GOLL metalock-variant stress -------------------------------------------
+//
+// The scalable writer path (cohort MCS metalock, metalock-eliding release,
+// tree wake) has its trickiest interleavings between a releasing writer and
+// a racing enqueuer, and between a tree-wake granter and its forwarding
+// children.  Hammer those under every metalock kind on a synthetic
+// two-domain topology with pinned thread indices, so both cohort domains
+// are populated; TSan runs of this binary check the protocol's memory
+// ordering, not just the exclusion oracle.
+
+using GollMetalockParam = std::tuple<MetalockKind, unsigned /*read_pct*/>;
+
+class GollMetalockStress : public ::testing::TestWithParam<GollMetalockParam> {
+};
+
+TEST_P(GollMetalockStress, ExclusionAcrossDomains) {
+  const auto [kind, read_pct] = GetParam();
+  // 8 cpus, SMT off, 4 per LLC: workers 0-3 in domain 0, 4-7 in domain 1.
+  const Topology topo = Topology::synthetic(8, 1, 4, 4);
+  GollOptions g;
+  g.max_threads = 16;
+  g.metalock.kind = kind;
+  g.metalock.cohort_budget = 2;  // small budget: frequent cross-domain passes
+  g.metalock.topology = &topo;
+  GollLock<> lock(g);
+  ExclusionChecker checker;
+  std::vector<std::thread> workers;
+  std::atomic<std::uint64_t> writes{0};
+  for (unsigned t = 0; t < 8; ++t) {
+    workers.emplace_back([&, t, rp = read_pct] {
+      ScopedThreadIndex idx(t);
+      Xoshiro256ss rng(0xabcd + t);
+      std::uint64_t local = 0;
+      for (unsigned i = 0; i < 1200; ++i) {
+        if (rng.bernoulli(rp, 100)) {
+          lock.lock_shared();
+          checker.reader_enter();
+          checker.reader_exit();
+          lock.unlock_shared();
+        } else {
+          lock.lock();
+          checker.writer_enter();
+          ++checker.unprotected_counter;
+          checker.writer_exit();
+          lock.unlock();
+          ++local;
+        }
+      }
+      writes.fetch_add(local);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(checker.violations(), 0u);
+  EXPECT_EQ(checker.unprotected_counter, writes.load());
+}
+
+std::string goll_metalock_name(
+    const ::testing::TestParamInfo<GollMetalockParam>& info) {
+  const auto [kind, read_pct] = info.param;
+  return std::string(metalock_kind_name(kind)) + "_r" +
+         std::to_string(read_pct);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MetalockSweep, GollMetalockStress,
+    ::testing::Combine(::testing::Values(MetalockKind::kTatas,
+                                         MetalockKind::kMcs,
+                                         MetalockKind::kCohort),
+                       // 0: eliding release + metalock hammer; 50: mixed
+                       // (tree wake of reader groups behind writers); 95:
+                       // reader-dominated spin-for-reopen.
+                       ::testing::Values(0u, 50u, 95u)),
+    goll_metalock_name);
 
 // --- simulated-memory stress -------------------------------------------------
 //

@@ -1,0 +1,344 @@
+// Tests for the selectable metalocks (locks/cohort_mcs_lock.hpp): mutual
+// exclusion for all three kinds, the cohort lock's two-level behavior on
+// synthetic multi-domain topologies (bounded cross-domain wait, handoff
+// accounting, single-domain degradation), and the GOLL try paths' freedom
+// from the metalock while contended writers hold it.
+#include "locks/cohort_mcs_lock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "locks/goll_lock.hpp"
+#include "platform/thread_id.hpp"
+#include "platform/topology.hpp"
+#include "fake_topology.hpp"
+
+namespace oll {
+namespace {
+
+using test::FakeSysfs;
+
+// Pins worker w to dense thread index w so DomainMap places it on cpu w of
+// the synthetic topology; increments a counter that only exclusion protects.
+// A start barrier makes the workers actually overlap — without it the loop
+// is short enough that staggered thread creation serializes them and the
+// lock never sees contention (or produces a single handoff).
+template <typename Lock>
+void exclusion_stress(Lock& lock, unsigned threads, unsigned iters) {
+  std::uint64_t unprotected = 0;
+  std::atomic<unsigned> ready{0};
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      ScopedThreadIndex idx(t);
+      ready.fetch_add(1);
+      while (ready.load(std::memory_order_relaxed) < threads) {
+        std::this_thread::yield();
+      }
+      for (unsigned i = 0; i < iters; ++i) {
+        lock.lock();
+        ++unprotected;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(unprotected, static_cast<std::uint64_t>(threads) * iters);
+}
+
+TEST(MetalockKindNames, RoundTrip) {
+  for (MetalockKind k :
+       {MetalockKind::kTatas, MetalockKind::kMcs, MetalockKind::kCohort}) {
+    const auto parsed = parse_metalock_kind(metalock_kind_name(k));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(parse_metalock_kind("bogus").has_value());
+}
+
+TEST(MetalockDispatch, ExclusionForEveryKind) {
+  for (MetalockKind k :
+       {MetalockKind::kTatas, MetalockKind::kMcs, MetalockKind::kCohort}) {
+    MetalockOptions o;
+    o.kind = k;
+    o.max_threads = 16;
+    Metalock<> lock(o);
+    EXPECT_EQ(lock.kind(), k);
+    exclusion_stress(lock, 4, 3000);
+  }
+}
+
+TEST(McsMetalock, ExclusionAndReuseAcrossAcquisitions) {
+  McsMetalock<> lock(16);
+  exclusion_stress(lock, 4, 5000);
+}
+
+TEST(CohortMetalock, MultiDomainExclusion) {
+  // 8 cpus, SMT off, 4 cpus per LLC => 2 domains; workers 0-3 are domain 0,
+  // workers 4-7 domain 1.
+  const Topology topo = Topology::synthetic(8, 1, 4, 4);
+  MetalockOptions o;
+  o.kind = MetalockKind::kCohort;
+  o.cohort_budget = 2;
+  o.topology = &topo;
+  o.max_threads = 16;
+  CohortMcsLock<> lock(o);
+  ASSERT_EQ(lock.domains(), 2u);
+  exclusion_stress(lock, 8, 2000);
+  // A free-running stress proves nothing about the counters on a small or
+  // single-cpu host (threads may never overlap); see the orchestrated
+  // HandoffAccounting test for those.
+  const MetalockStatsSnapshot s = lock.stats();
+  EXPECT_EQ(s.handoffs, s.cohort_hits + s.cross_domain);
+}
+
+TEST(CohortMetalock, HandoffAccountingWithQueuedWaiters) {
+  // Deterministic contention: the main thread (domain 0) holds the lock
+  // while two more domain-0 threads and one domain-1 thread demonstrably
+  // queue (they have a long sleep to get there, and enqueueing precedes
+  // their spin).  Releasing must then hand off through the queues:
+  //   main -> d0 leader        global pass        (cross_domain)
+  //   d0 leader -> d0 second   intra-domain pass  (cohort_hit, budget 2)
+  //   d0 second -> d1 thread   global pass        (cross_domain)
+  // (The d1 thread may instead slot in ahead of d0's leader — the global
+  // FAS order is a race — but every schedule yields at least one
+  // intra-domain pass and at least one cross-domain pass.)
+  const Topology topo = Topology::synthetic(8, 1, 4, 4);
+  MetalockOptions o;
+  o.kind = MetalockKind::kCohort;
+  o.cohort_budget = 2;
+  o.topology = &topo;
+  o.max_threads = 16;
+  CohortMcsLock<> lock(o);
+  ASSERT_EQ(lock.domains(), 2u);
+
+  ScopedThreadIndex main_idx(0);  // domain 0
+  lock.lock();
+  std::atomic<int> done{0};
+  std::vector<std::thread> waiters;
+  for (unsigned idx : {1u, 2u, 4u}) {  // cpus 1,2: domain 0; cpu 4: domain 1
+    waiters.emplace_back([&, idx] {
+      ScopedThreadIndex i(idx);
+      lock.lock();
+      lock.unlock();
+      done.fetch_add(1);
+    });
+  }
+  // All three must be queued before the release chain starts.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  lock.unlock();
+  for (auto& w : waiters) w.join();
+  EXPECT_EQ(done.load(), 3);
+
+  const MetalockStatsSnapshot s = lock.stats();
+  EXPECT_EQ(s.handoffs, s.cohort_hits + s.cross_domain);
+  EXPECT_GE(s.handoffs, 3u);
+  EXPECT_GE(s.cohort_hits, 1u);
+  EXPECT_GE(s.cross_domain, 1u);
+}
+
+TEST(CohortMetalock, CrossDomainWaiterIsNotStarved) {
+  // Three domain-0 threads keep the local queue non-empty indefinitely; the
+  // cohort budget must still force a global release so the domain-1 waiter
+  // gets in.  The failsafe bounds the test if the budget is broken (the
+  // hammers would otherwise spin until the 300s ctest timeout).
+  const Topology topo = Topology::synthetic(8, 1, 4, 4);
+  MetalockOptions o;
+  o.kind = MetalockKind::kCohort;
+  o.cohort_budget = 2;
+  o.topology = &topo;
+  o.max_threads = 16;
+  CohortMcsLock<> lock(o);
+  ASSERT_EQ(lock.domains(), 2u);
+
+  constexpr std::uint64_t kFailsafe = 20'000'000;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> d0_acquires{0};
+  std::vector<std::thread> hammers;
+  for (unsigned t = 0; t < 3; ++t) {
+    hammers.emplace_back([&, t] {
+      ScopedThreadIndex idx(t);  // cpus 0-2: domain 0
+      while (!stop.load(std::memory_order_relaxed) &&
+             d0_acquires.load(std::memory_order_relaxed) < kFailsafe) {
+        lock.lock();
+        d0_acquires.fetch_add(1, std::memory_order_relaxed);
+        lock.unlock();
+      }
+    });
+  }
+  std::thread cross([&] {
+    ScopedThreadIndex idx(4);  // cpu 4: domain 1
+    // Let the hammers saturate the domain-0 queue first.
+    while (d0_acquires.load(std::memory_order_relaxed) < 10'000) {
+      std::this_thread::yield();
+    }
+    for (int i = 0; i < 100; ++i) {
+      lock.lock();
+      lock.unlock();
+    }
+    stop.store(true);
+  });
+  cross.join();
+  for (auto& h : hammers) h.join();
+  EXPECT_LT(d0_acquires.load(), kFailsafe)
+      << "cross-domain waiter starved until the failsafe tripped";
+  // No cross_domain > 0 assertion: on a single-CPU host (and under TSan's
+  // serializing scheduler) the domain-1 thread can take the uncontended
+  // bypass for every acquisition, so the counter may legitimately stay 0.
+  // Deterministic cross-domain accounting is covered by
+  // HandoffAccountingWithQueuedWaiters.
+  const auto s = lock.stats();
+  EXPECT_EQ(s.handoffs, s.cohort_hits + s.cross_domain);
+}
+
+TEST(CohortMetalock, SingleDomainDegradesToLocalQueue) {
+  // One LLC domain: the global level arbitrates between nobody and the lock
+  // must behave as a plain FIFO MCS queue — every handoff intra-domain.
+  const Topology topo = Topology::synthetic(4, 1, 4, 4);
+  MetalockOptions o;
+  o.kind = MetalockKind::kCohort;
+  o.topology = &topo;
+  o.max_threads = 16;
+  CohortMcsLock<> lock(o);
+  ASSERT_EQ(lock.domains(), 1u);
+  exclusion_stress(lock, 4, 3000);
+
+  // Orchestrated handoff chain (robust on a single-cpu host, where a free
+  // stress may never queue anyone): hold, let two threads queue, release.
+  ScopedThreadIndex main_idx(0);
+  lock.lock();
+  std::atomic<int> done{0};
+  std::vector<std::thread> waiters;
+  for (unsigned idx : {1u, 2u}) {
+    waiters.emplace_back([&, idx] {
+      ScopedThreadIndex i(idx);
+      lock.lock();
+      lock.unlock();
+      done.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  lock.unlock();
+  for (auto& w : waiters) w.join();
+  EXPECT_EQ(done.load(), 2);
+
+  const MetalockStatsSnapshot s = lock.stats();
+  EXPECT_EQ(s.cross_domain, 0u);
+  EXPECT_EQ(s.handoffs, s.cohort_hits);
+  EXPECT_GE(s.handoffs, 2u);
+}
+
+TEST(CohortMetalock, WorksOnSysfsParsedTopology) {
+  // The same two-socket fake sysfs shape topology_test parses; the cohort
+  // lock must consume a from_sysfs topology as readily as a synthetic one.
+  FakeSysfs sysfs;
+  sysfs.add_cpu(0, "0", "0-1", 0);
+  sysfs.add_cpu(1, "1", "0-1", 0);
+  sysfs.add_cpu(2, "2", "2-3", 1);
+  sysfs.add_cpu(3, "3", "2-3", 1);
+  const Topology topo = Topology::from_sysfs(sysfs.path());
+  ASSERT_EQ(topo.llc_domains(), 2u);
+  MetalockOptions o;
+  o.kind = MetalockKind::kCohort;
+  o.cohort_budget = 4;
+  o.topology = &topo;
+  o.max_threads = 16;
+  CohortMcsLock<> lock(o);
+  ASSERT_EQ(lock.domains(), 2u);
+  exclusion_stress(lock, 4, 2000);
+  const MetalockStatsSnapshot s = lock.stats();
+  EXPECT_EQ(s.handoffs, s.cohort_hits + s.cross_domain);
+}
+
+// --- GOLL try paths against a held metalock --------------------------------
+//
+// try_lock / try_lock_shared / try_upgrade never touch the metalock (they
+// are single C-SNZI operations), so they must stay non-blocking and give
+// correct answers while contended writers are queued under an MCS or cohort
+// metalock.
+
+class GollTryPathsVsMetalock : public ::testing::TestWithParam<MetalockKind> {
+ protected:
+  GollLock<> make() {
+    GollOptions g;
+    g.max_threads = 16;
+    g.metalock.kind = GetParam();
+    return GollLock<>(g);
+  }
+};
+
+TEST_P(GollTryPathsVsMetalock, TryPathsFailWhileWriterQueued) {
+  GollLock<> lock = make();
+  lock.lock();  // main holds the write lock
+  std::atomic<bool> blocked_ran{false};
+  std::thread blocked([&] {
+    ScopedThreadIndex idx(1);
+    lock.lock();  // queues under the metalock until main releases
+    blocked_ran.store(true);
+    lock.unlock();
+  });
+  // Give the writer time to reach the queue; the try paths below must be
+  // correct in either phase (still spinning toward the queue or queued).
+  for (int i = 0; i < 2000; ++i) std::this_thread::yield();
+  EXPECT_FALSE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock_shared());
+  lock.unlock();
+  blocked.join();
+  EXPECT_TRUE(blocked_ran.load());
+  // Quiescent again: the try path must succeed without help.
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock_shared());
+  lock.unlock_shared();
+}
+
+TEST_P(GollTryPathsVsMetalock, TryUpgradeFailsWhileWriterQueued) {
+  GollLock<> lock = make();
+  lock.lock_shared();  // main is the sole reader
+  std::atomic<bool> closed_seen{false};
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    ScopedThreadIndex idx(1);
+    lock.lock();  // closes the C-SNZI, then waits for main to depart
+    lock.unlock();
+    writer_done.store(true);
+  });
+  // A third thread probes until the writer's close is visible (main cannot
+  // probe: it already holds a read ticket in its per-thread slot).
+  std::thread probe([&] {
+    ScopedThreadIndex idx(2);
+    while (lock.try_lock_shared()) {
+      lock.unlock_shared();
+      std::this_thread::yield();
+    }
+    closed_seen.store(true);
+  });
+  probe.join();
+  ASSERT_TRUE(closed_seen.load());
+  // Sole reader, but a writer is waiting: the upgrade must refuse (it may
+  // not jump the queued writer) and leave the read hold intact.
+  EXPECT_FALSE(lock.try_upgrade());
+  lock.unlock_shared();  // last departure hands off to the queued writer
+  writer.join();
+  EXPECT_TRUE(writer_done.load());
+  // The upgrade works once no writer waits.
+  lock.lock_shared();
+  EXPECT_TRUE(lock.try_upgrade());
+  lock.unlock();
+}
+
+INSTANTIATE_TEST_SUITE_P(MetalockKinds, GollTryPathsVsMetalock,
+                         ::testing::Values(MetalockKind::kTatas,
+                                           MetalockKind::kMcs,
+                                           MetalockKind::kCohort),
+                         [](const ::testing::TestParamInfo<MetalockKind>& i) {
+                           return metalock_kind_name(i.param);
+                         });
+
+}  // namespace
+}  // namespace oll

@@ -1,63 +1,20 @@
 // Tests for the sysfs topology parser and the C-SNZI LeafMap
-// (platform/topology.hpp): fake-sysfs fixture directories covering SMT
-// on/off, multi-socket shapes and hotplugged-cpu gaps, plus the
-// placement-to-leaf policies.
+// (platform/topology.hpp): fake-sysfs fixture directories (see
+// fake_topology.hpp) covering SMT on/off, multi-socket shapes and
+// hotplugged-cpu gaps, plus the placement-to-leaf policies.
 #include "platform/topology.hpp"
 
 #include <gtest/gtest.h>
 
-#include <filesystem>
-#include <fstream>
 #include <string>
 #include <vector>
+
+#include "fake_topology.hpp"
 
 namespace oll {
 namespace {
 
-namespace fs = std::filesystem;
-
-class FakeSysfs {
- public:
-  FakeSysfs() {
-    root_ = fs::path(testing::TempDir()) /
-            ("fake_sysfs_" +
-             std::to_string(reinterpret_cast<std::uintptr_t>(this)));
-    fs::remove_all(root_);
-    fs::create_directories(root_);
-  }
-  ~FakeSysfs() { fs::remove_all(root_); }
-
-  std::string path() const { return root_.string(); }
-
-  void write(const std::string& rel, const std::string& content) {
-    const fs::path p = root_ / rel;
-    fs::create_directories(p.parent_path());
-    std::ofstream(p) << content;
-  }
-
-  void mkdir(const std::string& rel) { fs::create_directories(root_ / rel); }
-
-  // One cpu with SMT siblings, an L1 data cache shared by the siblings and
-  // an L3 shared by `llc`, plus a node<N> directory.
-  void add_cpu(std::uint32_t n, const std::string& smt_siblings,
-               const std::string& llc, std::uint32_t node) {
-    const std::string cpu = "cpu" + std::to_string(n) + "/";
-    write(cpu + "topology/thread_siblings_list", smt_siblings + "\n");
-    write(cpu + "cache/index0/level", "1\n");
-    write(cpu + "cache/index0/type", "Data\n");
-    write(cpu + "cache/index0/shared_cpu_list", smt_siblings + "\n");
-    write(cpu + "cache/index1/level", "1\n");
-    write(cpu + "cache/index1/type", "Instruction\n");
-    write(cpu + "cache/index1/shared_cpu_list", smt_siblings + "\n");
-    write(cpu + "cache/index2/level", "3\n");
-    write(cpu + "cache/index2/type", "Unified\n");
-    write(cpu + "cache/index2/shared_cpu_list", llc + "\n");
-    mkdir(cpu + "node" + std::to_string(node));
-  }
-
- private:
-  fs::path root_;
-};
+using test::FakeSysfs;
 
 TEST(ParseCpuList, Shapes) {
   EXPECT_TRUE(parse_cpu_list("").empty());

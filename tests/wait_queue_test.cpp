@@ -223,5 +223,134 @@ TEST(WaitQueue, SignalSafeWithStackNodes) {
   }
 }
 
+TEST(WaitQueue, RemoveUndoesEnqueueIntoEmptyQueue) {
+  // The metalock-eliding release's undo path: a writer that enqueued into
+  // an empty queue, then found the C-SNZI reopened, takes itself back out.
+  WQ q;
+  WQ::WaitNode w, r;
+  q.enqueue(&w, ReqKind::kWriter);
+  q.remove(&w);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.num_writers(), 0u);
+  // The same node and the queue both stay usable after the undo.
+  q.enqueue(&w, ReqKind::kWriter);
+  q.enqueue(&r, ReqKind::kReader);
+  EXPECT_EQ(q.num_writers(), 1u);
+  EXPECT_EQ(q.dequeue().kind(), ReqKind::kWriter);
+  EXPECT_EQ(q.dequeue().kind(), ReqKind::kReader);
+  EXPECT_TRUE(q.empty());
+
+  // Reader-side undo must also clear the coalescing target, or a later
+  // reader would chain onto the removed (dead) node.
+  WQ::WaitNode r1, r2;
+  q.enqueue(&r1, ReqKind::kReader);
+  q.remove(&r1);
+  EXPECT_TRUE(q.empty());
+  q.enqueue(&r2, ReqKind::kReader);
+  auto g = q.dequeue();
+  EXPECT_EQ(g.count(), 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(WaitQueue, CohortDequeuePrefersReleaserDomainWithinBudget) {
+  WQ q(/*readers_coalesce_over_writers=*/true, /*cohort_budget=*/1);
+  WQ::WaitNode w0, w1a, w1b;
+  w0.arm(WaitStrategy::kSpin, /*dom=*/0);
+  w1a.arm(WaitStrategy::kSpin, /*dom=*/1);
+  w1b.arm(WaitStrategy::kSpin, /*dom=*/1);
+  q.enqueue(&w0, ReqKind::kWriter);   // FIFO head, domain 0
+  q.enqueue(&w1a, ReqKind::kWriter);  // domain 1
+  q.enqueue(&w1b, ReqKind::kWriter);  // domain 1
+  // Releaser in domain 1: w1a is preferred over the FIFO head w0.
+  auto g1 = q.dequeue(/*releaser_domain=*/1);
+  EXPECT_EQ(g1.domain(), 1u);
+  // Budget of 1 is now spent: the next domain-1 release must fall back to
+  // FIFO (w0) even though w1b still waits.
+  auto g2 = q.dequeue(/*releaser_domain=*/1);
+  EXPECT_EQ(g2.domain(), 0u);
+  // The FIFO grant reset the streak; the last writer drains normally.
+  auto g3 = q.dequeue(/*releaser_domain=*/1);
+  EXPECT_EQ(g3.domain(), 1u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_GT(q.wake_cohort_hits(), 0u);
+  EXPECT_GT(q.wake_cross_domain(), 0u);
+}
+
+TEST(WaitQueue, CohortDequeueNeverSkipsReaderGroups) {
+  WQ q(/*readers_coalesce_over_writers=*/false, /*cohort_budget=*/8);
+  WQ::WaitNode r0, w1;
+  r0.arm(WaitStrategy::kSpin, /*dom=*/0);
+  w1.arm(WaitStrategy::kSpin, /*dom=*/1);
+  q.enqueue(&r0, ReqKind::kReader);  // head: a reader group
+  q.enqueue(&w1, ReqKind::kWriter);  // same domain as the releaser
+  // The releaser's own domain holds a writer, but the head is a reader
+  // group: it must be granted first (cohorting never reorders readers).
+  auto g = q.dequeue(/*releaser_domain=*/1);
+  EXPECT_EQ(g.kind(), ReqKind::kReader);
+  EXPECT_EQ(q.dequeue(1).kind(), ReqKind::kWriter);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(WaitQueue, TreeWakeWakesEveryGroupMember) {
+  // Same contract as SignalAllWakesEveryGroupMember, but through the
+  // log-depth forwarding tree (9 members: depth 3, internal nodes with one
+  // and two children both occur).
+  WQ q(/*readers_coalesce_over_writers=*/true, /*cohort_budget=*/0,
+       /*tree_wake=*/true);
+  constexpr int kReaders = 9;
+  std::atomic<int> queued{0};
+  std::atomic<int> woken{0};
+  std::vector<std::thread> threads;
+  std::vector<WQ::WaitNode> nodes(kReaders);
+  TatasLock<> meta;
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      meta.lock();
+      q.enqueue(&nodes[t], ReqKind::kReader);
+      meta.unlock();
+      queued.fetch_add(1);
+      nodes[t].wait();
+      woken.fetch_add(1);
+    });
+  }
+  spin_until([&] { return queued.load() == kReaders; });
+  meta.lock();
+  auto g = q.dequeue();
+  meta.unlock();
+  EXPECT_EQ(g.count(), static_cast<std::uint32_t>(kReaders));
+  g.signal_all();
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(woken.load(), kReaders);
+}
+
+TEST(WaitQueue, TreeWakeSafeWithStackNodes) {
+  // A woken waiter grants its children and may die immediately after; the
+  // forwarding order (read own children, then grant) must keep every
+  // touched node alive.  Stress with short-lived stack nodes.
+  WQ q(/*readers_coalesce_over_writers=*/true, /*cohort_budget=*/0,
+       /*tree_wake=*/true);
+  TatasLock<> meta;
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> queued{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 5; ++t) {
+      threads.emplace_back([&] {
+        WQ::WaitNode node;  // stack lifetime ends right after wait()
+        meta.lock();
+        q.enqueue(&node, ReqKind::kReader);
+        meta.unlock();
+        queued.fetch_add(1);
+        node.wait();
+      });
+    }
+    spin_until([&] { return queued.load() == 5; });
+    meta.lock();
+    auto g = q.dequeue();
+    meta.unlock();
+    g.signal_all();
+    for (auto& th : threads) th.join();
+  }
+}
+
 }  // namespace
 }  // namespace oll
