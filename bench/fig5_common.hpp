@@ -19,6 +19,17 @@
 //   --warmup=N          per-thread warmup acquisitions before each measured
 //                       run (stats rebased at the phase boundary)
 //
+// Robustness (DESIGN.md §11):
+//   --timeout_ns=N      acquire with try_*_for(N ns) instead of the blocking
+//                       paths; timed-out iterations are abandoned, not
+//                       retried (default 0 = blocking)
+//   --fault_profile=P   arm fault injection for every run:
+//                       off|jitter|cas|preempt|chaos (seeded from --seed-
+//                       equivalent run seeds; no-op in OLL_FAULTS=0 builds)
+//   --watchdog          stuck-acquisition watchdog: dump lock state + trace
+//                       rings to stderr when an acquisition exceeds
+//                       max(20ms, 8 x writer-wait p99); real mode only
+//
 // Observability (DESIGN.md §9).  Any of the following adds a separate pass
 // AFTER the throughput sweep, run with latency timing (and, for --trace,
 // event tracing) enabled — the sweep itself always runs with every hook
@@ -36,6 +47,7 @@
 
 #include "harness/cli.hpp"
 #include "harness/sweep.hpp"
+#include "platform/fault.hpp"
 
 namespace oll::bench {
 
@@ -76,6 +88,21 @@ inline int run_fig5(const std::string& figure_name, std::uint32_t read_pct,
   if (flags.has("cohort_budget")) {
     cfg.cohort_budget =
         static_cast<std::uint32_t>(flags.get_u64("cohort_budget", 32));
+  }
+  cfg.timeout_ns = flags.get_u64("timeout_ns", 0);
+  if (flags.has("fault_profile")) {
+    const std::string profile = flags.get("fault_profile", "off");
+    FaultProfile parsed;
+    if (!fault_profile_from_name(profile.c_str(), &parsed)) {
+      std::cerr
+          << "unknown --fault_profile (want off|jitter|cas|preempt|chaos)\n";
+      return 2;
+    }
+    cfg.fault_profile = profile;
+  }
+  cfg.watchdog = flags.has("watchdog");
+  if (cfg.watchdog && cfg.mode == Mode::kSim) {
+    std::cerr << "# --watchdog is wall-clock based; ignored in sim mode\n";
   }
 
   if (flags.has("locks")) {

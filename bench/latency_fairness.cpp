@@ -13,6 +13,12 @@
 //                      (lock_stats.hpp) next to the externally-sampled rows
 //   --stats_json=FILE  write internal counters + percentiles as JSON
 //   --trace=FILE       write a lock-event trace (Chrome/Perfetto JSON)
+//   --watchdog         stuck-acquisition watchdog (harness/watchdog.hpp):
+//                      dump lock state + trace rings to stderr when an
+//                      acquisition stalls.  Virtual cycles do not bound wall
+//                      time, so the threshold here is a fixed 2 s of wall
+//                      clock rather than the fig5 binaries' histogram-scaled
+//                      one.
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -27,6 +33,7 @@
 #include "harness/cli.hpp"
 #include "harness/sweep.hpp"
 #include "harness/trace_export.hpp"
+#include "harness/watchdog.hpp"
 #include "platform/rng.hpp"
 #include "platform/spin.hpp"
 #include "platform/stats.hpp"
@@ -46,7 +53,8 @@ struct Samples {
 };
 
 Samples run_lock(oll::LockKind kind, std::uint32_t threads,
-                 std::uint32_t read_pct, std::uint64_t acquires) {
+                 std::uint32_t read_pct, std::uint64_t acquires,
+                 bool watchdog_enabled) {
   oll::sim::Machine machine(oll::sim::t5440_topology(),
                             oll::sim::t5440_costs(),
                             std::max<std::uint32_t>(threads, 512));
@@ -55,6 +63,18 @@ Samples run_lock(oll::LockKind kind, std::uint32_t threads,
   opts.csnzi.leaf_shift = 3;
   opts.csnzi.root_cas_fail_threshold = 1;
   auto lock = oll::make_rwlock<oll::sim::SimMemory>(kind, opts);
+
+  // Wall-clock stall detector; the virtual-time histograms cannot feed it
+  // (cycles do not bound wall time), so it runs floor-only.
+  std::unique_ptr<oll::bench::Watchdog> watchdog;
+  if (watchdog_enabled) {
+    oll::bench::WatchdogOptions wopts;
+    wopts.use_histogram = false;
+    wopts.floor_ns = 2'000'000'000;  // 2 s
+    wopts.poll_interval_ms = 100;
+    watchdog = std::make_unique<oll::bench::Watchdog>(*lock, wopts, threads);
+    watchdog->start();
+  }
 
   std::vector<Samples> per_thread(threads);
   std::atomic<std::uint32_t> ready{0};
@@ -72,8 +92,11 @@ Samples run_lock(oll::LockKind kind, std::uint32_t threads,
       for (std::uint64_t i = 0; i < acquires; ++i) {
         const bool read = rng.bernoulli(read_pct, 100);
         const std::uint64_t before = ctx.clock();
+        oll::bench::Watchdog* wd = watchdog.get();
+        if (wd != nullptr) wd->begin_acquire(w, !read);
         if (read) {
           lock->lock_shared();
+          if (wd != nullptr) wd->end_acquire(w);
           per_thread[w].read_latency.push_back(
               static_cast<double>(ctx.clock() - before));
           std::this_thread::yield();
@@ -81,6 +104,7 @@ Samples run_lock(oll::LockKind kind, std::uint32_t threads,
           lock->unlock_shared();
         } else {
           lock->lock();
+          if (wd != nullptr) wd->end_acquire(w);
           per_thread[w].write_latency.push_back(
               static_cast<double>(ctx.clock() - before));
           lock->unlock();
@@ -94,6 +118,7 @@ Samples run_lock(oll::LockKind kind, std::uint32_t threads,
   });
   go.store(true, std::memory_order_release);
   for (auto& t : workers) t.join();
+  if (watchdog) watchdog->stop();
 
   Samples all;
   for (auto& s : per_thread) {
@@ -142,6 +167,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(flags.get_u64("read_pct", 95));
   const std::uint64_t acquires = flags.get_u64("acquires", 500);
   const bool hist = flags.has("hist");
+  const bool watchdog = flags.has("watchdog");
   const std::string stats_json = flags.get("stats_json", "");
   const std::string trace_path = flags.get("trace", "");
 
@@ -165,7 +191,7 @@ int main(int argc, char** argv) {
   std::vector<Row> rows;
   std::vector<oll::bench::TraceRun> trace_runs;
   for (oll::LockKind kind : oll::figure5_lock_kinds()) {
-    Samples s = run_lock(kind, threads, read_pct, acquires);
+    Samples s = run_lock(kind, threads, read_pct, acquires, watchdog);
     print_row(oll::lock_kind_name(kind), "read", s.read_latency);
     print_row(oll::lock_kind_name(kind), "write", s.write_latency);
     if (hist) {

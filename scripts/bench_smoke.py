@@ -52,6 +52,14 @@ GATED_FIGS = (
 # every hook disabled.
 LATENCY_HISTS = ("read_acquire", "write_acquire", "writer_wait")
 LATENCY_PCTS = ("p50", "p99")
+# Timed-acquisition series (informational, DESIGN.md §11): a short mixed
+# sim run with --timeout_ns so the abandon paths execute under writer load;
+# records the timed_acquire histogram percentiles plus the timeout/abandon
+# counters per lock.  Not gated: timeout counts depend on host scheduling.
+TIMED_ARGS = ["--mode=sim", "--threads=32", "--acquires=400",
+              "--locks=goll,foll,roll", "--timeout_ns=200000"]
+TIMED_COUNTERS = ("read_timeouts", "write_timeouts", "read_abandons",
+                  "write_abandons")
 # Informational micro benches (real time; host-dependent).
 MICRO_FILTERS = {
     "micro_csnzi": ("BM_ArriveDepart_Root|BM_ArriveDepart_Adaptive$|"
@@ -137,6 +145,30 @@ def collect_fig5(build_dir, binary_name, fig_args, prefix):
         os.unlink(stats_path)
 
 
+def collect_timed(build_dir):
+    """fig5c + --timeout_ns -> {"timed.GOLL.timed_acquire.p50": ..., ...}"""
+    binary = os.path.join(build_dir, "bench", "fig5c_95_reads")
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        stats_path = tmp.name
+    try:
+        run([binary] + TIMED_ARGS + [f"--stats_json={stats_path}"])
+        with open(stats_path) as f:
+            doc = json.load(f)
+    finally:
+        os.unlink(stats_path)
+    metrics = {}
+    for lock, stats in doc.get("locks", {}).items():
+        h = stats.get("timed_acquire")
+        if isinstance(h, dict) and h.get("count"):
+            metrics[f"timed.{lock}.timed_acquire.count"] = h["count"]
+            for pct in LATENCY_PCTS:
+                metrics[f"timed.{lock}.timed_acquire.{pct}"] = h[pct]
+        for counter in TIMED_COUNTERS:
+            if counter in stats:
+                metrics[f"timed.{lock}.{counter}"] = stats[counter]
+    return metrics
+
+
 def collect_micro(build_dir, name, bench_filter):
     binary = os.path.join(build_dir, "bench", name)
     out = run([binary, f"--benchmark_filter={bench_filter}",
@@ -191,6 +223,8 @@ def main():
                                               fig_args, prefix)
         gated.update(fig_gated)
         informational.update(fig_latency)
+    print("bench_smoke: running timed-acquisition series (informational)")
+    informational.update(collect_timed(build_dir))
     if not args.skip_micro:
         for name, flt in MICRO_FILTERS.items():
             print(f"bench_smoke: running {name} (informational)")
@@ -219,6 +253,7 @@ def main():
         print("bench_smoke: no previous snapshot; recording baseline")
 
     config = {fig: list(fig_args) for fig, _, fig_args, _ in GATED_FIGS}
+    config["timed"] = list(TIMED_ARGS)
     config["units"] = {"gated": "acquires/sec (sim virtual time)",
                        "informational": "ns/op (real time); latency.* "
                                         "in sim virtual cycles"}

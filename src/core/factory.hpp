@@ -7,6 +7,7 @@
 // benches use the direct templates).
 #pragma once
 
+#include <chrono>
 #include <concepts>
 #include <memory>
 #include <optional>
@@ -17,6 +18,7 @@
 
 #include "core/rwlock_concepts.hpp"
 #include "locks/lock_stats.hpp"
+#include "locks/timed.hpp"
 #include "locks/big_reader_rwlock.hpp"
 #include "locks/bravo.hpp"
 #include "locks/central_rwlock.hpp"
@@ -113,6 +115,15 @@ class AnyRwLock {
   virtual void unlock() = 0;
   virtual void lock_shared() = 0;
   virtual void unlock_shared() = 0;
+  // Non-blocking and timed acquisition (DESIGN.md §11).  Every factory lock
+  // implements these natively; the adapter's fallbacks (spurious false for
+  // try_, deadline-bounded retry for timed) keep the erased surface total
+  // even for foreign locks without one (e.g. std::shared_mutex has no timed
+  // methods).
+  virtual bool try_lock() = 0;
+  virtual bool try_lock_shared() = 0;
+  virtual bool try_lock_for(std::chrono::nanoseconds timeout) = 0;
+  virtual bool try_lock_shared_for(std::chrono::nanoseconds timeout) = 0;
   virtual const char* name() const = 0;
   // Operation counters for locks that keep them (others report zeros);
   // exact at quiescence.
@@ -134,6 +145,51 @@ class RwLockAdapter final : public AnyRwLock {
   void unlock() override { impl_.unlock(); }
   void lock_shared() override { impl_.lock_shared(); }
   void unlock_shared() override { impl_.unlock_shared(); }
+
+  bool try_lock() override {
+    if constexpr (requires {
+                    { impl_.try_lock() } -> std::convertible_to<bool>;
+                  }) {
+      return impl_.try_lock();
+    } else {
+      return false;  // spurious failure is within the try contract
+    }
+  }
+
+  bool try_lock_shared() override {
+    if constexpr (requires {
+                    { impl_.try_lock_shared() } -> std::convertible_to<bool>;
+                  }) {
+      return impl_.try_lock_shared();
+    } else {
+      return false;
+    }
+  }
+
+  bool try_lock_for(std::chrono::nanoseconds timeout) override {
+    if constexpr (requires {
+                    { impl_.try_lock_for(timeout) }
+                        -> std::convertible_to<bool>;
+                  }) {
+      return impl_.try_lock_for(timeout);
+    } else {
+      return deadline_retry(std::chrono::steady_clock::now() + timeout,
+                            [&] { return try_lock(); });
+    }
+  }
+
+  bool try_lock_shared_for(std::chrono::nanoseconds timeout) override {
+    if constexpr (requires {
+                    { impl_.try_lock_shared_for(timeout) }
+                        -> std::convertible_to<bool>;
+                  }) {
+      return impl_.try_lock_shared_for(timeout);
+    } else {
+      return deadline_retry(std::chrono::steady_clock::now() + timeout,
+                            [&] { return try_lock_shared(); });
+    }
+  }
+
   const char* name() const override { return name_; }
   LockStatsSnapshot stats() const override {
     LockStatsSnapshot s = raw_stats();

@@ -32,14 +32,26 @@ concept UpgradableLockable = SharedLockable<L> && requires(L& l) {
   l.downgrade();
 };
 
+// Timed/cancellable acquisition (DESIGN.md §11).  Semantics mirror the
+// standard SharedTimedMutex requirements: an already-expired deadline makes
+// try_*_for / try_*_until behave like the corresponding try_ call, and a
+// grant that lands concurrently with the deadline MAY be consumed (the call
+// then returns true after the deadline — permitted by the standard's
+// "fails only after the time has passed" phrasing read the other way
+// round).  A false return guarantees the caller holds nothing and no
+// residual queue state remains on its behalf.
 template <typename L>
-concept TimedSharedLockable = TrySharedLockable<L> && requires(L& l) {
-  {
-    l.try_lock_for(std::chrono::milliseconds(1))
-  } -> std::convertible_to<bool>;
-  {
-    l.try_lock_shared_for(std::chrono::milliseconds(1))
-  } -> std::convertible_to<bool>;
-};
+concept TimedSharedLockable =
+    TrySharedLockable<L> &&
+    requires(L& l, std::chrono::steady_clock::time_point tp) {
+      {
+        l.try_lock_for(std::chrono::milliseconds(1))
+      } -> std::convertible_to<bool>;
+      {
+        l.try_lock_shared_for(std::chrono::milliseconds(1))
+      } -> std::convertible_to<bool>;
+      { l.try_lock_until(tp) } -> std::convertible_to<bool>;
+      { l.try_lock_shared_until(tp) } -> std::convertible_to<bool>;
+    };
 
 }  // namespace oll

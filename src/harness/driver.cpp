@@ -5,10 +5,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
 #include <thread>
 #include <vector>
 
+#include "harness/watchdog.hpp"
 #include "platform/assert.hpp"
+#include "platform/fault.hpp"
 #include "platform/rng.hpp"
 #include "platform/spin.hpp"
 #include "platform/thread_id.hpp"
@@ -33,6 +38,8 @@ inline std::uint64_t spin_work(std::uint64_t iters, std::uint64_t x) {
 struct WorkerTotals {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
+  std::uint64_t read_timeouts = 0;
+  std::uint64_t write_timeouts = 0;
 };
 
 // The §5.1 loop body, shared by both modes.
@@ -45,9 +52,10 @@ struct WorkerTotals {
 // acquire/release pairs and hide that overlap entirely.
 void acquire_release_loop(AnyRwLock& lock, const WorkloadConfig& cfg,
                           std::uint32_t worker, bool simulated,
-                          WorkerTotals& totals) {
+                          WorkerTotals& totals, Watchdog* watchdog) {
   Xoshiro256ss rng(cfg.seed * 0x9e3779b97f4a7c15ULL + worker + 1);
   std::uint64_t sink = worker;
+  const std::chrono::nanoseconds timeout(cfg.timeout_ns);
   // Desynchronize worker phases: under the round-robin interleaving every
   // worker would otherwise hit the same point of the loop in lockstep —
   // all readers releasing simultaneously each round, which zeroes SNZI
@@ -57,8 +65,33 @@ void acquire_release_loop(AnyRwLock& lock, const WorkloadConfig& cfg,
   if (simulated && worker % 2 == 1) std::this_thread::yield();
   for (std::uint64_t i = 0; i < cfg.acquires_per_thread; ++i) {
     const bool read = rng.bernoulli(cfg.read_pct, 100);
+    // Timed mode abandons rather than retries a timed-out acquisition: the
+    // iteration is lost (no critical section), which is the point — the
+    // run exercises the abandonment protocols under the same contention
+    // the blocking paths see.
+    if (watchdog != nullptr) watchdog->begin_acquire(worker, !read);
+    bool acquired = true;
     if (read) {
-      lock.lock_shared();
+      if (cfg.timeout_ns != 0) {
+        acquired = lock.try_lock_shared_for(timeout);
+      } else {
+        lock.lock_shared();
+      }
+    } else {
+      if (cfg.timeout_ns != 0) {
+        acquired = lock.try_lock_for(timeout);
+      } else {
+        lock.lock();
+      }
+    }
+    if (watchdog != nullptr) watchdog->end_acquire(worker);
+    if (!acquired) {
+      if (read) {
+        ++totals.read_timeouts;
+      } else {
+        ++totals.write_timeouts;
+      }
+    } else if (read) {
       if (cfg.cs_work != 0) {
         if (simulated) {
           sim::SimMemory::charge(cfg.cs_work);
@@ -79,7 +112,6 @@ void acquire_release_loop(AnyRwLock& lock, const WorkloadConfig& cfg,
       lock.unlock_shared();
       ++totals.reads;
     } else {
-      lock.lock();
       if (cfg.cs_work != 0) {
         if (simulated) {
           sim::SimMemory::charge(cfg.cs_work);
@@ -124,6 +156,32 @@ RunResult run_threads(AnyRwLock& lock, const WorkloadConfig& cfg,
   // they explain; install the virtual clock before any worker can emit.
   // Sticky across runs: with no ThreadContext the fallback is real time.
   if (simulated) trace_set_clock(&sim_trace_clock);
+  // Arm fault injection for the run (quiescent here: no worker exists yet).
+  // The run's seed doubles as the fault seed so a cell is reproducible from
+  // its own parameters.
+  bool faults_armed = false;
+  if (!cfg.fault_profile.empty()) {
+    FaultProfile profile;
+    if (fault_profile_from_name(cfg.fault_profile.c_str(), &profile)) {
+      fault_enable(profile, cfg.seed);
+      faults_armed = true;
+    } else {
+      std::fprintf(stderr,
+                   "unknown fault profile '%s' "
+                   "(want off|jitter|cas|preempt|chaos); running without "
+                   "injection\n",
+                   cfg.fault_profile.c_str());
+    }
+  }
+  // Stuck-acquisition watchdog: wall-clock thresholds, so real mode only
+  // (a sim worker's wall time is dominated by scheduler yields).
+  std::unique_ptr<Watchdog> watchdog;
+  if (cfg.watchdog && !simulated) {
+    watchdog = std::make_unique<Watchdog>(lock, WatchdogOptions{},
+                                          cfg.threads);
+    watchdog->start();
+  }
+  Watchdog* wd = watchdog.get();
   const bool warmup = cfg.warmup_acquires > 0;
   std::vector<WorkerTotals> totals(cfg.threads);
   std::vector<std::thread> threads;
@@ -161,12 +219,12 @@ RunResult run_threads(AnyRwLock& lock, const WorkloadConfig& cfg,
         wcfg.acquires_per_thread = cfg.warmup_acquires;
         wcfg.seed = cfg.seed ^ 0x7f4a7c15u;  // decorrelate from measured
         WorkerTotals scratch;
-        acquire_release_loop(lock, wcfg, w, simulated, scratch);
+        acquire_release_loop(lock, wcfg, w, simulated, scratch, wd);
         warm_done.fetch_add(1, std::memory_order_acq_rel);
         spin_until(
             [&] { return go_measured.load(std::memory_order_acquire); });
       }
-      acquire_release_loop(lock, cfg, w, simulated, totals[w]);
+      acquire_release_loop(lock, cfg, w, simulated, totals[w], wd);
     });
   }
   spin_until([&] {
@@ -187,11 +245,15 @@ RunResult run_threads(AnyRwLock& lock, const WorkloadConfig& cfg,
   }
   for (auto& t : threads) t.join();
   const double wall_s = wall.elapsed_s();
+  if (watchdog) watchdog->stop();
+  if (faults_armed) fault_disable();
 
   RunResult r;
   for (const auto& t : totals) {
     r.read_acquires += t.reads;
     r.write_acquires += t.writes;
+    r.read_timeouts += t.read_timeouts;
+    r.write_timeouts += t.write_timeouts;
   }
   r.total_acquires = r.read_acquires + r.write_acquires;
   r.lock_stats = lock.stats();  // quiescent: workers joined

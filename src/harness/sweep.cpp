@@ -53,6 +53,9 @@ SweepResult run_sweep(const SweepConfig& config, bool verbose) {
         w.sticky_arrivals = config.sticky_arrivals;
         w.metalock = config.metalock;
         w.cohort_budget = config.cohort_budget;
+        w.timeout_ns = config.timeout_ns;
+        w.fault_profile = config.fault_profile;
+        w.watchdog = config.watchdog;
         RunResult r = run_workload(kind, w, config.mode);
         stats.add(r.throughput());
         last_counters = r.counters;
@@ -120,6 +123,10 @@ void print_header(std::ostream& os, const std::string& figure_name,
      << "# read_pct=" << config.read_pct
      << " acquires/thread=" << config.effective_acquires()
      << " reps=" << config.repetitions << " mode=" << mode_name(config.mode);
+  if (config.timeout_ns != 0) os << " timeout_ns=" << config.timeout_ns;
+  if (!config.fault_profile.empty()) {
+    os << " fault_profile=" << config.fault_profile;
+  }
   if (config.mode == Mode::kSim) {
     os << " machine=T5440(4 chips x 64 hw-threads, shared-L2 on chip)";
   }
@@ -149,12 +156,19 @@ void write_lock_stats_json(std::ostream& out, const LockStatsSnapshot& s) {
       << ",\"meta_cross_domain\":" << s.meta_cross_domain
       << ",\"wake_cohort_hits\":" << s.wake_cohort_hits
       << ",\"wake_cross_domain\":" << s.wake_cross_domain
+      << ",\"read_timeouts\":" << s.read_timeouts
+      << ",\"write_timeouts\":" << s.write_timeouts
+      << ",\"read_abandons\":" << s.read_abandons
+      << ",\"write_abandons\":" << s.write_abandons
+      << ",\"revoke_timeouts\":" << s.revoke_timeouts
       << ",\"read_acquire\":";
   write_histogram_json(out, s.read_acquire);
   out << ",\"write_acquire\":";
   write_histogram_json(out, s.write_acquire);
   out << ",\"writer_wait\":";
   write_histogram_json(out, s.writer_wait);
+  out << ",\"timed_acquire\":";
+  write_histogram_json(out, s.timed_acquire);
 }
 
 bool run_observability_pass(std::ostream& os,
@@ -197,6 +211,9 @@ bool run_observability_pass(std::ostream& os,
     w.sticky_arrivals = sc.sticky_arrivals;
     w.metalock = sc.metalock;
     w.cohort_budget = sc.cohort_budget;
+    w.timeout_ns = sc.timeout_ns;
+    w.fault_profile = sc.fault_profile;
+    w.watchdog = sc.watchdog;
     RunResult r = run_workload(kind, w, sc.mode);
     rows.push_back({kind, r.lock_stats});
     if (want_trace) {

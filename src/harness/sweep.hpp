@@ -32,6 +32,12 @@ struct SweepConfig {
   // factory default (cohort metalock).
   std::optional<MetalockKind> metalock;
   std::optional<std::uint32_t> cohort_budget;
+  // Robustness knobs (see workload.hpp): per-op acquisition timeout (0 =
+  // blocking), fault-injection profile name (empty = none), and the
+  // stuck-acquisition watchdog (real mode only).
+  std::uint64_t timeout_ns = 0;
+  std::string fault_profile;
+  bool watchdog = false;
 
   // The paper runs 100k acquisitions per thread, reduced to 10k at <=50%
   // reads.  Virtual time is near-deterministic, so we default much lower to

@@ -1,0 +1,149 @@
+#include "harness/watchdog.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+#include "platform/assert.hpp"
+#include "platform/time.hpp"
+#include "platform/trace.hpp"
+
+namespace oll::bench {
+
+Watchdog::Watchdog(AnyRwLock& lock, const WatchdogOptions& opts,
+                   std::uint32_t workers)
+    : lock_(lock), opts_(opts), slots_(workers) {}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::begin_acquire(std::uint32_t worker, bool write) {
+  OLL_DCHECK(worker < slots_.size());
+  Slot& s = slots_[worker];
+  s.is_write.store(write ? 1 : 0, std::memory_order_relaxed);
+  // now_ns() is monotonic-from-epoch and never 0 in practice; 0 stays the
+  // "not acquiring" sentinel.
+  s.start_ns.store(now_ns(), std::memory_order_relaxed);
+}
+
+void Watchdog::end_acquire(std::uint32_t worker) {
+  OLL_DCHECK(worker < slots_.size());
+  slots_[worker].start_ns.store(0, std::memory_order_relaxed);
+}
+
+void Watchdog::start() {
+  if (running_) return;
+  stop_.store(false, std::memory_order_relaxed);
+  monitor_ = std::thread([this] { monitor_loop(); });
+  running_ = true;
+}
+
+void Watchdog::stop() {
+  if (!running_) return;
+  stop_.store(true, std::memory_order_release);
+  monitor_.join();
+  running_ = false;
+}
+
+std::uint64_t Watchdog::threshold_ns() const {
+  std::uint64_t t = opts_.floor_ns;
+  if (opts_.use_histogram) {
+    // Concurrent snapshot is approximate (relaxed counters) — fine for a
+    // threshold.  Unit: wall ns whenever latency timing runs in real mode.
+    const LockStatsSnapshot s = lock_.stats();
+    if (s.writer_wait.count >= opts_.min_histogram_count) {
+      const double p99 = s.writer_wait.percentile(99.0);
+      t = std::max<std::uint64_t>(
+          t, static_cast<std::uint64_t>(p99 * opts_.p99_multiplier));
+    }
+  }
+  return t;
+}
+
+void Watchdog::dump_incident(std::uint32_t worker, const Slot& slot,
+                             std::uint64_t waited_ns,
+                             std::uint64_t threshold) {
+  const LockStatsSnapshot s = lock_.stats();
+  std::fprintf(stderr,
+               "[watchdog] worker %u stuck in %s acquisition for %.1f ms "
+               "(threshold %.1f ms)\n",
+               worker,
+               slot.is_write.load(std::memory_order_relaxed) != 0 ? "write"
+                                                                  : "read",
+               static_cast<double>(waited_ns) * 1e-6,
+               static_cast<double>(threshold) * 1e-6);
+  std::fprintf(stderr,
+               "[watchdog]   lock state: reads=%" PRIu64 " (fast=%" PRIu64
+               " queued=%" PRIu64 " bias=%" PRIu64 ") writes=%" PRIu64
+               " (fast=%" PRIu64 " queued=%" PRIu64 ")\n",
+               s.reads(), s.read_fast, s.read_queued, s.read_bias, s.writes(),
+               s.write_fast, s.write_queued);
+  std::fprintf(stderr,
+               "[watchdog]   timeouts: read=%" PRIu64 " write=%" PRIu64
+               " abandons: read=%" PRIu64 " write=%" PRIu64
+               " revoke_timeouts=%" PRIu64 " bias_revokes=%" PRIu64 "\n",
+               s.read_timeouts, s.write_timeouts, s.read_abandons,
+               s.write_abandons, s.revoke_timeouts, s.bias_revoke);
+  // In-flight acquisitions across all workers: the closest portable proxy
+  // for queue occupancy (the thirteen lock shapes have no common
+  // introspection surface).
+  std::uint32_t in_read = 0;
+  std::uint32_t in_write = 0;
+  for (const Slot& other : slots_) {
+    if (other.start_ns.load(std::memory_order_relaxed) == 0) continue;
+    if (other.is_write.load(std::memory_order_relaxed) != 0) {
+      ++in_write;
+    } else {
+      ++in_read;
+    }
+  }
+  std::fprintf(stderr,
+               "[watchdog]   in-flight acquisitions: %u readers, %u writers "
+               "(of %zu workers)\n",
+               in_read, in_write, slots_.size());
+  if (trace_events_enabled()) {
+    // Destructive drain: diagnostics of last resort beat preserving rings.
+    const TraceDump dump = trace_drain();
+    const std::size_t n = dump.records.size();
+    const std::size_t first =
+        n > opts_.max_trace_records ? n - opts_.max_trace_records : 0;
+    std::fprintf(stderr,
+                 "[watchdog]   trace ring tail (%zu of %zu records, %" PRIu64
+                 " dropped to wrap):\n",
+                 n - first, n, dump.dropped);
+    for (std::size_t i = first; i < n; ++i) {
+      const TraceRecord& r = dump.records[i];
+      std::fprintf(stderr, "[watchdog]     ts=%" PRIu64 " tid=%u %s obj=%p\n",
+                   r.ts, r.tid, trace_event_name(r.type), r.obj);
+    }
+  } else {
+    std::fprintf(stderr,
+                 "[watchdog]   (event tracing not armed; rerun with --trace "
+                 "for ring dumps)\n");
+  }
+}
+
+void Watchdog::monitor_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(opts_.poll_interval_ms));
+    if (incidents_.load(std::memory_order_relaxed) >= opts_.max_incidents) {
+      continue;  // keep draining time until stop(); no more dumps
+    }
+    const std::uint64_t threshold = threshold_ns();
+    const std::uint64_t now = now_ns();
+    for (std::uint32_t w = 0; w < slots_.size(); ++w) {
+      Slot& slot = slots_[w];
+      const std::uint64_t begin = slot.start_ns.load(std::memory_order_relaxed);
+      if (begin == 0 || now <= begin) continue;
+      const std::uint64_t waited = now - begin;
+      if (waited < threshold) continue;
+      if (slot.reported.load(std::memory_order_relaxed) == begin) continue;
+      slot.reported.store(begin, std::memory_order_relaxed);
+      incidents_.fetch_add(1, std::memory_order_relaxed);
+      dump_incident(w, slot, waited, threshold);
+    }
+  }
+}
+
+}  // namespace oll::bench

@@ -1,0 +1,101 @@
+// Stuck-acquisition watchdog (DESIGN.md §11).
+//
+// A background monitor for the bench harness: workers mark the wall-clock
+// start of every lock acquisition in a per-worker slot; the monitor thread
+// polls the slots and, when an acquisition has been in flight longer than
+// an adaptive threshold, dumps a diagnosis to stderr — once per incident.
+//
+// The threshold adapts to the lock under test: N x the p99 of the lock's
+// own writer-wait histogram (locks/lock_stats.hpp), floored so that a thin
+// or disabled histogram cannot make the watchdog trigger-happy.  The
+// histogram term only applies when its unit is wall nanoseconds (real-mode
+// runs with latency timing enabled); sim-mode callers disable it and rely
+// on the floor, since virtual cycles do not bound wall time.
+//
+// The dump contains the stuck worker's identity and wait, the lock's
+// counter snapshot (timeouts / abandons / queue mix — the closest portable
+// proxy for "owner and queue state" across thirteen lock shapes), and the
+// tail of the trace rings when event tracing is armed.  Draining the rings
+// is destructive (they are cleared), which is acceptable for a diagnostic
+// of last resort.
+//
+// Off by default; enabled by --watchdog in the fig5 binaries and
+// latency_fairness.  Marking an acquisition is two relaxed stores, and the
+// loop only performs them when a watchdog is attached, so the measured
+// configurations are unaffected.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "platform/cache_line.hpp"
+
+namespace oll::bench {
+
+struct WatchdogOptions {
+  // threshold = max(floor_ns, p99_multiplier * writer_wait.p99) when the
+  // histogram term applies, else floor_ns.
+  double p99_multiplier = 8.0;
+  std::uint64_t floor_ns = 20'000'000;  // 20 ms
+  // Consult the lock's writer-wait histogram for the threshold.  Only
+  // meaningful when the histogram's unit is wall-clock ns (real mode with
+  // latency timing on); sim-mode callers must leave this false.
+  bool use_histogram = true;
+  std::uint64_t poll_interval_ms = 5;
+  // Minimum histogram population before the p99 term is trusted.
+  std::uint64_t min_histogram_count = 16;
+  // Stop dumping after this many incidents (stderr flood guard).
+  std::uint32_t max_incidents = 8;
+  // Trace-ring records printed per incident (newest last).
+  std::uint32_t max_trace_records = 32;
+};
+
+class Watchdog {
+ public:
+  Watchdog(AnyRwLock& lock, const WatchdogOptions& opts,
+           std::uint32_t workers);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  // Worker-side marks: wait-free, one relaxed store each.  `worker` is the
+  // caller's dense worker index, < the constructor's `workers`.
+  void begin_acquire(std::uint32_t worker, bool write);
+  void end_acquire(std::uint32_t worker);
+
+  void start();
+  void stop();  // idempotent; joins the monitor thread
+
+  std::uint64_t incidents() const {
+    return incidents_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(kFalseSharingRange) Slot {
+    std::atomic<std::uint64_t> start_ns{0};  // 0 = no acquisition in flight
+    std::atomic<std::uint8_t> is_write{0};
+    // start_ns value already reported, so one incident = one dump even
+    // though the poll loop revisits the same stuck acquisition.
+    std::atomic<std::uint64_t> reported{0};
+  };
+
+  void monitor_loop();
+  std::uint64_t threshold_ns() const;
+  void dump_incident(std::uint32_t worker, const Slot& slot,
+                     std::uint64_t waited_ns, std::uint64_t threshold);
+
+  AnyRwLock& lock_;
+  WatchdogOptions opts_;
+  std::vector<Slot> slots_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> incidents_{0};
+  std::thread monitor_;
+  bool running_ = false;
+};
+
+}  // namespace oll::bench

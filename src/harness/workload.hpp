@@ -49,6 +49,21 @@ struct WorkloadConfig {
   // factory default (cohort metalock with its default budget).
   std::optional<MetalockKind> metalock;
   std::optional<std::uint32_t> cohort_budget;
+
+  // --- robustness knobs (DESIGN.md §11) ----------------------------------
+  // Nonzero: acquire with try_lock_for / try_lock_shared_for and this
+  // per-operation timeout instead of the blocking paths.  A timed-out
+  // acquisition is abandoned (not retried) — that iteration produces no
+  // critical section and is reported in RunResult::*_timeouts — so the
+  // workload exercises the wait-abandonment protocols under load.
+  std::uint64_t timeout_ns = 0;
+  // Fault-injection profile armed for the run (platform/fault.hpp):
+  // off|jitter|cas|preempt|chaos.  Empty leaves the process-global
+  // injection state untouched; the run's seed doubles as the fault seed.
+  std::string fault_profile;
+  // Stuck-acquisition watchdog (harness/watchdog.hpp).  Real mode only —
+  // its thresholds are wall-clock; ignored in sim mode.
+  bool watchdog = false;
 };
 
 struct RunResult {
@@ -56,6 +71,11 @@ struct RunResult {
   std::uint64_t total_acquires = 0;
   std::uint64_t read_acquires = 0;
   std::uint64_t write_acquires = 0;
+  // Timed acquisitions the harness observed failing (timeout_ns != 0 runs).
+  // Counted loop-side, so they cover adapter fallbacks (e.g. std-shared)
+  // that never touch the lock's own stats.
+  std::uint64_t read_timeouts = 0;
+  std::uint64_t write_timeouts = 0;
   sim::OpCounters counters{};  // sim mode only
   LockStatsSnapshot lock_stats{};  // collected at quiescence after the run
 

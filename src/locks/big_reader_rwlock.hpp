@@ -12,11 +12,13 @@
 // same thread as the matching lock_shared().
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 
 #include "platform/memory.hpp"
 #include "locks/per_thread.hpp"
 #include "locks/tatas_lock.hpp"
+#include "locks/timed.hpp"
 
 namespace oll {
 
@@ -55,6 +57,33 @@ class BigReaderRwLock {
     for (std::uint32_t i = slots_.size(); i > 0; --i) {
       slots_.slot(i - 1).unlock();
     }
+  }
+
+  // --- timed acquisition (DESIGN.md §11): retry over the try paths --------
+  // The writer try is Θ(max_threads) with full rollback per attempt, which
+  // makes the timed writer expensive under contention — consistent with
+  // this lock's design point (writers pay for reader scalability).
+
+  template <typename Clock, typename Duration>
+  bool try_lock_until(const std::chrono::time_point<Clock, Duration>& tp) {
+    return deadline_retry(to_steady_deadline(tp), [&] { return try_lock(); });
+  }
+
+  template <typename Rep, typename Period>
+  bool try_lock_for(const std::chrono::duration<Rep, Period>& d) {
+    return try_lock_until(std::chrono::steady_clock::now() + d);
+  }
+
+  template <typename Clock, typename Duration>
+  bool try_lock_shared_until(
+      const std::chrono::time_point<Clock, Duration>& tp) {
+    return deadline_retry(to_steady_deadline(tp),
+                          [&] { return try_lock_shared(); });
+  }
+
+  template <typename Rep, typename Period>
+  bool try_lock_shared_for(const std::chrono::duration<Rep, Period>& d) {
+    return try_lock_shared_until(std::chrono::steady_clock::now() + d);
   }
 
  private:

@@ -35,12 +35,15 @@
 #include <chrono>
 #include <concepts>
 #include <cstdint>
+#include <thread>
 #include <utility>
 
 #include "locks/lock_stats.hpp"
 #include "locks/per_thread.hpp"
+#include "locks/timed.hpp"
 #include "platform/assert.hpp"
 #include "platform/backoff.hpp"
+#include "platform/fault.hpp"
 #include "platform/memory.hpp"
 #include "platform/thread_id.hpp"
 #include "platform/time.hpp"
@@ -57,6 +60,12 @@ struct BravoOptions {
   // writer's scan before the lock re-biases.
   std::uint32_t inhibit_multiplier = 9;
   bool start_biased = true;
+  // Revocation-scan wait bound: once a scan has waited this long for bias
+  // readers to drain, the revoke_timeouts stat is bumped (once per scan)
+  // and the per-slot wait escalates from exponential backoff to plain
+  // yields.  The scan always completes — exclusion cannot be abandoned —
+  // this only caps the CPU burned and makes pathological drains visible.
+  std::uint64_t revoke_timeout_ns = 5'000'000;
 };
 
 template <typename LockT, typename M = RealMemory>
@@ -95,6 +104,7 @@ class Bravo {
 
   void unlock_shared() {
     trace_event(TraceEventType::kReadRelease, this);
+    fault_preempt_point(FaultSite::kHolderPreemption);
     Local& local = locals_.local();
     if (local.slot != nullptr) {
       // Bias path: un-publish.  Release order pairs with the revoking
@@ -133,6 +143,7 @@ class Bravo {
 
   void unlock() {
     trace_event(TraceEventType::kWriteRelease, this);
+    fault_preempt_point(FaultSite::kHolderPreemption);
     lock_.unlock();
   }
 
@@ -150,28 +161,50 @@ class Bravo {
   }
 
   // --- timed acquisition (deadline-bounded retry over the try paths) ------
+  // The writer retry is conservative in the same sense as FOLL's (losing
+  // its place each attempt); the reader retry is cheap because the bias
+  // fast path makes most attempts a single CAS.
 
   template <typename Rep, typename Period>
   bool try_lock_for(const std::chrono::duration<Rep, Period>& d)
     requires requires(Bravo& b) { b.try_lock(); }
   {
-    return try_until(std::chrono::steady_clock::now() + d,
-                     [&] { return try_lock(); });
+    return try_lock_until(std::chrono::steady_clock::now() + d);
   }
 
   template <typename Clock, typename Duration>
   bool try_lock_until(const std::chrono::time_point<Clock, Duration>& tp)
     requires requires(Bravo& b) { b.try_lock(); }
   {
-    return try_until(tp, [&] { return try_lock(); });
+    const auto deadline = to_steady_deadline(tp);
+    const ObsTimer t = obs_begin(TraceEventType::kWriteAcquireBegin, this);
+    bool ok;
+    if constexpr (requires { lock_.try_lock_until(deadline); }) {
+      // Delegate the whole deadline: the underlying timed writer can wait
+      // in place (and FOLL/ROLL reclaim a drained reader tail, which a
+      // bare try_lock retry would starve against forever).
+      ok = lock_.try_lock_until(deadline);
+      if (ok) {
+        stats_.count_write_fast();
+        if (rbias_.load(std::memory_order_seq_cst) != 0) revoke_bias();
+      }
+    } else {
+      ok = deadline_retry(deadline, [&] { return try_lock(); });
+    }
+    const std::uint64_t d = obs_end(TraceEventType::kWriteAcquireEnd, this, t);
+    if (t.armed) {
+      stats_.record_timed_acquire(d);
+      if (ok) stats_.record_write_acquire(d);
+    }
+    if (!ok) stats_.count_write_timeout();
+    return ok;
   }
 
   template <typename Rep, typename Period>
   bool try_lock_shared_for(const std::chrono::duration<Rep, Period>& d)
     requires requires(Bravo& b) { b.try_lock_shared(); }
   {
-    return try_until(std::chrono::steady_clock::now() + d,
-                     [&] { return try_lock_shared(); });
+    return try_lock_shared_until(std::chrono::steady_clock::now() + d);
   }
 
   template <typename Clock, typename Duration>
@@ -179,7 +212,16 @@ class Bravo {
       const std::chrono::time_point<Clock, Duration>& tp)
     requires requires(Bravo& b) { b.try_lock_shared(); }
   {
-    return try_until(tp, [&] { return try_lock_shared(); });
+    const auto deadline = to_steady_deadline(tp);
+    const ObsTimer t = obs_begin(TraceEventType::kReadAcquireBegin, this);
+    const bool ok = deadline_retry(deadline, [&] { return try_lock_shared(); });
+    const std::uint64_t d = obs_end(TraceEventType::kReadAcquireEnd, this, t);
+    if (t.armed) {
+      stats_.record_timed_acquire(d);
+      if (ok) stats_.record_read_acquire(d);
+    }
+    if (!ok) stats_.count_read_timeout();
+    return ok;
   }
 
   // --- introspection ------------------------------------------------------
@@ -218,6 +260,9 @@ class Bravo {
                                       std::memory_order_seq_cst)) {
       return false;
     }
+    // The publish/re-check window is the one subtle race in BRAVO; widen it
+    // under fault injection so the fuzzer actually exercises both outcomes.
+    fault_perturb(FaultSite::kSpinWait);
     if (rbias_.load(std::memory_order_seq_cst) != 0) {
       local.slot = &slot;
       stats_.count_read_bias();
@@ -253,12 +298,28 @@ class Bravo {
     // drain interval; record it in the writer_wait histogram.
     const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
     const std::uint64_t scan_start = now_ns();
+    // Bounded-wait drain (DESIGN.md §11): past revoke_timeout_ns the scan
+    // keeps going — it must, exclusion is not abandonable — but stops
+    // burning exponential-backoff CPU, yields instead, and records the
+    // incident (once per scan) so a reader stuck in its critical section
+    // shows up in the revoke_timeouts stat rather than as silent spin.
+    const std::uint64_t drain_deadline = scan_start + opts_.revoke_timeout_ns;
+    bool timed_out = false;
     for (std::uint32_t i = 0; i < Table::size(); ++i) {
       typename Table::Slot& slot = table.slot(i);
       if (slot.load(std::memory_order_seq_cst) != this) continue;
       ExponentialBackoff backoff;
       while (slot.load(std::memory_order_seq_cst) == this) {
-        backoff.backoff();
+        fault_perturb(FaultSite::kSpinWait);
+        if (!timed_out && now_ns() >= drain_deadline) {
+          timed_out = true;
+          stats_.count_revoke_timeout();
+        }
+        if (timed_out) {
+          std::this_thread::yield();
+        } else {
+          backoff.backoff();
+        }
       }
     }
     const std::uint64_t qd = obs_end(TraceEventType::kQueueExit, this, qt);
@@ -267,16 +328,6 @@ class Bravo {
     inhibit_until_.store(
         now_ns() + scan_ns * opts_.inhibit_multiplier,
         std::memory_order_relaxed);
-  }
-
-  template <typename TimePoint, typename Try>
-  bool try_until(const TimePoint& deadline, Try&& attempt) {
-    ExponentialBackoff backoff;
-    while (true) {
-      if (attempt()) return true;
-      if (TimePoint::clock::now() >= deadline) return false;
-      backoff.backoff();
-    }
   }
 
   struct Local {

@@ -13,6 +13,7 @@
 
 #include "platform/assert.hpp"
 #include "platform/backoff.hpp"
+#include "platform/fault.hpp"
 #include "platform/memory.hpp"
 #include "platform/spin.hpp"
 #include "platform/trace.hpp"
@@ -62,6 +63,7 @@ class CentralRwLock {
 
   void unlock_shared() {
     trace_event(TraceEventType::kReadRelease, this);
+    fault_preempt_point(FaultSite::kHolderPreemption);
     word_.fetch_sub(kReaderOne, std::memory_order_acq_rel);
   }
 
@@ -83,6 +85,7 @@ class CentralRwLock {
   // survive our release.
   void unlock() {
     trace_event(TraceEventType::kWriteRelease, this);
+    fault_preempt_point(FaultSite::kHolderPreemption);
     word_.fetch_and(~kWriter, std::memory_order_acq_rel);
   }
 
@@ -114,25 +117,27 @@ class CentralRwLock {
 
   template <typename Rep, typename Period>
   bool try_lock_for(const std::chrono::duration<Rep, Period>& d) {
-    return try_until(std::chrono::steady_clock::now() + d,
-                     [&] { return try_lock(); });
+    return try_lock_until(std::chrono::steady_clock::now() + d);
   }
 
   template <typename Clock, typename Duration>
   bool try_lock_until(const std::chrono::time_point<Clock, Duration>& tp) {
-    return try_until(tp, [&] { return try_lock(); });
+    const bool ok = try_until(tp, [&] { return try_lock(); });
+    if (!ok) stats_.count_write_timeout();
+    return ok;
   }
 
   template <typename Rep, typename Period>
   bool try_lock_shared_for(const std::chrono::duration<Rep, Period>& d) {
-    return try_until(std::chrono::steady_clock::now() + d,
-                     [&] { return try_lock_shared(); });
+    return try_lock_shared_until(std::chrono::steady_clock::now() + d);
   }
 
   template <typename Clock, typename Duration>
   bool try_lock_shared_until(
       const std::chrono::time_point<Clock, Duration>& tp) {
-    return try_until(tp, [&] { return try_lock_shared(); });
+    const bool ok = try_until(tp, [&] { return try_lock_shared(); });
+    if (!ok) stats_.count_read_timeout();
+    return ok;
   }
 
   std::uint64_t lockword() const {

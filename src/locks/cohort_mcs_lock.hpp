@@ -46,6 +46,7 @@
 #include "platform/assert.hpp"
 #include "platform/backoff.hpp"
 #include "platform/cache_line.hpp"
+#include "platform/fault.hpp"
 #include "platform/memory.hpp"
 #include "platform/spin.hpp"
 #include "platform/thread_id.hpp"
@@ -150,6 +151,7 @@ class McsMetalock {
         return succ != nullptr;
       });
     }
+    fault_perturb(FaultSite::kQueueHandoff);
     succ->locked.store(0, std::memory_order_release);
   }
 
@@ -199,7 +201,10 @@ class CohortMcsLock {
     if (!single_domain_) {
       me.gnode.next.store(nullptr, std::memory_order_relaxed);
       GNode* free_tail = nullptr;
-      if (gtail_.compare_exchange_strong(free_tail, &me.gnode,
+      // Injectable CAS failure is legal here: losing the bypass race just
+      // falls through to the queued path.
+      if (!fault_cas_fail(FaultSite::kCasRetry) &&
+          gtail_.compare_exchange_strong(free_tail, &me.gnode,
                                          std::memory_order_acq_rel,
                                          std::memory_order_relaxed)) {
         me.bypass = true;
@@ -254,6 +259,7 @@ class CohortMcsLock {
         succ = me.next.load(std::memory_order_acquire);
         return succ != nullptr;
       });
+      fault_perturb(FaultSite::kQueueHandoff);
       succ->status.store(single_domain_ ? kCohortGrant : kAcquireGlobal,
                          std::memory_order_release);
       if (single_domain_) bump(d.handoffs), bump(d.cohort_hits);
@@ -273,6 +279,7 @@ class CohortMcsLock {
       --d.handoffs_left;
       bump(d.handoffs);
       bump(d.cohort_hits);
+      fault_perturb(FaultSite::kQueueHandoff);
       succ->status.store(kCohortGrant, std::memory_order_release);
       return;
     }
@@ -362,6 +369,7 @@ class CohortMcsLock {
         return succ != nullptr;
       });
     }
+    fault_perturb(FaultSite::kQueueHandoff);
     succ->locked.store(0, std::memory_order_release);
     return true;
   }

@@ -24,12 +24,14 @@
 // successor-writer's "wait for qNext" spin with a garbage pointer).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "platform/assert.hpp"
 #include "platform/cache_line.hpp"
+#include "platform/fault.hpp"
 #include "platform/memory.hpp"
 #include "platform/spin.hpp"
 #include "platform/thread_id.hpp"
@@ -37,6 +39,7 @@
 #include "platform/trace.hpp"
 #include "locks/lock_stats.hpp"
 #include "locks/per_thread.hpp"
+#include "locks/timed.hpp"
 #include "snzi/csnzi.hpp"
 
 namespace oll {
@@ -92,6 +95,7 @@ class FollLock {
 
   void unlock() {
     trace_event(TraceEventType::kWriteRelease, this);
+    fault_preempt_point(FaultSite::kHolderPreemption);
     Node* w = &locals_.local().wnode;
     Node* succ = w->qnext.load(std::memory_order_acquire);
     if (succ == nullptr) {
@@ -106,8 +110,7 @@ class FollLock {
         return succ != nullptr;
       });
     }
-    count_handoff(succ->domain);  // read before granting: succ may recycle
-    succ->spin.store(0, std::memory_order_release);
+    grant_node(succ);
     w->qnext.store(nullptr, std::memory_order_relaxed);  // clean up
   }
 
@@ -119,6 +122,9 @@ class FollLock {
     const std::uint64_t d = obs_end(TraceEventType::kReadAcquireEnd, this, t);
     if (t.armed) stats_.record_read_acquire(d);
   }
+
+ protected:
+  struct Node;  // defined below with the rest of the queue-node machinery
 
  private:
   // Figure 4's WriterLock body (the public lock() wraps it in the
@@ -240,9 +246,139 @@ class FollLock {
     }
   }
 
+  // lock_shared_impl's three-case loop with deadline checks.  Waits that
+  // have not started yet are skipped once the deadline expires (so an
+  // already-expired deadline behaves like try_lock_shared, except that the
+  // no-wait acquisitions — empty queue, active reader tail — still
+  // succeed); waits in progress are abandoned via timed_reader_wait.
+  bool timed_lock_shared_impl(std::chrono::steady_clock::time_point deadline) {
+    Local& local = locals_.local();
+    Node* rnode = nullptr;
+    while (true) {
+      Node* tail = tail_.load(std::memory_order_acquire);
+      if (tail == nullptr) {
+        // Empty queue: acquiring needs no wait, so the deadline is moot.
+        if (rnode == nullptr) rnode = alloc_reader_node();
+        rnode->spin.store(0, std::memory_order_relaxed);
+        Node* expected = nullptr;
+        if (tail_.compare_exchange_strong(expected, rnode,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+          rnode->csnzi->open();
+          local.ticket = rnode->csnzi->arrive();
+          if (local.ticket.arrived()) {
+            local.depart_from = rnode;
+            stats_.count_read_fast();
+            return true;
+          }
+          rnode = nullptr;  // inserted: a writer beat our arrival; retry
+        }
+      } else if (tail->kind == kWriterNode) {
+        // Joining here means waiting out the writer; never start a wait we
+        // no longer have time for.
+        if (std::chrono::steady_clock::now() >= deadline) {
+          if (rnode != nullptr) free_reader_node(rnode);
+          stats_.count_read_timeout();
+          return false;
+        }
+        if (rnode == nullptr) rnode = alloc_reader_node();
+        rnode->spin.store(1, std::memory_order_relaxed);
+        Node* expected = tail;
+        if (tail_.compare_exchange_strong(expected, rnode,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+          tail->qnext.store(rnode, std::memory_order_release);
+          rnode->csnzi->open();
+          local.ticket = rnode->csnzi->arrive();
+          if (local.ticket.arrived()) {
+            stats_.count_read_queued();
+            if (!timed_reader_wait(rnode, local.ticket, deadline)) {
+              return false;
+            }
+            local.depart_from = rnode;
+            return true;
+          }
+          rnode = nullptr;  // inserted; do not reuse
+        }
+      } else {
+        local.ticket = tail->csnzi->arrive();
+        if (local.ticket.arrived()) {
+          if (rnode != nullptr) {
+            free_reader_node(rnode);
+            rnode = nullptr;
+          }
+          if (tail->spin.load(std::memory_order_acquire) == 0) {
+            local.depart_from = tail;
+            stats_.count_read_fast();
+            return true;
+          }
+          stats_.count_read_queued();
+          if (!timed_reader_wait(tail, local.ticket, deadline)) {
+            return false;
+          }
+          local.depart_from = tail;
+          return true;
+        }
+        // Closed by a writer; the tail has necessarily changed; retry.
+      }
+    }
+  }
+
+  // Timed wait for `node`'s grant after a successful arrival.  True means
+  // granted (the caller now holds the lock in shared mode); false means
+  // the arrival was abandoned (stats recorded here).
+  bool timed_reader_wait(Node* node, const typename CSnzi<M>::Ticket& t,
+                         std::chrono::steady_clock::time_point deadline) {
+    const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
+    SpinWait w;
+    std::uint32_t check = 0;
+    bool granted = false;
+    for (;;) {
+      if (node->spin.load(std::memory_order_acquire) == 0) {
+        granted = true;
+        break;
+      }
+      if ((++check & 15u) == 0 &&
+          std::chrono::steady_clock::now() >= deadline) {
+        break;
+      }
+      w.pause();
+    }
+    obs_end(TraceEventType::kQueueExit, this, qt);
+    if (granted) return true;
+    // Timed out: undo the arrival.  A non-last departure (or a last
+    // departure from a still-open node) leaves the node in a state the
+    // normal protocol already handles (remaining readers keep waiting, or
+    // an empty open waiting node that the next writer inherits).
+    stats_.count_read_timeout();
+    stats_.count_read_abandon();
+    if (node->csnzi->depart(t)) return false;
+    // Last departure from a closed waiting node.  We cannot signal the
+    // closing writer — the lock's current holder has not released — so
+    // orphan the node (spin 1 -> 2) for the granter to forward through.
+    std::uint32_t expected = 1;
+    if (node->spin.compare_exchange_strong(expected, 2,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+      return false;
+    }
+    // The grant landed between our timeout and the CAS (spin went to 0),
+    // so handoff duty is ours after all: pass the grant to the closing
+    // writer and recycle the node.  We already departed, so the timeout
+    // result stands — the grant is not lost, merely forwarded.
+    OLL_DCHECK(expected == 0);
+    Node* succ = node->qnext.load(std::memory_order_acquire);
+    OLL_CHECK(succ != nullptr);
+    node->qnext.store(nullptr, std::memory_order_relaxed);
+    grant_node(succ);
+    free_reader_node(node);
+    return false;
+  }
+
  public:
   void unlock_shared() {
     trace_event(TraceEventType::kReadRelease, this);
+    fault_preempt_point(FaultSite::kHolderPreemption);
     Local& local = locals_.local();
     Node* node = local.depart_from;
     OLL_DCHECK(node != nullptr);
@@ -306,6 +442,106 @@ class FollLock {
     local.ticket = t;
     local.depart_from = tail;
     return true;
+  }
+
+  // --- timed acquisition (DESIGN.md §11) ----------------------------------
+
+ private:
+  // Timed-writer reclaim of a drained reader tail.  The empty-tail
+  // try_lock can fail FOREVER on a free lock: a reader group that drains
+  // in place stays at the tail until a blocking writer closes it, so a
+  // deadline_retry over try_lock alone starves once any read completes.
+  // When the tail is a granted, open, zero-surplus reader node, the timed
+  // writer performs the blocking writer's enqueue-and-close takeover
+  // itself.  The tail CAS is the commit point: past it we are an ordinary
+  // blocking writer, so the deadline can be overshot by the critical
+  // sections of readers that race in between the query and the Close —
+  // bounded by in-flight readers, never by other writers (a writer tail
+  // makes us decline before the CAS).
+  bool timed_write_reclaim() {
+    Node* tail = tail_.load(std::memory_order_acquire);
+    if (tail == nullptr || tail->kind != kReaderNode) return false;
+    if (tail->spin.load(std::memory_order_acquire) != 0) return false;
+    const SnziQuery q = tail->csnzi->query();
+    if (!q.open || q.nonzero) return false;
+    Node* w = &locals_.local().wnode;
+    w->domain = my_domain();
+    w->qnext.store(nullptr, std::memory_order_relaxed);
+    w->spin.store(1, std::memory_order_relaxed);
+    Node* expected = tail;
+    if (!tail_.compare_exchange_strong(expected, w,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      return false;  // tail moved under us: no commitment made
+    }
+    stats_.count_write_queued();
+    tail->qnext.store(w, std::memory_order_release);
+    if (tail->csnzi->close()) {
+      // Still drained: inherit the node's queue position.  The spin wait
+      // mirrors lock_impl and only matters in the recycle-and-re-enqueue
+      // ABA window (spin never goes 0 -> 1 within one queue life).
+      spin_until([&] {
+        return tail->spin.load(std::memory_order_acquire) == 0;
+      });
+      tail->qnext.store(nullptr, std::memory_order_relaxed);
+      free_reader_node(tail);
+      return true;
+    }
+    // Readers raced in before the Close; the last one to depart signals us
+    // (depart_and_handoff -> grant_node).  This is the drain interval.
+    const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
+    spin_until([&] { return w->spin.load(std::memory_order_acquire) == 0; });
+    const std::uint64_t qd = obs_end(TraceEventType::kQueueExit, this, qt);
+    if (qt.armed) stats_.record_writer_wait(qd);
+    return true;
+  }
+
+ public:
+  // Writer side: an MCS fetch-and-store cannot be backed out, so the timed
+  // writer is a deadline-bounded retry over the empty-tail try_lock plus
+  // the drained-tail reclaim above — conservative (loses queue position)
+  // but correct; see locks/timed.hpp.
+  template <typename Clock, typename Duration>
+  bool try_lock_until(const std::chrono::time_point<Clock, Duration>& tp) {
+    const auto deadline = to_steady_deadline(tp);
+    const ObsTimer t = obs_begin(TraceEventType::kWriteAcquireBegin, this);
+    const bool ok = deadline_retry(
+        deadline, [&] { return try_lock() || timed_write_reclaim(); });
+    const std::uint64_t d = obs_end(TraceEventType::kWriteAcquireEnd, this, t);
+    if (t.armed) {
+      stats_.record_timed_acquire(d);
+      if (ok) stats_.record_write_acquire(d);
+    }
+    if (!ok) stats_.count_write_timeout();
+    return ok;
+  }
+
+  template <typename Rep, typename Period>
+  bool try_lock_for(const std::chrono::duration<Rep, Period>& d) {
+    return try_lock_until(std::chrono::steady_clock::now() + d);
+  }
+
+  // Reader side: a genuine enqueue-and-abandon — the arrival is undone
+  // with a Depart on timeout, and a last-departer that cannot take handoff
+  // duty (the closing writer's turn has not come) orphans the node for the
+  // eventual granter to reap (grant_node).
+  template <typename Clock, typename Duration>
+  bool try_lock_shared_until(
+      const std::chrono::time_point<Clock, Duration>& tp) {
+    const auto deadline = to_steady_deadline(tp);
+    const ObsTimer t = obs_begin(TraceEventType::kReadAcquireBegin, this);
+    const bool ok = timed_lock_shared_impl(deadline);
+    const std::uint64_t d = obs_end(TraceEventType::kReadAcquireEnd, this, t);
+    if (t.armed) {
+      stats_.record_timed_acquire(d);
+      if (ok) stats_.record_read_acquire(d);
+    }
+    return ok;
+  }
+
+  template <typename Rep, typename Period>
+  bool try_lock_shared_for(const std::chrono::duration<Rep, Period>& d) {
+    return try_lock_shared_until(std::chrono::steady_clock::now() + d);
   }
 
   // --- introspection -------------------------------------------------------
@@ -374,10 +610,36 @@ class FollLock {
     // closing, so the successor must exist.
     Node* succ = node->qnext.load(std::memory_order_acquire);
     OLL_CHECK(succ != nullptr);
-    count_handoff(succ->domain);  // read before granting
-    succ->spin.store(0, std::memory_order_release);
     node->qnext.store(nullptr, std::memory_order_relaxed);  // clean up
+    grant_node(succ);
     free_reader_node(node);
+  }
+
+  // Grant the queue position held by `succ`, forwarding through orphans.
+  //
+  // A reader node whose spin flag was CASed 1 -> 2 is *orphaned*: every
+  // reader that arrived at it abandoned a timed wait (DESIGN.md §11), so
+  // nobody is left to consume the grant or to later signal the closing
+  // writer linked behind it.  The granter detects this with an exchange and
+  // forwards the grant through the orphan, recycling it here.  At most one
+  // forwarding hop can occur: a node is only orphaned after a writer closed
+  // it (so a writer node follows it in the queue), adjacent reader nodes
+  // are impossible, and writer nodes are never orphaned.
+  void grant_node(Node* succ) {
+    while (true) {
+      count_handoff(succ->domain);  // read before granting: succ may recycle
+      fault_perturb(FaultSite::kQueueHandoff);
+      const std::uint32_t prev =
+          succ->spin.exchange(0, std::memory_order_acq_rel);
+      if (prev != 2) return;
+      // Orphaned: the closing writer behind it must exist (qnext was linked
+      // before the Close that made abandonment possible).
+      Node* next = succ->qnext.load(std::memory_order_acquire);
+      OLL_CHECK(next != nullptr);
+      succ->qnext.store(nullptr, std::memory_order_relaxed);
+      free_reader_node(succ);
+      succ = next;
+    }
   }
 
   // Close the per-domain rings: within each LLC domain, nodes link to the

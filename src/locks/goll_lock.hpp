@@ -41,6 +41,7 @@
 #include <mutex>
 
 #include "platform/assert.hpp"
+#include "platform/fault.hpp"
 #include "platform/memory.hpp"
 #include "platform/spin.hpp"
 #include "platform/thread_id.hpp"
@@ -49,6 +50,7 @@
 #include "locks/cohort_mcs_lock.hpp"
 #include "locks/lock_stats.hpp"
 #include "locks/per_thread.hpp"
+#include "locks/timed.hpp"
 #include "locks/wait_queue.hpp"
 #include "snzi/csnzi.hpp"
 
@@ -105,6 +107,7 @@ class GollLock {
 
   void unlock() {
     trace_event(TraceEventType::kWriteRelease, this);
+    fault_preempt_point(FaultSite::kHolderPreemption);
     if (fast_release_ && has_waiters_.load(std::memory_order_relaxed) == 0) {
       // Metalock-eliding release (see file comment): no waiters, so the
       // queue needs no update — open the C-SNZI directly.  The fence +
@@ -133,6 +136,7 @@ class GollLock {
       // Writer next in line: C-SNZI is already closed with zero surplus,
       // which *is* the write-acquired state; nothing to change.
     }
+    fault_perturb(FaultSite::kQueueHandoff);
     group.signal_all();
   }
 
@@ -156,6 +160,7 @@ class GollLock {
 
   void unlock_shared() {
     trace_event(TraceEventType::kReadRelease, this);
+    fault_preempt_point(FaultSite::kHolderPreemption);
     Local& local = locals_.local();
     OLL_DCHECK(local.ticket.arrived());
     Ticket t = local.ticket;
@@ -170,44 +175,76 @@ class GollLock {
       std::lock_guard<Metalock<M>> meta(metalock_);
       group = queue_.dequeue(my_domain());
       sync_waiter_flag();
-      OLL_CHECK(!group.empty());
+      if (group.empty()) {
+        // Every queued waiter abandoned its timed wait between our last
+        // departure (which observed the closed C-SNZI some waiter had
+        // caused) and this dequeue.  Nobody to hand over to: the lock is
+        // simply free again.  Before timed acquisition this was impossible
+        // — writers Close only with a node already queued — and this path
+        // asserted non-emptiness.
+        csnzi_.open();
+        return;
+      }
       if (group.kind() == ReqKind::kReader) {
         // Queue policy let readers overtake the writer that closed the
-        // C-SNZI; re-open directly into the read-acquired state, keeping it
-        // closed because that writer still waits (§3.2, Fig. 3 comment).
-        OLL_DCHECK(queue_.num_writers() != 0);
+        // C-SNZI; re-open directly into the read-acquired state, staying
+        // closed while a writer still waits.  num_writers can legitimately
+        // be zero here since timed acquisition: the writer whose Close we
+        // observed may have abandoned, leaving only readers queued behind
+        // the closed indicator (§3.2, Fig. 3 comment; DESIGN.md §11).
         csnzi_.open_with_arrivals(group.count(), queue_.num_writers() != 0);
       }
     }
+    fault_perturb(FaultSite::kQueueHandoff);
     group.signal_all();
   }
 
   // --- timed acquisition (SharedTimedMutex requirements) ------------------
-  // Deadline-bounded retries over the try fast paths.  These never enqueue,
-  // so a timeout leaves no queue state behind — at the cost of not getting
-  // the queue's fairness while waiting (acceptable for timed waits).
+  // Genuine enqueue-and-abandon (DESIGN.md §11): a timed acquisition that
+  // misses the fast path joins the wait queue exactly like its untimed
+  // sibling — same coalescing, same Dekker publication — and on timeout
+  // unlinks its node under the metalock (WaitQueue::try_abandon).  When the
+  // unlink fails the group was already dequeued: ownership was transferred
+  // before the grant flag was set, so the grant is consumed and the call
+  // succeeds even past the deadline (the standard timed contract permits
+  // this; discarding the grant would strand the lock).  An already-expired
+  // deadline degenerates to the try_ fast path: it never waits or enqueues.
 
   template <typename Rep, typename Period>
   bool try_lock_for(const std::chrono::duration<Rep, Period>& d) {
-    return try_until(std::chrono::steady_clock::now() + d,
-                     [&] { return try_lock(); });
+    return try_lock_until(std::chrono::steady_clock::now() + d);
   }
 
   template <typename Clock, typename Duration>
   bool try_lock_until(const std::chrono::time_point<Clock, Duration>& tp) {
-    return try_until(tp, [&] { return try_lock(); });
+    const auto deadline = to_steady_deadline(tp);
+    const ObsTimer t = obs_begin(TraceEventType::kWriteAcquireBegin, this);
+    const bool ok = timed_lock_impl(deadline);
+    const std::uint64_t d = obs_end(TraceEventType::kWriteAcquireEnd, this, t);
+    if (t.armed) {
+      stats_.record_timed_acquire(d);
+      if (ok) stats_.record_write_acquire(d);
+    }
+    return ok;
   }
 
   template <typename Rep, typename Period>
   bool try_lock_shared_for(const std::chrono::duration<Rep, Period>& d) {
-    return try_until(std::chrono::steady_clock::now() + d,
-                     [&] { return try_lock_shared(); });
+    return try_lock_shared_until(std::chrono::steady_clock::now() + d);
   }
 
   template <typename Clock, typename Duration>
   bool try_lock_shared_until(
       const std::chrono::time_point<Clock, Duration>& tp) {
-    return try_until(tp, [&] { return try_lock_shared(); });
+    const auto deadline = to_steady_deadline(tp);
+    const ObsTimer t = obs_begin(TraceEventType::kReadAcquireBegin, this);
+    const bool ok = timed_lock_shared_impl(deadline);
+    const std::uint64_t d = obs_end(TraceEventType::kReadAcquireEnd, this, t);
+    if (t.armed) {
+      stats_.record_timed_acquire(d);
+      if (ok) stats_.record_read_acquire(d);
+    }
+    return ok;
   }
 
   // --- write upgrade / downgrade (§3.2.1) --------------------------------
@@ -244,6 +281,7 @@ class GollLock {
       }
       local.ticket = csnzi_.direct_ticket();
     }
+    fault_perturb(FaultSite::kQueueHandoff);
     group.signal_all();
   }
 
@@ -351,6 +389,134 @@ class GollLock {
     }
   }
 
+  // Timed WriterLock (see the public comment): fast path, enqueue with the
+  // full Dekker publication, deadline-bounded wait, abandon-or-consume.
+  bool timed_lock_impl(std::chrono::steady_clock::time_point deadline) {
+    if (csnzi_.close_if_empty()) {
+      stats_.count_write_fast();
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      stats_.count_write_timeout();
+      return false;
+    }
+    typename WaitQueue<M>::WaitNode waiter;
+    waiter.arm(opts_.wait_strategy, my_domain());
+    {
+      std::lock_guard<Metalock<M>> meta(metalock_);
+      if (csnzi_.close()) {
+        stats_.count_write_fast();
+        return true;  // lock became free; Close acquired it
+      }
+      const bool was_empty = queue_.empty();
+      queue_.enqueue(&waiter, ReqKind::kWriter);
+      if (fast_release_ && was_empty) {
+        has_waiters_.store(1, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (csnzi_.query().open && csnzi_.close()) {
+          queue_.remove(&waiter);
+          sync_waiter_flag();
+          stats_.count_write_queued();
+          return true;
+        }
+      }
+    }
+    stats_.count_write_queued();
+    const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
+    if (waiter.wait_until_granted(deadline)) {
+      const std::uint64_t qd = obs_end(TraceEventType::kQueueExit, this, qt);
+      if (qt.armed) stats_.record_writer_wait(qd);
+      return true;  // granted: ownership was handed over before the flag
+    }
+    {
+      std::lock_guard<Metalock<M>> meta(metalock_);
+      if (queue_.try_abandon(&waiter)) {
+        sync_waiter_flag();
+        obs_end(TraceEventType::kQueueExit, this, qt);
+        stats_.count_write_timeout();
+        stats_.count_write_abandon();
+        return false;
+      }
+    }
+    // Our group was dequeued before we could abandon: a grant is in flight
+    // (or delivered) and ownership is already ours — consume it.
+    waiter.wait();
+    const std::uint64_t qd = obs_end(TraceEventType::kQueueExit, this, qt);
+    if (qt.armed) stats_.record_writer_wait(qd);
+    return true;
+  }
+
+  // Timed ReaderLock: same retry structure as lock_shared_impl with a
+  // deadline check per round and the abandon-or-consume epilogue.  A reader
+  // that abandons also drains its C-SNZI sticky window: the dense index may
+  // be released right after we return, and the successor recycling it must
+  // find a clean slot even if it never triggers the epoch guard.
+  bool timed_lock_shared_impl(std::chrono::steady_clock::time_point deadline) {
+    Local& local = locals_.local();
+    OLL_DCHECK(!local.ticket.arrived());  // non-recursive
+    while (true) {
+      Ticket ticket = csnzi_.arrive();
+      if (ticket.arrived()) {
+        local.ticket = ticket;
+        stats_.count_read_fast();
+        return true;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        csnzi_.drain_thread_sticky();
+        stats_.count_read_timeout();
+        return false;
+      }
+      if (fast_release_ && wait_for_reopen()) {
+        continue;  // the write epoch ended; retry the arrival fast path
+      }
+      typename WaitQueue<M>::WaitNode waiter;
+      waiter.arm(opts_.wait_strategy, my_domain());
+      {
+        std::lock_guard<Metalock<M>> meta(metalock_);
+        if (csnzi_.query().open) continue;  // reopened meanwhile; retry
+        const bool was_empty = queue_.empty();
+        queue_.enqueue(&waiter, ReqKind::kReader);
+        if (fast_release_ && was_empty) {
+          has_waiters_.store(1, std::memory_order_relaxed);
+          std::atomic_thread_fence(std::memory_order_seq_cst);
+          if (csnzi_.query().open) {
+            queue_.remove(&waiter);
+            sync_waiter_flag();
+            continue;
+          }
+        }
+      }
+      stats_.count_read_queued();
+      const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
+      if (waiter.wait_until_granted(deadline)) {
+        // Forward tree-wake children before anything else (wait() returns
+        // immediately — the flag is already set — and fans out).
+        waiter.wait();
+        obs_end(TraceEventType::kQueueExit, this, qt);
+        local.ticket = csnzi_.direct_ticket();
+        return true;
+      }
+      {
+        std::lock_guard<Metalock<M>> meta(metalock_);
+        if (queue_.try_abandon(&waiter)) {
+          sync_waiter_flag();
+          obs_end(TraceEventType::kQueueExit, this, qt);
+          csnzi_.drain_thread_sticky();
+          stats_.count_read_timeout();
+          stats_.count_read_abandon();
+          return false;
+        }
+      }
+      // Dequeued before we could abandon: consume the in-flight grant (and
+      // fan it out to any tree-wake children) — we own a read slot that the
+      // releaser pre-arrived for us.
+      waiter.wait();
+      obs_end(TraceEventType::kQueueExit, this, qt);
+      local.ticket = csnzi_.direct_ticket();
+      return true;
+    }
+  }
+
   // Bounded spin on the C-SNZI root waiting for the write epoch to end
   // (metalock != tatas): a queued reader costs two metalock round trips
   // plus a wake handoff, so a reader that merely caught a short writer
@@ -364,6 +530,7 @@ class GollLock {
     SpinWait w;
     for (std::uint32_t i = 0; i < kReopenSpinBudget; ++i) {
       if (csnzi_.query().open) return true;
+      fault_perturb(FaultSite::kSpinWait);
       w.pause();
     }
     return false;
@@ -388,6 +555,7 @@ class GollLock {
         csnzi_.open_with_arrivals(group.count(), queue_.num_writers() != 0);
       }
     }
+    fault_perturb(FaultSite::kQueueHandoff);
     group.signal_all();
   }
 
@@ -421,16 +589,6 @@ class GollLock {
   // Releasing/enqueueing thread's LLC domain, for the wait queue's cohort
   // writer handoff.  One relaxed table lookup; free on single-domain hosts.
   std::uint32_t my_domain() const { return dmap_.domain_of(this_thread_index()); }
-
-  template <typename TimePoint, typename Try>
-  bool try_until(const TimePoint& deadline, Try&& attempt) {
-    ExponentialBackoff backoff;
-    while (true) {
-      if (attempt()) return true;
-      if (TimePoint::clock::now() >= deadline) return false;
-      backoff.backoff();
-    }
-  }
 
   struct Local {
     Ticket ticket{};

@@ -43,6 +43,7 @@
 // `I->prev == pred` after locking pred->el is therefore sufficient.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 
 #include "platform/assert.hpp"
@@ -50,6 +51,7 @@
 #include "platform/memory.hpp"
 #include "platform/spin.hpp"
 #include "locks/per_thread.hpp"
+#include "locks/timed.hpp"
 
 namespace oll {
 
@@ -69,6 +71,38 @@ class KsuhRwLock {
   void unlock_shared() { release(locals_.local().node); }
   void lock() { acquire(locals_.local().node, kWriter); }
   void unlock() { release(locals_.local().node); }
+
+  // --- non-blocking / timed acquisition (DESIGN.md §11) -------------------
+  // Conservative: the FAS-based queue cannot be backed out, so try_ is an
+  // empty-tail CAS that completes the pred == nullptr arm of acquire().  It
+  // may fail spuriously while drained nodes still occupy the queue, which
+  // the SharedMutex contract permits; the timed variants are a deadline-
+  // bounded retry over it (locks/timed.hpp).
+
+  bool try_lock() { return try_acquire(kWriter); }
+  bool try_lock_shared() { return try_acquire(kReader); }
+
+  template <typename Clock, typename Duration>
+  bool try_lock_until(const std::chrono::time_point<Clock, Duration>& tp) {
+    return deadline_retry(to_steady_deadline(tp), [&] { return try_lock(); });
+  }
+
+  template <typename Rep, typename Period>
+  bool try_lock_for(const std::chrono::duration<Rep, Period>& d) {
+    return try_lock_until(std::chrono::steady_clock::now() + d);
+  }
+
+  template <typename Clock, typename Duration>
+  bool try_lock_shared_until(
+      const std::chrono::time_point<Clock, Duration>& tp) {
+    return deadline_retry(to_steady_deadline(tp),
+                          [&] { return try_lock_shared(); });
+  }
+
+  template <typename Rep, typename Period>
+  bool try_lock_shared_for(const std::chrono::duration<Rep, Period>& d) {
+    return try_lock_shared_until(std::chrono::steady_clock::now() + d);
+  }
 
  private:
   enum Class : std::uint32_t { kReader = 0, kWriter = 1 };
@@ -106,7 +140,12 @@ class KsuhRwLock {
     Node* pred = tail_.exchange(&I, std::memory_order_seq_cst);
     if (pred == nullptr) {
       I.state.store(kActive, std::memory_order_seq_cst);
-      cascade(I);
+      // Readers only: a WRITER head must not cascade — a reader that
+      // queued behind it in the FAS..here window is WAITING with
+      // pred->cls == kWriter and would be wrongly activated alongside the
+      // active writer (exclusion violation, surfaced by fault injection at
+      // this window).  It is activated by release_as_head instead.
+      if (cls == kReader) cascade(I);
       return;
     }
     // Publish the link; pred cannot leave the queue before seeing it.
@@ -137,6 +176,24 @@ class KsuhRwLock {
       succ->state.store(kActive, std::memory_order_seq_cst);
     }
     unlock_el(I);
+  }
+
+  // Shared body of try_lock / try_lock_shared: claim an empty queue with a
+  // tail CAS, then run acquire()'s pred == nullptr completion.
+  bool try_acquire(Class cls) {
+    Node& I = locals_.local().node;
+    I.cls.store(cls, std::memory_order_relaxed);
+    I.next.store(nullptr, std::memory_order_relaxed);
+    I.prev.store(nullptr, std::memory_order_relaxed);
+    I.state.store(kWaiting, std::memory_order_relaxed);
+    Node* expected = nullptr;
+    if (!tail_.compare_exchange_strong(expected, &I,
+                                       std::memory_order_seq_cst)) {
+      return false;
+    }
+    I.state.store(kActive, std::memory_order_seq_cst);
+    if (cls == kReader) cascade(I);
+    return true;
   }
 
   void release(Node& I) {

@@ -60,6 +60,19 @@ struct LockStatsSnapshot {
   std::uint64_t wake_cohort_hits = 0;
   std::uint64_t wake_cross_domain = 0;
 
+  // Timed/cancellable acquisition (DESIGN.md §11).  *_timeouts count timed
+  // acquisitions that returned failure; *_abandons count the subset that had
+  // already committed to a wait (queue node enqueued / C-SNZI arrival made)
+  // and had to back it out.  revoke_timeouts counts BRAVO revocation scans
+  // whose per-slot wait exceeded the bounded-backoff budget (the writer
+  // still completes the scan — exclusion cannot be abandoned — but the
+  // incident is visible instead of a silent stall).
+  std::uint64_t read_timeouts = 0;
+  std::uint64_t write_timeouts = 0;
+  std::uint64_t read_abandons = 0;
+  std::uint64_t write_abandons = 0;
+  std::uint64_t revoke_timeouts = 0;
+
   // Latency distributions in trace-clock units (ns real / cycles sim);
   // populated only while latency timing is runtime-enabled.  writer_wait
   // covers the interval a writer spends waiting for the lock after missing
@@ -68,6 +81,9 @@ struct LockStatsSnapshot {
   HistogramSnapshot read_acquire{};
   HistogramSnapshot write_acquire{};
   HistogramSnapshot writer_wait{};
+  // Latency of try_*_for calls, successful or not (a timeout contributes
+  // roughly its deadline).  Fed under the same runtime-timing gate.
+  HistogramSnapshot timed_acquire{};
 
   std::uint64_t reads() const { return read_fast + read_queued + read_bias; }
   std::uint64_t writes() const { return write_fast + write_queued; }
@@ -85,9 +101,15 @@ struct LockStatsSnapshot {
     meta_cross_domain += o.meta_cross_domain;
     wake_cohort_hits += o.wake_cohort_hits;
     wake_cross_domain += o.wake_cross_domain;
+    read_timeouts += o.read_timeouts;
+    write_timeouts += o.write_timeouts;
+    read_abandons += o.read_abandons;
+    write_abandons += o.write_abandons;
+    revoke_timeouts += o.revoke_timeouts;
     read_acquire += o.read_acquire;
     write_acquire += o.write_acquire;
     writer_wait += o.writer_wait;
+    timed_acquire += o.timed_acquire;
     return *this;
   }
 
@@ -107,9 +129,15 @@ struct LockStatsSnapshot {
     meta_cross_domain -= o.meta_cross_domain;
     wake_cohort_hits -= o.wake_cohort_hits;
     wake_cross_domain -= o.wake_cross_domain;
+    read_timeouts -= o.read_timeouts;
+    write_timeouts -= o.write_timeouts;
+    read_abandons -= o.read_abandons;
+    write_abandons -= o.write_abandons;
+    revoke_timeouts -= o.revoke_timeouts;
     read_acquire -= o.read_acquire;
     write_acquire -= o.write_acquire;
     writer_wait -= o.writer_wait;
+    timed_acquire -= o.timed_acquire;
     return *this;
   }
 };
@@ -124,6 +152,11 @@ class LockStats {
   void count_write_queued() { bump(slots_.local().write_queued); }
   void count_read_bias() { bump(slots_.local().read_bias); }
   void count_bias_revoke() { bump(slots_.local().bias_revoke); }
+  void count_read_timeout() { bump(slots_.local().read_timeouts); }
+  void count_write_timeout() { bump(slots_.local().write_timeouts); }
+  void count_read_abandon() { bump(slots_.local().read_abandons); }
+  void count_write_abandon() { bump(slots_.local().write_abandons); }
+  void count_revoke_timeout() { bump(slots_.local().revoke_timeouts); }
 
   // Histogram feeds; call only when the caller's ObsTimer was armed (the
   // locks guard on it), so a disabled run never touches these lines.
@@ -135,6 +168,9 @@ class LockStats {
   }
   void record_writer_wait(std::uint64_t d) {
     slots_.local().writer_wait.add(d);
+  }
+  void record_timed_acquire(std::uint64_t d) {
+    slots_.local().timed_acquire.add(d);
   }
 
   // Aggregate across threads.  Not linearizable with respect to concurrent
@@ -150,9 +186,18 @@ class LockStats {
       total.write_queued += s.write_queued.load(std::memory_order_relaxed);
       total.read_bias += s.read_bias.load(std::memory_order_relaxed);
       total.bias_revoke += s.bias_revoke.load(std::memory_order_relaxed);
+      total.read_timeouts += s.read_timeouts.load(std::memory_order_relaxed);
+      total.write_timeouts +=
+          s.write_timeouts.load(std::memory_order_relaxed);
+      total.read_abandons += s.read_abandons.load(std::memory_order_relaxed);
+      total.write_abandons +=
+          s.write_abandons.load(std::memory_order_relaxed);
+      total.revoke_timeouts +=
+          s.revoke_timeouts.load(std::memory_order_relaxed);
       s.read_acquire.snapshot_into(total.read_acquire);
       s.write_acquire.snapshot_into(total.write_acquire);
       s.writer_wait.snapshot_into(total.writer_wait);
+      s.timed_acquire.snapshot_into(total.timed_acquire);
     }
     return total;
   }
@@ -169,9 +214,15 @@ class LockStats {
       s.write_queued.store(0, std::memory_order_relaxed);
       s.read_bias.store(0, std::memory_order_relaxed);
       s.bias_revoke.store(0, std::memory_order_relaxed);
+      s.read_timeouts.store(0, std::memory_order_relaxed);
+      s.write_timeouts.store(0, std::memory_order_relaxed);
+      s.read_abandons.store(0, std::memory_order_relaxed);
+      s.write_abandons.store(0, std::memory_order_relaxed);
+      s.revoke_timeouts.store(0, std::memory_order_relaxed);
       s.read_acquire.reset();
       s.write_acquire.reset();
       s.writer_wait.reset();
+      s.timed_acquire.reset();
     }
   }
 
@@ -183,9 +234,15 @@ class LockStats {
     std::atomic<std::uint64_t> write_queued{0};
     std::atomic<std::uint64_t> read_bias{0};
     std::atomic<std::uint64_t> bias_revoke{0};
+    std::atomic<std::uint64_t> read_timeouts{0};
+    std::atomic<std::uint64_t> write_timeouts{0};
+    std::atomic<std::uint64_t> read_abandons{0};
+    std::atomic<std::uint64_t> write_abandons{0};
+    std::atomic<std::uint64_t> revoke_timeouts{0};
     AtomicHistogram read_acquire;
     AtomicHistogram write_acquire;
     AtomicHistogram writer_wait;
+    AtomicHistogram timed_acquire;
   };
 
   // Single-writer slot: a relaxed load+store increment cannot be lost and

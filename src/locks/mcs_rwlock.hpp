@@ -10,6 +10,7 @@
 // next_writer fields.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 
 #include "platform/assert.hpp"
@@ -17,6 +18,7 @@
 #include "platform/memory.hpp"
 #include "platform/spin.hpp"
 #include "locks/per_thread.hpp"
+#include "locks/timed.hpp"
 
 namespace oll {
 
@@ -36,6 +38,93 @@ class McsRwLock {
   void unlock_shared() { end_read(locals_.local().node); }
   void lock() { start_write(locals_.local().node); }
   void unlock() { end_write(locals_.local().node); }
+
+  // --- non-blocking / timed acquisition (DESIGN.md §11) -------------------
+  // Conservative empty-queue CAS, like every MCS-family lock here.  The
+  // writer try additionally has to respect the release ordering of
+  // end_read: a reader retreats the tail BEFORE decrementing reader_count_,
+  // so a post-CAS reader_count_ != 0 can only be a release in flight — a
+  // bounded wait, not a lock tenure (the pre-CAS count check rejects the
+  // common held-for-reading case without touching the tail).
+
+  bool try_lock() {
+    if (reader_count_.load(std::memory_order_acquire) != 0) return false;
+    QNode& I = locals_.local().node;
+    I.cls = kWriter;
+    I.next.store(nullptr, std::memory_order_relaxed);
+    I.state.store(kBlocked | kSuccNone, std::memory_order_relaxed);
+    QNode* expected = nullptr;
+    if (!tail_.compare_exchange_strong(expected, &I,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      return false;
+    }
+    // Mirror start_write's empty-queue arm; the registration dance settles
+    // any race with a departing last reader.
+    next_writer_.store(&I, std::memory_order_release);
+    if (reader_count_.load(std::memory_order_acquire) == 0) {
+      QNode* w = next_writer_.exchange(nullptr, std::memory_order_acq_rel);
+      if (w == &I) {
+        I.state.fetch_and(~kBlocked, std::memory_order_acq_rel);
+      } else if (w != nullptr) {
+        next_writer_.store(w, std::memory_order_release);
+      }
+    }
+    spin_until([&] {
+      return (I.state.load(std::memory_order_acquire) & kBlocked) == 0;
+    });
+    return true;
+  }
+
+  bool try_lock_shared() {
+    QNode& I = locals_.local().node;
+    I.cls = kReader;
+    I.next.store(nullptr, std::memory_order_relaxed);
+    I.state.store(kBlocked | kSuccNone, std::memory_order_relaxed);
+    QNode* expected = nullptr;
+    if (!tail_.compare_exchange_strong(expected, &I,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      return false;
+    }
+    reader_count_.fetch_add(1, std::memory_order_acq_rel);
+    I.state.fetch_and(~kBlocked, std::memory_order_acq_rel);
+    // A reader that queued behind us before we cleared kBlocked registered
+    // as our successor and is spinning; chain-unblock it as start_read does.
+    if ((I.state.load(std::memory_order_acquire) & kSuccMask) ==
+        kSuccReader) {
+      QNode* succ = nullptr;
+      spin_until([&] {
+        succ = I.next.load(std::memory_order_acquire);
+        return succ != nullptr;
+      });
+      reader_count_.fetch_add(1, std::memory_order_acq_rel);
+      succ->state.fetch_and(~kBlocked, std::memory_order_acq_rel);
+    }
+    return true;
+  }
+
+  template <typename Clock, typename Duration>
+  bool try_lock_until(const std::chrono::time_point<Clock, Duration>& tp) {
+    return deadline_retry(to_steady_deadline(tp), [&] { return try_lock(); });
+  }
+
+  template <typename Rep, typename Period>
+  bool try_lock_for(const std::chrono::duration<Rep, Period>& d) {
+    return try_lock_until(std::chrono::steady_clock::now() + d);
+  }
+
+  template <typename Clock, typename Duration>
+  bool try_lock_shared_until(
+      const std::chrono::time_point<Clock, Duration>& tp) {
+    return deadline_retry(to_steady_deadline(tp),
+                          [&] { return try_lock_shared(); });
+  }
+
+  template <typename Rep, typename Period>
+  bool try_lock_shared_for(const std::chrono::duration<Rep, Period>& d) {
+    return try_lock_shared_until(std::chrono::steady_clock::now() + d);
+  }
 
  private:
   enum Class : std::uint32_t { kReader = 0, kWriter = 1 };

@@ -33,11 +33,13 @@
 //    hint survives) by threads that find it unusable.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 
 #include "platform/assert.hpp"
 #include "platform/cache_line.hpp"
+#include "platform/fault.hpp"
 #include "platform/memory.hpp"
 #include "platform/spin.hpp"
 #include "platform/thread_id.hpp"
@@ -45,6 +47,7 @@
 #include "platform/trace.hpp"
 #include "locks/lock_stats.hpp"
 #include "locks/per_thread.hpp"
+#include "locks/timed.hpp"
 #include "snzi/csnzi.hpp"
 
 namespace oll {
@@ -101,6 +104,7 @@ class RollLock {
 
   void unlock() {
     trace_event(TraceEventType::kWriteRelease, this);
+    fault_preempt_point(FaultSite::kHolderPreemption);
     Node* w = &locals_.local().wnode;
     Node* succ = w->qnext.load(std::memory_order_acquire);
     if (succ == nullptr) {
@@ -116,6 +120,7 @@ class RollLock {
       });
     }
     count_handoff(succ->domain);  // read before granting: succ may recycle
+    fault_perturb(FaultSite::kQueueHandoff);
     succ->spin.store(0, std::memory_order_release);
     w->qnext.store(nullptr, std::memory_order_relaxed);
   }
@@ -130,6 +135,8 @@ class RollLock {
   }
 
  private:
+  struct Node;  // defined below with the rest of the queue-node machinery
+
   // §4.3 WriterLock body (the public lock() wraps it in the observability
   // begin/end pair).  With the deferred close, a writer behind a reader node
   // first waits for the group to be *granted* (queue wait), then — if its
@@ -271,6 +278,7 @@ class RollLock {
  public:
   void unlock_shared() {
     trace_event(TraceEventType::kReadRelease, this);
+    fault_preempt_point(FaultSite::kHolderPreemption);
     Local& local = locals_.local();
     Node* node = local.depart_from;
     OLL_DCHECK(node != nullptr);
@@ -327,6 +335,104 @@ class RollLock {
     local.ticket = t;
     local.depart_from = tail;
     return true;
+  }
+
+  // --- timed acquisition (DESIGN.md §11) ----------------------------------
+
+ private:
+  // Timed-writer reclaim of a drained reader tail; see
+  // FollLock::timed_write_reclaim for the full argument.  A reader group
+  // that drains in place stays at the tail until a blocking writer closes
+  // it, so the empty-tail try_lock alone starves the timed writer forever
+  // after any read.  When the tail is a granted, open, zero-surplus reader
+  // node we run the blocking writer's enqueue-and-close takeover; the tail
+  // CAS is the commit point, and the deadline can be overshot by the
+  // critical sections of readers that race in (or, under ROLL's reader
+  // preference, overtake) between the query and the Close.
+  bool timed_write_reclaim() {
+    Node* tail = tail_.load(std::memory_order_acquire);
+    if (tail == nullptr || tail->kind != kReaderNode) return false;
+    if (tail->spin.load(std::memory_order_acquire) != 0) return false;
+    const SnziQuery q = tail->csnzi->query();
+    if (!q.open || q.nonzero) return false;
+    Node* w = &locals_.local().wnode;
+    w->domain = my_domain();
+    w->qnext.store(nullptr, std::memory_order_relaxed);
+    w->prev.store(nullptr, std::memory_order_relaxed);
+    w->spin.store(1, std::memory_order_relaxed);
+    Node* expected = tail;
+    if (!tail_.compare_exchange_strong(expected, w,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      return false;  // tail moved under us: no commitment made
+    }
+    stats_.count_write_queued();
+    w->prev.store(tail, std::memory_order_release);
+    tail->qnext.store(w, std::memory_order_release);
+    // Mirror lock_impl's order: the group is granted (spin wait only
+    // matters in the recycle-and-re-enqueue ABA window), then Close.
+    spin_until([&] {
+      return tail->spin.load(std::memory_order_acquire) == 0;
+    });
+    if (tail->csnzi->close()) {
+      tail->qnext.store(nullptr, std::memory_order_relaxed);
+      free_reader_node(tail);
+      return true;
+    }
+    // Readers joined before the Close; the last to depart signals us.
+    const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
+    spin_until([&] { return w->spin.load(std::memory_order_acquire) == 0; });
+    const std::uint64_t qd = obs_end(TraceEventType::kQueueExit, this, qt);
+    if (qt.armed) stats_.record_writer_wait(qd);
+    return true;
+  }
+
+ public:
+  // Writer side: deadline-bounded retry over the empty-tail try_lock plus
+  // the drained-tail reclaim above, as in FOLL (an MCS fetch-and-store
+  // cannot be backed out).
+  template <typename Clock, typename Duration>
+  bool try_lock_until(const std::chrono::time_point<Clock, Duration>& tp) {
+    const auto deadline = to_steady_deadline(tp);
+    const ObsTimer t = obs_begin(TraceEventType::kWriteAcquireBegin, this);
+    const bool ok = deadline_retry(
+        deadline, [&] { return try_lock() || timed_write_reclaim(); });
+    const std::uint64_t d = obs_end(TraceEventType::kWriteAcquireEnd, this, t);
+    if (t.armed) {
+      stats_.record_timed_acquire(d);
+      if (ok) stats_.record_write_acquire(d);
+    }
+    if (!ok) stats_.count_write_timeout();
+    return ok;
+  }
+
+  template <typename Rep, typename Period>
+  bool try_lock_for(const std::chrono::duration<Rep, Period>& d) {
+    return try_lock_until(std::chrono::steady_clock::now() + d);
+  }
+
+  // Reader side: enqueue-and-abandon.  Thanks to the deferred close, a
+  // *waiting* reader node is always open, so abandonment is a plain Depart;
+  // in the race where the grant and the writer's Close both land before our
+  // Depart, a last-departer simply owes the normal handoff (the group held
+  // the lock with nobody left in it) — no FOLL-style orphan state needed.
+  template <typename Clock, typename Duration>
+  bool try_lock_shared_until(
+      const std::chrono::time_point<Clock, Duration>& tp) {
+    const auto deadline = to_steady_deadline(tp);
+    const ObsTimer t = obs_begin(TraceEventType::kReadAcquireBegin, this);
+    const bool ok = timed_lock_shared_impl(deadline);
+    const std::uint64_t d = obs_end(TraceEventType::kReadAcquireEnd, this, t);
+    if (t.armed) {
+      stats_.record_timed_acquire(d);
+      if (ok) stats_.record_read_acquire(d);
+    }
+    return ok;
+  }
+
+  template <typename Rep, typename Period>
+  bool try_lock_shared_for(const std::chrono::duration<Rep, Period>& d) {
+    return try_lock_shared_until(std::chrono::steady_clock::now() + d);
   }
 
   // --- introspection -----------------------------------------------------
@@ -417,11 +523,137 @@ class RollLock {
     obs_end(TraceEventType::kQueueExit, this, qt);
   }
 
+  // Timed counterpart of wait_granted for an arrival recorded in `local`.
+  // On timeout the arrival is undone with depart_and_handoff — correct in
+  // every reachable node state (see try_lock_shared_until) — and false is
+  // returned with the timeout/abandon stats recorded.
+  bool timed_wait_granted(Node* n, Local& local,
+                          std::chrono::steady_clock::time_point deadline) {
+    const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
+    SpinWait w;
+    std::uint32_t check = 0;
+    bool granted = false;
+    for (;;) {
+      if (n->spin.load(std::memory_order_acquire) == 0) {
+        granted = true;
+        break;
+      }
+      if ((++check & 15u) == 0 &&
+          std::chrono::steady_clock::now() >= deadline) {
+        break;
+      }
+      w.pause();
+    }
+    obs_end(TraceEventType::kQueueExit, this, qt);
+    if (granted) return true;
+    local.depart_from = nullptr;
+    depart_and_handoff(n, local.ticket);
+    stats_.count_read_timeout();
+    stats_.count_read_abandon();
+    return false;
+  }
+
+  // lock_shared_impl's search loop with deadline checks: waits not yet
+  // started are skipped once the deadline expires (matching
+  // try_lock_shared, except the no-wait acquisitions still succeed); a
+  // wait in progress is abandoned via timed_wait_granted.
+  bool timed_lock_shared_impl(std::chrono::steady_clock::time_point deadline) {
+    Local& local = locals_.local();
+    Node* rnode = nullptr;
+    while (true) {
+      const bool expired = std::chrono::steady_clock::now() >= deadline;
+      // 1. The hint always points at a *waiting* group; joining it once the
+      // deadline has passed would be an immediate abandon, so skip it.
+      if (opts_.use_hint && !expired) {
+        Node* h = hint_.load(std::memory_order_acquire);
+        if (h != nullptr) {
+          if (try_join_waiting(h, local)) {
+            if (rnode != nullptr) free_reader_node(rnode);
+            stats_.count_read_queued();
+            return timed_wait_granted(h, local, deadline);
+          }
+          hint_.compare_exchange_strong(h, nullptr,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed);
+        }
+      }
+      Node* tail = tail_.load(std::memory_order_acquire);
+      if (tail == nullptr) {
+        // Empty queue: acquiring needs no wait, so the deadline is moot.
+        if (rnode == nullptr) rnode = alloc_reader_node();
+        rnode->spin.store(0, std::memory_order_relaxed);
+        rnode->prev.store(nullptr, std::memory_order_relaxed);
+        Node* expected = nullptr;
+        if (tail_.compare_exchange_strong(expected, rnode,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+          rnode->csnzi->open();
+          local.ticket = rnode->csnzi->arrive();
+          if (local.ticket.arrived()) {
+            local.depart_from = rnode;
+            stats_.count_read_fast();
+            return true;
+          }
+          rnode = nullptr;
+        }
+      } else if (tail->kind == kReaderNode) {
+        local.ticket = tail->csnzi->arrive();
+        if (local.ticket.arrived()) {
+          if (rnode != nullptr) {
+            free_reader_node(rnode);
+            rnode = nullptr;
+          }
+          local.depart_from = tail;
+          if (tail->spin.load(std::memory_order_acquire) != 0) {
+            if (opts_.use_hint) hint_.store(tail, std::memory_order_release);
+            stats_.count_read_queued();
+            return timed_wait_granted(tail, local, deadline);
+          }
+          stats_.count_read_fast();
+          return true;
+        }
+      } else {
+        // Writer at the tail: every path from here waits, so stop once the
+        // deadline has passed.
+        if (expired) {
+          if (rnode != nullptr) free_reader_node(rnode);
+          stats_.count_read_timeout();
+          return false;
+        }
+        if (Node* found = scan_for_waiting_reader(tail, local)) {
+          if (rnode != nullptr) free_reader_node(rnode);
+          if (opts_.use_hint) hint_.store(found, std::memory_order_release);
+          stats_.count_read_queued();
+          return timed_wait_granted(found, local, deadline);
+        }
+        if (rnode == nullptr) rnode = alloc_reader_node();
+        rnode->spin.store(1, std::memory_order_relaxed);
+        Node* expected = tail;
+        if (tail_.compare_exchange_strong(expected, rnode,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+          rnode->prev.store(tail, std::memory_order_release);
+          tail->qnext.store(rnode, std::memory_order_release);
+          rnode->csnzi->open();
+          local.ticket = rnode->csnzi->arrive();
+          if (local.ticket.arrived()) {
+            local.depart_from = rnode;
+            if (opts_.use_hint) hint_.store(rnode, std::memory_order_release);
+            stats_.count_read_queued();
+            return timed_wait_granted(rnode, local, deadline);
+          }
+          rnode = nullptr;
+        }
+      }
+    }
+  }
+
   void depart_and_handoff(Node* node, const typename CSnzi<M>::Ticket& t) {
     if (node->csnzi->depart(t)) return;
     Node* succ = node->qnext.load(std::memory_order_acquire);
     OLL_CHECK(succ != nullptr);  // the closer linked qnext before closing
     count_handoff(succ->domain);  // read before granting
+    fault_perturb(FaultSite::kQueueHandoff);
     succ->spin.store(0, std::memory_order_release);
     node->qnext.store(nullptr, std::memory_order_relaxed);
     free_reader_node(node);

@@ -17,12 +17,15 @@
 // that cache line migrates on essentially every operation.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 
 #include "platform/assert.hpp"
+#include "platform/fault.hpp"
 #include "platform/memory.hpp"
 #include "locks/tatas_lock.hpp"
+#include "locks/timed.hpp"
 #include "locks/wait_queue.hpp"
 
 namespace oll {
@@ -103,6 +106,7 @@ class SolarisRwLock {
   }
 
   void unlock_shared() {
+    fault_preempt_point(FaultSite::kHolderPreemption);
     while (true) {
       std::uint64_t w = word_.load(std::memory_order_acquire);
       OLL_DCHECK(readers(w) > 0);
@@ -157,6 +161,7 @@ class SolarisRwLock {
   }
 
   void unlock() {
+    fault_preempt_point(FaultSite::kHolderPreemption);
     std::uint64_t w = word_.load(std::memory_order_acquire);
     OLL_DCHECK((w & kWriteLocked) != 0);
     if ((w & kHasWaiters) == 0) {
@@ -168,6 +173,34 @@ class SolarisRwLock {
       // CAS; fall through to the handoff path.
     }
     handoff_as_writer();
+  }
+
+  // --- timed acquisition (DESIGN.md §11) -----------------------------------
+  // Deadline-bounded retry over the try paths (locks/timed.hpp): the try
+  // fast paths touch only the lockword, never the turnstile, so a timed-out
+  // attempt leaves no queue state to undo.  Conservative like the other
+  // retry-based locks — a timed waiter loses its turnstile position.
+
+  template <typename Clock, typename Duration>
+  bool try_lock_until(const std::chrono::time_point<Clock, Duration>& tp) {
+    return deadline_retry(to_steady_deadline(tp), [&] { return try_lock(); });
+  }
+
+  template <typename Rep, typename Period>
+  bool try_lock_for(const std::chrono::duration<Rep, Period>& d) {
+    return try_lock_until(std::chrono::steady_clock::now() + d);
+  }
+
+  template <typename Clock, typename Duration>
+  bool try_lock_shared_until(
+      const std::chrono::time_point<Clock, Duration>& tp) {
+    return deadline_retry(to_steady_deadline(tp),
+                          [&] { return try_lock_shared(); });
+  }
+
+  template <typename Rep, typename Period>
+  bool try_lock_shared_for(const std::chrono::duration<Rep, Period>& d) {
+    return try_lock_shared_until(std::chrono::steady_clock::now() + d);
   }
 
   // --- upgrade / downgrade (Solaris rw_tryupgrade / rw_downgrade) ----------

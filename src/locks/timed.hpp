@@ -1,0 +1,51 @@
+// Shared helpers for timed acquisition (DESIGN.md §11).
+//
+// Two tiers of timed support exist in this library.  The OLL locks abandon
+// a queued wait properly (enqueue-and-abandon; see goll_lock.hpp and the
+// WaitQueue abort protocol).  Baseline locks whose wait cannot be backed out
+// — an MCS fetch-and-store cannot un-swing the tail — instead run a
+// deadline-bounded retry over their try_ fast path: correct and starvation-
+// free for the timed caller (each attempt is finite), at the cost of losing
+// queue position while waiting.  deadline_retry() is that shared loop.
+#pragma once
+
+#include <chrono>
+#include <type_traits>
+
+#include "platform/backoff.hpp"
+
+namespace oll {
+
+// Normalize any clock's deadline onto steady_clock, the clock the wait
+// primitives poll.  For non-steady clocks the remaining duration is measured
+// once here; a subsequent wall-clock jump no longer moves the deadline,
+// which is the usual (and standard-sanctioned) treatment.
+template <typename Clock, typename Duration>
+std::chrono::steady_clock::time_point to_steady_deadline(
+    const std::chrono::time_point<Clock, Duration>& tp) {
+  if constexpr (std::is_same_v<Clock, std::chrono::steady_clock>) {
+    return std::chrono::time_point_cast<std::chrono::steady_clock::duration>(
+        tp);
+  } else {
+    const auto remaining = tp - Clock::now();
+    return std::chrono::steady_clock::now() +
+           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               remaining);
+  }
+}
+
+// Deadline-bounded retry over a try-style attempt with per-thread-seeded
+// exponential backoff.  Attempts at least once, so an already-expired
+// deadline still behaves exactly like the try_ call (timeout=0 == try).
+template <typename Try>
+bool deadline_retry(std::chrono::steady_clock::time_point deadline,
+                    Try&& attempt) {
+  ExponentialBackoff backoff;
+  while (true) {
+    if (attempt()) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    backoff.backoff();
+  }
+}
+
+}  // namespace oll

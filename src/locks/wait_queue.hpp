@@ -49,6 +49,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -123,6 +124,43 @@ class WaitQueue {
       WaitNode* c1 = child[1];
       if (c0 != nullptr) c0->grant();
       if (c1 != nullptr) c1->grant();
+    }
+
+    // Deadline-bounded wait (timed acquisition, DESIGN.md §11).  Returns
+    // true once granted; false if `deadline` (steady clock) passes first.
+    // A false return does NOT end the protocol: the node is still queued
+    // and may be granted at any instant, so the caller must either unlink
+    // it with WaitQueue::try_abandon (under the metalock) or — if the
+    // abandon fails because the group was already dequeued — fall back to
+    // wait() and consume the grant (the timed contract permits acquiring
+    // after the deadline).  Unlike wait(), a grant observed here does NOT
+    // forward tree-wake children; call wait() (which returns immediately)
+    // to fan out, keeping the forwarding logic in one place.
+    bool wait_until_granted(std::chrono::steady_clock::time_point deadline) {
+      if (strategy == WaitStrategy::kSpin) {
+        SpinWait w;
+        std::uint32_t check = 0;
+        for (;;) {
+          if (granted.load(std::memory_order_acquire) != 0) return true;
+          // Poll the clock every few pauses; a syscall-free spin loop must
+          // not pay a clock read per iteration.
+          if ((++check & 15u) == 0 &&
+              std::chrono::steady_clock::now() >= deadline) {
+            return granted.load(std::memory_order_acquire) != 0;
+          }
+          w.pause();
+        }
+      }
+      SpinWait w;
+      for (unsigned i = 0; i < 2 * SpinWait::kDefaultSpinLimit; ++i) {
+        if (granted.load(std::memory_order_acquire) != 0) return true;
+        w.pause();
+      }
+      OLL_DCHECK(parking != nullptr);
+      std::unique_lock<std::mutex> g(parking->m);
+      return parking->cv.wait_until(g, deadline, [&] {
+        return granted.load(std::memory_order_acquire) != 0;
+      });
     }
 
     // Called by GroupRef::signal_all.  For blocking waiters the flag store
@@ -334,6 +372,63 @@ class WaitQueue {
   // it).  No wakeup happens: the caller owns the node and simply reuses
   // or destroys it.
   void remove(WaitNode* node) { (void)pop_group(node); }
+
+  // Metalock held.  Abandon a timed wait: if `node` is still queued, unlink
+  // it and return true — the caller then owns the node again and no grant
+  // will ever touch it (grants are issued only to nodes reachable from the
+  // group list at dequeue time, and dequeue/abandon are serialized by the
+  // metalock).  Returns false if the node is NOT queued: its group was
+  // already dequeued, a grant is in flight (or delivered), and the caller
+  // MUST consume it with wait() — ownership was transferred before the
+  // flag store, so discarding it would strand the lock.
+  //
+  // Handles every queue position: a group leader with members (the next
+  // member is promoted to leader, inheriting the group links and remaining
+  // count), a solo leader (reader or writer — pop_group, which also
+  // maintains num_writers_ and last_reader_group_), and a mid-chain group
+  // member.  The scan is O(queued groups + members of this group); fine
+  // for an abandonment path that runs at most once per timed-out wait.
+  bool try_abandon(WaitNode* node) {
+    for (WaitNode* leader = head_; leader != nullptr;
+         leader = leader->next_group) {
+      if (leader == node) {
+        WaitNode* heir = node->next_in_group;
+        if (heir == nullptr) {
+          (void)pop_group(node);
+          return true;
+        }
+        // Promote the next member: same group, one fewer waiter.
+        heir->next_group = node->next_group;
+        heir->prev_group = node->prev_group;
+        heir->group_count = node->group_count - 1;
+        heir->kind = node->kind;
+        if (heir->prev_group != nullptr) {
+          heir->prev_group->next_group = heir;
+        } else {
+          head_ = heir;
+        }
+        if (heir->next_group != nullptr) {
+          heir->next_group->prev_group = heir;
+        } else {
+          tail_ = heir;
+        }
+        if (last_reader_group_ == node) last_reader_group_ = heir;
+        return true;
+      }
+      if (leader->kind == ReqKind::kReader) {
+        for (WaitNode* m = leader; m->next_in_group != nullptr;
+             m = m->next_in_group) {
+          if (m->next_in_group == node) {
+            m->next_in_group = node->next_in_group;
+            OLL_DCHECK(leader->group_count > 1);
+            --leader->group_count;
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  }
 
   // Metalock held.
   bool empty() const noexcept { return head_ == nullptr; }

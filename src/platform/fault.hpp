@@ -1,0 +1,185 @@
+// Deterministic fault injection + schedule perturbation for lock code.
+//
+// Lock algorithms are full of windows that only open under adversarial
+// scheduling: a CAS that must retry, a hand-off racing an abandonment, a
+// holder preempted between its last store and the successor's load.  The
+// hooks below let a test harness force those windows open *deterministically*
+// — every decision derives from (global seed, dense thread index, per-thread
+// draw counter), so a failing run is reproduced by replaying the same seed
+// with the same thread placement (the fault_fuzz binary pins worker w to
+// dense index w exactly like the bench harness).
+//
+// The hot-path contract copies platform/trace.hpp's three tiers:
+//
+//   * OLL_FAULTS=0 (CMake cache variable): every hook is an empty constexpr
+//     inline; production binaries are bit-for-bit oblivious to the harness.
+//   * Compiled in, runtime-disabled (the default): one relaxed load of a
+//     process-global mode word and a predictable branch per hook.
+//   * Runtime-enabled: hooks consult a per-thread splitmix64 stream and may
+//     (a) report that a CAS attempt should be treated as failed, (b) yield
+//     or spin briefly to shear thread interleavings apart, or (c) stall for
+//     a long "preemption window" at a hand-off/release point, simulating a
+//     descheduled lock holder.
+//
+// Sites are coarse categories, not per-callsite ids: the sweep in fault_fuzz
+// varies (seed × profile), and coarse categories keep decisions independent
+// of incidental code layout so seeds stay meaningful across small refactors.
+//
+// Concurrency contract: the three query hooks are wait-free and safe from
+// any thread; fault_enable/fault_disable are quiescent-only, same as the
+// trace control plane.  Injection counters are relaxed and approximate.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+
+#ifndef OLL_FAULTS
+#define OLL_FAULTS 1
+#endif
+
+#if OLL_FAULTS
+#include <atomic>
+#endif
+
+namespace oll {
+
+enum class FaultSite : std::uint8_t {
+  kCasRetry = 0,       // a compare-exchange attempt in a retry loop
+  kQueueHandoff,       // granting/signalling a queued successor
+  kSpinWait,           // a bounded or unbounded spin-wait iteration
+  kHolderPreemption,   // lock holder about to publish a release
+};
+
+inline constexpr std::uint32_t kFaultSiteCount = 4;
+
+inline const char* fault_site_name(FaultSite s) {
+  switch (s) {
+    case FaultSite::kCasRetry: return "cas_retry";
+    case FaultSite::kQueueHandoff: return "queue_handoff";
+    case FaultSite::kSpinWait: return "spin_wait";
+    case FaultSite::kHolderPreemption: return "holder_preemption";
+  }
+  return "?";
+}
+
+// All probabilities are in units of 1/1024 (0 = never, 1024 = always); spin
+// counts are iterations of a relaxed pause loop plus a yield.
+struct FaultProfile {
+  const char* name = "off";
+  std::uint32_t cas_fail_p = 0;    // forced CAS-failure probability
+  std::uint32_t yield_p = 0;       // sched-yield probability at any site
+  std::uint32_t delay_p = 0;       // short-delay probability at any site
+  std::uint32_t delay_spins = 64;  // max spins of one injected delay
+  std::uint32_t preempt_p = 0;     // holder-preemption window probability
+  std::uint32_t preempt_spins = 4096;  // length of a preemption window
+};
+
+// The named profiles the fault_fuzz sweep and --fault_profile understand.
+//   off      — no injection (enabled-but-inert; useful as a control)
+//   jitter   — light random yields/delays, no forced failures
+//   cas      — aggressive forced CAS failures + mild jitter
+//   preempt  — long holder-preemption windows at release points
+//   chaos    — everything at once, the widest schedule net
+// Declared in both build flavors (at OLL_FAULTS=0 the parser still
+// validates names — so CLI flags behave identically — but the profiles it
+// hands back drive no-op hooks).
+FaultProfile fault_profile_jitter();
+FaultProfile fault_profile_cas();
+FaultProfile fault_profile_preempt();
+FaultProfile fault_profile_chaos();
+
+// Parse a profile name; returns false (and leaves *out alone) on unknown
+// names.  "off" parses to the all-zero profile.
+bool fault_profile_from_name(const char* name, FaultProfile* out);
+
+struct FaultCounters {
+  std::uint64_t forced_cas_fails = 0;
+  std::uint64_t yields = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t preemptions = 0;
+};
+
+#if OLL_FAULTS
+
+namespace fault_internal {
+extern std::atomic<std::uint32_t> g_enabled;  // 0 = every hook early-outs
+bool cas_should_fail(FaultSite site);
+void perturb(FaultSite site);
+void preempt_window(FaultSite site);
+}  // namespace fault_internal
+
+inline bool fault_injection_enabled() {
+  return fault_internal::g_enabled.load(std::memory_order_relaxed) != 0;
+}
+
+// True iff the calling CAS-retry iteration should be treated as a failed
+// attempt (reload and retry) even if the real CAS would have succeeded.
+// Callers must only consult this where a genuine spurious failure
+// (compare_exchange_weak) would also have been handled.
+inline bool fault_cas_fail(FaultSite site) {
+  if (fault_internal::g_enabled.load(std::memory_order_relaxed) == 0) {
+    return false;
+  }
+  return fault_internal::cas_should_fail(site);
+}
+
+// Maybe yield or stall briefly; shears apart lock-step interleavings.
+inline void fault_perturb(FaultSite site) {
+  if (fault_internal::g_enabled.load(std::memory_order_relaxed) == 0) return;
+  fault_internal::perturb(site);
+}
+
+// Maybe stall for a long window.  Placed where a lock holder is about to
+// publish a release/hand-off, this simulates the holder being preempted
+// with waiters already committed to waiting.
+inline void fault_preempt_point(FaultSite site) {
+  if (fault_internal::g_enabled.load(std::memory_order_relaxed) == 0) return;
+  fault_internal::preempt_window(site);
+}
+
+// --- control plane (quiescent-only) ---------------------------------------
+
+// Arm injection with `profile` and a global seed.  Per-thread decision
+// streams are derived from (seed, dense thread index) and reset here, so
+// two runs with identical seeds and thread placement draw identically.
+void fault_enable(const FaultProfile& profile, std::uint64_t seed);
+void fault_disable();
+
+// Relaxed snapshot of injections performed since fault_enable.
+FaultCounters fault_counters();
+
+#else  // OLL_FAULTS == 0: every hook is an empty inline, no code at all.
+
+inline constexpr bool fault_injection_enabled() { return false; }
+inline constexpr bool fault_cas_fail(FaultSite) { return false; }
+inline constexpr void fault_perturb(FaultSite) {}
+inline constexpr void fault_preempt_point(FaultSite) {}
+inline void fault_enable(const FaultProfile&, std::uint64_t) {}
+inline void fault_disable() {}
+inline FaultCounters fault_counters() { return {}; }
+
+inline FaultProfile fault_profile_jitter() { return {"jitter"}; }
+inline FaultProfile fault_profile_cas() { return {"cas"}; }
+inline FaultProfile fault_profile_preempt() { return {"preempt"}; }
+inline FaultProfile fault_profile_chaos() { return {"chaos"}; }
+
+inline bool fault_profile_from_name(const char* name, FaultProfile* out) {
+  for (const char* known : {"off", "jitter", "cas", "preempt", "chaos"}) {
+    const char* a = name;
+    const char* b = known;
+    while (*a != '\0' && *a == *b) {
+      ++a;
+      ++b;
+    }
+    if (*a == '\0' && *b == '\0') {
+      *out = FaultProfile{};
+      out->name = known;
+      return true;
+    }
+  }
+  return false;
+}
+
+#endif  // OLL_FAULTS
+
+}  // namespace oll

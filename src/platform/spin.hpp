@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "platform/cpu.hpp"
+#include "platform/fault.hpp"
 
 namespace oll {
 
@@ -21,7 +22,11 @@ class SpinWait {
       : spin_limit_(spin_limit) {}
 
   // One wait step.  Cheap pause while under the limit, sched yield after.
+  // Every spin-wait in the library funnels through here, so this is also
+  // the central schedule-perturbation point for the fault harness (one
+  // relaxed load + branch when idle; nothing at all under OLL_FAULTS=0).
   void pause() noexcept {
+    fault_perturb(FaultSite::kSpinWait);
     if (count_ < spin_limit_) {
       ++count_;
       cpu_relax();

@@ -64,6 +64,7 @@
 
 #include "platform/assert.hpp"
 #include "platform/cache_line.hpp"
+#include "platform/fault.hpp"
 #include "platform/memory.hpp"
 #include "platform/thread_id.hpp"
 #include "platform/topology.hpp"
@@ -237,6 +238,14 @@ class CSnzi {
     while (true) {
       if (!is_open(old)) return Ticket{};
       if (!should_arrive_at_tree(old, root_failures)) {
+        if (fault_cas_fail(FaultSite::kCasRetry)) {
+          // Injected spurious failure: legal wherever compare_exchange_weak
+          // may fail spuriously.  Reload and retry like a genuine miss.
+          old = root_.load(std::memory_order_acquire);
+          ++root_failures;
+          bump(ts.root_cas_failures);
+          continue;
+        }
         if (root_.compare_exchange_weak(old, old + kDirectOne,
                                           std::memory_order_acq_rel,
                                           std::memory_order_acquire)) {
@@ -284,6 +293,10 @@ class CSnzi {
     while (true) {
       if (!is_open(old)) return false;
       const std::uint64_t desired = old & ~kOpenBit;
+      if (fault_cas_fail(FaultSite::kCasRetry)) {
+        old = root_.load(std::memory_order_acquire);
+        continue;
+      }
       if (root_.compare_exchange_weak(old, desired,
                                         std::memory_order_acq_rel,
                                         std::memory_order_acquire)) {
@@ -331,6 +344,28 @@ class CSnzi {
   // releasing writer pre-arrives on behalf of sleeping readers
   // (OpenWithArrivals), who then each depart with a direct ticket.
   Ticket direct_ticket() const { return Ticket{Ticket::Kind::kRoot}; }
+
+  // Abort support (timed acquisition, DESIGN.md §11): forget the calling
+  // thread's sticky window and cached leaf in this instance.  A reader that
+  // abandons a timed wait may release its dense index immediately after
+  // returning (worker teardown, ScopedThreadIndex destruction), and the
+  // index_epoch recycling guard in thread_state() only fires when the NEXT
+  // holder of the index touches this instance through arrive() — an armed
+  // window must not sit in the slot counting on that.  Draining here makes
+  // abandonment self-contained: the slot an abandoning thread leaves behind
+  // is indistinguishable from a fresh one.
+  void drain_thread_sticky() {
+    ThreadState* arr = thread_state_.load(std::memory_order_acquire);
+    if (arr == nullptr) return;
+    const std::uint32_t idx = this_thread_index();
+    if (idx >= opts_.max_threads) return;
+    ThreadState& ts = arr[idx];
+    ts.epoch = ThreadRegistry::index_epoch(idx);
+    ts.leaf = nullptr;
+    ts.sticky = 0;
+    ts.window_propagations = 0;
+    ts.root_free_rearms = 0;
+  }
 
   // --- write-upgrade support (§3.2.1) ------------------------------------
   //
@@ -534,6 +569,10 @@ class CSnzi {
     while (true) {
       OLL_DCHECK(direct_count(old) > 0);
       const std::uint64_t desired = old - kDirectOne;
+      if (fault_cas_fail(FaultSite::kCasRetry)) {
+        old = root_.load(std::memory_order_acquire);
+        continue;
+      }
       if (root_.compare_exchange_weak(old, desired,
                                         std::memory_order_acq_rel,
                                         std::memory_order_acquire)) {
@@ -552,6 +591,10 @@ class CSnzi {
     std::uint64_t old = root_.load(std::memory_order_acquire);
     while (true) {
       if (!is_open(old) && total_count(old) == 0) return false;
+      if (fault_cas_fail(FaultSite::kCasRetry)) {
+        old = root_.load(std::memory_order_acquire);
+        continue;
+      }
       if (root_.compare_exchange_weak(old, old + kTreeOne,
                                         std::memory_order_acq_rel,
                                         std::memory_order_acquire)) {
@@ -566,6 +609,10 @@ class CSnzi {
     while (true) {
       OLL_DCHECK(tree_count(old) > 0);
       const std::uint64_t desired = old - kTreeOne;
+      if (fault_cas_fail(FaultSite::kCasRetry)) {
+        old = root_.load(std::memory_order_acquire);
+        continue;
+      }
       if (root_.compare_exchange_weak(old, desired,
                                         std::memory_order_acq_rel,
                                         std::memory_order_acquire)) {
@@ -585,6 +632,10 @@ class CSnzi {
         if (!ok) return false;
         arrived_at_parent = true;
         x = node->cnt.load(std::memory_order_acquire);  // re-read before CAS
+        continue;
+      }
+      if (fault_cas_fail(FaultSite::kCasRetry)) {
+        x = node->cnt.load(std::memory_order_acquire);
         continue;
       }
       if (node->cnt.compare_exchange_weak(x, x + 1,
@@ -611,6 +662,10 @@ class CSnzi {
     std::uint64_t x = node->cnt.load(std::memory_order_acquire);
     while (true) {
       OLL_DCHECK(x > 0);
+      if (fault_cas_fail(FaultSite::kCasRetry)) {
+        x = node->cnt.load(std::memory_order_acquire);
+        continue;
+      }
       if (node->cnt.compare_exchange_weak(x, x - 1,
                                             std::memory_order_acq_rel,
                                             std::memory_order_acquire)) {

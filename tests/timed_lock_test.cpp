@@ -13,6 +13,7 @@
 #include "locks/central_rwlock.hpp"
 #include "locks/goll_lock.hpp"
 #include "platform/spin.hpp"
+#include "platform/thread_id.hpp"
 
 namespace oll {
 namespace {
@@ -97,6 +98,56 @@ TEST(TimedGoll, ReadersDoNotBlockTimedReaders) {
   });
   t.join();
   lock.unlock_shared();
+}
+
+// Regression: a reader that abandons a timed wait must drain its C-SNZI
+// sticky window before returning.  The dense thread index can be released
+// (ScopedThreadIndex destruction, worker teardown) immediately after the
+// abandon, and the slot's epoch guard only fires when the index's NEXT
+// holder touches the same C-SNZI through arrive() — an armed window left in
+// the slot would otherwise survive into the successor's first arrivals and
+// could resurrect surplus the departed reader already gave back.
+TEST(TimedGoll, AbandonDrainsStickyStateAcrossIndexReuse) {
+  GollOptions o;
+  o.max_threads = 64;
+  GollLock<> lock(o);
+
+  constexpr std::uint32_t kSharedIndex = 7;
+
+  // Arm the sticky window for index 7: uncontended reads re-arm sticky
+  // arrivals on the fast path.
+  std::thread([&] {
+    ScopedThreadIndex idx(kSharedIndex);
+    for (int i = 0; i < 100; ++i) {
+      lock.lock_shared();
+      lock.unlock_shared();
+    }
+  }).join();
+
+  // Hold the lock for writing; timed readers on index 7 park and abandon.
+  lock.lock();
+  for (int round = 0; round < 5; ++round) {
+    std::thread([&] {
+      ScopedThreadIndex idx(kSharedIndex);
+      EXPECT_FALSE(lock.try_lock_shared_for(5ms));
+    }).join();
+  }
+  const auto after_abandons = lock.stats();
+  EXPECT_GE(after_abandons.read_timeouts, 5u);
+  lock.unlock();
+
+  // Index 7 is recycled by fresh threads; the lock must behave as if the
+  // abandoning readers never existed: writers can close immediately after
+  // every read epoch (stale sticky surplus would wedge or corrupt this).
+  for (int round = 0; round < 20; ++round) {
+    std::thread([&] {
+      ScopedThreadIndex idx(kSharedIndex);
+      lock.lock_shared();
+      lock.unlock_shared();
+    }).join();
+    lock.lock();
+    lock.unlock();
+  }
 }
 
 TEST(TimedGoll, StdTimedAdaptersWork) {
