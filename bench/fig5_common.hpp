@@ -26,6 +26,9 @@
 //   --fault_profile=P   arm fault injection for every run:
 //                       off|jitter|cas|preempt|chaos (seeded from --seed-
 //                       equivalent run seeds; no-op in OLL_FAULTS=0 builds)
+//   --pin               real mode: pin worker w to the host CPU at position
+//                       w of the parsed topology (sysfs), making gated
+//                       real-hardware series placement-reproducible
 //   --watchdog          stuck-acquisition watchdog: dump lock state + trace
 //                       rings to stderr when an acquisition exceeds
 //                       max(20ms, 8 x writer-wait p99); real mode only
@@ -103,6 +106,10 @@ inline int run_fig5(const std::string& figure_name, std::uint32_t read_pct,
   cfg.watchdog = flags.has("watchdog");
   if (cfg.watchdog && cfg.mode == Mode::kSim) {
     std::cerr << "# --watchdog is wall-clock based; ignored in sim mode\n";
+  }
+  cfg.pin_threads = flags.has("pin");
+  if (cfg.pin_threads && cfg.mode == Mode::kSim) {
+    std::cerr << "# --pin is host-affinity based; ignored in sim mode\n";
   }
 
   if (flags.has("locks")) {

@@ -14,8 +14,21 @@ added with the metalock work use prefixed keys ("fig5f.GOLL.t64").
 Real-time micro numbers vary with the host and are recorded as
 informational only.
 
+Two exceptions to "real time is informational": the pinned real-hardware
+read-path series ("realtime.GOLL.t2", ...) is *gated* — it runs fig5a in
+--mode=real with --pin (worker threads bound to topology CPUs) and --reps
+averaging, and is compared with its own generous --realtime-threshold
+(default 50%) since even pinned wall-clock numbers swing with the host.
+This is the tripwire for the memory-order relaxation work: a downgraded
+fence that stalls the real read fast path shows up here, not in the
+virtual-time sim gate.  And baseline matching itself is checked: if the
+previous snapshot has gated keys but none of them match the current
+series names, the run fails with a setup error instead of silently
+gating nothing.
+
 Usage: scripts/bench_smoke.py [--build-dir build] [--threshold 0.20]
-                              [--skip-micro]
+                              [--realtime-threshold 0.50] [--skip-micro]
+                              [--skip-realtime]
 Exit status: 0 on pass, 1 on regression, 2 on setup error.
 """
 
@@ -46,6 +59,13 @@ GATED_FIGS = (
     ("fig5f", "fig5f_write_only", WRITE_SWEEP_ARGS, "fig5f."),
     ("fig5c", "fig5c_95_reads", WRITE_SWEEP_ARGS, "fig5c."),
 )
+# Gated real-hardware series: the read fast path on actual silicon, pinned
+# (--pin binds worker w to topology CPU w) and rep-averaged so the numbers
+# are placement-reproducible.  Tiny thread counts: CI containers may expose
+# a single CPU.  Compared with --realtime-threshold, not --threshold.
+REALTIME_PREFIX = "realtime."
+REALTIME_ARGS = ["--mode=real", "--threads=2", "--acquires=20000",
+                 "--reps=3", "--pin", "--locks=goll,foll,roll"]
 # Acquire-latency percentiles (informational): the post-sweep observability
 # pass (DESIGN.md §9) re-runs each lock at the max swept thread count with
 # latency timing enabled, so the gated sweep itself still executes with
@@ -193,17 +213,28 @@ def tracked_snapshots():
     return snaps
 
 
-def compare(prev_gated, cur_gated, threshold):
-    """Gated metrics are throughputs: higher is better.  Returns regressions."""
+def compare(prev_gated, cur_gated, threshold, realtime_threshold):
+    """Gated metrics are throughputs: higher is better.
+
+    Returns (regressions, unmatched): regressions carry the per-key limit
+    that was applied (realtime.* keys use the looser realtime threshold);
+    unmatched lists baseline keys absent from the current run, so renames
+    fail loudly instead of silently shrinking the gate."""
     regressions = []
+    unmatched = []
     for key, old in prev_gated.items():
         new = cur_gated.get(key)
-        if new is None or old <= 0:
+        if new is None:
+            unmatched.append(key)
             continue
+        if old <= 0:
+            continue
+        limit = (realtime_threshold if key.startswith(REALTIME_PREFIX)
+                 else threshold)
         drop = (old - new) / old
-        if drop > threshold:
-            regressions.append((key, old, new, drop))
-    return regressions
+        if drop > limit:
+            regressions.append((key, old, new, drop, limit))
+    return regressions, unmatched
 
 
 def main():
@@ -211,8 +242,13 @@ def main():
     ap.add_argument("--build-dir", default="build")
     ap.add_argument("--threshold", type=float, default=0.20,
                     help="max allowed fractional drop in gated metrics")
+    ap.add_argument("--realtime-threshold", type=float, default=0.50,
+                    help="max allowed fractional drop in the gated "
+                         "realtime.* series (wall-clock: noisier)")
     ap.add_argument("--skip-micro", action="store_true",
                     help="record only the gated sim metrics")
+    ap.add_argument("--skip-realtime", action="store_true",
+                    help="skip the gated pinned real-hardware series")
     args = ap.parse_args()
 
     build_dir = os.path.join(REPO_ROOT, args.build_dir)
@@ -223,6 +259,11 @@ def main():
                                               fig_args, prefix)
         gated.update(fig_gated)
         informational.update(fig_latency)
+    if not args.skip_realtime:
+        print("bench_smoke: running pinned real-hardware read series (gated)")
+        binary = os.path.join(build_dir, "bench", "fig5a_read_only")
+        gated.update(parse_fig5_csv(run([binary] + REALTIME_ARGS),
+                                    REALTIME_PREFIX))
     print("bench_smoke: running timed-acquisition series (informational)")
     informational.update(collect_timed(build_dir))
     if not args.skip_micro:
@@ -238,28 +279,49 @@ def main():
     if prev_index is not None:
         with open(snaps[prev_index]) as f:
             prev = json.load(f)
-        regressions = compare(prev.get("gated", {}), gated, args.threshold)
+        prev_gated = prev.get("gated", {})
+        regressions, unmatched = compare(prev_gated, gated, args.threshold,
+                                         args.realtime_threshold)
+        if prev_gated and not any(k in gated for k in prev_gated):
+            # Every baseline key is orphaned: the series were renamed or the
+            # sweep silently produced nothing.  An empty comparison must not
+            # read as a pass.
+            print(f"bench_smoke: FAIL — BENCH_{prev_index}.json has "
+                  f"{len(prev_gated)} gated keys but none match the current "
+                  f"series names; the gate would be vacuous.  Rename the "
+                  f"series back or migrate the baseline keys.",
+                  file=sys.stderr)
+            return 2
+        for key in unmatched:
+            print(f"bench_smoke: WARNING — baseline key '{key}' has no "
+                  f"current match and was not gated", file=sys.stderr)
         if regressions:
             status = 1
-            print(f"bench_smoke: FAIL — regression vs BENCH_{prev_index}.json "
-                  f"(threshold {args.threshold:.0%}):", file=sys.stderr)
-            for key, old, new, drop in regressions:
-                print(f"  {key}: {old:.3e} -> {new:.3e}  ({drop:.1%} drop)",
-                      file=sys.stderr)
+            print(f"bench_smoke: FAIL — regression vs BENCH_{prev_index}.json:",
+                  file=sys.stderr)
+            for key, old, new, drop, limit in regressions:
+                print(f"  {key}: {old:.3e} -> {new:.3e}  ({drop:.1%} drop, "
+                      f"limit {limit:.0%})", file=sys.stderr)
         else:
             print(f"bench_smoke: gated metrics within {args.threshold:.0%} "
+                  f"(realtime.* within {args.realtime_threshold:.0%}) "
                   f"of BENCH_{prev_index}.json")
     else:
         print("bench_smoke: no previous snapshot; recording baseline")
 
     config = {fig: list(fig_args) for fig, _, fig_args, _ in GATED_FIGS}
     config["timed"] = list(TIMED_ARGS)
-    config["units"] = {"gated": "acquires/sec (sim virtual time)",
+    if not args.skip_realtime:
+        config["realtime"] = list(REALTIME_ARGS)
+    config["units"] = {"gated": "acquires/sec (sim virtual time); "
+                                "realtime.* in acquires/sec (wall clock, "
+                                "pinned)",
                        "informational": "ns/op (real time); latency.* "
                                         "in sim virtual cycles"}
     snapshot = {
         "index": index,
         "gate": {"threshold": args.threshold,
+                 "realtime_threshold": args.realtime_threshold,
                  "baseline": f"BENCH_{prev_index}.json" if prev_index else None,
                  "passed": status == 0},
         "config": config,

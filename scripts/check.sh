@@ -53,11 +53,15 @@ cmake --build build-nofaults -j "${JOBS}" --target lock_conformance_test \
 ./build-nofaults/tests/timed_lock_test >/dev/null
 echo "==> OLL_FAULTS=0 build + smoke OK"
 
+# litmus_test is the memory-order audit's harness (DESIGN.md §12): its
+# fixture arms the chaos fault profile itself, so under TSan each
+# release/acquire downgrade is checked as a real happens-before edge
+# against a fault-sheared schedule.
 TSAN_SUITES=(
   lock_stress_test race_fuzz_test snzi_stress_test bravo_test
   csnzi_test lock_conformance_test foll_roll_test goll_test ksuh_test
   wait_queue_test mutex_test metalock_test orig_snzi_test trace_test
-  histogram_test timed_lock_test
+  histogram_test timed_lock_test litmus_test
 )
 
 echo "==> tsan: configure + build (tests only)"
@@ -72,6 +76,14 @@ for t in "${TSAN_SUITES[@]}"; do
   echo "==> tsan: ${t}"
   "./build-tsan/tests/${t}"
 done
+
+echo "==> tsan: chaos-profile conformance (relaxed-order sweep)"
+# The memory-order relaxations must hold when the fault layer shears the
+# windows open: re-run the conformance + timed suites with chaos injection
+# armed for the whole process.
+OLL_TEST_FAULT_PROFILE=chaos ./build-tsan/tests/lock_conformance_test >/dev/null
+OLL_TEST_FAULT_PROFILE=chaos ./build-tsan/tests/timed_lock_test >/dev/null
+echo "==> tsan: chaos-profile conformance OK"
 
 echo "==> tsan: fault_fuzz smoke (fixed seeds, ~30s)"
 cmake --build build-tsan -j "${JOBS}" --target fault_fuzz

@@ -18,6 +18,7 @@
 #include "platform/spin.hpp"
 #include "platform/thread_id.hpp"
 #include "platform/time.hpp"
+#include "platform/topology.hpp"
 #include "platform/trace.hpp"
 #include "sim/context.hpp"
 #include "sim/memory.hpp"
@@ -200,6 +201,23 @@ RunResult run_threads(AnyRwLock& lock, const WorkloadConfig& cfg,
       // Pin worker w to dense thread index w so lock-internal thread
       // mappings line up with the simulated placement (chip w/64, core w/8).
       ScopedThreadIndex index(w);
+      if (cfg.pin_threads && !simulated) {
+        // Bind worker w to the host CPU at position w of the parsed topology
+        // — the same identity mapping (dense index -> CPU) the C-SNZI leaf
+        // and cohort domain maps assume, so lock-internal locality decisions
+        // match actual placement.  Real-hardware series are only gateable
+        // (bench_smoke realtime.*) with placement held fixed; fall back
+        // silently where affinity is not permitted (containers).
+        const auto& topo = Topology::system();
+        if (topo.cpu_count() > 0) {
+          const std::uint32_t cpu =
+              topo.cpu_numbers()[w % topo.cpu_count()];
+          cpu_set_t set;
+          CPU_ZERO(&set);
+          CPU_SET(cpu, &set);
+          (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+        }
+      }
       std::unique_ptr<sim::ThreadGuard> guard;
       if (simulated) {
         guard = std::make_unique<sim::ThreadGuard>(*machine, w);

@@ -56,6 +56,7 @@ SweepResult run_sweep(const SweepConfig& config, bool verbose) {
         w.timeout_ns = config.timeout_ns;
         w.fault_profile = config.fault_profile;
         w.watchdog = config.watchdog;
+        w.pin_threads = config.pin_threads;
         RunResult r = run_workload(kind, w, config.mode);
         stats.add(r.throughput());
         last_counters = r.counters;
@@ -82,6 +83,15 @@ SweepResult run_sweep(const SweepConfig& config, bool verbose) {
                     << " casfail="
                     << static_cast<double>(
                            last_counters.emulated_cas_failures) / n;
+          // Per-order histogram (fence-reduction ablation): the memory-order
+          // audit's win shows up as mass shifting from seq_cst toward
+          // relaxed/acq_rel at unchanged throughput.
+          std::cerr << "  orders:";
+          for (std::uint32_t i = 0; i < sim::kMemoryOrderCount; ++i) {
+            if (last_counters.order_ops[i] == 0) continue;
+            std::cerr << " " << sim::memory_order_name(i) << "="
+                      << static_cast<double>(last_counters.order_ops[i]) / n;
+          }
         }
         const CSnziStatsSnapshot& cz = last_stats.csnzi;
         if (cz.arrivals() != 0) {
@@ -214,6 +224,7 @@ bool run_observability_pass(std::ostream& os,
     w.timeout_ns = sc.timeout_ns;
     w.fault_profile = sc.fault_profile;
     w.watchdog = sc.watchdog;
+    w.pin_threads = sc.pin_threads;
     RunResult r = run_workload(kind, w, sc.mode);
     rows.push_back({kind, r.lock_stats});
     if (want_trace) {

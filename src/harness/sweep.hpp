@@ -38,6 +38,8 @@ struct SweepConfig {
   std::uint64_t timeout_ns = 0;
   std::string fault_profile;
   bool watchdog = false;
+  // Real mode only: pin worker threads to host CPUs (workload.hpp).
+  bool pin_threads = false;
 
   // The paper runs 100k acquisitions per thread, reduced to 10k at <=50%
   // reads.  Virtual time is near-deterministic, so we default much lower to

@@ -64,6 +64,13 @@ struct WorkloadConfig {
   // Stuck-acquisition watchdog (harness/watchdog.hpp).  Real mode only —
   // its thresholds are wall-clock; ignored in sim mode.
   bool watchdog = false;
+  // Real mode only: pin worker w to the host CPU at position w (mod count)
+  // of the parsed system topology (platform/topology.hpp), the same
+  // identity mapping the C-SNZI leaf and cohort domain maps assume.  This
+  // is what makes real-hardware series reproducible enough to gate
+  // (bench_smoke's realtime.* trajectory); ignored in sim mode, where
+  // placement is already deterministic.
+  bool pin_threads = false;
 };
 
 struct RunResult {

@@ -20,12 +20,18 @@
 // Bravo<CentralRwLock<>>, Bravo<std::shared_mutex>, ...  Correctness
 // argument for the publish/revoke race (the only subtle part): the reader
 // publishes its slot and THEN re-checks the bias flag; the writer clears
-// the flag and THEN scans.  All four accesses are seq_cst, so in the total
-// order either the reader's re-check precedes the writer's clear — then the
-// reader's earlier publication precedes the writer's scan load of that
-// slot, and the writer waits for it — or the re-check follows the clear,
-// the reader observes bias off, reverts its slot and takes the slow path.
-// Either way no reader is invisible to the writer.
+// the flag and THEN scans.  Exactly four accesses are seq_cst (the publish
+// CAS, the re-check load, the flag-clearing store, and the first scan load
+// of each slot), so in the total order either the reader's re-check
+// precedes the writer's clear — then the reader's earlier publication
+// precedes the writer's scan load of that slot, and the writer waits for
+// it — or the re-check follows the clear, the reader observes bias off,
+// reverts its slot and takes the slow path.  Either way no reader is
+// invisible to the writer.  Every other rbias_ access is relaxed: writers
+// cannot miss a re-arm because re-arming requires holding the underlying
+// read lock, which the writer's own acquisition excludes (the underlying
+// lock's release/acquire edge publishes the flag), and the fast path's
+// first flag read is advisory — the binding decision is the re-check.
 //
 // Non-recursive (like every lock here): a thread must not read-acquire the
 // same Bravo lock twice.  try_upgrade()/downgrade() are deliberately not
@@ -136,7 +142,9 @@ class Bravo {
     const ObsTimer t = obs_begin(TraceEventType::kWriteAcquireBegin, this);
     lock_.lock();
     stats_.count_write_fast();
-    if (rbias_.load(std::memory_order_seq_cst) != 0) revoke_bias();
+    // relaxed: any re-arm happened under a read lock our acquisition above
+    // excludes, so the underlying lock's ordering already published it.
+    if (rbias_.load(std::memory_order_relaxed) != 0) revoke_bias();
     const std::uint64_t d = obs_end(TraceEventType::kWriteAcquireEnd, this, t);
     if (t.armed) stats_.record_write_acquire(d);
   }
@@ -156,7 +164,8 @@ class Bravo {
     stats_.count_write_fast();
     // Revocation after a successful try is not optional and terminates:
     // once the flag is cleared no new bias readers can pass the re-check.
-    if (rbias_.load(std::memory_order_seq_cst) != 0) revoke_bias();
+    // relaxed: as in lock() — re-arms are ordered by the underlying lock.
+    if (rbias_.load(std::memory_order_relaxed) != 0) revoke_bias();
     return true;
   }
 
@@ -186,7 +195,8 @@ class Bravo {
       ok = lock_.try_lock_until(deadline);
       if (ok) {
         stats_.count_write_fast();
-        if (rbias_.load(std::memory_order_seq_cst) != 0) revoke_bias();
+        // relaxed: as in lock() — re-arms are ordered by the underlying lock.
+        if (rbias_.load(std::memory_order_relaxed) != 0) revoke_bias();
       }
     } else {
       ok = deadline_retry(deadline, [&] { return try_lock(); });
@@ -249,20 +259,26 @@ class Bravo {
   bool bias_fast_path() {
     Local& local = locals_.local();
     OLL_DCHECK(local.slot == nullptr);  // non-recursive
-    if (rbias_.load(std::memory_order_seq_cst) == 0) return false;
+    // relaxed: advisory early-out only — the binding bias decision is the
+    // seq_cst re-check after the publish (the Dekker in the header comment).
+    if (rbias_.load(std::memory_order_relaxed) == 0) return false;
     typename Table::Slot& slot =
         global_visible_readers<M>().slot_for(this_thread_index(), this);
     const void* expected = nullptr;
     // A failed CAS means a hash collision (another thread/lock owns the
     // slot): fall back to the underlying lock rather than wait.
+    // seq_cst success: the Dekker publish (header comment) — must precede
+    // the re-check below in the SC order.  relaxed failure: the observed
+    // value is discarded.
     if (!slot.compare_exchange_strong(expected, this,
                                       std::memory_order_seq_cst,
-                                      std::memory_order_seq_cst)) {
+                                      std::memory_order_relaxed)) {
       return false;
     }
     // The publish/re-check window is the one subtle race in BRAVO; widen it
     // under fault injection so the fuzzer actually exercises both outcomes.
     fault_perturb(FaultSite::kSpinWait);
+    // seq_cst: the Dekker re-check — pairs with revoke_bias()'s clear.
     if (rbias_.load(std::memory_order_seq_cst) != 0) {
       local.slot = &slot;
       stats_.count_read_bias();
@@ -281,7 +297,10 @@ class Bravo {
   void maybe_rearm_bias() {
     if (rbias_.load(std::memory_order_relaxed) == 0 &&
         now_ns() >= inhibit_until_.load(std::memory_order_relaxed)) {
-      rbias_.store(1, std::memory_order_seq_cst);
+      // relaxed: the flag carries no payload, and the next writer cannot
+      // miss it — we hold the underlying read lock, so its release/acquire
+      // edge orders this store before that writer's flag check.
+      rbias_.store(1, std::memory_order_relaxed);
     }
   }
 
@@ -292,6 +311,8 @@ class Bravo {
   void revoke_bias() {
     stats_.count_bias_revoke();
     trace_event(TraceEventType::kBiasRevoke, this);
+    // seq_cst: the Dekker clear — must precede the scan loads below in the
+    // SC order so no reader's publish/re-check pair can miss both.
     rbias_.store(0, std::memory_order_seq_cst);
     Table& table = global_visible_readers<M>();
     // For BRAVO the revocation scan is the writer's wait-for-readers-to-
@@ -307,9 +328,15 @@ class Bravo {
     bool timed_out = false;
     for (std::uint32_t i = 0; i < Table::size(); ++i) {
       typename Table::Slot& slot = table.slot(i);
+      // seq_cst: the Dekker scan load — a publish that SC-precedes our
+      // clear must be visible here.  Doubles as the acquire that orders a
+      // drained reader's critical section before ours.
       if (slot.load(std::memory_order_seq_cst) != this) continue;
       ExponentialBackoff backoff;
-      while (slot.load(std::memory_order_seq_cst) == this) {
+      // acquire: only the drain wait — pairs with the reader's release
+      // null-store in unlock_shared; seq_cst is not needed once the slot
+      // has been observed once.
+      while (slot.load(std::memory_order_acquire) == this) {
         fault_perturb(FaultSite::kSpinWait);
         if (!timed_out && now_ns() >= drain_deadline) {
           timed_out = true;

@@ -412,6 +412,8 @@ class GollLock {
       queue_.enqueue(&waiter, ReqKind::kWriter);
       if (fast_release_ && was_empty) {
         has_waiters_.store(1, std::memory_order_relaxed);
+        // Dekker re-check fence, as in lock() — pairs with the eliding
+        // release's fence in unlock().
         std::atomic_thread_fence(std::memory_order_seq_cst);
         if (csnzi_.query().open && csnzi_.close()) {
           queue_.remove(&waiter);
@@ -478,6 +480,8 @@ class GollLock {
         queue_.enqueue(&waiter, ReqKind::kReader);
         if (fast_release_ && was_empty) {
           has_waiters_.store(1, std::memory_order_relaxed);
+          // Dekker re-check fence, as in lock_shared() — pairs with the
+          // eliding release's fence in unlock().
           std::atomic_thread_fence(std::memory_order_seq_cst);
           if (csnzi_.query().open) {
             queue_.remove(&waiter);

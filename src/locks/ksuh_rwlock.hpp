@@ -132,14 +132,32 @@ class KsuhRwLock {
 
   static void unlock_el(Node& n) { n.el.store(0, std::memory_order_release); }
 
+  // Memory-order map (DESIGN.md §12).  The activation Dekker needs exactly
+  // four seq_cst ops; everything else is acq/rel or weaker:
+  //
+  //   linker:     S_next = pred->next.store(&I)   then  L_state = pred->state.load()
+  //   activator:  S_state = node->state.store(kActive) then L_next = node->next.load()
+  //
+  // If both sides missed each other, the SC total order would contain the
+  // cycle S_state < L_next < S_next < L_state < S_state (each load that
+  // does not observe the same-object seq_cst store precedes it in S; the
+  // cross-thread S_state -> L_next edge is happens-before via the woken
+  // node's acquire spin), so at least one side always observes the other,
+  // and both observing is an idempotent double-activation.  All state
+  // stores that can activate a cascading reader are S_state instances and
+  // stay seq_cst; cascade's next load is L_next and stays seq_cst.
   void acquire(Node& I, Class cls) {
     I.cls.store(cls, std::memory_order_relaxed);  // published by the FAS
     I.next.store(nullptr, std::memory_order_relaxed);
     I.prev.store(nullptr, std::memory_order_relaxed);
     I.state.store(kWaiting, std::memory_order_relaxed);
-    Node* pred = tail_.exchange(&I, std::memory_order_seq_cst);
+    // acq_rel: release publishes our node init (relaxed stores above) to the
+    // successor that FASes after us; acquire pairs with the previous FASer's
+    // release (node init) and, on a null read, with the release tail-CAS of
+    // the departing head, ordering its critical section before ours.
+    Node* pred = tail_.exchange(&I, std::memory_order_acq_rel);
     if (pred == nullptr) {
-      I.state.store(kActive, std::memory_order_seq_cst);
+      I.state.store(kActive, std::memory_order_seq_cst);  // Dekker S_state
       // Readers only: a WRITER head must not cascade — a reader that
       // queued behind it in the FAS..here window is WAITING with
       // pred->cls == kWriter and would be wrongly activated alongside the
@@ -149,12 +167,14 @@ class KsuhRwLock {
       return;
     }
     // Publish the link; pred cannot leave the queue before seeing it.
-    I.prev.store(pred, std::memory_order_seq_cst);
-    pred->next.store(&I, std::memory_order_seq_cst);
+    // release: pred's splice reads our prev under el-locks and must see it
+    // (staleness is re-validated there, never trusted).
+    I.prev.store(pred, std::memory_order_release);
+    pred->next.store(&I, std::memory_order_seq_cst);  // Dekker S_next
     if (cls == kReader &&
         pred->cls.load(std::memory_order_acquire) == kReader &&
-        pred->state.load(std::memory_order_seq_cst) == kActive) {
-      I.state.store(kActive, std::memory_order_seq_cst);
+        pred->state.load(std::memory_order_seq_cst) == kActive) {  // L_state
+      I.state.store(kActive, std::memory_order_seq_cst);  // Dekker S_state
     } else {
       spin_until([&] {
         return I.state.load(std::memory_order_acquire) == kActive;
@@ -169,10 +189,14 @@ class KsuhRwLock {
   // that has already left (and possibly re-entered) the queue.
   void cascade(Node& I) {
     lock_el(I);
-    Node* succ = I.next.load(std::memory_order_seq_cst);
+    Node* succ = I.next.load(std::memory_order_seq_cst);  // Dekker L_next
     if (succ != nullptr &&
         succ->cls.load(std::memory_order_acquire) == kReader &&
-        succ->state.load(std::memory_order_seq_cst) == kWaiting) {
+        // relaxed: the L_next seq_cst load already synchronized with the
+        // linker's publication (so succ's kWaiting init is visible); a
+        // stale kWaiting here only causes an idempotent double-activation.
+        succ->state.load(std::memory_order_relaxed) == kWaiting) {
+      // seq_cst: Dekker S_state for succ's own cascade (see acquire()).
       succ->state.store(kActive, std::memory_order_seq_cst);
     }
     unlock_el(I);
@@ -187,18 +211,25 @@ class KsuhRwLock {
     I.prev.store(nullptr, std::memory_order_relaxed);
     I.state.store(kWaiting, std::memory_order_relaxed);
     Node* expected = nullptr;
+    // acq_rel/relaxed: same contract as acquire()'s tail FAS — acquire
+    // orders the departing head's critical section before ours when we read
+    // its null, release publishes our node init; the failure load's value
+    // is discarded.
     if (!tail_.compare_exchange_strong(expected, &I,
-                                       std::memory_order_seq_cst)) {
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
       return false;
     }
-    I.state.store(kActive, std::memory_order_seq_cst);
+    I.state.store(kActive, std::memory_order_seq_cst);  // Dekker S_state
     if (cls == kReader) cascade(I);
     return true;
   }
 
   void release(Node& I) {
     while (true) {
-      Node* pred = I.prev.load(std::memory_order_seq_cst);
+      // acquire: pairs with the release prev-stores of a splicing
+      // neighbor; the value is re-validated under el-locks before use.
+      Node* pred = I.prev.load(std::memory_order_acquire);
       if (pred == nullptr) {
         if (release_as_head(I)) return;
       } else {
@@ -224,11 +255,18 @@ class KsuhRwLock {
   // for I.next and retries).
   bool release_as_head(Node& I) {
     lock_el(I);
-    Node* succ = I.next.load(std::memory_order_seq_cst);
+    // acquire: pairs with the linker's seq_cst publication so a non-null
+    // succ's node init is visible.  Missing a just-published link is safe:
+    // the linker's earlier tail FAS makes the tail CAS below fail.
+    Node* succ = I.next.load(std::memory_order_acquire);
     if (succ == nullptr) {
       Node* expected = &I;
+      // release/relaxed: success hands the empty queue to the next FASer,
+      // whose acquire orders our critical section before its own; the
+      // failure value is discarded (we re-wait on next/tail below).
       if (tail_.compare_exchange_strong(expected, nullptr,
-                                        std::memory_order_seq_cst)) {
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
         unlock_el(I);
         return true;
       }
@@ -241,12 +279,29 @@ class KsuhRwLock {
       });
       return false;  // retry: successor visible, or the tail is ours again
     }
-    // Hand the head position to succ; a WAITING new head always runs
-    // (writer: all readers ahead have spliced out; reader: it will cascade).
-    succ->prev.store(nullptr, std::memory_order_seq_cst);
-    if (succ->state.load(std::memory_order_seq_cst) == kWaiting) {
+    // Activate BEFORE handing off the head position.  While succ->prev
+    // still points at us, succ's release must take release_mid_queue(),
+    // which blocks on our held el — so succ cannot depart (and its
+    // per-thread node cannot be re-initialized for a new acquisition)
+    // until we unlock.  The previous order (prev-store first) let an
+    // already-self-activated succ release as head, depart, and reuse its
+    // node while our kActive store was still in flight after a stale
+    // kWaiting read: the stray store then spuriously activated the
+    // node's next acquisition — an exclusion violation the whole-lock
+    // litmus (tests/litmus_test.cpp) caught under TSan + chaos.
+    //
+    // relaxed load: succ's kWaiting init is visible via the link acquire
+    // above; a stale kWaiting causes a double-activation that is
+    // idempotent precisely because succ is captive until unlock_el.
+    if (succ->state.load(std::memory_order_relaxed) == kWaiting) {
+      // seq_cst: Dekker S_state (succ may be a reader that cascades); also
+      // the release half orders our critical section before succ's.
       succ->state.store(kActive, std::memory_order_seq_cst);
     }
+    // Hand the head position to succ; a WAITING new head always runs
+    // (writer: all readers ahead have spliced out; reader: it will cascade).
+    // release: pairs with succ's acquire prev-reload in release().
+    succ->prev.store(nullptr, std::memory_order_release);
     unlock_el(I);
     return true;
   }
@@ -255,20 +310,33 @@ class KsuhRwLock {
   // lost to an in-flight linker (wait for next, then retry).
   int release_mid_queue(Node& I, Node* pred) {
     lock_el(*pred);
-    if (I.prev.load(std::memory_order_seq_cst) != pred) {
+    // acquire: re-validation under pred's el; pairs with the release
+    // prev-stores of whichever neighbor last rewrote it.
+    if (I.prev.load(std::memory_order_acquire) != pred) {
       unlock_el(*pred);  // pred spliced out first; our prev was rewritten
       return 0;
     }
     lock_el(I);
-    Node* succ = I.next.load(std::memory_order_seq_cst);
+    // acquire: as in release_as_head — sees a non-null succ's init; a
+    // missed in-flight link is caught by the tail CAS failing.
+    Node* succ = I.next.load(std::memory_order_acquire);
     if (succ == nullptr) {
       Node* expected = &I;
+      // release/relaxed: success publishes pred as the new tail to the next
+      // FASer (pred's own init was published by pred's FAS long ago; reader-
+      // to-reader ordering beyond that is not required, and writer ordering
+      // flows through the el-lock chain); failure value is discarded.
       if (tail_.compare_exchange_strong(expected, pred,
-                                        std::memory_order_seq_cst)) {
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
         // Retreat pred->next from I to null; a racing new linker wins.
+        // relaxed: performed under both el link-locks, whose release/acquire
+        // pairs order it against pred's later el-protected reads; the null
+        // it publishes carries no payload.
         Node* expect_me = &I;
         pred->next.compare_exchange_strong(expect_me, nullptr,
-                                           std::memory_order_seq_cst);
+                                           std::memory_order_relaxed,
+                                           std::memory_order_relaxed);
         unlock_el(I);
         unlock_el(*pred);
         return 1;
@@ -277,8 +345,11 @@ class KsuhRwLock {
       unlock_el(*pred);
       return -1;
     }
-    pred->next.store(succ, std::memory_order_seq_cst);
-    succ->prev.store(pred, std::memory_order_seq_cst);
+    // Splice I out.  Both stores happen under both el link-locks; release
+    // additionally pairs with the owners' acquire reloads outside the locks
+    // (succ's prev in release(), pred's next in its own cascade/splice).
+    pred->next.store(succ, std::memory_order_release);
+    succ->prev.store(pred, std::memory_order_release);
     unlock_el(I);
     unlock_el(*pred);
     return 1;

@@ -136,6 +136,9 @@ inline void stall(std::uint32_t spins) {
 #if defined(__x86_64__) || defined(__i386__)
     __builtin_ia32_pause();
 #else
+    // seq_cst signal fence: a compiler-only barrier standing in for the
+    // pause instruction — keeps the loop from being folded away without
+    // emitting any hardware fence.
     std::atomic_signal_fence(std::memory_order_seq_cst);
 #endif
   }

@@ -61,24 +61,26 @@ class FuzzAtomic {
   FuzzAtomic(const FuzzAtomic&) = delete;
   FuzzAtomic& operator=(const FuzzAtomic&) = delete;
 
-  T load(std::memory_order mo = std::memory_order_seq_cst) const noexcept {
+  // Orders are MANDATORY (no seq_cst default), mirroring sim::Atomic: the
+  // fuzz build must exercise exactly the orders the real build runs, not a
+  // silently-upgraded seq_cst version of them.
+  T load(std::memory_order mo) const noexcept {
     FuzzYield::maybe_yield();
     return value_.load(mo);
   }
 
-  void store(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept {
+  void store(T v, std::memory_order mo) noexcept {
     FuzzYield::maybe_yield();
     value_.store(v, mo);
   }
 
-  T exchange(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept {
+  T exchange(T v, std::memory_order mo) noexcept {
     FuzzYield::maybe_yield();
     return value_.exchange(v, mo);
   }
 
-  bool compare_exchange_strong(
-      T& expected, T desired,
-      std::memory_order mo = std::memory_order_seq_cst) noexcept {
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order mo) noexcept {
     FuzzYield::maybe_yield();
     return value_.compare_exchange_strong(expected, desired, mo);
   }
@@ -89,9 +91,8 @@ class FuzzAtomic {
     return value_.compare_exchange_strong(expected, desired, succ, fail);
   }
 
-  bool compare_exchange_weak(
-      T& expected, T desired,
-      std::memory_order mo = std::memory_order_seq_cst) noexcept {
+  bool compare_exchange_weak(T& expected, T desired,
+                             std::memory_order mo) noexcept {
     FuzzYield::maybe_yield();
     return value_.compare_exchange_weak(expected, desired, mo);
   }
@@ -102,39 +103,36 @@ class FuzzAtomic {
     return value_.compare_exchange_weak(expected, desired, succ, fail);
   }
 
-  T fetch_add(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept
+  T fetch_add(T v, std::memory_order mo) noexcept
     requires std::is_integral_v<T>
   {
     FuzzYield::maybe_yield();
     return value_.fetch_add(v, mo);
   }
 
-  T fetch_sub(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept
+  T fetch_sub(T v, std::memory_order mo) noexcept
     requires std::is_integral_v<T>
   {
     FuzzYield::maybe_yield();
     return value_.fetch_sub(v, mo);
   }
 
-  T fetch_or(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept
+  T fetch_or(T v, std::memory_order mo) noexcept
     requires std::is_integral_v<T>
   {
     FuzzYield::maybe_yield();
     return value_.fetch_or(v, mo);
   }
 
-  T fetch_and(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept
+  T fetch_and(T v, std::memory_order mo) noexcept
     requires std::is_integral_v<T>
   {
     FuzzYield::maybe_yield();
     return value_.fetch_and(v, mo);
   }
 
-  operator T() const noexcept { return load(); }
-  T operator=(T v) noexcept {
-    store(v);
-    return v;
-  }
+  // No operator T() / operator=: implicit conversions would reintroduce
+  // the seq_cst default this model exists to forbid.
 
  private:
   std::atomic<T> value_;

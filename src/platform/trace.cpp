@@ -97,20 +97,27 @@ void trace_enable(const TraceOptions& opts) {
       delete r;
     }
   }
+  // seq_cst (here and in the other three mode flips): a full barrier on the
+  // quiescent-only control plane costs nothing and keeps the mode word
+  // totally ordered against the callers' surrounding ring setup/teardown —
+  // the hot-path hooks only ever read it relaxed.
   g_mode.fetch_or(kEventsBit, std::memory_order_seq_cst);
 }
 
 void trace_disable() {
+  // seq_cst: control plane; see trace_enable.
   trace_internal::g_mode.fetch_and(~trace_internal::kEventsBit,
                                    std::memory_order_seq_cst);
 }
 
 void latency_timing_enable() {
+  // seq_cst: control plane; see trace_enable.
   trace_internal::g_mode.fetch_or(trace_internal::kTimingBit,
                                   std::memory_order_seq_cst);
 }
 
 void latency_timing_disable() {
+  // seq_cst: control plane; see trace_enable.
   trace_internal::g_mode.fetch_and(~trace_internal::kTimingBit,
                                    std::memory_order_seq_cst);
 }

@@ -49,34 +49,39 @@ class Atomic {
   Atomic(const Atomic&) = delete;
   Atomic& operator=(const Atomic&) = delete;
 
-  T load(std::memory_order mo = std::memory_order_seq_cst) const noexcept {
-    charge_read();
+  // Every operation takes a MANDATORY memory_order: lock code is templated
+  // over the memory model, so a call site that omitted the order here would
+  // compile against std::atomic (seq_cst) in release builds while the sim
+  // and fuzz builds silently upgraded it too — leaving the relaxation
+  // untested anywhere.  Making the parameter required turns the repo's
+  // memory-order audit (DESIGN.md §12) into a compile-time check.
+  T load(std::memory_order mo) const noexcept {
+    charge_read(mo);
     return value_.load(mo);
   }
 
-  void store(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept {
-    charge_write();
+  void store(T v, std::memory_order mo) noexcept {
+    charge_write(mo);
     value_.store(v, mo);
   }
 
-  T exchange(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept {
-    charge_write();
+  T exchange(T v, std::memory_order mo) noexcept {
+    charge_write(mo);
     return value_.exchange(v, mo);
   }
 
   // Strong CAS: never fails spuriously — lock algorithms legitimately infer
   // "someone else acted" from a strong-CAS failure (e.g. MCS's "a successor
   // is linking"), so the model must not inject failures here.
-  bool compare_exchange_strong(
-      T& expected, T desired,
-      std::memory_order mo = std::memory_order_seq_cst) noexcept {
-    charge_write();  // even a failed CAS takes the line exclusive
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order mo) noexcept {
+    charge_write(mo);  // even a failed CAS takes the line exclusive
     return value_.compare_exchange_strong(expected, desired, mo);
   }
 
   bool compare_exchange_strong(T& expected, T desired, std::memory_order succ,
                                std::memory_order fail) noexcept {
-    charge_write();
+    charge_write(succ);
     return value_.compare_exchange_strong(expected, desired, succ, fail);
   }
 
@@ -88,60 +93,62 @@ class Atomic {
   // what drives the paper's adaptive arrive-at-root-until-contention policy
   // (§5.1) on this model.  `expected` is left untouched, as the value did
   // not change.
-  bool compare_exchange_weak(
-      T& expected, T desired,
-      std::memory_order mo = std::memory_order_seq_cst) noexcept {
-    if (charge_write(/*may_fail=*/true)) return false;
+  bool compare_exchange_weak(T& expected, T desired,
+                             std::memory_order mo) noexcept {
+    if (charge_write(mo, /*may_fail=*/true)) return false;
     return value_.compare_exchange_weak(expected, desired, mo);
   }
 
   bool compare_exchange_weak(T& expected, T desired, std::memory_order succ,
                              std::memory_order fail) noexcept {
-    if (charge_write(/*may_fail=*/true)) return false;
+    if (charge_write(succ, /*may_fail=*/true)) return false;
     return value_.compare_exchange_weak(expected, desired, succ, fail);
   }
 
-  T fetch_add(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept
+  T fetch_add(T v, std::memory_order mo) noexcept
     requires std::is_integral_v<T>
   {
-    charge_write();
+    charge_write(mo);
     return value_.fetch_add(v, mo);
   }
 
-  T fetch_sub(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept
+  T fetch_sub(T v, std::memory_order mo) noexcept
     requires std::is_integral_v<T>
   {
-    charge_write();
+    charge_write(mo);
     return value_.fetch_sub(v, mo);
   }
 
-  T fetch_or(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept
+  T fetch_or(T v, std::memory_order mo) noexcept
     requires std::is_integral_v<T>
   {
-    charge_write();
+    charge_write(mo);
     return value_.fetch_or(v, mo);
   }
 
-  T fetch_and(T v, std::memory_order mo = std::memory_order_seq_cst) noexcept
+  T fetch_and(T v, std::memory_order mo) noexcept
     requires std::is_integral_v<T>
   {
-    charge_write();
+    charge_write(mo);
     return value_.fetch_and(v, mo);
   }
 
-  operator T() const noexcept { return load(); }
-  T operator=(T v) noexcept {
-    store(v);
-    return v;
-  }
+  // No operator T() / operator=: the implicit conversions were seq_cst
+  // back doors around the mandatory-order API above.
 
  private:
-  void charge_read() const noexcept {
+  static void count_order(OpCounters& c, std::memory_order mo) noexcept {
+    const auto idx = static_cast<std::uint32_t>(mo);
+    if (idx < kMemoryOrderCount) ++c.order_ops[idx];
+  }
+
+  void charge_read(std::memory_order mo) const noexcept {
     ThreadContext* ctx = ThreadContext::current();
     if (!ctx) return;
     ctx->flush_if_stale();
     OpCounters& c = ctx->counters();
     ++c.loads;
+    count_order(c, mo);
     const std::uint64_t ver = dir_.version.load(std::memory_order_relaxed);
     if (ctx->cache_hit(&dir_, ver)) {
       ++c.l1_hits;
@@ -159,13 +166,14 @@ class Atomic {
   // but ownership is NOT taken (the imagined real competitor kept the line),
   // and a per-thread pass is recorded so the caller's immediate retry on the
   // unchanged line goes through — CAS loops stay terminating.
-  bool charge_write(bool may_fail = false) const noexcept {
+  bool charge_write(std::memory_order mo, bool may_fail = false) const noexcept {
     ThreadContext* ctx = ThreadContext::current();
     if (!ctx) return false;
     ctx->flush_if_stale();
     const CostModel& costs = ctx->machine().costs();
     OpCounters& c = ctx->counters();
     ++c.rmws;
+    count_order(c, mo);
     const std::uint32_t me = ctx->tid() + 1;
     const std::uint32_t owner = dir_.owner.load(std::memory_order_relaxed);
     if (owner == me) {

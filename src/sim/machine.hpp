@@ -89,6 +89,23 @@ inline const oll::Topology& t5440_cpu_topology() {
   return topo;
 }
 
+// Number of distinct std::memory_order values (relaxed, consume, acquire,
+// release, acq_rel, seq_cst) — the per-order histogram below is indexed by
+// static_cast<int>(order).
+inline constexpr std::uint32_t kMemoryOrderCount = 6;
+
+inline const char* memory_order_name(std::uint32_t idx) {
+  switch (idx) {
+    case 0: return "relaxed";
+    case 1: return "consume";
+    case 2: return "acquire";
+    case 3: return "release";
+    case 4: return "acq_rel";
+    case 5: return "seq_cst";
+  }
+  return "?";
+}
+
 // Per-thread event counters, aggregated by Machine::counters().
 struct OpCounters {
   std::uint64_t loads = 0;
@@ -100,6 +117,13 @@ struct OpCounters {
   std::uint64_t onchip_transfers = 0;
   std::uint64_t offchip_transfers = 0;
   std::uint64_t emulated_cas_failures = 0;
+  // Atomic operations by requested memory order (fence-reduction ablations:
+  // the memory-order audit's win is this histogram shifting from seq_cst
+  // toward relaxed/acq_rel with identical throughput curves).  Indexed by
+  // static_cast<int>(std::memory_order); CAS counts its success order.
+  std::uint64_t order_ops[kMemoryOrderCount] = {};
+
+  std::uint64_t seq_cst_ops() const noexcept { return order_ops[5]; }
 
   OpCounters& operator+=(const OpCounters& o) noexcept {
     loads += o.loads;
@@ -111,6 +135,9 @@ struct OpCounters {
     onchip_transfers += o.onchip_transfers;
     offchip_transfers += o.offchip_transfers;
     emulated_cas_failures += o.emulated_cas_failures;
+    for (std::uint32_t i = 0; i < kMemoryOrderCount; ++i) {
+      order_ops[i] += o.order_ops[i];
+    }
     return *this;
   }
 };

@@ -1,0 +1,57 @@
+// Process-wide fault-injection arming for test binaries.
+//
+// OLL_TEST_FAULT_PROFILE=<off|jitter|cas|preempt|chaos> arms the fault layer
+// for the whole test process (OLL_TEST_FAULT_SEED overrides the default
+// seed).  This is how check.sh re-runs the conformance and timed suites with
+// chaos injection against the memory-order relaxations: the same assertions,
+// but with every spin window and handoff sheared by the fault layer.
+//
+// Linked into every test binary (tests/CMakeLists.txt); without the env var
+// it does nothing, so normal runs are unaffected.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "platform/fault.hpp"
+
+namespace oll {
+namespace {
+
+class FaultEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    const char* name = std::getenv("OLL_TEST_FAULT_PROFILE");
+    if (name == nullptr || *name == '\0') return;
+    FaultProfile profile;
+    if (!fault_profile_from_name(name, &profile)) {
+      std::fprintf(stderr,
+                   "OLL_TEST_FAULT_PROFILE='%s' not recognized "
+                   "(want off|jitter|cas|preempt|chaos)\n",
+                   name);
+      std::exit(2);  // a misspelled profile must not silently test nothing
+    }
+    std::uint64_t seed = 0x5eed;
+    if (const char* s = std::getenv("OLL_TEST_FAULT_SEED")) {
+      seed = std::strtoull(s, nullptr, 0);
+    }
+    fault_enable(profile, seed);
+    armed_ = true;
+    std::fprintf(stderr, "fault injection armed: profile=%s seed=%llu\n",
+                 name, static_cast<unsigned long long>(seed));
+  }
+
+  void TearDown() override {
+    if (armed_) fault_disable();
+  }
+
+ private:
+  bool armed_ = false;
+};
+
+const ::testing::Environment* const kFaultEnv =
+    ::testing::AddGlobalTestEnvironment(new FaultEnvironment);
+
+}  // namespace
+}  // namespace oll

@@ -1,0 +1,305 @@
+// Litmus harness for the memory-order audit (DESIGN.md §12).
+//
+// Each relaxation cluster in the audit is backed here by the classic litmus
+// shape its correctness argument reduces to, run as a many-round two/three-
+// thread loop under the schedule-perturbation layers the repo already has:
+// per-thread fuzz yields (platform/test_memory.hpp) plus the fault layer's
+// chaos profile (platform/fault.hpp) to shear the windows open.  The shapes:
+//
+//   * store-buffering (SB) — the Dekker quartets that deliberately stay
+//     seq_cst: KSUH's activation race, BRAVO's publish/revoke, and GOLL's
+//     metalock-eliding release (fence flavor).  Postcondition: the "both
+//     sides miss each other" outcome is forbidden.
+//   * message-passing (MP) — the release/acquire publication clusters the
+//     audit downgraded from seq_cst: KSUH's link/splice stores, the tail
+//     hand-offs.  Postcondition: observing the flag implies observing the
+//     payload.
+//   * grant-handoff — a lock holder publishes its critical section and
+//     grants via a state store; the woken waiter must see the payload.
+//     Also covers the idempotent double-activation the KSUH argument leans
+//     on.
+//
+// On x86 (TSO) the SB shapes cannot fail even with wrong orders — they are
+// semantic regression tripwires here; the AArch64 CI job is what runs them
+// on a genuinely weak model.  The MP/handoff shapes run the exact order
+// pairs the relaxed code uses, so TSan flags any pairing that no longer
+// establishes happens-before.  The final section runs the two most-relaxed
+// locks (KSUH, BRAVO) whole, under chaos faults, against a non-atomic
+// payload — exclusion bugs surface as TSan races or torn reads.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "locks/bravo.hpp"
+#include "locks/central_rwlock.hpp"
+#include "locks/ksuh_rwlock.hpp"
+#include "platform/fault.hpp"
+#include "platform/test_memory.hpp"
+#include "platform/thread_id.hpp"
+
+namespace oll {
+namespace {
+
+using Cell = TestMemory::Atomic<std::uint32_t>;
+
+// TSan multiplies every yield/draw by ~10x; keep rounds modest so the whole
+// suite stays in seconds under sanitizers.
+constexpr int kRounds = 1500;
+
+// Run one litmus round: spawn a body per entry, each pinned to a dense
+// thread index (deterministic fault-layer streams) with fuzz yields seeded
+// per (round, thread).
+template <typename... Body>
+void litmus_round(std::uint64_t round, Body&&... bodies) {
+  std::vector<std::thread> threads;
+  std::uint32_t idx = 0;
+  (threads.emplace_back([&bodies, round, i = idx++] {
+    ScopedThreadIndex pin(i);
+    FuzzYield::set_seed(round * 6364136223846793005ULL + i + 1);
+    bodies();
+    FuzzYield::set_seed(0);
+  }),
+   ...);
+  for (auto& t : threads) t.join();
+}
+
+class LitmusTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault_enable(fault_profile_chaos(), 1337); }
+  void TearDown() override { fault_disable(); }
+};
+
+// --- store-buffering: the seq_cst Dekker quartets -------------------------
+
+// KSUH activation (ksuh_rwlock.hpp acquire()/cascade()): linker publishes
+// next then reads state; activator stores state then reads next.  Both
+// reading the initial value would lose the wakeup.
+TEST_F(LitmusTest, StoreBufferingKsuhActivation) {
+  for (int r = 0; r < kRounds; ++r) {
+    Cell next{0};
+    Cell state{0};
+    std::uint32_t linker_saw_state = 99;
+    std::uint32_t activator_saw_next = 99;
+    litmus_round(
+        r,
+        [&] {  // linker
+          next.store(1, std::memory_order_seq_cst);  // S_next
+          fault_perturb(FaultSite::kSpinWait);
+          linker_saw_state = state.load(std::memory_order_seq_cst);  // L_state
+        },
+        [&] {  // activator
+          state.store(1, std::memory_order_seq_cst);  // S_state
+          fault_perturb(FaultSite::kSpinWait);
+          activator_saw_next = next.load(std::memory_order_seq_cst);  // L_next
+        });
+    // At least one side must observe the other; both missing is the lost
+    // wakeup the seq_cst quartet forbids.
+    ASSERT_FALSE(linker_saw_state == 0 && activator_saw_next == 0)
+        << "round " << r;
+  }
+}
+
+// BRAVO publish/revoke (bravo.hpp): reader publishes its slot then re-checks
+// the bias flag; writer clears the flag then scans the slot.  A reader that
+// passed the re-check must be visible to the scanning writer.
+TEST_F(LitmusTest, StoreBufferingBravoPublishRevoke) {
+  for (int r = 0; r < kRounds; ++r) {
+    Cell slot{0};
+    Cell rbias{1};
+    std::uint32_t reader_saw_bias = 99;
+    std::uint32_t writer_saw_slot = 99;
+    litmus_round(
+        r,
+        [&] {  // bias-path reader
+          std::uint32_t expected = 0;
+          // Publish (CAS success is the seq_cst Dekker op in the real code).
+          slot.compare_exchange_strong(expected, 1,
+                                       std::memory_order_seq_cst,
+                                       std::memory_order_relaxed);
+          fault_perturb(FaultSite::kSpinWait);
+          reader_saw_bias = rbias.load(std::memory_order_seq_cst);  // re-check
+        },
+        [&] {  // revoking writer
+          rbias.store(0, std::memory_order_seq_cst);  // clear
+          fault_perturb(FaultSite::kSpinWait);
+          writer_saw_slot = slot.load(std::memory_order_seq_cst);  // scan
+        });
+    // reader on bias path && writer saw an empty table = invisible reader.
+    ASSERT_FALSE(reader_saw_bias == 1 && writer_saw_slot == 0)
+        << "round " << r;
+  }
+}
+
+// GOLL metalock-eliding release (goll_lock.hpp): release opens the C-SNZI,
+// fences, re-checks the waiters flag; enqueuer sets the flag, fences,
+// re-checks open.  Both missing = a waiter parked behind an open lock.
+TEST_F(LitmusTest, StoreBufferingGollElidingRelease) {
+  for (int r = 0; r < kRounds; ++r) {
+    Cell open{0};
+    Cell waiters{0};
+    std::uint32_t release_saw_waiters = 99;
+    std::uint32_t enqueuer_saw_open = 99;
+    litmus_round(
+        r,
+        [&] {  // eliding release
+          open.store(1, std::memory_order_relaxed);
+          std::atomic_thread_fence(std::memory_order_seq_cst);
+          fault_perturb(FaultSite::kHolderPreemption);
+          release_saw_waiters = waiters.load(std::memory_order_relaxed);
+        },
+        [&] {  // enqueuer
+          waiters.store(1, std::memory_order_relaxed);
+          std::atomic_thread_fence(std::memory_order_seq_cst);
+          fault_perturb(FaultSite::kQueueHandoff);
+          enqueuer_saw_open = open.load(std::memory_order_relaxed);
+        });
+    ASSERT_FALSE(release_saw_waiters == 0 && enqueuer_saw_open == 0)
+        << "round " << r;
+  }
+}
+
+// --- message-passing: the downgraded release/acquire clusters -------------
+
+// KSUH link/splice publication (prev/next stores downgraded from seq_cst to
+// release, re-read with acquire): observing the link implies observing the
+// node fields published before it.
+TEST_F(LitmusTest, MessagePassingKsuhLinkPublication) {
+  for (int r = 0; r < kRounds; ++r) {
+    std::uint32_t payload = 0;  // non-atomic: TSan proves the hb edge
+    Cell link{0};
+    litmus_round(
+        r,
+        [&] {  // linker: init node fields, then publish the link
+          payload = 42;
+          link.store(1, std::memory_order_release);
+        },
+        [&] {  // neighbor: sees the link -> must see the fields
+          if (link.load(std::memory_order_acquire) == 1) {
+            ASSERT_EQ(payload, 42u) << "round " << r;
+          }
+        });
+  }
+}
+
+// Tail hand-off (KSUH release_as_head's release tail-CAS paired with the
+// next FASer's acquire): the departing head's critical section must be
+// visible to the thread that acquires on the emptied queue.
+TEST_F(LitmusTest, MessagePassingTailHandoff) {
+  for (int r = 0; r < kRounds; ++r) {
+    std::uint32_t cs_data = 0;
+    TestMemory::Atomic<void*> tail{&cs_data};
+    litmus_round(
+        r,
+        [&] {  // departing head: write CS, retreat tail to null
+          cs_data = 7;
+          void* expected = &cs_data;
+          tail.compare_exchange_strong(expected, nullptr,
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed);
+        },
+        [&] {  // next acquirer: FAS the tail; null = lock was free
+          std::uint32_t me = 1;
+          if (tail.exchange(&me, std::memory_order_acq_rel) == nullptr) {
+            ASSERT_EQ(cs_data, 7u) << "round " << r;
+          }
+        });
+  }
+}
+
+// --- grant-handoff --------------------------------------------------------
+
+// A holder publishes its critical section and grants by storing kActive;
+// the waiter spins with acquire and must see the payload.  The cascading
+// second activator exercises the idempotent double-activation the KSUH
+// argument allows: it probes the waiter's state *relaxed* (a stale read
+// only causes a redundant grant), but — exactly as in the real cascade —
+// it has first observed its OWN activation with acquire, so its re-grant
+// carries the payload's visibility via granter -> cascader -> waiter.
+// (An earlier version had the cascader re-grant off the relaxed probe
+// alone, with no acquire edge of its own; TSan correctly flagged the
+// waiter's payload read — the relaxed probe may only gate the store, it
+// must never be the source of the happens-before.)
+TEST_F(LitmusTest, GrantHandoffWithDoubleActivation) {
+  for (int r = 0; r < kRounds; ++r) {
+    std::uint32_t granted_payload = 0;
+    Cell cascader_state{0};
+    Cell state{0};
+    litmus_round(
+        r,
+        [&] {  // granting holder: activates both successors directly
+          granted_payload = 5;
+          fault_perturb(FaultSite::kQueueHandoff);
+          cascader_state.store(1, std::memory_order_seq_cst);
+          state.store(1, std::memory_order_seq_cst);
+        },
+        [&] {  // cascading activator: own activation first, then re-grant
+          while (cascader_state.load(std::memory_order_acquire) != 1) {
+            std::this_thread::yield();
+          }
+          if (state.load(std::memory_order_relaxed) == 0) {
+            state.store(1, std::memory_order_seq_cst);  // idempotent re-grant
+          }
+        },
+        [&] {  // waiter: woken by either activator
+          while (state.load(std::memory_order_acquire) != 1) {
+            std::this_thread::yield();
+          }
+          ASSERT_EQ(granted_payload, 5u) << "round " << r;
+        });
+  }
+}
+
+// --- whole-lock litmus under chaos ----------------------------------------
+
+// The two most-relaxed locks run end-to-end against a non-atomic counter.
+// Exclusion bugs from a wrong downgrade surface as TSan races (writer vs
+// writer, writer vs reader) or as torn/odd observations asserted below.
+template <typename Lock>
+void whole_lock_litmus(Lock& lock, int writers, int readers, int iters) {
+  std::uint64_t counter = 0;  // non-atomic on purpose
+  std::vector<std::thread> threads;
+  for (int w = 0; w < writers; ++w) {
+    threads.emplace_back([&, w] {
+      ScopedThreadIndex pin(static_cast<std::uint32_t>(w));
+      FuzzYield::set_seed(0x9e37 + w);
+      for (int i = 0; i < iters; ++i) {
+        lock.lock();
+        counter += 2;  // even step: readers must never see an odd value
+        lock.unlock();
+      }
+      FuzzYield::set_seed(0);
+    });
+  }
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      ScopedThreadIndex pin(static_cast<std::uint32_t>(writers + r));
+      FuzzYield::set_seed(0x79b9 + r);
+      for (int i = 0; i < iters; ++i) {
+        lock.lock_shared();
+        const std::uint64_t a = counter;
+        const std::uint64_t b = counter;
+        lock.unlock_shared();
+        ASSERT_EQ(a, b);
+        ASSERT_EQ(a % 2, 0u);
+      }
+      FuzzYield::set_seed(0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(writers) * iters * 2);
+}
+
+TEST_F(LitmusTest, WholeLockKsuhUnderChaos) {
+  KsuhRwLock<TestMemory> lock;
+  whole_lock_litmus(lock, /*writers=*/2, /*readers=*/2, /*iters=*/3000);
+}
+
+TEST_F(LitmusTest, WholeLockBravoUnderChaos) {
+  Bravo<CentralRwLock<TestMemory>, TestMemory> lock;
+  whole_lock_litmus(lock, /*writers=*/2, /*readers=*/2, /*iters=*/3000);
+}
+
+}  // namespace
+}  // namespace oll

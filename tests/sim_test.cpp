@@ -44,7 +44,7 @@ TEST(SimAtomic, UntouchedLineChargesLocalClean) {
   Machine m;
   Atomic<int> x{0};
   const auto clock = as_sim_thread(m, 0, [&](ThreadContext&) {
-    x.store(1);
+    x.store(1, std::memory_order_seq_cst);
   });
   EXPECT_EQ(clock, m.costs().local_clean);
 }
@@ -53,8 +53,8 @@ TEST(SimAtomic, OwnedRmwChargesLocal) {
   Machine m;
   Atomic<int> x{0};
   const auto clock = as_sim_thread(m, 0, [&](ThreadContext&) {
-    x.store(1);   // local_clean
-    x.fetch_add(1);  // owned: local_rmw
+    x.store(1, std::memory_order_seq_cst);   // local_clean
+    x.fetch_add(1, std::memory_order_seq_cst);  // owned: local_rmw
   });
   EXPECT_EQ(clock, m.costs().local_clean + m.costs().local_rmw);
 }
@@ -63,8 +63,8 @@ TEST(SimAtomic, CachedLoadIsFree) {
   Machine m;
   Atomic<int> x{0};
   const auto clock = as_sim_thread(m, 0, [&](ThreadContext&) {
-    x.store(1);
-    for (int i = 0; i < 100; ++i) (void)x.load();  // all cache hits
+    x.store(1, std::memory_order_seq_cst);
+    for (int i = 0; i < 100; ++i) (void)x.load(std::memory_order_seq_cst);  // all cache hits
   });
   EXPECT_EQ(clock, m.costs().local_clean);
   EXPECT_EQ(m.counters().l1_hits, 100u);
@@ -73,10 +73,10 @@ TEST(SimAtomic, CachedLoadIsFree) {
 TEST(SimAtomic, SameCoreTransfer) {
   Machine m;
   Atomic<int> x{0};
-  as_sim_thread(m, 0, [&](ThreadContext&) { x.store(1); });
+  as_sim_thread(m, 0, [&](ThreadContext&) { x.store(1, std::memory_order_seq_cst); });
   // tid 1 is an SMT sibling of tid 0 (both core 0): cheap, no penalty.
   const auto clock = as_sim_thread(m, 1, [&](ThreadContext&) {
-    x.exchange(2);
+    x.exchange(2, std::memory_order_seq_cst);
   });
   // Causal sync to the writer's timestamp (local_clean) plus the transfer.
   EXPECT_EQ(clock, m.costs().local_clean + m.costs().samecore_transfer);
@@ -86,10 +86,10 @@ TEST(SimAtomic, SameCoreTransfer) {
 TEST(SimAtomic, OnChipTransferPaysPenalty) {
   Machine m;
   Atomic<int> x{0};
-  as_sim_thread(m, 0, [&](ThreadContext&) { x.store(1); });
+  as_sim_thread(m, 0, [&](ThreadContext&) { x.store(1, std::memory_order_seq_cst); });
   // tid 8 = core 1, chip 0: shared-L2 transfer + migration penalty.
   const auto clock = as_sim_thread(m, 8, [&](ThreadContext&) {
-    x.exchange(2);
+    x.exchange(2, std::memory_order_seq_cst);
   });
   EXPECT_EQ(clock, m.costs().local_clean + m.costs().onchip_transfer +
                        m.costs().migration_penalty);
@@ -98,10 +98,10 @@ TEST(SimAtomic, OnChipTransferPaysPenalty) {
 TEST(SimAtomic, OffChipTransferCostsMost) {
   Machine m;
   Atomic<int> x{0};
-  as_sim_thread(m, 0, [&](ThreadContext&) { x.store(1); });
+  as_sim_thread(m, 0, [&](ThreadContext&) { x.store(1, std::memory_order_seq_cst); });
   // tid 64 = chip 1.
   const auto clock = as_sim_thread(m, 64, [&](ThreadContext&) {
-    x.exchange(2);
+    x.exchange(2, std::memory_order_seq_cst);
   });
   EXPECT_EQ(clock, m.costs().local_clean + m.costs().offchip_transfer +
                        m.costs().migration_penalty);
@@ -115,10 +115,10 @@ TEST(SimAtomic, ReaderClockSyncsPastWriterTimestamp) {
   Atomic<int> x{0};
   as_sim_thread(m, 0, [&](ThreadContext& ctx) {
     ctx.advance(100000);  // writer is far in the virtual future
-    x.store(1);
+    x.store(1, std::memory_order_seq_cst);
   });
   const auto clock = as_sim_thread(m, 64, [&](ThreadContext&) {
-    (void)x.load();
+    (void)x.load(std::memory_order_seq_cst);
   });
   EXPECT_GE(clock, 100000u);
 }
@@ -127,18 +127,18 @@ TEST(SimAtomic, WeakCasFailsOnceOnHotLine) {
   Machine m;
   Atomic<int> x{0};
   // Build a distinct-owner streak >= hot threshold.
-  as_sim_thread(m, 0, [&](ThreadContext&) { x.store(1); });
-  as_sim_thread(m, 8, [&](ThreadContext&) { x.exchange(2); });
-  as_sim_thread(m, 16, [&](ThreadContext&) { x.exchange(3); });
+  as_sim_thread(m, 0, [&](ThreadContext&) { x.store(1, std::memory_order_seq_cst); });
+  as_sim_thread(m, 8, [&](ThreadContext&) { x.exchange(2, std::memory_order_seq_cst); });
+  as_sim_thread(m, 16, [&](ThreadContext&) { x.exchange(3, std::memory_order_seq_cst); });
   as_sim_thread(m, 24, [&](ThreadContext&) {
     int expected = 3;
     // First weak CAS on the hot line: emulated failure, value untouched.
-    EXPECT_FALSE(x.compare_exchange_weak(expected, 4));
+    EXPECT_FALSE(x.compare_exchange_weak(expected, 4, std::memory_order_seq_cst));
     EXPECT_EQ(expected, 3);
-    EXPECT_EQ(x.load(), 3);
+    EXPECT_EQ(x.load(std::memory_order_seq_cst), 3);
     // Immediate retry must pass (the pass token) and really succeed.
-    EXPECT_TRUE(x.compare_exchange_weak(expected, 4));
-    EXPECT_EQ(x.load(), 4);
+    EXPECT_TRUE(x.compare_exchange_weak(expected, 4, std::memory_order_seq_cst));
+    EXPECT_EQ(x.load(std::memory_order_seq_cst), 4);
   });
   EXPECT_EQ(m.counters().emulated_cas_failures, 1u);
 }
@@ -146,12 +146,12 @@ TEST(SimAtomic, WeakCasFailsOnceOnHotLine) {
 TEST(SimAtomic, StrongCasNeverFailsSpuriously) {
   Machine m;
   Atomic<int> x{0};
-  as_sim_thread(m, 0, [&](ThreadContext&) { x.store(1); });
-  as_sim_thread(m, 8, [&](ThreadContext&) { x.exchange(2); });
-  as_sim_thread(m, 16, [&](ThreadContext&) { x.exchange(3); });
+  as_sim_thread(m, 0, [&](ThreadContext&) { x.store(1, std::memory_order_seq_cst); });
+  as_sim_thread(m, 8, [&](ThreadContext&) { x.exchange(2, std::memory_order_seq_cst); });
+  as_sim_thread(m, 16, [&](ThreadContext&) { x.exchange(3, std::memory_order_seq_cst); });
   as_sim_thread(m, 24, [&](ThreadContext&) {
     int expected = 3;
-    EXPECT_TRUE(x.compare_exchange_strong(expected, 4));
+    EXPECT_TRUE(x.compare_exchange_strong(expected, 4, std::memory_order_seq_cst));
   });
   EXPECT_EQ(m.counters().emulated_cas_failures, 0u);
 }
@@ -159,39 +159,66 @@ TEST(SimAtomic, StrongCasNeverFailsSpuriously) {
 TEST(SimAtomic, SameOwnerRepeatsResetStreak) {
   Machine m;
   Atomic<int> x{0};
-  as_sim_thread(m, 0, [&](ThreadContext&) { x.store(1); });
+  as_sim_thread(m, 0, [&](ThreadContext&) { x.store(1, std::memory_order_seq_cst); });
   as_sim_thread(m, 8, [&](ThreadContext&) {
-    x.exchange(2);  // migration, streak 1
-    x.exchange(3);  // owned: streak resets
-    x.exchange(4);
+    x.exchange(2, std::memory_order_seq_cst);  // migration, streak 1
+    x.exchange(3, std::memory_order_seq_cst);  // owned: streak resets
+    x.exchange(4, std::memory_order_seq_cst);
   });
   as_sim_thread(m, 16, [&](ThreadContext&) {
     int expected = 4;
     // Streak is 1 (only our migration): below the hot threshold, no failure.
-    EXPECT_TRUE(x.compare_exchange_weak(expected, 5));
+    EXPECT_TRUE(x.compare_exchange_weak(expected, 5, std::memory_order_seq_cst));
   });
   EXPECT_EQ(m.counters().emulated_cas_failures, 0u);
 }
 
 TEST(SimAtomic, NoContextMeansNoCharging) {
   Atomic<int> x{0};  // no ThreadGuard anywhere
-  x.store(5);
-  EXPECT_EQ(x.load(), 5);
+  x.store(5, std::memory_order_seq_cst);
+  EXPECT_EQ(x.load(std::memory_order_seq_cst), 5);
   int expected = 5;
-  EXPECT_TRUE(x.compare_exchange_weak(expected, 6));
+  EXPECT_TRUE(x.compare_exchange_weak(expected, 6, std::memory_order_seq_cst));
 }
 
 TEST(SimAtomic, ValueSemanticsMatchStdAtomic) {
   Machine m;
   Atomic<std::uint64_t> x{10};
   as_sim_thread(m, 0, [&](ThreadContext&) {
-    EXPECT_EQ(x.fetch_add(5), 10u);
-    EXPECT_EQ(x.fetch_sub(3), 15u);
-    EXPECT_EQ(x.fetch_or(0xF0), 12u);
-    EXPECT_EQ(x.fetch_and(0x0F), 0xFCu);
-    EXPECT_EQ(x.exchange(99), 0x0Cu);
-    EXPECT_EQ(x.load(), 99u);
+    EXPECT_EQ(x.fetch_add(5, std::memory_order_seq_cst), 10u);
+    EXPECT_EQ(x.fetch_sub(3, std::memory_order_seq_cst), 15u);
+    EXPECT_EQ(x.fetch_or(0xF0, std::memory_order_seq_cst), 12u);
+    EXPECT_EQ(x.fetch_and(0x0F, std::memory_order_seq_cst), 0xFCu);
+    EXPECT_EQ(x.exchange(99, std::memory_order_seq_cst), 0x0Cu);
+    EXPECT_EQ(x.load(std::memory_order_seq_cst), 99u);
   });
+}
+
+TEST(SimAtomic, PerOrderCountersRecordRequestedOrders) {
+  // The order histogram feeds the fence-reduction ablation: each op must be
+  // booked under exactly the order the caller requested (CAS: its success
+  // order), so relaxations show up as a seq_cst -> weaker shift.
+  Machine m;
+  Atomic<std::uint64_t> x{0};
+  as_sim_thread(m, 0, [&](ThreadContext&) {
+    x.store(1, std::memory_order_relaxed);
+    (void)x.load(std::memory_order_acquire);
+    x.store(2, std::memory_order_release);
+    (void)x.fetch_add(1, std::memory_order_acq_rel);
+    (void)x.exchange(7, std::memory_order_seq_cst);
+    std::uint64_t expected = 7;
+    (void)x.compare_exchange_strong(expected, 8, std::memory_order_acq_rel,
+                                    std::memory_order_relaxed);
+  });
+  const OpCounters c = m.counters();
+  EXPECT_EQ(c.order_ops[static_cast<int>(std::memory_order_relaxed)], 1u);
+  EXPECT_EQ(c.order_ops[static_cast<int>(std::memory_order_acquire)], 1u);
+  EXPECT_EQ(c.order_ops[static_cast<int>(std::memory_order_release)], 1u);
+  EXPECT_EQ(c.order_ops[static_cast<int>(std::memory_order_acq_rel)], 2u);
+  EXPECT_EQ(c.seq_cst_ops(), 1u);
+  EXPECT_EQ(c.loads + c.rmws,
+            c.order_ops[0] + c.order_ops[2] + c.order_ops[3] + c.order_ops[4] +
+                c.order_ops[5]);
 }
 
 TEST(Machine, MaxClockTracksSlowestThread) {
@@ -217,14 +244,14 @@ TEST(Machine, EpochInvalidatesStaleLineCaches) {
   // cached line versions from the previous epoch.
   Machine m;
   Atomic<int> x{0};
-  as_sim_thread(m, 0, [&](ThreadContext&) { x.store(1); });
+  as_sim_thread(m, 0, [&](ThreadContext&) { x.store(1, std::memory_order_seq_cst); });
   as_sim_thread(m, 1, [&](ThreadContext& ctx) {
-    (void)x.load();  // pays the transfer, caches the line
+    (void)x.load(std::memory_order_seq_cst);  // pays the transfer, caches the line
     const auto c1 = ctx.clock();
-    (void)x.load();  // free hit
+    (void)x.load(std::memory_order_seq_cst);  // free hit
     EXPECT_EQ(ctx.clock(), c1);
     m.reset();       // new epoch while this context is still live
-    (void)x.load();  // stale entry: must pay the same-core transfer again
+    (void)x.load(std::memory_order_seq_cst);  // stale entry: must pay the same-core transfer again
     EXPECT_EQ(ctx.clock(), c1 + m.costs().samecore_transfer);
   });
 }

@@ -16,19 +16,19 @@ namespace {
 TEST(TestMemoryPolicy, AtomicSemanticsPreserved) {
   TestMemory::Atomic<int> x{5};
   FuzzYield::set_seed(12345);  // perturbation on
-  EXPECT_EQ(x.load(), 5);
-  x.store(7);
-  EXPECT_EQ(x.exchange(9), 7);
+  EXPECT_EQ(x.load(std::memory_order_seq_cst), 5);
+  x.store(7, std::memory_order_seq_cst);
+  EXPECT_EQ(x.exchange(9, std::memory_order_seq_cst), 7);
   int expected = 9;
-  EXPECT_TRUE(x.compare_exchange_strong(expected, 11));
+  EXPECT_TRUE(x.compare_exchange_strong(expected, 11, std::memory_order_seq_cst));
   expected = 999;
-  EXPECT_FALSE(x.compare_exchange_strong(expected, 0));
+  EXPECT_FALSE(x.compare_exchange_strong(expected, 0, std::memory_order_seq_cst));
   EXPECT_EQ(expected, 11);
   TestMemory::Atomic<std::uint64_t> y{10};
-  EXPECT_EQ(y.fetch_add(5), 10u);
-  EXPECT_EQ(y.fetch_sub(3), 15u);
-  EXPECT_EQ(y.fetch_or(0xF0), 12u);
-  EXPECT_EQ(y.fetch_and(0x0F), 0xFCu);
+  EXPECT_EQ(y.fetch_add(5, std::memory_order_seq_cst), 10u);
+  EXPECT_EQ(y.fetch_sub(3, std::memory_order_seq_cst), 15u);
+  EXPECT_EQ(y.fetch_or(0xF0, std::memory_order_seq_cst), 12u);
+  EXPECT_EQ(y.fetch_and(0x0F, std::memory_order_seq_cst), 0xFCu);
   FuzzYield::set_seed(0);  // off again
 }
 
@@ -37,9 +37,9 @@ TEST(TestMemoryPolicy, DisabledByDefault) {
   // exercises the path; behavior is "no crash, no hang".
   TestMemory::Atomic<int> x{0};
   for (int i = 0; i < 1000; ++i) {
-    x.fetch_add(1);
+    x.fetch_add(1, std::memory_order_seq_cst);
   }
-  EXPECT_EQ(x.load(), 1000);
+  EXPECT_EQ(x.load(std::memory_order_seq_cst), 1000);
 }
 
 TEST(TestMemoryPolicy, SeedIsPerThread) {
@@ -48,8 +48,8 @@ TEST(TestMemoryPolicy, SeedIsPerThread) {
   std::thread fuzzed([&] {
     FuzzYield::set_seed(42);
     TestMemory::Atomic<int> x{0};
-    for (int i = 0; i < 100; ++i) x.fetch_add(1);
-    EXPECT_EQ(x.load(), 100);
+    for (int i = 0; i < 100; ++i) x.fetch_add(1, std::memory_order_seq_cst);
+    EXPECT_EQ(x.load(std::memory_order_seq_cst), 100);
     FuzzYield::set_seed(0);
     done.store(true);
   });
