@@ -1,0 +1,134 @@
+// Shared flag->config plumbing for the bench binaries.
+//
+// Before this header existed, every sweep binary re-parsed the same dozen
+// flags by hand (fig5a-f via fig5_common.hpp, fig5_all and traffic_table
+// with their own copies); index_traversal would have been the seventh.
+// The helpers below are the single home for that boilerplate:
+//
+//   * parse_lock_list()      --locks=a,b,c -> vector<LockKind>
+//   * parse_sweep_flags()    the full SweepConfig flag set (mode, threads,
+//                            acquires, reps, cs_work, warmup, leaf_map,
+//                            sticky, metalock, cohort_budget, timeout_ns,
+//                            fault_profile, watchdog, pin); returns 0 on
+//                            success, 2 (usage error) after printing a
+//                            message for a malformed value
+//   * run_observability_flags()  the post-sweep --hist/--stats_json/--trace
+//                            pass (DESIGN.md §9)
+//
+// Flag semantics are documented once, in fig5_common.hpp's header comment.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/cli.hpp"
+#include "harness/sweep.hpp"
+#include "platform/fault.hpp"
+
+namespace oll::bench {
+
+// Parse a comma-separated --<key>= lock list; unknown names are skipped
+// with a note.  Returns `fallback` when the flag is absent or nothing
+// parsed.
+inline std::vector<LockKind> parse_lock_list(
+    const Flags& flags, const std::string& key,
+    std::vector<LockKind> fallback) {
+  if (!flags.has(key)) return fallback;
+  std::vector<LockKind> kinds;
+  std::stringstream ss(flags.get(key, ""));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (auto kind = parse_lock_kind(item)) {
+      kinds.push_back(*kind);
+    } else {
+      std::cerr << "# unknown lock kind '" << item << "' skipped\n";
+    }
+  }
+  return kinds.empty() ? fallback : kinds;
+}
+
+// Fill every SweepConfig field the common flag set controls (everything
+// except read_pct and locks, which each binary owns).  Returns 0, or 2
+// after printing a usage error for a malformed value.
+inline int parse_sweep_flags(const Flags& flags, SweepConfig& cfg) {
+  cfg.mode = flags.get("mode", "sim") == "real" ? Mode::kReal : Mode::kSim;
+  const std::uint32_t default_max = cfg.mode == Mode::kSim ? 256 : 16;
+  const auto max_threads =
+      static_cast<std::uint32_t>(flags.get_u64("threads", default_max));
+  cfg.thread_counts = default_thread_counts(max_threads);
+  cfg.acquires_per_thread = flags.get_u64("acquires", 0);
+  cfg.repetitions = static_cast<std::uint32_t>(flags.get_u64("reps", 1));
+  cfg.cs_work = flags.get_u64("cs_work", 0);
+  cfg.warmup_acquires = flags.get_u64("warmup", 0);
+  if (flags.has("leaf_map")) {
+    LeafMapping m;
+    if (parse_leaf_mapping(flags.get("leaf_map", ""), m)) {
+      cfg.leaf_mapping = m;
+    } else {
+      std::cerr
+          << "unknown --leaf_map (want auto|static|thread|smt|llc|numa)\n";
+      return 2;
+    }
+  }
+  if (flags.has("sticky")) {
+    cfg.sticky_arrivals =
+        static_cast<std::uint32_t>(flags.get_u64("sticky", 64));
+  }
+  if (flags.has("metalock")) {
+    if (auto k = parse_metalock_kind(flags.get("metalock", ""))) {
+      cfg.metalock = *k;
+    } else {
+      std::cerr << "unknown --metalock (want tatas|mcs|cohort)\n";
+      return 2;
+    }
+  }
+  if (flags.has("cohort_budget")) {
+    cfg.cohort_budget =
+        static_cast<std::uint32_t>(flags.get_u64("cohort_budget", 32));
+  }
+  cfg.timeout_ns = flags.get_u64("timeout_ns", 0);
+  if (flags.has("fault_profile")) {
+    const std::string profile = flags.get("fault_profile", "off");
+    FaultProfile parsed;
+    if (!fault_profile_from_name(profile.c_str(), &parsed)) {
+      std::cerr
+          << "unknown --fault_profile (want off|jitter|cas|preempt|chaos)\n";
+      return 2;
+    }
+    cfg.fault_profile = profile;
+  }
+  cfg.watchdog = flags.has("watchdog");
+  if (cfg.watchdog && cfg.mode == Mode::kSim) {
+    std::cerr << "# --watchdog is wall-clock based; ignored in sim mode\n";
+  }
+  cfg.pin_threads = flags.has("pin");
+  if (cfg.pin_threads && cfg.mode == Mode::kSim) {
+    std::cerr << "# --pin is host-affinity based; ignored in sim mode\n";
+  }
+  return 0;
+}
+
+// The optional post-sweep observability pass.  Returns 0 (also when no
+// observability flag was given) or 1 on export failure.
+inline int run_observability_flags(const Flags& flags,
+                                   const SweepConfig& cfg) {
+  if (!flags.has("hist") && !flags.has("stats_json") && !flags.has("trace")) {
+    return 0;
+  }
+  ObservabilityConfig obs;
+  obs.sweep = cfg;
+  obs.threads = static_cast<std::uint32_t>(flags.get_u64("obs_threads", 0));
+  obs.stats_json_path = flags.get("stats_json", "");
+  obs.trace_path = flags.get("trace", "");
+  obs.ring_capacity =
+      static_cast<std::uint32_t>(flags.get_u64("trace_ring", 1u << 13));
+  if (!run_observability_pass(std::cout, obs)) {
+    std::cerr << "observability export failed\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace oll::bench

@@ -3,12 +3,10 @@
 // subfigure (fig5a.csv .. fig5f.csv) next to printing to stdout.
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "harness/cli.hpp"
-#include "harness/sweep.hpp"
+#include "bench_common.hpp"
 
 namespace ob = oll::bench;
 
@@ -31,14 +29,9 @@ int main(int argc, char** argv) {
   for (const Sub& sub : subs) {
     ob::SweepConfig cfg;
     cfg.read_pct = sub.read_pct;
-    cfg.mode =
-        flags.get("mode", "sim") == "real" ? ob::Mode::kReal : ob::Mode::kSim;
-    const std::uint32_t default_max = cfg.mode == ob::Mode::kSim ? 256 : 16;
-    cfg.thread_counts = ob::default_thread_counts(
-        static_cast<std::uint32_t>(flags.get_u64("threads", default_max)));
-    cfg.acquires_per_thread = flags.get_u64("acquires", 0);
-    cfg.repetitions = static_cast<std::uint32_t>(flags.get_u64("reps", 1));
-    cfg.locks = oll::figure5_lock_kinds();
+    if (int rc = ob::parse_sweep_flags(flags, cfg); rc != 0) return rc;
+    cfg.locks = ob::parse_lock_list(flags, "locks",
+                                    oll::figure5_lock_kinds());
 
     ob::print_header(std::cout, sub.name, cfg);
     ob::SweepResult result = ob::run_sweep(cfg, /*verbose=*/false);

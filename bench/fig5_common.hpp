@@ -45,12 +45,9 @@
 #pragma once
 
 #include <iostream>
-#include <sstream>
 #include <string>
 
-#include "harness/cli.hpp"
-#include "harness/sweep.hpp"
-#include "platform/fault.hpp"
+#include "bench_common.hpp"
 
 namespace oll::bench {
 
@@ -59,87 +56,14 @@ inline int run_fig5(const std::string& figure_name, std::uint32_t read_pct,
   Flags flags(argc, argv);
   SweepConfig cfg;
   cfg.read_pct = read_pct;
-  cfg.mode = flags.get("mode", "sim") == "real" ? Mode::kReal : Mode::kSim;
-  const std::uint32_t default_max = cfg.mode == Mode::kSim ? 256 : 16;
-  const auto max_threads = static_cast<std::uint32_t>(
-      flags.get_u64("threads", default_max));
-  cfg.thread_counts = default_thread_counts(max_threads);
-  cfg.acquires_per_thread = flags.get_u64("acquires", 0);
-  cfg.repetitions = static_cast<std::uint32_t>(flags.get_u64("reps", 1));
-  cfg.cs_work = flags.get_u64("cs_work", 0);
-  cfg.warmup_acquires = flags.get_u64("warmup", 0);
-  if (flags.has("leaf_map")) {
-    LeafMapping m;
-    if (parse_leaf_mapping(flags.get("leaf_map", ""), m)) {
-      cfg.leaf_mapping = m;
-    } else {
-      std::cerr << "unknown --leaf_map (want auto|static|thread|smt|llc|numa)\n";
-      return 2;
-    }
-  }
-  if (flags.has("sticky")) {
-    cfg.sticky_arrivals = static_cast<std::uint32_t>(flags.get_u64("sticky", 64));
-  }
-  if (flags.has("metalock")) {
-    if (auto k = parse_metalock_kind(flags.get("metalock", ""))) {
-      cfg.metalock = *k;
-    } else {
-      std::cerr << "unknown --metalock (want tatas|mcs|cohort)\n";
-      return 2;
-    }
-  }
-  if (flags.has("cohort_budget")) {
-    cfg.cohort_budget =
-        static_cast<std::uint32_t>(flags.get_u64("cohort_budget", 32));
-  }
-  cfg.timeout_ns = flags.get_u64("timeout_ns", 0);
-  if (flags.has("fault_profile")) {
-    const std::string profile = flags.get("fault_profile", "off");
-    FaultProfile parsed;
-    if (!fault_profile_from_name(profile.c_str(), &parsed)) {
-      std::cerr
-          << "unknown --fault_profile (want off|jitter|cas|preempt|chaos)\n";
-      return 2;
-    }
-    cfg.fault_profile = profile;
-  }
-  cfg.watchdog = flags.has("watchdog");
-  if (cfg.watchdog && cfg.mode == Mode::kSim) {
-    std::cerr << "# --watchdog is wall-clock based; ignored in sim mode\n";
-  }
-  cfg.pin_threads = flags.has("pin");
-  if (cfg.pin_threads && cfg.mode == Mode::kSim) {
-    std::cerr << "# --pin is host-affinity based; ignored in sim mode\n";
-  }
-
-  if (flags.has("locks")) {
-    std::stringstream ss(flags.get("locks", ""));
-    std::string item;
-    while (std::getline(ss, item, ',')) {
-      if (auto kind = parse_lock_kind(item)) cfg.locks.push_back(*kind);
-    }
-  }
-  if (cfg.locks.empty()) cfg.locks = figure5_lock_kinds();
+  if (int rc = parse_sweep_flags(flags, cfg); rc != 0) return rc;
+  cfg.locks = parse_lock_list(flags, "locks", figure5_lock_kinds());
 
   print_header(std::cout, figure_name, cfg);
   SweepResult result = run_sweep(cfg, /*verbose=*/true);
   print_series(std::cout, result);
 
-  if (flags.has("hist") || flags.has("stats_json") || flags.has("trace")) {
-    ObservabilityConfig obs;
-    obs.sweep = cfg;
-    obs.threads =
-        static_cast<std::uint32_t>(flags.get_u64("obs_threads", 0));
-    obs.stats_json_path = flags.get("stats_json", "");
-    obs.trace_path = flags.get("trace", "");
-    obs.ring_capacity =
-        static_cast<std::uint32_t>(flags.get_u64("trace_ring", 1u << 13));
-    if (!run_observability_pass(std::cout, obs)) {
-      std::cerr << "observability export failed\n";
-      return 1;
-    }
-  }
-  return 0;
+  return run_observability_flags(flags, cfg);
 }
 
 }  // namespace oll::bench

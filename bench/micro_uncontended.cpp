@@ -55,5 +55,35 @@ OLL_BENCH_LOCK(StdShared, kStdShared)
 OLL_BENCH_LOCK(BravoGoll, kBravoGoll)
 OLL_BENCH_LOCK(BravoRoll, kBravoRoll)
 OLL_BENCH_LOCK(BravoCentral, kBravoCentral)
+// Versioned wrappers: the pessimistic paths below carry the version bump;
+// BM_OptRead_* is the store-free begin/validate window itself.
+OLL_BENCH_LOCK(OptGoll, kOptGoll)
+OLL_BENCH_LOCK(OptBravoGoll, kOptBravoGoll)
+OLL_BENCH_LOCK(OptCentral, kOptCentral)
+
+namespace {
+
+void opt_read_window(benchmark::State& state, LockKind kind) {
+  auto lock = oll::make_rwlock(kind);
+  std::uint64_t failures = 0;
+  for (auto _ : state) {
+    const std::uint64_t stamp = lock->opt_read_begin();
+    benchmark::DoNotOptimize(stamp);
+    if (!lock->opt_read_validate(stamp)) ++failures;
+  }
+  if (failures != 0) state.SkipWithError("uncontended validation failed");
+}
+
+}  // namespace
+
+#define OLL_BENCH_OPT(name, kind)                                       \
+  void BM_OptRead_##name(benchmark::State& s) {                         \
+    opt_read_window(s, LockKind::kind);                                 \
+  }                                                                     \
+  BENCHMARK(BM_OptRead_##name);
+
+OLL_BENCH_OPT(OptGoll, kOptGoll)
+OLL_BENCH_OPT(OptBravoGoll, kOptBravoGoll)
+OLL_BENCH_OPT(OptCentral, kOptCentral)
 
 BENCHMARK_MAIN();

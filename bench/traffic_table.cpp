@@ -8,11 +8,12 @@
 // how many of them migrate a line between cores or chips.
 //
 // Flags: --threads=N (256) --read_pct=P (100) --acquires=N (500)
+//        --locks=a,b,c (figure-5 legend set)
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "core/factory.hpp"
-#include "harness/cli.hpp"
 #include "harness/driver.hpp"
 
 int main(int argc, char** argv) {
@@ -22,6 +23,8 @@ int main(int argc, char** argv) {
   const auto read_pct =
       static_cast<std::uint32_t>(flags.get_u64("read_pct", 100));
   const std::uint64_t acquires = flags.get_u64("acquires", 500);
+  const std::vector<oll::LockKind> kinds = oll::bench::parse_lock_list(
+      flags, "locks", oll::figure5_lock_kinds());
 
   std::printf("# Per-acquisition coherence traffic, simulated T5440: "
               "%u threads, %u%% reads\n",
@@ -32,7 +35,7 @@ int main(int argc, char** argv) {
   std::printf("%-14s %8s %8s %8s %8s %10s %12s\n", "lock", "rmw", "core",
               "chip", "xchip", "casfail", "acquires/s");
 
-  for (oll::LockKind kind : oll::figure5_lock_kinds()) {
+  for (oll::LockKind kind : kinds) {
     oll::bench::WorkloadConfig cfg;
     cfg.threads = threads;
     cfg.read_pct = read_pct;

@@ -80,13 +80,25 @@ TIMED_ARGS = ["--mode=sim", "--threads=32", "--acquires=400",
               "--locks=goll,foll,roll", "--timeout_ns=200000"]
 TIMED_COUNTERS = ("read_timeouts", "write_timeouts", "read_abandons",
                   "write_abandons")
+# Optimistic read mode series (informational, DESIGN.md §13): the
+# index_traversal latch-coupling bench at a read-only and a 95%-read mix.
+# Records traversal throughput per kind plus the optimistic counters
+# (opt_reads / validation failures / fallbacks) scraped from the bench's
+# "# optstat" comment lines at the top thread count.  Not gated yet: the
+# series is new this snapshot; EXPERIMENTS.md carries the ablation.
+OPT_ARGS = ["--mode=sim", "--threads=64", "--acquires=60",
+            "--locks=opt-goll,bravo-goll,goll"]
+OPT_READ_PCTS = (100, 95)
+OPT_TOP_THREADS = 64
+OPT_COUNTERS = ("opt_reads", "opt_failures", "opt_fallbacks")
 # Informational micro benches (real time; host-dependent).
 MICRO_FILTERS = {
     "micro_csnzi": ("BM_ArriveDepart_Root|BM_ArriveDepart_Adaptive$|"
                     "BM_ArriveDepart_Contended/threads:8$|"
                     "BM_ArriveDepart_Contended_StickyOff/threads:8$|"
                     "BM_TreeArrive_SaturatedLeaf"),
-    "micro_uncontended": "BM_Read_(GOLL|FOLL|ROLL)|BM_Write_(GOLL|FOLL|ROLL)",
+    "micro_uncontended": ("BM_Read_(GOLL|FOLL|ROLL)|"
+                          "BM_Write_(GOLL|FOLL|ROLL)|BM_OptRead_"),
 }
 
 
@@ -189,6 +201,39 @@ def collect_timed(build_dir):
     return metrics
 
 
+def parse_optstat(text, prefix, threads):
+    """index_traversal's "# optstat lock=... threads=... k=v ..." comment
+    lines -> {"<prefix><LOCK>.opt_reads": ..., ...} at one thread count."""
+    metrics = {}
+    for line in text.splitlines():
+        if not line.startswith("# optstat "):
+            continue
+        kv = dict(tok.split("=", 1)
+                  for tok in line[len("# optstat "):].split() if "=" in tok)
+        if int(kv.get("threads", -1)) != threads:
+            continue
+        lock = kv["lock"]
+        for counter in OPT_COUNTERS:
+            metrics[f"{prefix}{lock}.{counter}"] = int(kv[counter])
+        reads = int(kv["opt_reads"])
+        if reads:
+            metrics[f"{prefix}{lock}.failure_rate"] = (
+                int(kv["opt_failures"]) / reads)
+    return metrics
+
+
+def collect_opt(build_dir):
+    """index_traversal at two read mixes -> informational opt.* series."""
+    binary = os.path.join(build_dir, "bench", "index_traversal")
+    metrics = {}
+    for pct in OPT_READ_PCTS:
+        prefix = f"opt.r{pct}."
+        out = run([binary, f"--read_pct={pct}"] + OPT_ARGS)
+        metrics.update(parse_fig5_csv(out, prefix))
+        metrics.update(parse_optstat(out, prefix, OPT_TOP_THREADS))
+    return metrics
+
+
 def collect_micro(build_dir, name, bench_filter):
     binary = os.path.join(build_dir, "bench", name)
     out = run([binary, f"--benchmark_filter={bench_filter}",
@@ -266,6 +311,9 @@ def main():
                                     REALTIME_PREFIX))
     print("bench_smoke: running timed-acquisition series (informational)")
     informational.update(collect_timed(build_dir))
+    print("bench_smoke: running optimistic index-traversal series "
+          "(informational)")
+    informational.update(collect_opt(build_dir))
     if not args.skip_micro:
         for name, flt in MICRO_FILTERS.items():
             print(f"bench_smoke: running {name} (informational)")

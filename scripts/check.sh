@@ -39,18 +39,20 @@ echo "==> observability: OLL_TRACE=0 build (hooks compiled out)"
 cmake -B build-notrace -S . -DOLL_TRACE=0 \
   -DOLL_ENABLE_BENCH=OFF -DOLL_ENABLE_EXAMPLES=OFF
 cmake --build build-notrace -j "${JOBS}" --target lock_conformance_test \
-  histogram_test
+  histogram_test versioned_lock_test
 ./build-notrace/tests/lock_conformance_test >/dev/null
 ./build-notrace/tests/histogram_test >/dev/null
+./build-notrace/tests/versioned_lock_test >/dev/null
 echo "==> OLL_TRACE=0 build + smoke OK"
 
 echo "==> robustness: OLL_FAULTS=0 build (fault hooks compiled out)"
 cmake -B build-nofaults -S . -DOLL_FAULTS=0 \
   -DOLL_ENABLE_BENCH=OFF -DOLL_ENABLE_EXAMPLES=OFF
 cmake --build build-nofaults -j "${JOBS}" --target lock_conformance_test \
-  timed_lock_test
+  timed_lock_test versioned_lock_test
 ./build-nofaults/tests/lock_conformance_test >/dev/null
 ./build-nofaults/tests/timed_lock_test >/dev/null
+./build-nofaults/tests/versioned_lock_test >/dev/null
 echo "==> OLL_FAULTS=0 build + smoke OK"
 
 # litmus_test is the memory-order audit's harness (DESIGN.md §12): its
@@ -61,7 +63,7 @@ TSAN_SUITES=(
   lock_stress_test race_fuzz_test snzi_stress_test bravo_test
   csnzi_test lock_conformance_test foll_roll_test goll_test ksuh_test
   wait_queue_test mutex_test metalock_test orig_snzi_test trace_test
-  histogram_test timed_lock_test litmus_test
+  histogram_test timed_lock_test litmus_test versioned_lock_test
 )
 
 echo "==> tsan: configure + build (tests only)"
@@ -87,7 +89,7 @@ echo "==> tsan: chaos-profile conformance OK"
 
 echo "==> tsan: fault_fuzz smoke (fixed seeds, ~30s)"
 cmake --build build-tsan -j "${JOBS}" --target fault_fuzz
-./build-tsan/tests/fault_fuzz --locks=goll,foll,roll,bravo-goll \
+./build-tsan/tests/fault_fuzz --locks=goll,foll,roll,bravo-goll,opt-goll \
   --profiles=cas,chaos --seeds=1,42 --read_pcts=50,95 --iters=80 \
   --stall_limit_s=120
 

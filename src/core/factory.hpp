@@ -28,6 +28,7 @@
 #include "locks/mcs_rwlock.hpp"
 #include "locks/roll_lock.hpp"
 #include "locks/solaris_rwlock.hpp"
+#include "locks/versioned_rwlock.hpp"
 #include "platform/memory.hpp"
 
 namespace oll {
@@ -47,6 +48,12 @@ enum class LockKind {
   kBravoFoll,
   kBravoRoll,
   kBravoCentral,
+  // Optimistic read mode (locks/versioned_rwlock.hpp) over selected
+  // backends; opt-bravo-goll stacks it on the BRAVO wrap, so pessimistic
+  // fallback readers still get the bias fast path.
+  kOptGoll,
+  kOptBravoGoll,
+  kOptCentral,
 };
 
 inline const char* lock_kind_name(LockKind k) {
@@ -64,6 +71,9 @@ inline const char* lock_kind_name(LockKind k) {
     case LockKind::kBravoFoll: return "BRAVO-FOLL";
     case LockKind::kBravoRoll: return "BRAVO-ROLL";
     case LockKind::kBravoCentral: return "BRAVO-Central";
+    case LockKind::kOptGoll: return "OPT-GOLL";
+    case LockKind::kOptBravoGoll: return "OPT-BRAVO-GOLL";
+    case LockKind::kOptCentral: return "OPT-Central";
   }
   return "?";
 }
@@ -84,6 +94,11 @@ inline std::optional<LockKind> parse_lock_kind(std::string_view s) {
   if (s == "bravo-central" || s == "BRAVO-Central") {
     return LockKind::kBravoCentral;
   }
+  if (s == "opt-goll" || s == "OPT-GOLL") return LockKind::kOptGoll;
+  if (s == "opt-bravo-goll" || s == "OPT-BRAVO-GOLL") {
+    return LockKind::kOptBravoGoll;
+  }
+  if (s == "opt-central" || s == "OPT-Central") return LockKind::kOptCentral;
   return std::nullopt;
 }
 
@@ -99,13 +114,20 @@ inline std::vector<LockKind> all_lock_kinds() {
           LockKind::kMcsRw,     LockKind::kBigReader,
           LockKind::kCentral,   LockKind::kStdShared,
           LockKind::kBravoGoll, LockKind::kBravoFoll,
-          LockKind::kBravoRoll, LockKind::kBravoCentral};
+          LockKind::kBravoRoll, LockKind::kBravoCentral,
+          LockKind::kOptGoll,   LockKind::kOptBravoGoll,
+          LockKind::kOptCentral};
 }
 
 // The BRAVO-wrapped variants, for sweeps comparing bias on/off.
 inline std::vector<LockKind> bravo_lock_kinds() {
   return {LockKind::kBravoGoll, LockKind::kBravoFoll, LockKind::kBravoRoll,
           LockKind::kBravoCentral};
+}
+
+// The kinds with an optimistic read mode (VersionedRwLock wraps).
+inline std::vector<LockKind> opt_lock_kinds() {
+  return {LockKind::kOptGoll, LockKind::kOptBravoGoll, LockKind::kOptCentral};
 }
 
 class AnyRwLock {
@@ -125,6 +147,17 @@ class AnyRwLock {
   virtual bool try_lock_for(std::chrono::nanoseconds timeout) = 0;
   virtual bool try_lock_shared_for(std::chrono::nanoseconds timeout) = 0;
   virtual const char* name() const = 0;
+  // Optimistic read mode (DESIGN.md §13).  The defaults make every kind
+  // total over the erased surface — and make AnyRwLock itself satisfy
+  // OptimisticSharedLockable, so OptGuard<AnyRwLock> works: a kind without
+  // the mode reports supports_optimistic()==false, begins dead-on-arrival
+  // (kInvalidOptStamp) and never validates, which sends any generic retry
+  // loop straight to the pessimistic path.
+  virtual bool supports_optimistic() const { return false; }
+  virtual std::uint64_t opt_read_begin() { return kInvalidOptStamp; }
+  virtual bool opt_read_validate(std::uint64_t /*stamp*/) { return false; }
+  virtual std::uint32_t opt_max_retries() const { return 0; }
+  virtual void count_opt_fallback() {}
   // Operation counters for locks that keep them (others report zeros);
   // exact at quiescence.
   virtual LockStatsSnapshot stats() const { return {}; }
@@ -187,6 +220,40 @@ class RwLockAdapter final : public AnyRwLock {
     } else {
       return deadline_retry(std::chrono::steady_clock::now() + timeout,
                             [&] { return try_lock_shared(); });
+    }
+  }
+
+  bool supports_optimistic() const override {
+    return OptimisticSharedLockable<L>;
+  }
+
+  std::uint64_t opt_read_begin() override {
+    if constexpr (OptimisticSharedLockable<L>) {
+      return impl_.opt_read_begin();
+    } else {
+      return kInvalidOptStamp;
+    }
+  }
+
+  bool opt_read_validate(std::uint64_t stamp) override {
+    if constexpr (OptimisticSharedLockable<L>) {
+      return impl_.opt_read_validate(stamp);
+    } else {
+      return false;
+    }
+  }
+
+  std::uint32_t opt_max_retries() const override {
+    if constexpr (OptimisticSharedLockable<L>) {
+      return impl_.opt_max_retries();
+    } else {
+      return 0;
+    }
+  }
+
+  void count_opt_fallback() override {
+    if constexpr (OptimisticSharedLockable<L>) {
+      impl_.count_opt_fallback();
     }
   }
 
@@ -327,6 +394,40 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
       b.max_threads = o.max_threads;
       return std::make_unique<RwLockAdapter<Bravo<CentralRwLock<M>, M>>>(
           "BRAVO-Central", b, c);
+    }
+    case LockKind::kOptGoll: {
+      GollOptions g;
+      g.max_threads = o.max_threads;
+      g.csnzi = o.csnzi;
+      g.readers_coalesce_over_writers = o.readers_coalesce_over_writers;
+      g.metalock = o.metalock;
+      VersionedOptions v;
+      v.max_threads = o.max_threads;
+      return std::make_unique<
+          RwLockAdapter<VersionedRwLock<GollLock<M>, M>>>("OPT-GOLL", v, g);
+    }
+    case LockKind::kOptBravoGoll: {
+      GollOptions g;
+      g.max_threads = o.max_threads;
+      g.csnzi = o.csnzi;
+      g.readers_coalesce_over_writers = o.readers_coalesce_over_writers;
+      g.metalock = o.metalock;
+      BravoOptions b;
+      b.max_threads = o.max_threads;
+      VersionedOptions v;
+      v.max_threads = o.max_threads;
+      return std::make_unique<
+          RwLockAdapter<VersionedRwLock<Bravo<GollLock<M>, M>, M>>>(
+          "OPT-BRAVO-GOLL", v, b, g);
+    }
+    case LockKind::kOptCentral: {
+      CentralRwOptions c;
+      c.max_threads = o.max_threads;
+      VersionedOptions v;
+      v.max_threads = o.max_threads;
+      return std::make_unique<
+          RwLockAdapter<VersionedRwLock<CentralRwLock<M>, M>>>("OPT-Central",
+                                                               v, c);
     }
   }
   return nullptr;

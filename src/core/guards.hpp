@@ -70,4 +70,53 @@ class WriteGuard {
   L* lock_;
 };
 
+// Guard for one optimistic read attempt (DESIGN.md §13).  Unlike the RAII
+// guards above it holds nothing — construction samples the version stamp,
+// and the *caller* decides what its reads meant by calling validate() at
+// the end of the section:
+//
+//   for (std::uint32_t i = 0; i <= lock.opt_max_retries(); ++i) {
+//     oll::OptGuard g(lock);
+//     if (!g.started()) continue;     // writer active at begin
+//     auto copy = read_fields();      // copy-out only: state may be torn
+//     if (g.validate()) return copy;  // consistent — zero shared stores
+//   }
+//   lock.count_opt_fallback();
+//   oll::ReadGuard g(lock);           // pessimistic fallback
+//   ...
+//
+// Between started() and validate() the section runs with NO lock held: it
+// may observe torn state, must only copy data out (no pointer chasing into
+// memory a writer may free, no side effects on derived values), and must
+// touch concurrently-written words through atomics (relaxed suffices — the
+// version protocol carries the ordering).  validate()==true is never
+// spurious; false may be (fault injection forces failures to exercise this
+// retry loop).  The destructor does nothing: an abandoned attempt has
+// nothing to release.
+template <OptimisticSharedLockable L>
+class OptGuard {
+ public:
+  explicit OptGuard(L& lock) : lock_(&lock), stamp_(lock.opt_read_begin()) {}
+
+  OptGuard(const OptGuard&) = delete;
+  OptGuard& operator=(const OptGuard&) = delete;
+
+  // False iff a writer was inside the lock at begin; the attempt is dead
+  // on arrival (validate() would return false) — restart or fall back.
+  bool started() const noexcept { return stamp_ != kInvalidOptStamp; }
+
+  // Close the section: true iff everything read since construction saw one
+  // consistent version.  May be called at most once meaningfully; restart()
+  // re-opens the guard for another attempt.
+  bool validate() { return lock_->opt_read_validate(stamp_); }
+
+  void restart() { stamp_ = lock_->opt_read_begin(); }
+
+  std::uint64_t stamp() const noexcept { return stamp_; }
+
+ private:
+  L* lock_;
+  std::uint64_t stamp_;
+};
+
 }  // namespace oll

@@ -7,9 +7,13 @@
 //   config.write([&](Config& c) { c.timeout = 30; });
 #pragma once
 
+#include <cstdint>
+#include <type_traits>
 #include <utility>
 
+#include "core/guards.hpp"
 #include "core/rwlock_concepts.hpp"
+#include "platform/backoff.hpp"
 
 namespace oll {
 
@@ -44,6 +48,49 @@ class RwProtected {
       ~Release() { l.unlock(); }
     } release{lock_};
     return std::forward<F>(f)(value_);
+  }
+
+  // Optimistic (OCC) shared access over an OptimisticSharedLockable lock
+  // (DESIGN.md §13): run `f` against the value WITHOUT acquiring anything,
+  // then validate; on validation failure discard f's result and re-run it,
+  // falling back to the pessimistic read() after the lock's retry budget.
+  // A validated call touched zero shared cache lines beyond two loads of
+  // the lock's version word.
+  //
+  // Torn-read-safe copy discipline — because f runs unprotected, a
+  // concurrent writer may be mutating the value mid-call, so f must:
+  //   * treat the value as potentially *inconsistent* (any mix of old and
+  //     new field values) and only compute/copy, never follow owned
+  //     pointers that a writer might free or assert cross-field invariants;
+  //   * read fields a writer may touch through atomics (std::atomic /
+  //     std::atomic_ref members, relaxed is enough) so the racing loads are
+  //     defined behavior;
+  //   * be side-effect free on failure: anything derived from a run whose
+  //     validate() failed is discarded here and must not have escaped.
+  // For a non-atomic T those constraints are on the caller's honor, exactly
+  // as with every seqlock; when in doubt use read().
+  //
+  // On locks with no optimistic mode this degrades to read() statically.
+  template <typename F>
+  decltype(auto) read_optimistic(F&& f) const {
+    if constexpr (OptimisticSharedLockable<Lock>) {
+      using R = std::invoke_result_t<F&, const T&>;
+      ExponentialBackoff backoff;
+      for (std::uint32_t i = 0; i <= lock_.opt_max_retries(); ++i) {
+        if (i != 0) backoff.backoff();  // writer likely active: let it drain
+        OptGuard<Lock> g(lock_);
+        if (!g.started()) continue;
+        if constexpr (std::is_void_v<R>) {
+          f(static_cast<const T&>(value_));
+          if (g.validate()) return;
+        } else {
+          R result = f(static_cast<const T&>(value_));
+          if (g.validate()) return result;
+        }
+      }
+      lock_.count_opt_fallback();
+    }
+    return read(std::forward<F>(f));
   }
 
   // Copy the value out under a read lock.

@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <concepts>
+#include <cstdint>
 
 namespace oll {
 
@@ -53,5 +54,28 @@ concept TimedSharedLockable =
       { l.try_lock_until(tp) } -> std::convertible_to<bool>;
       { l.try_lock_shared_until(tp) } -> std::convertible_to<bool>;
     };
+
+// Optimistic (seqlock/OCC) read mode (DESIGN.md §13).  opt_read_begin()
+// samples a version stamp — kInvalidOptStamp means a writer was active and
+// the optimistic attempt must not even start.  The caller then reads the
+// protected data *without holding anything* (so it may observe torn state
+// and must restrict itself to copy-out; see RwProtected::read_optimistic for
+// the discipline) and finishes with opt_read_validate(stamp): true iff no
+// writer ran between begin and validate, i.e. every value read belongs to a
+// single consistent version.  On false the caller discards what it read and
+// retries or falls back to lock_shared().  opt_max_retries() is the lock's
+// suggested retry budget before falling back; count_opt_fallback() lets the
+// retry harness attribute the fallback to this lock's stats.
+template <typename L>
+concept OptimisticSharedLockable = SharedLockable<L> && requires(L& l) {
+  { l.opt_read_begin() } -> std::convertible_to<std::uint64_t>;
+  { l.opt_read_validate(std::uint64_t{}) } -> std::convertible_to<bool>;
+  { l.opt_max_retries() } -> std::convertible_to<std::uint32_t>;
+  l.count_opt_fallback();
+};
+
+// Sentinel stamp returned by opt_read_begin() when a writer holds (or is
+// entering) the lock: opt_read_validate(kInvalidOptStamp) is always false.
+inline constexpr std::uint64_t kInvalidOptStamp = ~std::uint64_t{0};
 
 }  // namespace oll

@@ -171,6 +171,9 @@ void write_lock_stats_json(std::ostream& out, const LockStatsSnapshot& s) {
       << ",\"read_abandons\":" << s.read_abandons
       << ",\"write_abandons\":" << s.write_abandons
       << ",\"revoke_timeouts\":" << s.revoke_timeouts
+      << ",\"opt_reads\":" << s.opt_reads
+      << ",\"opt_validation_failures\":" << s.opt_validation_failures
+      << ",\"opt_fallbacks\":" << s.opt_fallbacks
       << ",\"read_acquire\":";
   write_histogram_json(out, s.read_acquire);
   out << ",\"write_acquire\":";
@@ -179,6 +182,8 @@ void write_lock_stats_json(std::ostream& out, const LockStatsSnapshot& s) {
   write_histogram_json(out, s.writer_wait);
   out << ",\"timed_acquire\":";
   write_histogram_json(out, s.timed_acquire);
+  out << ",\"opt_read\":";
+  write_histogram_json(out, s.opt_read);
 }
 
 bool run_observability_pass(std::ostream& os,

@@ -23,6 +23,9 @@ const char* slice_name(TraceEventType t) {
     case TraceEventType::kQueueEnter:
     case TraceEventType::kQueueExit:
       return "queue_wait";
+    case TraceEventType::kOptReadBegin:
+    case TraceEventType::kOptReadEnd:
+      return "opt_read";
     default:
       return trace_event_name(t);
   }
@@ -31,13 +34,15 @@ const char* slice_name(TraceEventType t) {
 bool is_begin(TraceEventType t) {
   return t == TraceEventType::kReadAcquireBegin ||
          t == TraceEventType::kWriteAcquireBegin ||
-         t == TraceEventType::kQueueEnter;
+         t == TraceEventType::kQueueEnter ||
+         t == TraceEventType::kOptReadBegin;
 }
 
 bool is_end(TraceEventType t) {
   return t == TraceEventType::kReadAcquireEnd ||
          t == TraceEventType::kWriteAcquireEnd ||
-         t == TraceEventType::kQueueExit;
+         t == TraceEventType::kQueueExit ||
+         t == TraceEventType::kOptReadEnd;
 }
 
 void write_escaped(std::ostream& out, std::string_view s) {

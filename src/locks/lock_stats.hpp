@@ -73,6 +73,17 @@ struct LockStatsSnapshot {
   std::uint64_t write_abandons = 0;
   std::uint64_t revoke_timeouts = 0;
 
+  // Optimistic read mode (locks/versioned_rwlock.hpp, DESIGN.md §13).
+  // opt_reads counts validated (consistent) optimistic reads — the reads
+  // that touched zero shared cache lines for their whole duration;
+  // opt_validation_failures counts attempts a writer (or injected fault)
+  // invalidated, whether at begin (stamp odd) or at validate (stamp moved);
+  // opt_fallbacks counts retry loops that exhausted their budget and took
+  // the pessimistic shared path (those reads also appear in read_*).
+  std::uint64_t opt_reads = 0;
+  std::uint64_t opt_validation_failures = 0;
+  std::uint64_t opt_fallbacks = 0;
+
   // Latency distributions in trace-clock units (ns real / cycles sim);
   // populated only while latency timing is runtime-enabled.  writer_wait
   // covers the interval a writer spends waiting for the lock after missing
@@ -84,6 +95,9 @@ struct LockStatsSnapshot {
   // Latency of try_*_for calls, successful or not (a timeout contributes
   // roughly its deadline).  Fed under the same runtime-timing gate.
   HistogramSnapshot timed_acquire{};
+  // Begin-to-validate latency of *successful* optimistic reads (failures
+  // restart and land here only once they eventually validate).
+  HistogramSnapshot opt_read{};
 
   std::uint64_t reads() const { return read_fast + read_queued + read_bias; }
   std::uint64_t writes() const { return write_fast + write_queued; }
@@ -106,10 +120,14 @@ struct LockStatsSnapshot {
     read_abandons += o.read_abandons;
     write_abandons += o.write_abandons;
     revoke_timeouts += o.revoke_timeouts;
+    opt_reads += o.opt_reads;
+    opt_validation_failures += o.opt_validation_failures;
+    opt_fallbacks += o.opt_fallbacks;
     read_acquire += o.read_acquire;
     write_acquire += o.write_acquire;
     writer_wait += o.writer_wait;
     timed_acquire += o.timed_acquire;
+    opt_read += o.opt_read;
     return *this;
   }
 
@@ -134,10 +152,14 @@ struct LockStatsSnapshot {
     read_abandons -= o.read_abandons;
     write_abandons -= o.write_abandons;
     revoke_timeouts -= o.revoke_timeouts;
+    opt_reads -= o.opt_reads;
+    opt_validation_failures -= o.opt_validation_failures;
+    opt_fallbacks -= o.opt_fallbacks;
     read_acquire -= o.read_acquire;
     write_acquire -= o.write_acquire;
     writer_wait -= o.writer_wait;
     timed_acquire -= o.timed_acquire;
+    opt_read -= o.opt_read;
     return *this;
   }
 };
@@ -157,6 +179,11 @@ class LockStats {
   void count_read_abandon() { bump(slots_.local().read_abandons); }
   void count_write_abandon() { bump(slots_.local().write_abandons); }
   void count_revoke_timeout() { bump(slots_.local().revoke_timeouts); }
+  void count_opt_read() { bump(slots_.local().opt_reads); }
+  void count_opt_validation_failure() {
+    bump(slots_.local().opt_validation_failures);
+  }
+  void count_opt_fallback() { bump(slots_.local().opt_fallbacks); }
 
   // Histogram feeds; call only when the caller's ObsTimer was armed (the
   // locks guard on it), so a disabled run never touches these lines.
@@ -172,6 +199,7 @@ class LockStats {
   void record_timed_acquire(std::uint64_t d) {
     slots_.local().timed_acquire.add(d);
   }
+  void record_opt_read(std::uint64_t d) { slots_.local().opt_read.add(d); }
 
   // Aggregate across threads.  Not linearizable with respect to concurrent
   // updates (relaxed loads of live counters); call at quiescence for exact
@@ -194,10 +222,15 @@ class LockStats {
           s.write_abandons.load(std::memory_order_relaxed);
       total.revoke_timeouts +=
           s.revoke_timeouts.load(std::memory_order_relaxed);
+      total.opt_reads += s.opt_reads.load(std::memory_order_relaxed);
+      total.opt_validation_failures +=
+          s.opt_validation_failures.load(std::memory_order_relaxed);
+      total.opt_fallbacks += s.opt_fallbacks.load(std::memory_order_relaxed);
       s.read_acquire.snapshot_into(total.read_acquire);
       s.write_acquire.snapshot_into(total.write_acquire);
       s.writer_wait.snapshot_into(total.writer_wait);
       s.timed_acquire.snapshot_into(total.timed_acquire);
+      s.opt_read.snapshot_into(total.opt_read);
     }
     return total;
   }
@@ -219,10 +252,14 @@ class LockStats {
       s.read_abandons.store(0, std::memory_order_relaxed);
       s.write_abandons.store(0, std::memory_order_relaxed);
       s.revoke_timeouts.store(0, std::memory_order_relaxed);
+      s.opt_reads.store(0, std::memory_order_relaxed);
+      s.opt_validation_failures.store(0, std::memory_order_relaxed);
+      s.opt_fallbacks.store(0, std::memory_order_relaxed);
       s.read_acquire.reset();
       s.write_acquire.reset();
       s.writer_wait.reset();
       s.timed_acquire.reset();
+      s.opt_read.reset();
     }
   }
 
@@ -239,10 +276,14 @@ class LockStats {
     std::atomic<std::uint64_t> read_abandons{0};
     std::atomic<std::uint64_t> write_abandons{0};
     std::atomic<std::uint64_t> revoke_timeouts{0};
+    std::atomic<std::uint64_t> opt_reads{0};
+    std::atomic<std::uint64_t> opt_validation_failures{0};
+    std::atomic<std::uint64_t> opt_fallbacks{0};
     AtomicHistogram read_acquire;
     AtomicHistogram write_acquire;
     AtomicHistogram writer_wait;
     AtomicHistogram timed_acquire;
+    AtomicHistogram opt_read;
   };
 
   // Single-writer slot: a relaxed load+store increment cannot be lost and

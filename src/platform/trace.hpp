@@ -53,9 +53,17 @@ enum class TraceEventType : std::uint8_t {
   kBiasRevoke,  // BRAVO writer revoked reader bias
   kCsnziClose,  // a C-SNZI transitioned open -> closed
   kCsnziOpen,   // a C-SNZI transitioned closed -> open
+  // Optimistic read mode (locks/versioned_rwlock.hpp).  Begin/End bracket
+  // one begin-to-validate attempt (successful or not); ValidationFail and
+  // Fallback are instants at the failing validate / the retry loop's
+  // surrender to the pessimistic path.
+  kOptReadBegin,
+  kOptReadEnd,
+  kOptValidationFail,
+  kOptFallback,
 };
 
-inline constexpr std::uint32_t kTraceEventTypeCount = 11;
+inline constexpr std::uint32_t kTraceEventTypeCount = 15;
 
 inline const char* trace_event_name(TraceEventType t) {
   switch (t) {
@@ -70,6 +78,10 @@ inline const char* trace_event_name(TraceEventType t) {
     case TraceEventType::kBiasRevoke: return "bias_revoke";
     case TraceEventType::kCsnziClose: return "csnzi_close";
     case TraceEventType::kCsnziOpen: return "csnzi_open";
+    case TraceEventType::kOptReadBegin: return "opt_read_begin";
+    case TraceEventType::kOptReadEnd: return "opt_read_end";
+    case TraceEventType::kOptValidationFail: return "opt_validation_fail";
+    case TraceEventType::kOptFallback: return "opt_fallback";
   }
   return "?";
 }

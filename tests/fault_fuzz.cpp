@@ -15,7 +15,10 @@
 // counter mismatch, and must still name the configuration that found it.
 //
 // Flags (comma-separated lists sweep the cross product):
-//   --locks=a,b       lock kinds (default goll,foll,roll,bravo-goll)
+//   --locks=a,b       lock kinds (default goll,foll,roll,bravo-goll,
+//                     opt-goll; opt-* kinds add an optimistic read style
+//                     with a torn-payload oracle plus a planted-writer
+//                     check that validate() never lies under injection)
 //   --profiles=a,b    fault profiles (default jitter,cas,preempt,chaos)
 //   --seeds=a,b       injection seeds (default 1,2,42)
 //   --read_pcts=a,b   read percentages (default 0,50,95)
@@ -105,7 +108,16 @@ struct RunOutcome {
   std::uint64_t violations = 0;
   std::uint64_t counter = 0;
   std::uint64_t writes = 0;
-  bool failed() const { return violations != 0 || counter != writes; }
+  // Optimistic-mode oracles (opt-* kinds; always 0 elsewhere): validated
+  // windows that observed a torn payload, and planted-writer windows that
+  // validated anyway.  Injection may force spurious validation FAILURES,
+  // never spurious successes, so both must stay 0 under every profile.
+  std::uint64_t torn_reads = 0;
+  std::uint64_t planted_validations = 0;
+  bool failed() const {
+    return violations != 0 || counter != writes || torn_reads != 0 ||
+           planted_validations != 0;
+  }
 };
 
 // One configuration, one fresh lock.  The op mix interleaves blocking,
@@ -128,6 +140,13 @@ RunOutcome run_config(const FuzzConfig& cfg, std::uint64_t stall_limit_s) {
   std::atomic<std::uint64_t> writes{0};
   std::atomic<std::uint64_t> progress{0};
   std::atomic<bool> done{false};
+  // Two-word payload for the optimistic torn-read oracle: writers keep the
+  // pair equal inside their write sections; a VALIDATED optimistic window
+  // must never observe it unequal.
+  const bool optimistic = lock->supports_optimistic();
+  std::atomic<std::uint64_t> pay_a{0};
+  std::atomic<std::uint64_t> pay_b{0};
+  std::atomic<std::uint64_t> torn{0};
 
   std::vector<std::thread> workers;
   workers.reserve(cfg.threads);
@@ -145,14 +164,28 @@ RunOutcome run_config(const FuzzConfig& cfg, std::uint64_t stall_limit_s) {
             style == 2 ? 0 : (rng.bernoulli(1, 2) ? 50'000 : 200'000));
         bool ok = true;
         if (read) {
-          if (style == 0) {
+          if (optimistic && style == 3) {
+            // Optimistic window: lock-free, so the enter/exit oracle does
+            // not apply (a concurrent writer is legal); the torn-payload
+            // pair is the oracle instead.
+            const std::uint64_t stamp = lock->opt_read_begin();
+            if (stamp != kInvalidOptStamp) {
+              const std::uint64_t va =
+                  pay_a.load(std::memory_order_relaxed);
+              const std::uint64_t vb =
+                  pay_b.load(std::memory_order_relaxed);
+              if (lock->opt_read_validate(stamp) && va != vb) {
+                torn.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+          } else if (style == 0) {
             lock->lock_shared();
           } else if (style == 1) {
             ok = lock->try_lock_shared();
           } else {
             ok = lock->try_lock_shared_for(timeout);
           }
-          if (ok) {
+          if (ok && !(optimistic && style == 3)) {
             oracle.reader_enter();
             oracle.reader_exit();
             lock->unlock_shared();
@@ -168,6 +201,11 @@ RunOutcome run_config(const FuzzConfig& cfg, std::uint64_t stall_limit_s) {
           if (ok) {
             oracle.writer_enter();
             ++oracle.unprotected_counter;
+            pay_a.store(pay_a.load(std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
+            fault_perturb(FaultSite::kHolderPreemption);
+            pay_b.store(pay_b.load(std::memory_order_relaxed) + 1,
+                        std::memory_order_relaxed);
             oracle.writer_exit();
             lock->unlock();
             ++local_writes;
@@ -211,12 +249,26 @@ RunOutcome run_config(const FuzzConfig& cfg, std::uint64_t stall_limit_s) {
   for (auto& t : workers) t.join();
   done.store(true, std::memory_order_release);
   monitor.join();
+
+  // Planted-writer oracle (injection still armed): a window a writer
+  // provably intervened in must NEVER validate.  Forced cas failures only
+  // push validate toward false, so this holds under every profile.
+  RunOutcome out;
+  if (optimistic) {
+    for (int i = 0; i < 32; ++i) {
+      const std::uint64_t stamp = lock->opt_read_begin();
+      if (stamp == kInvalidOptStamp) continue;
+      lock->lock();
+      lock->unlock();
+      if (lock->opt_read_validate(stamp)) ++out.planted_validations;
+    }
+  }
   fault_disable();
 
-  RunOutcome out;
   out.violations = oracle.violations();
   out.counter = oracle.unprotected_counter;
   out.writes = writes.load(std::memory_order_relaxed);
+  out.torn_reads = torn.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -269,7 +321,7 @@ std::vector<std::string> split_list(const std::string& s) {
 int main(int argc, char** argv) {
   oll::bench::Flags flags(argc, argv);
   const auto lock_tokens =
-      split_list(flags.get("locks", "goll,foll,roll,bravo-goll"));
+      split_list(flags.get("locks", "goll,foll,roll,bravo-goll,opt-goll"));
   const auto profiles =
       split_list(flags.get("profiles", "jitter,cas,preempt,chaos"));
   const auto seed_tokens = split_list(flags.get("seeds", "1,2,42"));
@@ -309,10 +361,14 @@ int main(int argc, char** argv) {
           if (!out.failed()) continue;
           std::fprintf(stderr,
                        "[fault_fuzz] VIOLATION: %llu oracle violations, "
-                       "counter %llu vs %llu writes\n",
+                       "counter %llu vs %llu writes, %llu torn optimistic "
+                       "reads, %llu planted-writer validations\n",
                        static_cast<unsigned long long>(out.violations),
                        static_cast<unsigned long long>(out.counter),
-                       static_cast<unsigned long long>(out.writes));
+                       static_cast<unsigned long long>(out.writes),
+                       static_cast<unsigned long long>(out.torn_reads),
+                       static_cast<unsigned long long>(
+                           out.planted_validations));
           const FuzzConfig minimal =
               no_shrink ? cfg : shrink(cfg, stall_limit_s);
           std::fprintf(stderr, "[fault_fuzz] repro: %s\n",

@@ -35,6 +35,7 @@
 #include "locks/bravo.hpp"
 #include "locks/central_rwlock.hpp"
 #include "locks/ksuh_rwlock.hpp"
+#include "locks/versioned_rwlock.hpp"
 #include "platform/fault.hpp"
 #include "platform/test_memory.hpp"
 #include "platform/thread_id.hpp"
@@ -208,6 +209,68 @@ TEST_F(LitmusTest, MessagePassingTailHandoff) {
   }
 }
 
+// Versioned stamp publication (versioned_rwlock.hpp writer_exit paired
+// with opt_read_begin): the writer's even release-store of the version is
+// the only edge that makes its critical-section stores visible to an
+// optimistic reader, whose begin is a plain acquire load.  Non-atomic
+// payload: TSan proves the happens-before.
+TEST_F(LitmusTest, MessagePassingVersionStampPublication) {
+  for (int r = 0; r < kRounds; ++r) {
+    std::uint32_t payload = 0;
+    Cell version{0};
+    litmus_round(
+        r,
+        [&] {  // writer: enter (odd), mutate, exit (even, release)
+          version.store(1, std::memory_order_relaxed);
+          std::atomic_thread_fence(std::memory_order_release);
+          payload = 42;
+          fault_perturb(FaultSite::kHolderPreemption);
+          version.store(2, std::memory_order_release);
+        },
+        [&] {  // optimistic reader: even stamp -> writer's stores visible
+          const std::uint32_t v =
+              version.load(std::memory_order_acquire);  // opt_read_begin
+          if (v == 2) {
+            ASSERT_EQ(payload, 42u) << "round " << r;
+          }
+        });
+  }
+}
+
+// Versioned stamp validation, fence flavor (writer_enter's relaxed store +
+// release fence paired with opt_read_validate's acquire fence + relaxed
+// reload): a reader whose validate still sees the PRE-writer stamp cannot
+// have observed any of the writer's payload stores.  The payload is a
+// relaxed atomic — exactly the copy discipline rw_protected.hpp requires
+// inside optimistic sections, because these loads intentionally race.
+TEST_F(LitmusTest, MessagePassingVersionStampValidate) {
+  for (int r = 0; r < kRounds; ++r) {
+    Cell payload{0};
+    Cell version{0};
+    litmus_round(
+        r,
+        [&] {  // writer: odd stamp BEFORE any payload store
+          version.store(1, std::memory_order_relaxed);
+          std::atomic_thread_fence(std::memory_order_release);
+          fault_perturb(FaultSite::kHolderPreemption);
+          payload.store(7, std::memory_order_relaxed);
+          version.store(2, std::memory_order_release);
+        },
+        [&] {  // reader: begin with stamp 0, read, validate
+          if (version.load(std::memory_order_acquire) != 0) return;
+          const std::uint32_t seen =
+              payload.load(std::memory_order_relaxed);
+          fault_perturb(FaultSite::kSpinWait);
+          std::atomic_thread_fence(std::memory_order_acquire);  // validate
+          if (version.load(std::memory_order_relaxed) == 0) {
+            // Validated against stamp 0: the window was writer-free, so the
+            // writer's store must not have been visible inside it.
+            ASSERT_EQ(seen, 0u) << "round " << r;
+          }
+        });
+  }
+}
+
 // --- grant-handoff --------------------------------------------------------
 
 // A holder publishes its critical section and grants by storing kActive;
@@ -299,6 +362,55 @@ TEST_F(LitmusTest, WholeLockKsuhUnderChaos) {
 TEST_F(LitmusTest, WholeLockBravoUnderChaos) {
   Bravo<CentralRwLock<TestMemory>, TestMemory> lock;
   whole_lock_litmus(lock, /*writers=*/2, /*readers=*/2, /*iters=*/3000);
+}
+
+// The versioned wrapper end-to-end under chaos: writers mutate a two-word
+// payload under the lock; readers use raw begin/validate windows with the
+// relaxed-atomic copy discipline.  A validated window observing the pair
+// inconsistent means the stamp protocol's fences are wrong; TSan
+// additionally checks every edge the two MP shapes above isolate.
+TEST_F(LitmusTest, WholeLockVersionedOptimisticUnderChaos) {
+  VersionedRwLock<CentralRwLock<TestMemory>, TestMemory> lock;
+  Cell a{0};
+  Cell b{0};
+  std::vector<std::thread> threads;
+  constexpr int kIters = 3000;
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&, w] {
+      ScopedThreadIndex pin(static_cast<std::uint32_t>(w));
+      FuzzYield::set_seed(0x9e37 + w);
+      for (int i = 0; i < kIters; ++i) {
+        lock.lock();
+        a.store(a.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+        fault_perturb(FaultSite::kHolderPreemption);
+        b.store(b.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+        lock.unlock();
+      }
+      FuzzYield::set_seed(0);
+    });
+  }
+  std::atomic<std::uint64_t> torn{0};
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&, r] {
+      ScopedThreadIndex pin(static_cast<std::uint32_t>(2 + r));
+      FuzzYield::set_seed(0x79b9 + r);
+      for (int i = 0; i < kIters; ++i) {
+        const std::uint64_t stamp = lock.opt_read_begin();
+        if (stamp == kInvalidOptStamp) continue;
+        const std::uint32_t va = a.load(std::memory_order_relaxed);
+        const std::uint32_t vb = b.load(std::memory_order_relaxed);
+        if (lock.opt_read_validate(stamp) && va != vb) {
+          torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      FuzzYield::set_seed(0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(torn.load(), 0u) << "validated window saw a torn payload";
+  EXPECT_EQ(a.load(std::memory_order_relaxed), 2u * kIters);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/factory.hpp"
+#include "platform/fault.hpp"
 #include "platform/rng.hpp"
 #include "platform/spin.hpp"
 #include "lock_test_utils.hpp"
@@ -423,6 +424,141 @@ TEST_P(GollMetalockConformance, TrySemanticsUnaffectedByMetalockKind) {
   lock->unlock_shared();
 }
 
+// Optimistic read mode (DESIGN.md §13), over every opt-* kind: the
+// version-stamp contract is that a validated window is writer-free, and
+// conversely that a window a writer intervened in never validates.  The
+// positive assertions (validate succeeds with no writer) are skipped when
+// process-wide fault injection is armed, because the cas profile forces
+// spurious validation failures by design; the negative assertions hold
+// unconditionally — injection may flip true->false, never false->true.
+class OptimisticReadConformance
+    : public ::testing::TestWithParam<LockKind> {
+ protected:
+  std::unique_ptr<AnyRwLock> make() {
+    LockFactoryOptions o;
+    o.max_threads = 64;
+    return make_rwlock(GetParam(), o);
+  }
+};
+
+TEST_P(OptimisticReadConformance, ReportsSupportAndRetryBudget) {
+  auto lock = make();
+  EXPECT_TRUE(lock->supports_optimistic());
+  EXPECT_GT(lock->opt_max_retries(), 0u);
+}
+
+TEST_P(OptimisticReadConformance, UncontendedWindowValidates) {
+  auto lock = make();
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t stamp = lock->opt_read_begin();
+    ASSERT_NE(stamp, kInvalidOptStamp);
+    if (!fault_injection_enabled()) {
+      EXPECT_TRUE(lock->opt_read_validate(stamp));
+    } else {
+      lock->opt_read_validate(stamp);  // outcome free; must not wedge
+    }
+  }
+  if (!fault_injection_enabled()) {
+    EXPECT_EQ(lock->stats().opt_reads, 1000u);
+    EXPECT_EQ(lock->stats().opt_validation_failures, 0u);
+  }
+}
+
+TEST_P(OptimisticReadConformance, WriterInterventionFailsValidation) {
+  auto lock = make();
+  const std::uint64_t stamp = lock->opt_read_begin();
+  ASSERT_NE(stamp, kInvalidOptStamp);
+  lock->lock();
+  lock->unlock();
+  EXPECT_FALSE(lock->opt_read_validate(stamp));
+  EXPECT_GE(lock->stats().opt_validation_failures, 1u);
+}
+
+TEST_P(OptimisticReadConformance, BeginWhileWriterHeldIsInvalid) {
+  auto lock = make();
+  lock->lock();
+  EXPECT_EQ(lock->opt_read_begin(), kInvalidOptStamp);
+  EXPECT_FALSE(lock->opt_read_validate(kInvalidOptStamp));
+  lock->unlock();
+  // The lock must recover: a fresh window works once the writer is gone.
+  const std::uint64_t stamp = lock->opt_read_begin();
+  ASSERT_NE(stamp, kInvalidOptStamp);
+}
+
+TEST_P(OptimisticReadConformance, ReadersDoNotFailEachOther) {
+  // Optimistic windows are invisible to one another AND to pessimistic
+  // readers: only writers bump the version.
+  auto lock = make();
+  const std::uint64_t outer = lock->opt_read_begin();
+  ASSERT_NE(outer, kInvalidOptStamp);
+  const std::uint64_t inner = lock->opt_read_begin();
+  EXPECT_EQ(inner, outer);
+  lock->lock_shared();
+  lock->unlock_shared();
+  if (!fault_injection_enabled()) {
+    EXPECT_TRUE(lock->opt_read_validate(inner));
+    EXPECT_TRUE(lock->opt_read_validate(outer));
+  }
+}
+
+TEST_P(OptimisticReadConformance, NoTornReadsUnderConcurrentWriters) {
+  // The end-to-end OCC oracle: writers keep a two-word payload equal under
+  // the write latch (with a yield inside the update to widen the torn
+  // window); any optimistic window that VALIDATES must have seen the pair
+  // consistent.  Spurious validation failures (chaos builds) only shrink
+  // the validated sample, never break the oracle.
+  auto lock = make();
+  std::atomic<std::uint64_t> a{0};
+  std::atomic<std::uint64_t> b{0};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+  std::atomic<std::uint64_t> validated{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::uint64_t stamp = lock->opt_read_begin();
+        if (stamp == kInvalidOptStamp) continue;
+        const std::uint64_t va = a.load(std::memory_order_relaxed);
+        const std::uint64_t vb = b.load(std::memory_order_relaxed);
+        if (lock->opt_read_validate(stamp)) {
+          validated.fetch_add(1, std::memory_order_relaxed);
+          if (va != vb) torn.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int i = 0; i < 2000; ++i) {
+      lock->lock();
+      a.store(a.load(std::memory_order_relaxed) + 1,
+              std::memory_order_relaxed);
+      std::this_thread::yield();
+      b.store(b.load(std::memory_order_relaxed) + 1,
+              std::memory_order_relaxed);
+      lock->unlock();
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  writer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(torn.load(), 0u) << "validated window saw a torn payload";
+  if (!fault_injection_enabled()) {
+    EXPECT_GT(validated.load(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OptKinds, OptimisticReadConformance,
+    ::testing::ValuesIn(opt_lock_kinds()),
+    [](const ::testing::TestParamInfo<LockKind>& info) {
+      std::string n = lock_kind_name(info.param);
+      for (char& c : n) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n;
+    });
+
 INSTANTIATE_TEST_SUITE_P(MetalockKinds, GollMetalockConformance,
                          ::testing::Values(MetalockKind::kTatas,
                                            MetalockKind::kMcs,
@@ -438,7 +574,9 @@ INSTANTIATE_TEST_SUITE_P(
                       LockKind::kMcsRw, LockKind::kBigReader,
                       LockKind::kCentral, LockKind::kStdShared,
                       LockKind::kBravoGoll, LockKind::kBravoFoll,
-                      LockKind::kBravoRoll, LockKind::kBravoCentral),
+                      LockKind::kBravoRoll, LockKind::kBravoCentral,
+                      LockKind::kOptGoll, LockKind::kOptBravoGoll,
+                      LockKind::kOptCentral),
     [](const ::testing::TestParamInfo<LockKind>& info) {
       std::string n = lock_kind_name(info.param);
       for (char& c : n) {
