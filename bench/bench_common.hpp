@@ -14,17 +14,22 @@
 //                            message for a malformed value
 //   * run_observability_flags()  the post-sweep --hist/--stats_json/--trace
 //                            pass (DESIGN.md §9)
+//   * start_telemetry_flags()    the continuous exporter
+//                            (--telemetry_interval_ms/--metrics_out/
+//                            --metrics_port, DESIGN.md §14)
 //
 // Flag semantics are documented once, in fig5_common.hpp's header comment.
 #pragma once
 
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "harness/cli.hpp"
 #include "harness/sweep.hpp"
+#include "harness/telemetry.hpp"
 #include "platform/fault.hpp"
 
 namespace oll::bench {
@@ -129,6 +134,25 @@ inline int run_observability_flags(const Flags& flags,
     return 1;
   }
   return 0;
+}
+
+// Start the continuous telemetry exporter when any of its flags was given
+// (DESIGN.md §14).  Returns null otherwise.  Keep the returned handle
+// alive for the duration of the run; its destructor takes a final tick.
+inline std::unique_ptr<TelemetryExporter> start_telemetry_flags(
+    const Flags& flags) {
+  TelemetryFlagValues v;
+  v.interval_ms = flags.get_u64("telemetry_interval_ms", 100);
+  v.metrics_out = flags.get("metrics_out", "");
+  if (flags.has("metrics_port")) {
+    v.metrics_port = static_cast<int>(flags.get_u64("metrics_port", 0));
+  }
+  auto exp = make_telemetry_exporter(v);
+  if (exp != nullptr && exp->bound_port() >= 0) {
+    std::cerr << "# telemetry: serving metrics on http://127.0.0.1:"
+              << exp->bound_port() << "/metrics\n";
+  }
+  return exp;
 }
 
 }  // namespace oll::bench

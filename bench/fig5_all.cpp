@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
     const char* name;
     std::uint32_t read_pct;
   };
+  auto telemetry = ob::start_telemetry_flags(flags);
   const std::vector<Sub> subs = {
       {"fig5a", "Figure 5(a): 100% reads", 100},
       {"fig5b", "Figure 5(b): 99% reads", 99},

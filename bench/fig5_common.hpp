@@ -42,6 +42,14 @@
 //   --trace=FILE        write lock-event trace (Chrome/Perfetto JSON)
 //   --obs_threads=N     thread count for the pass (default: max swept count)
 //   --trace_ring=N      per-thread ring capacity in records (default 8192)
+//
+// Continuous telemetry (DESIGN.md §14).  Unlike the post-sweep pass above,
+// these stream live series for the WHOLE run via the global lock registry:
+//   --metrics_out=FILE  Prometheus text exposition rewritten every tick at
+//                       FILE, JSON-lines time series appended to FILE.jsonl
+//   --metrics_port=N    serve the Prometheus text on http://127.0.0.1:N
+//                       (N=0 picks a free port, printed to stderr)
+//   --telemetry_interval_ms=N   exporter tick interval (default 100)
 #pragma once
 
 #include <iostream>
@@ -58,6 +66,8 @@ inline int run_fig5(const std::string& figure_name, std::uint32_t read_pct,
   cfg.read_pct = read_pct;
   if (int rc = parse_sweep_flags(flags, cfg); rc != 0) return rc;
   cfg.locks = parse_lock_list(flags, "locks", figure5_lock_kinds());
+
+  auto telemetry = start_telemetry_flags(flags);
 
   print_header(std::cout, figure_name, cfg);
   SweepResult result = run_sweep(cfg, /*verbose=*/true);

@@ -31,8 +31,13 @@
 //   --fanout=N     children per internal node, default 8
 //   --depth=N      levels below the root, default 2 (=> 73 nodes), max 9
 //   --locks=...    default opt-goll,bravo-goll,goll
-// The cs_work / timeout_ns / watchdog / pin sweep flags have no meaning for
-// this workload and are ignored.
+//   --trace=FILE   arm event tracing and export a Chrome trace of every
+//                  cell (opt_read slices, opt_validation_fail/opt_fallback
+//                  instants, acquire-site tags); --trace_ring sizes the
+//                  per-thread rings
+// plus the telemetry set (--telemetry_interval_ms / --metrics_out /
+// --metrics_port, bench_common.hpp).  The cs_work / timeout_ns / watchdog /
+// pin sweep flags have no meaning for this workload and are ignored.
 #include <pthread.h>
 #include <sched.h>
 
@@ -47,7 +52,10 @@
 
 #include "bench_common.hpp"
 #include "core/factory.hpp"
+#include "harness/trace_export.hpp"
 #include "platform/fault.hpp"
+#include "platform/lock_registry.hpp"
+#include "platform/trace.hpp"
 #include "platform/rng.hpp"
 #include "platform/spin.hpp"
 #include "platform/thread_id.hpp"
@@ -61,6 +69,14 @@ namespace {
 using oll::bench::Mode;
 
 constexpr double kSimHz = 1.4e9;  // UltraSPARC T2+ clock (§5.1)
+
+// Timestamp source for simulated traces: the calling thread's virtual
+// clock (the same contract as the harness driver's sim clock).  Harness
+// code without a ThreadContext falls back to real time.
+std::uint64_t sim_trace_clock() {
+  const oll::sim::ThreadContext* ctx = oll::sim::ThreadContext::current();
+  return ctx != nullptr ? ctx->clock() : oll::now_ns();
+}
 
 struct TreeShape {
   std::uint32_t fanout = 8;
@@ -146,6 +162,10 @@ std::size_t child_at(std::uint64_t path, std::uint32_t level,
 template <typename M>
 bool optimistic_descend(Tree<M>& tree, std::uint64_t path,
                         std::uint64_t& checksum) {
+  // Acquire-site tag: trace records and census waits emitted below carry
+  // this file:line, so the contention table can tell the three disciplines
+  // apart (platform/lock_registry.hpp).
+  oll::ScopedLockSite site(OLL_LOCK_SITE());
   std::size_t idx = 0;
   std::uint32_t level = 0;
   for (;;) {
@@ -172,6 +192,7 @@ bool optimistic_descend(Tree<M>& tree, std::uint64_t path,
 template <typename M>
 void pessimistic_descend(Tree<M>& tree, std::uint64_t path,
                          std::uint64_t& checksum) {
+  oll::ScopedLockSite site(OLL_LOCK_SITE());
   std::size_t idx = 0;
   std::uint32_t level = 0;
   tree.nodes[0].lock->lock_shared();
@@ -198,6 +219,7 @@ void pessimistic_descend(Tree<M>& tree, std::uint64_t path,
 // reader could observe a != b — validation must catch every such window.
 template <typename M>
 void write_node(Tree<M>& tree, oll::Xoshiro256ss& rng, bool simulated) {
+  oll::ScopedLockSite site(OLL_LOCK_SITE());
   Node<M>& n = tree.nodes[rng.next_below(tree.nodes.size())];
   n.lock->lock();
   n.a.store(n.a.load(std::memory_order_relaxed) + 1,
@@ -363,6 +385,19 @@ int main(int argc, char** argv) {
   }
   shape.finalize();
   const bool simulated = scfg.mode == Mode::kSim;
+  auto telemetry = oll::bench::start_telemetry_flags(flags);
+  const std::string trace_path = flags.get("trace", "");
+  const bool want_trace = !trace_path.empty();
+  // Perfetto timestamps are microseconds; sim records are virtual cycles.
+  const double ts_scale =
+      simulated ? 1e-3 / (kSimHz * 1e-9) : 1e-3;
+  if (want_trace) {
+    if (simulated) oll::trace_set_clock(&sim_trace_clock);
+    oll::TraceOptions topts;
+    topts.ring_capacity = static_cast<std::uint32_t>(
+        flags.get_u64("trace_ring", std::uint64_t{1} << 13));
+    oll::trace_enable(topts);
+  }
   // A traversal touches depth+1 latches, so default to fewer operations
   // than the flat fig5 sweeps for comparable cell cost.
   const std::uint64_t ops =
@@ -395,6 +430,7 @@ int main(int argc, char** argv) {
   }
 
   std::vector<std::string> optstat_lines;
+  std::vector<oll::bench::TraceRun> trace_runs;
   for (std::uint32_t threads : scfg.thread_counts) {
     std::printf("%u", threads);
     for (oll::LockKind kind : kinds) {
@@ -435,12 +471,32 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(agg.stats.opt_fallbacks),
           static_cast<unsigned long long>(agg.totals.restarts));
       optstat_lines.emplace_back(line);
+      if (want_trace) {
+        // Drain per (lock, thread count) cell so each gets its own process
+        // row in the export.
+        oll::bench::TraceRun run;
+        run.name = std::string(oll::lock_kind_name(kind)) +
+                   " t=" + std::to_string(threads);
+        run.dump = oll::trace_drain();
+        run.ts_scale = ts_scale;
+        trace_runs.push_back(std::move(run));
+      }
     }
     std::printf("\n");
     std::fflush(stdout);
   }
   for (const std::string& line : optstat_lines) {
     std::printf("%s\n", line.c_str());
+  }
+  if (want_trace) {
+    oll::trace_disable();
+    if (!oll::bench::write_chrome_trace_file(trace_path, trace_runs)) {
+      std::fprintf(stderr, "index_traversal: cannot write --trace file %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "index_traversal: wrote Chrome trace to %s\n",
+                 trace_path.c_str());
   }
   return 0;
 }

@@ -2,11 +2,20 @@
 // the "keeps the acquisition overhead small in the absence of read
 // contention" claim (abstract, §2): the OLL fast paths must stay comparable
 // to the central-lockword locks when only one thread runs.
+//
+// Telemetry overhead experiment (DESIGN.md §14): set OLL_TELEMETRY_MS=N in
+// the environment to run the whole suite with a live telemetry exporter
+// ticking every N ms (census armed, registry sampled).  Comparing against a
+// run without the variable — or against an OLL_REGISTRY=0 build — bounds
+// the observability tax on the uncontended fast path (EXPERIMENTS.md).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "core/factory.hpp"
+#include "harness/telemetry.hpp"
 
 namespace {
 
@@ -86,4 +95,27 @@ OLL_BENCH_OPT(OptGoll, kOptGoll)
 OLL_BENCH_OPT(OptBravoGoll, kOptBravoGoll)
 OLL_BENCH_OPT(OptCentral, kOptCentral)
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::unique_ptr<oll::TelemetryExporter> telemetry;
+  if (const char* ms = std::getenv("OLL_TELEMETRY_MS"); ms != nullptr) {
+    oll::TelemetryOptions topts;
+    topts.interval_ms = std::strtoull(ms, nullptr, 10);
+    if (topts.interval_ms == 0) topts.interval_ms = 100;
+    if (const char* c = std::getenv("OLL_TELEMETRY_CENSUS"); c != nullptr) {
+      topts.census = std::strtoul(c, nullptr, 10) != 0;
+    }
+    telemetry = std::make_unique<oll::TelemetryExporter>(topts);
+    telemetry->start();
+    std::fprintf(stderr,
+                 "micro_uncontended: telemetry exporter armed, tick=%llu ms"
+                 " census=%d\n",
+                 static_cast<unsigned long long>(topts.interval_ms),
+                 topts.census ? 1 : 0);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (telemetry != nullptr) telemetry->stop();
+  return 0;
+}

@@ -9,6 +9,8 @@
 //
 // Flags: --threads=N (256) --read_pct=P (100) --acquires=N (500)
 //        --locks=a,b,c (figure-5 legend set)
+//        plus the telemetry trio (--metrics_out/--metrics_port/
+//        --telemetry_interval_ms, fig5_common.hpp)
 #include <algorithm>
 #include <cstdio>
 
@@ -25,6 +27,8 @@ int main(int argc, char** argv) {
   const std::uint64_t acquires = flags.get_u64("acquires", 500);
   const std::vector<oll::LockKind> kinds = oll::bench::parse_lock_list(
       flags, "locks", oll::figure5_lock_kinds());
+
+  auto telemetry = oll::bench::start_telemetry_flags(flags);
 
   std::printf("# Per-acquisition coherence traffic, simulated T5440: "
               "%u threads, %u%% reads\n",

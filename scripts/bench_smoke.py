@@ -12,7 +12,10 @@ the previous committed snapshot fails the run.  fig5a keys are unprefixed
 ("GOLL.t64") for continuity with older snapshots; the write-heavy series
 added with the metalock work use prefixed keys ("fig5f.GOLL.t64").
 Real-time micro numbers vary with the host and are recorded as
-informational only.
+informational only.  Every snapshot carries a "meta" provenance stamp:
+the git SHA (and dirty flag) that produced it, the CMake build type, and
+the observability build flags (OLL_TRACE/OLL_FAULTS/OLL_REGISTRY) — so a
+cross-snapshot comparison can tell a real regression from a config change.
 
 Two exceptions to "real time is informational": the pinned real-hardware
 read-path series ("realtime.GOLL.t2", ...) is *gated* — it runs fig5a in
@@ -247,6 +250,43 @@ def collect_micro(build_dir, name, bench_filter):
     return metrics
 
 
+def collect_meta(build_dir):
+    """Provenance stamp for the snapshot: which commit produced these
+    numbers, and which build configuration (observability hooks change the
+    binary even when runtime-disabled, so flag values matter when comparing
+    across snapshots).  Best-effort: a missing git or cache file records
+    "unknown" rather than failing the gate."""
+    meta = {"git_sha": "unknown", "git_dirty": None,
+            "build_type": "unknown",
+            "flags": {}, "modes": {"sim": "virtual-time simulated T5440",
+                                   "real": "host wall clock"}}
+    try:
+        meta["git_sha"] = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            check=True, cwd=REPO_ROOT).stdout.strip()
+        meta["git_dirty"] = bool(subprocess.run(
+            ["git", "status", "--porcelain"], capture_output=True, text=True,
+            check=True, cwd=REPO_ROOT).stdout.strip())
+    except (OSError, subprocess.CalledProcessError):
+        pass
+    cache = os.path.join(build_dir, "CMakeCache.txt")
+    wanted = ("OLL_TRACE", "OLL_FAULTS", "OLL_REGISTRY")
+    try:
+        with open(cache) as f:
+            for line in f:
+                line = line.strip()
+                m = re.fullmatch(r"([A-Za-z_]+):[A-Z]+=(.*)", line)
+                if not m:
+                    continue
+                if m.group(1) == "CMAKE_BUILD_TYPE":
+                    meta["build_type"] = m.group(2) or "unknown"
+                elif m.group(1) in wanted:
+                    meta["flags"][m.group(1)] = m.group(2)
+    except OSError:
+        pass
+    return meta
+
+
 def tracked_snapshots():
     out = subprocess.run(["git", "ls-files", "BENCH_*.json"],
                          capture_output=True, text=True, cwd=REPO_ROOT).stdout
@@ -373,6 +413,7 @@ def main():
                  "baseline": f"BENCH_{prev_index}.json" if prev_index else None,
                  "passed": status == 0},
         "config": config,
+        "meta": collect_meta(build_dir),
         "gated": gated,
         "informational": informational,
     }

@@ -35,6 +35,24 @@ trap 'rm -f "${TRACE_TMP}"' EXIT
   --locks=goll,foll,roll --trace="${TRACE_TMP}" >/dev/null
 python3 scripts/validate_trace.py "${TRACE_TMP}"
 
+echo "==> observability: optimistic-read trace slices (DESIGN.md §13)"
+./build/bench/index_traversal --mode=sim --threads=8 --acquires=80 \
+  --locks=opt-goll --read_pct=95 --trace="${TRACE_TMP}" >/dev/null
+# opt_read slices + opt_validation_fail instants prove the optimistic path
+# ran; write_acquire proves the writers that invalidate it ran too.  (No
+# read_acquire expected: uncontended validation succeeds, so nothing falls
+# back to the pessimistic shared path at this size.)
+python3 scripts/validate_trace.py "${TRACE_TMP}" \
+  --expect-names=opt_read,opt_validation_fail,write_acquire
+
+echo "==> observability: telemetry exporter + metrics validation (§14)"
+METRICS_TMP="$(mktemp --suffix=.prom)"
+trap 'rm -f "${TRACE_TMP}" "${METRICS_TMP}" "${METRICS_TMP}.jsonl"' EXIT
+./build/bench/fig5a_read_only --mode=sim --threads=8 --acquires=400 \
+  --locks=goll,foll --telemetry_interval_ms=20 \
+  --metrics_out="${METRICS_TMP}" >/dev/null
+python3 scripts/validate_metrics.py "${METRICS_TMP}"
+
 echo "==> observability: OLL_TRACE=0 build (hooks compiled out)"
 cmake -B build-notrace -S . -DOLL_TRACE=0 \
   -DOLL_ENABLE_BENCH=OFF -DOLL_ENABLE_EXAMPLES=OFF
@@ -55,6 +73,16 @@ cmake --build build-nofaults -j "${JOBS}" --target lock_conformance_test \
 ./build-nofaults/tests/versioned_lock_test >/dev/null
 echo "==> OLL_FAULTS=0 build + smoke OK"
 
+echo "==> observability: OLL_REGISTRY=0 build (registry compiled out)"
+cmake -B build-noregistry -S . -DOLL_REGISTRY=0 \
+  -DOLL_ENABLE_BENCH=OFF -DOLL_ENABLE_EXAMPLES=OFF
+cmake --build build-noregistry -j "${JOBS}" --target lock_conformance_test \
+  lock_registry_test telemetry_test
+./build-noregistry/tests/lock_conformance_test >/dev/null
+./build-noregistry/tests/lock_registry_test >/dev/null
+./build-noregistry/tests/telemetry_test >/dev/null
+echo "==> OLL_REGISTRY=0 build + smoke OK"
+
 # litmus_test is the memory-order audit's harness (DESIGN.md §12): its
 # fixture arms the chaos fault profile itself, so under TSan each
 # release/acquire downgrade is checked as a real happens-before edge
@@ -64,6 +92,7 @@ TSAN_SUITES=(
   csnzi_test lock_conformance_test foll_roll_test goll_test ksuh_test
   wait_queue_test mutex_test metalock_test orig_snzi_test trace_test
   histogram_test timed_lock_test litmus_test versioned_lock_test
+  lock_registry_test telemetry_test
 )
 
 echo "==> tsan: configure + build (tests only)"

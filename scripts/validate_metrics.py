@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text-exposition output from the telemetry exporter.
+
+Structural checks on the file written by oll::TelemetryExporter
+(src/harness/telemetry.cpp, --metrics_out / the --metrics_port endpoint):
+
+  * the format parses as Prometheus text exposition v0.0.4: every sample
+    line is `name{label="value",...} number` with legal metric/label
+    identifiers, quoted-and-escaped label values, and a finite numeric
+    value;
+  * every # HELP has a matching # TYPE (counter or gauge) and vice versa,
+    declared before any sample of that family;
+  * counter samples are non-negative;
+  * the exporter's core families are declared (oll_registry_live_locks,
+    oll_telemetry_ticks_total, oll_lock_reads_total, ...) and, unless
+    --allow-empty, at least one per-lock sample carries a `lock` label —
+    the end-to-end check that a bench run's locks actually registered and
+    were scraped;
+  * oll_telemetry_ticks_total is positive (the exporter ticked at least
+    once, counting the final flush).
+
+Usage: scripts/validate_metrics.py METRICS.prom [--allow-empty]
+Exit status: 0 valid, 1 invalid, 2 unreadable.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name{labels} value  — labels optional; value greedily the rest.
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+                       r"(?:\{(.*)\})?\s+(\S+)\s*$")
+LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+REQUIRED_FAMILIES = (
+    "oll_registry_live_locks",
+    "oll_telemetry_ticks_total",
+    "oll_lock_reads_total",
+    "oll_lock_writes_total",
+    "oll_lock_acquire_rate",
+    "oll_lock_queue_depth",
+)
+
+
+def fail(msg):
+    print(f"validate_metrics: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def parse_labels(raw, where):
+    """Return ({name: value}, error) for a {..} label blob."""
+    labels = {}
+    pos = 0
+    while pos < len(raw):
+        m = LABEL_PAIR_RE.match(raw, pos)
+        if m is None:
+            return None, f"{where}: malformed label pair at {raw[pos:]!r}"
+        labels[m.group(1)] = m.group(2)
+        pos = m.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                return None, f"{where}: expected ',' in labels at " \
+                             f"{raw[pos:]!r}"
+            pos += 1
+    return labels, None
+
+
+def validate(lines, allow_empty):
+    helps, types = {}, {}
+    samples = 0
+    lock_samples = 0
+    ticks_value = None
+    for no, line in enumerate(lines, 1):
+        line = line.rstrip("\n")
+        if not line.strip():
+            continue
+        where = f"line {no}"
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not METRIC_RE.match(parts[2]):
+                return fail(f"{where}: malformed HELP")
+            helps[parts[2]] = parts[3]
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not METRIC_RE.match(parts[2]):
+                return fail(f"{where}: malformed TYPE")
+            if parts[3] not in ("counter", "gauge"):
+                return fail(f"{where}: unexpected type {parts[3]!r} "
+                            f"(exporter only writes counter/gauge)")
+            if parts[2] not in helps:
+                return fail(f"{where}: TYPE {parts[2]} precedes its HELP")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # free comment
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            return fail(f"{where}: unparseable sample {line!r}")
+        name, raw_labels, raw_value = m.groups()
+        if name not in types:
+            return fail(f"{where}: sample {name} has no HELP/TYPE header")
+        labels = {}
+        if raw_labels is not None:
+            labels, err = parse_labels(raw_labels, where)
+            if err:
+                return fail(err)
+            for lname in labels:
+                if not LABEL_RE.match(lname):
+                    return fail(f"{where}: bad label name {lname!r}")
+        try:
+            value = float(raw_value)
+        except ValueError:
+            return fail(f"{where}: non-numeric value {raw_value!r}")
+        if math.isnan(value) or math.isinf(value):
+            return fail(f"{where}: non-finite value {raw_value!r}")
+        if types[name] == "counter" and value < 0:
+            return fail(f"{where}: negative counter {name}={value}")
+        samples += 1
+        if "lock" in labels:
+            lock_samples += 1
+        if name == "oll_telemetry_ticks_total":
+            ticks_value = value
+
+    for fam in helps:
+        if fam not in types:
+            return fail(f"HELP without TYPE for {fam}")
+    missing = [f for f in REQUIRED_FAMILIES if f not in types]
+    if missing:
+        return fail(f"required families missing: {', '.join(missing)}")
+    if samples == 0:
+        return fail("no samples at all")
+    if ticks_value is None or ticks_value <= 0:
+        return fail("oll_telemetry_ticks_total missing or zero — the "
+                    "exporter never ticked")
+    if lock_samples == 0 and not allow_empty:
+        return fail('no sample carries a lock="..." label; no lock was '
+                    "registered and scraped (pass --allow-empty if "
+                    "intended)")
+
+    print(f"validate_metrics: OK — {len(types)} families, {samples} "
+          f"samples ({lock_samples} per-lock), "
+          f"{int(ticks_value)} exporter tick(s)")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("metrics")
+    ap.add_argument("--allow-empty", action="store_true",
+                    help="accept output with no per-lock samples")
+    args = ap.parse_args()
+    try:
+        with open(args.metrics) as f:
+            lines = f.readlines()
+    except OSError as e:
+        print(f"validate_metrics: cannot read {args.metrics}: {e}",
+              file=sys.stderr)
+        return 2
+    return validate(lines, args.allow_empty)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,23 +5,47 @@ Structural checks on the output of oll::bench::write_chrome_trace_file():
 
   * top level is an object with a "traceEvents" list (and the
     "displayTimeUnit" hint the exporter always writes);
+  * "droppedEvents" (the exporter's ring-overflow count) is present and,
+    unless --allow-drops, zero — the smoke configurations are sized so the
+    rings never wrap, and a silent wrap would make a truncated trace look
+    complete;
   * every event has the keys its phase requires (ph/pid/tid/name, plus ts
     for slice and instant events) with sane types and non-negative ts;
   * phases are limited to the exporter's vocabulary (M, B, E, i);
+  * event names are limited to the exporter's vocabulary — slices
+    (read_acquire, write_acquire, queue_wait, opt_read) and instants
+    (releases, bias_revoke, C-SNZI flips, opt_validation_fail,
+    opt_fallback) — so a renamed or garbled event fails loudly;
+  * "site" args, when present, look like file:line acquire-site tags;
   * per (pid, tid, name) slice nesting never goes negative — an E without
     a matching B is an exporter bug (trailing unclosed B events are fine:
     ring wrap can drop an end record's partner);
-  * unless --allow-empty, at least one slice event is present.
+  * unless --allow-empty, at least one slice event is present;
+  * every name passed via --expect-names appears at least once — the
+    end-to-end check that, e.g., an optimistic index_traversal run really
+    emitted its opt_read windows.
 
-Usage: scripts/validate_trace.py TRACE.json [--allow-empty]
+Usage: scripts/validate_trace.py TRACE.json [--allow-empty] [--allow-drops]
+                                 [--expect-names a,b,c]
 Exit status: 0 valid, 1 invalid, 2 unreadable.
 """
 
 import argparse
 import json
+import re
 import sys
 
 KNOWN_PHASES = {"M", "B", "E", "i"}
+
+# Exporter vocabulary (src/harness/trace_export.cpp slice_name + the
+# instant passthrough of platform/trace.hpp trace_event_name).
+SLICE_NAMES = {"read_acquire", "write_acquire", "queue_wait", "opt_read"}
+INSTANT_NAMES = {"read_release", "write_release", "bias_revoke",
+                 "csnzi_close", "csnzi_open", "opt_validation_fail",
+                 "opt_fallback"}
+META_NAMES = {"process_name", "process_labels", "thread_name"}
+
+SITE_RE = re.compile(r"^.+:\d+$")
 
 
 def fail(msg):
@@ -29,7 +53,7 @@ def fail(msg):
     return 1
 
 
-def validate(doc, allow_empty):
+def validate(doc, allow_empty, allow_drops, expect_names):
     if not isinstance(doc, dict):
         return fail("top level is not a JSON object")
     events = doc.get("traceEvents")
@@ -37,9 +61,16 @@ def validate(doc, allow_empty):
         return fail('missing or non-list "traceEvents"')
     if "displayTimeUnit" not in doc:
         return fail('missing "displayTimeUnit"')
+    dropped = doc.get("droppedEvents")
+    if not isinstance(dropped, int) or dropped < 0:
+        return fail('missing or mistyped "droppedEvents"')
+    if dropped and not allow_drops:
+        return fail(f"{dropped} records dropped to ring wrap; enlarge "
+                    f"--trace_ring or pass --allow-drops if intended")
 
     depth = {}  # (pid, tid, name) -> open B count
     slices = 0
+    seen_names = set()
     for idx, ev in enumerate(events):
         where = f"traceEvents[{idx}]"
         if not isinstance(ev, dict):
@@ -51,24 +82,44 @@ def validate(doc, allow_empty):
                            ("name", (str,))):
             if not isinstance(ev.get(key), types):
                 return fail(f"{where}: missing/mistyped {key!r}")
+        name = ev["name"]
+        site = ev.get("args", {}).get("site") if isinstance(
+            ev.get("args"), dict) else None
+        if site is not None and not (isinstance(site, str)
+                                     and SITE_RE.match(site)):
+            return fail(f"{where}: malformed site tag {site!r}")
         if ph == "M":
+            if name not in META_NAMES:
+                return fail(f"{where}: unknown metadata event {name!r}")
             continue
+        seen_names.add(name)
         ts = ev.get("ts")
         if not isinstance(ts, (int, float)) or ts < 0:
             return fail(f"{where}: missing/negative ts")
         if ph in ("B", "E"):
+            if name not in SLICE_NAMES:
+                return fail(f"{where}: unknown slice name {name!r}")
             slices += 1
-            key = (ev["pid"], ev["tid"], ev["name"])
+            key = (ev["pid"], ev["tid"], name)
             depth[key] = depth.get(key, 0) + (1 if ph == "B" else -1)
             if depth[key] < 0:
                 return fail(f"{where}: E without matching B for {key}")
+        else:  # ph == "i"
+            if name not in INSTANT_NAMES:
+                return fail(f"{where}: unknown instant name {name!r}")
 
     if slices == 0 and not allow_empty:
         return fail("no slice (B/E) events; pass --allow-empty if intended")
 
+    missing = [n for n in expect_names if n not in seen_names]
+    if missing:
+        return fail(f"expected event name(s) never appeared: "
+                    f"{', '.join(missing)}")
+
     unclosed = sum(d for d in depth.values() if d > 0)
     print(f"validate_trace: OK — {len(events)} events, "
-          f"{slices} slice records, {unclosed} unclosed slice(s)")
+          f"{slices} slice records, {unclosed} unclosed slice(s), "
+          f"{dropped} dropped")
     return 0
 
 
@@ -77,6 +128,10 @@ def main():
     ap.add_argument("trace")
     ap.add_argument("--allow-empty", action="store_true",
                     help="accept traces with no slice events")
+    ap.add_argument("--allow-drops", action="store_true",
+                    help="accept a nonzero droppedEvents count")
+    ap.add_argument("--expect-names", default="",
+                    help="comma-separated event names that must appear")
     args = ap.parse_args()
     try:
         with open(args.trace) as f:
@@ -85,7 +140,8 @@ def main():
         print(f"validate_trace: cannot read {args.trace}: {e}",
               file=sys.stderr)
         return 2
-    return validate(doc, args.allow_empty)
+    expect = [n for n in args.expect_names.split(",") if n]
+    return validate(doc, args.allow_empty, args.allow_drops, expect)
 
 
 if __name__ == "__main__":

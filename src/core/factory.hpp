@@ -29,6 +29,7 @@
 #include "locks/roll_lock.hpp"
 #include "locks/solaris_rwlock.hpp"
 #include "locks/versioned_rwlock.hpp"
+#include "platform/lock_registry.hpp"
 #include "platform/memory.hpp"
 
 namespace oll {
@@ -165,25 +166,74 @@ class AnyRwLock {
   // own counters keep running).  The harness calls this between the warmup
   // and measured phases; like stats(), exact only at quiescence.
   virtual void reset_stats() {}
+  // Holder/waiter attribution (platform/lock_registry.hpp): non-null for
+  // adapter-backed locks, null for kinds without census marks.  Marks only
+  // flow while some consumer holds registry_census_enable().
+  virtual const ContentionCensus* census() const { return nullptr; }
+};
+
+// Identity a lock adapter registers under (platform/lock_registry.hpp).
+// Implicitly convertible from a bare name so direct RwLockAdapter
+// construction keeps working: RwLockAdapter<GollLock<>>("GOLL", opts).
+struct AdapterIdentity {
+  const char* name;
+  const char* kind = nullptr;  // defaults to name
+  LockSite site{};             // creation site, when the creator tags one
+  bool register_lock = true;   // opt out of the global registry
+  std::uint32_t census_threads = 64;  // holder/waiter slots (dense tids)
+
+  AdapterIdentity(const char* n) : name(n) {}  // NOLINT: implicit by design
 };
 
 template <SharedLockable L>
 class RwLockAdapter final : public AnyRwLock {
  public:
   template <typename... Args>
-  explicit RwLockAdapter(const char* name, Args&&... args)
-      : name_(name), impl_(std::forward<Args>(args)...) {}
+  explicit RwLockAdapter(AdapterIdentity id, Args&&... args)
+      : name_(id.name), impl_(std::forward<Args>(args)...),
+        census_(id.census_threads) {
+    if (id.register_lock) {
+      registration_.emplace(id.name, id.kind != nullptr ? id.kind : id.name,
+                            id.site, static_cast<const void*>(this),
+                            &RwLockAdapter::registry_stats_thunk, &census_);
+    }
+  }
 
-  void lock() override { impl_.lock(); }
-  void unlock() override { impl_.unlock(); }
-  void lock_shared() override { impl_.lock_shared(); }
-  void unlock_shared() override { impl_.unlock_shared(); }
+  // Every acquisition is bracketed with census marks.  With the census
+  // disabled (the default) begin_wait is one relaxed global load and the
+  // others key off the thread's own idle slot — a handful of cache-local
+  // loads, nothing shared.
+  void lock() override {
+    census_.begin_wait(/*write=*/true);
+    impl_.lock();
+    census_.acquired(/*write=*/true);
+  }
+  void unlock() override {
+    census_.released();
+    impl_.unlock();
+  }
+  void lock_shared() override {
+    census_.begin_wait(/*write=*/false);
+    impl_.lock_shared();
+    census_.acquired(/*write=*/false);
+  }
+  void unlock_shared() override {
+    census_.released();
+    impl_.unlock_shared();
+  }
 
   bool try_lock() override {
     if constexpr (requires {
                     { impl_.try_lock() } -> std::convertible_to<bool>;
                   }) {
-      return impl_.try_lock();
+      census_.begin_wait(/*write=*/true);
+      const bool ok = impl_.try_lock();
+      if (ok) {
+        census_.acquired(/*write=*/true);
+      } else {
+        census_.abandoned();
+      }
+      return ok;
     } else {
       return false;  // spurious failure is within the try contract
     }
@@ -193,34 +243,57 @@ class RwLockAdapter final : public AnyRwLock {
     if constexpr (requires {
                     { impl_.try_lock_shared() } -> std::convertible_to<bool>;
                   }) {
-      return impl_.try_lock_shared();
+      census_.begin_wait(/*write=*/false);
+      const bool ok = impl_.try_lock_shared();
+      if (ok) {
+        census_.acquired(/*write=*/false);
+      } else {
+        census_.abandoned();
+      }
+      return ok;
     } else {
       return false;
     }
   }
 
   bool try_lock_for(std::chrono::nanoseconds timeout) override {
+    census_.begin_wait(/*write=*/true);
+    bool ok;
     if constexpr (requires {
                     { impl_.try_lock_for(timeout) }
                         -> std::convertible_to<bool>;
                   }) {
-      return impl_.try_lock_for(timeout);
+      ok = impl_.try_lock_for(timeout);
     } else {
-      return deadline_retry(std::chrono::steady_clock::now() + timeout,
-                            [&] { return try_lock(); });
+      ok = deadline_retry(std::chrono::steady_clock::now() + timeout,
+                          [&] { return try_lock_raw(); });
     }
+    if (ok) {
+      census_.acquired(/*write=*/true);
+    } else {
+      census_.abandoned();
+    }
+    return ok;
   }
 
   bool try_lock_shared_for(std::chrono::nanoseconds timeout) override {
+    census_.begin_wait(/*write=*/false);
+    bool ok;
     if constexpr (requires {
                     { impl_.try_lock_shared_for(timeout) }
                         -> std::convertible_to<bool>;
                   }) {
-      return impl_.try_lock_shared_for(timeout);
+      ok = impl_.try_lock_shared_for(timeout);
     } else {
-      return deadline_retry(std::chrono::steady_clock::now() + timeout,
-                            [&] { return try_lock_shared(); });
+      ok = deadline_retry(std::chrono::steady_clock::now() + timeout,
+                          [&] { return try_lock_shared_raw(); });
     }
+    if (ok) {
+      census_.acquired(/*write=*/false);
+    } else {
+      census_.abandoned();
+    }
+    return ok;
   }
 
   bool supports_optimistic() const override {
@@ -264,6 +337,7 @@ class RwLockAdapter final : public AnyRwLock {
     return s;
   }
   void reset_stats() override { baseline_ = raw_stats(); }
+  const ContentionCensus* census() const override { return &census_; }
 
   L& underlying() { return impl_; }
 
@@ -278,9 +352,40 @@ class RwLockAdapter final : public AnyRwLock {
     }
   }
 
+  // The registry samples raw (never-rebased) counters, so telemetry deltas
+  // survive the harness rebasing stats() at phase boundaries.
+  static LockStatsSnapshot registry_stats_thunk(const void* obj) {
+    return static_cast<const RwLockAdapter*>(obj)->raw_stats();
+  }
+
+  // Un-bracketed try paths, for the deadline_retry fallbacks (which manage
+  // their own census bracketing around the whole timed call).
+  bool try_lock_raw() {
+    if constexpr (requires {
+                    { impl_.try_lock() } -> std::convertible_to<bool>;
+                  }) {
+      return impl_.try_lock();
+    } else {
+      return false;
+    }
+  }
+  bool try_lock_shared_raw() {
+    if constexpr (requires {
+                    { impl_.try_lock_shared() } -> std::convertible_to<bool>;
+                  }) {
+      return impl_.try_lock_shared();
+    } else {
+      return false;
+    }
+  }
+
   const char* name_;
   L impl_;
   LockStatsSnapshot baseline_{};
+  ContentionCensus census_;
+  // Declared last: deregistration (which blocks out in-flight registry
+  // samplers) must complete before impl_ and census_ are destroyed.
+  std::optional<LockRegistration> registration_;
 };
 
 struct LockFactoryOptions {
@@ -290,7 +395,21 @@ struct LockFactoryOptions {
   // Writer-arbitration metalock for the metalock-based locks (GOLL and its
   // BRAVO wrap): kind, cohort budget, topology (cohort_mcs_lock.hpp).
   MetalockOptions metalock{};
+  // Global lock registry (platform/lock_registry.hpp): every factory lock
+  // self-registers unless opted out; `site` tags the creation site in
+  // telemetry output (pass {__FILE__, __LINE__} or OLL_LOCK_SITE-style).
+  bool register_lock = true;
+  LockSite site{};
 };
+
+inline AdapterIdentity adapter_identity(const char* name,
+                                        const LockFactoryOptions& o) {
+  AdapterIdentity id(name);
+  id.site = o.site;
+  id.register_lock = o.register_lock;
+  id.census_threads = o.max_threads;
+  return id;
+}
 
 // Construct a lock of the given kind over memory model M.  Returns nullptr
 // only for kStdShared under a simulated memory model (std::shared_mutex
@@ -305,53 +424,53 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
       g.csnzi = o.csnzi;
       g.readers_coalesce_over_writers = o.readers_coalesce_over_writers;
       g.metalock = o.metalock;
-      return std::make_unique<RwLockAdapter<GollLock<M>>>("GOLL", g);
+      return std::make_unique<RwLockAdapter<GollLock<M>>>(adapter_identity("GOLL", o), g);
     }
     case LockKind::kFoll: {
       FollOptions f;
       f.max_threads = o.max_threads;
       f.csnzi = o.csnzi;
       f.topology = o.metalock.topology;
-      return std::make_unique<RwLockAdapter<FollLock<M>>>("FOLL", f);
+      return std::make_unique<RwLockAdapter<FollLock<M>>>(adapter_identity("FOLL", o), f);
     }
     case LockKind::kRoll: {
       RollOptions r;
       r.max_threads = o.max_threads;
       r.csnzi = o.csnzi;
       r.topology = o.metalock.topology;
-      return std::make_unique<RwLockAdapter<RollLock<M>>>("ROLL", r);
+      return std::make_unique<RwLockAdapter<RollLock<M>>>(adapter_identity("ROLL", o), r);
     }
     case LockKind::kKsuh: {
       KsuhOptions k;
       k.max_threads = o.max_threads;
-      return std::make_unique<RwLockAdapter<KsuhRwLock<M>>>("KSUH", k);
+      return std::make_unique<RwLockAdapter<KsuhRwLock<M>>>(adapter_identity("KSUH", o), k);
     }
     case LockKind::kSolarisLike: {
       SolarisOptions s;
       s.readers_coalesce_over_writers = o.readers_coalesce_over_writers;
-      return std::make_unique<RwLockAdapter<SolarisRwLock<M>>>("Solaris-like",
+      return std::make_unique<RwLockAdapter<SolarisRwLock<M>>>(adapter_identity("Solaris-like", o),
                                                                s);
     }
     case LockKind::kMcsRw: {
       McsRwOptions m;
       m.max_threads = o.max_threads;
-      return std::make_unique<RwLockAdapter<McsRwLock<M>>>("MCS-RW", m);
+      return std::make_unique<RwLockAdapter<McsRwLock<M>>>(adapter_identity("MCS-RW", o), m);
     }
     case LockKind::kBigReader: {
       BigReaderOptions b;
       b.max_threads = o.max_threads;
-      return std::make_unique<RwLockAdapter<BigReaderRwLock<M>>>("BigReader",
+      return std::make_unique<RwLockAdapter<BigReaderRwLock<M>>>(adapter_identity("BigReader", o),
                                                                  b);
     }
     case LockKind::kCentral: {
       CentralRwOptions c;
       c.max_threads = o.max_threads;
-      return std::make_unique<RwLockAdapter<CentralRwLock<M>>>("Central", c);
+      return std::make_unique<RwLockAdapter<CentralRwLock<M>>>(adapter_identity("Central", o), c);
     }
     case LockKind::kStdShared: {
       if constexpr (std::is_same_v<M, RealMemory>) {
         return std::make_unique<RwLockAdapter<std::shared_mutex>>(
-            "std::shared_mutex");
+            adapter_identity("std::shared_mutex", o));
       } else {
         return nullptr;
       }
@@ -365,7 +484,7 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
       BravoOptions b;
       b.max_threads = o.max_threads;
       return std::make_unique<RwLockAdapter<Bravo<GollLock<M>, M>>>(
-          "BRAVO-GOLL", b, g);
+          adapter_identity("BRAVO-GOLL", o), b, g);
     }
     case LockKind::kBravoFoll: {
       FollOptions f;
@@ -375,7 +494,7 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
       BravoOptions b;
       b.max_threads = o.max_threads;
       return std::make_unique<RwLockAdapter<Bravo<FollLock<M>, M>>>(
-          "BRAVO-FOLL", b, f);
+          adapter_identity("BRAVO-FOLL", o), b, f);
     }
     case LockKind::kBravoRoll: {
       RollOptions r;
@@ -385,7 +504,7 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
       BravoOptions b;
       b.max_threads = o.max_threads;
       return std::make_unique<RwLockAdapter<Bravo<RollLock<M>, M>>>(
-          "BRAVO-ROLL", b, r);
+          adapter_identity("BRAVO-ROLL", o), b, r);
     }
     case LockKind::kBravoCentral: {
       CentralRwOptions c;
@@ -393,7 +512,7 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
       BravoOptions b;
       b.max_threads = o.max_threads;
       return std::make_unique<RwLockAdapter<Bravo<CentralRwLock<M>, M>>>(
-          "BRAVO-Central", b, c);
+          adapter_identity("BRAVO-Central", o), b, c);
     }
     case LockKind::kOptGoll: {
       GollOptions g;
@@ -404,7 +523,7 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
       VersionedOptions v;
       v.max_threads = o.max_threads;
       return std::make_unique<
-          RwLockAdapter<VersionedRwLock<GollLock<M>, M>>>("OPT-GOLL", v, g);
+          RwLockAdapter<VersionedRwLock<GollLock<M>, M>>>(adapter_identity("OPT-GOLL", o), v, g);
     }
     case LockKind::kOptBravoGoll: {
       GollOptions g;
@@ -418,7 +537,7 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
       v.max_threads = o.max_threads;
       return std::make_unique<
           RwLockAdapter<VersionedRwLock<Bravo<GollLock<M>, M>, M>>>(
-          "OPT-BRAVO-GOLL", v, b, g);
+          adapter_identity("OPT-BRAVO-GOLL", o), v, b, g);
     }
     case LockKind::kOptCentral: {
       CentralRwOptions c;
@@ -426,7 +545,7 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
       VersionedOptions v;
       v.max_threads = o.max_threads;
       return std::make_unique<
-          RwLockAdapter<VersionedRwLock<CentralRwLock<M>, M>>>("OPT-Central",
+          RwLockAdapter<VersionedRwLock<CentralRwLock<M>, M>>>(adapter_identity("OPT-Central", o),
                                                                v, c);
     }
   }

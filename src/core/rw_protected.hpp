@@ -7,23 +7,29 @@
 //   config.write([&](Config& c) { c.timeout = 30; });
 #pragma once
 
+#include <concepts>
 #include <cstdint>
+#include <optional>
 #include <type_traits>
 #include <utility>
 
 #include "core/guards.hpp"
 #include "core/rwlock_concepts.hpp"
+#include "locks/lock_stats.hpp"
 #include "platform/backoff.hpp"
+#include "platform/lock_registry.hpp"
 
 namespace oll {
 
 template <typename T, SharedLockable Lock>
 class RwProtected {
  public:
-  RwProtected() = default;
+  RwProtected() { register_self(); }
 
   template <typename... Args>
-  explicit RwProtected(Args&&... args) : value_(std::forward<Args>(args)...) {}
+  explicit RwProtected(Args&&... args) : value_(std::forward<Args>(args)...) {
+    register_self();
+  }
 
   RwProtected(const RwProtected&) = delete;
   RwProtected& operator=(const RwProtected&) = delete;
@@ -100,9 +106,40 @@ class RwProtected {
 
   Lock& mutex() const { return lock_; }
 
+  // Re-register under a meaningful telemetry identity (the default is the
+  // anonymous "RwProtected").  Typical call:
+  //   config.annotate("config", {__FILE__, __LINE__});
+  void annotate(const char* name, LockSite site = {}) {
+    registration_.reset();
+    registration_.emplace(name, "RwProtected", site,
+                          static_cast<const void*>(this),
+                          &RwProtected::registry_stats_thunk, nullptr);
+  }
+
  private:
+  void register_self() {
+    registration_.emplace("RwProtected", "RwProtected", LockSite{},
+                          static_cast<const void*>(this),
+                          &RwProtected::registry_stats_thunk, nullptr);
+  }
+
+  static LockStatsSnapshot registry_stats_thunk(const void* obj) {
+    const auto* self = static_cast<const RwProtected*>(obj);
+    if constexpr (requires(const Lock& l) {
+                    { l.stats() } -> std::convertible_to<LockStatsSnapshot>;
+                  }) {
+      return self->lock_.stats();
+    } else {
+      (void)self;
+      return {};
+    }
+  }
+
   T value_{};
   mutable Lock lock_{};
+  // Declared last: deregistration blocks out in-flight registry samplers
+  // before lock_ dies.
+  std::optional<LockRegistration> registration_;
 };
 
 }  // namespace oll

@@ -14,6 +14,7 @@
 #include "harness/watchdog.hpp"
 #include "platform/assert.hpp"
 #include "platform/fault.hpp"
+#include "platform/lock_registry.hpp"
 #include "platform/rng.hpp"
 #include "platform/spin.hpp"
 #include "platform/thread_id.hpp"
@@ -73,12 +74,16 @@ void acquire_release_loop(AnyRwLock& lock, const WorkloadConfig& cfg,
     if (watchdog != nullptr) watchdog->begin_acquire(worker, !read);
     bool acquired = true;
     if (read) {
+      // Acquire-site tag (platform/lock_registry.hpp): trace records and
+      // census waits from this acquisition carry the read path's file:line.
+      ScopedLockSite site(OLL_LOCK_SITE());
       if (cfg.timeout_ns != 0) {
         acquired = lock.try_lock_shared_for(timeout);
       } else {
         lock.lock_shared();
       }
     } else {
+      ScopedLockSite site(OLL_LOCK_SITE());
       if (cfg.timeout_ns != 0) {
         acquired = lock.try_lock_for(timeout);
       } else {

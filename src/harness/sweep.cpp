@@ -151,7 +151,11 @@ void write_histogram_json(std::ostream& out, const HistogramSnapshot& h) {
   out << "{\"count\":" << h.count << ",\"mean\":" << h.mean()
       << ",\"p50\":" << h.percentile(50.0)
       << ",\"p95\":" << h.percentile(95.0)
-      << ",\"p99\":" << h.percentile(99.0) << ",\"max\":" << h.max << "}";
+      << ",\"p99\":" << h.percentile(99.0) << ",\"max\":" << h.max
+      // Saturation: samples that landed in the last (unbounded) log2
+      // bucket, where percentile resolution is gone.  Non-zero means the
+      // histogram range was too small for this workload.
+      << ",\"overflow\":" << h.buckets[kHistogramBuckets - 1] << "}";
 }
 
 void write_lock_stats_json(std::ostream& out, const LockStatsSnapshot& s) {
@@ -211,6 +215,7 @@ bool run_observability_pass(std::ostream& os,
   struct LockRow {
     LockKind kind;
     LockStatsSnapshot stats;
+    std::uint64_t trace_dropped = 0;  // ring-wrap losses during this run
   };
   std::vector<LockRow> rows;
   std::vector<TraceRun> trace_runs;
@@ -231,7 +236,7 @@ bool run_observability_pass(std::ostream& os,
     w.watchdog = sc.watchdog;
     w.pin_threads = sc.pin_threads;
     RunResult r = run_workload(kind, w, sc.mode);
-    rows.push_back({kind, r.lock_stats});
+    rows.push_back({kind, r.lock_stats, 0});
     if (want_trace) {
       // Drain per lock run so each gets its own process in the export.
       TraceRun run;
@@ -240,6 +245,7 @@ bool run_observability_pass(std::ostream& os,
                  std::to_string(sc.read_pct);
       run.dump = trace_drain();
       run.ts_scale = ts_scale;
+      rows.back().trace_dropped = run.dump.dropped;
       trace_runs.push_back(std::move(run));
     }
   }
@@ -267,15 +273,19 @@ bool run_observability_pass(std::ostream& os,
     if (!out) {
       ok = false;
     } else {
-      out << "{\"mode\":\"" << mode_name(sc.mode) << "\",\"unit\":\"" << unit
+      // Schema documented in docs/STATS_SCHEMA.md; bump schema_version on
+      // any breaking change.
+      out << "{\"schema_version\":" << kStatsJsonSchemaVersion
+          << ",\"mode\":\"" << mode_name(sc.mode) << "\",\"unit\":\"" << unit
           << "\",\"threads\":" << threads << ",\"read_pct\":" << sc.read_pct
           << ",\"acquires_per_thread\":" << sc.effective_acquires()
+          << ",\"trace_enabled\":" << (want_trace ? "true" : "false")
           << ",\"locks\":{";
       for (std::size_t i = 0; i < rows.size(); ++i) {
         if (i != 0) out << ",";
         out << "\"" << lock_kind_name(rows[i].kind) << "\":{";
         write_lock_stats_json(out, rows[i].stats);
-        out << "}";
+        out << ",\"trace_dropped\":" << rows[i].trace_dropped << "}";
       }
       out << "}}\n";
       ok = out.good();

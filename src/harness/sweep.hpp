@@ -101,6 +101,12 @@ struct ObservabilityConfig {
 // written.
 bool run_observability_pass(std::ostream& os, const ObservabilityConfig& cfg);
 
+// Version of the --stats_json document layout (docs/STATS_SCHEMA.md).
+// Bump on any breaking change to field names or meanings.  v2 added
+// schema_version itself, trace_enabled, per-lock trace_dropped and
+// per-histogram overflow.
+inline constexpr int kStatsJsonSchemaVersion = 2;
+
 // JSON fragments shared by the stats exports (the observability pass and
 // the latency_fairness bench): {"count":..,"mean":..,"p50":..,...} for a
 // histogram, and the full counter + histogram set for a snapshot.

@@ -1,0 +1,174 @@
+// Continuous telemetry exporter over the global lock registry
+// (platform/lock_registry.hpp; DESIGN.md §14).
+//
+// A TelemetryExporter is a background thread that, every interval:
+//   1. stores the coarse clock (so census marks can age waiters),
+//   2. walks the registry, pinning each live lock to snapshot its raw
+//      cumulative LockStats and its holder/waiter census,
+//   3. charges every observed waiter's acquire site a wait sample,
+//   4. subtracts the previous tick's per-lock snapshot (the same
+//      LockStatsSnapshot operator-= the harness uses for warmup rebasing)
+//      to get per-interval deltas and rates, ranks the top-K contended
+//      locks, and
+//   5. renders the result as Prometheus text exposition (atomically
+//      replaced file and/or a minimal built-in HTTP endpoint) and as a
+//      JSON-lines time series (one object appended per tick).
+//
+// Long benches therefore stream live series — which locks are hot, who
+// is blocking whom, when reader bias flips — instead of one terminal
+// blob after the run.  Scrape with:
+//
+//   scrape_configs:
+//     - job_name: oll
+//       static_configs: [{targets: ['localhost:9464']}]
+//
+// The exporter holds registry_census_enable() for its lifetime (opt-out:
+// TelemetryOptions::census), so census marks (a few relaxed cache-local
+// stores per acquisition) flow only while someone is actually looking.
+// Everything here is control-plane: the
+// exporter thread never takes a lock a worker thread can hold.
+//
+// With OLL_REGISTRY=0 the registry walk sees nothing; the exporter runs
+// but exports empty series (binaries stay flag-compatible).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "locks/lock_stats.hpp"
+#include "platform/lock_registry.hpp"
+
+namespace oll {
+
+struct TelemetryOptions {
+  std::uint64_t interval_ms = 100;
+  // Prometheus text-exposition file, atomically replaced each tick
+  // (write tmp + rename).  Empty: no file.
+  std::string prom_path;
+  // JSON-lines time series, one object appended per tick.  Empty: no file.
+  std::string jsonl_path;
+  // Serve the latest Prometheus text over HTTP on this loopback port
+  // (GET anything).  -1: no endpoint; 0: pick a free port (bound_port()).
+  int http_port = -1;
+  std::uint32_t top_k = 5;  // contended locks called out per tick
+  // Hold registry_census_enable() for the exporter's lifetime so ticks can
+  // report holders/waiters/queue depth and charge acquire sites.  Census
+  // marks cost a few relaxed cache-local stores per acquisition (~5 ns) —
+  // negligible for real critical sections, measurable on ~25 ns micro ops
+  // (EXPERIMENTS.md).  false: counters-only export, zero hot-path cost.
+  bool census = true;
+};
+
+// One lock's state at one tick: cumulative counters, the delta since the
+// previous tick, and the live census.
+struct LockTelemetry {
+  std::uint64_t id = 0;
+  const char* name = "?";
+  const char* kind = "?";
+  LockSite site{};
+  LockStatsSnapshot total{};  // raw cumulative (never rebased)
+  LockStatsSnapshot delta{};  // since previous tick (== total on first sight)
+  CensusSnapshot census{};
+  bool has_census = false;
+
+  // Contention score used for top-K ranking: queued acquisitions and bias
+  // revocations this interval, plus anyone waiting right now.
+  std::uint64_t contention_score() const {
+    return delta.read_queued + delta.write_queued + delta.bias_revoke +
+           census.queue_depth();
+  }
+};
+
+struct TelemetryTick {
+  std::uint64_t tick = 0;     // 1-based
+  std::uint64_t now_ns = 0;
+  std::uint64_t interval_ns = 0;  // actual elapsed since previous tick
+  std::vector<LockTelemetry> locks;
+  std::vector<std::size_t> top;  // indices into `locks`, most contended first
+  std::vector<LockSiteSample> sites;
+  // Deregistered locks' final counters (registry_graveyard()), so the
+  // exposition never loses the work of a short-lived lock that died
+  // between ticks — Prometheus counters must not vanish.
+  std::vector<RetiredLockStats> retired;  // sorted by (name, kind)
+};
+
+class TelemetryExporter {
+ public:
+  explicit TelemetryExporter(TelemetryOptions opts);
+  ~TelemetryExporter();
+
+  TelemetryExporter(const TelemetryExporter&) = delete;
+  TelemetryExporter& operator=(const TelemetryExporter&) = delete;
+
+  // Spawn the exporter thread (and the HTTP listener when configured).
+  // Census marks start flowing here.
+  void start();
+
+  // Final tick, then join everything.  Idempotent; the destructor calls it.
+  void stop();
+
+  // The HTTP listener's actual port (useful with http_port=0), or -1.
+  int bound_port() const { return bound_port_; }
+
+  std::uint64_t ticks() const {
+    return tick_count_.load(std::memory_order_relaxed);
+  }
+
+  // --- test hooks (usable without start()) -------------------------------
+  // Run one collection step synchronously at the given timestamp and
+  // return the computed tick (deltas keyed off this exporter's history).
+  TelemetryTick collect(std::uint64_t now_ns);
+  // Render a tick the way the exporter writes it.
+  static std::string render_prometheus(const TelemetryTick& t);
+  static std::string render_jsonl(const TelemetryTick& t);
+
+ private:
+  void run();
+  void http_loop();
+  void emit(const TelemetryTick& t);
+
+  TelemetryOptions opts_;
+  std::thread thread_;
+  std::thread http_thread_;
+  int listen_fd_ = -1;
+  int bound_port_ = -1;
+  bool started_ = false;
+
+  std::mutex mu_;  // guards stop_/cv_ and collect state below
+  std::condition_variable cv_;
+  bool stop_ = false;
+
+  // Collection state (exporter thread or synchronous collect() caller).
+  std::uint64_t last_tick_ns_ = 0;
+  std::atomic<std::uint64_t> tick_count_{0};
+  struct Baseline {
+    std::uint64_t id;
+    LockStatsSnapshot stats;
+  };
+  std::vector<Baseline> baselines_;  // sorted by id (registry order)
+
+  std::mutex prom_mu_;       // latest rendered text, served by the endpoint
+  std::string latest_prom_;
+};
+
+// Shared CLI glue for the bench binaries: parse --telemetry_interval_ms=N,
+// --metrics_out=PATH (Prometheus text at PATH, JSONL at PATH.jsonl) and
+// --metrics_port=N.  Returns a started exporter, or null when no telemetry
+// flag was given.
+struct TelemetryFlagValues {
+  std::uint64_t interval_ms = 100;
+  std::string metrics_out;
+  int metrics_port = -1;
+  bool any() const { return !metrics_out.empty() || metrics_port >= 0; }
+};
+
+std::unique_ptr<TelemetryExporter> make_telemetry_exporter(
+    const TelemetryFlagValues& v);
+
+}  // namespace oll

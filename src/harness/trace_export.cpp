@@ -4,8 +4,12 @@
 #include <fstream>
 #include <map>
 #include <ostream>
+#include <sstream>
+#include <string>
 #include <string_view>
 #include <utility>
+
+#include "platform/lock_registry.hpp"
 
 namespace oll::bench {
 namespace {
@@ -80,7 +84,25 @@ class EventWriter {
 
 void write_chrome_trace(std::ostream& out,
                         const std::vector<TraceRun>& runs) {
-  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":";
+  // Acquire-site tags (platform/lock_registry.hpp): id -> "file:line".
+  std::vector<std::string> site_names;
+  for (const LockSiteSample& s : lock_site_table()) {
+    std::ostringstream name;
+    name << (s.file != nullptr ? s.file : "?") << ":" << s.line;
+    site_names.push_back(name.str());
+  }
+  auto site_arg = [&site_names](std::ostream& os, std::uint32_t site) {
+    if (site == 0 || site > site_names.size()) return;
+    os << ",\"site\":\"";
+    write_escaped(os, site_names[site - 1]);
+    os << "\"";
+  };
+  std::uint64_t total_dropped = 0;
+  for (const TraceRun& run : runs) total_dropped += run.dump.dropped;
+  // droppedEvents is a top-level extension field (ignored by viewers);
+  // validate_trace.py asserts it is zero for the smoke configurations.
+  out << "{\"displayTimeUnit\":\"ns\",\"droppedEvents\":" << total_dropped
+      << ",\"traceEvents\":";
   {
     EventWriter events(out);
     for (std::size_t i = 0; i < runs.size(); ++i) {
@@ -111,7 +133,9 @@ void write_chrome_trace(std::ostream& out,
           events.next() << "{\"ph\":\"B\",\"pid\":" << pid
                         << ",\"tid\":" << rec.tid << ",\"ts\":" << ts
                         << ",\"name\":\"" << name
-                        << "\",\"args\":{\"obj\":\"" << rec.obj << "\"}}";
+                        << "\",\"args\":{\"obj\":\"" << rec.obj << "\"";
+          site_arg(out, rec.site);
+          out << "}}";
         } else if (is_end(rec.type)) {
           const char* name = slice_name(rec.type);
           auto it = depth.find({rec.tid, name});
@@ -124,7 +148,9 @@ void write_chrome_trace(std::ostream& out,
           events.next() << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid
                         << ",\"tid\":" << rec.tid << ",\"ts\":" << ts
                         << ",\"name\":\"" << trace_event_name(rec.type)
-                        << "\",\"args\":{\"obj\":\"" << rec.obj << "\"}}";
+                        << "\",\"args\":{\"obj\":\"" << rec.obj << "\"";
+          site_arg(out, rec.site);
+          out << "}}";
         }
       }
     }

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "platform/assert.hpp"
+#include "platform/lock_registry.hpp"
 #include "platform/time.hpp"
 #include "platform/trace.hpp"
 
@@ -33,6 +34,11 @@ void Watchdog::end_acquire(std::uint32_t worker) {
 
 void Watchdog::start() {
   if (running_) return;
+  // Arm the contention census (platform/lock_registry.hpp) so an incident
+  // dump can name the lock's holder and queue, not just the stuck worker.
+  // Refcounted: coexists with the telemetry exporter.
+  registry_census_enable();
+  registry_set_coarse_now(now_ns());
   stop_.store(false, std::memory_order_relaxed);
   monitor_ = std::thread([this] { monitor_loop(); });
   running_ = true;
@@ -42,6 +48,7 @@ void Watchdog::stop() {
   if (!running_) return;
   stop_.store(true, std::memory_order_release);
   monitor_.join();
+  registry_census_disable();
   running_ = false;
 }
 
@@ -101,6 +108,35 @@ void Watchdog::dump_incident(std::uint32_t worker, const Slot& slot,
                "[watchdog]   in-flight acquisitions: %u readers, %u writers "
                "(of %zu workers)\n",
                in_read, in_write, slots_.size());
+  // Holder/waiter census (platform/lock_registry.hpp): names the write
+  // holder's dense thread index and the longest waiter — the attribution
+  // the per-worker slots above cannot provide.
+  if (registry_compiled_in() && lock_.census() != nullptr) {
+    const CensusSnapshot c = lock_.census()->snapshot(now_ns());
+    char holder[32];
+    if (c.write_held && c.writer_tid != kNoCensusTid) {
+      std::snprintf(holder, sizeof(holder), "tid %u (write)", c.writer_tid);
+    } else if (c.write_held) {
+      std::snprintf(holder, sizeof(holder), "writer (tid unknown)");
+    } else if (c.holding_readers != 0) {
+      std::snprintf(holder, sizeof(holder), "%u readers", c.holding_readers);
+    } else {
+      std::snprintf(holder, sizeof(holder), "none observed");
+    }
+    std::fprintf(stderr,
+                 "[watchdog]   census: holder=%s queue_depth=%u "
+                 "(waiting readers=%u writers=%u)\n",
+                 holder, c.queue_depth(), c.waiting_readers,
+                 c.waiting_writers);
+    if (c.longest_waiter_tid != kNoCensusTid) {
+      std::fprintf(stderr,
+                   "[watchdog]   census: longest waiter tid %u, %.1f ms "
+                   "(coarse), site id %u\n",
+                   c.longest_waiter_tid,
+                   static_cast<double>(c.longest_wait_ns) * 1e-6,
+                   c.longest_waiter_site);
+    }
+  }
   if (trace_events_enabled()) {
     // Destructive drain: diagnostics of last resort beat preserving rings.
     const TraceDump dump = trace_drain();
@@ -132,6 +168,9 @@ void Watchdog::monitor_loop() {
     }
     const std::uint64_t threshold = threshold_ns();
     const std::uint64_t now = now_ns();
+    // Keep the census coarse clock fresh so waiter ages resolve to the
+    // poll interval even when no telemetry exporter is running.
+    registry_set_coarse_now(now);
     for (std::uint32_t w = 0; w < slots_.size(); ++w) {
       Slot& slot = slots_[w];
       const std::uint64_t begin = slot.start_ns.load(std::memory_order_relaxed);

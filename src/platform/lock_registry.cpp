@@ -1,0 +1,303 @@
+#include "platform/lock_registry.hpp"
+
+#if OLL_REGISTRY
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <tuple>
+
+namespace oll {
+
+namespace registry_internal {
+std::atomic<std::uint32_t> g_census_on{0};
+std::atomic<std::uint32_t> g_census_epoch{0};
+std::atomic<std::uint64_t> g_coarse_now{0};
+thread_local std::uint32_t t_current_site = 0;
+}  // namespace registry_internal
+
+namespace {
+
+// One registry node per *registration*.  Nodes are immortal: once linked
+// into the all-nodes list they are never unlinked or freed, only marked
+// dead and recycled through a free list.  That makes the sampler's walk
+// safe without hazard pointers or epochs — the only lifetime it must
+// protect is the registered lock object's, which the pin protocol below
+// covers.
+//
+// state word: bit 0 = dead, bits 1.. = pin count (in units of 2).
+//   sample:      fetch_add(2, acquire); if dead, fetch_sub(2) and skip;
+//                else read payload, fetch_sub(2, release).
+//   deregister:  fetch_or(1, acq_rel) then spin until state == 1 (dead,
+//                no pins).  After that no sampler can reach the payload:
+//                new pinners see the dead bit and back off.
+struct Node {
+  std::atomic<std::uint64_t> state{1};  // born dead; resurrected on register
+  std::atomic<Node*> next{nullptr};     // all-nodes link, immutable once set
+  Node* free_next = nullptr;            // free-list link, guarded by g_reg_mu
+
+  // Payload: plain fields, written only while dead (exclusive) and
+  // published by the release store that clears the dead bit.
+  std::uint64_t id = 0;
+  const char* name = "?";
+  const char* kind = "?";
+  LockSite site{};
+  const void* obj = nullptr;
+  RegistryStatsFn stats_fn = nullptr;
+  const ContentionCensus* census = nullptr;
+};
+
+std::atomic<Node*> g_head{nullptr};  // all nodes ever created (push-only)
+std::atomic<std::uint64_t> g_next_id{1};
+std::atomic<std::uint64_t> g_total{0};
+std::atomic<std::size_t> g_live{0};
+
+// Control plane only (register/deregister recycle path).  Samplers never
+// take it, so telemetry cannot stall lock creation and vice versa — the
+// hot sample walk stays lock-free.
+std::mutex g_reg_mu;
+Node* g_free = nullptr;  // dead nodes available for reuse
+
+// Graveyard: final raw counters of deregistered locks, aggregated by
+// (name, kind) under g_reg_mu.  Deregistration reads stats_fn one last
+// time while the lock object is still alive, so the aggregate is exact —
+// unlike a telemetry baseline, which is only as fresh as the last tick.
+std::vector<RetiredLockStats>* g_graveyard = nullptr;  // leaked, never freed
+
+constexpr std::uint64_t kDeadBit = 1;
+constexpr std::uint64_t kPinUnit = 2;
+
+// Per-site contention table.  Fixed capacity, append-only: a site id is an
+// index+1 into this array, handed out once per OLL_LOCK_SITE() expansion.
+struct SiteEntry {
+  std::atomic<const char*> file{nullptr};  // publish gate: non-null = ready
+  std::atomic<int> line{0};
+  std::atomic<std::uint64_t> wait_samples{0};
+  std::atomic<std::uint64_t> stalls{0};
+};
+SiteEntry g_sites[kMaxLockSites];
+std::atomic<std::uint32_t> g_site_next{0};
+
+std::atomic<std::uint32_t> g_census_refs{0};
+
+}  // namespace
+
+namespace registry_internal {
+void note_site_stall(std::uint32_t site) {
+  if (site == 0 || site > kMaxLockSites) return;
+  g_sites[site - 1].stalls.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace registry_internal
+
+void registry_census_enable() {
+  if (g_census_refs.fetch_add(1, std::memory_order_acq_rel) == 0) {
+    // New epoch before arming: slots stranded by the previous disable
+    // (marks gate on g_census_on and skip cleanup while off) carry an
+    // older stamp and are ignored by this epoch's snapshots.
+    registry_internal::g_census_epoch.fetch_add(1,
+                                                std::memory_order_relaxed);
+    registry_internal::g_census_on.store(1, std::memory_order_seq_cst);
+  }
+}
+
+void registry_census_disable() {
+  if (g_census_refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    registry_internal::g_census_on.store(0, std::memory_order_seq_cst);
+  }
+}
+
+void registry_set_coarse_now(std::uint64_t now_ns) {
+  registry_internal::g_coarse_now.store(now_ns, std::memory_order_relaxed);
+}
+
+std::uint32_t register_lock_site(const char* file, int line) {
+  const std::uint32_t idx =
+      g_site_next.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= kMaxLockSites) return 0;  // table full: fall back to untagged
+  SiteEntry& e = g_sites[idx];
+  e.line.store(line, std::memory_order_relaxed);
+  e.file.store(file, std::memory_order_release);
+  return idx + 1;
+}
+
+void lock_site_add_wait_sample(std::uint32_t site) {
+  if (site == 0 || site > kMaxLockSites) return;
+  g_sites[site - 1].wait_samples.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<LockSiteSample> lock_site_table() {
+  const std::uint32_t n = std::min(
+      g_site_next.load(std::memory_order_acquire), kMaxLockSites);
+  std::vector<LockSiteSample> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const SiteEntry& e = g_sites[i];
+    LockSiteSample s;
+    s.file = e.file.load(std::memory_order_acquire);
+    if (s.file == nullptr) {
+      // Slot claimed but not yet published by a racing register; report a
+      // placeholder so ids stay positional.
+      s.file = "?";
+    }
+    s.line = e.line.load(std::memory_order_relaxed);
+    s.wait_samples = e.wait_samples.load(std::memory_order_relaxed);
+    s.stalls = e.stalls.load(std::memory_order_relaxed);
+    out.push_back(s);
+  }
+  return out;
+}
+
+LockRegistration::LockRegistration(const char* name, const char* kind,
+                                   LockSite site, const void* obj,
+                                   RegistryStatsFn stats_fn,
+                                   const ContentionCensus* census) {
+  Node* n = nullptr;
+  {
+    std::lock_guard<std::mutex> g(g_reg_mu);
+    if (g_free != nullptr) {
+      n = g_free;
+      g_free = n->free_next;
+      n->free_next = nullptr;
+    }
+  }
+  const bool fresh = (n == nullptr);
+  if (fresh) n = new Node;
+
+  // Dead (exclusive) — fill the payload with plain stores.
+  n->id = g_next_id.fetch_add(1, std::memory_order_relaxed);
+  n->name = name != nullptr ? name : "?";
+  n->kind = kind != nullptr ? kind : "?";
+  n->site = site;
+  n->obj = obj;
+  n->stats_fn = stats_fn;
+  n->census = census;
+
+  if (fresh) {
+    // Link into the all-nodes list before resurrecting, so a sampler that
+    // finds the node sees either dead or the fully-published payload.
+    Node* head = g_head.load(std::memory_order_relaxed);
+    do {
+      n->next.store(head, std::memory_order_relaxed);
+    } while (!g_head.compare_exchange_weak(head, n,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed));
+  }
+
+  // Resurrect: clear the dead bit, publishing the payload.
+  n->state.store(0, std::memory_order_release);
+  g_total.fetch_add(1, std::memory_order_relaxed);
+  g_live.fetch_add(1, std::memory_order_relaxed);
+  node_ = n;
+}
+
+LockRegistration::~LockRegistration() {
+  if (node_ == nullptr) return;
+  Node* n = static_cast<Node*>(node_);
+  // Final stats read, while the lock object is certainly alive (we run
+  // before the holder's other members are destroyed).
+  LockStatsSnapshot last{};
+  const bool have_last = n->stats_fn != nullptr;
+  if (have_last) last = n->stats_fn(n->obj);
+  // Mark dead; late pinners will see the bit and back off without touching
+  // the payload.
+  n->state.fetch_or(kDeadBit, std::memory_order_acq_rel);
+  // Drain in-flight pins: a sampler may be inside stats_fn(obj) right now,
+  // and obj dies when our holder's destructor proceeds past us.
+  while (n->state.load(std::memory_order_acquire) != kDeadBit) {
+    std::this_thread::yield();
+  }
+  g_live.fetch_sub(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> g(g_reg_mu);
+    if (have_last) {
+      if (g_graveyard == nullptr) {
+        g_graveyard = new std::vector<RetiredLockStats>;
+      }
+      auto it = std::find_if(g_graveyard->begin(), g_graveyard->end(),
+                             [&](const RetiredLockStats& r) {
+                               return r.name == n->name && r.kind == n->kind;
+                             });
+      if (it == g_graveyard->end()) {
+        RetiredLockStats fresh;
+        fresh.name = n->name;
+        fresh.kind = n->kind;
+        it = g_graveyard->insert(g_graveyard->end(), std::move(fresh));
+      }
+      it->stats += last;
+      ++it->count;
+    }
+    n->free_next = g_free;
+    g_free = n;
+  }
+  node_ = nullptr;
+}
+
+std::vector<RetiredLockStats> registry_graveyard() {
+  std::lock_guard<std::mutex> g(g_reg_mu);
+  if (g_graveyard == nullptr) return {};
+  std::vector<RetiredLockStats> out = *g_graveyard;
+  std::sort(out.begin(), out.end(),
+            [](const RetiredLockStats& a, const RetiredLockStats& b) {
+              return std::tie(a.name, a.kind) < std::tie(b.name, b.kind);
+            });
+  return out;
+}
+
+std::uint64_t LockRegistration::id() const {
+  return node_ != nullptr ? static_cast<Node*>(node_)->id : 0;
+}
+
+std::vector<RegisteredLockSample> registry_sample(std::uint64_t now_ns,
+                                                  bool attribute_sites) {
+  std::vector<RegisteredLockSample> out;
+  out.reserve(g_live.load(std::memory_order_relaxed));
+  for (Node* n = g_head.load(std::memory_order_acquire); n != nullptr;
+       n = n->next.load(std::memory_order_acquire)) {
+    // Pin.  If the node was already dead, undo and move on; if it dies
+    // while we hold the pin, the deregistering thread waits for us.
+    const std::uint64_t prev =
+        n->state.fetch_add(kPinUnit, std::memory_order_acquire);
+    if ((prev & kDeadBit) != 0) {
+      n->state.fetch_sub(kPinUnit, std::memory_order_relaxed);
+      continue;
+    }
+    RegisteredLockSample s;
+    s.id = n->id;
+    s.name = n->name;
+    s.kind = n->kind;
+    s.site = n->site;
+    if (n->stats_fn != nullptr) s.stats = n->stats_fn(n->obj);
+    if (n->census != nullptr) {
+      s.census = n->census->snapshot(now_ns);
+      s.has_census = true;
+      if (attribute_sites) {
+        n->census->for_each_waiting(
+            [](std::uint32_t, std::uint32_t site, std::uint64_t) {
+              lock_site_add_wait_sample(site);
+            });
+      }
+    }
+    n->state.fetch_sub(kPinUnit, std::memory_order_release);
+    out.push_back(s);
+  }
+  // The all-nodes list is newest-first (head pushes) with recycled nodes
+  // scattered arbitrarily; present registration order instead.
+  std::sort(out.begin(), out.end(),
+            [](const RegisteredLockSample& a, const RegisteredLockSample& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::size_t registry_live_count() {
+  return g_live.load(std::memory_order_relaxed);
+}
+
+std::uint64_t registry_total_registrations() {
+  return g_total.load(std::memory_order_relaxed);
+}
+
+}  // namespace oll
+
+#endif  // OLL_REGISTRY

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "platform/cache_line.hpp"
+#include "platform/lock_registry.hpp"
 #include "platform/thread_id.hpp"
 #include "platform/time.hpp"
 
@@ -28,6 +29,7 @@ struct Slot {
   std::atomic<std::uint64_t> ts{0};
   std::atomic<const void*> obj{nullptr};
   std::atomic<std::uint32_t> type{0};
+  std::atomic<std::uint32_t> site{0};
 };
 
 struct Ring {
@@ -80,6 +82,7 @@ void emit(TraceEventType type, const void* obj, std::uint64_t ts) {
   s.ts.store(ts, std::memory_order_relaxed);
   s.obj.store(obj, std::memory_order_relaxed);
   s.type.store(static_cast<std::uint32_t>(type), std::memory_order_relaxed);
+  s.site.store(current_lock_site(), std::memory_order_relaxed);
   r->head.store(h + 1, std::memory_order_release);
 }
 
@@ -139,6 +142,7 @@ TraceDump trace_drain() {
       rec.ts = s.ts.load(std::memory_order_relaxed);
       rec.obj = s.obj.load(std::memory_order_relaxed);
       rec.tid = idx;
+      rec.site = s.site.load(std::memory_order_relaxed);
       rec.type =
           static_cast<TraceEventType>(s.type.load(std::memory_order_relaxed));
       dump.records.push_back(rec);

@@ -90,6 +90,10 @@ struct TraceRecord {
   std::uint64_t ts = 0;       // trace-clock units (ns real / cycles sim)
   const void* obj = nullptr;  // the lock (or C-SNZI) the event concerns
   std::uint32_t tid = 0;      // dense thread index at emit time
+  // Acquire-site tag active at emit time (platform/lock_registry.hpp:
+  // OLL_LOCK_SITE via ScopedLockSite); 0 = untagged.  Lets the trace
+  // export attribute events to the call site that initiated them.
+  std::uint32_t site = 0;
   TraceEventType type{};
 };
 

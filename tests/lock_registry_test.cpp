@@ -1,0 +1,349 @@
+// Lock-registry tests (platform/lock_registry.hpp): registration lifecycle
+// and node recycling, the pin protocol under register/deregister churn
+// concurrent with sampling (the TSan target), the deregistration graveyard,
+// the holder/waiter census, and acquire-site tags.
+//
+// Registry state is process-global, so every assertion is a before/after
+// delta keyed on test-unique lock names — tests compose in any order and
+// alongside other suites that create factory locks.
+//
+// The OLL_REGISTRY=0 configuration compiles all of this away; these tests
+// then assert the stubs' documented no-op behaviour and skip the rest, so
+// the same source builds in both halves of the check.sh matrix.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "platform/lock_registry.hpp"
+#include "platform/thread_id.hpp"
+
+namespace oll {
+namespace {
+
+// A fake "lock": the registered object is just a counter the stats thunk
+// reads, so tests control the exact numbers the registry reports.
+struct FakeLock {
+  std::atomic<std::uint64_t> reads{0};
+};
+
+LockStatsSnapshot fake_stats(const void* obj) {
+  LockStatsSnapshot s;
+  s.read_fast = static_cast<const FakeLock*>(obj)->reads.load(
+      std::memory_order_relaxed);
+  return s;
+}
+
+bool sample_has(const std::vector<RegisteredLockSample>& v, const char* name,
+                RegisteredLockSample* out = nullptr) {
+  for (const auto& s : v) {
+    if (std::string(s.name) == name) {
+      if (out != nullptr) *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t graveyard_reads(const char* name) {
+  for (const auto& r : registry_graveyard()) {
+    if (r.name == name) return r.stats.reads();
+  }
+  return 0;
+}
+
+TEST(LockRegistryTest, CompiledOutStubsAreInert) {
+  if (registry_compiled_in()) GTEST_SKIP() << "OLL_REGISTRY=1 build";
+  FakeLock fake;
+  LockRegistration reg("stub", "stub", LockSite{}, &fake, &fake_stats,
+                       nullptr);
+  EXPECT_FALSE(reg.registered());
+  EXPECT_EQ(reg.id(), 0u);
+  EXPECT_TRUE(registry_sample(0).empty());
+  EXPECT_TRUE(registry_graveyard().empty());
+  EXPECT_EQ(registry_live_count(), 0u);
+  EXPECT_EQ(OLL_LOCK_SITE(), 0u);
+}
+
+TEST(LockRegistryTest, RegistrationAppearsInSampleWithStats) {
+  if (!registry_compiled_in()) GTEST_SKIP() << "OLL_REGISTRY=0 build";
+  FakeLock fake;
+  fake.reads.store(41, std::memory_order_relaxed);
+  LockRegistration reg("reg-sample-test", "fake",
+                       LockSite{__FILE__, __LINE__}, &fake, &fake_stats,
+                       nullptr);
+  ASSERT_TRUE(reg.registered());
+  EXPECT_NE(reg.id(), 0u);
+
+  RegisteredLockSample s;
+  ASSERT_TRUE(sample_has(registry_sample(0), "reg-sample-test", &s));
+  EXPECT_STREQ(s.kind, "fake");
+  EXPECT_EQ(s.stats.reads(), 41u);
+  EXPECT_TRUE(s.site.known());
+  EXPECT_FALSE(s.has_census);  // no census supplied
+}
+
+TEST(LockRegistryTest, DeregistrationRemovesFromSampleAndRecyclesNodes) {
+  if (!registry_compiled_in()) GTEST_SKIP() << "OLL_REGISTRY=0 build";
+  const std::size_t live0 = registry_live_count();
+  const std::uint64_t total0 = registry_total_registrations();
+  FakeLock fake;
+  std::uint64_t first_id = 0;
+  for (int i = 0; i < 64; ++i) {
+    LockRegistration reg("reg-churn-test", "fake", LockSite{}, &fake,
+                         &fake_stats, nullptr);
+    ASSERT_TRUE(reg.registered());
+    if (first_id == 0) first_id = reg.id();
+    // Ids are unique per registration even when the node is recycled.
+    EXPECT_EQ(reg.id(), first_id + static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(registry_live_count(), live0);
+  EXPECT_EQ(registry_total_registrations(), total0 + 64);
+  EXPECT_FALSE(sample_has(registry_sample(0), "reg-churn-test"));
+}
+
+TEST(LockRegistryTest, GraveyardAggregatesExactFinalStats) {
+  if (!registry_compiled_in()) GTEST_SKIP() << "OLL_REGISTRY=0 build";
+  const std::uint64_t before = graveyard_reads("reg-grave-test");
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    FakeLock fake;
+    LockRegistration reg("reg-grave-test", "fake", LockSite{}, &fake,
+                         &fake_stats, nullptr);
+    // Counters advance after the last possible telemetry tick; the
+    // destructor must still capture them (final read happens in-dtor,
+    // not from a stale sampling baseline).
+    fake.reads.store(100 * i, std::memory_order_relaxed);
+  }
+  EXPECT_EQ(graveyard_reads("reg-grave-test"), before + 600);
+}
+
+// The TSan target: registration/deregistration churn racing the sampler's
+// pinned walk.  The pin protocol must keep every stats_fn call inside the
+// registered object's lifetime.
+TEST(LockRegistryTest, ChurnConcurrentWithSamplingIsSafe) {
+  if (!registry_compiled_in()) GTEST_SKIP() << "OLL_REGISTRY=0 build";
+  constexpr int kChurnThreads = 3;
+  constexpr int kIters = 400;
+  std::atomic<bool> stop{false};
+  std::thread sampler([&] {
+    std::uint64_t walks = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto v = registry_sample(++walks);
+      for (const auto& s : v) {
+        // Touch the payload so a use-after-free is observable.
+        ASSERT_NE(s.name, nullptr);
+      }
+    }
+  });
+  std::vector<std::thread> churners;
+  for (int t = 0; t < kChurnThreads; ++t) {
+    churners.emplace_back([t] {
+      for (int i = 0; i < kIters; ++i) {
+        FakeLock fake;
+        fake.reads.store(static_cast<std::uint64_t>(t * kIters + i),
+                         std::memory_order_relaxed);
+        LockRegistration reg("reg-race-test", "fake", LockSite{}, &fake,
+                             &fake_stats, nullptr);
+        // Deregistration (end of scope) blocks until in-flight pins drain.
+      }
+    });
+  }
+  for (auto& th : churners) th.join();
+  stop.store(true, std::memory_order_relaxed);
+  sampler.join();
+  EXPECT_FALSE(sample_has(registry_sample(0), "reg-race-test"));
+}
+
+TEST(LockRegistryTest, CensusTracksHoldersWaitersAndLongestWaiter) {
+  if (!registry_compiled_in()) GTEST_SKIP() << "OLL_REGISTRY=0 build";
+  registry_census_enable();
+  registry_set_coarse_now(1000);
+  ContentionCensus census(8);
+  {
+    ScopedThreadIndex as0(0);
+    census.begin_wait(/*write=*/true);
+    census.acquired(/*write=*/true);
+  }
+  {
+    ScopedThreadIndex as1(1);
+    census.begin_wait(/*write=*/false);  // still waiting
+  }
+  {
+    ScopedThreadIndex as2(2);
+    ScopedLockSite site(OLL_LOCK_SITE());
+    registry_set_coarse_now(5000);  // thread 2 starts waiting later
+    census.begin_wait(/*write=*/false);
+  }
+  CensusSnapshot c = census.snapshot(/*now_ns=*/9000);
+  EXPECT_TRUE(c.write_held);
+  EXPECT_EQ(c.writer_tid, 0u);
+  EXPECT_EQ(c.waiting_readers, 2u);
+  EXPECT_EQ(c.waiting_writers, 0u);
+  EXPECT_EQ(c.queue_depth(), 2u);
+  // Thread 1 began at coarse time 1000 — the longest waiter.
+  EXPECT_EQ(c.longest_waiter_tid, 1u);
+  EXPECT_EQ(c.longest_wait_ns, 8000u);
+
+  {
+    ScopedThreadIndex as0(0);
+    census.released();
+  }
+  {
+    ScopedThreadIndex as1(1);
+    census.abandoned();  // timed out
+  }
+  {
+    ScopedThreadIndex as2(2);
+    census.acquired(/*write=*/false);
+  }
+  c = census.snapshot(9000);
+  EXPECT_FALSE(c.write_held);
+  EXPECT_EQ(c.writer_tid, kNoCensusTid);
+  EXPECT_EQ(c.queue_depth(), 0u);
+  EXPECT_EQ(c.holding_readers, 1u);
+  registry_census_disable();
+}
+
+// Marks gate on the global enable word, so a disable mid-acquisition
+// strands the slot; the epoch stamp must keep that stale entry out of the
+// next enable session's snapshots.
+TEST(LockRegistryTest, CensusEpochIgnoresMarksFromPreviousSession) {
+  if (!registry_compiled_in()) GTEST_SKIP() << "OLL_REGISTRY=0 build";
+  ContentionCensus census(4);
+  ScopedThreadIndex as0(0);
+  registry_census_enable();
+  registry_set_coarse_now(1000);
+  census.begin_wait(/*write=*/true);
+  census.acquired(/*write=*/true);
+  EXPECT_TRUE(census.snapshot(2000).write_held);
+  registry_census_disable();
+  census.released();  // gated off: the slot keeps its stale hold mark
+
+  registry_census_enable();  // new epoch
+  const CensusSnapshot c = census.snapshot(2000);
+  EXPECT_FALSE(c.write_held);
+  EXPECT_EQ(c.queue_depth(), 0u);
+  std::uint32_t visited = 0;
+  census.for_each_waiting(
+      [&](std::uint32_t, std::uint32_t, std::uint64_t) { ++visited; });
+  EXPECT_EQ(visited, 0u);
+  registry_census_disable();
+}
+
+TEST(LockRegistryTest, CensusDisabledMarksNothing) {
+  if (!registry_compiled_in()) GTEST_SKIP() << "OLL_REGISTRY=0 build";
+  ASSERT_FALSE(registry_census_enabled());
+  ContentionCensus census(4);
+  ScopedThreadIndex as0(0);
+  census.begin_wait(/*write=*/true);
+  const CensusSnapshot c = census.snapshot(1000);
+  EXPECT_EQ(c.queue_depth(), 0u);
+  EXPECT_FALSE(c.write_held);
+}
+
+TEST(LockRegistryTest, SiteTagsRegisterOnceAndChargeSamples) {
+  if (!registry_compiled_in()) GTEST_SKIP() << "OLL_REGISTRY=0 build";
+  // Each OLL_LOCK_SITE() expansion registers once and caches its id in a
+  // function-local static: re-evaluating the same expansion is free and
+  // stable.
+  auto same_site = [] { return OLL_LOCK_SITE(); };
+  const std::uint32_t site = same_site();
+  ASSERT_NE(site, 0u);
+  EXPECT_EQ(site, same_site());
+  const std::size_t table_size0 = lock_site_table().size();
+  EXPECT_EQ(site, same_site());
+  EXPECT_EQ(lock_site_table().size(), table_size0);  // no re-registration
+
+  EXPECT_EQ(current_lock_site(), 0u);
+  {
+    ScopedLockSite scoped(site);
+    EXPECT_EQ(current_lock_site(), site);
+    {
+      ScopedLockSite inner(site + 1000);  // nested override
+      EXPECT_EQ(current_lock_site(), site + 1000);
+    }
+    EXPECT_EQ(current_lock_site(), site);
+  }
+  EXPECT_EQ(current_lock_site(), 0u);
+
+  auto table = lock_site_table();
+  ASSERT_GE(table.size(), site);
+  const std::uint64_t samples0 = table[site - 1].wait_samples;
+  lock_site_add_wait_sample(site);
+  lock_site_add_wait_sample(site);
+  table = lock_site_table();
+  EXPECT_EQ(table[site - 1].wait_samples, samples0 + 2);
+  EXPECT_STREQ(table[site - 1].file, __FILE__);
+}
+
+TEST(LockRegistryTest, AcquisitionSpanningTickChargesSiteStall) {
+  if (!registry_compiled_in()) GTEST_SKIP() << "OLL_REGISTRY=0 build";
+  const std::uint32_t site = OLL_LOCK_SITE();
+  ASSERT_NE(site, 0u);
+  const std::uint64_t stalls0 = lock_site_table()[site - 1].stalls;
+
+  registry_census_enable();
+  ContentionCensus census(4);
+  ScopedThreadIndex as0(0);
+  {
+    // Same coarse tick for begin and acquire: no stall.
+    ScopedLockSite scoped(site);
+    registry_set_coarse_now(1000);
+    census.begin_wait(/*write=*/false);
+    census.acquired(/*write=*/false);
+    census.released();
+    EXPECT_EQ(lock_site_table()[site - 1].stalls, stalls0);
+
+    // The exporter ticks while we wait: one stall charged to the site.
+    census.begin_wait(/*write=*/false);
+    registry_set_coarse_now(2000);
+    census.acquired(/*write=*/false);
+    census.released();
+    EXPECT_EQ(lock_site_table()[site - 1].stalls, stalls0 + 1);
+  }
+  registry_census_disable();
+}
+
+// End-to-end through the factory: adapter-backed locks self-register with
+// their kind name and expose a census the exporter (and watchdog) can read.
+TEST(LockRegistryTest, FactoryLocksSelfRegisterAndExposeCensus) {
+  if (!registry_compiled_in()) GTEST_SKIP() << "OLL_REGISTRY=0 build";
+  const std::size_t live0 = registry_live_count();
+  {
+    LockFactoryOptions o;
+    o.max_threads = 4;
+    auto lock = make_rwlock(LockKind::kGoll, o);
+    ASSERT_NE(lock, nullptr);
+    EXPECT_EQ(registry_live_count(), live0 + 1);
+    ASSERT_NE(lock->census(), nullptr);
+
+    lock->lock_shared();
+    lock->unlock_shared();
+    lock->lock();
+    lock->unlock();
+
+    RegisteredLockSample s;
+    ASSERT_TRUE(sample_has(registry_sample(0), "GOLL", &s));
+    EXPECT_TRUE(s.has_census);
+    EXPECT_GE(s.stats.reads(), 1u);
+    EXPECT_GE(s.stats.writes(), 1u);
+  }
+  EXPECT_EQ(registry_live_count(), live0);
+}
+
+TEST(LockRegistryTest, FactoryOptOutSkipsRegistration) {
+  if (!registry_compiled_in()) GTEST_SKIP() << "OLL_REGISTRY=0 build";
+  const std::size_t live0 = registry_live_count();
+  LockFactoryOptions o;
+  o.register_lock = false;
+  auto lock = make_rwlock(LockKind::kGoll, o);
+  ASSERT_NE(lock, nullptr);
+  EXPECT_EQ(registry_live_count(), live0);
+}
+
+}  // namespace
+}  // namespace oll

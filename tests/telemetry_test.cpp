@@ -1,0 +1,252 @@
+// Telemetry-exporter tests (harness/telemetry.hpp): per-tick delta
+// computation against the exporter's own baselines (including surviving a
+// harness stats rebase), retired-lock counter persistence through the
+// registry graveyard, top-K contention ranking, the Prometheus / JSON-lines
+// renderers, and the background-thread lifecycle end to end (prom file +
+// JSONL appends + loopback HTTP endpoint).
+//
+// collect() is the synchronous test hook: it runs one exporter step at a
+// caller-supplied timestamp, so delta assertions are deterministic instead
+// of racing a real 100ms tick.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "core/factory.hpp"
+#include "harness/telemetry.hpp"
+#include "platform/lock_registry.hpp"
+
+namespace oll {
+namespace {
+
+bool tick_has(const TelemetryTick& t, std::uint64_t id,
+              LockTelemetry* out = nullptr) {
+  for (const auto& l : t.locks) {
+    if (l.id == id) {
+      if (out != nullptr) *out = l;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t lowest_live_id(const TelemetryTick& t, const char* name) {
+  std::uint64_t best = 0;
+  for (const auto& l : t.locks) {
+    if (std::string(l.name) == name && (best == 0 || l.id < best)) {
+      best = l.id;
+    }
+  }
+  return best;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(TelemetryTest, CollectComputesPerTickDeltas) {
+  if (!registry_compiled_in()) GTEST_SKIP() << "OLL_REGISTRY=0 build";
+  LockFactoryOptions o;
+  o.max_threads = 4;
+  auto lock = make_rwlock(LockKind::kGoll, o);
+  ASSERT_NE(lock, nullptr);
+
+  TelemetryExporter ex(TelemetryOptions{});
+  TelemetryTick t1 = ex.collect(1'000'000);
+  const std::uint64_t id = lowest_live_id(t1, "GOLL");
+  ASSERT_NE(id, 0u);
+  LockTelemetry before;
+  ASSERT_TRUE(tick_has(t1, id, &before));
+  const std::uint64_t base_reads = before.total.reads();
+
+  for (int i = 0; i < 7; ++i) {
+    lock->lock_shared();
+    lock->unlock_shared();
+  }
+  lock->lock();
+  lock->unlock();
+
+  TelemetryTick t2 = ex.collect(3'000'000);
+  EXPECT_EQ(t2.interval_ns, 2'000'000u);
+  EXPECT_EQ(t2.tick, t1.tick + 1);
+  LockTelemetry after;
+  ASSERT_TRUE(tick_has(t2, id, &after));
+  EXPECT_EQ(after.delta.reads(), 7u);
+  EXPECT_EQ(after.delta.writes(), 1u);
+  EXPECT_EQ(after.total.reads(), base_reads + 7);
+}
+
+// The harness rebases AnyRwLock::stats() between warmup and measurement;
+// the exporter reads raw counters and keeps its own baselines, so a rebase
+// mid-interval must not dent (or underflow) the reported delta.
+TEST(TelemetryTest, DeltasSurviveHarnessStatsRebase) {
+  if (!registry_compiled_in()) GTEST_SKIP() << "OLL_REGISTRY=0 build";
+  LockFactoryOptions o;
+  o.max_threads = 4;
+  auto lock = make_rwlock(LockKind::kFoll, o);
+  ASSERT_NE(lock, nullptr);
+
+  TelemetryExporter ex(TelemetryOptions{});
+  TelemetryTick t1 = ex.collect(1000);
+  const std::uint64_t id = lowest_live_id(t1, "FOLL");
+  ASSERT_NE(id, 0u);
+
+  for (int i = 0; i < 5; ++i) {
+    lock->lock_shared();
+    lock->unlock_shared();
+  }
+  lock->reset_stats();  // harness warmup boundary
+  EXPECT_EQ(lock->stats().reads(), 0u);
+
+  LockTelemetry after;
+  ASSERT_TRUE(tick_has(ex.collect(2000), id, &after));
+  EXPECT_EQ(after.delta.reads(), 5u);
+}
+
+TEST(TelemetryTest, RetiredLockCountersPersistExactly) {
+  if (!registry_compiled_in()) GTEST_SKIP() << "OLL_REGISTRY=0 build";
+  TelemetryExporter ex(TelemetryOptions{});
+  std::uint64_t before = 0;
+  for (const auto& r : ex.collect(1000).retired) {
+    if (r.name == "ROLL") before = r.stats.reads();
+  }
+  {
+    LockFactoryOptions o;
+    o.max_threads = 4;
+    auto lock = make_rwlock(LockKind::kRoll, o);
+    ASSERT_NE(lock, nullptr);
+    for (int i = 0; i < 9; ++i) {
+      lock->lock_shared();
+      lock->unlock_shared();
+    }
+    // Dies between ticks: never sampled live after the reads above.
+  }
+  std::uint64_t after = 0;
+  for (const auto& r : ex.collect(2000).retired) {
+    if (r.name == "ROLL") after = r.stats.reads();
+  }
+  // Exact: the graveyard captures final counters at destruction, not the
+  // (empty) last live baseline.
+  EXPECT_EQ(after, before + 9);
+}
+
+TEST(TelemetryTest, TopKRanksByContentionAndBounds) {
+  if (!registry_compiled_in()) GTEST_SKIP() << "OLL_REGISTRY=0 build";
+  LockFactoryOptions o;
+  o.max_threads = 4;
+  auto a = make_rwlock(LockKind::kGoll, o);
+  auto b = make_rwlock(LockKind::kCentral, o);
+  TelemetryOptions topts;
+  topts.top_k = 1;
+  TelemetryExporter ex(topts);
+  const TelemetryTick t = ex.collect(1000);
+  ASSERT_GE(t.locks.size(), 2u);
+  EXPECT_EQ(t.top.size(), 1u);
+  ASSERT_LT(t.top[0], t.locks.size());
+  for (std::size_t i = 0; i < t.locks.size(); ++i) {
+    EXPECT_GE(t.locks[t.top[0]].contention_score(),
+              t.locks[i].contention_score());
+  }
+}
+
+TEST(TelemetryTest, PrometheusRenderingIsWellFormed) {
+  if (!registry_compiled_in()) GTEST_SKIP() << "OLL_REGISTRY=0 build";
+  LockFactoryOptions o;
+  o.max_threads = 4;
+  auto lock = make_rwlock(LockKind::kGoll, o);
+  lock->lock_shared();
+  lock->unlock_shared();
+  TelemetryExporter ex(TelemetryOptions{});
+  const std::string prom = ex.render_prometheus(ex.collect(1'000'000'000));
+
+  for (const char* family :
+       {"oll_registry_live_locks", "oll_telemetry_ticks_total",
+        "oll_lock_reads_total", "oll_lock_writes_total",
+        "oll_lock_acquire_rate", "oll_lock_queue_depth"}) {
+    EXPECT_NE(prom.find(std::string("# HELP ") + family), std::string::npos)
+        << family;
+    EXPECT_NE(prom.find(std::string("# TYPE ") + family), std::string::npos)
+        << family;
+  }
+  EXPECT_NE(prom.find("oll_lock_reads_total{lock=\"GOLL\""),
+            std::string::npos);
+  EXPECT_EQ(prom.find("nan"), std::string::npos);
+  EXPECT_EQ(prom.find("inf"), std::string::npos);
+}
+
+TEST(TelemetryTest, JsonlRenderingIsOneObjectPerLine) {
+  if (!registry_compiled_in()) GTEST_SKIP() << "OLL_REGISTRY=0 build";
+  LockFactoryOptions o;
+  o.max_threads = 4;
+  auto lock = make_rwlock(LockKind::kGoll, o);
+  TelemetryExporter ex(TelemetryOptions{});
+  const std::string line = ex.render_jsonl(ex.collect(1'000'000'000));
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("\"tick\":"), std::string::npos);
+  EXPECT_NE(line.find("\"locks\":["), std::string::npos);
+  EXPECT_NE(line.find("\"retired\":["), std::string::npos);
+  EXPECT_NE(line.find("\"GOLL\""), std::string::npos);
+}
+
+// Background lifecycle: the exporter thread writes the prom file (atomic
+// replace) and appends JSONL ticks; stop() takes a final flush so even a
+// short run exports at least one complete snapshot.
+TEST(TelemetryTest, ExporterThreadWritesFilesAndFinalFlush) {
+  const std::string prom_path = ::testing::TempDir() + "telemetry_test.prom";
+  const std::string jsonl_path = prom_path + ".jsonl";
+  std::remove(prom_path.c_str());
+  std::remove(jsonl_path.c_str());
+
+  LockFactoryOptions o;
+  o.max_threads = 4;
+  auto lock = make_rwlock(LockKind::kGoll, o);
+  {
+    TelemetryOptions topts;
+    topts.interval_ms = 5;
+    topts.prom_path = prom_path;
+    topts.jsonl_path = jsonl_path;
+    TelemetryExporter ex(topts);
+    ex.start();
+    if (registry_compiled_in()) {
+      EXPECT_TRUE(registry_census_enabled());  // held for the lifetime
+    }
+    lock->lock_shared();
+    lock->unlock_shared();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ex.stop();
+    EXPECT_GE(ex.ticks(), 1u);  // final flush guarantees >= 1
+  }
+  if (registry_compiled_in()) {
+    EXPECT_FALSE(registry_census_enabled());
+  }
+
+  const std::string prom = read_file(prom_path);
+  EXPECT_NE(prom.find("oll_telemetry_ticks_total"), std::string::npos);
+  if (registry_compiled_in()) {
+    EXPECT_NE(prom.find("lock=\"GOLL\""), std::string::npos);
+  }
+  std::ifstream jsonl(jsonl_path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(jsonl, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_GE(lines, 1u);
+  std::remove(prom_path.c_str());
+  std::remove(jsonl_path.c_str());
+}
+
+}  // namespace
+}  // namespace oll
