@@ -113,12 +113,17 @@ void TelemetryExporter::stop() {
   cv_.notify_all();
   if (thread_.joinable()) thread_.join();
   if (listen_fd_ >= 0) {
-    // Unblock the accept loop; the listener checks stop_ after accept.
+    // Unblock the accept loop, but don't close yet: the listener thread
+    // still reads listen_fd_, and once closed the fd number could be
+    // recycled by an unrelated open and a late accept() would act on the
+    // wrong descriptor.  Close only after the join.
     ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (http_thread_.joinable()) http_thread_.join();
+  if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  if (http_thread_.joinable()) http_thread_.join();
   if (opts_.census) registry_census_disable();
 }
 
@@ -146,6 +151,7 @@ void TelemetryExporter::run() {
 }
 
 TelemetryTick TelemetryExporter::collect(std::uint64_t now) {
+  std::lock_guard<std::mutex> g(collect_mu_);
   registry_set_coarse_now(now);
   TelemetryTick t;
   t.tick = tick_count_.fetch_add(1, std::memory_order_relaxed) + 1;

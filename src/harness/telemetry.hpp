@@ -140,11 +140,14 @@ class TelemetryExporter {
   int bound_port_ = -1;
   bool started_ = false;
 
-  std::mutex mu_;  // guards stop_/cv_ and collect state below
+  std::mutex mu_;  // guards stop_/cv_
   std::condition_variable cv_;
   bool stop_ = false;
 
-  // Collection state (exporter thread or synchronous collect() caller).
+  // Collection state (exporter thread or synchronous collect() caller),
+  // guarded by its own mutex so the public collect() hook is safe even
+  // while the exporter thread is running.
+  std::mutex collect_mu_;
   std::uint64_t last_tick_ns_ = 0;
   std::atomic<std::uint64_t> tick_count_{0};
   struct Baseline {

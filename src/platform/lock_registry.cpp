@@ -32,6 +32,12 @@ namespace {
 //   deregister:  fetch_or(1, acq_rel) then spin until state == 1 (dead,
 //                no pins).  After that no sampler can reach the payload:
 //                new pinners see the dead bit and back off.
+//   register:    fetch_and(~1, release) — clear ONLY the dead bit.  A
+//                sampler may be mid-back-off on this very node (it pinned,
+//                saw dead, and has not yet fetch_sub'd); an unconditional
+//                store(0) would erase that transient pin and the back-off
+//                decrement would underflow the count, wedging the next
+//                deregistration's drain loop forever.
 struct Node {
   std::atomic<std::uint64_t> state{1};  // born dead; resurrected on register
   std::atomic<Node*> next{nullptr};     // all-nodes link, immutable once set
@@ -184,8 +190,10 @@ LockRegistration::LockRegistration(const char* name, const char* kind,
                                            std::memory_order_relaxed));
   }
 
-  // Resurrect: clear the dead bit, publishing the payload.
-  n->state.store(0, std::memory_order_release);
+  // Resurrect: clear the dead bit, publishing the payload.  Must preserve
+  // the pin count — a sampler that pinned the dead node may still be
+  // backing off, and its pending fetch_sub must stay balanced.
+  n->state.fetch_and(~kDeadBit, std::memory_order_release);
   g_total.fetch_add(1, std::memory_order_relaxed);
   g_live.fetch_add(1, std::memory_order_relaxed);
   node_ = n;
@@ -254,6 +262,12 @@ std::vector<RegisteredLockSample> registry_sample(std::uint64_t now_ns,
   out.reserve(g_live.load(std::memory_order_relaxed));
   for (Node* n = g_head.load(std::memory_order_acquire); n != nullptr;
        n = n->next.load(std::memory_order_acquire)) {
+    // Check-then-pin: skip nodes that already look dead without touching
+    // their state word, so samplers only contend with a deregistration's
+    // pin-drain loop when the death genuinely raced the pin below.
+    if ((n->state.load(std::memory_order_acquire) & kDeadBit) != 0) {
+      continue;
+    }
     // Pin.  If the node was already dead, undo and move on; if it dies
     // while we hold the pin, the deregistering thread waits for us.
     const std::uint64_t prev =

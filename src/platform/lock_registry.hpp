@@ -49,9 +49,14 @@
 //
 // Concurrency contract: registration/deregistration and sampling are safe
 // from any thread, any time (the one blocking edge: deregistration waits
-// for in-flight pins on its own node).  Census marks are wait-free.  Stats
-// read through the registry are the usual relaxed aggregate — approximate
-// live, exact at quiescence.
+// for in-flight pins on its own node).  That drain loop has no
+// forward-progress guarantee of its own: a steady stream of samplers could
+// in principle keep a node pinned and starve the destructor.  Samplers
+// mitigate this by checking the dead bit before pinning — so only a pin
+// that genuinely raced the death can delay a deregistration, and at
+// realistic tick rates (>=1ms apart) the drain is one yield at worst.
+// Census marks are wait-free.  Stats read through the registry are the
+// usual relaxed aggregate — approximate live, exact at quiescence.
 #pragma once
 
 #include <cstdint>

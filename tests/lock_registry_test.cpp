@@ -158,6 +158,38 @@ TEST(LockRegistryTest, ChurnConcurrentWithSamplingIsSafe) {
   EXPECT_FALSE(sample_has(registry_sample(0), "reg-race-test"));
 }
 
+// Regression: registration must resurrect a node by clearing ONLY the dead
+// bit.  A sampler can pin a node in the window where it is dead (between a
+// deregistration and the next registration recycling it); it then backs
+// off with a decrement.  The old unconditional store(0) resurrect erased
+// such a transient pin, so the back-off decrement underflowed the state
+// word, the node looked permanently pinned, and the next deregistration's
+// pin-drain loop spun forever.  One lock recycled in a tight loop against
+// constantly-walking samplers makes that overlap frequent; before the fix
+// this test wedges in the destructor instead of finishing.
+TEST(LockRegistryTest, ResurrectionPreservesConcurrentSamplerPins) {
+  if (!registry_compiled_in()) GTEST_SKIP() << "OLL_REGISTRY=0 build";
+  constexpr int kSamplers = 2;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> samplers;
+  for (int t = 0; t < kSamplers; ++t) {
+    samplers.emplace_back([&] {
+      std::uint64_t walks = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        registry_sample(++walks);
+      }
+    });
+  }
+  FakeLock fake;
+  for (int i = 0; i < 500; ++i) {
+    LockRegistration reg("reg-resurrect-test", "fake", LockSite{}, &fake,
+                         &fake_stats, nullptr);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : samplers) th.join();
+  EXPECT_FALSE(sample_has(registry_sample(0), "reg-resurrect-test"));
+}
+
 TEST(LockRegistryTest, CensusTracksHoldersWaitersAndLongestWaiter) {
   if (!registry_compiled_in()) GTEST_SKIP() << "OLL_REGISTRY=0 build";
   registry_census_enable();
