@@ -11,16 +11,12 @@
 //
 // Each variant runs the Figure 5(a) read-only workload on a GOLL lock over
 // the simulated T5440 and prints one series row.
-#include <algorithm>
+#include <cstdint>
 #include <iostream>
 #include <vector>
 
-#include "core/factory.hpp"
-#include "harness/cli.hpp"
-#include "harness/driver.hpp"
-#include "harness/workload.hpp"
+#include "bench_common.hpp"
 #include "locks/goll_lock.hpp"
-#include "sim/memory.hpp"
 
 namespace ob = oll::bench;
 
@@ -31,31 +27,17 @@ struct Variant {
   oll::CSnziOptions csnzi;
 };
 
-oll::CSnziOptions sim_base() {
-  oll::CSnziOptions o;
-  // Mirror the harness driver's sim-mode tuning: leaf placement derived
-  // from the simulated machine's topology (SMT siblings share a leaf).
-  o.topology = &oll::sim::t5440_cpu_topology();
-  o.topology_mapping = oll::LeafMapping::kSmtCluster;
-  o.leaves = 64;
-  o.root_cas_fail_threshold = 1;
-  return o;
-}
-
 double run_variant(const Variant& v, std::uint32_t threads,
                    std::uint64_t acquires) {
-  oll::sim::Machine machine(oll::sim::t5440_topology(),
-                            oll::sim::t5440_costs(),
-                            std::max<std::uint32_t>(threads, 512));
   oll::GollOptions g;
   g.max_threads = threads + 1;
   g.csnzi = v.csnzi;
-  oll::RwLockAdapter<oll::GollLock<oll::sim::SimMemory>> lock(v.name, g);
   ob::WorkloadConfig w;
   w.threads = threads;
   w.read_pct = 100;
   w.acquires_per_thread = acquires;
-  return ob::run_sim_workload_on(lock, w, machine).throughput();
+  return ob::run_sim_variant<oll::GollLock<oll::sim::SimMemory>>(v.name, g, w)
+      .throughput();
 }
 
 }  // namespace
@@ -66,65 +48,59 @@ int main(int argc, char** argv) {
   const std::vector<std::uint32_t> thread_counts = {1, 8, 64, 256};
 
   std::vector<Variant> variants;
-  variants.push_back({"adaptive (paper, smt-cluster leaves)", sim_base()});
+  variants.push_back(
+      {"adaptive (paper, smt-cluster leaves)", ob::sim_csnzi_base()});
   {
-    Variant v{"always-root (central counter)", sim_base()};
+    Variant v{"always-root (central counter)", ob::sim_csnzi_base()};
     v.csnzi.policy = oll::ArrivalPolicy::kAlwaysRoot;
     variants.push_back(v);
   }
   {
-    Variant v{"always-tree (no root fast path)", sim_base()};
+    Variant v{"always-tree (no root fast path)", ob::sim_csnzi_base()};
     v.csnzi.policy = oll::ArrivalPolicy::kAlwaysTree;
     variants.push_back(v);
   }
   {
-    Variant v{"adaptive, switch threshold 4", sim_base()};
+    Variant v{"adaptive, switch threshold 4", ob::sim_csnzi_base()};
     v.csnzi.root_cas_fail_threshold = 4;
     variants.push_back(v);
   }
   // Leaf-mapping ablation: how threads cluster onto leaves.
   {
-    Variant v{"per-thread leaves (256, no sharing)", sim_base()};
+    Variant v{"per-thread leaves (256, no sharing)", ob::sim_csnzi_base()};
     v.csnzi.topology_mapping = oll::LeafMapping::kPerThread;
     v.csnzi.leaves = 256;
     variants.push_back(v);
   }
   {
-    Variant v{"llc-cluster leaves (64 threads/leaf)", sim_base()};
+    Variant v{"llc-cluster leaves (64 threads/leaf)", ob::sim_csnzi_base()};
     v.csnzi.topology_mapping = oll::LeafMapping::kLlcCluster;
     variants.push_back(v);
   }
   {
-    Variant v{"static leaf_shift=3 (seed heuristic)", sim_base()};
+    Variant v{"static leaf_shift=3 (seed heuristic)", ob::sim_csnzi_base()};
     v.csnzi.topology_mapping = oll::LeafMapping::kStaticShift;
     v.csnzi.leaf_shift = 3;
     variants.push_back(v);
   }
   // Sticky fast path: re-read the root on every arrival instead.
   {
-    Variant v{"sticky off (root read per arrival)", sim_base()};
+    Variant v{"sticky off (root read per arrival)", ob::sim_csnzi_base()};
     v.csnzi.sticky_arrivals = 0;
     variants.push_back(v);
   }
   {
-    Variant v{"two-level tree (fanout 8)", sim_base()};
+    Variant v{"two-level tree (fanout 8)", ob::sim_csnzi_base()};
     v.csnzi.levels = 2;
     v.csnzi.fanout = 8;
     variants.push_back(v);
   }
 
   std::cout << "# C-SNZI ablation: GOLL lock, 100% reads, simulated T5440\n"
-            << "# (paper §2.2 arrival policy / §5.1 tuning discussion)\n"
-            << "variant";
-  for (auto t : thread_counts) std::cout << ",t" << t;
-  std::cout << "\n";
-
-  for (const Variant& v : variants) {
-    std::cout << "\"" << v.name << "\"";
-    for (auto t : thread_counts) {
-      std::cout << "," << std::scientific << run_variant(v, t, acquires);
-    }
-    std::cout << "\n" << std::flush;
-  }
+            << "# (paper §2.2 arrival policy / §5.1 tuning discussion)\n";
+  ob::print_variant_table("arrival/leaf/sticky variants", variants,
+                          thread_counts, [&](const Variant& v, auto t) {
+                            return run_variant(v, t, acquires);
+                          });
   return 0;
 }

@@ -10,16 +10,13 @@
 // gates — fig5f (write-only) and fig5c (95% reads) — on a GOLL lock over the
 // simulated T5440, and prints one series row per (variant, workload).  A
 // cohort-budget sweep at the bottom shows the fairness/locality trade.
-#include <algorithm>
+#include <cstdint>
 #include <iostream>
+#include <string>
 #include <vector>
 
-#include "core/factory.hpp"
-#include "harness/cli.hpp"
-#include "harness/driver.hpp"
-#include "harness/workload.hpp"
+#include "bench_common.hpp"
 #include "locks/goll_lock.hpp"
-#include "sim/memory.hpp"
 
 namespace ob = oll::bench;
 
@@ -33,44 +30,29 @@ struct Variant {
 
 double run_variant(const Variant& v, std::uint32_t threads,
                    std::uint32_t read_pct, std::uint64_t acquires) {
-  oll::sim::Machine machine(oll::sim::t5440_topology(),
-                            oll::sim::t5440_costs(),
-                            std::max<std::uint32_t>(threads, 512));
   oll::GollOptions g;
   g.max_threads = threads + 1;
-  // Mirror the harness driver's sim-mode tuning (leaf placement and cohort
-  // domains both derive from the simulated machine's topology).
-  g.csnzi.topology = &oll::sim::t5440_cpu_topology();
-  g.csnzi.topology_mapping = oll::LeafMapping::kSmtCluster;
-  g.csnzi.leaves = 64;
-  g.csnzi.root_cas_fail_threshold = 1;
+  g.csnzi = ob::sim_csnzi_base();
   g.metalock.kind = v.kind;
   g.metalock.cohort_budget = v.cohort_budget;
   g.metalock.topology = &oll::sim::t5440_cpu_topology();
-  oll::RwLockAdapter<oll::GollLock<oll::sim::SimMemory>> lock(v.name, g);
   ob::WorkloadConfig w;
   w.threads = threads;
   w.read_pct = read_pct;
   w.acquires_per_thread = acquires;
-  return ob::run_sim_workload_on(lock, w, machine).throughput();
+  return ob::run_sim_variant<oll::GollLock<oll::sim::SimMemory>>(v.name, g, w)
+      .throughput();
 }
 
-void print_table(const char* title, std::uint32_t read_pct,
-                 const std::vector<Variant>& variants,
-                 const std::vector<std::uint32_t>& thread_counts,
-                 std::uint64_t acquires) {
-  std::cout << "# " << title << " (read_pct=" << read_pct << ")\n"
-            << "variant";
-  for (auto t : thread_counts) std::cout << ",t" << t;
-  std::cout << "\n";
-  for (const Variant& v : variants) {
-    std::cout << "\"" << v.name << "\"";
-    for (auto t : thread_counts) {
-      std::cout << "," << std::scientific
-                << run_variant(v, t, read_pct, acquires);
-    }
-    std::cout << "\n" << std::flush;
-  }
+void run_table(const char* title, std::uint32_t read_pct,
+               const std::vector<Variant>& variants,
+               const std::vector<std::uint32_t>& thread_counts,
+               std::uint64_t acquires) {
+  ob::print_variant_table(
+      std::string(title) + " (read_pct=" + std::to_string(read_pct) + ")",
+      variants, thread_counts, [&](const Variant& v, std::uint32_t t) {
+        return run_variant(v, t, read_pct, acquires);
+      });
 }
 
 }  // namespace
@@ -88,8 +70,8 @@ int main(int argc, char** argv) {
 
   std::cout << "# Metalock ablation: GOLL lock, simulated T5440\n"
             << "# (writer arbitration: TATAS vs MCS vs NUMA cohort handoff)\n";
-  print_table("fig5f write-only", 0, kinds, thread_counts, acquires);
-  print_table("fig5c 95% reads", 95, kinds, thread_counts, acquires);
+  run_table("fig5f write-only", 0, kinds, thread_counts, acquires);
+  run_table("fig5c 95% reads", 95, kinds, thread_counts, acquires);
 
   const std::vector<Variant> budgets = {
       {"cohort budget 1 (near-FIFO)", oll::MetalockKind::kCohort, 1},
@@ -97,7 +79,7 @@ int main(int argc, char** argv) {
       {"cohort budget 32 (default)", oll::MetalockKind::kCohort, 32},
       {"cohort budget 128", oll::MetalockKind::kCohort, 128},
   };
-  print_table("cohort budget sweep, write-only", 0, budgets, thread_counts,
-              acquires);
+  run_table("cohort budget sweep, write-only", 0, budgets, thread_counts,
+            acquires);
   return 0;
 }

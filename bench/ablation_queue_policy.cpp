@@ -2,34 +2,43 @@
 // coalescing into one group across queued writers (the Solaris policy the
 // paper evaluates) vs strict FIFO groups.  Run at 99% reads where the wait
 // queue actually forms.
-#include <algorithm>
+#include <cstdint>
 #include <iostream>
 #include <vector>
 
-#include "core/factory.hpp"
-#include "harness/cli.hpp"
-#include "harness/driver.hpp"
-#include "harness/workload.hpp"
+#include "bench_common.hpp"
 #include "locks/goll_lock.hpp"
 #include "locks/solaris_rwlock.hpp"
-#include "sim/memory.hpp"
 
 namespace ob = oll::bench;
 
 namespace {
 
-template <typename LockT, typename OptsT>
-double run_one(const char* name, const OptsT& opts, std::uint32_t threads,
-               std::uint64_t acquires, std::uint32_t read_pct) {
-  oll::sim::Machine machine(oll::sim::t5440_topology(),
-                            oll::sim::t5440_costs(),
-                            std::max<std::uint32_t>(threads, 512));
-  oll::RwLockAdapter<LockT> lock(name, opts);
+struct Variant {
+  const char* name;
+  bool goll;  // GOLL vs Solaris-like
+  bool coalesce;
+};
+
+double run_variant(const Variant& v, std::uint32_t threads,
+                   std::uint32_t read_pct, std::uint64_t acquires) {
+  using Sim = oll::sim::SimMemory;
   ob::WorkloadConfig w;
   w.threads = threads;
   w.read_pct = read_pct;
   w.acquires_per_thread = acquires;
-  return ob::run_sim_workload_on(lock, w, machine).throughput();
+  if (v.goll) {
+    oll::GollOptions g;
+    g.readers_coalesce_over_writers = v.coalesce;
+    g.csnzi.leaf_shift = 3;
+    g.csnzi.root_cas_fail_threshold = 1;
+    g.max_threads = threads + 1;
+    return ob::run_sim_variant<oll::GollLock<Sim>>("GOLL", g, w).throughput();
+  }
+  oll::SolarisOptions s;
+  s.readers_coalesce_over_writers = v.coalesce;
+  return ob::run_sim_variant<oll::SolarisRwLock<Sim>>("Solaris", s, w)
+      .throughput();
 }
 
 }  // namespace
@@ -41,41 +50,19 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(flags.get_u64("read_pct", 99));
   const std::vector<std::uint32_t> thread_counts = {8, 64, 256};
 
+  const std::vector<Variant> variants = {
+      {"GOLL coalesce", true, true},
+      {"Solaris coalesce", false, true},
+      {"GOLL fifo", true, false},
+      {"Solaris fifo", false, false},
+  };
+
   std::cout << "# Queue-policy ablation at " << read_pct
             << "% reads, simulated T5440\n"
-            << "# (paper §5.1 footnote 1: readers coalesce over writers)\n"
-            << "variant";
-  for (auto t : thread_counts) std::cout << ",t" << t;
-  std::cout << "\n";
-
-  using Sim = oll::sim::SimMemory;
-  for (bool coalesce : {true, false}) {
-    {
-      oll::GollOptions g;
-      g.readers_coalesce_over_writers = coalesce;
-      g.csnzi.leaf_shift = 3;
-      g.csnzi.root_cas_fail_threshold = 1;
-      std::cout << "\"GOLL " << (coalesce ? "coalesce" : "fifo") << "\"";
-      for (auto t : thread_counts) {
-        oll::GollOptions gt = g;
-        gt.max_threads = t + 1;
-        std::cout << "," << std::scientific
-                  << run_one<oll::GollLock<Sim>>("GOLL", gt, t, acquires,
-                                                 read_pct);
-      }
-      std::cout << "\n" << std::flush;
-    }
-    {
-      oll::SolarisOptions s;
-      s.readers_coalesce_over_writers = coalesce;
-      std::cout << "\"Solaris " << (coalesce ? "coalesce" : "fifo") << "\"";
-      for (auto t : thread_counts) {
-        std::cout << "," << std::scientific
-                  << run_one<oll::SolarisRwLock<Sim>>("Solaris", s, t,
-                                                      acquires, read_pct);
-      }
-      std::cout << "\n" << std::flush;
-    }
-  }
+            << "# (paper §5.1 footnote 1: readers coalesce over writers)\n";
+  ob::print_variant_table("coalesce vs fifo", variants, thread_counts,
+                          [&](const Variant& v, std::uint32_t t) {
+                            return run_variant(v, t, read_pct, acquires);
+                          });
   return 0;
 }

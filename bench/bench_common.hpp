@@ -8,8 +8,10 @@
 //   * parse_lock_list()      --locks=a,b,c -> vector<LockKind>
 //   * parse_sweep_flags()    the full SweepConfig flag set (mode, threads,
 //                            acquires, reps, cs_work, warmup, leaf_map,
-//                            sticky, metalock, cohort_budget, timeout_ns,
-//                            fault_profile, watchdog, pin); returns 0 on
+//                            sticky, metalock, cohort_budget, combine,
+//                            dwcas_root, combine_budget, delegate_writes,
+//                            timeout_ns, fault_profile, watchdog, pin);
+//                            returns 0 on
 //                            success, 2 (usage error) after printing a
 //                            message for a malformed value
 //   * run_observability_flags()  the post-sweep --hist/--stats_json/--trace
@@ -21,6 +23,7 @@
 // Flag semantics are documented once, in fig5_common.hpp's header comment.
 #pragma once
 
+#include <algorithm>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -28,9 +31,12 @@
 #include <vector>
 
 #include "harness/cli.hpp"
+#include "harness/driver.hpp"
 #include "harness/sweep.hpp"
 #include "harness/telemetry.hpp"
 #include "platform/fault.hpp"
+#include "sim/machine.hpp"
+#include "sim/memory.hpp"
 
 namespace oll::bench {
 
@@ -93,6 +99,13 @@ inline int parse_sweep_flags(const Flags& flags, SweepConfig& cfg) {
     cfg.cohort_budget =
         static_cast<std::uint32_t>(flags.get_u64("cohort_budget", 32));
   }
+  cfg.combine = flags.has("combine");
+  cfg.dwcas_root = flags.has("dwcas_root");
+  if (flags.has("combine_budget")) {
+    cfg.combine_budget =
+        static_cast<std::uint32_t>(flags.get_u64("combine_budget", 64));
+  }
+  cfg.delegate_writes = flags.has("delegate_writes");
   cfg.timeout_ns = flags.get_u64("timeout_ns", 0);
   if (flags.has("fault_profile")) {
     const std::string profile = flags.get("fault_profile", "off");
@@ -134,6 +147,58 @@ inline int run_observability_flags(const Flags& flags,
     return 1;
   }
   return 0;
+}
+
+// --- sim-variant ablation plumbing ---------------------------------------
+//
+// The ablation binaries (ablation_csnzi, ablation_metalock,
+// ablation_queue_policy, ablation_combining, ...) all do the same three
+// things: build a hand-tuned lock the factory does not expose, run it on a
+// fresh simulated T5440, and print a "variant,t8,t64,..." CSV table.  Each
+// used to carry its own copy of that plumbing; these helpers are its single
+// home.
+
+// The harness driver's sim-mode C-SNZI tuning (leaf placement derived from
+// the simulated machine's topology, SMT siblings sharing a leaf).  Ablation
+// variants start from this base so "default" rows match the fig5 binaries.
+inline CSnziOptions sim_csnzi_base() {
+  CSnziOptions o;
+  o.topology = &sim::t5440_cpu_topology();
+  o.topology_mapping = LeafMapping::kSmtCluster;
+  o.leaves = 64;
+  o.root_cas_fail_threshold = 1;
+  return o;
+}
+
+// Run one hand-built lock variant on a fresh simulated T5440.  LockT must
+// be instantiated over sim::SimMemory.
+template <typename LockT, typename OptsT>
+inline RunResult run_sim_variant(const char* name, const OptsT& opts,
+                                 const WorkloadConfig& w) {
+  sim::Machine machine(sim::t5440_topology(), sim::t5440_costs(),
+                       std::max<std::uint32_t>(w.threads, 512));
+  RwLockAdapter<LockT> lock(name, opts);
+  return run_sim_workload_on(lock, w, machine);
+}
+
+// CSV table shared by the ablation binaries: one row per variant (anything
+// with a `.name`), one column per thread count, cells produced by
+// `cell(variant, threads)`.
+template <typename V, typename CellFn>
+inline void print_variant_table(const std::string& title,
+                                const std::vector<V>& variants,
+                                const std::vector<std::uint32_t>& threads,
+                                CellFn cell) {
+  std::cout << "# " << title << "\nvariant";
+  for (auto t : threads) std::cout << ",t" << t;
+  std::cout << "\n";
+  for (const V& v : variants) {
+    std::cout << "\"" << v.name << "\"";
+    for (auto t : threads) {
+      std::cout << "," << std::scientific << cell(v, t);
+    }
+    std::cout << "\n" << std::flush;
+  }
 }
 
 // Start the continuous telemetry exporter when any of its flags was given

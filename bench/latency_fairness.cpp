@@ -22,16 +22,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
-#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/factory.hpp"
-#include "harness/cli.hpp"
-#include "harness/sweep.hpp"
 #include "harness/trace_export.hpp"
 #include "harness/watchdog.hpp"
 #include "platform/rng.hpp"
@@ -190,7 +188,9 @@ int main(int argc, char** argv) {
   };
   std::vector<Row> rows;
   std::vector<oll::bench::TraceRun> trace_runs;
-  for (oll::LockKind kind : oll::figure5_lock_kinds()) {
+  const std::vector<oll::LockKind> kinds = oll::bench::parse_lock_list(
+      flags, "locks", oll::figure5_lock_kinds());
+  for (oll::LockKind kind : kinds) {
     Samples s = run_lock(kind, threads, read_pct, acquires, watchdog);
     print_row(oll::lock_kind_name(kind), "read", s.read_latency);
     print_row(oll::lock_kind_name(kind), "write", s.write_latency);
@@ -225,21 +225,18 @@ int main(int argc, char** argv) {
     }
   }
   if (!stats_json.empty()) {
-    std::ofstream out(stats_json);
-    if (!out) {
+    // Same document shape as the fig5 binaries' --stats_json (schema v3,
+    // docs/STATS_SCHEMA.md), via the single shared writer.
+    std::vector<oll::bench::StatsJsonRow> json_rows;
+    for (const Row& r : rows) {
+      json_rows.push_back({oll::lock_kind_name(r.kind), r.samples.stats, 0});
+    }
+    if (!oll::bench::write_stats_json_file(
+            stats_json, oll::bench::Mode::kSim, "cycles", threads, read_pct,
+            acquires, !trace_path.empty(), json_rows)) {
       std::fprintf(stderr, "failed to write %s\n", stats_json.c_str());
       return 1;
     }
-    out << "{\"mode\":\"sim\",\"unit\":\"cycles\",\"threads\":" << threads
-        << ",\"read_pct\":" << read_pct
-        << ",\"acquires_per_thread\":" << acquires << ",\"locks\":{";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      if (i != 0) out << ",";
-      out << "\"" << oll::lock_kind_name(rows[i].kind) << "\":{";
-      oll::bench::write_lock_stats_json(out, rows[i].samples.stats);
-      out << "}";
-    }
-    out << "}}\n";
   }
   oll::latency_timing_disable();
   return 0;

@@ -3,11 +3,21 @@
 // (On a small host this measures algorithmic path lengths under
 // oversubscription, not parallel scalability — the Figure 5 binaries with
 // the simulated topology cover that.)
+//
+// Benchmarks are registered at runtime over the factory's kind list (plus
+// --locks=a,b,c to subset it), so new factory kinds show up here without
+// code changes.  The *_delegated rows route writes through
+// AnyRwLock::with_write() — on combining kinds the closure may execute on
+// the current holder's thread (DESIGN.md §15); on the rest it degrades to
+// acquire-execute-release.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
-#include "core/factory.hpp"
+#include "bench_common.hpp"
 #include "platform/rng.hpp"
 
 namespace {
@@ -15,42 +25,69 @@ namespace {
 using oll::AnyRwLock;
 using oll::LockKind;
 
-// One shared lock per benchmark; thread 0 owns setup/teardown.
-template <LockKind K, unsigned ReadPct>
-void BM_Contended(benchmark::State& state) {
-  static std::unique_ptr<AnyRwLock> lock;
-  if (state.thread_index() == 0) lock = oll::make_rwlock(K);
+// One shared lock per benchmark; thread 0 owns setup/teardown (benchmarks
+// run sequentially, so a single static slot suffices).
+std::unique_ptr<AnyRwLock> g_lock;
+
+void bm_contended(benchmark::State& state, LockKind kind, unsigned read_pct) {
+  if (state.thread_index() == 0) g_lock = oll::make_rwlock(kind);
   oll::Xoshiro256ss rng(state.thread_index() + 1);
   for (auto _ : state) {
-    if (rng.bernoulli(ReadPct, 100)) {
-      lock->lock_shared();
-      lock->unlock_shared();
+    if (rng.bernoulli(read_pct, 100)) {
+      g_lock->lock_shared();
+      g_lock->unlock_shared();
     } else {
-      lock->lock();
-      lock->unlock();
+      g_lock->lock();
+      g_lock->unlock();
     }
   }
-  if (state.thread_index() == 0) lock.reset();
+  if (state.thread_index() == 0) g_lock.reset();
+}
+
+// Same mix, writes as delegable closures.  The closure body is a single
+// increment of caller-stack state: the cost measured is the delegation
+// protocol itself.
+void bm_delegated(benchmark::State& state, LockKind kind, unsigned read_pct) {
+  if (state.thread_index() == 0) g_lock = oll::make_rwlock(kind);
+  oll::Xoshiro256ss rng(state.thread_index() + 1);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    if (rng.bernoulli(read_pct, 100)) {
+      g_lock->lock_shared();
+      g_lock->unlock_shared();
+    } else {
+      g_lock->with_write(
+          [](void* p) { ++*static_cast<std::uint64_t*>(p); }, &sink);
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  if (state.thread_index() == 0) g_lock.reset();
 }
 
 }  // namespace
 
-#define OLL_CONTENDED(name, kind)                                       \
-  BENCHMARK(BM_Contended<LockKind::kind, 100>)                          \
-      ->Name("BM_" #name "_reads100")                                   \
-      ->Threads(1)                                                      \
-      ->Threads(4);                                                     \
-  BENCHMARK(BM_Contended<LockKind::kind, 90>)                           \
-      ->Name("BM_" #name "_reads90")                                    \
-      ->Threads(4);
+int main(int argc, char** argv) {
+  // Our flags first (--locks=...); google-benchmark then consumes its own.
+  oll::bench::Flags flags(argc, argv);
+  const std::vector<LockKind> kinds =
+      oll::bench::parse_lock_list(flags, "locks", oll::all_lock_kinds());
 
-OLL_CONTENDED(GOLL, kGoll)
-OLL_CONTENDED(FOLL, kFoll)
-OLL_CONTENDED(ROLL, kRoll)
-OLL_CONTENDED(KSUH, kKsuh)
-OLL_CONTENDED(Solaris, kSolarisLike)
-OLL_CONTENDED(McsRw, kMcsRw)
-OLL_CONTENDED(Central, kCentral)
-OLL_CONTENDED(StdShared, kStdShared)
+  for (LockKind kind : kinds) {
+    const std::string base = std::string("BM_") + oll::lock_kind_name(kind);
+    benchmark::RegisterBenchmark((base + "_reads100").c_str(), bm_contended,
+                                 kind, 100)
+        ->Threads(1)
+        ->Threads(4);
+    benchmark::RegisterBenchmark((base + "_reads90").c_str(), bm_contended,
+                                 kind, 90)
+        ->Threads(4);
+    benchmark::RegisterBenchmark((base + "_delegated_reads90").c_str(),
+                                 bm_delegated, kind, 90)
+        ->Threads(4);
+  }
 
-BENCHMARK_MAIN();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

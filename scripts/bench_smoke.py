@@ -55,12 +55,20 @@ FIG5A_ARGS = ["--mode=sim", "--threads=64", "--acquires=4000",
               "--locks=goll,foll,roll"]
 WRITE_SWEEP_ARGS = ["--mode=sim", "--threads=64", "--acquires=800",
                     "--reps=2", "--locks=goll"]
+# Flat-combining series (DESIGN.md §15): fig5f-shaped write-only sweep with
+# writes routed through with_write() for BOTH kinds, so the plain cohort
+# lock (acquire-execute-release) and the combining kind contend under the
+# same delegated-section workload.  Gated like the other sim series.
+COMBINE_ARGS = ["--mode=sim", "--threads=64", "--acquires=400",
+                "--reps=2", "--locks=goll,goll-combining",
+                "--delegate_writes"]
 # (binary, args, key prefix) per gated figure.  fig5a stays unprefixed so
 # its keys line up with snapshots that predate the write-heavy series.
 GATED_FIGS = (
     ("fig5a", "fig5a_read_only", FIG5A_ARGS, ""),
     ("fig5f", "fig5f_write_only", WRITE_SWEEP_ARGS, "fig5f."),
     ("fig5c", "fig5c_95_reads", WRITE_SWEEP_ARGS, "fig5c."),
+    ("combine", "fig5f_write_only", COMBINE_ARGS, "combine."),
 )
 # Gated real-hardware series: the read fast path on actual silicon, pinned
 # (--pin binds worker w to topology CPU w) and rep-averaged so the numbers

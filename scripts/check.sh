@@ -83,6 +83,19 @@ cmake --build build-noregistry -j "${JOBS}" --target lock_conformance_test \
 ./build-noregistry/tests/telemetry_test >/dev/null
 echo "==> OLL_REGISTRY=0 build + smoke OK"
 
+echo "==> snzi: OLL_DWCAS=0 build (pointer-width root fallback, §15.3)"
+# The fused 16-byte root must degrade gracefully: dwcas_active() false,
+# root_version() 0, every lock (incl. goll-combining + the mechanism
+# proofs) correct on the fallback root.
+cmake -B build-nodwcas -S . -DOLL_DWCAS=0 \
+  -DOLL_ENABLE_BENCH=OFF -DOLL_ENABLE_EXAMPLES=OFF
+cmake --build build-nodwcas -j "${JOBS}" --target csnzi_test \
+  lock_conformance_test mechanism_test
+./build-nodwcas/tests/csnzi_test >/dev/null
+./build-nodwcas/tests/lock_conformance_test >/dev/null
+./build-nodwcas/tests/mechanism_test >/dev/null
+echo "==> OLL_DWCAS=0 build + smoke OK"
+
 # litmus_test is the memory-order audit's harness (DESIGN.md §12): its
 # fixture arms the chaos fault profile itself, so under TSan each
 # release/acquire downgrade is checked as a real happens-before edge
@@ -92,7 +105,7 @@ TSAN_SUITES=(
   csnzi_test lock_conformance_test foll_roll_test goll_test ksuh_test
   wait_queue_test mutex_test metalock_test orig_snzi_test trace_test
   histogram_test timed_lock_test litmus_test versioned_lock_test
-  lock_registry_test telemetry_test
+  lock_registry_test telemetry_test mechanism_test
 )
 
 echo "==> tsan: configure + build (tests only)"

@@ -13,9 +13,10 @@ Structural checks on the output of oll::bench::write_chrome_trace_file():
     for slice and instant events) with sane types and non-negative ts;
   * phases are limited to the exporter's vocabulary (M, B, E, i);
   * event names are limited to the exporter's vocabulary — slices
-    (read_acquire, write_acquire, queue_wait, opt_read) and instants
-    (releases, bias_revoke, C-SNZI flips, opt_validation_fail,
-    opt_fallback) — so a renamed or garbled event fails loudly;
+    (read_acquire, write_acquire, queue_wait, opt_read, combine) and
+    instants (releases, bias_revoke, C-SNZI flips, opt_validation_fail,
+    opt_fallback, combine_publish) — so a renamed or garbled event fails
+    loudly;
   * "site" args, when present, look like file:line acquire-site tags;
   * per (pid, tid, name) slice nesting never goes negative — an E without
     a matching B is an exporter bug (trailing unclosed B events are fine:
@@ -39,10 +40,11 @@ KNOWN_PHASES = {"M", "B", "E", "i"}
 
 # Exporter vocabulary (src/harness/trace_export.cpp slice_name + the
 # instant passthrough of platform/trace.hpp trace_event_name).
-SLICE_NAMES = {"read_acquire", "write_acquire", "queue_wait", "opt_read"}
+SLICE_NAMES = {"read_acquire", "write_acquire", "queue_wait", "opt_read",
+               "combine"}
 INSTANT_NAMES = {"read_release", "write_release", "bias_revoke",
                  "csnzi_close", "csnzi_open", "opt_validation_fail",
-                 "opt_fallback"}
+                 "opt_fallback", "combine_publish"}
 META_NAMES = {"process_name", "process_labels", "thread_name"}
 
 SITE_RE = re.compile(r"^.+:\d+$")

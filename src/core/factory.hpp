@@ -36,6 +36,10 @@ namespace oll {
 
 enum class LockKind {
   kGoll,
+  // GOLL with the flat-combining/delegation writer mode and the DWCAS
+  // C-SNZI root enabled (locks/combining.hpp, DESIGN.md §15).  with_write()
+  // delegates; plain lock()/unlock() writers still drain the pool.
+  kGollCombining,
   kFoll,
   kRoll,
   kKsuh,
@@ -60,6 +64,7 @@ enum class LockKind {
 inline const char* lock_kind_name(LockKind k) {
   switch (k) {
     case LockKind::kGoll: return "GOLL";
+    case LockKind::kGollCombining: return "GOLL-combining";
     case LockKind::kFoll: return "FOLL";
     case LockKind::kRoll: return "ROLL";
     case LockKind::kKsuh: return "KSUH";
@@ -81,6 +86,9 @@ inline const char* lock_kind_name(LockKind k) {
 
 inline std::optional<LockKind> parse_lock_kind(std::string_view s) {
   if (s == "goll" || s == "GOLL") return LockKind::kGoll;
+  if (s == "goll-combining" || s == "GOLL-combining") {
+    return LockKind::kGollCombining;
+  }
   if (s == "foll" || s == "FOLL") return LockKind::kFoll;
   if (s == "roll" || s == "ROLL") return LockKind::kRoll;
   if (s == "ksuh" || s == "KSUH") return LockKind::kKsuh;
@@ -110,7 +118,8 @@ inline std::vector<LockKind> figure5_lock_kinds() {
 }
 
 inline std::vector<LockKind> all_lock_kinds() {
-  return {LockKind::kGoll,      LockKind::kFoll,    LockKind::kRoll,
+  return {LockKind::kGoll,      LockKind::kGollCombining,
+          LockKind::kFoll,      LockKind::kRoll,
           LockKind::kKsuh,      LockKind::kSolarisLike,
           LockKind::kMcsRw,     LockKind::kBigReader,
           LockKind::kCentral,   LockKind::kStdShared,
@@ -159,6 +168,19 @@ class AnyRwLock {
   virtual bool opt_read_validate(std::uint64_t /*stamp*/) { return false; }
   virtual std::uint32_t opt_max_retries() const { return 0; }
   virtual void count_opt_fallback() {}
+  // Delegable exclusive section (DESIGN.md §15): execute fn(ctx) under
+  // exclusive ownership.  Combining kinds may run the closure on the
+  // current holder's thread (exceptions still propagate to the caller —
+  // see core/rwlock_concepts.hpp CombiningLockable); every other kind
+  // degrades to acquire-execute-release, so the erased surface is total.
+  virtual void with_write(void (*fn)(void*), void* ctx) {
+    lock();
+    struct Release {
+      AnyRwLock& l;
+      ~Release() { l.unlock(); }
+    } release{*this};
+    fn(ctx);
+  }
   // Operation counters for locks that keep them (others report zeros);
   // exact at quiescence.
   virtual LockStatsSnapshot stats() const { return {}; }
@@ -296,6 +318,27 @@ class RwLockAdapter final : public AnyRwLock {
     return ok;
   }
 
+  void with_write(void (*fn)(void*), void* ctx) override {
+    if constexpr (CombiningLockable<L>) {
+      // No census bracketing: a delegated closure may execute on the
+      // holder's thread, so the caller never appears as a holder — marking
+      // it acquired here would fabricate a hold interval.
+      impl_.with_write(fn, ctx);
+    } else {
+      census_.begin_wait(/*write=*/true);
+      impl_.lock();
+      census_.acquired(/*write=*/true);
+      struct Release {
+        RwLockAdapter& a;
+        ~Release() {
+          a.census_.released();
+          a.impl_.unlock();
+        }
+      } release{*this};
+      fn(ctx);
+    }
+  }
+
   bool supports_optimistic() const override {
     return OptimisticSharedLockable<L>;
   }
@@ -395,6 +438,13 @@ struct LockFactoryOptions {
   // Writer-arbitration metalock for the metalock-based locks (GOLL and its
   // BRAVO wrap): kind, cohort budget, topology (cohort_mcs_lock.hpp).
   MetalockOptions metalock{};
+  // Flat-combining/delegation writer mode for the GOLL family (DESIGN.md
+  // §15).  kGollCombining forces combine on (and defaults the DWCAS root
+  // on) regardless; these let a sweep toggle it on plain kGoll for
+  // ablations (--combine / --combine_budget; --dwcas_root maps to
+  // csnzi.dwcas_root above).
+  bool combine = false;
+  std::uint32_t combine_budget = 64;
   // Global lock registry (platform/lock_registry.hpp): every factory lock
   // self-registers unless opted out; `site` tags the creation site in
   // telemetry output (pass {__FILE__, __LINE__} or OLL_LOCK_SITE-style).
@@ -424,7 +474,23 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
       g.csnzi = o.csnzi;
       g.readers_coalesce_over_writers = o.readers_coalesce_over_writers;
       g.metalock = o.metalock;
+      g.combine = o.combine;
+      g.combine_budget = o.combine_budget;
       return std::make_unique<RwLockAdapter<GollLock<M>>>(adapter_identity("GOLL", o), g);
+    }
+    case LockKind::kGollCombining: {
+      GollOptions g;
+      g.max_threads = o.max_threads;
+      g.csnzi = o.csnzi;
+      // The kind's defaults; CSnzi::normalize drops dwcas_root on builds
+      // without 16-byte atomics (OLL_DWCAS=0 / no __int128).
+      g.csnzi.dwcas_root = true;
+      g.readers_coalesce_over_writers = o.readers_coalesce_over_writers;
+      g.metalock = o.metalock;
+      g.combine = true;
+      g.combine_budget = o.combine_budget;
+      return std::make_unique<RwLockAdapter<GollLock<M>>>(
+          adapter_identity("GOLL-combining", o), g);
     }
     case LockKind::kFoll: {
       FollOptions f;

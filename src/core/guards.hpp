@@ -93,6 +93,18 @@ class WriteGuard {
 // spurious; false may be (fault injection forces failures to exercise this
 // retry loop).  The destructor does nothing: an abandoned attempt has
 // nothing to release.
+// Acquire-execute-release for a type-erased closure — the degraded form of
+// the delegated write path (DESIGN.md §15).  CombiningLockable locks route
+// with_write() through their combining pool instead; everything else (and
+// every AnyRwLock default) funnels through here so `with_write` is total
+// across the library with identical exception behavior: the unlock fires
+// whether fn returns or throws, and the exception continues to the caller.
+template <BasicLockable L>
+inline void locked_execute(L& lock, void (*fn)(void*), void* ctx) {
+  WriteGuard<L> g(lock);
+  fn(ctx);
+}
+
 template <OptimisticSharedLockable L>
 class OptGuard {
  public:

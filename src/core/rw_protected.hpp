@@ -99,6 +99,60 @@ class RwProtected {
     return read(std::forward<F>(f));
   }
 
+  // Delegable exclusive access (DESIGN.md §15).  Like write(), but over a
+  // CombiningLockable lock a call that loses the acquire race publishes the
+  // closure to the lock's combining pool, and the *current holder* executes
+  // it in-cache before releasing — the caller never pays a queue handoff or
+  // migrates the data lines.  Consequences the caller must accept:
+  //
+  //   * f may run on another thread.  It must not touch thread_local state,
+  //     recursively acquire this (or any lock ordered against this) lock,
+  //     or rely on thread identity in any way.
+  //   * A non-void result is returned BY VALUE (it is produced on the
+  //     executing thread and shipped back); write()'s reference-returning
+  //     idioms do not apply.
+  //   * An exception thrown by f is rethrown on the calling thread, no
+  //     matter where f ran.
+  //
+  // On locks with no combining pool this degrades statically to
+  // acquire-execute-release (same semantics, same thread).
+  template <typename F>
+  auto with_write(F&& f) {
+    using R = std::remove_cvref_t<std::invoke_result_t<F&, T&>>;
+    if constexpr (!CombiningLockable<Lock>) {
+      if constexpr (std::is_void_v<R>) {
+        write(std::forward<F>(f));
+      } else {
+        return R(write(std::forward<F>(f)));
+      }
+    } else if constexpr (std::is_void_v<R>) {
+      struct Ctx {
+        T* value;
+        F* f;
+      } c{&value_, &f};
+      lock_.with_write(
+          [](void* p) {
+            Ctx* c = static_cast<Ctx*>(p);
+            (*c->f)(*c->value);
+          },
+          &c);
+    } else {
+      std::optional<R> out;
+      struct Ctx {
+        T* value;
+        F* f;
+        std::optional<R>* out;
+      } c{&value_, &f, &out};
+      lock_.with_write(
+          [](void* p) {
+            Ctx* c = static_cast<Ctx*>(p);
+            c->out->emplace((*c->f)(*c->value));
+          },
+          &c);
+      return std::move(*out);
+    }
+  }
+
   // Copy the value out under a read lock.
   T snapshot() const {
     return read([](const T& v) { return v; });

@@ -78,4 +78,21 @@ concept OptimisticSharedLockable = SharedLockable<L> && requires(L& l) {
 // entering) the lock: opt_read_validate(kInvalidOptStamp) is always false.
 inline constexpr std::uint64_t kInvalidOptStamp = ~std::uint64_t{0};
 
+// Delegation/flat-combining write mode (DESIGN.md §15).  with_write(fn, ctx)
+// executes the type-erased closure under exclusive ownership, but not
+// necessarily on the calling thread: a lock that loses the acquire race may
+// publish the closure into its combining pool and let the current holder run
+// it in-cache before releasing (locks/combining.hpp).  The call returns only
+// after the closure ran; an exception thrown by the closure propagates to
+// the caller regardless of which thread executed it.  Closures must not
+// depend on thread identity (no thread_local, no recursive locking) — see
+// the execution-context contract in combining.hpp.  Locks without a
+// combining pool satisfy the concept with plain acquire-execute-release;
+// RwProtected::with_write degrades the same way for non-combining locks.
+template <typename L>
+concept CombiningLockable = SharedLockable<L> &&
+    requires(L& l, void (*fn)(void*), void* ctx) {
+      l.with_write(fn, ctx);
+    };
+
 }  // namespace oll

@@ -73,6 +73,7 @@ void acquire_release_loop(AnyRwLock& lock, const WorkloadConfig& cfg,
     // the blocking paths see.
     if (watchdog != nullptr) watchdog->begin_acquire(worker, !read);
     bool acquired = true;
+    bool delegated = false;
     if (read) {
       // Acquire-site tag (platform/lock_registry.hpp): trace records and
       // census waits from this acquisition carry the read path's file:line.
@@ -86,6 +87,36 @@ void acquire_release_loop(AnyRwLock& lock, const WorkloadConfig& cfg,
       ScopedLockSite site(OLL_LOCK_SITE());
       if (cfg.timeout_ns != 0) {
         acquired = lock.try_lock_for(timeout);
+      } else if (cfg.delegate_writes) {
+        // Closure-style write (DESIGN.md §15): combining kinds may execute
+        // this on the current holder's thread; everything else degrades to
+        // acquire-execute-release.  The critical-section work moves inside
+        // the closure — it runs wherever the closure runs.
+        struct Ctx {
+          std::uint64_t cs_work;
+          bool simulated;
+          std::uint64_t* sink;
+        } c{cfg.cs_work, simulated, &sink};
+        lock.with_write(
+            [](void* p) {
+              Ctx* c = static_cast<Ctx*>(p);
+              if (c->cs_work != 0) {
+                if (c->simulated) {
+                  sim::SimMemory::charge(c->cs_work);
+                } else {
+                  *c->sink = spin_work(c->cs_work, *c->sink);
+                }
+              }
+              // Same small-host fix as the read sections above: on the real
+              // machine competing writers overlap a held write section in
+              // time; under round-robin timeslicing a yield-free section
+              // completes inside one slice and is never *observed* held, so
+              // none of the waiting protocols this mode studies (queueing,
+              // delegation, combining) would ever engage.
+              if (c->simulated) std::this_thread::yield();
+            },
+            &c);
+        delegated = true;
       } else {
         lock.lock();
       }
@@ -97,6 +128,8 @@ void acquire_release_loop(AnyRwLock& lock, const WorkloadConfig& cfg,
       } else {
         ++totals.write_timeouts;
       }
+    } else if (delegated) {
+      ++totals.writes;  // closure ran (possibly remotely); nothing to release
     } else if (read) {
       if (cfg.cs_work != 0) {
         if (simulated) {
@@ -319,10 +352,19 @@ RunResult run_workload(LockKind kind, const WorkloadConfig& config, Mode mode,
   }
   if (config.metalock) opts.metalock.kind = *config.metalock;
   if (config.cohort_budget) opts.metalock.cohort_budget = *config.cohort_budget;
+  if (config.combine) opts.combine = true;
+  if (config.dwcas_root) opts.csnzi.dwcas_root = true;
+  if (config.combine_budget) opts.combine_budget = *config.combine_budget;
+  // Delegation needs the closure-style call; the combining kind (and the
+  // --combine override) imply it.
+  WorkloadConfig wcfg = config;
+  if (config.combine || kind == LockKind::kGollCombining) {
+    wcfg.delegate_writes = true;
+  }
   if (mode == Mode::kReal) {
     auto lock = make_rwlock<RealMemory>(kind, opts);
     OLL_CHECK(lock != nullptr);
-    return run_threads(*lock, config, nullptr);
+    return run_threads(*lock, wcfg, nullptr);
   }
   std::unique_ptr<sim::Machine> owned;
   if (machine == nullptr) {
@@ -334,7 +376,7 @@ RunResult run_workload(LockKind kind, const WorkloadConfig& config, Mode mode,
   machine->reset();
   auto lock = make_rwlock<sim::SimMemory>(kind, opts);
   OLL_CHECK(lock != nullptr);
-  return run_threads(*lock, config, machine);
+  return run_threads(*lock, wcfg, machine);
 }
 
 RunResult run_workload_on(AnyRwLock& lock, const WorkloadConfig& config) {

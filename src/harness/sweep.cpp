@@ -53,6 +53,10 @@ SweepResult run_sweep(const SweepConfig& config, bool verbose) {
         w.sticky_arrivals = config.sticky_arrivals;
         w.metalock = config.metalock;
         w.cohort_budget = config.cohort_budget;
+        w.combine = config.combine;
+        w.dwcas_root = config.dwcas_root;
+        w.combine_budget = config.combine_budget;
+        w.delegate_writes = config.delegate_writes;
         w.timeout_ns = config.timeout_ns;
         w.fault_profile = config.fault_profile;
         w.watchdog = config.watchdog;
@@ -175,6 +179,9 @@ void write_lock_stats_json(std::ostream& out, const LockStatsSnapshot& s) {
       << ",\"read_abandons\":" << s.read_abandons
       << ",\"write_abandons\":" << s.write_abandons
       << ",\"revoke_timeouts\":" << s.revoke_timeouts
+      << ",\"combined_ops\":" << s.combined_ops
+      << ",\"combine_batches\":" << s.combine_batches
+      << ",\"combine_handoffs_saved\":" << s.combine_handoffs_saved
       << ",\"opt_reads\":" << s.opt_reads
       << ",\"opt_validation_failures\":" << s.opt_validation_failures
       << ",\"opt_fallbacks\":" << s.opt_fallbacks
@@ -188,6 +195,31 @@ void write_lock_stats_json(std::ostream& out, const LockStatsSnapshot& s) {
   write_histogram_json(out, s.timed_acquire);
   out << ",\"opt_read\":";
   write_histogram_json(out, s.opt_read);
+}
+
+bool write_stats_json_file(const std::string& path, Mode mode,
+                           const char* unit, std::uint32_t threads,
+                           std::uint32_t read_pct, std::uint64_t acquires,
+                           bool trace_enabled,
+                           const std::vector<StatsJsonRow>& rows) {
+  std::ofstream out(path);
+  if (!out) return false;
+  // Schema documented in docs/STATS_SCHEMA.md; bump schema_version on any
+  // breaking change.
+  out << "{\"schema_version\":" << kStatsJsonSchemaVersion << ",\"mode\":\""
+      << mode_name(mode) << "\",\"unit\":\"" << unit
+      << "\",\"threads\":" << threads << ",\"read_pct\":" << read_pct
+      << ",\"acquires_per_thread\":" << acquires
+      << ",\"trace_enabled\":" << (trace_enabled ? "true" : "false")
+      << ",\"locks\":{";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "\"" << rows[i].name << "\":{";
+    write_lock_stats_json(out, rows[i].stats);
+    out << ",\"trace_dropped\":" << rows[i].trace_dropped << "}";
+  }
+  out << "}}\n";
+  return out.good();
 }
 
 bool run_observability_pass(std::ostream& os,
@@ -212,12 +244,7 @@ bool run_observability_pass(std::ostream& os,
     trace_enable(topts);
   }
 
-  struct LockRow {
-    LockKind kind;
-    LockStatsSnapshot stats;
-    std::uint64_t trace_dropped = 0;  // ring-wrap losses during this run
-  };
-  std::vector<LockRow> rows;
+  std::vector<StatsJsonRow> rows;
   std::vector<TraceRun> trace_runs;
   for (LockKind kind : sc.locks) {
     WorkloadConfig w;
@@ -231,12 +258,16 @@ bool run_observability_pass(std::ostream& os,
     w.sticky_arrivals = sc.sticky_arrivals;
     w.metalock = sc.metalock;
     w.cohort_budget = sc.cohort_budget;
+    w.combine = sc.combine;
+    w.dwcas_root = sc.dwcas_root;
+    w.combine_budget = sc.combine_budget;
+    w.delegate_writes = sc.delegate_writes;
     w.timeout_ns = sc.timeout_ns;
     w.fault_profile = sc.fault_profile;
     w.watchdog = sc.watchdog;
     w.pin_threads = sc.pin_threads;
     RunResult r = run_workload(kind, w, sc.mode);
-    rows.push_back({kind, r.lock_stats, 0});
+    rows.push_back({lock_kind_name(kind), r.lock_stats, 0});
     if (want_trace) {
       // Drain per lock run so each gets its own process in the export.
       TraceRun run;
@@ -257,8 +288,8 @@ bool run_observability_pass(std::ostream& os,
      << sc.read_pct << " acquires/thread=" << sc.effective_acquires()
      << " unit=" << unit << "\n"
      << "lock,read_p50,read_p99,write_p50,write_p99,wrwait_p50,wrwait_p99\n";
-  for (const LockRow& row : rows) {
-    os << lock_kind_name(row.kind) << std::fixed << std::setprecision(0)
+  for (const StatsJsonRow& row : rows) {
+    os << row.name << std::fixed << std::setprecision(0)
        << "," << row.stats.read_acquire.percentile(50.0)
        << "," << row.stats.read_acquire.percentile(99.0)
        << "," << row.stats.write_acquire.percentile(50.0)
@@ -269,27 +300,9 @@ bool run_observability_pass(std::ostream& os,
 
   bool ok = true;
   if (!cfg.stats_json_path.empty()) {
-    std::ofstream out(cfg.stats_json_path);
-    if (!out) {
-      ok = false;
-    } else {
-      // Schema documented in docs/STATS_SCHEMA.md; bump schema_version on
-      // any breaking change.
-      out << "{\"schema_version\":" << kStatsJsonSchemaVersion
-          << ",\"mode\":\"" << mode_name(sc.mode) << "\",\"unit\":\"" << unit
-          << "\",\"threads\":" << threads << ",\"read_pct\":" << sc.read_pct
-          << ",\"acquires_per_thread\":" << sc.effective_acquires()
-          << ",\"trace_enabled\":" << (want_trace ? "true" : "false")
-          << ",\"locks\":{";
-      for (std::size_t i = 0; i < rows.size(); ++i) {
-        if (i != 0) out << ",";
-        out << "\"" << lock_kind_name(rows[i].kind) << "\":{";
-        write_lock_stats_json(out, rows[i].stats);
-        out << ",\"trace_dropped\":" << rows[i].trace_dropped << "}";
-      }
-      out << "}}\n";
-      ok = out.good();
-    }
+    ok = write_stats_json_file(cfg.stats_json_path, sc.mode, unit, threads,
+                               sc.read_pct, sc.effective_acquires(),
+                               want_trace, rows);
   }
   if (want_trace && ok) {
     ok = write_chrome_trace_file(cfg.trace_path, trace_runs);

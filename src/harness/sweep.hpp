@@ -32,6 +32,11 @@ struct SweepConfig {
   // factory default (cohort metalock).
   std::optional<MetalockKind> metalock;
   std::optional<std::uint32_t> cohort_budget;
+  // Flat-combining / DWCAS-root knobs (see workload.hpp).
+  bool combine = false;
+  bool dwcas_root = false;
+  std::optional<std::uint32_t> combine_budget;
+  bool delegate_writes = false;
   // Robustness knobs (see workload.hpp): per-op acquisition timeout (0 =
   // blocking), fault-injection profile name (empty = none), and the
   // stuck-acquisition watchdog (real mode only).
@@ -104,13 +109,31 @@ bool run_observability_pass(std::ostream& os, const ObservabilityConfig& cfg);
 // Version of the --stats_json document layout (docs/STATS_SCHEMA.md).
 // Bump on any breaking change to field names or meanings.  v2 added
 // schema_version itself, trace_enabled, per-lock trace_dropped and
-// per-histogram overflow.
-inline constexpr int kStatsJsonSchemaVersion = 2;
+// per-histogram overflow.  v3 added the flat-combining counters
+// (combined_ops, combine_batches, combine_handoffs_saved).
+inline constexpr int kStatsJsonSchemaVersion = 3;
 
 // JSON fragments shared by the stats exports (the observability pass and
 // the latency_fairness bench): {"count":..,"mean":..,"p50":..,...} for a
 // histogram, and the full counter + histogram set for a snapshot.
 void write_histogram_json(std::ostream& out, const HistogramSnapshot& h);
 void write_lock_stats_json(std::ostream& out, const LockStatsSnapshot& s);
+
+// One per-lock entry of a --stats_json document.
+struct StatsJsonRow {
+  std::string name;
+  LockStatsSnapshot stats;
+  std::uint64_t trace_dropped = 0;  // ring-wrap losses during the run
+};
+
+// Write a complete --stats_json document (layout: docs/STATS_SCHEMA.md,
+// version kStatsJsonSchemaVersion).  The single writer behind every stats
+// export, so all producers emit the same schema.  Returns false if the
+// file could not be written.
+bool write_stats_json_file(const std::string& path, Mode mode,
+                           const char* unit, std::uint32_t threads,
+                           std::uint32_t read_pct, std::uint64_t acquires,
+                           bool trace_enabled,
+                           const std::vector<StatsJsonRow>& rows);
 
 }  // namespace oll::bench

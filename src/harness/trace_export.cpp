@@ -30,6 +30,9 @@ const char* slice_name(TraceEventType t) {
     case TraceEventType::kOptReadBegin:
     case TraceEventType::kOptReadEnd:
       return "opt_read";
+    case TraceEventType::kCombineBegin:
+    case TraceEventType::kCombineEnd:
+      return "combine";
     default:
       return trace_event_name(t);
   }
@@ -39,14 +42,16 @@ bool is_begin(TraceEventType t) {
   return t == TraceEventType::kReadAcquireBegin ||
          t == TraceEventType::kWriteAcquireBegin ||
          t == TraceEventType::kQueueEnter ||
-         t == TraceEventType::kOptReadBegin;
+         t == TraceEventType::kOptReadBegin ||
+         t == TraceEventType::kCombineBegin;
 }
 
 bool is_end(TraceEventType t) {
   return t == TraceEventType::kReadAcquireEnd ||
          t == TraceEventType::kWriteAcquireEnd ||
          t == TraceEventType::kQueueExit ||
-         t == TraceEventType::kOptReadEnd;
+         t == TraceEventType::kOptReadEnd ||
+         t == TraceEventType::kCombineEnd;
 }
 
 void write_escaped(std::ostream& out, std::string_view s) {

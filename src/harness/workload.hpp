@@ -49,6 +49,18 @@ struct WorkloadConfig {
   // factory default (cohort metalock with its default budget).
   std::optional<MetalockKind> metalock;
   std::optional<std::uint32_t> cohort_budget;
+  // Flat-combining/delegation writer mode (DESIGN.md §15).  `combine`
+  // enables the lock's combining pool AND routes the loop's write sections
+  // through AnyRwLock::with_write (delegation only exists for closure-style
+  // writes); kGollCombining implies both regardless.  dwcas_root selects
+  // the 16-byte fused C-SNZI root (silently degraded on builds without
+  // DWCAS support).  delegate_writes alone routes writes through with_write
+  // without touching factory options — non-combining kinds then execute
+  // acquire-closure-release, the fair baseline for combining ablations.
+  bool combine = false;
+  bool dwcas_root = false;
+  std::optional<std::uint32_t> combine_budget;
+  bool delegate_writes = false;
 
   // --- robustness knobs (DESIGN.md §11) ----------------------------------
   // Nonzero: acquire with try_lock_for / try_lock_shared_for and this

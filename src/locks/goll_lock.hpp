@@ -48,6 +48,7 @@
 #include "platform/topology.hpp"
 #include "platform/trace.hpp"
 #include "locks/cohort_mcs_lock.hpp"
+#include "locks/combining.hpp"
 #include "locks/lock_stats.hpp"
 #include "locks/per_thread.hpp"
 #include "locks/timed.hpp"
@@ -69,6 +70,16 @@ struct GollOptions {
   // topology (see cohort_mcs_lock.hpp).  With kCohort the same budget also
   // enables the wait queue's domain-preferring writer wake policy.
   MetalockOptions metalock{};
+  // Flat-combining/delegation writer mode (locks/combining.hpp, DESIGN.md
+  // §15): with_write() closures that lose the acquire race are published to
+  // the combining pool and executed by the current holder before it
+  // releases.  Off by default — lock()/unlock() callers are unaffected
+  // either way (their release drains the pool when enabled).
+  bool combine = false;
+  // Max closures one holder executes per pre-release drain.  Bounds writer-
+  // side occupancy: readers and conventional writers wait at most one
+  // budget's worth of delegated critical sections beyond the holder's own.
+  std::uint32_t combine_budget = 64;
 };
 
 template <typename M = RealMemory>
@@ -85,6 +96,7 @@ class GollLock {
                    ? opts.metalock.cohort_budget
                    : 0,
                /*tree_wake=*/opts.metalock.kind != MetalockKind::kTatas),
+        combine_(opts.combine ? opts.max_threads : 1),
         fast_release_(opts.metalock.kind != MetalockKind::kTatas),
         dmap_(opts.metalock.topology != nullptr ? opts.metalock.topology
                                                 : &Topology::system()),
@@ -106,6 +118,9 @@ class GollLock {
   bool try_lock() { return csnzi_.close_if_empty(); }
 
   void unlock() {
+    // Still exclusive: run delegated closures in-cache before the release
+    // protocol (DESIGN.md §15).  One shared load when combining is idle.
+    drain_combining();
     trace_event(TraceEventType::kWriteRelease, this);
     fault_preempt_point(FaultSite::kHolderPreemption);
     if (fast_release_ && has_waiters_.load(std::memory_order_relaxed) == 0) {
@@ -138,6 +153,93 @@ class GollLock {
     }
     fault_perturb(FaultSite::kQueueHandoff);
     group.signal_all();
+  }
+
+  // --- delegated/combined write (DESIGN.md §15) --------------------------
+  // Execute `fn(ctx)` under exclusive ownership.  With combining disabled,
+  // or on the uncontended fast path, the closure runs on the calling thread
+  // between a conventional acquire/release.  Under contention the closure
+  // is published to the combining pool and typically executed by the
+  // current holder before it releases — zero metalock handoffs, zero queue
+  // wakes for this operation.  The call returns only after the closure ran;
+  // its exception (if any) is rethrown here.  Closures must not depend on
+  // thread identity — see combining.hpp.
+  void with_write(void (*fn)(void*), void* ctx) {
+    if (!opts_.combine) {
+      lock();
+      OwnedExec guard{*this};
+      fn(ctx);
+      return;
+    }
+    if (csnzi_.close_if_empty()) {
+      stats_.count_write_fast();
+      OwnedExec guard{*this};
+      fn(ctx);
+      return;
+    }
+    // Delegate only when the C-SNZI is CLOSED: closed means a write holder
+    // (or a writer hand-off chain) exists to drain us.  Open means a reader
+    // epoch or a free lock — no combiner will appear until some writer
+    // acquires conventionally, so publishing would just burn the spin
+    // budget before falling back (measured: −5% on fig5c at 32 threads).
+    // Races are benign: a stale read here only picks the slower-but-correct
+    // path, and both paths' fallbacks preserve liveness either way.
+    if (csnzi_.query().open) {
+      lock();
+      OwnedExec guard{*this};
+      fn(ctx);
+      return;
+    }
+    trace_event(TraceEventType::kCombinePublish, this);
+    typename CombinePool<M>::Slot& slot =
+        combine_.publish(fn, ctx, my_domain());
+    SpinWait w;
+    for (std::uint32_t i = 0; i < kDelegateSpinBudget; ++i) {
+      const std::uint32_t st = slot.state.load(std::memory_order_acquire);
+      if (st == static_cast<std::uint32_t>(CombineState::kDone)) {
+        stats_.count_combine_handoff_saved();
+        combine_.consume(slot);  // rethrows the closure's exception, if any
+        return;
+      }
+      // Periodically try to become the holder ourselves — the lock may
+      // have gone free with nobody left to combine for us.  Gated on a
+      // cached root read so the spin does not pound the root line while a
+      // holder is draining.
+      if (st == static_cast<std::uint32_t>(CombineState::kPending) &&
+          (i & 15u) == 0 && csnzi_.query().open && csnzi_.close_if_empty()) {
+        // We hold the lock; nobody else can claim our slot now.  It is
+        // either still kPending (take it back and run inline) or a prior
+        // holder drove it to kDone before releasing.
+        if (combine_.try_retract(slot)) {
+          stats_.count_write_fast();
+          OwnedExec guard{*this};
+          fn(ctx);
+          return;
+        }
+        unlock();  // already executed for us; hand the lock on first
+        stats_.count_combine_handoff_saved();
+        combine_.consume(slot);
+        return;
+      }
+      fault_perturb(FaultSite::kSpinWait);
+      w.pause();
+    }
+    // Budget exhausted (e.g. a long reader epoch with no write holder to
+    // combine): fall back to the conventional queued acquire so delegation
+    // can never starve a writer.
+    if (combine_.try_retract(slot)) {
+      lock();
+      OwnedExec guard{*this};
+      fn(ctx);
+      return;
+    }
+    // A combiner claimed the slot as we gave up; completion is imminent.
+    spin_until([&slot] {
+      return slot.state.load(std::memory_order_acquire) ==
+             static_cast<std::uint32_t>(CombineState::kDone);
+    });
+    stats_.count_combine_handoff_saved();
+    combine_.consume(slot);
   }
 
   // --- reader side (Figure 3: ReaderLock / ReaderUnlock) -----------------
@@ -264,6 +366,9 @@ class GollLock {
   // are granted alongside the caller so they are not stranded behind an
   // open C-SNZI they already queued against.
   void downgrade() {
+    // Last moment of exclusivity: run delegated closures before converting,
+    // or they would wait out the entire reader epoch we are about to start.
+    drain_combining();
     Local& local = locals_.local();
     OLL_DCHECK(!local.ticket.arrived());
     typename WaitQueue<M>::GroupRef group;
@@ -288,6 +393,12 @@ class GollLock {
   // --- introspection ------------------------------------------------------
   SnziQuery state() const { return csnzi_.query(); }
 
+  // Approximate: some delegated closure is published and not yet claimed.
+  // Lets tests (mechanism_test.cpp) sequence a drain deterministically.
+  bool combining_pending() const {
+    return opts_.combine && combine_.maybe_pending();
+  }
+
   // Fast-path vs queued acquisition counts (see lock_stats.hpp); exact at
   // quiescence.  At 100% reads, read_queued and write_* must be zero — the
   // §3.2 claim that read-only workloads never touch the metalock.
@@ -304,6 +415,28 @@ class GollLock {
   }
 
  private:
+  // Unlock-on-scope-exit for closures run inline by with_write: the unlock
+  // fires (and drains the combining pool) whether fn returns or throws.
+  struct OwnedExec {
+    GollLock& l;
+    ~OwnedExec() { l.unlock(); }
+  };
+
+  // Execute pending delegated closures while still exclusive (top of every
+  // write release).  Budget-bounded — see GollOptions::combine_budget — so
+  // one holder cannot occupy the lock unboundedly on other threads' behalf.
+  void drain_combining() {
+    if (!opts_.combine || !combine_.claim_pending()) return;
+    const ObsTimer t = obs_begin(TraceEventType::kCombineBegin, this);
+    const std::uint32_t n =
+        combine_.drain(opts_.combine_budget, my_domain());
+    obs_end(TraceEventType::kCombineEnd, this, t);
+    if (n != 0) {
+      stats_.count_combined_ops(n);
+      stats_.count_combine_batch();
+    }
+  }
+
   // Figure 3's WriterLock body.  The public lock() wraps it in the
   // observability begin/end pair; the queued wait is bracketed separately so
   // traces show the waiting interval and the writer-wait histogram measures
@@ -600,11 +733,19 @@ class GollLock {
 
   // Reader spin-for-reopen budget (pause iterations) before queueing.
   static constexpr std::uint32_t kReopenSpinBudget = 256;
+  // Delegating writer's wait budget (pause iterations on its own slot,
+  // with a close attempt every 16th) before retract-and-queue.  Generous:
+  // the slot line is thread-local until a combiner completes it, so the
+  // spin is cheap, and the bound only exists for liveness when no write
+  // holder shows up to combine (see with_write's fallback).
+  static constexpr std::uint32_t kDelegateSpinBudget = 1024;
 
   GollOptions opts_;
   CSnzi<M> csnzi_;
   Metalock<M> metalock_;
   WaitQueue<M> queue_;
+  // Delegated-writer publication pool (sized 1 when combining is off).
+  CombinePool<M> combine_;
   // Scalable writer path (metalock != tatas): eliding release + tree wake.
   // tatas keeps the seed protocol as the ablation baseline.
   const bool fast_release_;

@@ -84,6 +84,18 @@ struct LockStatsSnapshot {
   std::uint64_t opt_validation_failures = 0;
   std::uint64_t opt_fallbacks = 0;
 
+  // Delegated/combined writer path (locks/combining.hpp, DESIGN.md §15).
+  // combined_ops counts closures a holder executed *for other threads*
+  // during its pre-release drains; combine_batches counts drains that
+  // executed at least one closure; combine_handoffs_saved counts delegated
+  // with_write calls that completed via a combiner (each one is a writer
+  // acquisition — metalock handoff, queue wake, data-line migration — that
+  // never happened).  A combined op appears in none of the write_* counters:
+  // writes() deliberately reports only operations that took ownership.
+  std::uint64_t combined_ops = 0;
+  std::uint64_t combine_batches = 0;
+  std::uint64_t combine_handoffs_saved = 0;
+
   // Latency distributions in trace-clock units (ns real / cycles sim);
   // populated only while latency timing is runtime-enabled.  writer_wait
   // covers the interval a writer spends waiting for the lock after missing
@@ -123,6 +135,9 @@ struct LockStatsSnapshot {
     opt_reads += o.opt_reads;
     opt_validation_failures += o.opt_validation_failures;
     opt_fallbacks += o.opt_fallbacks;
+    combined_ops += o.combined_ops;
+    combine_batches += o.combine_batches;
+    combine_handoffs_saved += o.combine_handoffs_saved;
     read_acquire += o.read_acquire;
     write_acquire += o.write_acquire;
     writer_wait += o.writer_wait;
@@ -155,6 +170,9 @@ struct LockStatsSnapshot {
     opt_reads -= o.opt_reads;
     opt_validation_failures -= o.opt_validation_failures;
     opt_fallbacks -= o.opt_fallbacks;
+    combined_ops -= o.combined_ops;
+    combine_batches -= o.combine_batches;
+    combine_handoffs_saved -= o.combine_handoffs_saved;
     read_acquire -= o.read_acquire;
     write_acquire -= o.write_acquire;
     writer_wait -= o.writer_wait;
@@ -184,6 +202,15 @@ class LockStats {
     bump(slots_.local().opt_validation_failures);
   }
   void count_opt_fallback() { bump(slots_.local().opt_fallbacks); }
+  // n closures executed in one drain (single increment per batch keeps the
+  // combiner's post-drain bookkeeping off the per-closure path).
+  void count_combined_ops(std::uint64_t n) {
+    add(slots_.local().combined_ops, n);
+  }
+  void count_combine_batch() { bump(slots_.local().combine_batches); }
+  void count_combine_handoff_saved() {
+    bump(slots_.local().combine_handoffs_saved);
+  }
 
   // Histogram feeds; call only when the caller's ObsTimer was armed (the
   // locks guard on it), so a disabled run never touches these lines.
@@ -226,6 +253,11 @@ class LockStats {
       total.opt_validation_failures +=
           s.opt_validation_failures.load(std::memory_order_relaxed);
       total.opt_fallbacks += s.opt_fallbacks.load(std::memory_order_relaxed);
+      total.combined_ops += s.combined_ops.load(std::memory_order_relaxed);
+      total.combine_batches +=
+          s.combine_batches.load(std::memory_order_relaxed);
+      total.combine_handoffs_saved +=
+          s.combine_handoffs_saved.load(std::memory_order_relaxed);
       s.read_acquire.snapshot_into(total.read_acquire);
       s.write_acquire.snapshot_into(total.write_acquire);
       s.writer_wait.snapshot_into(total.writer_wait);
@@ -255,6 +287,9 @@ class LockStats {
       s.opt_reads.store(0, std::memory_order_relaxed);
       s.opt_validation_failures.store(0, std::memory_order_relaxed);
       s.opt_fallbacks.store(0, std::memory_order_relaxed);
+      s.combined_ops.store(0, std::memory_order_relaxed);
+      s.combine_batches.store(0, std::memory_order_relaxed);
+      s.combine_handoffs_saved.store(0, std::memory_order_relaxed);
       s.read_acquire.reset();
       s.write_acquire.reset();
       s.writer_wait.reset();
@@ -279,6 +314,9 @@ class LockStats {
     std::atomic<std::uint64_t> opt_reads{0};
     std::atomic<std::uint64_t> opt_validation_failures{0};
     std::atomic<std::uint64_t> opt_fallbacks{0};
+    std::atomic<std::uint64_t> combined_ops{0};
+    std::atomic<std::uint64_t> combine_batches{0};
+    std::atomic<std::uint64_t> combine_handoffs_saved{0};
     AtomicHistogram read_acquire;
     AtomicHistogram write_acquire;
     AtomicHistogram writer_wait;
@@ -290,6 +328,9 @@ class LockStats {
   // avoids a lock-prefixed RMW on the acquisition hot path.
   static void bump(std::atomic<std::uint64_t>& c) {
     c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+  static void add(std::atomic<std::uint64_t>& c, std::uint64_t n) {
+    c.store(c.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
   }
 
   PerThreadSlots<Slot> slots_;

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <mutex>
 #include <thread>
 #include <tuple>
@@ -73,6 +75,13 @@ std::vector<RetiredLockStats>* g_graveyard = nullptr;  // leaked, never freed
 
 constexpr std::uint64_t kDeadBit = 1;
 constexpr std::uint64_t kPinUnit = 2;
+
+// Deregistration drain bounds (~LockRegistration): yield-spins before
+// falling back to 1 ms sleeps, sleep time before the first starvation
+// warning, and the re-warn interval after it.
+constexpr std::uint32_t kDeregSpinBudget = 4096;
+constexpr std::uint64_t kDeregWarnInitialMs = 100;
+constexpr std::uint64_t kDeregRewarnMs = 1000;
 
 // Per-site contention table.  Fixed capacity, append-only: a site id is an
 // index+1 into this array, handed out once per OLL_LOCK_SITE() expansion.
@@ -211,9 +220,35 @@ LockRegistration::~LockRegistration() {
   // the payload.
   n->state.fetch_or(kDeadBit, std::memory_order_acq_rel);
   // Drain in-flight pins: a sampler may be inside stats_fn(obj) right now,
-  // and obj dies when our holder's destructor proceeds past us.
-  while (n->state.load(std::memory_order_acquire) != kDeadBit) {
-    std::this_thread::yield();
+  // and obj dies when our holder's destructor proceeds past us.  The WAIT
+  // is necessarily unbounded (proceeding while pinned is a use-after-free),
+  // but the SPINNING is not: after a short yield budget we escalate to
+  // millisecond sleeps and a loud watchdog-style warning naming the lock,
+  // so a wedged or descheduled sampler shows up in stderr instead of as an
+  // anonymous 100%-CPU core.  Re-warns once a second while still blocked.
+  {
+    std::uint64_t state;
+    std::uint32_t spins = 0;
+    std::uint64_t slept_ms = 0;
+    std::uint64_t next_warn_ms = kDeregWarnInitialMs;
+    while ((state = n->state.load(std::memory_order_acquire)) != kDeadBit) {
+      if (spins < kDeregSpinBudget) {
+        ++spins;
+        std::this_thread::yield();
+        continue;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      if (++slept_ms >= next_warn_ms) {
+        std::fprintf(stderr,
+                     "[oll] lock registry: deregistration of \"%s\" (%s) "
+                     "blocked ~%llu ms on %llu in-flight sampler pin(s); "
+                     "possible stuck sampler\n",
+                     n->name, n->kind,
+                     static_cast<unsigned long long>(slept_ms),
+                     static_cast<unsigned long long>(state / kPinUnit));
+        next_warn_ms = slept_ms + kDeregRewarnMs;
+      }
+    }
   }
   g_live.fetch_sub(1, std::memory_order_relaxed);
   {

@@ -61,9 +61,16 @@ enum class TraceEventType : std::uint8_t {
   kOptReadEnd,
   kOptValidationFail,
   kOptFallback,
+  // Delegated/combined writer path (locks/combining.hpp).  Publish marks a
+  // writer handing its closure to the combining pool; Begin/End bracket one
+  // holder's drain batch (the slice covers every closure it executed for
+  // other threads before releasing).
+  kCombinePublish,
+  kCombineBegin,
+  kCombineEnd,
 };
 
-inline constexpr std::uint32_t kTraceEventTypeCount = 15;
+inline constexpr std::uint32_t kTraceEventTypeCount = 18;
 
 inline const char* trace_event_name(TraceEventType t) {
   switch (t) {
@@ -82,6 +89,9 @@ inline const char* trace_event_name(TraceEventType t) {
     case TraceEventType::kOptReadEnd: return "opt_read_end";
     case TraceEventType::kOptValidationFail: return "opt_validation_fail";
     case TraceEventType::kOptFallback: return "opt_fallback";
+    case TraceEventType::kCombinePublish: return "combine_publish";
+    case TraceEventType::kCombineBegin: return "combine_begin";
+    case TraceEventType::kCombineEnd: return "combine_end";
   }
   return "?";
 }

@@ -568,6 +568,67 @@ TEST(CSnziOptionsNorm, AutoMappingResolution) {
   EXPECT_EQ(shifted.options().topology_mapping, LeafMapping::kStaticShift);
 }
 
+// --- DWCAS-fused root (DESIGN.md §15.3) --------------------------------------
+
+CSnziOptions dwcas_root() {
+  CSnziOptions o;
+  o.dwcas_root = true;
+  return o;
+}
+
+// The fused root must be a drop-in: the Figure 1 sequential specification
+// holds unchanged.  (The conformance + stress suites cover it concurrently
+// via the goll-combining kind; this pins the sequential contract.)
+TEST(CSnziDwcas, SequentialSpecHoldsOnFusedRoot) {
+  C c(dwcas_root());
+  EXPECT_TRUE(c.query().open);
+  auto t = c.arrive();
+  ASSERT_TRUE(t.arrived());
+  EXPECT_TRUE(c.query().nonzero);
+  EXPECT_FALSE(c.close_if_empty());  // surplus nonzero
+  EXPECT_TRUE(c.depart(t));
+  EXPECT_TRUE(c.close_if_empty());
+  EXPECT_FALSE(c.query().open);
+  EXPECT_FALSE(c.arrive().arrived());  // closed rejects arrivals
+  c.open_with_arrivals(2, /*then_close=*/true);
+  EXPECT_TRUE(c.depart(c.direct_ticket()));
+  EXPECT_FALSE(c.depart(c.direct_ticket()));  // last departure, closed
+}
+
+// Every OPEN<->CLOSED flip stamps a fresh version in the same atomic step;
+// arrivals and departs (no state flip) leave it untouched.  On builds
+// without 16-byte atomics the request silently degrades to the
+// pointer-width root: dwcas_active() false, root_version() pinned to 0.
+TEST(CSnziDwcas, VersionAdvancesOnFlipsOnly) {
+  C c(dwcas_root());
+  const std::uint64_t v0 = c.root_version();
+  EXPECT_TRUE(c.close());
+  const std::uint64_t v1 = c.root_version();
+  c.open();
+  const std::uint64_t v2 = c.root_version();
+  EXPECT_TRUE(c.close_if_empty());
+  const std::uint64_t v3 = c.root_version();
+  c.open();
+  if (c.dwcas_active()) {
+    EXPECT_LT(v0, v1);
+    EXPECT_LT(v1, v2);
+    EXPECT_LT(v2, v3);
+    // Arrive/depart: surplus changes, state does not — version stable.
+    const std::uint64_t v4 = c.root_version();
+    auto t = c.arrive();
+    ASSERT_TRUE(t.arrived());
+    EXPECT_EQ(c.root_version(), v4);
+    EXPECT_TRUE(c.depart(t));
+    EXPECT_EQ(c.root_version(), v4);
+  } else {
+    EXPECT_EQ(v0, 0u);
+    EXPECT_EQ(v1, 0u);
+    EXPECT_EQ(v2, 0u);
+    EXPECT_EQ(v3, 0u);
+    EXPECT_FALSE(c.dwcas_active());
+  }
+}
+
 // --- plain SNZI wrapper -------------------------------------------------------
 
 TEST(Snzi, BasicArriveDepartQuery) {

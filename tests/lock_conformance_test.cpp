@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -378,6 +379,134 @@ TEST_P(LockConformance, MixedTimedWorkloadKeepsExclusion) {
   EXPECT_EQ(checker.unprotected_counter, writes.load());
 }
 
+// --- delegated writes (DESIGN.md §15), via the type-erased surface --------
+//
+// AnyRwLock::with_write must be total across the factory: combining kinds
+// route the closure through their publication list (it may execute on the
+// current holder's thread), every other kind degrades to acquire-execute-
+// release.  Same oracle either way: closures are mutually exclusive with
+// writers AND readers, execute exactly once each, and an exception thrown
+// by the closure surfaces on the *calling* thread with the lock released —
+// no matter which thread ran the closure.
+
+TEST_P(LockConformance, WithWriteSingleThreadExecutesInOrder) {
+  auto lock = make();
+  std::uint64_t count = 0;
+  for (int i = 0; i < 1000; ++i) {
+    lock->with_write([](void* p) { ++*static_cast<std::uint64_t*>(p); },
+                     &count);
+  }
+  EXPECT_EQ(count, 1000u);
+}
+
+TEST_P(LockConformance, WithWriteMixedWorkloadKeepsExclusion) {
+  // The exclusion oracle over delegated writes racing plain readers and
+  // plain writers.  Under the chaos leg of check.sh this whole body runs
+  // with process-wide fault injection armed, so the combining protocol's
+  // publish/claim/drain CASes see forced failures and preemption too.
+  auto lock = make();
+  ExclusionChecker checker;
+  constexpr unsigned kThreads = 8;
+  constexpr unsigned kIters = 600;
+  std::atomic<std::uint64_t> writes{0};
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Xoshiro256ss rng(0xc0ffeeULL * (t + 1));
+      std::uint64_t local = 0;
+      for (unsigned i = 0; i < kIters; ++i) {
+        const unsigned pick = static_cast<unsigned>(rng.next() % 100);
+        if (pick < 50) {
+          lock->lock_shared();
+          checker.reader_enter();
+          checker.reader_exit();
+          lock->unlock_shared();
+        } else if (pick < 75) {
+          lock->lock();
+          checker.writer_enter();
+          ++checker.unprotected_counter;
+          checker.writer_exit();
+          lock->unlock();
+        } else {
+          lock->with_write(
+              [](void* p) {
+                auto* c = static_cast<ExclusionChecker*>(p);
+                c->writer_enter();
+                ++c->unprotected_counter;
+                c->writer_exit();
+              },
+              &checker);
+        }
+        if (pick >= 50) ++local;
+      }
+      writes.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(checker.violations(), 0u);
+  EXPECT_EQ(checker.unprotected_counter, writes.load());
+}
+
+TEST_P(LockConformance, WithWriteExceptionPropagatesAndReleases) {
+  auto lock = make();
+  bool caught = false;
+  try {
+    lock->with_write([](void*) { throw std::runtime_error("boom"); },
+                     nullptr);
+  } catch (const std::runtime_error& e) {
+    caught = std::string(e.what()) == "boom";
+  }
+  EXPECT_TRUE(caught);
+  // The throw path must have released the lock.
+  EXPECT_TRUE(lock->try_lock());
+  lock->unlock();
+}
+
+TEST_P(LockConformance, WithWriteDelegatedExceptionsReachTheirCallers) {
+  // Concurrent version: on a combining kind some of these closures execute
+  // on another thread's drain, and the exception must still arrive at the
+  // thread that published the closure (shipped via exception_ptr).  Every
+  // thread throws on a fixed cadence and must catch exactly its own.
+  auto lock = make();
+  constexpr unsigned kThreads = 8;
+  constexpr unsigned kIters = 400;
+  std::atomic<std::uint64_t> executed{0};
+  std::atomic<std::uint64_t> caught{0};
+  std::uint64_t expected_throws = 0;
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      struct Ctx {
+        std::atomic<std::uint64_t>* executed;
+        bool do_throw;
+      };
+      for (unsigned i = 0; i < kIters; ++i) {
+        Ctx c{&executed, (i % 16) == 0};
+        try {
+          lock->with_write(
+              [](void* p) {
+                Ctx* c = static_cast<Ctx*>(p);
+                c->executed->fetch_add(1, std::memory_order_relaxed);
+                if (c->do_throw) throw std::runtime_error("delegated");
+              },
+              &c);
+        } catch (const std::runtime_error&) {
+          caught.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  expected_throws = kThreads * ((kIters + 15) / 16);
+  EXPECT_EQ(executed.load(), kThreads * kIters);
+  EXPECT_EQ(caught.load(), expected_throws);
+  // And the lock is still fully usable afterwards.
+  lock->lock();
+  lock->unlock();
+  lock->lock_shared();
+  lock->unlock_shared();
+}
+
 // GOLL writer-arbitration variants: the behavioral contract must be
 // identical under every metalock kind.  tatas is the seed baseline; mcs and
 // cohort additionally enable the metalock-eliding release, the tree wake
@@ -569,7 +698,8 @@ INSTANTIATE_TEST_SUITE_P(MetalockKinds, GollMetalockConformance,
 
 INSTANTIATE_TEST_SUITE_P(
     AllLocks, LockConformance,
-    ::testing::Values(LockKind::kGoll, LockKind::kFoll, LockKind::kRoll,
+    ::testing::Values(LockKind::kGoll, LockKind::kGollCombining,
+                      LockKind::kFoll, LockKind::kRoll,
                       LockKind::kKsuh, LockKind::kSolarisLike,
                       LockKind::kMcsRw, LockKind::kBigReader,
                       LockKind::kCentral, LockKind::kStdShared,

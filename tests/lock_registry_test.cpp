@@ -13,7 +13,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -188,6 +190,66 @@ TEST(LockRegistryTest, ResurrectionPreservesConcurrentSamplerPins) {
   stop.store(true, std::memory_order_relaxed);
   for (auto& th : samplers) th.join();
   EXPECT_FALSE(sample_has(registry_sample(0), "reg-resurrect-test"));
+}
+
+// Regression for the deregistration drain bound: a sampler wedged inside
+// stats_fn holds its pin indefinitely, and ~LockRegistration must wait it
+// out (proceeding would free the object under the sampler — use-after-
+// free), but BOUNDEDLY: the drain now escalates from yield-spins to
+// millisecond sleeps with a loud stderr warning past ~100 ms instead of
+// burning a core forever in silence.  This test parks a sampler inside
+// stats_fn long enough to push the drain deep into the sleep/warn phase,
+// asserts the destructor is still (correctly) blocked, then releases the
+// sampler and asserts the destructor completes.  The "[oll] lock registry:
+// deregistration ... blocked" line on stderr is the warning under test.
+std::atomic<bool> g_release_stats{false};
+std::atomic<bool> g_stats_entered{false};
+thread_local bool t_block_in_stats = false;
+
+LockStatsSnapshot blocking_stats(const void* obj) {
+  if (t_block_in_stats) {
+    g_stats_entered.store(true, std::memory_order_release);
+    while (!g_release_stats.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  return fake_stats(obj);
+}
+
+TEST(LockRegistryTest, DeregistrationBlockedBySamplerWarnsAndCompletes) {
+  if (!registry_compiled_in()) GTEST_SKIP() << "OLL_REGISTRY=0 build";
+  g_release_stats.store(false, std::memory_order_relaxed);
+  g_stats_entered.store(false, std::memory_order_relaxed);
+  FakeLock fake;
+  auto reg = std::make_unique<LockRegistration>(
+      "reg-stuck-sampler-test", "fake", LockSite{}, &fake, &blocking_stats,
+      nullptr);
+  std::thread sampler([] {
+    t_block_in_stats = true;  // only the sampler's stats call blocks
+    registry_sample(0);
+  });
+  while (!g_stats_entered.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  // The sampler is pinned inside stats_fn.  Deregister on a side thread;
+  // the destructor's own final stats read does not block (thread_local
+  // gate), so it proceeds straight into the pin drain.
+  std::atomic<bool> dereg_done{false};
+  std::thread dereg([&] {
+    reg.reset();
+    dereg_done.store(true, std::memory_order_release);
+  });
+  // Long enough for the drain to exhaust its spin budget and cross the
+  // warn threshold (sleeps accumulate real milliseconds).  Not a race:
+  // completing here would be the use-after-free the pin protocol exists
+  // to prevent.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_FALSE(dereg_done.load(std::memory_order_acquire));
+  g_release_stats.store(true, std::memory_order_release);
+  dereg.join();
+  EXPECT_TRUE(dereg_done.load(std::memory_order_acquire));
+  sampler.join();
+  EXPECT_FALSE(sample_has(registry_sample(0), "reg-stuck-sampler-test"));
 }
 
 TEST(LockRegistryTest, CensusTracksHoldersWaitersAndLongestWaiter) {

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -63,6 +64,66 @@ TEST(Mechanism, GollWritersForceQueueing) {
   const LockStatsSnapshot s = lock.stats();
   EXPECT_EQ(s.write_fast, 1u);
   EXPECT_EQ(s.read_queued, 1u);  // the reader had to sleep in the queue
+}
+
+// --- DESIGN.md §15: a combined write performs zero metalock handoffs --------
+
+// One delegation round: the main thread holds the lock for writing, a
+// delegator publishes a closure via with_write, and the holder's unlock
+// drains it.  Returns false (caller retries) if the delegator's bounded spin
+// expired before the drain and it fell back to a conventional acquire — the
+// stats then show a queued write rather than a combined op, so a false round
+// can never fake the assertion.
+bool combined_round(GollLock<>& lock, LockStatsSnapshot& before,
+                    LockStatsSnapshot& after) {
+  lock.lock();
+  before = lock.stats();
+  std::atomic<bool> ran{false};
+  std::thread delegator([&] {
+    lock.with_write(
+        [](void* p) {
+          static_cast<std::atomic<bool>*>(p)->store(
+              true, std::memory_order_release);
+        },
+        &ran);
+  });
+  // Wait (bounded) for the closure to appear in the combining pool.  No
+  // spin_until: if the delegator already gave up and queued, pending stays
+  // zero forever and we must release the lock to let it through.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+  while (!lock.combining_pending() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  before = lock.stats();  // re-snapshot: nothing combined yet, publish done
+  lock.unlock();          // drains the pool while still exclusive
+  delegator.join();
+  after = lock.stats();
+  EXPECT_TRUE(ran.load(std::memory_order_acquire));
+  return after.combined_ops == before.combined_ops + 1;
+}
+
+TEST(Mechanism, GollCombinedWriteSkipsMetalockAndQueue) {
+  GollOptions opts;
+  opts.combine = true;
+  GollLock<> lock(opts);
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    LockStatsSnapshot before, after;
+    if (!combined_round(lock, before, after)) continue;  // raced; retry
+    // The delegated op was executed by the holder's pre-release drain:
+    EXPECT_EQ(after.combine_batches, before.combine_batches + 1);
+    EXPECT_EQ(after.combine_handoffs_saved,
+              before.combine_handoffs_saved + 1);
+    // ...and the delegator itself never took ownership: no metalock
+    // handoff, no queue transit, no write acquisition of its own.  This is
+    // the counter-level proof behind the fig5f throughput win.
+    EXPECT_EQ(after.meta_handoffs, before.meta_handoffs);
+    EXPECT_EQ(after.write_queued, before.write_queued);
+    EXPECT_EQ(after.writes(), before.writes());
+    return;
+  }
+  FAIL() << "no round produced a combined op in 50 attempts";
 }
 
 // --- §4.2: FOLL readers share one node ----------------------------------------
