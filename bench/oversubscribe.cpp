@@ -1,0 +1,242 @@
+// Oversubscription degradation bench (DESIGN.md §16): what each waiting
+// discipline costs when software threads outnumber hardware contexts.
+//
+// The paper's evaluation assumes a dedicated hardware thread per software
+// thread (§5.1) and spins without ever blocking.  This bench measures what
+// that assumption costs when it breaks: worker counts of 4x/16x hardware
+// concurrency run the fig5c (95% reads) and fig5f (write-only) mixes under
+// three GOLL waiting disciplines —
+//   pure  WaitStrategy::kSpin with the yield escalation disabled
+//         (set_pure_spin, platform/spin.hpp): the paper-faithful
+//         discipline.  Every handoff to a descheduled waiter burns whole
+//         scheduler quanta; throughput collapses as mult grows.
+//   spin  WaitStrategy::kSpin as shipped: spin 64 pauses, then
+//         sched_yield.  The seed's own oversubscription mitigation —
+//         survives, but every waiter still wakes to burn a timeslice
+//         polling a flag that has not changed.
+//   park  WaitStrategy::kSpinThenPark: adaptive spin, then futex park.
+//         Waiters leave the runnable set entirely; CPU-seconds/op stays
+//         near the dedicated-core cost.
+// Each cell reports wall-clock throughput AND process CPU time per op
+// (getrusage) over a fixed-duration measurement window.
+//
+// Real mode only: oversubscription is a host-scheduler phenomenon, and the
+// sim's virtual clock cannot express it.
+//
+// Output: a CSV row per (mix, multiplier, policy) plus one "# parkstat
+// mix=... mult=..." comment line per (mix, multiplier) cell, which
+// scripts/bench_smoke.py scrapes into the gated park.* series of
+// BENCH_<n>.json.  ratio_pure = park/pure throughput (the tentpole's
+// ">= 3x at 16x" claim); ratio_yield = park/spin (how much the futex path
+// adds over the yield mitigation).
+//
+// Flags: --mults=4,16   oversubscription multipliers (x hw_concurrency)
+//        --secs=S       measurement window per configuration (float ok)
+//        --cs_work=N    dummy iterations inside the critical section
+//        --skip_pure=1  omit the pure-spin rows (they are slow by design)
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/cli.hpp"
+#include "locks/goll_lock.hpp"
+#include "platform/spin.hpp"
+#include "platform/thread_id.hpp"
+
+namespace oll::bench {
+namespace {
+
+enum class Policy { kPure, kSpin, kPark };
+
+const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::kPure: return "pure";
+    case Policy::kSpin: return "spin";
+    case Policy::kPark: return "park";
+  }
+  return "?";
+}
+
+struct RunOut {
+  double ops_per_s = 0;
+  double cpu_us_per_op = 0;
+  double wall_s = 0;
+  double cpu_s = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t parks = 0;
+};
+
+double cpu_seconds_now() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  auto tv = [](const timeval& t) {
+    return static_cast<double>(t.tv_sec) +
+           1e-6 * static_cast<double>(t.tv_usec);
+  };
+  return tv(ru.ru_utime) + tv(ru.ru_stime);
+}
+
+inline std::uint64_t splitmix64(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+RunOut run_one(std::uint32_t threads, double secs, std::uint32_t read_pct,
+               std::uint64_t cs_work, Policy policy) {
+  // pure is kSpin with the escalation disabled process-wide for the run;
+  // SpinWait objects latch the flag at construction, and every waiter
+  // constructs its SpinWait after go.
+  set_pure_spin(policy == Policy::kPure);
+  GollOptions g;
+  g.max_threads = threads;
+  g.wait_strategy = policy == Policy::kPark ? WaitStrategy::kSpinThenPark
+                                            : WaitStrategy::kSpin;
+  GollLock<> lock(g);
+
+  std::atomic<std::uint32_t> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total_ops{0};
+  std::atomic<std::uint64_t> sink{0};
+
+  auto worker = [&](std::uint32_t w) {
+    ScopedThreadIndex index(w);
+    std::uint64_t rng = 0x9e3779b97f4a7c15ULL * (w + 1);
+    ready.fetch_add(1, std::memory_order_acq_rel);
+    while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+    std::uint64_t local = 0;
+    std::uint64_t ops = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const bool read = (splitmix64(rng) % 100) < read_pct;
+      if (read) {
+        lock.lock_shared();
+        for (std::uint64_t k = 0; k < cs_work; ++k) local += k;
+        lock.unlock_shared();
+      } else {
+        lock.lock();
+        for (std::uint64_t k = 0; k < cs_work; ++k) local += k;
+        lock.unlock();
+      }
+      ++ops;
+    }
+    sink.fetch_add(local, std::memory_order_relaxed);
+    total_ops.fetch_add(ops, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::uint32_t w = 0; w < threads; ++w) pool.emplace_back(worker, w);
+  while (ready.load(std::memory_order_acquire) != threads) {
+    std::this_thread::yield();
+  }
+  const double cpu0 = cpu_seconds_now();
+  const auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::duration<double>(secs));
+  stop.store(true, std::memory_order_relaxed);
+  // The join covers the drain: queued waiters still receive their grants
+  // (a chain of handoffs) before the last worker exits.  Wall and CPU
+  // include the drain, which only penalizes the slow disciplines.
+  for (auto& t : pool) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double cpu1 = cpu_seconds_now();
+  set_pure_spin(false);
+
+  RunOut out;
+  out.ops = total_ops.load(std::memory_order_relaxed);
+  out.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  out.cpu_s = cpu1 - cpu0;
+  out.ops_per_s =
+      out.wall_s > 0 ? static_cast<double>(out.ops) / out.wall_s : 0;
+  out.cpu_us_per_op =
+      out.ops > 0 ? out.cpu_s * 1e6 / static_cast<double>(out.ops) : 0;
+  out.parks = lock.stats().parks;
+  return out;
+}
+
+struct Mix {
+  const char* name;
+  std::uint32_t read_pct;
+};
+
+}  // namespace
+}  // namespace oll::bench
+
+int main(int argc, char** argv) {
+  using namespace oll;
+  using namespace oll::bench;
+  const Flags flags(argc, argv);
+
+  const std::uint32_t cores =
+      std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::uint32_t> mults;
+  {
+    std::stringstream ss(flags.get("mults", "4,16"));
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      mults.push_back(static_cast<std::uint32_t>(std::stoul(item)));
+    }
+  }
+  const double secs = std::stod(flags.get("secs", "1.0"));
+  const std::uint64_t cs_work = flags.get_u64("cs_work", 16);
+  const bool skip_pure = flags.get_u64("skip_pure", 0) != 0;
+  const Mix mixes[] = {{"fig5c", 95}, {"fig5f", 0}};
+
+  std::printf("# oversubscribe: cores=%u secs=%.2f cs_work=%llu\n", cores,
+              secs, static_cast<unsigned long long>(cs_work));
+  std::printf(
+      "mix,mult,threads,policy,ops_per_s,cpu_us_per_op,ops,wall_s,cpu_s,"
+      "parks\n");
+  for (const Mix& mix : mixes) {
+    for (std::uint32_t mult : mults) {
+      const std::uint32_t threads =
+          std::min<std::uint32_t>(mult * cores, kMaxThreads);
+      RunOut out[3];
+      const auto emit_row = [&](Policy p, const RunOut& o) {
+        std::printf("%s,%u,%u,%s,%.6e,%.4f,%llu,%.4f,%.4f,%llu\n", mix.name,
+                    mult, threads, policy_name(p), o.ops_per_s,
+                    o.cpu_us_per_op, static_cast<unsigned long long>(o.ops),
+                    o.wall_s, o.cpu_s,
+                    static_cast<unsigned long long>(o.parks));
+        std::fflush(stdout);
+      };
+      for (Policy p : {Policy::kPure, Policy::kSpin, Policy::kPark}) {
+        if (p == Policy::kPure && skip_pure) continue;
+        RunOut& o = out[static_cast<int>(p)];
+        o = run_one(threads, secs, mix.read_pct, cs_work, p);
+        emit_row(p, o);
+      }
+      const RunOut& pure = out[0];
+      const RunOut& spin = out[1];
+      const RunOut& park = out[2];
+      // One scrapeable line per cell.  ratio_pure is the tentpole claim
+      // (park vs paper-faithful spin); ratio_yield compares against the
+      // seed's yield mitigation.  Ratios are self-normalizing across
+      // hosts, which is what makes them gateable.
+      std::printf(
+          "# parkstat mix=%s mult=%u threads=%u ratio_pure=%.4f "
+          "ratio_yield=%.4f pure_ops_per_s=%.6e spin_ops_per_s=%.6e "
+          "park_ops_per_s=%.6e pure_cpu_us_per_op=%.4f "
+          "spin_cpu_us_per_op=%.4f park_cpu_us_per_op=%.4f park_parks=%llu\n",
+          mix.name, mult, threads,
+          pure.ops_per_s > 0 ? park.ops_per_s / pure.ops_per_s : 0.0,
+          spin.ops_per_s > 0 ? park.ops_per_s / spin.ops_per_s : 0.0,
+          pure.ops_per_s, spin.ops_per_s, park.ops_per_s,
+          pure.cpu_us_per_op, spin.cpu_us_per_op, park.cpu_us_per_op,
+          static_cast<unsigned long long>(park.parks));
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

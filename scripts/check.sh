@@ -83,6 +83,31 @@ cmake --build build-noregistry -j "${JOBS}" --target lock_conformance_test \
 ./build-noregistry/tests/telemetry_test >/dev/null
 echo "==> OLL_REGISTRY=0 build + smoke OK"
 
+echo "==> robustness: OLL_PARK=0 build (parking compiled out, §16)"
+# kSpinThenPark must degrade to kSpin at arm() time and the substrate to
+# constexpr no-ops: the pure-spin paths are bit-for-bit the seed's.
+cmake -B build-nopark -S . -DOLL_PARK=0 \
+  -DOLL_ENABLE_BENCH=OFF -DOLL_ENABLE_EXAMPLES=OFF
+cmake --build build-nopark -j "${JOBS}" --target lock_conformance_test \
+  park_test wait_queue_test
+./build-nopark/tests/lock_conformance_test >/dev/null
+./build-nopark/tests/park_test >/dev/null
+./build-nopark/tests/wait_queue_test >/dev/null
+echo "==> OLL_PARK=0 build + smoke OK"
+
+echo "==> robustness: OLL_PARK_FUTEX=0 build (condvar fallback, §16.1)"
+# The hashed mutex+condvar bucket table must pass the same substrate and
+# conformance checks as the futex backend (this is what non-Linux and the
+# aarch64 CI leg run).
+cmake -B build-noparkfutex -S . -DOLL_PARK_FUTEX=0 \
+  -DOLL_ENABLE_BENCH=OFF -DOLL_ENABLE_EXAMPLES=OFF
+cmake --build build-noparkfutex -j "${JOBS}" --target park_test \
+  lock_conformance_test
+./build-noparkfutex/tests/park_test >/dev/null
+./build-noparkfutex/tests/lock_conformance_test \
+  --gtest_filter='AllLocks/ParkPolicyConformance.*' >/dev/null
+echo "==> OLL_PARK_FUTEX=0 build + smoke OK"
+
 echo "==> snzi: OLL_DWCAS=0 build (pointer-width root fallback, §15.3)"
 # The fused 16-byte root must degrade gracefully: dwcas_active() false,
 # root_version() 0, every lock (incl. goll-combining + the mechanism
@@ -105,7 +130,7 @@ TSAN_SUITES=(
   csnzi_test lock_conformance_test foll_roll_test goll_test ksuh_test
   wait_queue_test mutex_test metalock_test orig_snzi_test trace_test
   histogram_test timed_lock_test litmus_test versioned_lock_test
-  lock_registry_test telemetry_test mechanism_test
+  lock_registry_test telemetry_test mechanism_test park_test
 )
 
 echo "==> tsan: configure + build (tests only)"
@@ -134,6 +159,14 @@ cmake --build build-tsan -j "${JOBS}" --target fault_fuzz
 ./build-tsan/tests/fault_fuzz --locks=goll,foll,roll,bravo-goll,opt-goll \
   --profiles=cas,chaos --seeds=1,42 --read_pcts=50,95 --iters=80 \
   --stall_limit_s=120
+
+echo "==> tsan: fault_fuzz park sweep (lost/spurious wakes under TSan, §16.4)"
+# The consume-or-unpark pairing's release/acquire edges must be genuine
+# happens-before under injected spurious and lost wakes; the end-of-run
+# parked-census oracle also runs here.
+./build-tsan/tests/fault_fuzz --locks=goll,foll,roll,bravo-goll,opt-goll \
+  --profiles=park-spurious,park-lost,park-chaos --seeds=1,42 \
+  --read_pcts=50,95 --iters=80 --stall_limit_s=120
 
 echo "==> ubsan: configure + build (tests only)"
 cmake -B build-ubsan -S . -DOLL_SANITIZE=undefined \

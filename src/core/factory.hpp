@@ -435,6 +435,14 @@ struct LockFactoryOptions {
   std::uint32_t max_threads = 512;
   CSnziOptions csnzi{};
   bool readers_coalesce_over_writers = true;
+  // How contended waiters block (wait_queue.hpp / DESIGN.md §16): kSpin is
+  // the paper's pure-spin evaluation mode; kSpinThenPark bounds the spin
+  // and parks on the futex substrate (platform/park.hpp) — the mode for
+  // oversubscribed hosts.  Forwarded to every kind that exposes a policy
+  // (GOLL family incl. its metalock, FOLL, ROLL, Solaris-like, Central,
+  // BRAVO wrappers); kinds without per-waiter words (KSUH, MCS-RW,
+  // BigReader, std::shared_mutex) ignore it.
+  WaitPolicy wait_policy = WaitPolicy::kSpin;
   // Writer-arbitration metalock for the metalock-based locks (GOLL and its
   // BRAVO wrap): kind, cohort budget, topology (cohort_mcs_lock.hpp).
   MetalockOptions metalock{};
@@ -474,6 +482,7 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
       g.csnzi = o.csnzi;
       g.readers_coalesce_over_writers = o.readers_coalesce_over_writers;
       g.metalock = o.metalock;
+      g.wait_strategy = o.wait_policy;
       g.combine = o.combine;
       g.combine_budget = o.combine_budget;
       return std::make_unique<RwLockAdapter<GollLock<M>>>(adapter_identity("GOLL", o), g);
@@ -487,6 +496,7 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
       g.csnzi.dwcas_root = true;
       g.readers_coalesce_over_writers = o.readers_coalesce_over_writers;
       g.metalock = o.metalock;
+      g.wait_strategy = o.wait_policy;
       g.combine = true;
       g.combine_budget = o.combine_budget;
       return std::make_unique<RwLockAdapter<GollLock<M>>>(
@@ -497,6 +507,7 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
       f.max_threads = o.max_threads;
       f.csnzi = o.csnzi;
       f.topology = o.metalock.topology;
+      f.wait_policy = o.wait_policy;
       return std::make_unique<RwLockAdapter<FollLock<M>>>(adapter_identity("FOLL", o), f);
     }
     case LockKind::kRoll: {
@@ -504,6 +515,7 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
       r.max_threads = o.max_threads;
       r.csnzi = o.csnzi;
       r.topology = o.metalock.topology;
+      r.wait_policy = o.wait_policy;
       return std::make_unique<RwLockAdapter<RollLock<M>>>(adapter_identity("ROLL", o), r);
     }
     case LockKind::kKsuh: {
@@ -514,6 +526,7 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
     case LockKind::kSolarisLike: {
       SolarisOptions s;
       s.readers_coalesce_over_writers = o.readers_coalesce_over_writers;
+      s.wait_strategy = o.wait_policy;
       return std::make_unique<RwLockAdapter<SolarisRwLock<M>>>(adapter_identity("Solaris-like", o),
                                                                s);
     }
@@ -531,6 +544,7 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
     case LockKind::kCentral: {
       CentralRwOptions c;
       c.max_threads = o.max_threads;
+      c.wait_policy = o.wait_policy;
       return std::make_unique<RwLockAdapter<CentralRwLock<M>>>(adapter_identity("Central", o), c);
     }
     case LockKind::kStdShared: {
@@ -547,8 +561,10 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
       g.csnzi = o.csnzi;
       g.readers_coalesce_over_writers = o.readers_coalesce_over_writers;
       g.metalock = o.metalock;
+      g.wait_strategy = o.wait_policy;
       BravoOptions b;
       b.max_threads = o.max_threads;
+      b.wait_policy = o.wait_policy;
       return std::make_unique<RwLockAdapter<Bravo<GollLock<M>, M>>>(
           adapter_identity("BRAVO-GOLL", o), b, g);
     }
@@ -557,8 +573,10 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
       f.max_threads = o.max_threads;
       f.csnzi = o.csnzi;
       f.topology = o.metalock.topology;
+      f.wait_policy = o.wait_policy;
       BravoOptions b;
       b.max_threads = o.max_threads;
+      b.wait_policy = o.wait_policy;
       return std::make_unique<RwLockAdapter<Bravo<FollLock<M>, M>>>(
           adapter_identity("BRAVO-FOLL", o), b, f);
     }
@@ -567,16 +585,20 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
       r.max_threads = o.max_threads;
       r.csnzi = o.csnzi;
       r.topology = o.metalock.topology;
+      r.wait_policy = o.wait_policy;
       BravoOptions b;
       b.max_threads = o.max_threads;
+      b.wait_policy = o.wait_policy;
       return std::make_unique<RwLockAdapter<Bravo<RollLock<M>, M>>>(
           adapter_identity("BRAVO-ROLL", o), b, r);
     }
     case LockKind::kBravoCentral: {
       CentralRwOptions c;
       c.max_threads = o.max_threads;
+      c.wait_policy = o.wait_policy;
       BravoOptions b;
       b.max_threads = o.max_threads;
+      b.wait_policy = o.wait_policy;
       return std::make_unique<RwLockAdapter<Bravo<CentralRwLock<M>, M>>>(
           adapter_identity("BRAVO-Central", o), b, c);
     }
@@ -586,6 +608,7 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
       g.csnzi = o.csnzi;
       g.readers_coalesce_over_writers = o.readers_coalesce_over_writers;
       g.metalock = o.metalock;
+      g.wait_strategy = o.wait_policy;
       VersionedOptions v;
       v.max_threads = o.max_threads;
       return std::make_unique<
@@ -597,8 +620,10 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
       g.csnzi = o.csnzi;
       g.readers_coalesce_over_writers = o.readers_coalesce_over_writers;
       g.metalock = o.metalock;
+      g.wait_strategy = o.wait_policy;
       BravoOptions b;
       b.max_threads = o.max_threads;
+      b.wait_policy = o.wait_policy;
       VersionedOptions v;
       v.max_threads = o.max_threads;
       return std::make_unique<
@@ -608,6 +633,7 @@ std::unique_ptr<AnyRwLock> make_rwlock(LockKind kind,
     case LockKind::kOptCentral: {
       CentralRwOptions c;
       c.max_threads = o.max_threads;
+      c.wait_policy = o.wait_policy;
       VersionedOptions v;
       v.max_threads = o.max_threads;
       return std::make_unique<

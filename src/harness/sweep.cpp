@@ -185,6 +185,9 @@ void write_lock_stats_json(std::ostream& out, const LockStatsSnapshot& s) {
       << ",\"opt_reads\":" << s.opt_reads
       << ",\"opt_validation_failures\":" << s.opt_validation_failures
       << ",\"opt_fallbacks\":" << s.opt_fallbacks
+      << ",\"parks\":" << s.parks
+      << ",\"unparks\":" << s.unparks
+      << ",\"spurious_wakes\":" << s.spurious_wakes
       << ",\"read_acquire\":";
   write_histogram_json(out, s.read_acquire);
   out << ",\"write_acquire\":";
@@ -195,6 +198,8 @@ void write_lock_stats_json(std::ostream& out, const LockStatsSnapshot& s) {
   write_histogram_json(out, s.timed_acquire);
   out << ",\"opt_read\":";
   write_histogram_json(out, s.opt_read);
+  out << ",\"park_wait\":";
+  write_histogram_json(out, s.park_wait);
 }
 
 bool write_stats_json_file(const std::string& path, Mode mode,

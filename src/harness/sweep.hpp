@@ -110,8 +110,10 @@ bool run_observability_pass(std::ostream& os, const ObservabilityConfig& cfg);
 // Bump on any breaking change to field names or meanings.  v2 added
 // schema_version itself, trace_enabled, per-lock trace_dropped and
 // per-histogram overflow.  v3 added the flat-combining counters
-// (combined_ops, combine_batches, combine_handoffs_saved).
-inline constexpr int kStatsJsonSchemaVersion = 3;
+// (combined_ops, combine_batches, combine_handoffs_saved).  v4 added the
+// spin-then-park counters (parks, unparks, spurious_wakes) and the
+// park_wait histogram (DESIGN.md §16).
+inline constexpr int kStatsJsonSchemaVersion = 4;
 
 // JSON fragments shared by the stats exports (the observability pass and
 // the latency_fairness bench): {"count":..,"mean":..,"p50":..,...} for a

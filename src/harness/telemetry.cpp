@@ -14,6 +14,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "platform/park.hpp"
 #include "platform/time.hpp"
 
 namespace oll {
@@ -211,6 +212,24 @@ std::string TelemetryExporter::render_prometheus(const TelemetryTick& t) {
   os << "# HELP oll_telemetry_ticks_total Exporter collection ticks.\n"
      << "# TYPE oll_telemetry_ticks_total counter\n"
      << "oll_telemetry_ticks_total " << t.tick << "\n";
+  // Process-wide parking substrate gauge (platform/park.hpp): threads
+  // asleep right now, across every lock.  Zero (and parks stay zero) on
+  // OLL_PARK=0 builds.
+  os << "# HELP oll_parked_threads Threads currently parked in the "
+        "spin-then-park substrate.\n"
+     << "# TYPE oll_parked_threads gauge\n"
+     << "oll_parked_threads " << parked_thread_count() << "\n";
+  {
+    const ParkStats ps = park_stats();
+    os << "# HELP oll_park_events_total Parking substrate events by type.\n"
+       << "# TYPE oll_park_events_total counter\n"
+       << "oll_park_events_total{event=\"park\"} " << ps.parks << "\n"
+       << "oll_park_events_total{event=\"unpark\"} " << ps.unparks << "\n"
+       << "oll_park_events_total{event=\"spurious\"} " << ps.spurious_wakes
+       << "\n"
+       << "oll_park_events_total{event=\"rearm_recovery\"} "
+       << ps.rearm_recoveries << "\n";
+  }
 
   auto counter = [&os](const char* metric, const char* help) {
     os << "# HELP " << metric << " " << help << "\n"

@@ -7,6 +7,8 @@
 
 #include "platform/assert.hpp"
 #include "platform/lock_registry.hpp"
+#include "platform/park.hpp"
+#include "platform/thread_id.hpp"
 #include "platform/time.hpp"
 #include "platform/trace.hpp"
 
@@ -22,6 +24,15 @@ void Watchdog::begin_acquire(std::uint32_t worker, bool write) {
   OLL_DCHECK(worker < slots_.size());
   Slot& s = slots_[worker];
   s.is_write.store(write ? 1 : 0, std::memory_order_relaxed);
+  if (park_compiled_in()) {
+    // Key into the park census plus the parked-time baseline, so the
+    // monitor can charge only runnable (non-parked) wait against the
+    // threshold.
+    const std::uint32_t tid = this_thread_index();
+    s.tid.store(tid, std::memory_order_relaxed);
+    s.parked_base_ns.store(park_thread_state(tid).cum_parked_ns,
+                           std::memory_order_relaxed);
+  }
   // now_ns() is monotonic-from-epoch and never 0 in practice; 0 stays the
   // "not acquiring" sentinel.
   s.start_ns.store(now_ns(), std::memory_order_relaxed);
@@ -67,18 +78,55 @@ std::uint64_t Watchdog::threshold_ns() const {
   return t;
 }
 
+Watchdog::ParkView Watchdog::park_view(const Slot& slot, std::uint64_t begin,
+                                       std::uint64_t now) const {
+  ParkView pv;
+  if (!park_compiled_in()) return pv;
+  const std::uint32_t tid = slot.tid.load(std::memory_order_relaxed);
+  if (tid == kNoTid) return pv;
+  const ParkThreadState ps = park_thread_state(tid);
+  // Completed parks since the acquisition began (cum counter delta)...
+  const std::uint64_t base = slot.parked_base_ns.load(std::memory_order_relaxed);
+  if (ps.cum_parked_ns > base) pv.parked_ns = ps.cum_parked_ns - base;
+  // ...plus the in-progress park, which cum does not yet include.
+  if (ps.parked_since_ns != 0) {
+    pv.parked_now = true;
+    if (now > ps.parked_since_ns) pv.parked_ns += now - ps.parked_since_ns;
+    pv.past_deadline =
+        ps.deadline_ns != 0 &&
+        now > ps.deadline_ns + opts_.park_deadline_grace_ns;
+  }
+  // A park that straddles the acquisition start charges pre-acquisition
+  // sleep too; harmless — it only makes the watchdog more lenient, and
+  // only for the first park of the acquisition.
+  if (pv.parked_ns > now - begin) pv.parked_ns = now - begin;
+  return pv;
+}
+
 void Watchdog::dump_incident(std::uint32_t worker, const Slot& slot,
                              std::uint64_t waited_ns,
-                             std::uint64_t threshold) {
+                             std::uint64_t threshold, const ParkView& pv) {
   const LockStatsSnapshot s = lock_.stats();
   std::fprintf(stderr,
                "[watchdog] worker %u stuck in %s acquisition for %.1f ms "
-               "(threshold %.1f ms)\n",
+               "(runnable %.1f ms, parked %.1f ms; threshold %.1f ms%s)\n",
                worker,
                slot.is_write.load(std::memory_order_relaxed) != 0 ? "write"
                                                                   : "read",
                static_cast<double>(waited_ns) * 1e-6,
-               static_cast<double>(threshold) * 1e-6);
+               static_cast<double>(waited_ns - pv.parked_ns) * 1e-6,
+               static_cast<double>(pv.parked_ns) * 1e-6,
+               static_cast<double>(threshold) * 1e-6,
+               pv.past_deadline ? "; PARKED PAST DEADLINE" : "");
+  if (park_compiled_in()) {
+    const ParkStats ps = park_stats();
+    std::fprintf(stderr,
+                 "[watchdog]   park census: %u threads parked now; parks=%"
+                 PRIu64 " unparks=%" PRIu64 " spurious=%" PRIu64
+                 " rearm_recoveries=%" PRIu64 "\n",
+                 parked_thread_count(), ps.parks, ps.unparks,
+                 ps.spurious_wakes, ps.rearm_recoveries);
+  }
   std::fprintf(stderr,
                "[watchdog]   lock state: reads=%" PRIu64 " (fast=%" PRIu64
                " queued=%" PRIu64 " bias=%" PRIu64 ") writes=%" PRIu64
@@ -177,10 +225,16 @@ void Watchdog::monitor_loop() {
       if (begin == 0 || now <= begin) continue;
       const std::uint64_t waited = now - begin;
       if (waited < threshold) continue;
+      const ParkView pv = park_view(slot, begin, now);
+      // Only runnable (non-parked) wait counts against the threshold: a
+      // censused sleeper is healthy however long it sleeps.  The one
+      // exception is a waiter the substrate failed — parked past its own
+      // deadline — which is always an incident.
+      if (!pv.past_deadline && waited - pv.parked_ns < threshold) continue;
       if (slot.reported.load(std::memory_order_relaxed) == begin) continue;
       slot.reported.store(begin, std::memory_order_relaxed);
       incidents_.fetch_add(1, std::memory_order_relaxed);
-      dump_incident(w, slot, waited, threshold);
+      dump_incident(w, slot, waited, threshold, pv);
     }
   }
 }

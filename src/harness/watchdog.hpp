@@ -23,6 +23,15 @@
 // latency_fairness.  Marking an acquisition is two relaxed stores, and the
 // loop only performs them when a watchdog is attached, so the measured
 // configurations are unaffected.
+//
+// Parked waiters (platform/park.hpp, DESIGN.md §16): a thread sleeping in
+// the parking substrate is healthy, not stuck — incident detection is
+// based on "runnable and not progressing", so the wait clock excludes time
+// the worker spent parked during the acquisition.  A censused sleeper can
+// therefore never trip an incident storm no matter how long a planted
+// park lasts.  The exception: a waiter parked PAST the deadline it parked
+// with (plus a rearm-slice grace) has been failed by the substrate — that
+// IS an incident, dumped with the park census.
 #pragma once
 
 #include <atomic>
@@ -52,6 +61,10 @@ struct WatchdogOptions {
   std::uint32_t max_incidents = 8;
   // Trace-ring records printed per incident (newest last).
   std::uint32_t max_trace_records = 32;
+  // Slack past a parked waiter's own deadline before "parked past
+  // deadline" fires: covers one park slice (the substrate's lost-wake
+  // rearm bound) plus scheduler noise.
+  std::uint64_t park_deadline_grace_ns = 20'000'000;  // 20 ms
 };
 
 class Watchdog {
@@ -76,18 +89,36 @@ class Watchdog {
   }
 
  private:
+  static constexpr std::uint32_t kNoTid = ~0u;
+
   struct alignas(kFalseSharingRange) Slot {
     std::atomic<std::uint64_t> start_ns{0};  // 0 = no acquisition in flight
     std::atomic<std::uint8_t> is_write{0};
     // start_ns value already reported, so one incident = one dump even
     // though the poll loop revisits the same stuck acquisition.
     std::atomic<std::uint64_t> reported{0};
+    // Dense thread index of the worker (platform/thread_id.hpp) — the key
+    // into the park census — and its cumulative parked ns at acquisition
+    // start, so the monitor can subtract park time accrued since.
+    std::atomic<std::uint32_t> tid{kNoTid};
+    std::atomic<std::uint64_t> parked_base_ns{0};
   };
+
+  // How much of `waited_ns` the worker was parked for, and whether it is
+  // parked right now past its own deadline (the substrate-failure case).
+  struct ParkView {
+    std::uint64_t parked_ns = 0;
+    bool parked_now = false;
+    bool past_deadline = false;
+  };
+  ParkView park_view(const Slot& slot, std::uint64_t begin,
+                     std::uint64_t now) const;
 
   void monitor_loop();
   std::uint64_t threshold_ns() const;
   void dump_incident(std::uint32_t worker, const Slot& slot,
-                     std::uint64_t waited_ns, std::uint64_t threshold);
+                     std::uint64_t waited_ns, std::uint64_t threshold,
+                     const ParkView& pv);
 
   AnyRwLock& lock_;
   WatchdogOptions opts_;

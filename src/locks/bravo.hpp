@@ -47,10 +47,12 @@
 #include "locks/lock_stats.hpp"
 #include "locks/per_thread.hpp"
 #include "locks/timed.hpp"
+#include "locks/wait_queue.hpp"
 #include "platform/assert.hpp"
 #include "platform/backoff.hpp"
 #include "platform/fault.hpp"
 #include "platform/memory.hpp"
+#include "platform/park.hpp"
 #include "platform/thread_id.hpp"
 #include "platform/time.hpp"
 #include "platform/trace.hpp"
@@ -72,6 +74,13 @@ struct BravoOptions {
   // yields.  The scan always completes — exclusion cannot be abandoned —
   // this only caps the CPU burned and makes pathological drains visible.
   std::uint64_t revoke_timeout_ns = 5'000'000;
+  // Bias readers leave no per-waiter word to park on, so kSpinThenPark
+  // affects only the revocation scan: once the drain passes
+  // revoke_timeout_ns, the per-slot wait escalates from plain yields to
+  // bounded park_briefly naps (censused; predicate-style escalation,
+  // DESIGN.md §16.5).  The wrapped lock's own wait_policy is configured on
+  // the wrapped lock.  kBlocking degrades to kSpin.
+  WaitPolicy wait_policy = WaitPolicy::kSpin;
 };
 
 template <typename LockT, typename M = RealMemory>
@@ -325,7 +334,10 @@ class Bravo {
     // incident (once per scan) so a reader stuck in its critical section
     // shows up in the revoke_timeouts stat rather than as silent spin.
     const std::uint64_t drain_deadline = scan_start + opts_.revoke_timeout_ns;
+    const bool use_park = park_compiled_in() &&
+                          opts_.wait_policy == WaitPolicy::kSpinThenPark;
     bool timed_out = false;
+    std::uint32_t park_round = 0;
     for (std::uint32_t i = 0; i < Table::size(); ++i) {
       typename Table::Slot& slot = table.slot(i);
       // seq_cst: the Dekker scan load — a publish that SC-precedes our
@@ -343,7 +355,13 @@ class Bravo {
           stats_.count_revoke_timeout();
         }
         if (timed_out) {
-          std::this_thread::yield();
+          // No reader will wake us (they don't know we wait), so the nap is
+          // bounded: grows 50us -> 10ms, re-checking the slot each slice.
+          if (use_park) {
+            park_briefly(park_round++);
+          } else {
+            std::this_thread::yield();
+          }
         } else {
           backoff.backoff();
         }

@@ -15,9 +15,11 @@
 #include "platform/backoff.hpp"
 #include "platform/fault.hpp"
 #include "platform/memory.hpp"
+#include "platform/park.hpp"
 #include "platform/spin.hpp"
 #include "platform/trace.hpp"
 #include "locks/lock_stats.hpp"
+#include "locks/wait_queue.hpp"
 
 namespace oll {
 
@@ -26,6 +28,13 @@ struct CentralRwOptions {
   BackoffParams backoff{};
   // Thread bound for the per-thread stats slots (matches the other locks).
   std::uint32_t max_threads = 512;
+  // This lock has no queue, so there is no per-waiter word to park on;
+  // kSpinThenPark instead escalates the untimed CAS loops to bounded
+  // park_briefly naps once backoff has run a while (predicate-style
+  // escalation, DESIGN.md §16.5).  Timed paths keep pure backoff so a
+  // deadline is never overshot by a park slice.  kBlocking degrades to
+  // kSpin.
+  WaitPolicy wait_policy = WaitPolicy::kSpin;
 };
 
 template <typename M = RealMemory>
@@ -150,8 +159,31 @@ class CentralRwLock {
   LockStatsSnapshot stats() const { return stats_.snapshot(); }
 
  private:
+  // Escalation threshold for kSpinThenPark: backoff rounds before the loop
+  // starts napping (mirrors SpinWait's yield->park ladder).
+  static constexpr std::uint32_t kEscalateRounds = 64;
+
+  bool use_park() const {
+    return park_compiled_in() &&
+           opts_.wait_policy == WaitPolicy::kSpinThenPark;
+  }
+
+  // One contention pause: exponential backoff, escalating to censused
+  // park_briefly naps under kSpinThenPark.  `round` counts pauses so the
+  // nap length can grow; there is no waker, so the nap must stay bounded.
+  void contended_pause(ExponentialBackoff& backoff, std::uint32_t& round) {
+    if (use_park() && round >= kEscalateRounds) {
+      park_briefly(round - kEscalateRounds);
+      ++round;
+      return;
+    }
+    ++round;
+    backoff.backoff();
+  }
+
   void lock_shared_impl() {
     ExponentialBackoff backoff(opts_.backoff);
+    std::uint32_t round = 0;
     bool contended = false;
     while (true) {
       std::uint64_t w = word_.load(std::memory_order_acquire);
@@ -170,12 +202,13 @@ class CentralRwLock {
         continue;
       }
       contended = true;
-      backoff.backoff();
+      contended_pause(backoff, round);
     }
   }
 
   void lock_impl() {
     ExponentialBackoff backoff(opts_.backoff);
+    std::uint32_t round = 0;
     bool wanted_set = false;
     bool contended = false;
     while (true) {
@@ -208,7 +241,7 @@ class CentralRwLock {
         }
         continue;
       }
-      backoff.backoff();
+      contended_pause(backoff, round);
     }
   }
 

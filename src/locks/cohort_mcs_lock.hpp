@@ -42,17 +42,20 @@
 #include <memory>
 #include <optional>
 #include <string_view>
+#include <type_traits>
 
 #include "platform/assert.hpp"
 #include "platform/backoff.hpp"
 #include "platform/cache_line.hpp"
 #include "platform/fault.hpp"
 #include "platform/memory.hpp"
+#include "platform/park.hpp"
 #include "platform/spin.hpp"
 #include "platform/thread_id.hpp"
 #include "platform/topology.hpp"
 #include "locks/per_thread.hpp"
 #include "locks/tatas_lock.hpp"
+#include "locks/wait_queue.hpp"
 
 namespace oll {
 
@@ -89,6 +92,11 @@ struct MetalockOptions {
   const Topology* topology = nullptr;
   // kTatas backoff tuning.
   BackoffParams backoff{};
+  // How queued metalock waiters block on their node flag (kMcs / kCohort
+  // local + global queues; kTatas keeps backoff).  kSpinThenPark uses the
+  // parking substrate (platform/park.hpp, DESIGN.md §16); kBlocking
+  // degrades to kSpin.  The owning lock forwards its own wait policy here.
+  WaitPolicy wait_policy = WaitPolicy::kSpin;
 };
 
 // Handoff counters for the cohort metalock; aggregated into
@@ -120,7 +128,8 @@ struct MetalockStatsSnapshot {
 template <typename M = RealMemory>
 class McsMetalock {
  public:
-  explicit McsMetalock(std::uint32_t max_threads) : nodes_(max_threads) {}
+  explicit McsMetalock(std::uint32_t max_threads, bool use_park = false)
+      : use_park_(kParkable && use_park), nodes_(max_threads) {}
 
   McsMetalock(const McsMetalock&) = delete;
   McsMetalock& operator=(const McsMetalock&) = delete;
@@ -132,6 +141,12 @@ class McsMetalock {
     QNode* pred = tail_.exchange(&me, std::memory_order_acq_rel);
     if (pred == nullptr) return;
     pred->next.store(&me, std::memory_order_release);
+    if constexpr (kParkable) {
+      if (use_park_) {
+        (void)park_wait_u32(me.locked, /*wait_val=*/1, kParkedSpin);
+        return;
+      }
+    }
     spin_until(
         [&] { return me.locked.load(std::memory_order_acquire) == 0; });
   }
@@ -152,15 +167,31 @@ class McsMetalock {
       });
     }
     fault_perturb(FaultSite::kQueueHandoff);
+    if constexpr (kParkable) {
+      if (use_park_) {
+        (void)park_grant_u32(succ->locked, /*grant_val=*/0, kParkedSpin,
+                             /*all=*/false);
+        return;
+      }
+    }
     succ->locked.store(0, std::memory_order_release);
   }
 
  private:
+  // Parked marker for the single-waiter locked flag (values 0/1 in the
+  // seed; 3 for uniformity with the queue locks' kParkedSpin).
+  static constexpr std::uint32_t kParkedSpin = 3;
+  static constexpr bool kParkable =
+      park_compiled_in() &&
+      std::is_same_v<typename M::template Atomic<std::uint32_t>,
+                     std::atomic<std::uint32_t>>;
+
   struct alignas(kFalseSharingRange) QNode {
     typename M::template Atomic<QNode*> next{nullptr};
     typename M::template Atomic<std::uint32_t> locked{0};
   };
 
+  const bool use_park_;
   typename M::template Atomic<QNode*> tail_{nullptr};
   char pad_[kFalseSharingRange - sizeof(void*)];
   PerThreadSlots<QNode> nodes_;
@@ -174,6 +205,8 @@ class CohortMcsLock {
   explicit CohortMcsLock(const MetalockOptions& opts)
       : budget_(opts.cohort_budget),
         dmap_(opts.topology != nullptr ? opts.topology : &Topology::system()),
+        use_park_(kParkable &&
+                  opts.wait_policy == WaitPolicy::kSpinThenPark),
         nodes_(opts.max_threads != 0 ? opts.max_threads : 512) {
     domains_ = std::make_unique<Domain[]>(dmap_.domains());
     // One LLC domain (or all participating threads mapped into one): the
@@ -217,9 +250,23 @@ class CohortMcsLock {
     if (pred != nullptr) {
       pred->next.store(&me, std::memory_order_release);
       // Local spin: the flag lives in this thread's own padded node.
-      spin_until(
-          [&] { return me.status.load(std::memory_order_acquire) != kWait; });
-      if (me.status.load(std::memory_order_relaxed) == kCohortGrant) {
+      std::uint32_t st;
+      if constexpr (kParkable) {
+        if (use_park_) {
+          st = park_wait_u32(me.status, kWait, kParkedSpin);
+        } else {
+          spin_until([&] {
+            return me.status.load(std::memory_order_acquire) != kWait;
+          });
+          st = me.status.load(std::memory_order_relaxed);
+        }
+      } else {
+        spin_until([&] {
+          return me.status.load(std::memory_order_acquire) != kWait;
+        });
+        st = me.status.load(std::memory_order_relaxed);
+      }
+      if (st == kCohortGrant) {
         return;  // predecessor passed us the global lock within the domain
       }
       // kAcquireGlobal: predecessor exhausted the budget (or left alone);
@@ -260,8 +307,7 @@ class CohortMcsLock {
         return succ != nullptr;
       });
       fault_perturb(FaultSite::kQueueHandoff);
-      succ->status.store(single_domain_ ? kCohortGrant : kAcquireGlobal,
-                         std::memory_order_release);
+      grant_status(succ, single_domain_ ? kCohortGrant : kAcquireGlobal);
       if (single_domain_) bump(d.handoffs), bump(d.cohort_hits);
       return;
     }
@@ -270,7 +316,7 @@ class CohortMcsLock {
       // budget (there is no other domain to starve).
       bump(d.handoffs);
       bump(d.cohort_hits);
-      succ->status.store(kCohortGrant, std::memory_order_release);
+      grant_status(succ, kCohortGrant);
       return;
     }
     if (d.handoffs_left > 0) {
@@ -280,14 +326,14 @@ class CohortMcsLock {
       bump(d.handoffs);
       bump(d.cohort_hits);
       fault_perturb(FaultSite::kQueueHandoff);
-      succ->status.store(kCohortGrant, std::memory_order_release);
+      grant_status(succ, kCohortGrant);
       return;
     }
     // Budget exhausted: FIFO across domains.  Release the global lock (the
     // next domain's leader, if any, is granted inside) and make the local
     // successor re-acquire it behind that domain.
     if (global_unlock(d.gnode)) bump(d.cross_domain), bump(d.handoffs);
-    succ->status.store(kAcquireGlobal, std::memory_order_release);
+    grant_status(succ, kAcquireGlobal);
   }
 
   std::uint32_t domains() const { return dmap_.domains(); }
@@ -306,6 +352,14 @@ class CohortMcsLock {
  private:
   // Local-queue grant states.  kWait must be zero-initializable.
   enum Status : std::uint32_t { kWait = 0, kCohortGrant = 1, kAcquireGlobal = 2 };
+
+  // Parked marker: must collide with neither the status values above nor
+  // GNode.locked's 0/1 (kParkedSpin == 3 clears both).
+  static constexpr std::uint32_t kParkedSpin = 3;
+  static constexpr bool kParkable =
+      park_compiled_in() &&
+      std::is_same_v<typename M::template Atomic<std::uint32_t>,
+                     std::atomic<std::uint32_t>>;
 
   struct alignas(kFalseSharingRange) GNode {
     typename M::template Atomic<GNode*> next{nullptr};
@@ -343,12 +397,31 @@ class CohortMcsLock {
     c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
   }
 
+  // Grant a local-queue successor's status flag; the park-aware exchange
+  // wakes a sleeping waiter (one per QNode — unpark_one).
+  void grant_status(QNode* succ, std::uint32_t grant) noexcept {
+    if constexpr (kParkable) {
+      if (use_park_) {
+        (void)park_grant_u32(succ->status, grant, kParkedSpin,
+                             /*all=*/false);
+        return;
+      }
+    }
+    succ->status.store(grant, std::memory_order_release);
+  }
+
   void global_lock(GNode& n) noexcept {
     n.next.store(nullptr, std::memory_order_relaxed);
     n.locked.store(1, std::memory_order_relaxed);
     GNode* pred = gtail_.exchange(&n, std::memory_order_acq_rel);
     if (pred == nullptr) return;
     pred->next.store(&n, std::memory_order_release);
+    if constexpr (kParkable) {
+      if (use_park_) {
+        (void)park_wait_u32(n.locked, /*wait_val=*/1, kParkedSpin);
+        return;
+      }
+    }
     spin_until(
         [&] { return n.locked.load(std::memory_order_acquire) == 0; });
   }
@@ -370,12 +443,20 @@ class CohortMcsLock {
       });
     }
     fault_perturb(FaultSite::kQueueHandoff);
+    if constexpr (kParkable) {
+      if (use_park_) {
+        (void)park_grant_u32(succ->locked, /*grant_val=*/0, kParkedSpin,
+                             /*all=*/false);
+        return true;
+      }
+    }
     succ->locked.store(0, std::memory_order_release);
     return true;
   }
 
   std::uint32_t budget_;
   DomainMap dmap_;
+  const bool use_park_;
   bool single_domain_ = false;
   typename M::template Atomic<GNode*> gtail_{nullptr};
   char pad_[kFalseSharingRange - sizeof(void*)];
@@ -397,7 +478,8 @@ class Metalock {
         tatas_ = std::make_unique<TatasLock<M>>(o.backoff);
         break;
       case MetalockKind::kMcs:
-        mcs_ = std::make_unique<McsMetalock<M>>(o.max_threads);
+        mcs_ = std::make_unique<McsMetalock<M>>(
+            o.max_threads, o.wait_policy == WaitPolicy::kSpinThenPark);
         break;
       case MetalockKind::kCohort:
         cohort_ = std::make_unique<CohortMcsLock<M>>(o);

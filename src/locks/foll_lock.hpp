@@ -27,12 +27,14 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "platform/assert.hpp"
 #include "platform/cache_line.hpp"
 #include "platform/fault.hpp"
 #include "platform/memory.hpp"
+#include "platform/park.hpp"
 #include "platform/spin.hpp"
 #include "platform/thread_id.hpp"
 #include "platform/topology.hpp"
@@ -40,6 +42,7 @@
 #include "locks/lock_stats.hpp"
 #include "locks/per_thread.hpp"
 #include "locks/timed.hpp"
+#include "locks/wait_queue.hpp"
 #include "snzi/csnzi.hpp"
 
 namespace oll {
@@ -54,6 +57,11 @@ struct FollOptions {
   // node), so unlike GOLL there is no metalock to replace — topology only
   // affects where reader nodes are allocated and what the stats report.
   const Topology* topology = nullptr;
+  // How queued threads block on their node's spin flag.  kSpin is the
+  // paper's evaluation setup; kSpinThenPark spins an adaptive budget and
+  // then parks on the flag via platform/park.hpp (DESIGN.md §16) —
+  // kBlocking has no per-node condvar here and degrades to kSpin.
+  WaitPolicy wait_policy = WaitPolicy::kSpin;
 };
 
 template <typename M = RealMemory>
@@ -64,6 +72,8 @@ class FollLock {
                   ? opts.topology
                   : (opts.csnzi.topology != nullptr ? opts.csnzi.topology
                                                     : &Topology::system())),
+        use_park_(kParkable &&
+                  opts.wait_policy == WaitPolicy::kSpinThenPark),
         locals_(opts.max_threads),
         pool_size_(opts.max_threads),
         stats_(opts.max_threads) {
@@ -146,8 +156,7 @@ class FollLock {
     old_tail->qnext.store(w, std::memory_order_release);
     if (old_tail->kind == kWriterNode) {
       const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
-      spin_until(
-          [&] { return w->spin.load(std::memory_order_acquire) == 0; });
+      await_grant(w->spin);
       obs_end(TraceEventType::kQueueExit, this, qt);
       return;
     }
@@ -159,17 +168,14 @@ class FollLock {
     // node's queue position by spinning on ITS spin flag, then recycle it.
     if (old_tail->csnzi->close()) {
       const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
-      spin_until([&] {
-        return old_tail->spin.load(std::memory_order_acquire) == 0;
-      });
+      await_grant(old_tail->spin);
       obs_end(TraceEventType::kQueueExit, this, qt);
       old_tail->qnext.store(nullptr, std::memory_order_relaxed);
       free_reader_node(old_tail);
     } else {
-      // Readers hold the node: this spin IS the drain interval.
+      // Readers hold the node: this wait IS the drain interval.
       const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
-      spin_until(
-          [&] { return w->spin.load(std::memory_order_acquire) == 0; });
+      await_grant(w->spin);
       const std::uint64_t qd = obs_end(TraceEventType::kQueueExit, this, qt);
       if (qt.armed) stats_.record_writer_wait(qd);
     }
@@ -214,9 +220,7 @@ class FollLock {
             local.depart_from = rnode;
             stats_.count_read_queued();  // waiting behind a writer
             const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
-            spin_until([&] {
-              return rnode->spin.load(std::memory_order_acquire) == 0;
-            });
+            await_grant(rnode->spin);
             obs_end(TraceEventType::kQueueExit, this, qt);
             return;
           }
@@ -233,9 +237,7 @@ class FollLock {
           } else {
             stats_.count_read_queued();
             const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
-            spin_until([&] {
-              return tail->spin.load(std::memory_order_acquire) == 0;
-            });
+            await_grant(tail->spin);
             obs_end(TraceEventType::kQueueExit, this, qt);
           }
           return;
@@ -330,19 +332,37 @@ class FollLock {
   bool timed_reader_wait(Node* node, const typename CSnzi<M>::Ticket& t,
                          std::chrono::steady_clock::time_point deadline) {
     const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
-    SpinWait w;
-    std::uint32_t check = 0;
     bool granted = false;
-    for (;;) {
-      if (node->spin.load(std::memory_order_acquire) == 0) {
-        granted = true;
-        break;
+    if constexpr (kParkable) {
+      if (use_park_) {
+        // Deadline park on the shared flag.  The parked marker is sticky
+        // (park.hpp): timing out leaves kParkedSpin advertised, so a grant
+        // racing this timeout still unparks — cheap insurance against a
+        // sibling reader asleep on the same word.
+        const auto d = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           deadline.time_since_epoch())
+                           .count();
+        ParkWaitOutcome o;
+        granted = park_wait_until_u32(
+            node->spin, /*wait_val=*/1, kParkedSpin,
+            d > 0 ? static_cast<std::uint64_t>(d) : 1, nullptr, &o);
+        stats_.count_park_outcome(o.parks, o.spurious, o.wait_ns);
       }
-      if ((++check & 15u) == 0 &&
-          std::chrono::steady_clock::now() >= deadline) {
-        break;
+    }
+    if (!use_park_) {
+      SpinWait w;
+      std::uint32_t check = 0;
+      for (;;) {
+        if (node->spin.load(std::memory_order_acquire) == 0) {
+          granted = true;
+          break;
+        }
+        if ((++check & 15u) == 0 &&
+            std::chrono::steady_clock::now() >= deadline) {
+          break;
+        }
+        w.pause();
       }
-      w.pause();
     }
     obs_end(TraceEventType::kQueueExit, this, qt);
     if (granted) return true;
@@ -355,9 +375,17 @@ class FollLock {
     if (node->csnzi->depart(t)) return false;
     // Last departure from a closed waiting node.  We cannot signal the
     // closing writer — the lock's current holder has not released — so
-    // orphan the node (spin 1 -> 2) for the granter to forward through.
+    // orphan the node (spin 1 -> 2, or kParkedSpin -> 2: our own sticky
+    // marker may still be advertised, and as the last departer there can
+    // be no sleeper left behind it) for the granter to forward through.
     std::uint32_t expected = 1;
     if (node->spin.compare_exchange_strong(expected, 2,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+      return false;
+    }
+    if (expected == kParkedSpin &&
+        node->spin.compare_exchange_strong(expected, 2,
                                            std::memory_order_acq_rel,
                                            std::memory_order_acquire)) {
       return false;
@@ -477,12 +505,10 @@ class FollLock {
     stats_.count_write_queued();
     tail->qnext.store(w, std::memory_order_release);
     if (tail->csnzi->close()) {
-      // Still drained: inherit the node's queue position.  The spin wait
+      // Still drained: inherit the node's queue position.  The wait
       // mirrors lock_impl and only matters in the recycle-and-re-enqueue
       // ABA window (spin never goes 0 -> 1 within one queue life).
-      spin_until([&] {
-        return tail->spin.load(std::memory_order_acquire) == 0;
-      });
+      await_grant(tail->spin);
       tail->qnext.store(nullptr, std::memory_order_relaxed);
       free_reader_node(tail);
       return true;
@@ -490,7 +516,7 @@ class FollLock {
     // Readers raced in before the Close; the last one to depart signals us
     // (depart_and_handoff -> grant_node).  This is the drain interval.
     const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
-    spin_until([&] { return w->spin.load(std::memory_order_acquire) == 0; });
+    await_grant(w->spin);
     const std::uint64_t qd = obs_end(TraceEventType::kQueueExit, this, qt);
     if (qt.armed) stats_.record_writer_wait(qd);
     return true;
@@ -570,6 +596,20 @@ class FollLock {
   enum NodeKind : std::uint8_t { kReaderNode, kWriterNode };
   enum AllocState : std::uint32_t { kFree = 0, kInUse = 1 };
 
+  // Spin-flag values within one queue life: 1 = waiting, 0 = granted,
+  // 2 = orphaned (all timed readers abandoned; see grant_node), and — under
+  // kSpinThenPark only — kParkedSpin = waiting with (possibly) parked
+  // sleepers.  3 (not 2) because the orphan tombstone already owns 2.
+  // Multiple readers share one node's flag, so granters unpark_all.
+  static constexpr std::uint32_t kParkedSpin = 3;
+
+  // Parking needs a real kernel-parkable word: std::atomic under a
+  // compiled-in substrate.  Sim memory models degrade to pure spinning.
+  static constexpr bool kParkable =
+      park_compiled_in() &&
+      std::is_same_v<typename M::template Atomic<std::uint32_t>,
+                     std::atomic<std::uint32_t>>;
+
   struct alignas(kFalseSharingRange) Node {
     NodeKind kind = kWriterNode;
     typename M::template Atomic<Node*> qnext{nullptr};
@@ -615,6 +655,25 @@ class FollLock {
     free_reader_node(node);
   }
 
+  // Block until `word` (a node's spin flag) reads 0 — granted.  Under
+  // kSpinThenPark the waiter advertises kParkedSpin and parks on the word
+  // itself; the grant_node exchange below observes the marker and unparks.
+  // Park outcome feeds the per-lock LockStats.
+  void await_grant(typename M::template Atomic<std::uint32_t>& word) {
+    if constexpr (kParkable) {
+      if (use_park_) {
+        ParkWaitOutcome o;
+        const std::uint32_t v = park_wait_u32(word, /*wait_val=*/1,
+                                              kParkedSpin, &o);
+        stats_.count_park_outcome(o.parks, o.spurious, o.wait_ns);
+        OLL_DCHECK(v == 0);
+        (void)v;
+        return;
+      }
+    }
+    spin_until([&] { return word.load(std::memory_order_acquire) == 0; });
+  }
+
   // Grant the queue position held by `succ`, forwarding through orphans.
   //
   // A reader node whose spin flag was CASed 1 -> 2 is *orphaned*: every
@@ -629,8 +688,18 @@ class FollLock {
     while (true) {
       count_handoff(succ->domain);  // read before granting: succ may recycle
       fault_perturb(FaultSite::kQueueHandoff);
-      const std::uint32_t prev =
-          succ->spin.exchange(0, std::memory_order_acq_rel);
+      std::uint32_t prev;
+      if constexpr (kParkable) {
+        // The exchange-displaces-marker half of the §16.2 pairing; the
+        // plain exchange stays on the pure-spin hot path.  unpark_all:
+        // a reader node's flag may have several parked sleepers.
+        prev = use_park_ ? park_grant_u32(succ->spin, /*grant_val=*/0,
+                                          kParkedSpin, /*all=*/true)
+                         : succ->spin.exchange(0, std::memory_order_acq_rel);
+        if (prev == kParkedSpin) stats_.count_unparks(1);
+      } else {
+        prev = succ->spin.exchange(0, std::memory_order_acq_rel);
+      }
       if (prev != 2) return;
       // Orphaned: the closing writer behind it must exist (qnext was linked
       // before the Close that made abandonment possible).
@@ -719,6 +788,8 @@ class FollLock {
   typename M::template Atomic<Node*> tail_{nullptr};
   char pad_[kFalseSharingRange - sizeof(void*)];
   DomainMap dmap_;
+  // Resolved wait policy: true iff kSpinThenPark on a parkable word.
+  const bool use_park_;
   PerThreadSlots<Local> locals_;
   std::unique_ptr<Node[]> pool_;
   std::uint32_t pool_size_;

@@ -64,7 +64,10 @@ struct GollOptions {
   // if writers queued after it (Solaris-style).  false => strict FIFO groups.
   bool readers_coalesce_over_writers = true;
   // kSpin matches the paper's evaluation; kBlocking parks waiters on a
-  // condition variable like the production Solaris lock (see wait_queue.hpp).
+  // condition variable like the production Solaris lock; kSpinThenPark
+  // spins an adaptive budget and then parks on the grant word via the
+  // futex-backed substrate (platform/park.hpp, DESIGN.md §16) — the policy
+  // that survives oversubscription (bench/oversubscribe.cpp).
   WaitStrategy wait_strategy = WaitStrategy::kSpin;
   // Writer-arbitration metalock: kind (tatas|mcs|cohort), cohort budget and
   // topology (see cohort_mcs_lock.hpp).  With kCohort the same budget also
@@ -152,7 +155,7 @@ class GollLock {
       // which *is* the write-acquired state; nothing to change.
     }
     fault_perturb(FaultSite::kQueueHandoff);
-    group.signal_all();
+    stats_.count_unparks(group.signal_all());
   }
 
   // --- delegated/combined write (DESIGN.md §15) --------------------------
@@ -298,7 +301,7 @@ class GollLock {
       }
     }
     fault_perturb(FaultSite::kQueueHandoff);
-    group.signal_all();
+    stats_.count_unparks(group.signal_all());
   }
 
   // --- timed acquisition (SharedTimedMutex requirements) ------------------
@@ -387,7 +390,7 @@ class GollLock {
       local.ticket = csnzi_.direct_ticket();
     }
     fault_perturb(FaultSite::kQueueHandoff);
-    group.signal_all();
+    stats_.count_unparks(group.signal_all());
   }
 
   // --- introspection ------------------------------------------------------
@@ -476,6 +479,7 @@ class GollLock {
     waiter.wait();  // ownership handed over before the flag is set
     const std::uint64_t qd = obs_end(TraceEventType::kQueueExit, this, qt);
     if (qt.armed) stats_.record_writer_wait(qd);
+    note_park(waiter);
   }
 
   // Figure 3's ReaderLock body (see lock_shared for the observability shell).
@@ -518,6 +522,7 @@ class GollLock {
       const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
       waiter.wait();
       obs_end(TraceEventType::kQueueExit, this, qt);
+      note_park(waiter);
       return;
     }
   }
@@ -561,6 +566,7 @@ class GollLock {
     if (waiter.wait_until_granted(deadline)) {
       const std::uint64_t qd = obs_end(TraceEventType::kQueueExit, this, qt);
       if (qt.armed) stats_.record_writer_wait(qd);
+      note_park(waiter);
       return true;  // granted: ownership was handed over before the flag
     }
     {
@@ -570,6 +576,7 @@ class GollLock {
         obs_end(TraceEventType::kQueueExit, this, qt);
         stats_.count_write_timeout();
         stats_.count_write_abandon();
+        note_park(waiter);
         return false;
       }
     }
@@ -578,6 +585,7 @@ class GollLock {
     waiter.wait();
     const std::uint64_t qd = obs_end(TraceEventType::kQueueExit, this, qt);
     if (qt.armed) stats_.record_writer_wait(qd);
+    note_park(waiter);
     return true;
   }
 
@@ -630,6 +638,7 @@ class GollLock {
         // immediately — the flag is already set — and fans out).
         waiter.wait();
         obs_end(TraceEventType::kQueueExit, this, qt);
+        note_park(waiter);
         local.ticket = csnzi_.direct_ticket();
         return true;
       }
@@ -641,6 +650,7 @@ class GollLock {
           csnzi_.drain_thread_sticky();
           stats_.count_read_timeout();
           stats_.count_read_abandon();
+          note_park(waiter);
           return false;
         }
       }
@@ -649,6 +659,7 @@ class GollLock {
       // releaser pre-arrived for us.
       waiter.wait();
       obs_end(TraceEventType::kQueueExit, this, qt);
+      note_park(waiter);
       local.ticket = csnzi_.direct_ticket();
       return true;
     }
@@ -693,7 +704,7 @@ class GollLock {
       }
     }
     fault_perturb(FaultSite::kQueueHandoff);
-    group.signal_all();
+    stats_.count_unparks(group.signal_all());
   }
 
   // Re-derive the queue-nonempty flag after a dequeue/remove.  Mutated only
@@ -720,12 +731,23 @@ class GollLock {
   static MetalockOptions metalock_options(const GollOptions& opts) {
     MetalockOptions o = opts.metalock;
     if (o.max_threads == 0) o.max_threads = opts.max_threads;
+    // The lock's wait policy covers its metalock too: a thread that parks
+    // in the wait queue but spins on the metalock would reintroduce the
+    // oversubscription burn the policy exists to avoid.
+    o.wait_policy = opts.wait_strategy;
     return o;
   }
 
   // Releasing/enqueueing thread's LLC domain, for the wait queue's cohort
   // writer handoff.  One relaxed table lookup; free on single-domain hosts.
   std::uint32_t my_domain() const { return dmap_.domain_of(this_thread_index()); }
+
+  // Per-lock park attribution: fold the wait's park outcome into LockStats.
+  // One branch when the waiter never parked (kSpin / uncontended park path).
+  void note_park(const typename WaitQueue<M>::WaitNode& w) {
+    stats_.count_park_outcome(w.park_outcome.parks, w.park_outcome.spurious,
+                              w.park_outcome.wait_ns);
+  }
 
   struct Local {
     Ticket ticket{};

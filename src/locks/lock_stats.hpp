@@ -96,6 +96,16 @@ struct LockStatsSnapshot {
   std::uint64_t combine_batches = 0;
   std::uint64_t combine_handoffs_saved = 0;
 
+  // Spin-then-park substrate (platform/park.hpp, DESIGN.md §16), populated
+  // only for locks created with WaitPolicy::kSpinThenPark.  parks counts
+  // park() calls this lock's waiters made (re-parks after a spurious wake
+  // count again); unparks counts wakes this lock's granters issued;
+  // spurious_wakes counts park() returns that carried no grant (injected
+  // by park-spurious/park-chaos, OS-level, or fallback hash collisions).
+  std::uint64_t parks = 0;
+  std::uint64_t unparks = 0;
+  std::uint64_t spurious_wakes = 0;
+
   // Latency distributions in trace-clock units (ns real / cycles sim);
   // populated only while latency timing is runtime-enabled.  writer_wait
   // covers the interval a writer spends waiting for the lock after missing
@@ -110,6 +120,10 @@ struct LockStatsSnapshot {
   // Begin-to-validate latency of *successful* optimistic reads (failures
   // restart and land here only once they eventually validate).
   HistogramSnapshot opt_read{};
+  // Time waiters of this lock spent parked (not spinning), ns.  Fed
+  // unconditionally when parking is active — parked time is by definition
+  // off the hot path, so it is not gated on the latency-timing flag.
+  HistogramSnapshot park_wait{};
 
   std::uint64_t reads() const { return read_fast + read_queued + read_bias; }
   std::uint64_t writes() const { return write_fast + write_queued; }
@@ -138,11 +152,15 @@ struct LockStatsSnapshot {
     combined_ops += o.combined_ops;
     combine_batches += o.combine_batches;
     combine_handoffs_saved += o.combine_handoffs_saved;
+    parks += o.parks;
+    unparks += o.unparks;
+    spurious_wakes += o.spurious_wakes;
     read_acquire += o.read_acquire;
     write_acquire += o.write_acquire;
     writer_wait += o.writer_wait;
     timed_acquire += o.timed_acquire;
     opt_read += o.opt_read;
+    park_wait += o.park_wait;
     return *this;
   }
 
@@ -173,11 +191,15 @@ struct LockStatsSnapshot {
     combined_ops -= o.combined_ops;
     combine_batches -= o.combine_batches;
     combine_handoffs_saved -= o.combine_handoffs_saved;
+    parks -= o.parks;
+    unparks -= o.unparks;
+    spurious_wakes -= o.spurious_wakes;
     read_acquire -= o.read_acquire;
     write_acquire -= o.write_acquire;
     writer_wait -= o.writer_wait;
     timed_acquire -= o.timed_acquire;
     opt_read -= o.opt_read;
+    park_wait -= o.park_wait;
     return *this;
   }
 };
@@ -210,6 +232,19 @@ class LockStats {
   void count_combine_batch() { bump(slots_.local().combine_batches); }
   void count_combine_handoff_saved() {
     bump(slots_.local().combine_handoffs_saved);
+  }
+  // Park outcome of one wait episode: n parks, sp spurious returns, and
+  // the total parked nanoseconds (one park_wait histogram sample).
+  void count_park_outcome(std::uint64_t n, std::uint64_t sp,
+                          std::uint64_t wait_ns) {
+    if (n == 0 && sp == 0) return;
+    Slot& s = slots_.local();
+    add(s.parks, n);
+    add(s.spurious_wakes, sp);
+    if (wait_ns != 0) s.park_wait.add(wait_ns);
+  }
+  void count_unparks(std::uint64_t n) {
+    if (n != 0) add(slots_.local().unparks, n);
   }
 
   // Histogram feeds; call only when the caller's ObsTimer was armed (the
@@ -258,11 +293,16 @@ class LockStats {
           s.combine_batches.load(std::memory_order_relaxed);
       total.combine_handoffs_saved +=
           s.combine_handoffs_saved.load(std::memory_order_relaxed);
+      total.parks += s.parks.load(std::memory_order_relaxed);
+      total.unparks += s.unparks.load(std::memory_order_relaxed);
+      total.spurious_wakes +=
+          s.spurious_wakes.load(std::memory_order_relaxed);
       s.read_acquire.snapshot_into(total.read_acquire);
       s.write_acquire.snapshot_into(total.write_acquire);
       s.writer_wait.snapshot_into(total.writer_wait);
       s.timed_acquire.snapshot_into(total.timed_acquire);
       s.opt_read.snapshot_into(total.opt_read);
+      s.park_wait.snapshot_into(total.park_wait);
     }
     return total;
   }
@@ -290,11 +330,15 @@ class LockStats {
       s.combined_ops.store(0, std::memory_order_relaxed);
       s.combine_batches.store(0, std::memory_order_relaxed);
       s.combine_handoffs_saved.store(0, std::memory_order_relaxed);
+      s.parks.store(0, std::memory_order_relaxed);
+      s.unparks.store(0, std::memory_order_relaxed);
+      s.spurious_wakes.store(0, std::memory_order_relaxed);
       s.read_acquire.reset();
       s.write_acquire.reset();
       s.writer_wait.reset();
       s.timed_acquire.reset();
       s.opt_read.reset();
+      s.park_wait.reset();
     }
   }
 
@@ -317,11 +361,15 @@ class LockStats {
     std::atomic<std::uint64_t> combined_ops{0};
     std::atomic<std::uint64_t> combine_batches{0};
     std::atomic<std::uint64_t> combine_handoffs_saved{0};
+    std::atomic<std::uint64_t> parks{0};
+    std::atomic<std::uint64_t> unparks{0};
+    std::atomic<std::uint64_t> spurious_wakes{0};
     AtomicHistogram read_acquire;
     AtomicHistogram write_acquire;
     AtomicHistogram writer_wait;
     AtomicHistogram timed_acquire;
     AtomicHistogram opt_read;
+    AtomicHistogram park_wait;
   };
 
   // Single-writer slot: a relaxed load+store increment cannot be lost and

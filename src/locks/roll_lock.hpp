@@ -36,11 +36,13 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 
 #include "platform/assert.hpp"
 #include "platform/cache_line.hpp"
 #include "platform/fault.hpp"
 #include "platform/memory.hpp"
+#include "platform/park.hpp"
 #include "platform/spin.hpp"
 #include "platform/thread_id.hpp"
 #include "platform/topology.hpp"
@@ -48,6 +50,7 @@
 #include "locks/lock_stats.hpp"
 #include "locks/per_thread.hpp"
 #include "locks/timed.hpp"
+#include "locks/wait_queue.hpp"
 #include "snzi/csnzi.hpp"
 
 namespace oll {
@@ -64,6 +67,9 @@ struct RollOptions {
   std::uint32_t max_scan_hops = 8;
   // Disable the last-reader-node hint entirely (ablation knob, §4.3).
   bool use_hint = true;
+  // How queued threads block on their node's spin flag (see
+  // FollOptions::wait_policy; kBlocking degrades to kSpin here too).
+  WaitPolicy wait_policy = WaitPolicy::kSpin;
 };
 
 template <typename M = RealMemory>
@@ -75,6 +81,8 @@ class RollLock {
                   ? opts.topology
                   : (opts.csnzi.topology != nullptr ? opts.csnzi.topology
                                                     : &Topology::system())),
+        use_park_(kParkable &&
+                  opts.wait_policy == WaitPolicy::kSpinThenPark),
         locals_(opts.max_threads),
         pool_size_(opts.max_threads),
         stats_(opts.max_threads) {
@@ -121,7 +129,7 @@ class RollLock {
     }
     count_handoff(succ->domain);  // read before granting: succ may recycle
     fault_perturb(FaultSite::kQueueHandoff);
-    succ->spin.store(0, std::memory_order_release);
+    grant_spin(succ);
     w->qnext.store(nullptr, std::memory_order_relaxed);
   }
 
@@ -158,8 +166,7 @@ class RollLock {
     old_tail->qnext.store(w, std::memory_order_release);
     if (old_tail->kind == kWriterNode) {
       const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
-      spin_until(
-          [&] { return w->spin.load(std::memory_order_acquire) == 0; });
+      await_grant(w->spin);
       obs_end(TraceEventType::kQueueExit, this, qt);
       return;
     }
@@ -169,9 +176,7 @@ class RollLock {
     spin_until([&] { return old_tail->csnzi->query().open; });
     {
       const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
-      spin_until([&] {
-        return old_tail->spin.load(std::memory_order_acquire) == 0;
-      });
+      await_grant(old_tail->spin);
       obs_end(TraceEventType::kQueueExit, this, qt);
     }
     if (old_tail->csnzi->close()) {
@@ -181,8 +186,7 @@ class RollLock {
     } else {
       // Live readers hold the group: this spin IS the drain interval.
       const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
-      spin_until(
-          [&] { return w->spin.load(std::memory_order_acquire) == 0; });
+      await_grant(w->spin);
       const std::uint64_t qd = obs_end(TraceEventType::kQueueExit, this, qt);
       if (qt.armed) stats_.record_writer_wait(qd);
     }
@@ -371,9 +375,7 @@ class RollLock {
     tail->qnext.store(w, std::memory_order_release);
     // Mirror lock_impl's order: the group is granted (spin wait only
     // matters in the recycle-and-re-enqueue ABA window), then Close.
-    spin_until([&] {
-      return tail->spin.load(std::memory_order_acquire) == 0;
-    });
+    await_grant(tail->spin);
     if (tail->csnzi->close()) {
       tail->qnext.store(nullptr, std::memory_order_relaxed);
       free_reader_node(tail);
@@ -381,7 +383,7 @@ class RollLock {
     }
     // Readers joined before the Close; the last to depart signals us.
     const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
-    spin_until([&] { return w->spin.load(std::memory_order_acquire) == 0; });
+    await_grant(w->spin);
     const std::uint64_t qd = obs_end(TraceEventType::kQueueExit, this, qt);
     if (qt.armed) stats_.record_writer_wait(qd);
     return true;
@@ -461,6 +463,20 @@ class RollLock {
   enum NodeKind : std::uint8_t { kReaderNode, kWriterNode };
   enum AllocState : std::uint32_t { kFree = 0, kInUse = 1 };
 
+  // Spin-flag values within one queue life: 1 = waiting, 0 = granted, and —
+  // under kSpinThenPark — kParkedSpin = waiting with (possibly) parked
+  // sleepers.  3 matches FOLL (whose value 2 is the orphan tombstone; ROLL
+  // has no orphan state but keeps the numbering uniform).  All the
+  // spin != 0 "is this group still waiting" checks remain correct: a
+  // parked group is a waiting group.
+  static constexpr std::uint32_t kParkedSpin = 3;
+
+  // See foll_lock.hpp: parking needs a real kernel-parkable word.
+  static constexpr bool kParkable =
+      park_compiled_in() &&
+      std::is_same_v<typename M::template Atomic<std::uint32_t>,
+                     std::atomic<std::uint32_t>>;
+
   struct alignas(kFalseSharingRange) Node {
     NodeKind kind = kWriterNode;
     typename M::template Atomic<Node*> qnext{nullptr};
@@ -515,11 +531,45 @@ class RollLock {
     return nullptr;
   }
 
+  // Block until `word` (a node's spin flag) reads 0.  Under kSpinThenPark
+  // the waiter advertises kParkedSpin and parks on the word; grant_spin's
+  // exchange observes the marker and unparks (DESIGN.md §16.2).
+  void await_grant(typename M::template Atomic<std::uint32_t>& word) {
+    if constexpr (kParkable) {
+      if (use_park_) {
+        ParkWaitOutcome o;
+        const std::uint32_t v = park_wait_u32(word, /*wait_val=*/1,
+                                              kParkedSpin, &o);
+        stats_.count_park_outcome(o.parks, o.spurious, o.wait_ns);
+        OLL_DCHECK(v == 0);
+        (void)v;
+        return;
+      }
+    }
+    spin_until([&] { return word.load(std::memory_order_acquire) == 0; });
+  }
+
+  // Grant `succ`'s queue position (spin -> 0).  Pure-spin keeps the
+  // paper's plain release store; under kSpinThenPark the exchange
+  // displaces the (possibly) advertised parked marker and unparks every
+  // sleeper on the shared flag.
+  void grant_spin(Node* succ) {
+    if constexpr (kParkable) {
+      if (use_park_) {
+        if (park_grant_u32(succ->spin, /*grant_val=*/0, kParkedSpin,
+                           /*all=*/true) == kParkedSpin) {
+          stats_.count_unparks(1);
+        }
+        return;
+      }
+    }
+    succ->spin.store(0, std::memory_order_release);
+  }
+
   void wait_granted(Node* n) {
     if (n->spin.load(std::memory_order_acquire) == 0) return;
     const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
-    spin_until(
-        [&] { return n->spin.load(std::memory_order_acquire) == 0; });
+    await_grant(n->spin);
     obs_end(TraceEventType::kQueueExit, this, qt);
   }
 
@@ -530,19 +580,36 @@ class RollLock {
   bool timed_wait_granted(Node* n, Local& local,
                           std::chrono::steady_clock::time_point deadline) {
     const ObsTimer qt = obs_begin(TraceEventType::kQueueEnter, this);
-    SpinWait w;
-    std::uint32_t check = 0;
     bool granted = false;
-    for (;;) {
-      if (n->spin.load(std::memory_order_acquire) == 0) {
-        granted = true;
-        break;
+    if constexpr (kParkable) {
+      if (use_park_) {
+        // Sticky parked marker on timeout (park.hpp): a racing grant still
+        // sees kParkedSpin and unparks any sibling sleeper — the abandon
+        // below can never swallow a wake meant for another reader.
+        const auto d = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           deadline.time_since_epoch())
+                           .count();
+        ParkWaitOutcome o;
+        granted = park_wait_until_u32(
+            n->spin, /*wait_val=*/1, kParkedSpin,
+            d > 0 ? static_cast<std::uint64_t>(d) : 1, nullptr, &o);
+        stats_.count_park_outcome(o.parks, o.spurious, o.wait_ns);
       }
-      if ((++check & 15u) == 0 &&
-          std::chrono::steady_clock::now() >= deadline) {
-        break;
+    }
+    if (!use_park_) {
+      SpinWait w;
+      std::uint32_t check = 0;
+      for (;;) {
+        if (n->spin.load(std::memory_order_acquire) == 0) {
+          granted = true;
+          break;
+        }
+        if ((++check & 15u) == 0 &&
+            std::chrono::steady_clock::now() >= deadline) {
+          break;
+        }
+        w.pause();
       }
-      w.pause();
     }
     obs_end(TraceEventType::kQueueExit, this, qt);
     if (granted) return true;
@@ -654,7 +721,7 @@ class RollLock {
     OLL_CHECK(succ != nullptr);  // the closer linked qnext before closing
     count_handoff(succ->domain);  // read before granting
     fault_perturb(FaultSite::kQueueHandoff);
-    succ->spin.store(0, std::memory_order_release);
+    grant_spin(succ);
     node->qnext.store(nullptr, std::memory_order_relaxed);
     free_reader_node(node);
   }
@@ -728,6 +795,9 @@ class RollLock {
   typename M::template Atomic<Node*> hint_{nullptr};
   char pad1_[kFalseSharingRange - sizeof(void*)];
   DomainMap dmap_;
+  // Resolved wait policy: true only when parking is compiled in, the memory
+  // model is real, and the caller asked for kSpinThenPark.
+  const bool use_park_;
   PerThreadSlots<Local> locals_;
   std::unique_ptr<Node[]> pool_;
   std::uint32_t pool_size_;

@@ -33,7 +33,8 @@ namespace oll {
 struct SolarisOptions {
   bool readers_coalesce_over_writers = true;
   // kSpin matches the paper's evaluation; kBlocking parks waiters like the
-  // real kernel turnstile (see wait_queue.hpp).
+  // real kernel turnstile; kSpinThenPark uses the adaptive futex substrate
+  // (platform/park.hpp, DESIGN.md §16).  See wait_queue.hpp.
   WaitStrategy wait_strategy = WaitStrategy::kSpin;
 };
 

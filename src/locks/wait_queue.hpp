@@ -54,10 +54,12 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <type_traits>
 
 #include "platform/assert.hpp"
 #include "platform/cache_line.hpp"
 #include "platform/memory.hpp"
+#include "platform/park.hpp"
 #include "platform/spin.hpp"
 
 namespace oll {
@@ -67,11 +69,29 @@ enum class ReqKind : std::uint8_t { kReader, kWriter };
 // How queued threads block (paper §1/§5.1): production locks deschedule
 // waiting threads (Solaris turnstiles put them to sleep); the paper's own
 // user-space evaluation substitutes spin-based condition variables "to
-// eliminate the cost of context switching".  Both are available here:
-//   kSpin      — busy-wait with progressive yield (the evaluation setup).
-//   kBlocking  — spin briefly, then sleep on a real condition variable
-//                (the production setup; a waiter costs no CPU while parked).
-enum class WaitStrategy : std::uint8_t { kSpin, kBlocking };
+// eliminate the cost of context switching".  All three are available here:
+//   kSpin         — busy-wait with progressive yield (the evaluation setup).
+//   kBlocking     — spin briefly, then sleep on a per-node mutex+condvar
+//                   (the pre-park production setup; kept for comparison).
+//   kSpinThenPark — adaptive spin (platform/park.hpp controller), then park
+//                   on the granted word itself via the futex-backed
+//                   substrate (DESIGN.md §16).  Degrades to kSpin under
+//                   OLL_PARK=0 and in the virtual-time simulator (whose
+//                   atomics are not kernel-parkable words).
+enum class WaitStrategy : std::uint8_t { kSpin, kBlocking, kSpinThenPark };
+
+// The per-lock waiting-policy knob (factory plumbing, lock Options structs)
+// is the wait strategy; the alias names the concept at the API surface.
+using WaitPolicy = WaitStrategy;
+
+inline const char* wait_policy_name(WaitPolicy p) {
+  switch (p) {
+    case WaitPolicy::kSpin: return "spin";
+    case WaitPolicy::kBlocking: return "blocking";
+    case WaitPolicy::kSpinThenPark: return "park";
+  }
+  return "?";
+}
 
 template <typename M = RealMemory>
 class WaitQueue {
@@ -92,6 +112,28 @@ class WaitQueue {
     ReqKind kind = ReqKind::kReader;
     WaitStrategy strategy = WaitStrategy::kSpin;
 
+    // kSpinThenPark is only meaningful when the flag is a real kernel-
+    // parkable word: std::atomic under a compiled-in park substrate.  The
+    // simulator's instrumented atomics (and OLL_PARK=0 builds) degrade to
+    // kSpin at arm() time, keeping sim schedules bit-for-bit.
+    static constexpr bool kParkable =
+        park_compiled_in() &&
+        std::is_same_v<typename M::template Atomic<std::uint32_t>,
+                       std::atomic<std::uint32_t>>;
+
+    // `granted` values under kSpinThenPark: 0 = waiting (spinning),
+    // kParkedFlag = waiting with the owner (possibly) parked on the word,
+    // 1 = granted.  Only the owner CASes 0 -> kParkedFlag; the granter's
+    // exchange(1) observes kParkedFlag iff the owner advertised a park and
+    // then — and only then — issues the unpark: the single-word
+    // consume-or-wake pairing of DESIGN.md §16.2.
+    static constexpr std::uint32_t kParkedFlag = 2;
+
+    // Park outcome of the last wait (kSpinThenPark only): plain fields,
+    // written by the owning thread during wait, read by the lock code
+    // after wait() returns for LockStats attribution.
+    ParkWaitOutcome park_outcome{};
+
     // kBlocking parking state, absent under kSpin (the paper-evaluation
     // configuration's node is just the local-spin flag + links).
     struct Parking {
@@ -103,8 +145,12 @@ class WaitQueue {
     // Configure the node before enqueueing (and before the metalock is
     // taken — the kBlocking allocation must not happen under a spinlock).
     void arm(WaitStrategy s, std::uint32_t dom = 0) {
+      if (s == WaitStrategy::kSpinThenPark && !kParkable) {
+        s = WaitStrategy::kSpin;
+      }
       strategy = s;
       domain = dom;
+      park_outcome = ParkWaitOutcome{};
       if (s == WaitStrategy::kBlocking && parking == nullptr) {
         parking = std::make_unique<Parking>();
       }
@@ -151,6 +197,22 @@ class WaitQueue {
           w.pause();
         }
       }
+      if constexpr (kParkable) {
+        if (strategy == WaitStrategy::kSpinThenPark) {
+          // Deadline park.  On timeout the parked flag stays advertised
+          // (sticky marker, see park.hpp): the caller runs the
+          // abandon-or-consume protocol, and a grant racing the timeout
+          // still sees kParkedFlag and issues its (now superfluous but
+          // harmless) unpark — cancel never swallows anyone else's wake.
+          const auto d = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             deadline.time_since_epoch())
+                             .count();
+          return park_wait_until_u32(
+              granted, /*wait_val=*/0, kParkedFlag,
+              d > 0 ? static_cast<std::uint64_t>(d) : 1, nullptr,
+              &park_outcome);
+        }
+      }
       SpinWait w;
       for (unsigned i = 0; i < 2 * SpinWait::kDefaultSpinLimit; ++i) {
         if (granted.load(std::memory_order_acquire) != 0) return true;
@@ -169,11 +231,21 @@ class WaitQueue {
     // moment it observes granted != 0, so (as with the spin path) nothing
     // may touch the node after this returns — cv.notify_one is called
     // under the mutex for exactly that reason (the waiter cannot finish
-    // cv.wait until we release the mutex inside this function).
-    void grant() {
+    // cv.wait until we release the mutex inside this function).  For
+    // kSpinThenPark the exchange displaces whatever marker the waiter
+    // advertised; unpark_one never dereferences the (possibly already
+    // destroyed) node, so the same lifetime contract holds.  Returns true
+    // iff the grant had to issue an unpark (per-lock unparks attribution).
+    bool grant() {
       if (strategy == WaitStrategy::kSpin) {
         granted.store(1, std::memory_order_release);
-        return;
+        return false;
+      }
+      if constexpr (kParkable) {
+        if (strategy == WaitStrategy::kSpinThenPark) {
+          return park_grant_u32(granted, /*grant_val=*/1, kParkedFlag,
+                                /*all=*/false) == kParkedFlag;
+        }
       }
       OLL_DCHECK(parking != nullptr);
       {
@@ -181,6 +253,7 @@ class WaitQueue {
         granted.store(1, std::memory_order_release);
         parking->cv.notify_one();
       }
+      return false;
     }
 
    private:
@@ -190,6 +263,13 @@ class WaitQueue {
         spin_until(
             [&] { return granted.load(std::memory_order_acquire) != 0; });
         return;
+      }
+      if constexpr (kParkable) {
+        if (strategy == WaitStrategy::kSpinThenPark) {
+          (void)park_wait_u32(granted, /*wait_val=*/0, kParkedFlag,
+                              &park_outcome);
+          return;
+        }
       }
       // Blocking: a short optimistic spin, then park.  `granted` is set
       // under `parking->m` by grant() so the sleep/wake handshake cannot be
@@ -225,15 +305,21 @@ class WaitQueue {
     }
 
     // Wake every thread in the group.  See the concurrency contract above.
-    void signal_all() const {
+    // Returns the number of grants that issued an unpark (kSpinThenPark
+    // waiters that had advertised a park) so the releasing lock can feed
+    // its per-lock unparks counter.  Tree-wake fan-out grants issued by
+    // the woken waiters themselves are counted only in the global
+    // substrate stats, not here (the releaser never sees them).
+    std::uint32_t signal_all() const {
+      std::uint32_t unparked = 0;
       if (!tree_wake_ || count_ <= 1) {
         WaitNode* n = leader_;
         while (n != nullptr) {
           WaitNode* next = n->next_in_group;  // read before granting!
-          n->grant();
+          if (n->grant()) ++unparked;
           n = next;
         }
-        return;
+        return unparked;
       }
       // Tree wake: thread the member list into an implicit BFS binary tree
       // — the parent of member i is member (i-1)/2, reachable by walking
@@ -250,7 +336,8 @@ class WaitQueue {
           parent = parent->next_in_group;
         }
       }
-      leader_->grant();
+      if (leader_->grant()) ++unparked;
+      return unparked;
     }
 
    private:

@@ -51,6 +51,34 @@ FaultProfile fault_profile_chaos() {
   return p;
 }
 
+FaultProfile fault_profile_park_spurious() {
+  FaultProfile p;
+  p.name = "park-spurious";
+  p.park_spurious_p = 256;
+  return p;
+}
+
+FaultProfile fault_profile_park_lost() {
+  FaultProfile p;
+  p.name = "park-lost";
+  p.park_lost_p = 192;
+  p.yield_p = 32;
+  return p;
+}
+
+FaultProfile fault_profile_park_chaos() {
+  FaultProfile p;
+  p.name = "park-chaos";
+  p.park_spurious_p = 128;
+  p.park_lost_p = 96;
+  p.park_delay_p = 128;
+  p.park_delay_spins = 512;
+  p.yield_p = 64;
+  p.delay_p = 64;
+  p.delay_spins = 64;
+  return p;
+}
+
 bool fault_profile_from_name(const char* name, FaultProfile* out) {
   if (std::strcmp(name, "off") == 0) {
     *out = FaultProfile{};
@@ -70,6 +98,18 @@ bool fault_profile_from_name(const char* name, FaultProfile* out) {
   }
   if (std::strcmp(name, "chaos") == 0) {
     *out = fault_profile_chaos();
+    return true;
+  }
+  if (std::strcmp(name, "park-spurious") == 0) {
+    *out = fault_profile_park_spurious();
+    return true;
+  }
+  if (std::strcmp(name, "park-lost") == 0) {
+    *out = fault_profile_park_lost();
+    return true;
+  }
+  if (std::strcmp(name, "park-chaos") == 0) {
+    *out = fault_profile_park_chaos();
     return true;
   }
   return false;
@@ -93,6 +133,9 @@ std::atomic<std::uint64_t> g_forced_cas_fails{0};
 std::atomic<std::uint64_t> g_yields{0};
 std::atomic<std::uint64_t> g_delays{0};
 std::atomic<std::uint64_t> g_preemptions{0};
+std::atomic<std::uint64_t> g_park_spurious{0};
+std::atomic<std::uint64_t> g_park_lost{0};
+std::atomic<std::uint64_t> g_park_delays{0};
 
 constexpr std::size_t kCacheLine = 64;
 
@@ -186,6 +229,33 @@ void preempt_window(FaultSite site) {
   perturb(site);
 }
 
+bool park_spurious() {
+  if (g_profile.park_spurious_p == 0) return false;
+  ThreadStream& ts = my_stream();
+  if (draw_p(ts) >= g_profile.park_spurious_p) return false;
+  g_park_spurious.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool park_lost() {
+  if (g_profile.park_lost_p == 0) return false;
+  ThreadStream& ts = my_stream();
+  if (draw_p(ts) >= g_profile.park_lost_p) return false;
+  g_park_lost.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::uint32_t park_delay() {
+  if (g_profile.park_delay_p == 0) return 0;
+  ThreadStream& ts = my_stream();
+  if (draw_p(ts) >= g_profile.park_delay_p) return 0;
+  g_park_delays.fetch_add(1, std::memory_order_relaxed);
+  if (g_profile.park_delay_spins == 0) return 0;
+  return static_cast<std::uint32_t>(splitmix64(ts.state) %
+                                    g_profile.park_delay_spins) +
+         1;
+}
+
 }  // namespace fault_internal
 
 void fault_enable(const FaultProfile& profile, std::uint64_t seed) {
@@ -196,6 +266,9 @@ void fault_enable(const FaultProfile& profile, std::uint64_t seed) {
   g_yields.store(0, std::memory_order_relaxed);
   g_delays.store(0, std::memory_order_relaxed);
   g_preemptions.store(0, std::memory_order_relaxed);
+  g_park_spurious.store(0, std::memory_order_relaxed);
+  g_park_lost.store(0, std::memory_order_relaxed);
+  g_park_delays.store(0, std::memory_order_relaxed);
   g_generation.fetch_add(1, std::memory_order_release);
   g_enabled.store(1, std::memory_order_release);
 }
@@ -211,6 +284,9 @@ FaultCounters fault_counters() {
   c.yields = g_yields.load(std::memory_order_relaxed);
   c.delays = g_delays.load(std::memory_order_relaxed);
   c.preemptions = g_preemptions.load(std::memory_order_relaxed);
+  c.park_spurious = g_park_spurious.load(std::memory_order_relaxed);
+  c.park_lost = g_park_lost.load(std::memory_order_relaxed);
+  c.park_delays = g_park_delays.load(std::memory_order_relaxed);
   return c;
 }
 

@@ -72,14 +72,24 @@ struct FaultProfile {
   std::uint32_t delay_spins = 64;  // max spins of one injected delay
   std::uint32_t preempt_p = 0;     // holder-preemption window probability
   std::uint32_t preempt_spins = 4096;  // length of a preemption window
+  // Parking faults (DESIGN.md §16.4), consumed by platform/park.cpp:
+  std::uint32_t park_spurious_p = 0;  // park() returns without wake/grant
+  std::uint32_t park_lost_p = 0;      // park() goes deaf for one slice —
+                                      // real unparks in the window are lost
+  std::uint32_t park_delay_p = 0;     // delayed wake: stall after a grant
+  std::uint32_t park_delay_spins = 256;  // length of one delayed wake
 };
 
 // The named profiles the fault_fuzz sweep and --fault_profile understand.
-//   off      — no injection (enabled-but-inert; useful as a control)
-//   jitter   — light random yields/delays, no forced failures
-//   cas      — aggressive forced CAS failures + mild jitter
-//   preempt  — long holder-preemption windows at release points
-//   chaos    — everything at once, the widest schedule net
+//   off           — no injection (enabled-but-inert; useful as a control)
+//   jitter        — light random yields/delays, no forced failures
+//   cas           — aggressive forced CAS failures + mild jitter
+//   preempt       — long holder-preemption windows at release points
+//   chaos         — everything at once, the widest schedule net
+//   park-spurious — frequent spurious park() returns (wake-with-no-grant)
+//   park-lost     — parkers go deaf to wakes; the bounded-slice rearm must
+//                   recover every one (progress-oracle food)
+//   park-chaos    — spurious + lost + delayed wakes + mild jitter
 // Declared in both build flavors (at OLL_FAULTS=0 the parser still
 // validates names — so CLI flags behave identically — but the profiles it
 // hands back drive no-op hooks).
@@ -87,6 +97,9 @@ FaultProfile fault_profile_jitter();
 FaultProfile fault_profile_cas();
 FaultProfile fault_profile_preempt();
 FaultProfile fault_profile_chaos();
+FaultProfile fault_profile_park_spurious();
+FaultProfile fault_profile_park_lost();
+FaultProfile fault_profile_park_chaos();
 
 // Parse a profile name; returns false (and leaves *out alone) on unknown
 // names.  "off" parses to the all-zero profile.
@@ -97,6 +110,9 @@ struct FaultCounters {
   std::uint64_t yields = 0;
   std::uint64_t delays = 0;
   std::uint64_t preemptions = 0;
+  std::uint64_t park_spurious = 0;
+  std::uint64_t park_lost = 0;
+  std::uint64_t park_delays = 0;
 };
 
 #if OLL_FAULTS
@@ -106,6 +122,9 @@ extern std::atomic<std::uint32_t> g_enabled;  // 0 = every hook early-outs
 bool cas_should_fail(FaultSite site);
 void perturb(FaultSite site);
 void preempt_window(FaultSite site);
+bool park_spurious();
+bool park_lost();
+std::uint32_t park_delay();
 }  // namespace fault_internal
 
 inline bool fault_injection_enabled() {
@@ -137,6 +156,36 @@ inline void fault_preempt_point(FaultSite site) {
   fault_internal::preempt_window(site);
 }
 
+// --- parking faults (consumed by platform/park.cpp) -----------------------
+// Same per-thread deterministic streams as the hooks above: (seed, dense
+// index, draw counter) fully determine the park/wake fault schedule.
+
+// True iff this park() call should return kSpurious without sleeping.
+inline bool fault_park_spurious() {
+  if (fault_internal::g_enabled.load(std::memory_order_relaxed) == 0) {
+    return false;
+  }
+  return fault_internal::park_spurious();
+}
+
+// True iff this park() call should go deaf for one bounded slice (real
+// unparks in that window are dropped; the slice re-check recovers).
+inline bool fault_park_lost() {
+  if (fault_internal::g_enabled.load(std::memory_order_relaxed) == 0) {
+    return false;
+  }
+  return fault_internal::park_lost();
+}
+
+// Spins to stall after a grant-carrying wake (0 = none) — models the
+// scheduler delaying a woken thread's first run.
+inline std::uint32_t fault_park_delay() {
+  if (fault_internal::g_enabled.load(std::memory_order_relaxed) == 0) {
+    return 0;
+  }
+  return fault_internal::park_delay();
+}
+
 // --- control plane (quiescent-only) ---------------------------------------
 
 // Arm injection with `profile` and a global seed.  Per-thread decision
@@ -154,6 +203,9 @@ inline constexpr bool fault_injection_enabled() { return false; }
 inline constexpr bool fault_cas_fail(FaultSite) { return false; }
 inline constexpr void fault_perturb(FaultSite) {}
 inline constexpr void fault_preempt_point(FaultSite) {}
+inline constexpr bool fault_park_spurious() { return false; }
+inline constexpr bool fault_park_lost() { return false; }
+inline constexpr std::uint32_t fault_park_delay() { return 0; }
 inline void fault_enable(const FaultProfile&, std::uint64_t) {}
 inline void fault_disable() {}
 inline FaultCounters fault_counters() { return {}; }
@@ -162,9 +214,13 @@ inline FaultProfile fault_profile_jitter() { return {"jitter"}; }
 inline FaultProfile fault_profile_cas() { return {"cas"}; }
 inline FaultProfile fault_profile_preempt() { return {"preempt"}; }
 inline FaultProfile fault_profile_chaos() { return {"chaos"}; }
+inline FaultProfile fault_profile_park_spurious() { return {"park-spurious"}; }
+inline FaultProfile fault_profile_park_lost() { return {"park-lost"}; }
+inline FaultProfile fault_profile_park_chaos() { return {"park-chaos"}; }
 
 inline bool fault_profile_from_name(const char* name, FaultProfile* out) {
-  for (const char* known : {"off", "jitter", "cas", "preempt", "chaos"}) {
+  for (const char* known : {"off", "jitter", "cas", "preempt", "chaos",
+                            "park-spurious", "park-lost", "park-chaos"}) {
     const char* a = name;
     const char* b = known;
     while (*a != '\0' && *a == *b) {

@@ -26,6 +26,17 @@
 //   --iters=N         iterations per worker (default 150)
 //   --stall_limit_s=N hang threshold in seconds (default 30)
 //   --no_shrink       print the repro for the original config immediately
+//   --wait_policy=P   spin | park | auto (default auto: the park-* fault
+//                     profiles run with WaitPolicy::kSpinThenPark so
+//                     injected spurious/lost/delayed wakes hit real parked
+//                     waiters; every other profile keeps kSpin)
+//
+// Park runs add two oracles on top of exclusion/progress: the hang monitor
+// doubles as the lost-wake check (a swallowed unpark strands a blocking
+// acquisition forever — under the substrate's bounded-slice rearm that can
+// only happen if a grant was truly lost, not merely its wake), and at the
+// end of every run parked_thread_count() must be zero — no waiter may
+// still be asleep after every worker joined.
 //
 // Exit status: 0 clean sweep, 1 violation (repro printed), 3 hang (repro
 // printed).
@@ -43,6 +54,7 @@
 #include "core/factory.hpp"
 #include "harness/cli.hpp"
 #include "platform/fault.hpp"
+#include "platform/park.hpp"
 #include "platform/rng.hpp"
 #include "platform/thread_id.hpp"
 
@@ -58,13 +70,16 @@ struct FuzzConfig {
   std::uint32_t read_pct = 0;
   std::uint32_t threads = 4;
   std::uint64_t iters = 150;
+  WaitPolicy wait_policy = WaitPolicy::kSpin;
 };
 
 std::string repro_line(const FuzzConfig& c) {
   std::ostringstream os;
   os << "fault_fuzz --locks=" << c.kind_cli << " --profiles=" << c.profile
      << " --seeds=" << c.seed << " --read_pcts=" << c.read_pct
-     << " --threads=" << c.threads << " --iters=" << c.iters;
+     << " --threads=" << c.threads << " --iters=" << c.iters
+     << " --wait_policy="
+     << (c.wait_policy == WaitPolicy::kSpinThenPark ? "park" : "spin");
   return os.str();
 }
 
@@ -114,9 +129,13 @@ struct RunOutcome {
   // never spurious successes, so both must stay 0 under every profile.
   std::uint64_t torn_reads = 0;
   std::uint64_t planted_validations = 0;
+  // Threads still in the park census after every worker joined: a waiter
+  // left asleep means a grant (or its wake) was swallowed.  Always 0 for
+  // spin-policy runs.
+  std::uint32_t stranded_parked = 0;
   bool failed() const {
     return violations != 0 || counter != writes || torn_reads != 0 ||
-           planted_validations != 0;
+           planted_validations != 0 || stranded_parked != 0;
   }
 };
 
@@ -126,6 +145,7 @@ struct RunOutcome {
 RunOutcome run_config(const FuzzConfig& cfg, std::uint64_t stall_limit_s) {
   LockFactoryOptions opts;
   opts.max_threads = cfg.threads + 8;
+  opts.wait_policy = cfg.wait_policy;
   auto lock = make_rwlock(cfg.kind, opts);
 
   FaultProfile profile;
@@ -269,6 +289,8 @@ RunOutcome run_config(const FuzzConfig& cfg, std::uint64_t stall_limit_s) {
   out.counter = oracle.unprotected_counter;
   out.writes = writes.load(std::memory_order_relaxed);
   out.torn_reads = torn.load(std::memory_order_relaxed);
+  // Every worker joined, so nobody may still be asleep in the substrate.
+  out.stranded_parked = parked_thread_count();
   return out;
 }
 
@@ -331,6 +353,13 @@ int main(int argc, char** argv) {
   const std::uint64_t iters = flags.get_u64("iters", 150);
   const std::uint64_t stall_limit_s = flags.get_u64("stall_limit_s", 30);
   const bool no_shrink = flags.has("no_shrink");
+  const std::string wait_policy_s = flags.get("wait_policy", "auto");
+  if (wait_policy_s != "auto" && wait_policy_s != "spin" &&
+      wait_policy_s != "park") {
+    std::fprintf(stderr, "unknown --wait_policy '%s' (want auto|spin|park)\n",
+                 wait_policy_s.c_str());
+    return 2;
+  }
 
   std::vector<std::pair<LockKind, std::string>> kinds;
   for (const std::string& token : lock_tokens) {
@@ -356,19 +385,29 @@ int main(int argc, char** argv) {
               static_cast<std::uint32_t>(std::stoul(pct_s));
           cfg.threads = threads;
           cfg.iters = iters;
+          // auto: park profiles fuzz parked waiters, the rest keep the
+          // paper's spin mode (park faults are no-ops without parkers).
+          const bool park_profile = profile.rfind("park-", 0) == 0;
+          cfg.wait_policy =
+              (wait_policy_s == "park" ||
+               (wait_policy_s == "auto" && park_profile))
+                  ? WaitPolicy::kSpinThenPark
+                  : WaitPolicy::kSpin;
           ++configs;
           const RunOutcome out = run_config(cfg, stall_limit_s);
           if (!out.failed()) continue;
           std::fprintf(stderr,
                        "[fault_fuzz] VIOLATION: %llu oracle violations, "
                        "counter %llu vs %llu writes, %llu torn optimistic "
-                       "reads, %llu planted-writer validations\n",
+                       "reads, %llu planted-writer validations, %u threads "
+                       "stranded parked\n",
                        static_cast<unsigned long long>(out.violations),
                        static_cast<unsigned long long>(out.counter),
                        static_cast<unsigned long long>(out.writes),
                        static_cast<unsigned long long>(out.torn_reads),
                        static_cast<unsigned long long>(
-                           out.planted_validations));
+                           out.planted_validations),
+                       out.stranded_parked);
           const FuzzConfig minimal =
               no_shrink ? cfg : shrink(cfg, stall_limit_s);
           std::fprintf(stderr, "[fault_fuzz] repro: %s\n",
@@ -380,13 +419,20 @@ int main(int argc, char** argv) {
   }
 
   const FaultCounters totals = fault_counters();
+  const ParkStats ps = park_stats();
   std::printf(
       "[fault_fuzz] OK: %llu configs clean (last run injected "
-      "cas_fails=%llu yields=%llu delays=%llu preemptions=%llu)\n",
+      "cas_fails=%llu yields=%llu delays=%llu preemptions=%llu; park "
+      "substrate: parks=%llu spurious=%llu rearm_recoveries=%llu "
+      "injected_lost=%llu)\n",
       static_cast<unsigned long long>(configs),
       static_cast<unsigned long long>(totals.forced_cas_fails),
       static_cast<unsigned long long>(totals.yields),
       static_cast<unsigned long long>(totals.delays),
-      static_cast<unsigned long long>(totals.preemptions));
+      static_cast<unsigned long long>(totals.preemptions),
+      static_cast<unsigned long long>(ps.parks),
+      static_cast<unsigned long long>(ps.spurious_wakes),
+      static_cast<unsigned long long>(ps.rearm_recoveries),
+      static_cast<unsigned long long>(ps.injected_lost));
   return 0;
 }

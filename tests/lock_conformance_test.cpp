@@ -507,6 +507,114 @@ TEST_P(LockConformance, WithWriteDelegatedExceptionsReachTheirCallers) {
   lock->unlock_shared();
 }
 
+// --- spin-then-park policy (DESIGN.md §16), over every kind ---------------
+//
+// The same behavioral contract with WaitPolicy::kSpinThenPark selected and
+// the park-lost fault profile armed: parkers go deaf to real unparks for a
+// slice at a time, so every grant in these tests races the substrate's
+// lost-wake recovery.  The load-bearing axis is cancellation — a timed
+// waiter that parks, misses its wake, and abandons must never swallow a
+// grant destined for (or forwardable to) another thread.  Kinds without a
+// per-waiter policy knob (KSUH, MCS-RW, BigReader, std::shared_mutex)
+// ignore the option and simply re-run the base contract.
+
+// Arms park-lost for one test body unless a process-wide profile (the
+// check.sh chaos/park legs) is already active — fault_enable is
+// quiescent-only and must not clobber it.
+class ScopedParkLost {
+ public:
+  ScopedParkLost() {
+    if (!fault_injection_enabled()) {
+      fault_enable(fault_profile_park_lost(), 0x5eed);
+      armed_ = true;
+    }
+  }
+  ~ScopedParkLost() {
+    if (armed_) fault_disable();
+  }
+
+ private:
+  bool armed_ = false;
+};
+
+class ParkPolicyConformance : public ::testing::TestWithParam<LockKind> {
+ protected:
+  std::unique_ptr<AnyRwLock> make() {
+    LockFactoryOptions o;
+    o.max_threads = 64;
+    o.wait_policy = WaitPolicy::kSpinThenPark;
+    return make_rwlock(GetParam(), o);
+  }
+};
+
+TEST_P(ParkPolicyConformance, CancelledTimedWaiterNeverSwallowsWake) {
+  // Lost-wakeup probe under park-lost: park timed waiters of both classes
+  // behind a held write lock with deadlines that straddle the release, so
+  // some cancel cleanly, some race the grant (and must consume it), and
+  // every blocking successor must still be granted afterwards.  A timed
+  // waiter that reverts its parked marker on timeout — or abandons a
+  // consumed grant — shows up here as a hang (ctest timeout) or a failed
+  // successor.
+  ScopedParkLost faults;
+  auto lock = make();
+  for (int round = 0; round < 6; ++round) {
+    lock->lock();
+    // Deterministic cancellations: joined while the write lock is still
+    // held, so the deadline expires while parked no matter how late the
+    // scheduler starts the thread (this box runs ctest oversubscribed).
+    std::vector<std::thread> cancelled;
+    for (int i = 0; i < 2; ++i) {
+      cancelled.emplace_back(
+          [&] { EXPECT_FALSE(lock->try_lock_shared_for(4ms)); });
+      cancelled.emplace_back([&] { EXPECT_FALSE(lock->try_lock_for(4ms)); });
+    }
+    // Racing waiters: the 12 ms deadline straddles the release, so these
+    // may cancel or consume the grant; either branch must leave the lock
+    // sound (a success always releases).
+    std::vector<std::thread> racing;
+    for (int i = 0; i < 2; ++i) {
+      racing.emplace_back([&] {
+        if (lock->try_lock_shared_for(12ms)) lock->unlock_shared();
+      });
+      racing.emplace_back([&] {
+        if (lock->try_lock_for(12ms)) lock->unlock();
+      });
+    }
+    std::atomic<bool> reader_got{false};
+    std::atomic<bool> writer_got{false};
+    std::thread reader([&] {
+      lock->lock_shared();
+      reader_got.store(true);
+      lock->unlock_shared();
+    });
+    std::thread writer([&] {
+      lock->lock();
+      writer_got.store(true);
+      lock->unlock();
+    });
+    for (auto& t : cancelled) t.join();
+    lock->unlock();
+    for (auto& t : racing) t.join();
+    reader.join();
+    writer.join();
+    EXPECT_TRUE(reader_got.load());
+    EXPECT_TRUE(writer_got.load());
+  }
+}
+
+TEST_P(ParkPolicyConformance, MixedWorkloadKeepsExclusionWhileParked) {
+  // The exclusion oracle with waiters actually parking (and losing wakes):
+  // a grant delivered to the wrong thread, or double-delivered after a
+  // rearm recovery, surfaces as an exclusion violation here.
+  ScopedParkLost faults;
+  auto lock = make();
+  ExclusionChecker checker;
+  const std::uint64_t writes =
+      run_mixed_workload(*lock, checker, 8, 400, /*read_pct=*/60);
+  EXPECT_EQ(checker.violations(), 0u);
+  EXPECT_EQ(checker.unprotected_counter, writes);
+}
+
 // GOLL writer-arbitration variants: the behavioral contract must be
 // identical under every metalock kind.  tatas is the seed baseline; mcs and
 // cohort additionally enable the metalock-eliding release, the tree wake
@@ -680,6 +788,25 @@ TEST_P(OptimisticReadConformance, NoTornReadsUnderConcurrentWriters) {
 INSTANTIATE_TEST_SUITE_P(
     OptKinds, OptimisticReadConformance,
     ::testing::ValuesIn(opt_lock_kinds()),
+    [](const ::testing::TestParamInfo<LockKind>& info) {
+      std::string n = lock_kind_name(info.param);
+      for (char& c : n) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n;
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLocks, ParkPolicyConformance,
+    ::testing::Values(LockKind::kGoll, LockKind::kGollCombining,
+                      LockKind::kFoll, LockKind::kRoll,
+                      LockKind::kKsuh, LockKind::kSolarisLike,
+                      LockKind::kMcsRw, LockKind::kBigReader,
+                      LockKind::kCentral, LockKind::kStdShared,
+                      LockKind::kBravoGoll, LockKind::kBravoFoll,
+                      LockKind::kBravoRoll, LockKind::kBravoCentral,
+                      LockKind::kOptGoll, LockKind::kOptBravoGoll,
+                      LockKind::kOptCentral),
     [](const ::testing::TestParamInfo<LockKind>& info) {
       std::string n = lock_kind_name(info.param);
       for (char& c : n) {
